@@ -1,0 +1,83 @@
+"""Ablation C: loop-filter sizing vs SEU sensitivity.
+
+The design-guidance use of the flow (paper introduction: "identify the
+significant nodes that should be protected ... so that overheads are
+kept to a minimum with respect to the actual protection needs").  For
+the PLL's dominant sensitivity — charge dumped on the loop-filter
+node — the natural analog hardening is a bigger shunt capacitor C2:
+the immediate voltage step is Q/C2.  The trade-off is loop stability
+margin (the pole at ~1/(2*pi*R*C2) moves down towards the crossover).
+
+Reproduced series: peak frequency excursion and perturbed cycles for
+the Figure 6 pulse as C2 scales.  The result is a genuine trade-off,
+not a monotone win: peak excursion falls ~1/C2, but the slower R*C2
+recovery stretches the (smaller) disturbance over *more* clock cycles
+— the flow quantifies which metric the protected system actually cares
+about instead of worst-case guessing.
+"""
+
+import pytest
+
+from repro import CurrentPulseSaboteur, Simulator
+from repro.analysis import analyze_perturbation, is_locked
+from repro.faults import FIGURE6_PULSE
+
+from conftest import banner, fast_pll, once
+
+T_INJ = 15e-6
+T_END = 35e-6
+C2_SCALES = (1.0, 2.0, 4.0)
+
+
+def run_at(c2_scale):
+    sim = Simulator(dt=1e-9)
+    c2 = 16e-12 * c2_scale
+    pll = fast_pll(sim, preset_locked=True, c2=c2)
+    sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+    sab.schedule(FIGURE6_PULSE, T_INJ)
+    vco = sim.probe(pll.vco_out)
+    vctrl = sim.probe(pll.vctrl)
+    sim.run(T_END)
+    report = analyze_perturbation(
+        vco.segment(T_INJ - 5e-6, None), T_INJ, FIGURE6_PULSE.pw,
+        pll.t_out_nominal, tol_frac=0.003,
+        vctrl_trace=vctrl, vctrl_nominal=pll.vctrl_locked,
+    )
+    locked_after = is_locked(
+        vco.segment(T_END - 5e-6, None), pll.t_out_nominal,
+        tol_frac=0.005, consecutive=10,
+    )
+    return report, locked_after
+
+
+def run_sweep():
+    return {scale: run_at(scale) for scale in C2_SCALES}
+
+
+def test_ablation_filter_sizing(benchmark):
+    results = once(benchmark, run_sweep)
+
+    banner("Ablation C — loop-filter C2 sizing vs SEU sensitivity")
+    print(f"{'C2 scale':>8s} {'peak vctrl (mV)':>16s} "
+          f"{'perturbed cycles':>17s} {'re-locked':>10s}")
+    for scale, (report, locked) in sorted(results.items()):
+        print(f"{scale:8.1f} {report.max_vctrl_deviation * 1e3:16.1f} "
+              f"{report.perturbed_cycles:17d} {str(locked):>10s}")
+
+    base = results[1.0][0]
+    hard = results[4.0][0]
+    # Bigger C2 absorbs the same charge with a ~1/C2 smaller voltage
+    # (and frequency) excursion...
+    assert hard.max_vctrl_deviation == pytest.approx(
+        base.max_vctrl_deviation / 4.0, rel=0.15
+    )
+    # ... but the R*C2 recovery gets slower, so the (smaller)
+    # disturbance lasts *longer*: the flow exposes a real trade-off —
+    # peak frequency error vs exposure duration — that worst-case
+    # guessing would miss entirely.
+    assert hard.perturbed_cycles > base.perturbed_cycles
+    assert hard.max_period_deviation < base.max_period_deviation
+    # The loop still locks for every evaluated size (the sizing stays
+    # inside the stability margin).
+    for _scale, (_report, locked) in results.items():
+        assert locked

@@ -1,0 +1,107 @@
+"""Ablation A: saboteur vs mutant injection (Section 3.2).
+
+The paper contrasts the two digital instrumentation mechanisms:
+saboteurs are "conceptually quite easy" but "can only inject faults on
+these interconnections", while mutants can corrupt memorised state.
+
+Reproduced series: (1) where both mechanisms can express a fault —
+corrupting the value a reader samples at a clock edge — their campaign
+verdicts agree; (2) the target-count comparison quantifying how much
+of the fault space only mutants can reach.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.campaign import CampaignSpec, Design, run_campaign
+from repro.core import Component, L0
+from repro.core.hierarchy import collect_state_signals
+from repro.digital import Bus, ClockGen, Counter, ParityGen
+from repro.faults import BitFlip, SETPulse
+from repro.netlist import (
+    Netlist,
+    design_factory,
+    insert_digital_saboteur,
+)
+
+from conftest import banner, once
+
+PERIOD = 10e-9
+T_END = 300e-9
+
+
+def dut_netlist():
+    return Netlist.from_dict({
+        "name": "top",
+        "dt": "1ns",
+        "signals": [
+            {"name": "clk", "init": "0"},
+            {"name": "serin", "init": "1"},
+            {"name": "parity", "init": "U"},
+        ],
+        "buses": [{"name": "sr", "width": 4, "init": 0}],
+        "instances": [
+            {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+             "params": {"period": PERIOD}},
+            {"type": "ShiftRegister", "name": "shreg",
+             "ports": {"clk": "clk", "serial_in": "serin", "q": "sr"}},
+            {"type": "ParityGen", "name": "par",
+             "ports": {"a": "sr", "parity": "parity"}},
+        ],
+        "probes": ["sr", "parity"],
+        "outputs": ["parity"],
+    })
+
+
+def run_comparison():
+    """Inject 'serin reads wrong at the edge at 105 ns' both ways."""
+    # Mutant route: flip the bit *after* it was captured -- equivalent
+    # to the reader having sampled the inverted serial input.
+    mutant_factory = design_factory(dut_netlist())
+    mutant_spec = CampaignSpec(
+        name="mutant",
+        faults=[BitFlip("top/shreg.q[0]", 101e-9)],
+        t_end=T_END,
+        outputs=["parity"],
+    )
+    mutant_result = run_campaign(mutant_factory, mutant_spec)
+
+    # Saboteur route: a SET on the serial input spanning the edge.
+    sab_netlist, _sab, new_net = insert_digital_saboteur(
+        dut_netlist(), "serin")
+    sab_factory = design_factory(sab_netlist)
+    sab_spec = CampaignSpec(
+        name="saboteur",
+        faults=[SETPulse(new_net, 98e-9, 4e-9)],
+        t_end=T_END,
+        outputs=["parity"],
+    )
+    sab_result = run_campaign(sab_factory, sab_spec)
+    return mutant_result, sab_result
+
+
+def test_ablation_saboteur_vs_mutant(benchmark):
+    mutant_result, sab_result = once(benchmark, run_comparison)
+
+    banner("Ablation A — saboteur vs mutant (Section 3.2)")
+    m = mutant_result.runs[0]
+    s = sab_result.runs[0]
+    print(f"mutant   bit-flip verdict : {m.label}")
+    print(f"saboteur SET verdict      : {s.label}")
+
+    # Where both mechanisms express the same fault, verdicts agree.
+    assert m.label == s.label
+    assert m.classification.is_error()
+
+    # Reach comparison: every state bit is a mutant target, while the
+    # saboteur can only see the declared interconnections.
+    design = design_factory(dut_netlist())()
+    mutant_targets = [n for n, _s in collect_state_signals(design.root)]
+    saboteur_nets = [
+        decl.name for decl in dut_netlist().signals
+    ]
+    print(f"mutant targets   : {len(mutant_targets)} "
+          f"(state bits: {', '.join(mutant_targets)})")
+    print(f"saboteur targets : {len(saboteur_nets)} "
+          f"(interconnect nets: {', '.join(saboteur_nets)})")
+    assert len(mutant_targets) >= 4  # all shift-register bits

@@ -1,0 +1,75 @@
+"""Ablation B: solver timestep refinement around the injection.
+
+The kernel resolves the paper's 100 ps pulse edges by locally refining
+the analog timestep inside a window around each injection (Section 4.2
+needs the current spike "accurately taken into account").  This
+ablation sweeps the refinement factor and reports accuracy (delivered
+charge, peak control-voltage deviation) against cost (solver steps):
+disabling refinement visibly under-delivers the pulse; past ~8 points
+per edge the answer stops changing while the cost keeps growing.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Simulator
+from repro.analysis import peak_deviation
+from repro.faults import FIGURE6_PULSE
+from repro.injection import CurrentPulseSaboteur
+
+from conftest import banner, fast_pll, once
+
+T_INJ = 15e-6
+T_END = 25e-6
+
+
+def run_at(points_per_edge):
+    """points_per_edge = 0 disables refinement (coarse 1 ns grid)."""
+    sim = Simulator(dt=1e-9)
+    pll = fast_pll(sim, preset_locked=True)
+    sab = CurrentPulseSaboteur(
+        sim, "sab", pll.icp,
+        refine_points_per_edge=max(points_per_edge, 1),
+    )
+    sab.schedule(FIGURE6_PULSE, T_INJ)
+    if points_per_edge == 0:
+        sim.analog.windows.clear()
+    vctrl = sim.probe(pll.vctrl)
+    icp = sim.probe_current(pll.icp)
+    sim.run(T_END)
+    window = icp.segment(T_INJ - 1e-9, T_INJ + FIGURE6_PULSE.duration + 1e-9)
+    delivered = float(np.trapezoid(window.values, window.times))
+    peak = peak_deviation(vctrl, pll.vctrl_locked, t0=T_INJ, t1=T_INJ + 2e-6)
+    return delivered, peak, sim.analog_steps
+
+
+def run_sweep():
+    return {ppe: run_at(ppe) for ppe in (0, 1, 2, 4, 8, 16)}
+
+
+def test_ablation_timestep(benchmark):
+    results = once(benchmark, run_sweep)
+    q_true = FIGURE6_PULSE.charge()
+
+    banner("Ablation B — refinement points per pulse edge "
+           "(0 = no refinement, coarse 1 ns grid)")
+    print(f"{'pts/edge':>8s} {'charge err':>11s} {'peak mV':>9s} "
+          f"{'steps':>9s}")
+    for ppe, (delivered, peak, steps) in sorted(results.items()):
+        err = abs(delivered - q_true) / q_true
+        print(f"{ppe:8d} {err:11.2%} {peak * 1e3:9.2f} {steps:9d}")
+
+    unrefined = results[0]
+    default = results[8]
+    fine = results[16]
+    # Without refinement the 800 ps pulse is sampled at most once on
+    # the 1 ns grid: the delivered charge is badly wrong.
+    assert abs(unrefined[0] - q_true) / q_true > 0.10
+    # Accuracy claim: the default refinement delivers the modelled
+    # charge within a few percent, and doubling it again changes the
+    # observable response by well under a percent.
+    assert abs(default[0] - q_true) / q_true < 0.05
+    assert abs(fine[1] - default[1]) / default[1] < 0.01
+    # Cost claim: refinement is local — even 16 points per 100 ps edge
+    # costs only a bounded number of extra steps on a 25 us run.
+    assert fine[2] - unrefined[2] < 2000

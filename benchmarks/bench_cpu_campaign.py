@@ -1,0 +1,103 @@
+"""Processor-based architecture campaign (paper reference [2]).
+
+"Bit-flip injection in processor-based architectures: a case study" is
+the digital-flow lineage the paper builds on.  This bench runs the flow
+on the library's accumulator CPU executing a countdown program:
+exhaustive SEU injection over every architectural register bit (PC,
+ACC, Z) across the program's execution, with the per-register
+sensitivity map showing the distinct failure signatures — control-flow
+registers versus datapath registers.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    cycle_times,
+    exhaustive_bitflips,
+    run_campaign,
+)
+from repro.campaign.report import classification_summary, sensitivity_matrix
+from repro.core import Component, L0
+from repro.core.hierarchy import collect_state_signals
+from repro.digital import Accumulator8, ClockGen, assemble
+
+from conftest import banner, once
+
+PERIOD = 10e-9
+T_END = 700e-9
+
+PROGRAM = assemble([
+    ("LDI", 5),
+    ("OUT",),
+    ("SUB", 1),
+    ("JNZ", 1),
+    ("OUT",),
+    ("HALT",),
+])
+
+
+def cpu_factory():
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=PERIOD, parent=top)
+    cpu = Accumulator8(sim, "cpu", clk, PROGRAM, parent=top)
+    probes = {
+        "out[0]": sim.probe(cpu.out.bits[0]),
+        "out[7]": sim.probe(cpu.out.bits[7]),
+        "out_valid": sim.probe(cpu.out_valid),
+        "halted": sim.probe(cpu.halted),
+        "pc[0]": sim.probe(cpu.pc.bits[0]),
+        "acc[0]": sim.probe(cpu.acc.bits[0]),
+    }
+    return Design(sim=sim, root=top, probes=probes, extras={"cpu": cpu})
+
+
+def run_the_campaign():
+    targets = [n for n, _s in collect_state_signals(cpu_factory().root)]
+    times = cycle_times(15e-9, PERIOD, 8, phase=0.5)
+    spec = CampaignSpec(
+        name="cpu-seu",
+        faults=exhaustive_bitflips(targets, times),
+        t_end=T_END,
+        outputs=["out[0]", "out[7]", "out_valid", "halted"],
+    )
+    return run_campaign(cpu_factory, spec)
+
+
+def _rate(result, prefix):
+    runs = [r for r in result if prefix in r.fault.target]
+    errors = sum(1 for r in runs if r.classification.is_error())
+    return errors / len(runs)
+
+
+def test_cpu_campaign(benchmark):
+    result = once(benchmark, run_the_campaign)
+
+    banner("Reference [2] reproduction — SEU campaign on a processor "
+           "datapath (countdown program)")
+    print(classification_summary(result))
+    print()
+    print(sensitivity_matrix(result))
+    print()
+    pc_rate = _rate(result, ".pc[")
+    acc_rate = _rate(result, ".acc[")
+    z_rate = _rate(result, ".z")
+    print(f"error rate by register: PC {pc_rate:.0%}, "
+          f"ACC {acc_rate:.0%}, Z {z_rate:.0%}")
+
+    # Shape claims: the campaign covers 13 bits x 8 cycles.  In this
+    # tight countdown loop PC and ACC are live every cycle (100% error
+    # rate), while the Z flag is only live in the shadow of a branch —
+    # most Z upsets are masked.  That per-register spread is exactly
+    # why early analysis "keeps overheads to a minimum with respect to
+    # the actual protection needs": protect PC/ACC, skip the flag.
+    assert len(result) == 13 * 8
+    assert pc_rate == 1.0
+    assert acc_rate == 1.0
+    assert z_rate < 0.6
+    assert result.counts()["silent"] > 0
+    assert result.counts()["failure"] > 0

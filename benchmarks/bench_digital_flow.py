@@ -1,0 +1,113 @@
+"""Section 3: the digital analysis flow (mutant bit-flip campaign).
+
+Reproduced series: the classification table (silent / latent /
+transient-error / failure) of an exhaustive SEU campaign over a digital
+block's memory elements, plus the error-propagation model generated
+from the traces — the two exploitation paths of Figure 2.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    build_propagation_graph,
+    classification_summary,
+    cycle_times,
+    exhaustive_bitflips,
+    format_propagation_report,
+    per_target_table,
+    run_campaign,
+)
+from repro.core import Component, L0, L1
+from repro.core.hierarchy import collect_state_signals
+from repro.digital import Bus, ClockGen, Counter, LFSR, MooreFSM, ParityGen
+
+from conftest import banner, once
+
+PERIOD = 10e-9
+T_END = 600e-9
+
+
+def dut_factory():
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=PERIOD, parent=top)
+
+    cycle = Bus(sim, "cycle", 4)
+    Counter(sim, "cyclecnt", clk, cycle, parent=top)
+
+    payload_en = sim.signal("payload_en")
+    frame_valid = sim.signal("frame_valid")
+
+    def transition(state, fsm):
+        c = cycle.to_int_or_none()
+        if c is None:
+            return state
+        if state == "IDLE":
+            return "SYNC" if c % 16 == 2 else "IDLE"
+        if state == "SYNC":
+            return "PAYLOAD"
+        if state == "PAYLOAD":
+            return "CRC" if c % 16 == 11 else "PAYLOAD"
+        return "IDLE"
+
+    MooreFSM(
+        sim, "fsm", clk, ["IDLE", "SYNC", "PAYLOAD", "CRC"], transition,
+        moore_outputs={
+            payload_en: {"IDLE": L0, "SYNC": L0, "PAYLOAD": L1, "CRC": L0},
+            frame_valid: {"IDLE": L0, "SYNC": L1, "PAYLOAD": L1, "CRC": L1},
+        },
+        parent=top,
+    )
+    payload = Bus(sim, "payload", 8, init=1)
+    LFSR(sim, "lfsr", clk, payload, en=payload_en, parent=top)
+    parity = sim.signal("parity")
+    ParityGen(sim, "par", payload, parity, parent=top)
+
+    probes = {
+        "frame_valid": sim.probe(frame_valid),
+        "parity": sim.probe(parity),
+        "payload[0]": sim.probe(payload.bits[0]),
+        "payload[7]": sim.probe(payload.bits[7]),
+        "fsm.state[0]": sim.probe(sim.signals["top/fsm.state[0]"]),
+    }
+    return Design(sim=sim, root=top, probes=probes)
+
+
+def run_the_campaign():
+    probe = dut_factory()
+    targets = [n for n, _s in collect_state_signals(probe.root)]
+    faults = exhaustive_bitflips(targets, cycle_times(105e-9, PERIOD, 3,
+                                                      phase=0.45))
+    spec = CampaignSpec(
+        name="digital-flow",
+        faults=faults,
+        t_end=T_END,
+        outputs=["frame_valid", "parity"],
+    )
+    return run_campaign(dut_factory, spec)
+
+
+def test_digital_flow(benchmark):
+    result = once(benchmark, run_the_campaign)
+
+    banner("Section 3 reproduction — digital mutant SEU campaign")
+    print(classification_summary(result))
+    print()
+    print(per_target_table(result))
+    print()
+    graph = build_propagation_graph(result)
+    print(format_propagation_report(graph))
+
+    # Shape claims: an exhaustive campaign over state x cycles finds a
+    # mixture of outcome classes and a non-trivial propagation model.
+    counts = result.counts()
+    assert sum(counts.values()) == len(result)
+    assert counts["failure"] + counts["transient-error"] > 0
+    assert graph.number_of_edges() >= 2
+    # the LFSR/parity chain must appear in the propagation model
+    assert any("payload" in str(n) or "parity" in str(n)
+               for n in graph.nodes)

@@ -1,0 +1,64 @@
+"""Figure 5: the behavioural PLL model and its operating point.
+
+Reproduced series: the hierarchy of Figure 5, lock acquisition from a
+cold start, and the paper's numbers — 500 kHz input frequency and a
+20 ns (50 MHz) generated clock period.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Simulator
+from repro.analysis import clock_periods, is_locked, lock_time, mean_frequency
+
+from conftest import banner, fast_pll, once, paper_pll
+
+
+def acquire_fast():
+    sim = Simulator(dt=1e-9)
+    pll = fast_pll(sim, preset_locked=False)
+    vco = sim.probe(pll.vco_out)
+    sim.run(60e-6)
+    return pll, vco
+
+
+def hold_paper_scale():
+    sim = Simulator(dt=1e-9)
+    pll = paper_pll(sim, preset_locked=True)
+    vco = sim.probe(pll.vco_out)
+    sim.run(60e-6)
+    return pll, vco
+
+
+def test_fig5_lock_acquisition(benchmark):
+    pll, vco = once(benchmark, acquire_fast)
+    t_lock = lock_time(vco, pll.t_out_nominal, tol_frac=0.01,
+                       consecutive=20)
+    f_final = mean_frequency(vco, 2.5, t0=50e-6)
+
+    banner("Figure 5 reproduction — lock acquisition (fast-scaled loop)")
+    print(f"hierarchy: {', '.join(c.name for c in pll.children)}")
+    print(f"lock acquired at        : {t_lock * 1e6:.2f} us")
+    print(f"final output frequency  : {f_final / 1e6:.3f} MHz "
+          f"(target {pll.f_out_nominal / 1e6:.0f} MHz)")
+
+    assert is_locked(vco.segment(45e-6, None), pll.t_out_nominal,
+                     tol_frac=0.01)
+    assert f_final == pytest.approx(pll.f_out_nominal, rel=5e-3)
+
+
+def test_fig5_paper_operating_point(benchmark):
+    pll, vco = once(benchmark, hold_paper_scale)
+    seg = vco.segment(20e-6, None)
+    _edges, periods = clock_periods(seg, 2.5)
+
+    banner("Figure 5 reproduction — the paper's operating point")
+    print(f"input frequency  : {pll.f_ref / 1e3:.0f} kHz (paper: 500 kHz)")
+    print(f"divider          : /{pll.n_div} (paper: /100)")
+    print(f"clock period     : {np.mean(periods) * 1e9:.3f} ns "
+          "(paper: 20 ns)")
+    print(f"period jitter    : {np.std(periods) * 1e12:.1f} ps rms "
+          "(solver quantisation)")
+
+    assert pll.f_ref == pytest.approx(500e3)
+    assert np.mean(periods) == pytest.approx(20e-9, rel=2e-3)

@@ -1,0 +1,107 @@
+"""Validating protection mechanisms — the flow's second purpose.
+
+The paper's introduction motivates early fault injection with two
+goals: "(1) identify the significant nodes that should be protected
+... (2) validate the efficiency of the implemented mechanisms".  This
+benchmark performs (2): the *same* exhaustive SEU campaign runs against
+an unprotected register file, a TMR version and a Hamming-SEC version,
+and the classification tables quantify each mechanism's coverage —
+including TMR's residual double-upset failures.
+"""
+
+import itertools
+
+import pytest
+
+from repro import Simulator
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    exhaustive_bitflips,
+    run_campaign,
+)
+from repro.core import Component, L0
+from repro.core.hierarchy import collect_state_signals
+from repro.digital import Bus, BusSequencePlayer, ClockGen, Register
+from repro.faults import MultipleBitUpset
+from repro.harden import HammingProtectedRegister, TMRRegister
+
+from conftest import banner, once
+
+PERIOD = 20e-9
+T_END = 400e-9
+#: Data words written into the register, one per clock cycle.
+SCRIPT = [(k * PERIOD + 1e-9, value) for k, value in
+          enumerate([0xA5, 0xA5, 0xA5, 0xA5, 0x3C, 0x3C, 0x3C, 0x3C,
+                     0x5A, 0x5A, 0x5A, 0x5A, 0xC3, 0xC3, 0xC3, 0xC3])]
+
+
+def make_factory(style):
+    def factory():
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=PERIOD, parent=top)
+        d = Bus(sim, "d", 8, init=0xA5)
+        BusSequencePlayer(sim, "stim", d, SCRIPT, parent=top)
+        q = Bus(sim, "q", 8)
+        if style == "plain":
+            Register(sim, "reg", d, clk, q, parent=top)
+        elif style == "tmr":
+            TMRRegister(sim, "reg", d, clk, q, parent=top)
+        elif style == "hamming":
+            corrected = sim.signal("corrected")
+            HammingProtectedRegister(sim, "reg", d, clk, q,
+                                     corrected=corrected, parent=top)
+        probes = {f"q[{i}]": sim.probe(q.bits[i]) for i in range(8)}
+        return Design(sim=sim, root=top, probes=probes)
+
+    return factory
+
+
+def campaign_for(style, mbu=False):
+    factory = make_factory(style)
+    targets = [n for n, _s in collect_state_signals(factory().root)]
+    if mbu:
+        # double upsets: all target pairs at one instant (sampled)
+        pairs = list(itertools.combinations(targets, 2))[::7][:24]
+        faults = [MultipleBitUpset(pair, 130e-9) for pair in pairs]
+    else:
+        faults = exhaustive_bitflips(targets, [130e-9])
+    spec = CampaignSpec(
+        name=f"{style}{'-mbu' if mbu else ''}",
+        faults=faults,
+        t_end=T_END,
+        outputs=[f"q[{i}]" for i in range(8)],
+    )
+    return run_campaign(factory, spec)
+
+
+def run_validation():
+    results = {}
+    for style in ("plain", "tmr", "hamming"):
+        results[style] = campaign_for(style)
+    results["tmr-mbu"] = campaign_for("tmr", mbu=True)
+    return results
+
+
+def test_protection_validation(benchmark):
+    results = once(benchmark, run_validation)
+
+    banner("Protection-mechanism validation — same SEU campaign, three "
+           "register styles")
+    print(f"{'style':10s} {'targets':>8s} {'error rate':>11s}")
+    for style in ("plain", "tmr", "hamming"):
+        res = results[style]
+        print(f"{style:10s} {len(res):8d} {res.error_rate():11.1%}")
+    mbu = results["tmr-mbu"]
+    print(f"{'tmr (x2)':10s} {len(mbu):8d} {mbu.error_rate():11.1%}   "
+          "<- residual double-upset rate")
+
+    # Claims: every unprotected stored-bit upset is an error; TMR and
+    # Hamming mask every *single* upset; TMR still fails under some
+    # double upsets (the residual the campaign is there to measure).
+    assert results["plain"].error_rate() == 1.0
+    assert results["tmr"].error_rate() == 0.0
+    assert results["hamming"].error_rate() == 0.0
+    assert 0.0 < results["tmr-mbu"].error_rate() < 1.0

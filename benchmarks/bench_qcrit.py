@@ -1,0 +1,113 @@
+"""Critical charge per node — the particle-sensitivity map.
+
+Quantifies the Figure 8 discussion ("identify the type of particles
+the circuit will be sensitive to"): for each analog injection node the
+bisection of :mod:`repro.analysis.qcrit` finds the smallest deposited
+charge that produces an observable error.  Nodes are then directly
+comparable in the units the radiation environment is specified in.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.ams import FlashADC
+from repro.ams.dll import DLL
+from repro.analog import DCVoltage
+from repro.analysis import analyze_perturbation, find_critical_charge
+from repro.core import L0
+from repro.digital import ClockGen
+from repro.faults import TrapezoidPulse
+from repro.injection import CurrentPulseSaboteur
+
+from conftest import banner, fast_pll, once
+
+REF_PULSE = TrapezoidPulse("1mA", "100ps", "300ps", "500ps")
+T_INJ = 12e-6
+
+
+def pll_errored(pulse):
+    sim = Simulator(dt=1e-9)
+    pll = fast_pll(sim, preset_locked=True)
+    sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+    sab.schedule(pulse, T_INJ)
+    vco = sim.probe(pll.vco_out)
+    sim.run(18e-6)
+    report = analyze_perturbation(
+        vco.segment(8e-6, None), T_INJ, pulse.pw, pll.t_out_nominal,
+        tol_frac=0.003,
+    )
+    return report.perturbed_cycles > 2
+
+
+def dll_errored(pulse):
+    sim = Simulator(dt=1e-9)
+    dll = DLL(sim, "dll")
+    sab = CurrentPulseSaboteur(sim, "sab", dll.icp)
+    sim.run(T_INJ)  # acquire first-order lock
+    sab.schedule(pulse, T_INJ + 1e-6)
+    delayed = sim.probe(dll.delayed)
+    sim.run(T_INJ + 6e-6)
+    report = analyze_perturbation(
+        delayed, T_INJ + 1e-6, pulse.pw, dll.t_ref,
+        tol_frac=0.05, threshold=0.5,
+    )
+    return report.perturbed_cycles >= 1
+
+
+def adc_errored(pulse):
+    sim = Simulator(dt=10e-9)
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=1e-6)
+    vin = sim.node("vin")
+    DCVoltage(sim, "src", vin, 2.34)  # mid-code DC input
+    adc = FlashADC(sim, "adc", clk, vin, bits=4)
+    sab = CurrentPulseSaboteur(sim, "sab", adc.held)
+    sab.schedule(pulse, 5.6e-6)  # hold phase
+    sim.run(7e-6)
+    return adc.output.to_int() != adc.ideal_code(2.34)
+
+
+def run_search():
+    results = {}
+    for label, errored, q_hi in (
+        ("pll.icp", pll_errored, 6e-12),
+        ("dll.icp", dll_errored, 6e-12),
+        ("adc.held (4-bit flash)", adc_errored, 6e-13),
+    ):
+        results[label] = find_critical_charge(
+            errored, REF_PULSE, q_lo=2e-16, q_hi=q_hi,
+            rel_tol=0.2, max_evaluations=14,
+        )
+    return results
+
+
+def test_qcrit_per_node(benchmark):
+    results = once(benchmark, run_search)
+
+    banner("Critical charge per injection node")
+    for label, result in results.items():
+        print(f"{label:24s}: {result.summary()}")
+
+    # Close the loop: what do these thresholds mean at sea level?
+    from repro.analysis import SERModel, compare_nodes, format_ser_table
+
+    model = SERModel()
+    rows = compare_nodes(
+        model, [(label, r.q_crit) for label, r in results.items()],
+        area_cm2=1e-6,
+    )
+    print()
+    print("sea-level soft-error rates (exponential spectrum, equal "
+          "1e-6 cm^2 area):")
+    print(format_ser_table(rows))
+
+    # Every node has a finite, bracketed threshold inside the searched
+    # decade range...
+    for result in results.values():
+        assert result.q_pass < result.q_crit <= result.q_fail
+        assert result.evaluations <= 14
+    # ...and the sensitivity ordering is physical: the tiny ADC hold
+    # capacitor (1 pF, half-LSB margin) upsets with far less charge
+    # than the PLL loop filter.
+    assert results["adc.held (4-bit flash)"].q_crit < \
+        0.5 * results["pll.icp"].q_crit

@@ -1,0 +1,75 @@
+"""Section 2: SET capture — "eventually captured (or not)".
+
+"When occurring in the combinatorial parts of a digital block, this
+current pulse creates a voltage variation (called SET) that may
+propagate through the gates until it is eventually captured (or not)
+in a flip-flop, potentially leading to one or more erroneous bits."
+
+Reproduced series: a SET pulse of fixed width swept across one clock
+cycle on a flip-flop's data input; the capture map shows the latching
+window — the pulse is only captured when it overlaps the active edge,
+and the capture probability equals (pulse width + setup window) /
+period, the classical derating argument.
+"""
+
+import pytest
+
+from repro import Simulator
+from repro.core import Component, L0, L1
+from repro.digital import ClockGen, DFF
+from repro.faults import SETPulse
+from repro.injection import InjectionController
+
+from conftest import banner, once
+
+PERIOD = 20e-9
+WIDTH = 2e-9
+N_POINTS = 40
+
+
+def run_sweep():
+    """One run per intra-cycle offset; returns [(offset, captured)]."""
+    capture_map = []
+    for k in range(N_POINTS):
+        offset = PERIOD * k / N_POINTS
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=PERIOD, parent=top)
+        d = sim.signal("d", init=L0)
+        d.drive(L0)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q, parent=top)
+        controller = InjectionController(sim, top)
+        # Pulse in cycle 5 at the swept offset.
+        controller.apply(SETPulse("d", 5 * PERIOD + offset, WIDTH))
+        sim.run(7 * PERIOD)
+        # Captured iff q went high at the edge following the pulse.
+        captured = q.value is L1 or q.prev is L1
+        capture_map.append((offset, captured))
+    return capture_map
+
+
+def test_set_latch_window(benchmark):
+    capture_map = once(benchmark, run_sweep)
+
+    banner("Section 2 reproduction — SET latching window "
+           f"({WIDTH * 1e9:.0f} ns pulse on a {PERIOD * 1e9:.0f} ns cycle)")
+    line = "".join("X" if captured else "." for _o, captured in capture_map)
+    print(f"capture map across the cycle (X = captured): {line}")
+    captured_count = sum(1 for _o, c in capture_map if c)
+    probability = captured_count / len(capture_map)
+    print(f"capture probability: {probability:.1%} "
+          f"(pulse/period = {WIDTH / PERIOD:.1%})")
+
+    # Shape claims: the SET is captured only when overlapping the
+    # rising edge — a contiguous window whose width is the pulse width
+    # (within the sweep resolution), i.e. most SETs are NOT captured.
+    assert 0 < captured_count < len(capture_map)
+    assert probability == pytest.approx(WIDTH / PERIOD, abs=0.08)
+    # Window contiguity (allowing wraparound at the cycle boundary).
+    flags = [c for _o, c in capture_map]
+    transitions = sum(
+        1 for i in range(len(flags)) if flags[i] != flags[i - 1]
+    )
+    assert transitions == 2

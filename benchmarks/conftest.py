@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or claim of the paper's
+evaluation (see DESIGN.md's experiment index) and prints the series it
+reproduces, while pytest-benchmark records the runtime.  Heavy
+mixed-signal simulations run once (``pedantic`` with a single round);
+cheap numeric kernels use normal benchmark rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PLL, Simulator
+
+
+def fast_pll(sim, preset_locked=True, **overrides):
+    """The test-scaled PLL: 5 MHz reference, /10, same 50 MHz output.
+
+    10x the paper's reference and loop bandwidth, so lock and recovery
+    dynamics compress from hundreds to tens of microseconds; the
+    response *shape* is identical (same topology, same relative
+    design point).
+    """
+    params = dict(
+        f_ref="5MHz",
+        n_div=10,
+        kvco="10MHz",
+        i_pump="100uA",
+        r="15.7kOhm",
+        c1="162pF",
+        c2="16pF",
+        preset_locked=preset_locked,
+    )
+    params.update(overrides)
+    return PLL(sim, "pll", **params)
+
+
+def paper_pll(sim, preset_locked=True, **overrides):
+    """The paper's exact operating point: 500 kHz reference, /100."""
+    params = dict(preset_locked=preset_locked)
+    params.update(overrides)
+    return PLL(sim, "pll", **params)
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title):
+    """Print a section banner for the reproduced series."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Tour: a second loop topology and the tooling around the flow.
+
+Demonstrates, in one script:
+
+1. the DLL case study — the same saboteur flow against a first-order
+   loop, showing a phase-step failure mode instead of the PLL's
+   frequency excursion;
+2. a parallel campaign (``workers=``) over injection charge;
+3. VCD export of the faulty run for a waveform viewer;
+4. the fault dictionary built from the campaign, answering "which
+   faults could explain this observed signature?".
+
+Run:  python examples/dll_and_tooling.py
+"""
+
+import os
+import tempfile
+
+from repro import Simulator, TrapezoidPulse
+from repro.ams import DLL
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    FaultDictionary,
+    analog_injections,
+    full_report,
+    run_campaign,
+)
+from repro.core.vcd import save_vcd
+from repro.faults import FIGURE6_PULSE
+from repro.injection import CurrentPulseSaboteur
+
+T_LOCK = 20e-6
+T_INJ = 25e-6
+T_END = 45e-6
+
+
+def dll_factory():
+    sim = Simulator(dt=1e-9)
+    dll = DLL(sim, "dll")
+    probes = {
+        "vctrl": sim.probe(dll.vctrl, min_interval=5e-9),
+        "delayed": sim.probe(dll.delayed),
+        "up": sim.probe(dll.up),
+        "down": sim.probe(dll.down),
+    }
+    return Design(sim=sim, root=dll, probes=probes, extras={"dll": dll})
+
+
+def part1_single_injection():
+    print("=== Part 1: Figure 6 pulse into the DLL ===")
+    sim = Simulator(dt=1e-9)
+    dll = DLL(sim, "dll")
+    sab = CurrentPulseSaboteur(sim, "sab", dll.icp)
+    sab.schedule(FIGURE6_PULSE, T_INJ)
+    vctrl = sim.probe(dll.vctrl)
+    probes = {"vctrl": vctrl, "delayed": sim.probe(dll.delayed)}
+    sim.run(T_END)
+    step = vctrl.maximum(T_INJ, T_INJ + 1e-6) - vctrl.at(T_INJ - 0.1e-6)
+    print(f"control-voltage step : {step * 1e3:.1f} mV "
+          f"(Q/C = {FIGURE6_PULSE.charge() / dll.c_loop * 1e3:.1f} mV)")
+    print(f"phase step           : {dll.kdl * step * 1e12:.0f} ps on the "
+          f"{dll.t_ref * 1e9:.0f} ns output clock")
+    print(f"loop gain            : {dll.loop_gain_per_cycle:.3f} of the "
+          "error removed per cycle (first-order recovery)")
+
+    vcd_path = os.path.join(tempfile.gettempdir(), "dll_injection.vcd")
+    save_vcd(probes, vcd_path)
+    print(f"waveforms exported   : {vcd_path}")
+    print()
+
+
+def part2_campaign():
+    print("=== Part 2: parallel charge-sweep campaign + fault dictionary ===")
+    pulses = [TrapezoidPulse(pa, "100ps", "300ps", "500ps")
+              for pa in ("100uA", "1mA", "3mA", "10mA")]
+    times = [T_INJ, T_INJ + 3e-6]
+    spec = CampaignSpec(
+        name="dll-charge-sweep",
+        faults=analog_injections(["dll.icp"], times, pulses),
+        t_end=T_END,
+        outputs=["delayed"],
+        tolerances={"vctrl": 0.02},
+        time_tolerances={"delayed": 1e-9},
+        compare_from=T_LOCK,
+    )
+    workers = min(4, os.cpu_count() or 1)
+    result = run_campaign(dll_factory, spec, workers=workers)
+    print(full_report(result, listing_limit=8))
+    print()
+    dictionary = FaultDictionary(result, time_bucket=2e-6)
+    print(dictionary.report())
+
+
+def main():
+    part1_single_injection()
+    part2_campaign()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Figure 1b and Figure 7: trapezoid vs double-exponential pulses.
+
+Part 1 derives trapezoid parameters (PA, RT, FT, PW) from a Messenger
+double-exponential strike, both analytically (peak + charge matching)
+and by least squares — the paper's Figure 1b.
+
+Part 2 injects *both* models into the PLL at the same instant (in two
+separate runs) and compares the VCO control-voltage responses — the
+paper's Figure 7, which found them "very similar, although the numeric
+values are slightly different".
+
+Run:  python examples/pulse_model_fit.py
+"""
+
+import numpy as np
+
+from repro import (
+    DoubleExponentialPulse,
+    PLL,
+    CurrentPulseSaboteur,
+    Simulator,
+    fit_trapezoid,
+)
+from repro.analysis import peak_deviation, settling_time
+from repro.faults import waveform_distance
+
+T_INJ = 30e-6
+
+
+def part1_fit():
+    print("=== Part 1: Figure 1b — deriving trapezoid parameters ===")
+    dexp = DoubleExponentialPulse.from_peak("10mA", "50ps", "300ps")
+    print(f"reference : {dexp.describe()}")
+    print(f"  peak   = {dexp.peak() * 1e3:.3f} mA")
+    print(f"  charge = {dexp.charge() * 1e12:.3f} pC")
+    print(f"  t_peak = {dexp.t_peak * 1e12:.1f} ps")
+    print()
+    for method in ("charge", "lsq"):
+        fit = fit_trapezoid(dexp, method=method)
+        distance = waveform_distance(dexp, fit)
+        print(f"{method:6s} fit: {fit.describe()}")
+        print(f"  charge = {fit.charge() * 1e12:.3f} pC "
+              f"(error {abs(fit.charge() - dexp.charge()) / dexp.charge():.2%})")
+        print(f"  L2 distance to reference waveform: {distance:.3f}")
+    print()
+    return dexp
+
+
+def run_injection(transient):
+    sim = Simulator(dt=1e-9)
+    pll = PLL(sim, "pll", f_ref="5MHz", n_div=10, c1="162pF", c2="16pF",
+              preset_locked=True)
+    saboteur = CurrentPulseSaboteur(sim, "sab", pll.icp)
+    saboteur.schedule(transient, T_INJ)
+    vctrl = sim.probe(pll.vctrl)
+    sim.run(T_INJ + 15e-6)
+    return pll, vctrl
+
+
+def part2_compare(dexp):
+    print("=== Part 2: Figure 7 — same injection, two pulse models ===")
+    trap = fit_trapezoid(dexp, method="charge")
+
+    results = {}
+    for label, transient in (("double-exp", dexp), ("trapezoid", trap)):
+        pll, vctrl = run_injection(transient)
+        peak = peak_deviation(vctrl, pll.vctrl_locked, t0=T_INJ,
+                              t1=T_INJ + 3e-6)
+        settle = settling_time(vctrl, pll.vctrl_locked, tol=0.005,
+                               t_from=T_INJ)
+        results[label] = (peak, settle, vctrl)
+        print(f"{label:10s}: peak vctrl deviation {peak * 1e3:7.2f} mV, "
+              f"recovery (to ±5 mV) {settle * 1e6:6.2f} us")
+
+    # Waveform-level agreement on a shared grid after injection.
+    grid = np.linspace(T_INJ, T_INJ + 10e-6, 2000)
+    va = results["double-exp"][2].resample(grid)
+    vb = results["trapezoid"][2].resample(grid)
+    rms = float(np.sqrt(np.mean((va - vb) ** 2)))
+    span = float(np.max(np.abs(va - np.mean(va[:10]))))
+    print()
+    print(f"RMS difference between the two responses: {rms * 1e3:.3f} mV "
+          f"({rms / span:.1%} of the disturbance amplitude)")
+    print("-> the cheap trapezoid model reproduces the double-exponential")
+    print("   response shape; numeric values differ slightly (Figure 7).")
+
+
+def main():
+    dexp = part1_fit()
+    part2_compare(dexp)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — Early SEU fault injection in digital, analog and mixed-signal
+circuits: a global flow.
+
+A from-scratch Python reproduction of Leveugle & Ammari, *"Early SEU
+Fault Injection in Digital, Analog and Mixed Signal Circuits: a Global
+Flow"* (DATE 2004): a mixed-mode behavioural simulator, the paper's
+trapezoidal current-pulse fault model with saboteur-based analog
+injection and mutant-based digital bit-flip injection, a campaign
+engine with golden-run comparison and classification, and the Figure 5
+PLL case study.
+
+Quick start::
+
+    from repro import Simulator, PLL, CurrentPulseSaboteur, TrapezoidPulse
+    from repro.analysis import analyze_perturbation
+
+    sim = Simulator(dt=1e-9)
+    pll = PLL(sim, "pll", preset_locked=True)
+    saboteur = CurrentPulseSaboteur(sim, "sab", pll.icp)
+    saboteur.schedule(TrapezoidPulse("10mA", "100ps", "300ps", "500ps"), 20e-6)
+    vco = sim.probe(pll.vco_out)
+    sim.run(40e-6)
+    report = analyze_perturbation(vco, 20e-6, 800e-12, pll.t_out_nominal)
+    print(report.summary())
+"""
+
+from .ams import PLL, BusToVoltage, Digitizer, LogicToVoltage
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    Design,
+    run_campaign,
+)
+from .core import (
+    AnalogBlock,
+    AnalogNode,
+    Component,
+    CurrentNode,
+    DigitalComponent,
+    Logic,
+    ReproError,
+    Signal,
+    Simulator,
+    Trace,
+)
+from .faults import (
+    FIGURE6_PULSE,
+    FIGURE8_PULSES,
+    BitFlip,
+    DoubleExponentialPulse,
+    MultipleBitUpset,
+    ParametricFault,
+    SETPulse,
+    StuckAt,
+    TrapezoidPulse,
+    fit_double_exp,
+    fit_trapezoid,
+)
+from .injection import (
+    ControlledCurrentSaboteur,
+    CurrentInjection,
+    CurrentPulseSaboteur,
+    DigitalSaboteur,
+    InjectionController,
+    MutantInjector,
+    instrument,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalogBlock",
+    "AnalogNode",
+    "BitFlip",
+    "BusToVoltage",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Component",
+    "ControlledCurrentSaboteur",
+    "CurrentInjection",
+    "CurrentNode",
+    "CurrentPulseSaboteur",
+    "Design",
+    "DigitalComponent",
+    "DigitalSaboteur",
+    "Digitizer",
+    "DoubleExponentialPulse",
+    "FIGURE6_PULSE",
+    "FIGURE8_PULSES",
+    "InjectionController",
+    "Logic",
+    "LogicToVoltage",
+    "MultipleBitUpset",
+    "MutantInjector",
+    "PLL",
+    "ParametricFault",
+    "ReproError",
+    "SETPulse",
+    "Signal",
+    "Simulator",
+    "StuckAt",
+    "Trace",
+    "TrapezoidPulse",
+    "__version__",
+    "fit_double_exp",
+    "fit_trapezoid",
+    "instrument",
+    "run_campaign",
+]

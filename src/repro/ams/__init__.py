@@ -1,0 +1,29 @@
+"""AMS assemblies: bridges and the case-study circuits (PLL, ADCs)."""
+
+from .adc import (
+    ComparatorBank,
+    FlashADC,
+    SARADC,
+    SARLogic,
+    ThermometerEncoder,
+)
+from .bridges import BusToVoltage, Digitizer, LogicToVoltage
+from .dll import DLL, SamplingPhaseDetector, VoltageControlledDelayLine
+from .loads import DigitalLoad
+from .pll import PLL
+
+__all__ = [
+    "BusToVoltage",
+    "ComparatorBank",
+    "DLL",
+    "DigitalLoad",
+    "Digitizer",
+    "FlashADC",
+    "LogicToVoltage",
+    "PLL",
+    "SARADC",
+    "SARLogic",
+    "SamplingPhaseDetector",
+    "ThermometerEncoder",
+    "VoltageControlledDelayLine",
+]

@@ -1,0 +1,272 @@
+"""Analog-to-digital converter assemblies.
+
+The paper's conclusion names ADCs as the natural next target: "the
+interest of the approach could be still higher when analyzing the
+impact of faults in functional blocks including both analog and digital
+circuitry, e.g. analog to digital converters", and its reference [9]
+found the *analog* part of a converter can be more sensitive than the
+digital part.  These assemblies make that experiment runnable:
+
+* :class:`FlashADC` — sample/hold + resistor ladder + comparator bank
+  + thermometer encoder + output register.  Analog injection target:
+  the hold capacitor node (``"<path>.held"``); digital targets: the
+  output register bits.
+* :class:`SARADC` — sample/hold + capacitive DAC + comparator + SAR
+  control logic.  A strike during the bit trials corrupts *all*
+  remaining decisions, a classically nasty ADC failure mode.
+"""
+
+from __future__ import annotations
+
+from ..analog.comparator import AnalogComparator, Digitizer
+from ..analog.dac import IdealDAC, ResistorLadder
+from ..analog.samplehold import SampleHold
+from ..core.component import AnalogBlock, Component, DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, bits_from_int, logic
+from ..digital.bus import Bus
+from ..digital.seq import Register
+
+
+class ComparatorBank(AnalogBlock):
+    """2**n - 1 comparators against ladder taps -> thermometer bus.
+
+    Each comparator drives one digital thermometer bit; per-comparator
+    input offsets are exposed for parametric fault experiments.
+    """
+
+    def __init__(self, sim, name, inp, taps, therm, offsets=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if len(taps) != len(therm):
+            raise ElaborationError(
+                f"comparator bank {name}: {len(taps)} taps vs "
+                f"{len(therm)} thermometer bits"
+            )
+        self.inp = self.reads_node(inp)
+        self.taps = [self.reads_node(tap) for tap in taps]
+        self.therm = therm
+        self.offsets = list(offsets) if offsets is not None else [0.0] * len(taps)
+        if len(self.offsets) != len(taps):
+            raise ElaborationError(
+                f"comparator bank {name}: offset count mismatch"
+            )
+        self._drivers = [sig.driver(owner=self) for sig in therm.bits]
+        for drv in self._drivers:
+            drv.set(Logic.L0)
+
+    def step(self, t, dt):
+        v = self.inp.v
+        for drv, tap, offset in zip(self._drivers, self.taps, self.offsets):
+            drv.set(Logic.L1 if v + offset >= tap.v else Logic.L0)
+
+
+class ThermometerEncoder(DigitalComponent):
+    """Thermometer-to-binary encoder with bubble tolerance.
+
+    Counts the asserted thermometer bits (ones-counting is inherently
+    bubble-tolerant, unlike a priority encoder).  Any undefined input
+    bit poisons the code to X.
+    """
+
+    def __init__(self, sim, name, therm, code, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if (1 << len(code)) - 1 != len(therm):
+            raise ElaborationError(
+                f"encoder {name}: need {(1 << len(code)) - 1} thermometer "
+                f"bits for {len(code)} code bits, got {len(therm)}"
+            )
+        self.therm = therm
+        self.code = code
+        self._drivers = [sig.driver(owner=self) for sig in code.bits]
+        self.process(self._encode, sensitivity=list(therm.bits))
+
+    def _encode(self):
+        count = 0
+        for sig in self.therm.bits:
+            level = logic(sig.value)
+            if not level.is_defined():
+                for drv in self._drivers:
+                    drv.set(Logic.X)
+                return
+            if level.is_high():
+                count += 1
+        for drv, bit in zip(self._drivers, bits_from_int(count, len(self.code))):
+            drv.set(bit)
+
+
+class FlashADC(Component):
+    """Behavioural flash converter.
+
+    Pipeline: track-and-hold (track while ``clk`` high) -> comparator
+    bank against a 2**bits - 1 tap ladder -> thermometer encoder ->
+    output register captured on the rising ``clk`` edge (i.e. the code
+    resolved during the previous hold phase).
+
+    :ivar held: the hold-capacitor :class:`CurrentNode` — the analog
+        injection target.
+    :ivar output: registered output :class:`Bus` — the digital
+        injection target.
+    """
+
+    def __init__(self, sim, name, clk, vin, bits=4, v_ref=5.0,
+                 c_hold=1e-12, comparator_offsets=None, ladder_deviations=None,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if bits < 2:
+            raise ElaborationError(f"flash adc {name}: bits must be >= 2")
+        self.bits = bits
+        self.v_ref = float(v_ref)
+        self.clk = clk
+        path = self.path
+        n_taps = (1 << bits) - 1
+
+        self.held = sim.current_node(f"{path}.held")
+        self.samplehold = SampleHold(
+            sim, "samplehold", vin, clk, self.held, c_hold=c_hold, parent=self
+        )
+        self.ladder = ResistorLadder(
+            sim, "ladder", n_taps, v_top=v_ref, v_bottom=0.0,
+            deviations=ladder_deviations, parent=self,
+        )
+        self.therm = Bus(sim, f"{path}.therm", n_taps, init=Logic.L0)
+        self.bank = ComparatorBank(
+            sim, "bank", self.held, self.ladder.taps, self.therm,
+            offsets=comparator_offsets, parent=self,
+        )
+        self.code = Bus(sim, f"{path}.code", bits, init=Logic.U)
+        self.encoder = ThermometerEncoder(
+            sim, "encoder", self.therm, self.code, parent=self
+        )
+        self.output = Bus(sim, f"{path}.out", bits, init=0)
+        self.register = Register(
+            sim, "register", self.code, clk, self.output, parent=self
+        )
+
+    def ideal_code(self, volts):
+        """The code an ideal converter would produce for ``volts``."""
+        lsb = self.v_ref / (1 << self.bits)
+        code = int(volts / lsb + 0.5)
+        return max(0, min((1 << self.bits) - 1, code))
+
+
+class SARLogic(DigitalComponent):
+    """Successive-approximation control: one bit trial per clock.
+
+    Cycle 0 samples (asserts ``track``); cycles 1..bits test bits MSB
+    first against the comparator decision; the result is copied to the
+    output register with ``done`` pulsed high.  The trial register and
+    bit counter are injectable state.
+    """
+
+    def __init__(self, sim, name, clk, comp, trial, track, done, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.comp = comp
+        self.trial = trial
+        self.track = track
+        self.done = done
+        self.bits = len(trial)
+        self._trial_drivers = [sig.driver(owner=self) for sig in trial.bits]
+        self._track_driver = track.driver(owner=self)
+        self._done_driver = done.driver(owner=self)
+        self._track_driver.set(Logic.L1)
+        self._done_driver.set(Logic.L0)
+        #: Index of the bit currently under trial; ``bits`` means
+        #: "sampling phase".
+        self.phase = self.bits
+        for drv in self._trial_drivers:
+            drv.set(Logic.L0)
+        self.process(self._tick, sensitivity=[clk])
+
+    def _tick(self):
+        if not self.clk.rose():
+            return
+        if self.phase == self.bits:
+            # Leaving the sampling phase: start the MSB trial.
+            self._track_driver.set(Logic.L0)
+            self._done_driver.set(Logic.L0)
+            self.phase = self.bits - 1
+            self._set_trial_bit(self.phase, Logic.L1)
+            return
+        # Resolve the current trial from the comparator: comp high
+        # means the input is above the DAC level, so the bit stays.
+        decision = logic(self.comp.value)
+        keep = decision.is_high()
+        if not decision.is_defined():
+            keep = False  # pessimistic: an unknown comparison clears
+        if not keep:
+            self._set_trial_bit(self.phase, Logic.L0)
+        if self.phase == 0:
+            self._done_driver.set(Logic.L1)
+            self._track_driver.set(Logic.L1)
+            self.phase = self.bits
+        else:
+            self.phase -= 1
+            self._set_trial_bit(self.phase, Logic.L1)
+
+    def _set_trial_bit(self, index, value):
+        self._trial_drivers[index].set(value)
+
+    def state_signals(self):
+        return self.trial.state_map(prefix="trial")
+
+
+class SARADC(Component):
+    """Behavioural successive-approximation converter.
+
+    Conversion takes ``bits + 1`` clock cycles (sample + one trial per
+    bit).  The held node is injectable; a current pulse during the
+    trials shifts the comparisons of every remaining bit.
+
+    :ivar held: hold-capacitor :class:`CurrentNode` (analog target).
+    :ivar trial: SAR trial register (digital target).
+    :ivar output: registered conversion result.
+    """
+
+    def __init__(self, sim, name, clk, vin, bits=8, v_ref=5.0, c_hold=1e-12,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if bits < 2:
+            raise ElaborationError(f"sar adc {name}: bits must be >= 2")
+        self.bits = bits
+        self.v_ref = float(v_ref)
+        self.clk = clk
+        path = self.path
+
+        self.track = sim.signal(f"{path}.track", init=Logic.L1)
+        self.held = sim.current_node(f"{path}.held")
+        self.samplehold = SampleHold(
+            sim, "samplehold", vin, self.track, self.held, c_hold=c_hold,
+            parent=self,
+        )
+        self.trial = Bus(sim, f"{path}.trial", bits, init=0)
+        self.dac_node = sim.node(f"{path}.dac")
+        self.dac = IdealDAC(
+            sim, "dac", self.trial, self.dac_node, v_ref=v_ref, parent=self
+        )
+        self.comp_analog = sim.node(f"{path}.comp_a")
+        self.comparator = AnalogComparator(
+            sim, "comparator", self.held, self.dac_node, self.comp_analog,
+            v_high=5.0, v_low=0.0, parent=self,
+        )
+        self.comp = sim.signal(f"{path}.comp", init=Logic.L0)
+        self.comp_digitizer = Digitizer(
+            sim, "compdig", self.comp_analog, self.comp, threshold=2.5,
+            parent=self,
+        )
+        self.done = sim.signal(f"{path}.done", init=Logic.L0)
+        self.logic = SARLogic(
+            sim, "sarlogic", clk, self.comp, self.trial, self.track,
+            self.done, parent=self,
+        )
+        self.output = Bus(sim, f"{path}.out", bits, init=0)
+        self.register = Register(
+            sim, "register", self.trial, clk, self.output, en=self.done,
+            parent=self,
+        )
+
+    def ideal_code(self, volts):
+        """The code an ideal converter would produce for ``volts``."""
+        lsb = self.v_ref / (1 << self.bits)
+        code = int(volts / lsb)
+        return max(0, min((1 << self.bits) - 1, code))

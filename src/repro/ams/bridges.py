@@ -1,0 +1,89 @@
+"""Digital/analog boundary bridges.
+
+Mixed-mode simulation needs explicit conversion elements at the
+digital/analog frontier.  The A→D direction is the comparator
+:class:`~repro.analog.comparator.Digitizer` (the Figure 5 block named
+"Digitizer (Comparator, Threshold 2.5 V)"); this module adds the D→A
+direction and re-exports the digitizer for a complete bridge kit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+from ..core.logic import logic
+from ..analog.comparator import Digitizer
+
+__all__ = ["Digitizer", "LogicToVoltage", "BusToVoltage"]
+
+
+class LogicToVoltage(AnalogBlock):
+    """Drives an analog node from a digital signal.
+
+    Logic 1 maps to ``v_high``, 0 to ``v_low``, undefined levels to the
+    midpoint (an unknown driver floats to mid-rail behaviourally).  An
+    optional slew limit gives the edge a finite transition time.
+
+    :param inp: digital input signal.
+    :param out: analog output node.
+    :param slew: maximum dV/dt in V/s (None = instantaneous).
+    """
+
+    is_state = True
+
+    def __init__(self, sim, name, inp, out, v_high=5.0, v_low=0.0, slew=None,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.inp = inp
+        self.out = self.writes_node(out)
+        self.v_high = float(v_high)
+        self.v_low = float(v_low)
+        self.slew = float(slew) if slew is not None else None
+        self._v = None
+
+    def _target(self):
+        level = logic(self.inp.value)
+        if level.is_high():
+            return self.v_high
+        if level.is_low():
+            return self.v_low
+        return 0.5 * (self.v_high + self.v_low)
+
+    def step(self, t, dt):
+        target = self._target()
+        if self._v is None or self.slew is None:
+            self._v = target
+        elif dt > 0:
+            max_dv = self.slew * dt
+            delta = target - self._v
+            if abs(delta) > max_dv:
+                delta = math.copysign(max_dv, delta)
+            self._v += delta
+        self.out.set(self._v)
+
+
+class BusToVoltage(AnalogBlock):
+    """Drives an analog node from a digital bus (ideal DAC shorthand).
+
+    Unlike :class:`~repro.analog.dac.IdealDAC` this bridge maps an
+    undefined bus to mid-rail rather than holding, which is the right
+    pessimism when the bus is a *wire bundle* rather than a registered
+    DAC input.
+    """
+
+    def __init__(self, sim, name, bus, out, v_ref=5.0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if v_ref <= 0:
+            raise SimulationError(f"bridge {name}: v_ref must be positive")
+        self.bus = bus
+        self.out = self.writes_node(out)
+        self.v_ref = float(v_ref)
+
+    def step(self, t, dt):
+        code = self.bus.to_int_or_none()
+        if code is None:
+            self.out.set(0.5 * self.v_ref)
+        else:
+            self.out.set(self.v_ref * code / (1 << len(self.bus)))

@@ -1,0 +1,220 @@
+"""A delay-locked loop — the PLL's first-order sibling.
+
+A second mixed-signal case study assembled from the same substrate, at
+the same behavioural level as the Figure 5 PLL: a voltage-controlled
+delay line aligns a delayed copy of the reference clock with the *next*
+reference edge (delay = one period), driven by a sampling phase
+detector, a charge pump and a pure capacitive integrator.  The
+charge-pump output is again a :class:`~repro.core.node.CurrentNode`
+(``"<path>.icp"``), so the same saboteur campaign runs unchanged
+against a different loop topology — the point of the paper's *global*
+flow.
+
+A note on the phase detector: the PLL's three-state PFD cannot lock a
+DLL, because it accumulates the *total* delay rather than the error to
+one period (it pairs each delayed edge with the previous reference
+edge, so its up/down duty never nulls at delay = T).  Real DLLs use a
+phase-only detector; :class:`SamplingPhaseDetector` is its behavioural
+model — it pairs every delayed edge with the *nearest* reference edge
+and emits an UP/DOWN pulse whose width is the timing error, which the
+ordinary charge pump then integrates.
+
+Being first order, the DLL answers an injected charge with a pure
+delay (phase) step and an exponential recovery — none of the PLL's
+frequency excursion — so campaigns over the two case studies separate
+phase-sensitive from frequency-sensitive failure modes.
+"""
+
+from __future__ import annotations
+
+from ..analog.chargepump import ChargePump
+from ..analog.filters import TransimpedanceFilter
+from ..analog.lti import LTISystem
+from ..core.component import Component, DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, logic
+from ..core.units import parse_quantity
+from ..digital.clock import ClockGen
+
+
+class VoltageControlledDelayLine(DigitalComponent):
+    """Delays every edge of a digital input by a voltage-set interval.
+
+    ``delay = d0 + kdl * (vctrl - vcenter)``, clamped to
+    ``[d_min, d_max]``; the control node is sampled at each input
+    edge (the behavioural abstraction of a current-starved buffer
+    chain).
+
+    :param inp: input clock signal.
+    :param out: delayed output signal.
+    :param vctrl: control-voltage node.
+    :param d0: nominal delay at ``vcenter``.
+    :param kdl: delay gain in seconds per volt.
+    """
+
+    def __init__(self, sim, name, inp, out, vctrl, d0, kdl, vcenter=2.5,
+                 d_min=None, d_max=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.inp = inp
+        self.out = out
+        self.vctrl = vctrl
+        self.d0 = float(d0)
+        self.kdl = float(kdl)
+        self.vcenter = float(vcenter)
+        self.d_min = float(d_min) if d_min is not None else 0.1 * self.d0
+        self.d_max = float(d_max) if d_max is not None else 3.0 * self.d0
+        if self.d_min <= 0 or self.d_max <= self.d_min:
+            raise ElaborationError(
+                f"delay line {name}: need 0 < d_min < d_max"
+            )
+        self._driver = out.driver(owner=self)
+        self._driver.set(Logic.L0)
+        self.process(self._on_edge, sensitivity=[inp])
+
+    def current_delay(self):
+        """The delay in force for an edge arriving now."""
+        delay = self.d0 + self.kdl * (self.vctrl.v - self.vcenter)
+        return min(max(delay, self.d_min), self.d_max)
+
+    def _on_edge(self):
+        value = logic(self.inp.value)
+        if not value.is_defined():
+            return
+        level = Logic.L1 if value.is_high() else Logic.L0
+        self._driver.set(level, self.current_delay())
+
+
+class SamplingPhaseDetector(DigitalComponent):
+    """Phase-only detector for delay locking.
+
+    On every rising edge of ``delayed`` it measures the time since the
+    last ``ref`` rising edge.  If the delayed edge landed in the first
+    half of the reference period it is *late* (the loop delay exceeds
+    one period): a DOWN pulse of that width is emitted.  If it landed
+    in the second half it is *early*: an UP pulse as wide as the gap
+    to the upcoming reference edge is emitted.  Both widths null
+    exactly at delay = one period, so the charge pump integrates a
+    signed, proportional timing error — the behavioural equivalent of
+    a sample-and-compare phase detector.
+    """
+
+    def __init__(self, sim, name, ref, delayed, up, down, period,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if period <= 0:
+            raise ElaborationError(f"phase detector {name}: bad period")
+        self.ref = ref
+        self.delayed = delayed
+        self.period = float(period)
+        self._up_driver = up.driver(owner=self)
+        self._down_driver = down.driver(owner=self)
+        self._up_driver.set(Logic.L0)
+        self._down_driver.set(Logic.L0)
+        self._last_ref_rise = None
+        self.process(self._on_ref, sensitivity=[ref])
+        self.process(self._on_delayed, sensitivity=[delayed])
+
+    def _on_ref(self):
+        if self.ref.rose():
+            self._last_ref_rise = self.sim.now
+
+    def _on_delayed(self):
+        if not self.delayed.rose() or self._last_ref_rise is None:
+            return
+        since_ref = self.sim.now - self._last_ref_rise
+        # Normalise into one period (robust to a missed ref update in
+        # the same delta).
+        since_ref = since_ref % self.period
+        if since_ref <= 0.5 * self.period:
+            width = since_ref
+            driver = self._down_driver
+        else:
+            width = self.period - since_ref
+            driver = self._up_driver
+        if width <= 0:
+            return
+        driver.set(Logic.L1)
+        driver.set(Logic.L0, width)
+
+
+class DLL(Component):
+    """Behavioural delay-locked loop.
+
+    Locks the delay line to one reference period: the delayed clock's
+    rising edges align with the following reference edges.  The loop
+    is first order (pure capacitive integrator) with per-cycle gain
+    ``kdl * i_pump / c_loop`` — below 1 for the defaults, so the error
+    converges geometrically without overshoot.
+
+    :param f_ref: reference frequency (the delay locks to its period).
+    :param kdl: delay-line gain (s/V).
+    :param i_pump: charge-pump current.
+    :param c_loop: integrating loop capacitor.
+    :param d0_frac: initial/nominal delay as a fraction of the period
+        (in [0.55, 1) so the detector starts in its capture range and
+        pulls up towards lock).
+    """
+
+    def __init__(self, sim, name, f_ref="50MHz", kdl="20ns", i_pump="100uA",
+                 c_loop="64pF", vdd=5.0, d0_frac=0.75, ref=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.f_ref = parse_quantity(f_ref, expect_unit="Hz")
+        self.t_ref = 1.0 / self.f_ref
+        self.kdl = parse_quantity(kdl, expect_unit="s")
+        self.i_pump = parse_quantity(i_pump, expect_unit="A")
+        self.vdd = float(vdd)
+        self.c_loop = parse_quantity(c_loop, expect_unit="F")
+        if not 0.55 <= d0_frac < 1.0:
+            raise ElaborationError(
+                f"dll {name}: d0_frac must be in [0.55, 1)"
+            )
+        path = self.path
+
+        if ref is None:
+            self.ref = sim.signal(f"{path}.ref", init=Logic.L0)
+            self.refgen = ClockGen(sim, "refgen", self.ref,
+                                   period=self.t_ref, parent=self)
+        else:
+            self.ref = ref
+            self.refgen = None
+        self.delayed = sim.signal(f"{path}.delayed", init=Logic.L0)
+        self.up = sim.signal(f"{path}.up", init=Logic.L0)
+        self.down = sim.signal(f"{path}.down", init=Logic.L0)
+
+        #: Charge-pump output / loop capacitor: the injection target.
+        self.icp = sim.current_node(f"{path}.icp")
+        self.vctrl = sim.node(f"{path}.vctrl", init=vdd / 2.0)
+
+        self.delayline = VoltageControlledDelayLine(
+            sim, "delayline", self.ref, self.delayed, self.vctrl,
+            d0=d0_frac * self.t_ref, kdl=self.kdl, vcenter=vdd / 2.0,
+            d_min=0.55 * self.t_ref, d_max=1.45 * self.t_ref, parent=self,
+        )
+        self.detector = SamplingPhaseDetector(
+            sim, "detector", self.ref, self.delayed, self.up, self.down,
+            period=self.t_ref, parent=self,
+        )
+        self.chargepump = ChargePump(
+            sim, "chargepump", self.up, self.down, self.icp, self.i_pump,
+            parent=self,
+        )
+        integrator = LTISystem(a=[[0.0]], b=[[1.0 / self.c_loop]],
+                               c=[[1.0]], x0=[vdd / 2.0])
+        self.filter = TransimpedanceFilter(
+            sim, "filter", self.icp, self.vctrl, integrator,
+            v_min=0.0, v_max=vdd, parent=self,
+        )
+
+    @property
+    def loop_gain_per_cycle(self):
+        """Fraction of the timing error removed each reference cycle."""
+        return self.kdl * self.i_pump / self.c_loop
+
+    @property
+    def vctrl_locked(self):
+        """Control voltage at which the delay equals one period."""
+        return self.vdd / 2.0 + (self.t_ref - self.delayline.d0) / self.kdl
+
+    def delay_error(self):
+        """Instantaneous delay error vs one reference period (s)."""
+        return self.delayline.current_delay() - self.t_ref

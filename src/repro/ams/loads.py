@@ -1,0 +1,51 @@
+"""Digital load for the mixed-signal test case.
+
+The paper's complete circuit is a PLL "generating the clock signal of a
+digital block"; :class:`DigitalLoad` is that digital block — a small
+counter + LFSR datapath with a parity output.  Clocking it from the
+PLL's recovered clock closes the loop of the Section 5.2 discussion:
+one analog injection perturbs the clock for many cycles, and the
+monitored digital outputs reveal whether (and when) that translates
+into logic errors at the behavioural level.
+"""
+
+from __future__ import annotations
+
+from ..core.component import Component
+from ..core.logic import Logic
+from ..digital.bus import Bus
+from ..digital.counter import Counter
+from ..digital.lfsr import LFSR
+from ..digital.alu import ParityGen
+
+
+class DigitalLoad(Component):
+    """A counter + LFSR + parity datapath clocked externally.
+
+    :param clk: the (possibly PLL-generated) clock.
+    :param counter_bits: width of the cycle counter.
+    :param lfsr_bits: width of the pattern generator (must have default
+        maximal taps: 3,4,5,6,7,8,9,10,11,12,15,16).
+
+    :ivar count: counter state bus (injectable, observable).
+    :ivar pattern: LFSR state bus (injectable, observable).
+    :ivar parity: single-bit output combining the LFSR bits.
+    """
+
+    def __init__(self, sim, name, clk, counter_bits=8, lfsr_bits=8,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        path = self.path
+        self.clk = clk
+        self.count = Bus(sim, f"{path}.count", counter_bits, init=0)
+        self.counter = Counter(sim, "counter", clk, self.count, parent=self)
+        self.pattern = Bus(sim, f"{path}.pattern", lfsr_bits, init=1)
+        self.lfsr = LFSR(sim, "lfsr", clk, self.pattern, parent=self)
+        self.parity = sim.signal(f"{path}.parity", init=Logic.U)
+        self.paritygen = ParityGen(
+            sim, "paritygen", self.pattern, self.parity, parent=self
+        )
+
+    def snapshot(self):
+        """Current (count, pattern) integers, None bits when undefined."""
+        return self.count.to_int_or_none(), self.pattern.to_int_or_none()

@@ -1,0 +1,193 @@
+"""The paper's case-study PLL (Section 5, Figure 5).
+
+A behavioural phase-locked loop with the exact Figure 5 hierarchy::
+
+    F_in --> [ Sequential Phase-frequency Detector ] --> [ Charge Pump ]
+                      ^                                        |
+                      |                                   (current node:
+                  [ Divider ]                            INJECTION TARGET)
+                      ^                                        v
+                      |                                 [ Low-pass Filter ]
+                   F_out <-- [ Digitizer (2.5 V) ] <-- [ Analog VCO ]
+
+and the paper's operating point: 500 kHz input frequency, 20 ns output
+clock period (50 MHz), so a ÷100 feedback divider.  Each sub-block is
+specified at the behavioural level, like the frequency synthesizer of
+Antao et al. (paper reference [13]).
+
+The charge-pump output / filter input is a
+:class:`~repro.core.node.CurrentNode` named ``"<path>.icp"`` — the
+node where the paper inserts its saboteur.
+"""
+
+from __future__ import annotations
+
+from ..analog.chargepump import ChargePump
+from ..analog.comparator import Digitizer
+from ..analog.filters import TransimpedanceFilter, pi_loop_filter
+from ..analog.pfd import PFD
+from ..analog.vco import VCO
+from ..core.component import Component
+from ..core.errors import ElaborationError
+from ..core.logic import Logic
+from ..core.units import parse_quantity
+from ..digital.clock import ClockGen
+from ..digital.counter import ClockDivider
+
+
+class PLL(Component):
+    """Behavioural charge-pump PLL.
+
+    Default parameters give the paper's operating point with a loop
+    bandwidth near 25 kHz (crossover ``Ip * Kvco * R / N``), locking
+    well before the paper's 0.17 ms injection time.
+
+    :param f_ref: reference frequency (paper: 500 kHz).
+    :param n_div: feedback division ratio (paper: 100 -> 50 MHz out).
+    :param kvco: VCO gain in Hz/V.
+    :param i_pump: charge-pump current.
+    :param r, c1, c2: loop-filter elements (series R+C1 shunted by C2).
+    :param vdd: supply; the digitizer threshold is ``vdd/2`` (2.5 V).
+    :param ref: optional external reference signal; when None an
+        internal clock generator provides ``f_ref``.
+    :param preset_locked: start with the filter preset to the VCO
+        centre voltage and all phases aligned, so the loop is locked
+        from t=0 (campaign acceleration; the full acquisition can be
+        simulated by leaving this False).
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        f_ref="500kHz",
+        n_div=100,
+        kvco="10MHz",  # Hz per volt
+        i_pump="100uA",
+        r="15.7kOhm",
+        c1="1.62nF",
+        c2="80pF",
+        vdd=5.0,
+        f0=None,
+        ref=None,
+        preset_locked=False,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        self.f_ref = parse_quantity(f_ref, expect_unit="Hz")
+        self.n_div = int(n_div)
+        if self.n_div < 2:
+            raise ElaborationError(f"pll {name}: n_div must be >= 2")
+        self.kvco = parse_quantity(kvco)
+        self.i_pump = parse_quantity(i_pump, expect_unit="A")
+        self.vdd = float(vdd)
+        self.f_out_nominal = self.f_ref * self.n_div
+        self.f0 = parse_quantity(f0, expect_unit="Hz") if f0 is not None else self.f_out_nominal
+
+        r = parse_quantity(r)
+        c1 = parse_quantity(c1, expect_unit="F")
+        c2 = parse_quantity(c2, expect_unit="F")
+
+        path = self.path
+        # -- signals ------------------------------------------------------
+        if ref is None:
+            self.ref = sim.signal(f"{path}.ref", init=Logic.L0)
+            self.refgen = ClockGen(
+                sim, "refgen", self.ref, period=1.0 / self.f_ref, parent=self
+            )
+        else:
+            self.ref = ref
+            self.refgen = None
+        self.fb = sim.signal(f"{path}.fb", init=Logic.L0)
+        self.up = sim.signal(f"{path}.up", init=Logic.L0)
+        self.down = sim.signal(f"{path}.down", init=Logic.L0)
+        self.fout = sim.signal(f"{path}.fout", init=Logic.L0)
+
+        # -- nodes ----------------------------------------------------------
+        #: Charge-pump output / loop-filter input: the injection target.
+        self.icp = sim.current_node(f"{path}.icp")
+        self.vctrl = sim.node(f"{path}.vctrl", init=0.0)
+        self.vco_out = sim.node(f"{path}.vco_out", init=0.0)
+
+        # -- sub-blocks (Figure 5) ------------------------------------------
+        self.pfd = PFD(sim, "pfd", self.ref, self.fb, self.up, self.down,
+                       parent=self)
+        self.chargepump = ChargePump(
+            sim, "chargepump", self.up, self.down, self.icp, self.i_pump,
+            parent=self,
+        )
+        self.filter = TransimpedanceFilter(
+            sim,
+            "filter",
+            self.icp,
+            self.vctrl,
+            pi_loop_filter(r, c1, c2),
+            v_min=0.0,
+            v_max=self.vdd,
+            parent=self,
+        )
+        self.vco = VCO(
+            sim,
+            "vco",
+            self.vctrl,
+            self.vco_out,
+            f0=self.f0,
+            kvco=self.kvco,
+            vcenter=self.vdd / 2.0,
+            v_high=self.vdd,
+            v_low=0.0,
+            parent=self,
+        )
+        self.digitizer = Digitizer(
+            sim, "digitizer", self.vco_out, self.fout,
+            threshold=self.vdd / 2.0, parent=self,
+        )
+        self.divider = ClockDivider(
+            sim, "divider", self.fout, self.fb, n=self.n_div, parent=self
+        )
+
+        if preset_locked:
+            self.preset_locked()
+
+    # -- operating-point helpers --------------------------------------------
+
+    @property
+    def vctrl_locked(self):
+        """Control voltage at which the VCO outputs the nominal clock."""
+        return self.vdd / 2.0 + (self.f_out_nominal - self.f0) / self.kvco
+
+    @property
+    def t_out_nominal(self):
+        """Nominal output clock period (paper: 20 ns)."""
+        return 1.0 / self.f_out_nominal
+
+    def preset_locked(self):
+        """Preset loop state to the locked operating point.
+
+        The filter capacitors are charged to the locked control
+        voltage and the VCO phase starts at zero, aligned with the
+        reference generator's first edge — the loop then holds lock
+        from t=0 instead of spending tens of microseconds acquiring.
+        """
+        self.filter.preset(self.vctrl_locked)
+        self.vco.phase = 0.0
+        self.vco._u_prev = self.vctrl_locked
+
+    def loop_crossover_hz(self):
+        """Approximate open-loop unity-gain frequency in Hz.
+
+        ``f_c = Ip * Kvco * R / (2*pi*N)`` — the standard charge-pump
+        PLL crossover with the stabilising zero below it.
+        """
+        import math
+
+        r = self._filter_r()
+        return self.i_pump * self.kvco * r / (2.0 * math.pi * self.n_div)
+
+    def _filter_r(self):
+        # Recover R from the state-space matrices: A[1][0] = 1/(R*C1),
+        # B[0][0] = 1/C2, A[0][0] = -1/(R*C2).
+        a = self.filter.system.a
+        b = self.filter.system.b
+        c2 = 1.0 / b[0][0]
+        return -1.0 / (a[0][0] * c2)

@@ -1,0 +1,54 @@
+"""Analog substrate: behavioural blocks, sources, filters, converters."""
+
+from .blocks import TrackedInputBlock, clamp
+from .chargepump import ChargePump
+from .comparator import AnalogComparator, Digitizer, WindowComparator
+from .dac import IdealDAC, ResistorLadder
+from .filters import (
+    TransimpedanceFilter,
+    VoltageFilter,
+    pi_loop_filter,
+    rc_transimpedance,
+)
+from .lti import LTISystem, integrator, single_pole
+from .opamp import OpAmp, UnityBuffer
+from .pfd import PFD
+from .samplehold import SampleHold
+from .sources import (
+    DCCurrent,
+    DCVoltage,
+    PulseVoltage,
+    PWLVoltage,
+    SineVoltage,
+    WaveformCurrent,
+)
+from .vco import VCO
+
+__all__ = [
+    "AnalogComparator",
+    "ChargePump",
+    "DCCurrent",
+    "DCVoltage",
+    "Digitizer",
+    "IdealDAC",
+    "LTISystem",
+    "OpAmp",
+    "PFD",
+    "PWLVoltage",
+    "PulseVoltage",
+    "ResistorLadder",
+    "SampleHold",
+    "SineVoltage",
+    "TrackedInputBlock",
+    "TransimpedanceFilter",
+    "UnityBuffer",
+    "VCO",
+    "VoltageFilter",
+    "WaveformCurrent",
+    "WindowComparator",
+    "clamp",
+    "integrator",
+    "pi_loop_filter",
+    "rc_transimpedance",
+    "single_pole",
+]

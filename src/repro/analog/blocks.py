@@ -1,0 +1,36 @@
+"""Shared behavioural-block helpers for the analog substrate."""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock
+
+
+class TrackedInputBlock(AnalogBlock):
+    """An analog block that remembers its previous-step input.
+
+    Many behavioural models integrate their input over the elapsed
+    step; the trapezoidal average of the previous and current input
+    value gives second-order accuracy without a solver change.  This
+    base class maintains that one-sample history.
+    """
+
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self._u_prev = None
+
+    def trapezoid_input(self, u_now):
+        """Average of the previous and current input (init: current)."""
+        if self._u_prev is None:
+            self._u_prev = u_now
+        avg = 0.5 * (self._u_prev + u_now)
+        self._u_prev = u_now
+        return avg
+
+
+def clamp(value, lo, hi):
+    """Clip ``value`` into ``[lo, hi]``."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value

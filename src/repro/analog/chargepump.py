@@ -1,0 +1,49 @@
+"""Charge pump.
+
+Converts the phase-frequency detector's UP/DOWN pulses into current
+sourced into / sunk from the loop-filter input node.  Because the
+filter input is a :class:`~repro.core.node.CurrentNode`, the pump's
+contribution and the saboteur's injected SEU pulse superpose naturally
+— exactly the paper's injection site "at the input of the low-pass
+filter (i.e., at the output of the charge pump)".
+"""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+from ..core.logic import logic
+from ..core.node import as_current_node
+
+
+class ChargePump(AnalogBlock):
+    """UP/DOWN-controlled current source.
+
+    :param up: digital UP signal (source ``i_pump`` into the node).
+    :param down: digital DOWN signal (sink ``i_pump`` from the node).
+    :param out: the loop-filter input :class:`CurrentNode`.
+    :param i_pump: pump current magnitude in amperes.
+    :param mismatch: fractional source/sink mismatch; the source side
+        delivers ``i_pump * (1 + mismatch)`` — a standard analog
+        non-ideality available for parametric fault experiments.
+    """
+
+    def __init__(self, sim, name, up, down, out, i_pump, mismatch=0.0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if i_pump <= 0:
+            raise SimulationError(f"charge pump {name}: i_pump must be positive")
+        self.up = up
+        self.down = down
+        self.out = self.writes_node(as_current_node(out))
+        self.i_pump = float(i_pump)
+        self.mismatch = float(mismatch)
+
+    def step(self, t, dt):
+        current = 0.0
+        if logic(self.up.value).is_high():
+            current += self.i_pump * (1.0 + self.mismatch)
+        if logic(self.down.value).is_high():
+            current -= self.i_pump
+        if current:
+            self.out.add_current(current, source=self.path)

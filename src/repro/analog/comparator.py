@@ -1,0 +1,109 @@
+"""Comparators and the analog-to-digital "digitizer" bridge.
+
+The Figure 5 PLL converts the VCO's analog output into the digital
+clock with a comparator against a 2.5 V threshold; :class:`Digitizer`
+is that block.  It watches an analog node every solver step and drives
+a digital signal — the fundamental A→D bridge of the mixed-mode flow.
+Edge times are quantised to the analog step; sub-step-accurate edge
+times for *measurements* come from interpolating the probed analog
+waveform instead (see :mod:`repro.analysis.measurements`).
+"""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+from ..core.logic import Logic
+
+
+class Digitizer(AnalogBlock):
+    """Threshold comparator from an analog node to a digital signal.
+
+    :param inp: analog input node.
+    :param out: digital output signal.
+    :param threshold: switching threshold in volts (paper: 2.5 V).
+    :param hysteresis: total hysteresis width in volts; the rising
+        threshold is ``threshold + hysteresis/2`` and the falling one
+        ``threshold - hysteresis/2``, suppressing chatter on slow or
+        noisy inputs.
+    """
+
+    def __init__(self, sim, name, inp, out, threshold=2.5, hysteresis=0.0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if hysteresis < 0:
+            raise SimulationError(f"digitizer {name}: negative hysteresis")
+        self.inp = self.reads_node(inp)
+        self.out = out
+        self.threshold = float(threshold)
+        self.hysteresis = float(hysteresis)
+        self._driver = out.driver(owner=self)
+        self._state = None
+        self.transitions = 0
+
+    def step(self, t, dt):
+        v = self.inp.v
+        rise_at = self.threshold + 0.5 * self.hysteresis
+        fall_at = self.threshold - 0.5 * self.hysteresis
+        if self._state is None:
+            self._state = v >= self.threshold
+            self._driver.set(Logic.L1 if self._state else Logic.L0)
+            return
+        if not self._state and v >= rise_at:
+            self._state = True
+            self.transitions += 1
+            self._driver.set(Logic.L1)
+        elif self._state and v <= fall_at:
+            self._state = False
+            self.transitions += 1
+            self._driver.set(Logic.L0)
+
+
+class AnalogComparator(AnalogBlock):
+    """Two-input analog comparator with an analog output level.
+
+    Output swings between ``v_low`` and ``v_high`` depending on the
+    sign of ``(plus - minus)``, with optional input-referred offset —
+    the building block of the flash ADC, where the offset is also a
+    parametric-fault target.
+    """
+
+    def __init__(self, sim, name, plus, minus, out, v_high=5.0, v_low=0.0,
+                 offset=0.0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.plus = self.reads_node(plus)
+        self.minus = self.reads_node(minus)
+        self.out = self.writes_node(out)
+        self.v_high = float(v_high)
+        self.v_low = float(v_low)
+        self.offset = float(offset)
+
+    def step(self, t, dt):
+        diff = (self.plus.v + self.offset) - self.minus.v
+        self.out.set(self.v_high if diff >= 0 else self.v_low)
+
+
+class WindowComparator(AnalogBlock):
+    """Asserts its digital output while the input is inside a window.
+
+    Useful as an on-line assertion monitor: e.g. flag whenever the VCO
+    control voltage leaves its locked band during a campaign.
+    """
+
+    def __init__(self, sim, name, inp, out, lo, hi, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if hi <= lo:
+            raise SimulationError(f"window comparator {name}: hi <= lo")
+        self.inp = self.reads_node(inp)
+        self.out = out
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self._driver = out.driver(owner=self)
+        self._driver.set(Logic.L0)
+        self._inside = None
+
+    def step(self, t, dt):
+        inside = self.lo <= self.inp.v <= self.hi
+        if inside != self._inside:
+            self._inside = inside
+            self._driver.set(Logic.L1 if inside else Logic.L0)

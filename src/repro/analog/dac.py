@@ -1,0 +1,101 @@
+"""Digital-to-analog converters (D→A bridges).
+
+:class:`IdealDAC` converts a digital bus into a node voltage — the
+basic digital-to-analog bridge of the mixed-mode flow, and the feedback
+element of the SAR ADC assembly.  An undefined input bus (e.g. after a
+bit-flip poisoned a register) drives the *last valid* output, matching
+the hold behaviour of a real switched-capacitor DAC whose switches
+simply keep their previous command.
+"""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+
+
+class IdealDAC(AnalogBlock):
+    """Unsigned binary DAC: ``v = v_ref * code / 2**width``.
+
+    :param bus: input :class:`~repro.digital.bus.Bus` (LSB first).
+    :param out: output node.
+    :param v_ref: full-scale reference voltage.
+    :param settle_hz: optional single-pole settling bandwidth; None
+        switches instantly (ideal).
+    """
+
+    is_state = True
+
+    def __init__(self, sim, name, bus, out, v_ref=5.0, settle_hz=None,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if v_ref <= 0:
+            raise SimulationError(f"dac {name}: v_ref must be positive")
+        self.bus = bus
+        self.out = self.writes_node(out)
+        self.v_ref = float(v_ref)
+        self.settle_hz = float(settle_hz) if settle_hz is not None else None
+        self.levels = 1 << len(bus)
+        self._v = 0.0
+        self._last_code = 0
+
+    def target_voltage(self):
+        """Voltage commanded by the current bus code."""
+        code = self.bus.to_int_or_none()
+        if code is None:
+            code = self._last_code
+        else:
+            self._last_code = code
+        return self.v_ref * code / self.levels
+
+    def step(self, t, dt):
+        import math
+
+        target = self.target_voltage()
+        if self.settle_hz is None or dt <= 0:
+            self._v = target
+        else:
+            alpha = 1.0 - math.exp(-2.0 * math.pi * self.settle_hz * dt)
+            self._v += (target - self._v) * alpha
+        self.out.set(self._v)
+
+
+class ResistorLadder(AnalogBlock):
+    """A tapped resistor ladder producing ``n_taps`` reference levels.
+
+    The reference network of the flash ADC.  Per-tap deviations model
+    resistor mismatch (parametric faults); the taps are plain voltage
+    nodes created by the ladder itself.
+
+    :param v_top, v_bottom: rail voltages.
+    :param n_taps: number of intermediate taps.
+    :param deviations: optional per-tap additive errors in volts.
+    """
+
+    def __init__(self, sim, name, n_taps, v_top=5.0, v_bottom=0.0,
+                 deviations=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if n_taps < 1:
+            raise SimulationError(f"ladder {name}: need at least one tap")
+        self.v_top = float(v_top)
+        self.v_bottom = float(v_bottom)
+        self.deviations = list(deviations) if deviations is not None else [0.0] * n_taps
+        if len(self.deviations) != n_taps:
+            raise SimulationError(
+                f"ladder {name}: {len(self.deviations)} deviations for "
+                f"{n_taps} taps"
+            )
+        self.taps = []
+        for i in range(n_taps):
+            node = sim.node(f"{self.path}.tap{i}")
+            self.writes_node(node)
+            self.taps.append(node)
+
+    def nominal_tap_voltage(self, index):
+        """Ideal voltage of tap ``index`` (0 = lowest)."""
+        n = len(self.taps)
+        return self.v_bottom + (self.v_top - self.v_bottom) * (index + 1) / (n + 1)
+
+    def step(self, t, dt):
+        for i, node in enumerate(self.taps):
+            node.set(self.nominal_tap_voltage(i) + self.deviations[i])

@@ -1,0 +1,135 @@
+"""Behavioural loop filters.
+
+The paper injects its current pulse "at the input of the low-pass
+filter (i.e., at the output of the charge pump)" — so the filter input
+is a :class:`~repro.core.node.CurrentNode` and the filter is a
+*transimpedance* LTI block: current in, control voltage out.  Two
+classic charge-pump PLL filters are provided, both built on the exact
+ZOH state-space integrator of :mod:`repro.analog.lti`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.node import as_current_node
+from .blocks import TrackedInputBlock, clamp
+from .lti import LTISystem
+
+
+class TransimpedanceFilter(TrackedInputBlock):
+    """A linear filter from a node current to a node voltage.
+
+    :param input_node: :class:`CurrentNode` whose summed current is the
+        filter input.
+    :param output_node: voltage node receiving the filter output.
+    :param system: the :class:`~repro.analog.lti.LTISystem` (1 input,
+        1 output).
+    :param v_min, v_max: optional output clamp (supply rails).
+    """
+
+    is_state = True
+
+    def __init__(
+        self,
+        sim,
+        name,
+        input_node,
+        output_node,
+        system,
+        v_min=None,
+        v_max=None,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        if system.n_inputs != 1:
+            raise SimulationError(f"filter {name}: system must have one input")
+        self.input_node = self.reads_node(as_current_node(input_node))
+        self.output_node = self.writes_node(output_node)
+        self.system = system
+        self.v_min = v_min
+        self.v_max = v_max
+
+    def step(self, t, dt):
+        i_avg = self.trapezoid_input(self.input_node.i)
+        y = float(self.system.step([i_avg], dt)[0])
+        if self.v_min is not None or self.v_max is not None:
+            lo = self.v_min if self.v_min is not None else -np.inf
+            hi = self.v_max if self.v_max is not None else np.inf
+            clamped = clamp(y, lo, hi)
+            if clamped != y:
+                # Anti-windup: pull the dominant state back to the rail
+                # so the filter does not integrate beyond the supply.
+                self._saturate_state(clamped)
+                y = clamped
+        self.output_node.set(y)
+
+    def _saturate_state(self, level):
+        # Scale states so the output equals the clamp level; exact for
+        # single-state filters, a good behavioural approximation for
+        # the two-state PI filter where both states ride together.
+        current = float(self.system.output([0.0])[0])
+        if current != 0:
+            self.system.x = self.system.x * (level / current)
+
+    def preset(self, volts):
+        """Preset the filter output to ``volts`` (locked-start support).
+
+        Sets every state so the unforced output equals ``volts`` —
+        for the PI filter this puts the full charge on both capacitors,
+        the steady-state configuration at lock.
+        """
+        self.system.x = np.full(self.system.n_states, float(volts))
+        self.output_node.set(volts)
+        self._u_prev = 0.0
+
+
+def rc_transimpedance(r_ohms, c_farads, x0=None):
+    """Parallel R // C driven by a current: ``V(s)/I(s) = R/(1+sRC)``."""
+    if r_ohms <= 0 or c_farads <= 0:
+        raise SimulationError("R and C must be positive")
+    a = [[-1.0 / (r_ohms * c_farads)]]
+    b = [[1.0 / c_farads]]
+    return LTISystem(a=a, b=b, c=[[1.0]], x0=x0)
+
+
+def pi_loop_filter(r_ohms, c1_farads, c2_farads, x0=None):
+    """Classic charge-pump PLL filter: series R+C1, shunted by C2.
+
+    The input current splits between C2 and the R-C1 branch::
+
+        i = C2*dv2/dt + (v2 - v1)/R
+        C1*dv1/dt = (v2 - v1)/R
+
+    State vector ``[v2, v1]`` (v2 = output/control voltage, v1 = C1
+    voltage).  ``Z(s) = (1 + sRC1) / (s(C1 + C2)(1 + sR*C1C2/(C1+C2)))``
+    — a pure integrator plus a stabilising zero, which is what gives
+    the charge-pump PLL its unlimited pull-in range.
+    """
+    if min(r_ohms, c1_farads, c2_farads) <= 0:
+        raise SimulationError("R, C1 and C2 must be positive")
+    a = [
+        [-1.0 / (r_ohms * c2_farads), 1.0 / (r_ohms * c2_farads)],
+        [1.0 / (r_ohms * c1_farads), -1.0 / (r_ohms * c1_farads)],
+    ]
+    b = [[1.0 / c2_farads], [0.0]]
+    return LTISystem(a=a, b=b, c=[[1.0, 0.0]], x0=x0)
+
+
+class VoltageFilter(TrackedInputBlock):
+    """A linear filter from a node voltage to a node voltage."""
+
+    is_state = True
+
+    def __init__(self, sim, name, input_node, output_node, system, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if system.n_inputs != 1:
+            raise SimulationError(f"filter {name}: system must have one input")
+        self.input_node = self.reads_node(input_node)
+        self.output_node = self.writes_node(output_node)
+        self.system = system
+
+    def step(self, t, dt):
+        v_avg = self.trapezoid_input(self.input_node.v)
+        self.output_node.set(float(self.system.step([v_avg], dt)[0]))

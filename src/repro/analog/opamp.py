@@ -1,0 +1,114 @@
+"""Behavioural operational amplifier.
+
+A single-pole op-amp model with finite gain, slew-rate limiting and
+output saturation — the behavioural abstraction used by reference [10]
+of the paper (VHDL-AMS op-amp fault modelling).  Its parameters (gain,
+pole, slew, offset) are the targets of *parametric* fault injection,
+the alternative analog fault model the paper contrasts with its
+transient current pulses.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import SimulationError
+from .blocks import TrackedInputBlock, clamp
+
+
+class OpAmp(TrackedInputBlock):
+    """Single-pole behavioural op-amp.
+
+    The differential input ``(plus - minus + offset)`` is amplified by
+    ``gain`` through a first-order pole at ``pole_hz``, then limited by
+    slew rate and output saturation::
+
+        dv/dt = clamp(2*pi*pole*(gain*vin - v), -slew, +slew)
+        vout  = clamp(v, v_low, v_high)
+
+    :param plus, minus: input nodes.
+    :param out: output node.
+    :param gain: DC open-loop gain (V/V).
+    :param pole_hz: dominant pole frequency.
+    :param slew: slew-rate limit in V/s (None = unlimited).
+    :param v_low, v_high: output saturation rails.
+    :param offset: input-referred offset voltage.
+    """
+
+    is_state = True
+
+    def __init__(
+        self,
+        sim,
+        name,
+        plus,
+        minus,
+        out,
+        gain=1e5,
+        pole_hz=10.0,
+        slew=None,
+        v_low=0.0,
+        v_high=5.0,
+        offset=0.0,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        if gain <= 0 or pole_hz <= 0:
+            raise SimulationError(f"opamp {name}: gain and pole must be positive")
+        self.plus = self.reads_node(plus)
+        self.minus = self.reads_node(minus)
+        self.out = self.writes_node(out)
+        self.gain = float(gain)
+        self.pole_hz = float(pole_hz)
+        self.slew = float(slew) if slew is not None else None
+        self.v_low = float(v_low)
+        self.v_high = float(v_high)
+        self.offset = float(offset)
+        self._v = 0.5 * (v_low + v_high)
+
+    def step(self, t, dt):
+        import math
+
+        vin = self.plus.v - self.minus.v + self.offset
+        target = self.gain * vin
+        if dt > 0:
+            # Exact first-order relaxation toward the target, then
+            # slew-limit the resulting excursion.
+            alpha = 1.0 - math.exp(-2.0 * math.pi * self.pole_hz * dt)
+            dv = (target - self._v) * alpha
+            if self.slew is not None:
+                dv = clamp(dv, -self.slew * dt, self.slew * dt)
+            self._v += dv
+            self._v = clamp(self._v, self.v_low, self.v_high)
+        self.out.set(self._v)
+
+
+class UnityBuffer(TrackedInputBlock):
+    """A unity-gain buffer with bandwidth and slew limits.
+
+    Behavioural shorthand for an op-amp in follower configuration,
+    used to isolate the loop-filter node from capacitive loads.
+    """
+
+    is_state = True
+
+    def __init__(self, sim, name, inp, out, bandwidth_hz=1e9, slew=None,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.inp = self.reads_node(inp)
+        self.out = self.writes_node(out)
+        self.bandwidth_hz = float(bandwidth_hz)
+        self.slew = float(slew) if slew is not None else None
+        self._v = None
+
+    def step(self, t, dt):
+        import math
+
+        target = self.inp.v
+        if self._v is None:
+            self._v = target
+        if dt > 0:
+            alpha = 1.0 - math.exp(-2.0 * math.pi * self.bandwidth_hz * dt)
+            dv = (target - self._v) * alpha
+            if self.slew is not None:
+                dv = clamp(dv, -self.slew * dt, self.slew * dt)
+            self._v += dv
+        self.out.set(self._v)

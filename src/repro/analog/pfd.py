@@ -1,0 +1,67 @@
+"""Sequential phase-frequency detector.
+
+The textbook dual-flip-flop PFD used by the Figure 5 PLL: a rising
+reference edge asserts UP, a rising feedback edge asserts DOWN, and as
+soon as both are asserted an AND gate resets both.  It is a *digital*
+component (the paper's PLL mixes behavioural digital and analog
+sub-blocks), and both state flops are injectable SEU targets.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.logic import Logic, logic
+
+
+class PFD(DigitalComponent):
+    """Dual-DFF sequential phase-frequency detector.
+
+    :param ref: reference clock input (rising edges).
+    :param fb: feedback clock input (rising edges).
+    :param up: UP output (drives the charge-pump source switch).
+    :param down: DOWN output (drives the charge-pump sink switch).
+    :param reset_delay: delay of the reset path in seconds; a non-zero
+        value reproduces the anti-dead-zone pulse of real PFDs.
+    """
+
+    def __init__(self, sim, name, ref, fb, up, down, reset_delay=0.0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.ref = ref
+        self.fb = fb
+        self.up = up
+        self.down = down
+        self.reset_delay = reset_delay
+        self._up_driver = up.driver(owner=self)
+        self._down_driver = down.driver(owner=self)
+        self._up_driver.set(Logic.L0)
+        self._down_driver.set(Logic.L0)
+        self._reset_pending = False
+        self.process(self._on_ref, sensitivity=[ref])
+        self.process(self._on_fb, sensitivity=[fb])
+        self.process(self._check_reset, sensitivity=[up, down])
+
+    def _on_ref(self):
+        if self.ref.rose():
+            self._up_driver.set(Logic.L1)
+
+    def _on_fb(self):
+        if self.fb.rose():
+            self._down_driver.set(Logic.L1)
+
+    def _check_reset(self):
+        if (
+            logic(self.up.value).is_high()
+            and logic(self.down.value).is_high()
+            and not self._reset_pending
+        ):
+            self._reset_pending = True
+            self.sim.schedule(self.reset_delay, self._do_reset)
+
+    def _do_reset(self):
+        self._reset_pending = False
+        self._up_driver.set(Logic.L0)
+        self._down_driver.set(Logic.L0)
+
+    def state_signals(self):
+        return {"up": self.up, "down": self.down}

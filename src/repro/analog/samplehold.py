@@ -1,0 +1,56 @@
+"""Sample-and-hold.
+
+Front end of the SAR ADC assembly: tracks the analog input while the
+sample clock is high and holds the value while low.  The held node is
+a :class:`CurrentNode` so a particle strike on the hold capacitor can
+be injected as a current pulse — droop on the cap is then ``Q/C_hold``,
+one of the classic ADC soft-error mechanisms analysed in reference [9]
+of the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+from ..core.logic import logic
+from ..core.node import CurrentNode
+
+
+class SampleHold(AnalogBlock):
+    """Track-and-hold with a finite hold capacitor.
+
+    :param inp: analog input node.
+    :param clk: digital sample clock (track while high).
+    :param out: output node.  When it is a :class:`CurrentNode`, any
+        injected current integrates onto the hold capacitor during the
+        hold phase (``dv = i*dt/c_hold``).
+    :param c_hold: hold capacitance in farads.
+    :param droop: hold-mode droop rate in V/s (leakage), signed.
+    """
+
+    is_state = True
+
+    def __init__(self, sim, name, inp, clk, out, c_hold=1e-12, droop=0.0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if c_hold <= 0:
+            raise SimulationError(f"samplehold {name}: c_hold must be positive")
+        self.inp = self.reads_node(inp)
+        self.clk = clk
+        self.out = self.writes_node(out)
+        self.c_hold = float(c_hold)
+        self.droop = float(droop)
+        self._held = None
+
+    def step(self, t, dt):
+        tracking = logic(self.clk.value).is_high()
+        if self._held is None:
+            self._held = self.inp.v
+        if tracking:
+            self._held = self.inp.v
+        else:
+            self._held += self.droop * dt
+            if isinstance(self.out, CurrentNode) and dt > 0:
+                # Injected charge disturbs the held value.
+                self._held += self.out.i * dt / self.c_hold
+        self.out.set(self._held)

@@ -1,0 +1,141 @@
+"""Analog stimulus sources.
+
+Voltage sources drive a voltage node; current sources superpose onto a
+:class:`~repro.core.node.CurrentNode` — the same mechanism the
+fault-injection saboteur uses, so a source can double as a disturbance
+generator in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.component import AnalogBlock
+from ..core.errors import SimulationError
+
+
+class DCVoltage(AnalogBlock):
+    """A constant voltage on a node."""
+
+    def __init__(self, sim, name, node, volts, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.node = self.writes_node(node)
+        self.volts = float(volts)
+
+    def step(self, t, dt):
+        self.node.set(self.volts)
+
+
+class SineVoltage(AnalogBlock):
+    """``offset + amplitude * sin(2*pi*freq*t + phase)`` on a node."""
+
+    def __init__(self, sim, name, node, amplitude, freq, offset=0.0, phase=0.0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.node = self.writes_node(node)
+        self.amplitude = float(amplitude)
+        self.freq = float(freq)
+        self.offset = float(offset)
+        self.phase = float(phase)
+
+    def step(self, t, dt):
+        self.node.set(
+            self.offset
+            + self.amplitude * math.sin(2.0 * math.pi * self.freq * t + self.phase)
+        )
+
+
+class PWLVoltage(AnalogBlock):
+    """Piecewise-linear voltage defined by ``(time, volts)`` breakpoints.
+
+    Values before the first and after the last breakpoint hold flat.
+    """
+
+    def __init__(self, sim, name, node, points, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if not points:
+            raise SimulationError(f"pwl source {name}: needs breakpoints")
+        times = [p[0] for p in points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise SimulationError(
+                f"pwl source {name}: breakpoint times must be non-decreasing"
+            )
+        self.node = self.writes_node(node)
+        self._times = np.asarray(times, dtype=float)
+        self._values = np.asarray([p[1] for p in points], dtype=float)
+
+    def step(self, t, dt):
+        self.node.set(float(np.interp(t, self._times, self._values)))
+
+
+class PulseVoltage(AnalogBlock):
+    """A periodic trapezoidal voltage pulse train (SPICE PULSE-like).
+
+    :param v1: base level; :param v2: pulse level.
+    :param delay: time of the first leading edge.
+    :param rise, fall: edge times; :param width: flat-top duration.
+    :param period: repetition period (None = single pulse).
+    """
+
+    def __init__(self, sim, name, node, v1, v2, delay, rise, fall, width,
+                 period=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.node = self.writes_node(node)
+        self.v1, self.v2 = float(v1), float(v2)
+        self.delay = float(delay)
+        self.rise, self.fall = float(rise), float(fall)
+        self.width = float(width)
+        self.period = float(period) if period is not None else None
+
+    def _level(self, t):
+        t = t - self.delay
+        if self.period is not None and t >= 0:
+            t = math.fmod(t, self.period)
+        if t < 0:
+            return self.v1
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * (t / self.rise if self.rise else 1.0)
+        t -= self.rise
+        if t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * (t / self.fall if self.fall else 1.0)
+        return self.v1
+
+    def step(self, t, dt):
+        self.node.set(self._level(t))
+
+
+class DCCurrent(AnalogBlock):
+    """A constant current into a current node."""
+
+    def __init__(self, sim, name, node, amps, parent=None):
+        super().__init__(sim, name, parent=parent)
+        from ..core.node import as_current_node
+
+        self.node = self.writes_node(as_current_node(node))
+        self.amps = float(amps)
+
+    def step(self, t, dt):
+        self.node.add_current(self.amps, source=self.path)
+
+
+class WaveformCurrent(AnalogBlock):
+    """A current defined by an arbitrary function ``i(t)``.
+
+    The general form behind both pulse fault models: the trapezoid and
+    the double exponential are just particular ``i(t)`` shapes.
+    """
+
+    def __init__(self, sim, name, node, fn, parent=None):
+        super().__init__(sim, name, parent=parent)
+        from ..core.node import as_current_node
+
+        self.node = self.writes_node(as_current_node(node))
+        self.fn = fn
+
+    def step(self, t, dt):
+        self.node.add_current(float(self.fn(t)), source=self.path)

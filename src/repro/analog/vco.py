@@ -1,0 +1,95 @@
+"""Voltage-controlled oscillator.
+
+A behavioural VCO integrating its instantaneous frequency
+
+.. math:: f(t) = f_0 + K_{vco} (v_{ctrl}(t) - v_{center})
+
+into a phase accumulator every solver step (trapezoidal in the control
+voltage), and producing a sinusoidal output swinging across the supply.
+The sine shape matters for analysis fidelity: linear interpolation of
+the probed output recovers threshold-crossing times with sub-timestep
+resolution, which is how the clock-period perturbation measurements of
+Figures 6–8 reach picosecond accuracy on a nanosecond solver step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import SimulationError
+from .blocks import TrackedInputBlock, clamp
+
+
+class VCO(TrackedInputBlock):
+    """Behavioural VCO.
+
+    :param vctrl: control-voltage input node.
+    :param out: output voltage node.
+    :param f0: free-running frequency at ``vcenter`` (Hz).
+    :param kvco: gain in Hz per volt.
+    :param vcenter: control voltage giving ``f0``.
+    :param f_min, f_max: frequency clamp (default 1 kHz .. 10*f0),
+        modelling the finite tuning range of a real oscillator.
+    :param v_high, v_low: output swing rails (default 5 V / 0 V).
+    :param waveform: ``"sine"`` (default) or ``"square"``.
+    """
+
+    is_state = True
+
+    def __init__(
+        self,
+        sim,
+        name,
+        vctrl,
+        out,
+        f0,
+        kvco,
+        vcenter=2.5,
+        f_min=None,
+        f_max=None,
+        v_high=5.0,
+        v_low=0.0,
+        waveform="sine",
+        phase0=0.0,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        if f0 <= 0:
+            raise SimulationError(f"vco {name}: f0 must be positive")
+        if waveform not in ("sine", "square"):
+            raise SimulationError(f"vco {name}: unknown waveform {waveform!r}")
+        self.vctrl = self.reads_node(vctrl)
+        self.out = self.writes_node(out)
+        self.f0 = float(f0)
+        self.kvco = float(kvco)
+        self.vcenter = float(vcenter)
+        self.f_min = float(f_min) if f_min is not None else 1e3
+        self.f_max = float(f_max) if f_max is not None else 10.0 * f0
+        self.v_high = float(v_high)
+        self.v_low = float(v_low)
+        self.waveform = waveform
+        #: Phase in *cycles* (not radians) for numeric robustness over
+        #: millions of cycles.
+        self.phase = float(phase0)
+        self.freq = self.frequency_of(vctrl.v)
+
+    def frequency_of(self, vctrl_volts):
+        """Instantaneous frequency for a control voltage, with clamp."""
+        f = self.f0 + self.kvco * (vctrl_volts - self.vcenter)
+        return clamp(f, self.f_min, self.f_max)
+
+    def step(self, t, dt):
+        v_avg = self.trapezoid_input(self.vctrl.v)
+        self.freq = self.frequency_of(v_avg)
+        self.phase += self.freq * dt
+        # Keep the accumulator small; the fractional part carries all
+        # the waveform information.
+        if self.phase > 1e6:
+            self.phase -= math.floor(self.phase)
+        frac = self.phase - math.floor(self.phase)
+        mid = 0.5 * (self.v_high + self.v_low)
+        amp = 0.5 * (self.v_high - self.v_low)
+        if self.waveform == "sine":
+            self.out.set(mid + amp * math.sin(2.0 * math.pi * frac))
+        else:
+            self.out.set(self.v_high if frac < 0.5 else self.v_low)

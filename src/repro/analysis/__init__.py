@@ -1,0 +1,64 @@
+"""Result analysis: measurements, perturbation metrics, sweeps."""
+
+from .jitter import (
+    JitterReport,
+    analyze_jitter,
+    cycle_to_cycle_jitter,
+    phase_slip_cycles,
+    time_interval_error,
+)
+from .measurements import (
+    clock_edges,
+    clock_periods,
+    frequency_trace,
+    is_locked,
+    lock_time,
+    mean_frequency,
+    peak_deviation,
+    period_jitter,
+    rise_time,
+    settling_time,
+)
+from .ser import (
+    SEA_LEVEL_NEUTRON_FLUX,
+    SERModel,
+    compare_nodes,
+    format_ser_table,
+)
+from .qcrit import QcritResult, find_critical_charge, scaled_pulse
+from .perturbation import (
+    PerturbationReport,
+    analyze_perturbation,
+    perturbed_cycles,
+)
+from .sensitivity import SensitivitySweep, SweepPoint
+
+__all__ = [
+    "JitterReport",
+    "PerturbationReport",
+    "QcritResult",
+    "SEA_LEVEL_NEUTRON_FLUX",
+    "SERModel",
+    "SensitivitySweep",
+    "SweepPoint",
+    "analyze_jitter",
+    "analyze_perturbation",
+    "clock_edges",
+    "cycle_to_cycle_jitter",
+    "find_critical_charge",
+    "clock_periods",
+    "compare_nodes",
+    "format_ser_table",
+    "frequency_trace",
+    "is_locked",
+    "lock_time",
+    "mean_frequency",
+    "peak_deviation",
+    "period_jitter",
+    "perturbed_cycles",
+    "phase_slip_cycles",
+    "time_interval_error",
+    "rise_time",
+    "scaled_pulse",
+    "settling_time",
+]

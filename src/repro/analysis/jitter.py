@@ -1,0 +1,135 @@
+"""Clock-jitter decomposition.
+
+The PLL experiments measure *how long* the clock is wrong; these
+helpers measure *how* it is wrong, with the standard timing metrics:
+
+* **period jitter** — deviation of each period from nominal;
+* **cycle-to-cycle jitter** — difference between adjacent periods
+  (what a digital receiver's timing margin actually sees);
+* **time interval error (TIE)** — accumulated phase displacement of
+  each edge against an ideal clock, the integral view that makes a
+  frequency disturbance visible long after periods recovered.
+
+All operate on the interpolated edges of a probed waveform, so they
+inherit the sub-timestep resolution of the sine-output VCO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+from .measurements import clock_edges
+
+
+@dataclass
+class JitterReport:
+    """Summary statistics of one clock segment.
+
+    :ivar n_cycles: number of measured periods.
+    :ivar period_mean: average period (s).
+    :ivar period_jitter_rms: RMS deviation from the *mean* period.
+    :ivar period_jitter_pp: peak-to-peak period deviation.
+    :ivar c2c_jitter_rms: RMS cycle-to-cycle jitter.
+    :ivar c2c_jitter_pp: peak-to-peak cycle-to-cycle jitter.
+    :ivar tie_pp: peak-to-peak time interval error vs the ideal clock.
+    :ivar tie_final: TIE of the last edge (net accumulated phase slip).
+    """
+
+    n_cycles: int
+    period_mean: float
+    period_jitter_rms: float
+    period_jitter_pp: float
+    c2c_jitter_rms: float
+    c2c_jitter_pp: float
+    tie_pp: float
+    tie_final: float
+
+    def summary(self):
+        """Readable multi-line rendering (picosecond units)."""
+        return "\n".join([
+            f"cycles measured      : {self.n_cycles}",
+            f"mean period          : {self.period_mean * 1e9:.4f} ns",
+            f"period jitter        : {self.period_jitter_rms * 1e12:.2f} ps "
+            f"rms / {self.period_jitter_pp * 1e12:.2f} ps pp",
+            f"cycle-to-cycle jitter: {self.c2c_jitter_rms * 1e12:.2f} ps "
+            f"rms / {self.c2c_jitter_pp * 1e12:.2f} ps pp",
+            f"time interval error  : {self.tie_pp * 1e12:.2f} ps pp, "
+            f"net slip {self.tie_final * 1e12:.2f} ps",
+        ])
+
+
+def edge_times(trace, threshold=2.5, t0=None, t1=None):
+    """Rising-edge times of a clock segment.
+
+    :raises MeasurementError: with fewer than three edges.
+    """
+    seg = trace.segment(t0, t1)
+    edges = clock_edges(seg, threshold)
+    if len(edges) < 3:
+        raise MeasurementError(
+            f"trace {trace.name}: need >= 3 edges for jitter analysis"
+        )
+    return edges
+
+
+def time_interval_error(trace, nominal_period=None, threshold=2.5,
+                        t0=None, t1=None):
+    """Per-edge TIE against an ideal clock: ``(edges, tie)``.
+
+    The ideal clock starts at the first measured edge and ticks at
+    ``nominal_period`` (default: the segment's mean period, which
+    de-trends any static frequency offset).
+    """
+    edges = edge_times(trace, threshold, t0, t1)
+    if nominal_period is None:
+        nominal_period = float(np.mean(np.diff(edges)))
+    if nominal_period <= 0:
+        raise MeasurementError("nominal period must be positive")
+    ideal = edges[0] + nominal_period * np.arange(len(edges))
+    return edges, edges - ideal
+
+
+def cycle_to_cycle_jitter(trace, threshold=2.5, t0=None, t1=None):
+    """Adjacent-period differences: ``(edges[2:], c2c)``."""
+    edges = edge_times(trace, threshold, t0, t1)
+    periods = np.diff(edges)
+    return edges[2:], np.diff(periods)
+
+
+def analyze_jitter(trace, nominal_period=None, threshold=2.5,
+                   t0=None, t1=None):
+    """Build a :class:`JitterReport` for one clock segment."""
+    edges = edge_times(trace, threshold, t0, t1)
+    periods = np.diff(edges)
+    mean_period = float(np.mean(periods))
+    period_dev = periods - mean_period
+    c2c = np.diff(periods)
+    _edges, tie = time_interval_error(
+        trace, nominal_period, threshold, t0, t1
+    )
+    return JitterReport(
+        n_cycles=len(periods),
+        period_mean=mean_period,
+        period_jitter_rms=float(np.std(period_dev)),
+        period_jitter_pp=float(np.ptp(period_dev)),
+        c2c_jitter_rms=float(np.std(c2c)) if len(c2c) else 0.0,
+        c2c_jitter_pp=float(np.ptp(c2c)) if len(c2c) else 0.0,
+        tie_pp=float(np.ptp(tie)),
+        tie_final=float(tie[-1]),
+    )
+
+
+def phase_slip_cycles(trace, nominal_period, threshold=2.5, t0=None,
+                      t1=None):
+    """Net accumulated slip in whole clock cycles over a segment.
+
+    The integer a digital block clocked by this waveform would drift
+    by against a golden run — the feed-through metric of Section 5.2.
+    """
+    _edges, tie = time_interval_error(
+        trace, nominal_period, threshold, t0, t1
+    )
+    return float(tie[-1] / nominal_period)

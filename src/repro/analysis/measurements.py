@@ -1,0 +1,133 @@
+"""Waveform measurements.
+
+Clock-period extraction, lock detection and settling measurements used
+by the result-analysis stage.  Period measurements interpolate the
+probed *analog* waveform (the VCO's sine output), recovering edge
+times with sub-timestep resolution — the precision behind the
+perturbed-cycle counts of Figures 6–8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+
+
+def clock_edges(trace, threshold=2.5, direction="rise"):
+    """Interpolated threshold-crossing times of a clock waveform."""
+    return trace.crossings(threshold, direction=direction)
+
+
+def clock_periods(trace, threshold=2.5, direction="rise"):
+    """``(edge_times, periods)`` between successive same-direction edges.
+
+    ``periods[i]`` is the interval ending at ``edge_times[i + 1]``.
+    """
+    edges = clock_edges(trace, threshold, direction)
+    if len(edges) < 2:
+        raise MeasurementError(
+            f"trace {trace.name}: fewer than two {direction} crossings"
+        )
+    return edges, np.diff(edges)
+
+
+def frequency_trace(trace, threshold=2.5):
+    """Per-cycle instantaneous frequency: ``(cycle_end_times, freqs)``."""
+    edges, periods = clock_periods(trace, threshold)
+    return edges[1:], 1.0 / periods
+
+
+def mean_frequency(trace, threshold=2.5, t0=None, t1=None):
+    """Average frequency over a window from edge counting."""
+    seg = trace.segment(t0, t1)
+    edges = clock_edges(seg, threshold)
+    if len(edges) < 2:
+        raise MeasurementError(f"trace {trace.name}: not enough edges")
+    return (len(edges) - 1) / (edges[-1] - edges[0])
+
+
+def period_jitter(trace, threshold=2.5, t0=None, t1=None):
+    """RMS deviation of cycle periods from their mean (seconds)."""
+    seg = trace.segment(t0, t1)
+    _edges, periods = clock_periods(seg, threshold)
+    return float(np.std(periods))
+
+
+def lock_time(trace, nominal_period, tol_frac=0.01, consecutive=20,
+              threshold=2.5):
+    """Time after which the clock stays within tolerance of nominal.
+
+    Returns the end time of the first run of ``consecutive`` periods
+    all within ``tol_frac`` of ``nominal_period``; the lock is also
+    required to *hold* to the end of the trace (no later excursion).
+
+    :raises MeasurementError: if the clock never locks.
+    """
+    edges, periods = clock_periods(trace, threshold)
+    good = np.abs(periods - nominal_period) <= tol_frac * nominal_period
+    run = 0
+    candidate = None
+    for i, ok in enumerate(good):
+        run = run + 1 if ok else 0
+        if run == consecutive and candidate is None:
+            candidate = i
+        if not ok:
+            candidate = None
+            run = 0
+    if candidate is None:
+        raise MeasurementError(
+            f"trace {trace.name}: no {consecutive}-cycle window within "
+            f"{tol_frac:.2%} of {nominal_period}"
+        )
+    return float(edges[candidate + 1 - consecutive + 1])
+
+
+def is_locked(trace, nominal_period, tol_frac=0.01, consecutive=20,
+              threshold=2.5):
+    """True when :func:`lock_time` succeeds."""
+    try:
+        lock_time(trace, nominal_period, tol_frac, consecutive, threshold)
+        return True
+    except MeasurementError:
+        return False
+
+
+def settling_time(trace, final_value, tol, t_from=None):
+    """Last time the waveform is outside ``final_value ± tol``.
+
+    Measured relative to ``t_from`` (default: trace start).  Returns
+    0.0 when the waveform never leaves the band.
+    """
+    seg = trace.segment(t_from, None)
+    times, values = seg.times, seg.values
+    outside = np.abs(values - final_value) > tol
+    if not outside.any():
+        return 0.0
+    last = times[np.nonzero(outside)[0][-1]]
+    origin = t_from if t_from is not None else times[0]
+    return float(last - origin)
+
+
+def peak_deviation(trace, reference, t0=None, t1=None):
+    """Maximum absolute deviation from a reference level in a window."""
+    seg = trace.segment(t0, t1)
+    seg._require_samples()
+    return float(np.nanmax(np.abs(seg.values - reference)))
+
+
+def rise_time(trace, v_low, v_high, lo_frac=0.1, hi_frac=0.9):
+    """10–90 % rise time of a step-like waveform.
+
+    :raises MeasurementError: when the waveform never crosses the
+        thresholds.
+    """
+    swing = v_high - v_low
+    t_lo = trace.crossings(v_low + lo_frac * swing, direction="rise")
+    t_hi = trace.crossings(v_low + hi_frac * swing, direction="rise")
+    if len(t_lo) == 0 or len(t_hi) == 0:
+        raise MeasurementError(f"trace {trace.name}: no rising transition")
+    later = t_hi[t_hi >= t_lo[0]]
+    if len(later) == 0:
+        raise MeasurementError(f"trace {trace.name}: incomplete transition")
+    return float(later[0] - t_lo[0])

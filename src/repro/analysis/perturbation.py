@@ -1,0 +1,170 @@
+"""Perturbation metrics — the paper's key observable.
+
+Section 5.2's headline result: "the current pulse injected during a
+very short time (2.5 % of the generated clock period), has an impact on
+the filter output during a much larger time.  This results in a clock
+frequency ... perturbed during a large number of cycles and not only
+during one cycle".  :func:`analyze_perturbation` quantifies exactly
+that: how many output-clock cycles deviate, for how long the control
+voltage is disturbed, and the ratio between fault duration and clock
+period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+from .measurements import clock_periods
+
+
+@dataclass
+class PerturbationReport:
+    """Quantified impact of one injection on the PLL.
+
+    :ivar injection_time: when the fault was injected (s).
+    :ivar fault_duration: support of the injected pulse (s).
+    :ivar nominal_period: unperturbed clock period (s).
+    :ivar fault_to_period_ratio: ``fault_duration / nominal_period``
+        (the paper's 2.5 %).
+    :ivar perturbed_cycles: number of clock periods after injection
+        deviating more than the tolerance.
+    :ivar perturbed_span: time between the first and last perturbed
+        cycle (s).
+    :ivar max_period_deviation: worst absolute period error (s).
+    :ivar max_period_deviation_frac: the same, relative to nominal.
+    :ivar vctrl_disturbance_duration: how long the control voltage
+        stays outside its tolerance band (s); None when no control
+        trace was supplied.
+    :ivar max_vctrl_deviation: worst control-voltage excursion (V).
+    :ivar amplification: ``perturbed_span / fault_duration`` — how much
+        longer the effect lasts than its cause.
+    """
+
+    injection_time: float
+    fault_duration: float
+    nominal_period: float
+    fault_to_period_ratio: float
+    perturbed_cycles: int
+    perturbed_span: float
+    max_period_deviation: float
+    max_period_deviation_frac: float
+    vctrl_disturbance_duration: float | None = None
+    max_vctrl_deviation: float | None = None
+    perturbed_cycle_times: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    @property
+    def amplification(self):
+        """Effect duration over cause duration."""
+        if self.fault_duration <= 0:
+            return float("inf")
+        return self.perturbed_span / self.fault_duration
+
+    def multi_cycle(self):
+        """True when a single fault corrupted more than one cycle —
+        the multiplicity the digital analysis must account for."""
+        return self.perturbed_cycles > 1
+
+    def summary(self):
+        """Multi-line human-readable report."""
+        lines = [
+            f"injection at {self.injection_time * 1e6:.3f} us, fault lasts "
+            f"{self.fault_duration * 1e12:.0f} ps "
+            f"({self.fault_to_period_ratio:.1%} of the {self.nominal_period * 1e9:.1f} ns clock period)",
+            f"perturbed cycles      : {self.perturbed_cycles}",
+            f"perturbation span     : {self.perturbed_span * 1e6:.3f} us "
+            f"({self.amplification:.0f}x the fault duration)",
+            f"max period deviation  : {self.max_period_deviation * 1e12:.1f} ps "
+            f"({self.max_period_deviation_frac:.2%})",
+        ]
+        if self.vctrl_disturbance_duration is not None:
+            lines.append(
+                f"vctrl disturbed for   : "
+                f"{self.vctrl_disturbance_duration * 1e6:.3f} us "
+                f"(max {self.max_vctrl_deviation * 1e3:.1f} mV)"
+            )
+        return "\n".join(lines)
+
+
+def perturbed_cycles(clock_trace, injection_time, nominal_period,
+                     tol_frac=0.001, threshold=2.5):
+    """Cycle end times whose period deviates beyond tolerance.
+
+    Only cycles ending after ``injection_time`` are considered.
+    """
+    edges, periods = clock_periods(clock_trace, threshold)
+    ends = edges[1:]
+    after = ends >= injection_time
+    deviant = np.abs(periods - nominal_period) > tol_frac * nominal_period
+    return ends[after & deviant]
+
+
+def analyze_perturbation(
+    clock_trace,
+    injection_time,
+    fault_duration,
+    nominal_period,
+    tol_frac=0.001,
+    threshold=2.5,
+    vctrl_trace=None,
+    vctrl_nominal=None,
+    vctrl_tol=0.01,
+):
+    """Build a :class:`PerturbationReport` for one injection.
+
+    :param clock_trace: probed VCO output (analog) or clock signal.
+    :param injection_time: absolute injection time (s).
+    :param fault_duration: support of the injected transient (s).
+    :param nominal_period: expected clock period (s).
+    :param tol_frac: period tolerance as a fraction of nominal — the
+        "additional tolerance on the values" of Section 4.1.
+    :param vctrl_trace: optional control-voltage trace.
+    :param vctrl_nominal: locked control voltage; default: mean of the
+        trace before injection.
+    :param vctrl_tol: control-voltage tolerance band in volts.
+    """
+    edges, periods = clock_periods(clock_trace, threshold)
+    ends = edges[1:]
+    after = ends >= injection_time
+    if not after.any():
+        raise MeasurementError("no clock cycles after the injection time")
+    deviation = np.abs(periods - nominal_period)
+    deviant = deviation > tol_frac * nominal_period
+    hit = after & deviant
+    times = ends[hit]
+    count = int(hit.sum())
+    span = float(times[-1] - injection_time) if count else 0.0
+    max_dev = float(deviation[after].max())
+
+    vctrl_duration = None
+    max_vctrl = None
+    if vctrl_trace is not None:
+        if vctrl_nominal is None:
+            pre = vctrl_trace.segment(None, injection_time)
+            vctrl_nominal = pre.mean() if len(pre) >= 2 else vctrl_trace.at(injection_time)
+        post = vctrl_trace.segment(injection_time, None)
+        dev = np.abs(post.values - vctrl_nominal)
+        max_vctrl = float(dev.max())
+        outside = dev > vctrl_tol
+        if outside.any():
+            vctrl_duration = float(
+                post.times[np.nonzero(outside)[0][-1]] - injection_time
+            )
+        else:
+            vctrl_duration = 0.0
+
+    return PerturbationReport(
+        injection_time=injection_time,
+        fault_duration=fault_duration,
+        nominal_period=nominal_period,
+        fault_to_period_ratio=fault_duration / nominal_period,
+        perturbed_cycles=count,
+        perturbed_span=span,
+        max_period_deviation=max_dev,
+        max_period_deviation_frac=max_dev / nominal_period,
+        vctrl_disturbance_duration=vctrl_duration,
+        max_vctrl_deviation=max_vctrl,
+        perturbed_cycle_times=times,
+    )

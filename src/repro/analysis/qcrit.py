@@ -1,0 +1,129 @@
+"""Critical-charge (Qcrit) estimation.
+
+Figure 8's discussion says parameter sweeps "may allow the designer to
+identify the type of particles the circuit will be sensitive to".  The
+quantitative form of that statement is the **critical charge**: the
+smallest deposited charge whose injection produces an observable
+error.  Particles depositing less are harmless; the LET spectrum above
+Qcrit sets the soft-error rate.
+
+:func:`find_critical_charge` locates Qcrit by bisection over the pulse
+amplitude, reusing any run-and-classify callable, so it works for any
+node of any circuit the flow can simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import MeasurementError
+from ..faults.current_pulse import TrapezoidPulse
+
+
+@dataclass
+class QcritResult:
+    """Outcome of a critical-charge search.
+
+    :ivar q_crit: estimated critical charge (C) — midpoint of the
+        final bracket.
+    :ivar q_pass: largest tested charge that produced no error.
+    :ivar q_fail: smallest tested charge that produced an error.
+    :ivar evaluations: number of injection runs performed.
+    :ivar history: list of ``(charge, errored)`` pairs in test order.
+    """
+
+    q_crit: float
+    q_pass: float
+    q_fail: float
+    evaluations: int
+    history: list
+
+    @property
+    def uncertainty(self):
+        """Half-width of the final bracket (C)."""
+        return 0.5 * (self.q_fail - self.q_pass)
+
+    def summary(self):
+        """One-line human-readable result."""
+        return (
+            f"Qcrit = {self.q_crit * 1e15:.1f} fC "
+            f"(+/- {self.uncertainty * 1e15:.1f} fC, "
+            f"{self.evaluations} runs)"
+        )
+
+
+def scaled_pulse(reference, charge):
+    """A copy of ``reference`` re-amplituded to carry ``charge``.
+
+    Shape (RT, FT, PW) is preserved; only PA scales, which is how LET
+    varies for a fixed strike geometry.
+    """
+    if charge <= 0:
+        raise MeasurementError("charge must be positive")
+    base_charge = abs(reference.charge())
+    factor = charge / base_charge
+    return TrapezoidPulse(
+        reference.pa * factor, reference.rt, reference.ft, reference.pw
+    )
+
+
+def find_critical_charge(
+    errored,
+    reference_pulse,
+    q_lo=1e-16,
+    q_hi=1e-11,
+    rel_tol=0.05,
+    max_evaluations=40,
+):
+    """Bisect for the smallest error-producing charge.
+
+    :param errored: callable ``(pulse) -> bool`` that injects the
+        pulse in a fresh simulation and reports whether an observable
+        error occurred (typically: build circuit, inject, compare or
+        measure, threshold).
+    :param reference_pulse: the pulse *shape*; amplitude is rescaled
+        to each trial charge via :func:`scaled_pulse`.
+    :param q_lo: charge assumed (and verified) harmless.
+    :param q_hi: charge assumed (and verified) harmful.
+    :param rel_tol: stop when the bracket is within this fraction of
+        its midpoint.
+    :param max_evaluations: hard cap on injection runs.
+    :returns: a :class:`QcritResult`.
+    :raises MeasurementError: when the initial bracket is invalid
+        (``q_lo`` already errors, or ``q_hi`` does not).
+    """
+    if not 0 < q_lo < q_hi:
+        raise MeasurementError("need 0 < q_lo < q_hi")
+    history = []
+
+    def test(charge):
+        result = bool(errored(scaled_pulse(reference_pulse, charge)))
+        history.append((charge, result))
+        return result
+
+    if test(q_lo):
+        raise MeasurementError(
+            f"q_lo = {q_lo:g} C already produces an error; lower it"
+        )
+    if not test(q_hi):
+        raise MeasurementError(
+            f"q_hi = {q_hi:g} C produces no error; raise it"
+        )
+
+    q_pass, q_fail = q_lo, q_hi
+    while len(history) < max_evaluations:
+        mid = 0.5 * (q_pass + q_fail)
+        if (q_fail - q_pass) <= rel_tol * mid:
+            break
+        if test(mid):
+            q_fail = mid
+        else:
+            q_pass = mid
+
+    return QcritResult(
+        q_crit=0.5 * (q_pass + q_fail),
+        q_pass=q_pass,
+        q_fail=q_fail,
+        evaluations=len(history),
+        history=history,
+    )

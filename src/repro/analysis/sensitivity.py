@@ -1,0 +1,117 @@
+"""Sensitivity sweeps over fault parameters.
+
+Figure 8 of the paper varies the pulse definition (PA, RT, FT, PW) and
+observes that "the amplitude and length of the pulse have clearly a
+cumulative effect"; such sweeps "may allow the designer to identify the
+type of particles the circuit will be sensitive to".  This module runs
+a metric function over a list of fault variants and summarises the
+trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+
+
+@dataclass
+class SweepPoint:
+    """One sweep entry: the fault variant, its charge, and metrics."""
+
+    label: str
+    charge: float
+    metrics: dict
+
+    def metric(self, name):
+        """Look up one metric value by name."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise MeasurementError(
+                f"sweep point {self.label!r} has no metric {name!r}"
+            ) from None
+
+
+class SensitivitySweep:
+    """Collects per-variant metrics and analyses monotonic trends."""
+
+    def __init__(self):
+        self.points = []
+
+    def add(self, label, charge, metrics):
+        """Record one variant's results."""
+        self.points.append(SweepPoint(label, float(charge), dict(metrics)))
+
+    def run(self, variants, evaluate, label_fn=None, charge_fn=None):
+        """Evaluate ``evaluate(variant) -> metrics dict`` per variant.
+
+        :param label_fn: variant -> label (default: ``describe()`` or
+            repr).
+        :param charge_fn: variant -> charge (default: ``charge()`` when
+            available, else NaN).
+        """
+        for variant in variants:
+            if label_fn is not None:
+                label = label_fn(variant)
+            elif hasattr(variant, "describe"):
+                label = variant.describe()
+            else:
+                label = repr(variant)
+            if charge_fn is not None:
+                charge = charge_fn(variant)
+            elif hasattr(variant, "charge"):
+                charge = variant.charge()
+            else:
+                charge = float("nan")
+            self.add(label, charge, evaluate(variant))
+        return self
+
+    def metric_series(self, name):
+        """``(charges, values)`` arrays for one metric, in insertion
+        order."""
+        charges = np.array([p.charge for p in self.points])
+        values = np.array([p.metric(name) for p in self.points], dtype=float)
+        return charges, values
+
+    def is_monotonic_in_charge(self, name, strict=False):
+        """True when the metric never decreases as charge increases.
+
+        The Figure 8 "cumulative effect": more injected charge, more
+        disturbance.
+        """
+        charges, values = self.metric_series(name)
+        order = np.argsort(charges, kind="stable")
+        sorted_values = values[order]
+        diffs = np.diff(sorted_values)
+        return bool((diffs > 0).all() if strict else (diffs >= 0).all())
+
+    def spearman(self, name):
+        """Spearman rank correlation between charge and a metric."""
+        from scipy.stats import spearmanr
+
+        charges, values = self.metric_series(name)
+        if len(charges) < 3:
+            raise MeasurementError("need at least 3 points for correlation")
+        rho, _p = spearmanr(charges, values)
+        return float(rho)
+
+    def table(self, metric_names):
+        """Fixed-width text table of the sweep results."""
+        header = ["variant", "charge (pC)"] + list(metric_names)
+        rows = [header]
+        for p in self.points:
+            row = [p.label, f"{p.charge * 1e12:.3g}"]
+            for name in metric_names:
+                value = p.metric(name)
+                row.append(f"{value:.4g}" if isinstance(value, float) else str(value))
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Soft-error-rate estimation from critical charge.
+
+The last step of the "identify the type of particles the circuit will
+be sensitive to" argument (Figure 8 discussion): once a node's
+critical charge is known, the environment's charge-deposition spectrum
+converts it into an error *rate*.  The classical empirical model
+(Hazucha & Svensson) takes the collected-charge spectrum as
+exponential::
+
+    SER = F * K * A * exp(-Qcrit / Qs)
+
+with particle flux ``F``, sensitive area ``A``, collection-efficiency
+slope ``Qs`` and a technology constant ``K``.  The numbers here are
+order-of-magnitude engineering estimates — exactly what an *early*
+dependability analysis is for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import MeasurementError
+
+#: Sea-level neutron flux (>10 MeV), particles / (cm^2 * s) — the
+#: conventional ~13 n/cm^2/h figure.
+SEA_LEVEL_NEUTRON_FLUX = 13.0 / 3600.0
+
+#: Seconds per billion hours (the FIT normalisation).
+_SECONDS_PER_1E9_HOURS = 1e9 * 3600.0
+
+
+@dataclass
+class SERModel:
+    """An exponential collected-charge spectrum environment.
+
+    :ivar flux: particle flux in particles / (cm^2 * s).
+    :ivar q_s: charge-collection slope in coulombs (how fast the
+        deposition probability falls with charge); ~20-50 fC for
+        bulk CMOS around the paper's era.
+    :ivar k: dimensionless technology/geometry fitting constant.
+    """
+
+    flux: float = SEA_LEVEL_NEUTRON_FLUX
+    q_s: float = 25e-15
+    k: float = 2.2e-5
+
+    def __post_init__(self):
+        if self.flux <= 0 or self.q_s <= 0 or self.k <= 0:
+            raise MeasurementError("flux, q_s and k must be positive")
+
+    def upset_rate(self, q_crit, area_cm2):
+        """Upsets per second for one node.
+
+        :param q_crit: critical charge in coulombs.
+        :param area_cm2: sensitive (drain/node) area in cm^2.
+        """
+        if q_crit <= 0:
+            raise MeasurementError("q_crit must be positive")
+        if area_cm2 <= 0:
+            raise MeasurementError("area must be positive")
+        return self.flux * self.k * area_cm2 * math.exp(-q_crit / self.q_s)
+
+    def fit_rate(self, q_crit, area_cm2):
+        """The same rate in FIT (failures per 10^9 device-hours)."""
+        return self.upset_rate(q_crit, area_cm2) * _SECONDS_PER_1E9_HOURS
+
+    def qcrit_for_fit_target(self, fit_target, area_cm2):
+        """Critical charge needed to stay below a FIT budget.
+
+        Inverts the exponential model: the hardening requirement the
+        campaign's Qcrit measurement is compared against.
+        """
+        if fit_target <= 0:
+            raise MeasurementError("fit_target must be positive")
+        rate = fit_target / _SECONDS_PER_1E9_HOURS
+        argument = rate / (self.flux * self.k * area_cm2)
+        if argument >= 1.0:
+            return 0.0  # any charge meets the budget
+        return -self.q_s * math.log(argument)
+
+    def derate(self, rate, masking_factor):
+        """Apply an architectural derating factor in [0, 1].
+
+        E.g. the SET latching window (bench_set_latch_window.py) or
+        the per-register masking rates a campaign measures: the
+        fraction of raw upsets that become errors.
+        """
+        if not 0.0 <= masking_factor <= 1.0:
+            raise MeasurementError("masking_factor must be in [0, 1]")
+        return rate * masking_factor
+
+
+def compare_nodes(model, nodes, area_cm2=1e-8):
+    """FIT table for several (name, q_crit) pairs at equal area.
+
+    Returns ``[(name, q_crit, fit)]`` sorted most-sensitive first.
+    """
+    rows = [
+        (name, q_crit, model.fit_rate(q_crit, area_cm2))
+        for name, q_crit in nodes
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+def format_ser_table(rows):
+    """Fixed-width rendering of :func:`compare_nodes` output."""
+    lines = [f"{'node':30s} {'Qcrit (fC)':>11s} {'FIT':>12s}"]
+    for name, q_crit, fit in rows:
+        lines.append(f"{name:30s} {q_crit * 1e15:11.1f} {fit:12.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Campaign engine: specification, fault lists, execution, analysis."""
+
+from .classify import (
+    CLASSES,
+    FAILURE,
+    LATENT,
+    SEVERITY,
+    SILENT,
+    TRANSIENT_ERROR,
+    Classification,
+    classify,
+)
+from .compare import TraceComparison, compare_probe_sets, compare_traces
+from .dictionary import FaultDictionary, Signature, signature_of
+from .faultlist import (
+    analog_injections,
+    cycle_times,
+    exhaustive_bitflips,
+    intra_cycle_times,
+    random_analog_injections,
+    random_bitflips,
+    random_mbus,
+    sample,
+    set_sweep,
+)
+from .propagation import (
+    ORIGIN,
+    build_propagation_graph,
+    divergence_order,
+    dominant_paths,
+    format_propagation_report,
+    propagation_path,
+    reachable_outputs,
+)
+from .report import (
+    classification_summary,
+    fault_listing,
+    full_report,
+    per_target_table,
+    to_csv,
+)
+from .results import CampaignResult, FaultResult
+from .runner import CampaignRunner, Design, run_campaign
+from .spec import CampaignSpec
+from .stats import (
+    clopper_pearson_interval,
+    estimate_error_rate,
+    required_sample_size,
+    wilson_interval,
+)
+
+__all__ = [
+    "CLASSES",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Classification",
+    "Design",
+    "FAILURE",
+    "FaultDictionary",
+    "FaultResult",
+    "LATENT",
+    "ORIGIN",
+    "SEVERITY",
+    "SILENT",
+    "Signature",
+    "TRANSIENT_ERROR",
+    "TraceComparison",
+    "analog_injections",
+    "build_propagation_graph",
+    "classification_summary",
+    "classify",
+    "clopper_pearson_interval",
+    "compare_probe_sets",
+    "compare_traces",
+    "cycle_times",
+    "divergence_order",
+    "dominant_paths",
+    "estimate_error_rate",
+    "exhaustive_bitflips",
+    "fault_listing",
+    "format_propagation_report",
+    "full_report",
+    "intra_cycle_times",
+    "per_target_table",
+    "propagation_path",
+    "random_analog_injections",
+    "random_bitflips",
+    "random_mbus",
+    "reachable_outputs",
+    "required_sample_size",
+    "run_campaign",
+    "sample",
+    "set_sweep",
+    "signature_of",
+    "to_csv",
+    "wilson_interval",
+]

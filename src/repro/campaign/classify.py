@@ -1,0 +1,121 @@
+"""Fault-effect classification.
+
+The "Failure report / Classification" box of the analysis flow
+(Figures 2 and 3).  Each faulty run is sorted into the classical
+dependability classes by comparing its traces against the golden run:
+
+========================  =====================================================
+:data:`SILENT`            no monitored trace ever diverged — the fault was
+                          masked (logically, electrically or by timing).
+:data:`LATENT`            only *internal* traces diverged, and at least one
+                          still differs at the end of the run: a dormant error
+                          that a longer workload could still activate.
+:data:`TRANSIENT_ERROR`   an *output* diverged but re-converged, and no
+                          internal difference survives: the system failed
+                          momentarily and fully recovered (the typical PLL
+                          response — the clock is wrong for N cycles, then
+                          lock is re-acquired).
+:data:`FAILURE`           an output still differs at the end of the run.
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Classification labels, ordered by increasing severity.
+SILENT = "silent"
+LATENT = "latent"
+TRANSIENT_ERROR = "transient-error"
+FAILURE = "failure"
+
+#: All classes in severity order.
+CLASSES = (SILENT, LATENT, TRANSIENT_ERROR, FAILURE)
+
+#: Rank used to aggregate severities.
+SEVERITY = {label: rank for rank, label in enumerate(CLASSES)}
+
+
+@dataclass
+class Classification:
+    """Classification of one faulty run.
+
+    :ivar label: one of :data:`CLASSES`.
+    :ivar first_output_divergence: earliest output divergence time.
+    :ivar output_mismatch_time: total time any output was wrong.
+    :ivar diverged_outputs: names of outputs that diverged.
+    :ivar diverged_internal: names of internal traces that diverged.
+    :ivar latent_traces: internal traces still differing at run end.
+    """
+
+    label: str
+    first_output_divergence: float | None = None
+    output_mismatch_time: float = 0.0
+    diverged_outputs: list = field(default_factory=list)
+    diverged_internal: list = field(default_factory=list)
+    latent_traces: list = field(default_factory=list)
+
+    @property
+    def severity(self):
+        """Numeric severity rank (0 = silent)."""
+        return SEVERITY[self.label]
+
+    def is_error(self):
+        """True unless the fault was completely masked."""
+        return self.label != SILENT
+
+
+def classify(comparisons, outputs):
+    """Classify one faulty run from its per-trace comparisons.
+
+    :param comparisons: mapping name -> :class:`TraceComparison` (from
+        :func:`repro.campaign.compare.compare_probe_sets`).
+    :param outputs: names of traces that count as system outputs; all
+        other compared traces are internal state.
+    :returns: a :class:`Classification`.
+    """
+    outputs = set(outputs)
+    diverged_outputs = []
+    diverged_internal = []
+    latent_traces = []
+    first_out = None
+    mismatch = 0.0
+    output_final_bad = False
+
+    for name, cmp_result in comparisons.items():
+        if not cmp_result.diverged:
+            continue
+        if name in outputs:
+            diverged_outputs.append(name)
+            mismatch += cmp_result.mismatch_time
+            if first_out is None or cmp_result.first_divergence < first_out:
+                first_out = cmp_result.first_divergence
+            if not cmp_result.final_match:
+                output_final_bad = True
+        else:
+            diverged_internal.append(name)
+            if not cmp_result.final_match:
+                latent_traces.append(name)
+
+    if output_final_bad:
+        label = FAILURE
+    elif diverged_outputs:
+        label = TRANSIENT_ERROR
+    elif latent_traces:
+        label = LATENT
+    elif diverged_internal:
+        # Internal divergence that healed: functionally silent, but
+        # distinguishable for propagation analysis; counted silent per
+        # the classical taxonomy (no observable or dormant error).
+        label = SILENT
+    else:
+        label = SILENT
+
+    return Classification(
+        label=label,
+        first_output_divergence=first_out,
+        output_mismatch_time=mismatch,
+        diverged_outputs=sorted(diverged_outputs),
+        diverged_internal=sorted(diverged_internal),
+        latent_traces=sorted(latent_traces),
+    )

@@ -1,0 +1,244 @@
+"""Golden-vs-faulty trace comparison.
+
+The "results (traces) analysis" box of Figures 2 and 3: each monitored
+trace of a faulty run is compared against the same trace of the golden
+(fault-free) run.  Digital traces must match exactly; analog traces are
+compared with an amplitude *tolerance*, "in order to avoid non
+significant error identifications" (Section 4.1) — without it, solver
+ripple would flag every analog node as erroneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import MeasurementError
+from ..core.trace import LINEAR, STEP
+
+
+@dataclass
+class TraceComparison:
+    """Outcome of comparing one faulty trace against its golden twin.
+
+    :ivar name: trace name.
+    :ivar match: True when no significant difference was found.
+    :ivar first_divergence: time of the first difference (None when
+        matching).
+    :ivar last_divergence: time of the last difference.
+    :ivar mismatch_time: total time spent outside tolerance.
+    :ivar max_deviation: worst absolute difference (analog) or 1.0
+        for any digital mismatch.
+    :ivar final_match: True when the traces agree at the end of the
+        run (used for latent-error detection).
+    """
+
+    name: str
+    match: bool
+    first_divergence: float | None
+    last_divergence: float | None
+    mismatch_time: float
+    max_deviation: float
+    final_match: bool
+
+    @property
+    def diverged(self):
+        """True when any significant difference exists."""
+        return not self.match
+
+
+def _comparison_grid(golden, faulty, t0, t1):
+    merged = np.union1d(golden.times, faulty.times)
+    grid = merged[(merged >= t0) & (merged <= t1)]
+    if len(grid) == 0:
+        # No activity inside the window on either side: both traces
+        # hold their pre-window values, so comparing at the window
+        # endpoints is exact.
+        return np.array([t0, t1])
+    # Always include the endpoints so held values entering/leaving the
+    # window participate in the comparison.
+    if grid[0] > t0:
+        grid = np.concatenate(([t0], grid))
+    if grid[-1] < t1:
+        grid = np.concatenate((grid, [t1]))
+    return grid
+
+
+def compare_digital_edges(golden, faulty, time_tolerance, t0=None, t1=None):
+    """Compare two event-sampled traces with an *edge-time* tolerance.
+
+    A clock regenerated through an analog loop never reproduces the
+    golden edge times exactly — any disturbance, however negligible,
+    shifts edges by picoseconds.  This comparison therefore declares a
+    match when both traces carry the same value *sequence* and every
+    change time agrees within ``time_tolerance``; an extra or missing
+    edge, a different value, or a shift beyond the tolerance is a
+    divergence.  This is the digital-clock analogue of the paper's
+    analog amplitude tolerance.
+
+    :returns: a :class:`TraceComparison`.
+    """
+    start = max(golden.t_start, faulty.t_start) if t0 is None else t0
+    # Event-sampled traces hold their last value, so a run whose fault
+    # froze a signal simply stops producing samples; the comparison
+    # must still cover the full span or the freeze goes unnoticed.
+    end = max(golden.t_end, faulty.t_end) if t1 is None else t1
+    if end < start:
+        raise MeasurementError(
+            f"comparison window empty for trace {golden.name!r}"
+        )
+
+    def events(trace):
+        result = [(start, trace.at(start))]
+        for t, v in trace:
+            if t <= start or t > end:
+                continue
+            fv = trace.resample([t])[0]
+            if result and _same(result[-1][1], fv):
+                continue
+            result.append((t, fv))
+        return result
+
+    def _same(a, b):
+        both_nan = np.isnan(a) and np.isnan(b)
+        return both_nan or a == b
+
+    ev_g = events(golden)
+    ev_f = events(faulty)
+    first = None
+    worst_shift = 0.0
+    for (tg, vg), (tf, vf) in zip(ev_g, ev_f):
+        if not _same(vg, vf) or abs(tg - tf) > time_tolerance:
+            first = min(tg, tf)
+            break
+        worst_shift = max(worst_shift, abs(tg - tf))
+    if first is None and len(ev_g) != len(ev_f):
+        longer = ev_g if len(ev_g) > len(ev_f) else ev_f
+        first = longer[min(len(ev_g), len(ev_f))][0]
+
+    if first is None:
+        return TraceComparison(
+            name=golden.name,
+            match=True,
+            first_divergence=None,
+            last_divergence=None,
+            mismatch_time=0.0,
+            max_deviation=worst_shift,
+            final_match=True,
+        )
+    # Fall back to the exact comparison for the divergence details,
+    # but anchored at the first out-of-tolerance event.
+    exact = compare_traces(golden, faulty, tolerance=0.0, t0=start, t1=end)
+    return TraceComparison(
+        name=golden.name,
+        match=False,
+        first_divergence=first,
+        last_divergence=exact.last_divergence if exact.diverged else first,
+        mismatch_time=exact.mismatch_time,
+        max_deviation=exact.max_deviation,
+        final_match=_same(golden.resample([end])[0], faulty.resample([end])[0]),
+    )
+
+
+def compare_traces(golden, faulty, tolerance=0.0, t0=None, t1=None):
+    """Compare two traces of the same probe.
+
+    :param tolerance: absolute amplitude tolerance; 0 for digital
+        traces (exact match), a voltage band for analog traces.
+    :param t0, t1: comparison window (defaults to the overlap).
+    :returns: a :class:`TraceComparison`.
+    """
+    start = max(golden.t_start, faulty.t_start) if t0 is None else t0
+    # Use the union of the spans: traces extend by holding their last
+    # value, and a faulty run that froze a signal early must still be
+    # compared against the golden activity after the freeze.
+    end = max(golden.t_end, faulty.t_end) if t1 is None else t1
+    if end < start:
+        raise MeasurementError(
+            f"comparison window empty for trace {golden.name!r}"
+        )
+    grid = _comparison_grid(golden, faulty, start, end)
+    g = golden.resample(grid)
+    f = faulty.resample(grid)
+    # NaN (undefined logic) compares equal to NaN and different from
+    # any number: an X where the golden run had a value is an error.
+    both_nan = np.isnan(g) & np.isnan(f)
+    deviation = np.abs(g - f)
+    deviation[both_nan] = 0.0
+    deviation[np.isnan(deviation)] = np.inf
+    outside = deviation > tolerance
+
+    if not outside.any():
+        return TraceComparison(
+            name=golden.name,
+            match=True,
+            first_divergence=None,
+            last_divergence=None,
+            mismatch_time=0.0,
+            max_deviation=float(np.max(deviation[np.isfinite(deviation)], initial=0.0)),
+            final_match=True,
+        )
+
+    bad_indices = np.nonzero(outside)[0]
+    first = float(grid[bad_indices[0]])
+    last = float(grid[bad_indices[-1]])
+    # Total mismatch time: sum of inter-sample gaps that are outside.
+    gaps = np.diff(grid)
+    bad_gap = outside[:-1] | outside[1:]
+    mismatch_time = float(np.sum(gaps[bad_gap])) if len(gaps) else 0.0
+    finite = deviation[np.isfinite(deviation)]
+    max_dev = float(np.max(finite)) if len(finite) else float("inf")
+    if np.isinf(deviation[bad_indices]).any():
+        max_dev = float("inf")
+    final_match = not outside[-1]
+    return TraceComparison(
+        name=golden.name,
+        match=False,
+        first_divergence=first,
+        last_divergence=last,
+        mismatch_time=mismatch_time,
+        max_deviation=max_dev,
+        final_match=final_match,
+    )
+
+
+def default_tolerance(trace, analog_tolerance=0.01):
+    """Tolerance for a trace: 0 for digital, a band for analog."""
+    return analog_tolerance if trace.interp == LINEAR else 0.0
+
+
+def compare_probe_sets(golden_probes, faulty_probes, tolerances=None,
+                       analog_tolerance=0.01, time_tolerances=None,
+                       t0=None, t1=None):
+    """Compare every same-named probe pair.
+
+    :param tolerances: optional per-name amplitude overrides.
+    :param time_tolerances: optional per-name *edge-time* tolerances
+        (seconds) for event-sampled traces; such probes are compared
+        with :func:`compare_digital_edges` instead of exact matching.
+    :returns: dict name -> :class:`TraceComparison`.
+    :raises MeasurementError: when the probe sets differ.
+    """
+    if set(golden_probes) != set(faulty_probes):
+        missing = set(golden_probes) ^ set(faulty_probes)
+        raise MeasurementError(
+            f"golden and faulty probe sets differ: {sorted(missing)}"
+        )
+    tolerances = tolerances or {}
+    time_tolerances = time_tolerances or {}
+    result = {}
+    for name, golden in golden_probes.items():
+        if name in time_tolerances and golden.interp == STEP:
+            result[name] = compare_digital_edges(
+                golden, faulty_probes[name],
+                time_tolerance=time_tolerances[name], t0=t0, t1=t1,
+            )
+            continue
+        tol = tolerances.get(
+            name, default_tolerance(golden, analog_tolerance)
+        )
+        result[name] = compare_traces(
+            golden, faulty_probes[name], tolerance=tol, t0=t0, t1=t1
+        )
+    return result

@@ -1,0 +1,165 @@
+"""Fault dictionaries: from campaign results to diagnosis.
+
+A classical exploitation of injection campaigns the paper's flow
+enables: store, for every injected fault, the *signature* it produced
+(which monitored outputs diverged, in what order, how soon), then use
+the dictionary in reverse — given a signature observed in the field or
+on the tester, list the faults that could have caused it.  The
+dictionary also quantifies **distinguishability**: faults sharing a
+signature can never be told apart by the chosen observation points,
+which tells the designer where more observability is needed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..core.errors import CampaignError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A canonical, hashable fault signature.
+
+    :ivar label: classification label of the run.
+    :ivar diverged: sorted tuple of diverged probe names.
+    :ivar order: probe names in first-divergence order.
+    :ivar latency_bucket: first output divergence quantised to the
+        bucket size (-1 when no output diverged).
+    """
+
+    label: str
+    diverged: tuple
+    order: tuple
+    latency_bucket: int
+
+    def describe(self):
+        """One-line rendering for reports."""
+        chain = " -> ".join(self.order) if self.order else "(none)"
+        return f"[{self.label}] {chain} @bucket {self.latency_bucket}"
+
+
+def signature_of(result_run, time_bucket=1e-6, include_order=True):
+    """Build the :class:`Signature` of one :class:`FaultResult`.
+
+    :param time_bucket: quantisation of the first-output-divergence
+        time; coarser buckets merge more faults into one signature
+        (trading diagnostic resolution for robustness).
+    :param include_order: when False the divergence order is dropped
+        from the signature (set membership only).
+    """
+    if time_bucket <= 0:
+        raise CampaignError("time_bucket must be positive")
+    comparisons = result_run.comparisons
+    diverged = tuple(sorted(
+        name for name, cmp_result in comparisons.items()
+        if cmp_result.diverged
+    ))
+    ordered = tuple(
+        name for _t, name in sorted(
+            (cmp_result.first_divergence, name)
+            for name, cmp_result in comparisons.items()
+            if cmp_result.diverged
+        )
+    )
+    first_out = result_run.classification.first_output_divergence
+    bucket = -1 if first_out is None else int(first_out / time_bucket)
+    return Signature(
+        label=result_run.label,
+        diverged=diverged,
+        order=ordered if include_order else (),
+        latency_bucket=bucket,
+    )
+
+
+class FaultDictionary:
+    """Signature -> candidate-fault index over a campaign result.
+
+    :param result: a :class:`~repro.campaign.results.CampaignResult`.
+    :param time_bucket: see :func:`signature_of`.
+    :param include_order: see :func:`signature_of`.
+    """
+
+    def __init__(self, result, time_bucket=1e-6, include_order=True):
+        if len(result) == 0:
+            raise CampaignError("cannot index an empty campaign")
+        self.time_bucket = time_bucket
+        self.include_order = include_order
+        self._index = defaultdict(list)
+        self._signature_by_fault = {}
+        for run in result:
+            signature = signature_of(run, time_bucket, include_order)
+            self._index[signature].append(run.fault)
+            self._signature_by_fault[id(run.fault)] = signature
+        self.n_faults = len(result)
+
+    # -- lookup ---------------------------------------------------------
+
+    def signatures(self):
+        """All distinct signatures, most populous first."""
+        return sorted(
+            self._index, key=lambda s: -len(self._index[s])
+        )
+
+    def candidates(self, signature):
+        """Faults that produced ``signature`` (empty list if unseen)."""
+        return list(self._index.get(signature, []))
+
+    def signature_for(self, fault):
+        """The signature a (previously indexed) fault produced.
+
+        :raises CampaignError: for faults not in the campaign.
+        """
+        try:
+            return self._signature_by_fault[id(fault)]
+        except KeyError:
+            raise CampaignError(
+                f"fault {fault!r} was not part of the indexed campaign"
+            ) from None
+
+    def diagnose(self, signature):
+        """Candidates plus the ambiguity count: ``(faults, n)``."""
+        faults = self.candidates(signature)
+        return faults, len(faults)
+
+    # -- quality metrics --------------------------------------------------------
+
+    def distinguishability(self):
+        """Fraction of faults with a *unique* signature.
+
+        1.0 means the observation points fully diagnose every injected
+        fault; low values mean more observability is needed.
+        """
+        unique = sum(
+            1 for faults in self._index.values() if len(faults) == 1
+        )
+        return unique / self.n_faults
+
+    def ambiguity_histogram(self):
+        """Mapping equivalence-class size -> number of classes."""
+        histogram = defaultdict(int)
+        for faults in self._index.values():
+            histogram[len(faults)] += 1
+        return dict(histogram)
+
+    def largest_ambiguity_class(self):
+        """The signature shared by the most faults: ``(sig, faults)``."""
+        signature = max(self._index, key=lambda s: len(self._index[s]))
+        return signature, list(self._index[signature])
+
+    def report(self, limit=10):
+        """Text report of the dictionary's diagnostic power."""
+        lines = [
+            f"fault dictionary: {self.n_faults} faults, "
+            f"{len(self._index)} distinct signatures",
+            f"distinguishability: {self.distinguishability():.1%} of "
+            "faults uniquely diagnosable",
+            "signature population (largest first):",
+        ]
+        for signature in self.signatures()[:limit]:
+            count = len(self._index[signature])
+            lines.append(f"  {count:4d}x {signature.describe()}")
+        if len(self._index) > limit:
+            lines.append(f"  ... ({len(self._index) - limit} more)")
+        return "\n".join(lines)

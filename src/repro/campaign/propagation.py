@@ -1,0 +1,124 @@
+"""Error-propagation model generation.
+
+The second exploitation of campaign traces in Figure 2: instead of a
+flat failure report, "generate a more complete model showing the error
+propagations in the circuit".  For each faulty run the monitored traces
+are ordered by *first divergence time*; consecutive divergences form
+propagation edges (fault target -> first corrupted probe -> next ...).
+Aggregating the edges over a whole campaign yields a weighted directed
+graph: which nodes corrupt which, how often, and with what latency.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core.errors import CampaignError
+from .results import _target_of
+
+#: Synthetic source node representing the injection site itself.
+ORIGIN = "<fault>"
+
+
+def divergence_order(comparisons):
+    """Probes sorted by first divergence time: ``[(time, name), ...]``.
+
+    Matching probes are omitted.
+    """
+    diverged = [
+        (cmp_result.first_divergence, name)
+        for name, cmp_result in comparisons.items()
+        if cmp_result.diverged
+    ]
+    return sorted(diverged)
+
+
+def propagation_path(fault, comparisons):
+    """The propagation chain of one run.
+
+    Returns ``[(source, destination, latency_seconds), ...]`` starting
+    at the fault target; empty when nothing diverged.
+    """
+    ordered = divergence_order(comparisons)
+    if not ordered:
+        return []
+    path = []
+    prev_name = _target_of(fault)
+    prev_time = ordered[0][0]
+    first = True
+    for time, name in ordered:
+        latency = 0.0 if first else time - prev_time
+        path.append((prev_name, name, latency))
+        prev_name, prev_time = name, time
+        first = False
+    return path
+
+
+def build_propagation_graph(result):
+    """Aggregate a campaign into a weighted propagation DiGraph.
+
+    Edge attributes:
+
+    * ``count`` — number of runs where the error propagated along the
+      edge,
+    * ``mean_latency`` — average time between the two divergences.
+
+    Node attribute ``hits`` counts how often each probe was corrupted.
+
+    :param result: a :class:`repro.campaign.results.CampaignResult`.
+    """
+    graph = nx.DiGraph()
+    for run in result:
+        path = propagation_path(run.fault, run.comparisons)
+        for source, destination, latency in path:
+            if graph.has_edge(source, destination):
+                data = graph[source][destination]
+                total = data["mean_latency"] * data["count"] + latency
+                data["count"] += 1
+                data["mean_latency"] = total / data["count"]
+            else:
+                graph.add_edge(
+                    source, destination, count=1, mean_latency=latency
+                )
+            graph.nodes[destination]["hits"] = (
+                graph.nodes[destination].get("hits", 0) + 1
+            )
+    return graph
+
+
+def dominant_paths(graph, n=5):
+    """The ``n`` highest-count edges, most frequent first."""
+    edges = sorted(
+        graph.edges(data=True), key=lambda e: -e[2]["count"]
+    )
+    return edges[:n]
+
+
+def format_propagation_report(graph):
+    """Text rendering of a propagation graph."""
+    if graph.number_of_edges() == 0:
+        return "no error propagation observed (all faults silent)"
+    lines = ["error propagation model:"]
+    for source, destination, data in sorted(
+        graph.edges(data=True), key=lambda e: -e[2]["count"]
+    ):
+        lines.append(
+            f"  {source} -> {destination}: {data['count']} run(s), "
+            f"mean latency {data['mean_latency'] * 1e9:.2f} ns"
+        )
+    return "\n".join(lines)
+
+
+def reachable_outputs(graph, outputs):
+    """Which declared outputs are reachable from the fault origin.
+
+    :raises CampaignError: when the graph is empty.
+    """
+    if graph.number_of_nodes() == 0:
+        raise CampaignError("empty propagation graph")
+    sources = [n for n in graph.nodes if graph.in_degree(n) == 0]
+    reached = set()
+    for source in sources:
+        reached.update(nx.descendants(graph, source))
+        reached.add(source)
+    return sorted(set(outputs) & reached)

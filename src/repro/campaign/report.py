@@ -1,0 +1,176 @@
+"""Campaign reports.
+
+Text and CSV renderings of campaign results — the "failure report"
+output of the flow.  Everything is plain fixed-width text so reports
+diff cleanly between campaigns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from .classify import CLASSES
+from .results import _target_of
+
+
+def _format_table(rows):
+    """Fixed-width table from a list of string rows (first = header)."""
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def classification_summary(result):
+    """Aggregate class counts table."""
+    counts = result.counts()
+    total = len(result)
+    rows = [["class", "runs", "fraction"]]
+    for label in CLASSES:
+        n = counts[label]
+        frac = f"{n / total:.1%}" if total else "-"
+        rows.append([label, str(n), frac])
+    rows.append(["total", str(total), "100.0%" if total else "-"])
+    return _format_table(rows)
+
+
+def per_target_table(result):
+    """Per-injection-target class breakdown."""
+    table = result.by_target()
+    rows = [["target"] + list(CLASSES) + ["error rate"]]
+    for target in sorted(table):
+        counter = table[target]
+        total = sum(counter.values())
+        errors = total - counter.get(CLASSES[0], 0)
+        rows.append(
+            [target]
+            + [str(counter.get(label, 0)) for label in CLASSES]
+            + [f"{errors / total:.1%}" if total else "-"]
+        )
+    return _format_table(rows)
+
+
+def fault_listing(result, limit=None):
+    """One line per run: fault description and class."""
+    lines = []
+    for run in result.runs[: limit if limit is not None else len(result.runs)]:
+        lines.append(run.describe())
+    if limit is not None and len(result.runs) > limit:
+        lines.append(f"... ({len(result.runs) - limit} more)")
+    return "\n".join(lines)
+
+
+def full_report(result, listing_limit=20):
+    """Complete text report: header, summary, per-target, worst runs."""
+    from .stats import estimate_error_rate
+
+    sections = [
+        f"=== campaign report: {result.spec.name} ===",
+        result.spec.describe(),
+        "",
+        "--- classification summary ---",
+        classification_summary(result),
+    ]
+    if len(result):
+        rate, (low, high) = estimate_error_rate(result)
+        sections.append(
+            f"error rate: {rate:.1%}  (95% Wilson CI: {low:.1%} .. {high:.1%})"
+        )
+    sections.extend(
+        [
+            "",
+            "--- per-target breakdown ---",
+            per_target_table(result),
+            "",
+            "--- fault listing ---",
+            fault_listing(result, listing_limit),
+        ]
+    )
+    return "\n".join(sections)
+
+
+#: One-character severity glyphs for the sensitivity matrix.
+SEVERITY_GLYPHS = {
+    "silent": ".",
+    "latent": "o",
+    "transient-error": "T",
+    "failure": "F",
+}
+
+
+def sensitivity_matrix(result):
+    """ASCII target x injection-time severity map.
+
+    The designer's at-a-glance view of *where* and *when* the circuit
+    is vulnerable: one row per injection target, one column per
+    distinct injection time, each cell the severity glyph of that run
+    (``.`` silent, ``o`` latent, ``T`` transient error, ``F`` failure,
+    blank = combination not injected).
+    """
+    times = sorted({
+        getattr(run.fault, "time", None)
+        for run in result.runs
+        if getattr(run.fault, "time", None) is not None
+    })
+    if not times:
+        return "no timed faults in this campaign"
+    index = {t: k for k, t in enumerate(times)}
+    rows = {}
+    for run in result.runs:
+        time = getattr(run.fault, "time", None)
+        if time is None:
+            continue
+        target = _target_of(run.fault)
+        cells = rows.setdefault(target, [" "] * len(times))
+        cells[index[time]] = SEVERITY_GLYPHS.get(run.label, "?")
+    width = max(len(t) for t in rows)
+    lines = [
+        f"{'target'.ljust(width)}  "
+        + "".join("|" if k % 10 == 0 else " " for k in range(len(times))),
+        f"{''.ljust(width)}  first column at "
+        f"{times[0] * 1e9:.1f} ns, last at {times[-1] * 1e9:.1f} ns",
+    ]
+    for target in sorted(rows):
+        lines.append(f"{target.ljust(width)}  {''.join(rows[target])}")
+    lines.append(
+        "legend: . silent   o latent   T transient-error   F failure"
+    )
+    return "\n".join(lines)
+
+
+def to_csv(result):
+    """CSV export: one row per run with key comparison metrics."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "index",
+            "fault",
+            "target",
+            "class",
+            "first_output_divergence_s",
+            "output_mismatch_time_s",
+            "diverged_outputs",
+            "diverged_internal",
+        ]
+    )
+    for index, run in enumerate(result.runs):
+        cls = run.classification
+        writer.writerow(
+            [
+                index,
+                run.fault.describe(),
+                _target_of(run.fault),
+                cls.label,
+                "" if cls.first_output_divergence is None
+                else f"{cls.first_output_divergence:.12g}",
+                f"{cls.output_mismatch_time:.12g}",
+                ";".join(cls.diverged_outputs),
+                ";".join(cls.diverged_internal),
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,118 @@
+"""Campaign result containers and aggregation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..core.errors import CampaignError
+from .classify import CLASSES, SILENT, Classification
+
+
+@dataclass
+class FaultResult:
+    """Outcome of one faulty run.
+
+    :ivar fault: the injected fault-model instance.
+    :ivar classification: the :class:`Classification`.
+    :ivar comparisons: per-trace :class:`TraceComparison` map.
+    :ivar metrics: free-form per-run metrics (e.g. perturbed cycles).
+    """
+
+    fault: object
+    classification: Classification
+    comparisons: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def label(self):
+        """Classification label shortcut."""
+        return self.classification.label
+
+    def describe(self):
+        """One line: fault -> class."""
+        return f"{self.fault.describe():60s} -> {self.label}"
+
+
+class CampaignResult:
+    """All runs of one campaign plus aggregate views.
+
+    :param spec: the :class:`CampaignSpec` that was executed.
+    :param golden_probes: probe traces of the golden run.
+    """
+
+    def __init__(self, spec, golden_probes=None):
+        self.spec = spec
+        self.golden_probes = golden_probes or {}
+        self.runs = []
+
+    def add(self, result):
+        """Record one :class:`FaultResult`."""
+        self.runs.append(result)
+
+    def __len__(self):
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    # -- aggregation ------------------------------------------------------
+
+    def counts(self):
+        """Mapping class label -> number of runs (all classes present)."""
+        counter = Counter(run.label for run in self.runs)
+        return {label: counter.get(label, 0) for label in CLASSES}
+
+    def fractions(self):
+        """Mapping class label -> fraction of runs."""
+        if not self.runs:
+            raise CampaignError("no runs recorded")
+        total = len(self.runs)
+        return {label: n / total for label, n in self.counts().items()}
+
+    def error_rate(self):
+        """Fraction of faults that were *not* silent."""
+        if not self.runs:
+            raise CampaignError("no runs recorded")
+        errors = sum(1 for run in self.runs if run.label != SILENT)
+        return errors / len(self.runs)
+
+    def by_class(self, label):
+        """All runs with a given classification label."""
+        return [run for run in self.runs if run.label == label]
+
+    def by_target(self):
+        """Mapping injection-target description -> class counter.
+
+        Targets are derived from each fault's attributes: bit-flip
+        state names, SET/stuck-at signal names, analog node names.
+        """
+        table = {}
+        for run in self.runs:
+            target = _target_of(run.fault)
+            table.setdefault(target, Counter())[run.label] += 1
+        return table
+
+    def worst_runs(self, n=5):
+        """The ``n`` most severe runs (failures first)."""
+        ranked = sorted(
+            self.runs,
+            key=lambda run: (
+                -run.classification.severity,
+                run.classification.first_output_divergence or float("inf"),
+            ),
+        )
+        return ranked[:n]
+
+
+def _target_of(fault):
+    if hasattr(fault, "node"):
+        return fault.node
+    if hasattr(fault, "targets"):
+        names = fault.targets()
+        return names[0] if len(names) == 1 else "+".join(names)
+    if hasattr(fault, "target"):
+        return fault.target
+    if hasattr(fault, "component"):
+        return f"{fault.component}.{fault.attribute}"
+    return "<unknown>"

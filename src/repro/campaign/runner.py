@@ -1,0 +1,212 @@
+"""Campaign execution.
+
+Runs the full flow of Figures 2 and 3: a golden reference simulation,
+then one fresh, instrumented simulation per fault, each compared and
+classified against the golden traces.
+
+The user supplies a **design factory**: a zero-argument callable
+returning a :class:`Design` — a freshly built circuit with its probes.
+Rebuilding per run guarantees runs are independent (no state leaks
+between injections), the simulation-based equivalent of reloading the
+emulator bitstream between experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import CampaignError
+from ..injection.controller import InjectionController
+from .classify import classify
+from .compare import compare_probe_sets
+from .results import CampaignResult, FaultResult
+
+
+@dataclass
+class Design:
+    """A freshly elaborated design under test.
+
+    :ivar sim: the simulator, not yet run.
+    :ivar root: hierarchy root component (mutant/state lookup scope).
+    :ivar probes: mapping name -> :class:`Trace`, created before the
+        run; must be identical between golden and faulty elaborations.
+    :ivar extras: anything the factory wants to expose to per-run
+        metric hooks (block references, nodes...).
+    """
+
+    sim: object
+    root: object
+    probes: dict
+    extras: dict = field(default_factory=dict)
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignSpec` against a design factory.
+
+    :param factory: zero-argument callable returning a :class:`Design`.
+    :param spec: the campaign specification.
+    :param metric_hooks: optional callables
+        ``(design, fault) -> dict`` evaluated after each faulty run;
+        their merged results land in :attr:`FaultResult.metrics`.
+    :param progress: optional callable ``(index, total, fault)`` for
+        progress reporting.
+    """
+
+    def __init__(self, factory, spec, metric_hooks=(), progress=None):
+        self.factory = factory
+        self.spec = spec
+        self.metric_hooks = list(metric_hooks)
+        self.progress = progress
+        self._shared_windows = self._collect_windows(spec.faults)
+
+    @staticmethod
+    def _collect_windows(faults):
+        """Union of the solver refinement windows all faults will need.
+
+        Analog injections refine the solver timestep around the pulse;
+        if only the faulty run refined, golden and faulty runs would
+        integrate on *different* grids and diverge numerically even
+        for a negligible pulse.  Pre-applying every fault's window to
+        every run (golden included) keeps the grids identical, so any
+        observed difference is caused by the fault alone.
+        """
+        from ..injection.saboteur import CurrentPulseSaboteur
+        from ..injection.controller import CurrentInjection
+
+        windows = []
+        for fault in faults:
+            if isinstance(fault, CurrentInjection):
+                windows.append(
+                    CurrentPulseSaboteur.window_for(fault.transient, fault.time)
+                )
+        return windows
+
+    def _apply_shared_windows(self, design):
+        for t0, t1, dt in self._shared_windows:
+            design.sim.analog.add_refinement_window(t0, t1, dt)
+
+    # -- individual runs ------------------------------------------------------
+
+    def run_golden(self):
+        """Execute the fault-free reference run; returns its probes."""
+        design = self.factory()
+        self._check_probes(design, self.spec.outputs)
+        self._apply_shared_windows(design)
+        design.sim.run(self.spec.t_end)
+        return design
+
+    def run_fault(self, fault):
+        """Execute one faulty run; returns ``(design, controller)``."""
+        design = self.factory()
+        self._apply_shared_windows(design)
+        controller = InjectionController(design.sim, design.root)
+        controller.apply(fault)
+        design.sim.run(self.spec.t_end)
+        return design, controller
+
+    @staticmethod
+    def _check_probes(design, outputs):
+        missing = [name for name in outputs if name not in design.probes]
+        if missing:
+            raise CampaignError(
+                f"design factory does not probe declared outputs: {missing}"
+            )
+
+    # -- the campaign -----------------------------------------------------------
+
+    def _evaluate(self, golden_probes, fault, faulty_probes, metrics):
+        comparisons = compare_probe_sets(
+            golden_probes,
+            faulty_probes,
+            tolerances=self.spec.tolerances,
+            analog_tolerance=self.spec.analog_tolerance,
+            time_tolerances=self.spec.time_tolerances,
+            t0=self.spec.compare_from,
+            t1=self.spec.t_end,
+        )
+        classification = classify(comparisons, self.spec.outputs)
+        return FaultResult(
+            fault=fault,
+            classification=classification,
+            comparisons=comparisons,
+            metrics=metrics,
+        )
+
+    def _execute_one(self, fault):
+        """Run one faulty simulation; returns (probes, metrics).
+
+        Used both in-process and as the body of a worker process —
+        only picklable data (traces, metric dicts) crosses the
+        boundary in the parallel case.
+        """
+        design, _controller = self.run_fault(fault)
+        metrics = {}
+        for hook in self.metric_hooks:
+            metrics.update(hook(design, fault))
+        return design.probes, metrics
+
+    def run(self, workers=None):
+        """Run golden + every fault; returns a :class:`CampaignResult`.
+
+        :param workers: when > 1 on a platform with ``fork``, faulty
+            runs execute in a process pool (each worker inherits the
+            factory and hooks via fork; only probe traces and metric
+            dicts are shipped back).  Comparison and classification
+            always happen in the parent, against the one golden run.
+        """
+        golden = self.run_golden()
+        result = CampaignResult(self.spec, golden_probes=golden.probes)
+        total = len(self.spec.faults)
+
+        if workers is not None and workers > 1 and total > 1:
+            import multiprocessing
+
+            global _ACTIVE_RUNNER
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError as exc:
+                raise CampaignError(
+                    "parallel campaigns need the 'fork' start method"
+                ) from exc
+            # Workers inherit this runner (factory, hooks and all)
+            # through fork; only integer indices go out and picklable
+            # (traces, metrics) results come back, so closures are
+            # fine as factories and hooks.
+            _ACTIVE_RUNNER = self
+            try:
+                with context.Pool(processes=workers) as pool:
+                    outcomes = pool.map(_worker_execute, range(total))
+            finally:
+                _ACTIVE_RUNNER = None
+            for index, (fault, (probes, metrics)) in enumerate(
+                zip(self.spec.faults, outcomes)
+            ):
+                if self.progress is not None:
+                    self.progress(index, total, fault)
+                result.add(
+                    self._evaluate(golden.probes, fault, probes, metrics)
+                )
+            return result
+
+        for index, fault in enumerate(self.spec.faults):
+            if self.progress is not None:
+                self.progress(index, total, fault)
+            probes, metrics = self._execute_one(fault)
+            result.add(self._evaluate(golden.probes, fault, probes, metrics))
+        return result
+
+
+#: Runner a forked worker should execute against (fork-inherited).
+_ACTIVE_RUNNER = None
+
+
+def _worker_execute(index):
+    """Pool worker body: run fault ``index`` of the inherited runner."""
+    return _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
+
+
+def run_campaign(factory, spec, metric_hooks=(), progress=None, workers=None):
+    """Convenience wrapper: build a runner and run it."""
+    return CampaignRunner(
+        factory, spec, metric_hooks=metric_hooks, progress=progress
+    ).run(workers=workers)

@@ -1,0 +1,87 @@
+"""Campaign specification.
+
+"During the campaign definition, the designer provides all the
+information required for the fault injection and the result analysis"
+(Section 3.1).  A :class:`CampaignSpec` is exactly that bundle: the
+fault list, how long to simulate, which probes are outputs, and the
+analog comparison tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import CampaignError
+from ..core.units import parse_quantity
+
+
+@dataclass
+class CampaignSpec:
+    """Everything needed to run one injection campaign.
+
+    :ivar name: campaign label for reports.
+    :ivar faults: the fault list (fault-model instances; see
+        :mod:`repro.campaign.faultlist` for generators).
+    :ivar t_end: simulated duration of every run, in seconds.
+    :ivar outputs: probe names treated as system outputs for
+        classification; every other probe is internal state.
+    :ivar tolerances: per-probe-name absolute amplitude tolerances.
+    :ivar time_tolerances: per-probe-name *edge-time* tolerances in
+        seconds, for digital probes (regenerated clocks) whose edge
+        positions legitimately shift by picoseconds run-to-run; see
+        :func:`repro.campaign.compare.compare_digital_edges`.
+    :ivar analog_tolerance: default tolerance for analog probes not
+        listed in ``tolerances``.
+    :ivar compare_from: start of the comparison window (default 0);
+        set it past reset/lock transients to ignore start-up noise.
+    :ivar metadata: free-form notes carried into the result.
+    """
+
+    name: str
+    faults: list
+    t_end: float
+    outputs: list
+    tolerances: dict = field(default_factory=dict)
+    time_tolerances: dict = field(default_factory=dict)
+    analog_tolerance: float = 0.01
+    compare_from: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.t_end = parse_quantity(self.t_end, expect_unit="s")
+        if self.t_end <= 0:
+            raise CampaignError("t_end must be positive")
+        if not self.name:
+            raise CampaignError("campaign needs a name")
+        self.faults = list(self.faults)
+        if not self.faults:
+            raise CampaignError("campaign needs at least one fault")
+        self.outputs = list(self.outputs)
+        if not self.outputs:
+            raise CampaignError(
+                "campaign needs at least one output probe name"
+            )
+        if self.compare_from is not None:
+            self.compare_from = parse_quantity(self.compare_from, expect_unit="s")
+            if not 0 <= self.compare_from < self.t_end:
+                raise CampaignError(
+                    "compare_from must lie inside the simulated window"
+                )
+
+    @property
+    def n_faults(self):
+        """Number of runs the campaign will execute (plus one golden)."""
+        return len(self.faults)
+
+    def describe(self):
+        """Multi-line summary shown before launching the campaign."""
+        lines = [
+            f"campaign {self.name!r}: {self.n_faults} faults, "
+            f"{self.t_end * 1e6:.3g} us per run",
+            f"outputs: {', '.join(self.outputs)}",
+            f"analog tolerance: {self.analog_tolerance:g} "
+            f"({len(self.tolerances)} overrides)",
+        ]
+        if self.compare_from:
+            lines.append(f"comparison starts at {self.compare_from * 1e6:.3g} us")
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Statistical treatment of sampled campaigns.
+
+When the exhaustive fault space (every flip-flop x every cycle, or
+every node x every instant x every pulse shape) is too large, campaigns
+sample it; these helpers put confidence intervals on the estimated
+error rates and size the sample for a target precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import beta, norm
+
+from ..core.errors import CampaignError
+
+
+def wilson_interval(successes, trials, confidence=0.95):
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved near 0 and 1 — important because good designs have
+    failure rates near 0.
+
+    :returns: ``(low, high)``.
+    """
+    if trials <= 0:
+        raise CampaignError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise CampaignError("successes must be within [0, trials]")
+    z = norm.ppf(0.5 + confidence / 2.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def clopper_pearson_interval(successes, trials, confidence=0.95):
+    """Exact (conservative) Clopper–Pearson binomial interval."""
+    if trials <= 0:
+        raise CampaignError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise CampaignError("successes must be within [0, trials]")
+    alpha = 1.0 - confidence
+    low = 0.0 if successes == 0 else float(
+        beta.ppf(alpha / 2, successes, trials - successes + 1)
+    )
+    high = 1.0 if successes == trials else float(
+        beta.ppf(1 - alpha / 2, successes + 1, trials - successes)
+    )
+    return low, high
+
+
+def required_sample_size(margin, confidence=0.95, p_expected=0.5):
+    """Runs needed to estimate a proportion within ``±margin``.
+
+    Uses the normal approximation ``n = z^2 p(1-p) / margin^2``; with
+    the default ``p_expected = 0.5`` this is the worst case.
+    """
+    if not 0 < margin < 1:
+        raise CampaignError("margin must be in (0, 1)")
+    z = norm.ppf(0.5 + confidence / 2.0)
+    n = z * z * p_expected * (1.0 - p_expected) / (margin * margin)
+    return int(math.ceil(n))
+
+
+def estimate_error_rate(result, confidence=0.95):
+    """Error-rate estimate with a Wilson interval for a campaign.
+
+    :param result: a :class:`repro.campaign.results.CampaignResult`.
+    :returns: ``(point_estimate, (low, high))``.
+    """
+    trials = len(result)
+    if trials == 0:
+        raise CampaignError("campaign has no runs")
+    errors = sum(1 for run in result if run.classification.is_error())
+    return errors / trials, wilson_interval(errors, trials, confidence)

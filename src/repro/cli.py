@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+File-driven access to the flow, so campaigns can run from a shell or a
+Makefile without writing Python::
+
+    python -m repro types
+    python -m repro info design.json
+    python -m repro simulate design.json --until 1us --vcd out.vcd
+    python -m repro campaign design.json faults.json --report report.txt
+
+The fault file is a JSON list of fault descriptors::
+
+    [
+      {"kind": "bitflip", "target": "top/counter.q[0]", "time": "35ns"},
+      {"kind": "mbu", "targets": ["a", "b"], "time": "35ns"},
+      {"kind": "set", "target": "clk", "time": "50ns", "width": "2ns"},
+      {"kind": "stuck", "target": "clk", "value": "0", "t_start": "50ns"},
+      {"kind": "current", "node": "pll.icp", "time": "40us",
+       "pulse": {"pa": "10mA", "rt": "100ps", "ft": "300ps", "pw": "500ps"}},
+      {"kind": "parametric", "component": "pll/vco", "attribute": "kvco",
+       "factor": 1.2}
+    ]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .campaign import CampaignSpec, full_report, run_campaign, to_csv
+from .core.errors import ReproError
+from .core.units import parse_quantity
+from .core.vcd import save_vcd
+from .faults import (
+    BitFlip,
+    DoubleExponentialPulse,
+    MultipleBitUpset,
+    ParametricFault,
+    SETPulse,
+    StuckAt,
+    TrapezoidPulse,
+)
+from .injection import CurrentInjection
+from .netlist import design_factory, known_types, load_file, load_text_file
+
+
+def load_netlist(path):
+    """Read a netlist file, dispatching on format.
+
+    ``.json`` files use the JSON schema; anything else is parsed as
+    the ``.rcir`` text format.
+    """
+    if path.endswith(".json"):
+        return load_file(path)
+    return load_text_file(path)
+
+
+def fault_from_dict(data):
+    """Build a fault-model instance from a JSON descriptor.
+
+    :raises ReproError: for unknown kinds or malformed descriptors.
+    """
+    kind = data.get("kind")
+    try:
+        if kind == "bitflip":
+            return BitFlip(data["target"], data["time"])
+        if kind == "mbu":
+            return MultipleBitUpset(data["targets"], data["time"])
+        if kind == "set":
+            return SETPulse(data["target"], data["time"], data["width"],
+                            value=data.get("value"))
+        if kind == "stuck":
+            return StuckAt(data["target"], data["value"],
+                           t_start=data.get("t_start", 0.0),
+                           t_end=data.get("t_end"))
+        if kind == "current":
+            pulse = data["pulse"]
+            if "tau_r" in pulse:
+                transient = DoubleExponentialPulse(
+                    pulse["i0"], pulse["tau_r"], pulse["tau_f"]
+                )
+            else:
+                transient = TrapezoidPulse(
+                    pulse["pa"], pulse["rt"], pulse["ft"], pulse["pw"]
+                )
+            return CurrentInjection(transient, data["node"], data["time"])
+        if kind == "parametric":
+            return ParametricFault(
+                data["component"], data["attribute"],
+                factor=data.get("factor"), delta=data.get("delta"),
+                t_start=data.get("t_start", 0.0), t_end=data.get("t_end"),
+            )
+    except KeyError as exc:
+        raise ReproError(
+            f"fault descriptor {data!r} is missing key {exc}"
+        ) from exc
+    raise ReproError(f"unknown fault kind {kind!r}")
+
+
+def load_faults(path):
+    """Read a JSON fault list file."""
+    with open(path) as handle:
+        entries = json.load(handle)
+    if not isinstance(entries, list):
+        raise ReproError("fault file must contain a JSON list")
+    return [fault_from_dict(entry) for entry in entries]
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def cmd_types(_args):
+    """List the component types a netlist may instantiate."""
+    for name in known_types():
+        print(name)
+    return 0
+
+
+def cmd_info(args):
+    """Summarise a netlist file."""
+    netlist = load_netlist(args.netlist)
+    print(f"design   : {netlist.name}")
+    print(f"dt       : {netlist.dt}")
+    print(f"signals  : {', '.join(s.name for s in netlist.signals) or '-'}")
+    print(f"nodes    : "
+          f"{', '.join(f'{n.name}({n.kind})' for n in netlist.nodes) or '-'}")
+    print(f"buses    : "
+          f"{', '.join(f'{b.name}[{b.width}]' for b in netlist.buses) or '-'}")
+    print("instances:")
+    for inst in netlist.instances:
+        ports = ", ".join(f"{p}={n}" for p, n in inst.ports.items())
+        print(f"  {inst.name}: {inst.type}({ports})")
+    print(f"probes   : {', '.join(netlist.probes) or '-'}")
+    print(f"outputs  : {', '.join(netlist.outputs) or '-'}")
+    return 0
+
+
+def cmd_simulate(args):
+    """Elaborate and run a netlist, optionally dumping waves."""
+    netlist = load_netlist(args.netlist)
+    design = design_factory(netlist)()
+    until = parse_quantity(args.until, expect_unit="s")
+    design.sim.run(until)
+    print(f"simulated {until * 1e6:g} us: "
+          f"{design.sim.events_executed} events, "
+          f"{design.sim.analog_steps} analog steps")
+    for name in sorted(design.probes):
+        trace = design.probes[name]
+        print(f"  {name}: {len(trace)} samples, final = "
+              f"{trace.raw_values[-1] if len(trace) else '-'}")
+    if args.vcd:
+        save_vcd(design.probes, args.vcd)
+        print(f"wrote {args.vcd}")
+    return 0
+
+
+def cmd_campaign(args):
+    """Run a fault-injection campaign from netlist + fault files."""
+    netlist = load_netlist(args.netlist)
+    faults = load_faults(args.faults)
+    if not netlist.outputs:
+        raise ReproError(
+            "netlist declares no outputs; campaigns need at least one"
+        )
+    spec = CampaignSpec(
+        name=args.name or netlist.name,
+        faults=faults,
+        t_end=parse_quantity(args.until, expect_unit="s"),
+        outputs=list(netlist.outputs),
+        analog_tolerance=args.analog_tolerance,
+        compare_from=args.compare_from,
+    )
+    result = run_campaign(
+        design_factory(netlist),
+        spec,
+        workers=args.workers,
+        progress=(
+            (lambda i, n, f: print(f"run {i + 1}/{n}: {f.describe()}",
+                                   file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    report = full_report(result, listing_limit=args.listing_limit)
+    print(report)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(result))
+        print(f"wrote {args.csv}")
+    errors = sum(1 for r in result if r.classification.is_error())
+    return 1 if args.fail_on_error and errors else 0
+
+
+def build_parser():
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Early SEU fault injection in digital, analog and "
+        "mixed-signal circuits (DATE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_types = sub.add_parser("types", help="list netlist component types")
+    p_types.set_defaults(func=cmd_types)
+
+    p_info = sub.add_parser("info", help="summarise a netlist file")
+    p_info.add_argument("netlist")
+    p_info.set_defaults(func=cmd_info)
+
+    p_sim = sub.add_parser("simulate", help="run a netlist")
+    p_sim.add_argument("netlist")
+    p_sim.add_argument("--until", default="1us",
+                       help="simulated duration (default 1us)")
+    p_sim.add_argument("--vcd", help="write probe waves to a VCD file")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_camp = sub.add_parser("campaign", help="run an injection campaign")
+    p_camp.add_argument("netlist")
+    p_camp.add_argument("faults", help="JSON fault list file")
+    p_camp.add_argument("--until", default="1us")
+    p_camp.add_argument("--name", default=None)
+    p_camp.add_argument("--analog-tolerance", type=float, default=0.01)
+    p_camp.add_argument("--compare-from", type=float, default=None)
+    p_camp.add_argument("--report", help="also write the report to a file")
+    p_camp.add_argument("--csv", help="write per-run results as CSV")
+    p_camp.add_argument("--listing-limit", type=int, default=20)
+    p_camp.add_argument("--workers", type=int, default=None,
+                        help="run faulty simulations in N processes")
+    p_camp.add_argument("--verbose", action="store_true")
+    p_camp.add_argument("--fail-on-error", action="store_true",
+                        help="exit 1 when any fault caused an error")
+    p_camp.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

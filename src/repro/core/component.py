@@ -1,0 +1,147 @@
+"""Design hierarchy: components and behavioural blocks.
+
+The paper's flow instruments a *hierarchical* circuit description
+(VHDL / VHDL-AMS).  Here the description is a tree of
+:class:`Component` objects:
+
+* :class:`DigitalComponent` — event-driven behaviour expressed as
+  processes with sensitivity lists, computing over
+  :class:`~repro.core.signal.Signal` objects.
+* :class:`AnalogBlock` — a continuous behavioural model with a
+  ``step(t, dt)`` method evaluated by the analog solver every timestep,
+  reading and writing :class:`~repro.core.node.AnalogNode` objects.
+
+Every component can expose its memory elements through
+:meth:`Component.state_signals`; that is the hook the *mutant*
+instrumentation (Section 3.2) uses to flip stored bits.
+"""
+
+from __future__ import annotations
+
+from .errors import ElaborationError
+
+
+class Component:
+    """A node in the design hierarchy.
+
+    :param sim: owning :class:`~repro.core.kernel.Simulator`.
+    :param name: instance name, unique among its siblings.
+    :param parent: enclosing component, or None for a top-level
+        instance.
+    """
+
+    def __init__(self, sim, name, parent=None):
+        if "/" in name:
+            raise ElaborationError(f"component name {name!r} may not contain '/'")
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children = []
+        if parent is not None:
+            parent._add_child(self)
+        sim._register_component(self)
+
+    def _add_child(self, child):
+        if any(existing.name == child.name for existing in self.children):
+            raise ElaborationError(
+                f"component {self.path} already has a child named {child.name!r}"
+            )
+        self.children.append(child)
+
+    @property
+    def path(self):
+        """Hierarchical instance path, e.g. ``"pll/filter"``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def walk(self):
+        """Yield this component and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, relative_path):
+        """Look up a descendant by ``"/"``-separated relative path.
+
+        :raises ElaborationError: when no such descendant exists.
+        """
+        current = self
+        for part in relative_path.split("/"):
+            for child in current.children:
+                if child.name == part:
+                    current = child
+                    break
+            else:
+                raise ElaborationError(
+                    f"{self.path} has no descendant {relative_path!r} "
+                    f"(failed at {part!r})"
+                )
+        return current
+
+    def state_signals(self):
+        """Memory elements exposed for mutant bit-flip injection.
+
+        Returns a mapping of local state name to
+        :class:`~repro.core.signal.Signal`.  Sequential components
+        override this; purely combinational components return ``{}``.
+        """
+        return {}
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.path}>"
+
+
+class DigitalComponent(Component):
+    """A component whose behaviour runs as event-driven processes."""
+
+    def process(self, fn, sensitivity=()):
+        """Register ``fn`` to run whenever a sensitivity signal changes.
+
+        The process also runs once at simulation start (time zero),
+        mirroring VHDL process initialisation.
+        """
+        return self.sim.add_process(fn, sensitivity)
+
+
+class AnalogBlock(Component):
+    """A continuous behavioural model evaluated every solver step.
+
+    Subclasses implement :meth:`step` and declare their dataflow via
+    :meth:`reads_node` / :meth:`writes_node` so the solver can order
+    block evaluation topologically.  Blocks whose outputs depend only
+    on internal state integrated from *past* inputs (VCOs, filters)
+    should set ``is_state = True``; the solver then treats them as
+    sources when breaking feedback loops.
+    """
+
+    is_state = False
+
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.read_nodes = []
+        self.write_nodes = []
+        sim.analog.add_block(self)
+
+    def reads_node(self, node):
+        """Declare that :meth:`step` reads ``node``; returns it."""
+        if node not in self.read_nodes:
+            self.read_nodes.append(node)
+        node.add_reader(self)
+        return node
+
+    def writes_node(self, node):
+        """Declare that :meth:`step` writes ``node``; returns it."""
+        if node not in self.write_nodes:
+            self.write_nodes.append(node)
+        node.add_writer(self)
+        return node
+
+    def step(self, t, dt):
+        """Advance the block from ``t`` to ``t + dt``.
+
+        ``dt`` is the elapsed time since the previous evaluation; on
+        the very first step ``dt`` is 0 and blocks should initialise
+        their outputs.
+        """
+        raise NotImplementedError

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation kernel reaches an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """Raised for invalid event scheduling (negative delay, past time)."""
+
+
+class ElaborationError(ReproError):
+    """Raised when a circuit description cannot be turned into a live design."""
+
+
+class ConnectionError_(ElaborationError):
+    """Raised for invalid port/net connections.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``ConnectionError`` (an OSError subclass with unrelated semantics).
+    """
+
+
+class LogicValueError(ReproError):
+    """Raised when a value is not a valid logic level for the operation."""
+
+
+class FaultModelError(ReproError):
+    """Raised for invalid fault-model parameters (e.g. negative width)."""
+
+
+class InjectionError(ReproError):
+    """Raised when a fault cannot be injected at the requested target."""
+
+
+class CampaignError(ReproError):
+    """Raised for invalid campaign specifications or failed campaign runs."""
+
+
+class NetlistError(ReproError):
+    """Raised when a netlist description is malformed."""
+
+
+class MeasurementError(ReproError):
+    """Raised when a waveform measurement cannot be computed."""

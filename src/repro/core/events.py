@@ -1,0 +1,95 @@
+"""Discrete-event queue for the mixed-mode kernel.
+
+The queue orders callbacks by (time, priority, insertion order).  Two
+events at the same time execute in insertion order, which gives the
+delta-cycle semantics the digital layer relies on: a zero-delay signal
+update scheduled while processing time *t* runs later within the same
+timestamp, never "in the past".
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from .errors import SchedulingError
+
+#: Priority classes.  Analog solver steps run *before* ordinary digital
+#: activity at the same timestamp so that digital processes sampling
+#: analog nodes observe values consistent with the current time.
+PRIORITY_ANALOG = 0
+PRIORITY_NORMAL = 1
+PRIORITY_MONITOR = 2
+
+
+class Event:
+    """A scheduled callback.  Cancellable via :meth:`cancel`."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(self, time, priority, seq, callback):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6g} prio={self.priority} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects keyed by (time, priority, seq)."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self.executed = 0
+
+    def __len__(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time, callback, priority=PRIORITY_NORMAL):
+        """Schedule ``callback`` at absolute ``time``; returns the Event."""
+        event = Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self):
+        """Time of the next live event, or None when empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self):
+        """Remove and return the next live event.
+
+        :raises SchedulingError: when the queue is empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SchedulingError("event queue is empty")
+        self.executed += 1
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self):
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def clear(self):
+        """Drop every pending event."""
+        self._heap.clear()

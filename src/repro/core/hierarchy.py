@@ -1,0 +1,106 @@
+"""Hierarchy utilities.
+
+Helpers for walking and querying a design hierarchy: collecting the
+memory elements a mutant campaign can target, listing the analog nodes
+a saboteur campaign can target, and rendering the instance tree —
+the information the designer supplies during the paper's "campaign
+definition" step.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from .component import AnalogBlock, Component
+from .node import CurrentNode
+
+
+def glob_match(name, pattern):
+    """fnmatch with literal square brackets.
+
+    Signal and state names contain ``[i]`` bit indices; a plain
+    fnmatch would read those as character classes, so ``[`` in the
+    pattern is escaped to the ``[[]`` literal form first.
+    """
+    return fnmatch.fnmatch(name, pattern.replace("[", "[[]"))
+
+
+def iter_components(root):
+    """Depth-first iterator over a component subtree."""
+    yield from root.walk()
+
+
+def collect_state_signals(root, pattern="*"):
+    """All mutant-injectable memory elements under ``root``.
+
+    Returns a list of ``(qualified_name, signal)`` pairs where the
+    qualified name is ``"<component path>.<state name>"``.  ``pattern``
+    is an fnmatch-style filter on the qualified name.
+    """
+    found = []
+    for component in root.walk():
+        for state_name, sig in sorted(component.state_signals().items()):
+            qualified = f"{component.path}.{state_name}"
+            if glob_match(qualified, pattern):
+                found.append((qualified, sig))
+    return found
+
+
+def collect_current_nodes(sim, pattern="*"):
+    """All saboteur-injectable current nodes in the design.
+
+    Returns ``(name, node)`` pairs sorted by name, filtered by an
+    fnmatch pattern; these are the legal targets of the analog
+    current-pulse saboteur (injection is limited to interconnections
+    between sub-blocks, exactly the paper's Section 4.1 restriction).
+    """
+    found = []
+    for name in sorted(sim.nodes):
+        node = sim.nodes[name]
+        if isinstance(node, CurrentNode) and glob_match(name, pattern):
+            found.append((name, node))
+    return found
+
+
+def analog_blocks(root):
+    """All analog behavioural blocks under ``root``."""
+    return [c for c in root.walk() if isinstance(c, AnalogBlock)]
+
+
+def format_tree(root, indent="  "):
+    """Multi-line text rendering of the instance tree."""
+    lines = []
+
+    def visit(component, depth):
+        kind = type(component).__name__
+        lines.append(f"{indent * depth}{component.name} [{kind}]")
+        for child in component.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def common_ancestor(a, b):
+    """Deepest component containing both ``a`` and ``b`` (or None)."""
+    ancestors = set()
+    cursor = a
+    while cursor is not None:
+        ancestors.add(cursor)
+        cursor = cursor.parent
+    cursor = b
+    while cursor is not None:
+        if cursor in ancestors:
+            return cursor
+        cursor = cursor.parent
+    return None
+
+
+def depth_of(component):
+    """Number of ancestors above ``component`` (top instances are 0)."""
+    depth = 0
+    cursor = component.parent
+    while cursor is not None:
+        depth += 1
+        cursor = cursor.parent
+    return depth

@@ -1,0 +1,397 @@
+"""The mixed-mode simulation kernel.
+
+This module is the substitute for the commercial mixed-mode simulator
+used in the paper (Mentor ADVance-MS): a single :class:`Simulator`
+couples
+
+* an **event-driven digital engine** — processes with sensitivity
+  lists over :class:`~repro.core.signal.Signal` objects, with
+  delta-cycle ordering; and
+* a **timestep analog solver** (:class:`AnalogSolver`) — behavioural
+  blocks evaluated in dataflow order on a fixed nominal timestep, with
+  *local timestep refinement windows* so that sub-nanosecond injection
+  pulses (RT = 100 ps in the paper's experiments) are resolved without
+  paying that resolution over the whole multi-millisecond run.
+
+Both engines share one event queue, so digital events and analog steps
+interleave in strict time order.  Analog steps run at a higher priority
+within a timestamp, so a digital process waking at time *t* observes
+analog node values already advanced to *t*.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .errors import ElaborationError, SchedulingError, SimulationError
+from .events import EventQueue, PRIORITY_ANALOG, PRIORITY_NORMAL
+from .node import AnalogNode, CurrentNode
+from .signal import Signal
+from .trace import LINEAR, STEP, Trace
+
+
+class RefinementWindow:
+    """A time interval during which the analog solver uses a finer step."""
+
+    __slots__ = ("t0", "t1", "dt")
+
+    def __init__(self, t0, t1, dt):
+        if t1 <= t0:
+            raise SimulationError(f"empty refinement window [{t0}, {t1}]")
+        if dt <= 0:
+            raise SimulationError(f"refinement dt must be positive, got {dt}")
+        self.t0 = t0
+        self.t1 = t1
+        self.dt = dt
+
+    def __repr__(self):
+        return f"<RefinementWindow [{self.t0:.4g}, {self.t1:.4g}] dt={self.dt:.4g}>"
+
+
+class _Process:
+    """Internal wrapper giving a callback delta-cycle activation."""
+
+    __slots__ = ("fn", "pending", "sim")
+
+    def __init__(self, sim, fn):
+        self.sim = sim
+        self.fn = fn
+        self.pending = False
+
+    def trigger(self, _signal=None):
+        if self.pending:
+            return
+        self.pending = True
+        self.sim._queue.push(self.sim.now, self._run, PRIORITY_NORMAL)
+
+    def _run(self):
+        self.pending = False
+        self.fn()
+
+
+class _NodeProbe:
+    __slots__ = ("node", "trace", "min_interval", "last_time", "attr")
+
+    def __init__(self, node, trace, min_interval, attr):
+        self.node = node
+        self.trace = trace
+        self.min_interval = min_interval
+        self.last_time = None
+        self.attr = attr
+
+    def sample(self, t):
+        if (
+            self.last_time is not None
+            and self.min_interval > 0
+            and t - self.last_time < self.min_interval
+        ):
+            return
+        self.trace.append(t, getattr(self.node, self.attr))
+        self.last_time = t
+
+
+class AnalogSolver:
+    """Fixed-step behavioural analog solver with refinement windows.
+
+    :param sim: owning simulator.
+    :param dt_nominal: default timestep in seconds.
+    """
+
+    def __init__(self, sim, dt_nominal=1e-9):
+        self.sim = sim
+        self.dt_nominal = float(dt_nominal)
+        self.blocks = []
+        self.windows = []
+        self.current_nodes = []
+        self._probes = []
+        self._order = None
+        self._last_step_time = None
+        self.steps = 0
+        self._started = False
+
+    # -- configuration -----------------------------------------------------
+
+    def add_block(self, block):
+        """Register a behavioural block (done by AnalogBlock.__init__)."""
+        self.blocks.append(block)
+        self._order = None
+
+    def add_refinement_window(self, t0, t1, dt):
+        """Use timestep ``dt`` while simulation time is in ``[t0, t1]``."""
+        window = RefinementWindow(t0, t1, dt)
+        self.windows.append(window)
+        self.windows.sort(key=lambda w: w.t0)
+        return window
+
+    def add_probe(self, probe):
+        """Register a per-step node sampler (see Simulator.probe)."""
+        self._probes.append(probe)
+
+    # -- evaluation ordering --------------------------------------------------
+
+    def evaluation_order(self):
+        """Blocks in dataflow order.
+
+        Builds a graph with an edge A -> B whenever A writes a node B
+        reads, drops the outgoing edges of state blocks (integrators
+        hold their output from past inputs, so they legitimately break
+        feedback loops), and topologically sorts.  Remaining cycles —
+        genuine combinational analog loops — fall back to registration
+        order with no error, matching relaxation-style evaluation.
+        """
+        if self._order is not None:
+            return self._order
+
+        graph = nx.DiGraph()
+        index = {block: i for i, block in enumerate(self.blocks)}
+        graph.add_nodes_from(self.blocks)
+        for block in self.blocks:
+            if block.is_state:
+                continue
+            for node in block.write_nodes:
+                for reader in node.readers:
+                    if reader in index and reader is not block:
+                        graph.add_edge(block, reader)
+        try:
+            ordered = list(nx.topological_sort(graph))
+            # Stabilise: among incomparable blocks keep registration
+            # order, sorting by longest-path depth then index.
+            depth = {}
+            for block in ordered:
+                preds = list(graph.predecessors(block))
+                depth[block] = 0 if not preds else 1 + max(depth[p] for p in preds)
+            ordered.sort(key=lambda blk: (depth[blk], index[blk]))
+        except nx.NetworkXUnfeasible:
+            ordered = list(self.blocks)
+        self._order = ordered
+        return ordered
+
+    # -- timestep selection ---------------------------------------------------
+
+    def dt_at(self, t):
+        """The timestep in force at time ``t``."""
+        dt = self.dt_nominal
+        for window in self.windows:
+            if window.t0 <= t < window.t1:
+                dt = min(dt, window.dt)
+        return dt
+
+    def next_step_time(self, t):
+        """The time of the step after one taken at ``t``.
+
+        Lands exactly on upcoming window boundaries so no part of a
+        refinement window is skipped over at the coarse step.
+        """
+        candidate = t + self.dt_at(t)
+        for window in self.windows:
+            if t < window.t0 < candidate:
+                candidate = window.t0
+            if t < window.t1 < candidate:
+                candidate = window.t1
+        return candidate
+
+    # -- stepping --------------------------------------------------------------
+
+    def start(self):
+        """Schedule the first analog step (at the current sim time)."""
+        if self._started or not self.blocks:
+            return
+        self._started = True
+        self.sim._queue.push(self.sim.now, self._step_event, PRIORITY_ANALOG)
+
+    def _step_event(self):
+        t = self.sim.now
+        dt = 0.0 if self._last_step_time is None else t - self._last_step_time
+        self._last_step_time = t
+        self.steps += 1
+
+        for node in self.current_nodes:
+            node.clear_current()
+        for block in self.evaluation_order():
+            block.step(t, dt)
+        for probe in self._probes:
+            probe.sample(t)
+
+        self.sim._queue.push(self.next_step_time(t), self._step_event, PRIORITY_ANALOG)
+
+
+class Simulator:
+    """Top-level mixed-mode simulator.
+
+    Typical use::
+
+        sim = Simulator(dt=1e-9)
+        pll = PLL(sim, "pll", ...)          # builds components
+        vctrl = sim.probe(pll.vctrl)        # record a node
+        sim.run(0.2e-3)                     # simulate 0.2 ms
+
+    :param dt: nominal analog timestep in seconds.
+    :param t_start: initial simulation time.
+    """
+
+    def __init__(self, dt=1e-9, t_start=0.0):
+        self.now = float(t_start)
+        self._queue = EventQueue()
+        self.analog = AnalogSolver(self, dt_nominal=dt)
+        self.signals = {}
+        self.nodes = {}
+        self.components = []
+        self._processes = []
+        self._finished = False
+
+    # -- registries (called from Signal/Node/Component constructors) -------
+
+    def _register_signal(self, signal):
+        if signal.name in self.signals:
+            raise ElaborationError(f"duplicate signal name {signal.name!r}")
+        self.signals[signal.name] = signal
+
+    def _register_node(self, node):
+        if node.name in self.nodes:
+            raise ElaborationError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        if isinstance(node, CurrentNode):
+            self.analog.current_nodes.append(node)
+
+    def _register_component(self, component):
+        self.components.append(component)
+
+    # -- factories --------------------------------------------------------
+
+    def signal(self, name, init=None, **kwargs):
+        """Create a named digital signal."""
+        from .logic import Logic
+
+        if init is None:
+            init = Logic.U
+        return Signal(self, name, init=init, **kwargs)
+
+    def node(self, name, init=0.0):
+        """Create a named analog voltage node."""
+        return AnalogNode(self, name, init=init)
+
+    def current_node(self, name, init=0.0):
+        """Create a named current-summing node (injection target)."""
+        return CurrentNode(self, name, init=init)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay, fn):
+        """Run ``fn`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self._queue.push(self.now + delay, fn, PRIORITY_NORMAL)
+
+    def at(self, time, fn):
+        """Run ``fn`` at absolute simulated ``time``.
+
+        :raises SchedulingError: when ``time`` is in the past.
+        """
+        if time < self.now:
+            raise SchedulingError(f"time {time} is before now ({self.now})")
+        return self._queue.push(time, fn, PRIORITY_NORMAL)
+
+    def every(self, period, fn, start=None):
+        """Run ``fn`` periodically; ``fn`` may return False to stop."""
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        first = self.now + period if start is None else start
+
+        def tick():
+            if fn() is False:
+                return
+            self._queue.push(self.now + period, tick, PRIORITY_NORMAL)
+
+        return self._queue.push(first, tick, PRIORITY_NORMAL)
+
+    def add_process(self, fn, sensitivity=()):
+        """Register an event-driven process.
+
+        ``fn`` runs once at the current time (initialisation, like a
+        VHDL process) and then whenever any signal in ``sensitivity``
+        changes, at most once per delta cycle.
+        """
+        proc = _Process(self, fn)
+        self._processes.append(proc)
+        for sig in sensitivity:
+            sig.on_change(proc.trigger)
+        proc.trigger()
+        return proc
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self, target, name=None, min_interval=0.0):
+        """Record a signal or analog node into a :class:`Trace`.
+
+        Digital signals are event-sampled; analog nodes are sampled on
+        every solver step (optionally decimated via ``min_interval``).
+        """
+        if isinstance(target, Signal):
+            trace = Trace(name or target.name, interp=STEP)
+            trace.append(self.now, target.value)
+            target.on_change(lambda sig: trace.append(self.now, sig.value))
+            return trace
+        if isinstance(target, AnalogNode):
+            trace = Trace(name or target.name, interp=LINEAR)
+            self.analog.add_probe(_NodeProbe(target, trace, min_interval, "v"))
+            return trace
+        raise SimulationError(f"cannot probe {target!r}")
+
+    def probe_current(self, node, name=None, min_interval=0.0):
+        """Record the summed current of a :class:`CurrentNode`."""
+        if not isinstance(node, CurrentNode):
+            raise SimulationError(f"{node!r} is not a CurrentNode")
+        trace = Trace(name or f"{node.name}.i", interp=LINEAR)
+        self.analog.add_probe(_NodeProbe(node, trace, min_interval, "i"))
+        return trace
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until):
+        """Advance the simulation to absolute time ``until``.
+
+        May be called repeatedly with increasing times.  Digital events
+        and analog steps execute in time order; at ``until`` the run
+        stops with all events at or before ``until`` processed.
+        """
+        if until < self.now:
+            raise SchedulingError(
+                f"cannot run to {until}; simulation already at {self.now}"
+            )
+        self.analog.start()
+        queue = self._queue
+        while True:
+            t_next = queue.peek_time()
+            if t_next is None or t_next > until:
+                break
+            event = queue.pop()
+            if event.time < self.now - 1e-18:
+                raise SimulationError(
+                    f"event at {event.time} behind current time {self.now}"
+                )
+            self.now = max(self.now, event.time)
+            event.callback()
+        self.now = until
+
+    def run_for(self, duration):
+        """Advance the simulation by ``duration`` seconds."""
+        self.run(self.now + duration)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def events_executed(self):
+        """Total number of events executed so far."""
+        return self._queue.executed
+
+    @property
+    def analog_steps(self):
+        """Total number of analog solver steps taken so far."""
+        return self.analog.steps
+
+    def find_component(self, path):
+        """Look up a component by full hierarchical path."""
+        for component in self.components:
+            if component.path == path:
+                return component
+        raise ElaborationError(f"no component at path {path!r}")

@@ -1,0 +1,103 @@
+"""Analog nodes.
+
+An :class:`AnalogNode` carries a continuous quantity (a voltage, by
+convention) updated by behavioural blocks on every analog solver step.
+A :class:`CurrentNode` additionally accumulates *current* contributions
+within each step, which is the superposition mechanism the paper's
+saboteur relies on: the injected SEU current pulse is simply one more
+``add_current`` contribution summed with the normal current at the
+target node (Section 4.2, Figure 4).
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationError
+
+
+class AnalogNode:
+    """A continuous-valued circuit node.
+
+    :param sim: owning :class:`~repro.core.kernel.Simulator`.
+    :param name: hierarchical name used in traces and reports.
+    :param init: initial value.
+    """
+
+    kind = "voltage"
+
+    def __init__(self, sim, name, init=0.0):
+        self.sim = sim
+        self.name = name
+        self.v = float(init)
+        self.writers = []
+        self.readers = []
+        sim._register_node(self)
+
+    def set(self, value):
+        """Set the node value (called by the owning block each step)."""
+        self.v = float(value)
+
+    def add_writer(self, block):
+        """Record that ``block`` writes this node (for solver ordering)."""
+        if block not in self.writers:
+            self.writers.append(block)
+
+    def add_reader(self, block):
+        """Record that ``block`` reads this node (for solver ordering)."""
+        if block not in self.readers:
+            self.readers.append(block)
+
+    def __repr__(self):
+        return f"<AnalogNode {self.name}={self.v:.6g}>"
+
+
+class CurrentNode(AnalogNode):
+    """An analog node that also sums current contributions each step.
+
+    The solver zeroes :attr:`i` at the start of every step; current
+    sources (the charge pump, the saboteur, ...) then call
+    :meth:`add_current`, and the consuming block (the loop filter)
+    reads the superposed total.
+    """
+
+    kind = "current"
+
+    def __init__(self, sim, name, init=0.0):
+        super().__init__(sim, name, init=init)
+        self.i = 0.0
+        self._contributions = {}
+
+    def clear_current(self):
+        """Reset the per-step current accumulator (solver use)."""
+        self.i = 0.0
+        self._contributions.clear()
+
+    def add_current(self, amps, source=None):
+        """Superpose ``amps`` onto the node current for this step.
+
+        :param amps: contribution in amperes (positive into the node).
+        :param source: optional label recorded for debugging/reports.
+        """
+        amps = float(amps)
+        self.i += amps
+        if source is not None:
+            self._contributions[source] = self._contributions.get(source, 0.0) + amps
+
+    def contributions(self):
+        """Mapping of labelled per-step contributions (diagnostics)."""
+        return dict(self._contributions)
+
+    def __repr__(self):
+        return f"<CurrentNode {self.name} v={self.v:.6g} i={self.i:.6g}>"
+
+
+def as_current_node(node):
+    """Check that ``node`` accepts current injection.
+
+    :raises SimulationError: when given a plain voltage node.
+    """
+    if not isinstance(node, CurrentNode):
+        raise SimulationError(
+            f"node {node.name!r} is not a current-summing node; "
+            "current pulses can only be injected on CurrentNode targets"
+        )
+    return node

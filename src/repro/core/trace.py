@@ -1,0 +1,288 @@
+"""Waveform traces.
+
+Both the digital and the analog sides of the kernel record activity
+into :class:`Trace` objects: time-ordered ``(t, value)`` samples.  A
+digital trace is *event sampled* (one sample per value change, step
+interpolation); an analog trace is *step sampled* (one sample per
+solver step, linear interpolation).
+
+Traces are what the paper's "results (traces) analysis" stage consumes:
+the campaign engine compares a faulty trace against the golden trace,
+with an amplitude tolerance for analog nodes (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from .errors import MeasurementError
+from .logic import Logic
+
+#: Interpolation styles.
+STEP = "step"
+LINEAR = "linear"
+
+
+def _to_float(value):
+    """Map a trace payload to a float for numeric analysis.
+
+    Logic levels map to 0.0/1.0 with NaN for non-boolean levels;
+    numbers pass through; anything else raises.
+    """
+    if isinstance(value, Logic):
+        if value.is_high():
+            return 1.0
+        if value.is_low():
+            return 0.0
+        return float("nan")
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise MeasurementError(f"trace value {value!r} is not numeric")
+
+
+class Trace:
+    """A time-ordered sequence of waveform samples.
+
+    :param name: label used in reports.
+    :param interp: :data:`STEP` for event-sampled digital traces,
+        :data:`LINEAR` for analog traces.
+    """
+
+    def __init__(self, name, interp=LINEAR):
+        if interp not in (STEP, LINEAR):
+            raise MeasurementError(f"unknown interpolation {interp!r}")
+        self.name = name
+        self.interp = interp
+        self._times = []
+        self._values = []
+        self._cache = None
+
+    # -- construction ---------------------------------------------------
+
+    def append(self, time, value):
+        """Append one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise MeasurementError(
+                f"trace {self.name}: time {time} precedes last sample "
+                f"{self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+        self._cache = None
+
+    @classmethod
+    def from_arrays(cls, name, times, values, interp=LINEAR):
+        """Build a trace from parallel arrays (copied)."""
+        times = list(times)
+        values = list(values)
+        if len(times) != len(values):
+            raise MeasurementError("times and values must have equal length")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise MeasurementError("times must be non-decreasing")
+        trace = cls(name, interp=interp)
+        trace._times = times
+        trace._values = values
+        return trace
+
+    # -- basic access -----------------------------------------------------
+
+    def __len__(self):
+        return len(self._times)
+
+    def __iter__(self):
+        return iter(zip(self._times, self._values))
+
+    @property
+    def times(self):
+        """Sample times as a numpy array (cached)."""
+        self._ensure_cache()
+        return self._cache[0]
+
+    @property
+    def values(self):
+        """Sample values as a float numpy array (cached).
+
+        Logic values map to 0/1/NaN; see :func:`_to_float`.
+        """
+        self._ensure_cache()
+        return self._cache[1]
+
+    @property
+    def raw_values(self):
+        """The unconverted sample payloads (list)."""
+        return list(self._values)
+
+    def _ensure_cache(self):
+        if self._cache is None:
+            times = np.asarray(self._times, dtype=float)
+            values = np.asarray([_to_float(v) for v in self._values], dtype=float)
+            self._cache = (times, values)
+
+    @property
+    def t_start(self):
+        """Time of the first sample."""
+        self._require_samples()
+        return self._times[0]
+
+    @property
+    def t_end(self):
+        """Time of the last sample."""
+        self._require_samples()
+        return self._times[-1]
+
+    @property
+    def final(self):
+        """Payload of the last sample."""
+        self._require_samples()
+        return self._values[-1]
+
+    def _require_samples(self, n=1):
+        if len(self._times) < n:
+            raise MeasurementError(
+                f"trace {self.name} needs at least {n} sample(s), has "
+                f"{len(self._times)}"
+            )
+
+    # -- interpolation ------------------------------------------------------
+
+    def at(self, time):
+        """Value at ``time`` using the trace's interpolation style.
+
+        Before the first sample the first value is returned; after the
+        last, the last value.
+        """
+        self._require_samples()
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            return _to_float(self._values[0])
+        if self.interp == STEP or idx >= len(self._times) - 1:
+            return _to_float(self._values[idx])
+        t0, t1 = self._times[idx], self._times[idx + 1]
+        v0 = _to_float(self._values[idx])
+        v1 = _to_float(self._values[idx + 1])
+        if t1 == t0:
+            return v1
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def value_at(self, time):
+        """Raw payload in effect at ``time`` (step semantics)."""
+        self._require_samples()
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._values[max(idx, 0)]
+
+    def resample(self, grid):
+        """Values on an arbitrary time grid (numpy array result)."""
+        grid = np.asarray(grid, dtype=float)
+        if self.interp == LINEAR:
+            return np.interp(grid, self.times, self.values)
+        idx = np.searchsorted(self.times, grid, side="right") - 1
+        idx = np.clip(idx, 0, len(self) - 1)
+        return self.values[idx]
+
+    # -- slicing ---------------------------------------------------------
+
+    def segment(self, t0=None, t1=None):
+        """Sub-trace with samples in ``[t0, t1]`` (same interpolation)."""
+        self._require_samples()
+        lo = 0 if t0 is None else bisect.bisect_left(self._times, t0)
+        hi = len(self._times) if t1 is None else bisect.bisect_right(self._times, t1)
+        sub = Trace(self.name, interp=self.interp)
+        sub._times = self._times[lo:hi]
+        sub._values = self._values[lo:hi]
+        return sub
+
+    # -- events ------------------------------------------------------------
+
+    def crossings(self, level, direction="rise"):
+        """Times at which the waveform crosses ``level``.
+
+        For linear traces the crossing time is linearly interpolated;
+        for step traces it is the change time.  NaN samples never
+        participate in a crossing.
+
+        :param direction: ``"rise"``, ``"fall"`` or ``"both"``.
+        """
+        if direction not in ("rise", "fall", "both"):
+            raise MeasurementError(f"unknown direction {direction!r}")
+        times = self.times
+        values = self.values
+        result = []
+        for i in range(1, len(times)):
+            v0, v1 = values[i - 1], values[i]
+            if np.isnan(v0) or np.isnan(v1):
+                continue
+            rising = v0 < level <= v1
+            falling = v0 > level >= v1
+            if not (rising or falling):
+                continue
+            if direction == "rise" and not rising:
+                continue
+            if direction == "fall" and not falling:
+                continue
+            if self.interp == LINEAR and v1 != v0:
+                frac = (level - v0) / (v1 - v0)
+                result.append(times[i - 1] + frac * (times[i] - times[i - 1]))
+            else:
+                result.append(times[i])
+        return np.asarray(result)
+
+    def edges(self, direction="rise"):
+        """Change times of a digital trace (0->1 rises, 1->0 falls)."""
+        return self.crossings(0.5, direction=direction)
+
+    def periods(self, level=0.5, direction="rise"):
+        """Successive intervals between same-direction crossings."""
+        crossing_times = self.crossings(level, direction=direction)
+        return np.diff(crossing_times)
+
+    # -- statistics ---------------------------------------------------------
+
+    def minimum(self, t0=None, t1=None):
+        """Minimum value over ``[t0, t1]`` (NaN-aware)."""
+        return float(np.nanmin(self._window_values(t0, t1)))
+
+    def maximum(self, t0=None, t1=None):
+        """Maximum value over ``[t0, t1]`` (NaN-aware)."""
+        return float(np.nanmax(self._window_values(t0, t1)))
+
+    def mean(self, t0=None, t1=None):
+        """Time-weighted mean over ``[t0, t1]`` via trapezoidal rule."""
+        seg = self.segment(t0, t1)
+        seg._require_samples(2)
+        times, values = seg.times, seg.values
+        span = times[-1] - times[0]
+        if span == 0:
+            return float(values[-1])
+        return float(np.trapezoid(values, times) / span)
+
+    def _window_values(self, t0, t1):
+        seg = self.segment(t0, t1)
+        seg._require_samples()
+        return seg.values
+
+    def __repr__(self):
+        return f"<Trace {self.name} n={len(self)} interp={self.interp}>"
+
+
+def difference(trace_a, trace_b, grid=None):
+    """Pointwise ``a - b`` on a shared grid; returns (grid, delta).
+
+    When ``grid`` is omitted the union of both traces' sample times
+    restricted to the overlapping interval is used.
+    """
+    if grid is None:
+        t0 = max(trace_a.t_start, trace_b.t_start)
+        t1 = min(trace_a.t_end, trace_b.t_end)
+        if t1 < t0:
+            raise MeasurementError(
+                f"traces {trace_a.name} and {trace_b.name} do not overlap"
+            )
+        merged = np.union1d(trace_a.times, trace_b.times)
+        grid = merged[(merged >= t0) & (merged <= t1)]
+    grid = np.asarray(grid, dtype=float)
+    return grid, trace_a.resample(grid) - trace_b.resample(grid)

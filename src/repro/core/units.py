@@ -1,0 +1,158 @@
+"""Engineering-unit helpers.
+
+Fault-injection campaigns are specified in datasheet-style engineering
+notation (``"10mA"``, ``"500ps"``, ``"2.5V"``).  This module converts
+between such strings and floats in SI base units, and formats floats
+back into readable engineering notation for reports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import ReproError
+
+#: SI prefixes accepted by :func:`parse_quantity`, mapping to multipliers.
+SI_PREFIXES = {
+    "y": 1e-24,
+    "z": 1e-21,
+    "a": 1e-18,
+    "f": 1e-15,
+    "p": 1e-12,
+    "n": 1e-9,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "m": 1e-3,
+    "": 1.0,
+    "k": 1e3,
+    "K": 1e3,
+    "M": 1e6,
+    "G": 1e9,
+    "T": 1e12,
+}
+
+#: Unit suffixes recognised (and stripped) by :func:`parse_quantity`.
+KNOWN_UNITS = ("s", "A", "V", "Hz", "F", "Ohm", "ohm", "C", "W", "H")
+
+_QUANTITY_RE = re.compile(
+    r"""^\s*
+        (?P<number>[-+]?(\d+(\.\d*)?|\.\d+)([eE][-+]?\d+)?)
+        \s*
+        (?P<prefix>[yzafpnuµmkKMGT]?)
+        (?P<unit>[a-zA-Zµ]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+class UnitError(ReproError):
+    """Raised when an engineering quantity string cannot be parsed."""
+
+
+def parse_quantity(text, expect_unit=None):
+    """Parse an engineering quantity string into a float in SI base units.
+
+    >>> parse_quantity("10mA")
+    0.01
+    >>> parse_quantity("500ps")
+    5e-10
+    >>> parse_quantity("50MHz", expect_unit="Hz")
+    50000000.0
+
+    Floats and ints pass through unchanged, so campaign parameters can
+    mix raw numbers and strings freely.
+
+    :param text: string such as ``"10mA"``, or a plain number.
+    :param expect_unit: if given, the unit suffix (when present) must
+        match it; a bare number or bare prefix is always accepted.
+    :raises UnitError: if the string is malformed or the unit mismatches.
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitError(f"cannot parse quantity from {text!r}")
+
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"malformed quantity: {text!r}")
+
+    number = float(match.group("number"))
+    prefix = match.group("prefix")
+    unit = match.group("unit")
+
+    # The regex is greedy about what it calls a prefix; a bare "m" with
+    # no unit is ambiguous (metres vs milli) -- we treat a lone trailing
+    # letter as a prefix only if a unit follows, except for known units.
+    if prefix and not unit and prefix not in SI_PREFIXES:
+        raise UnitError(f"malformed quantity: {text!r}")
+    if prefix and not unit:
+        # "10m" -> milli with implicit unit; accepted.
+        pass
+    if unit and unit not in KNOWN_UNITS:
+        # Maybe the prefix capture was empty and the "unit" starts with
+        # a prefix character, e.g. "10ms" parses prefix="m" unit="s"
+        # already; anything left over here is genuinely unknown.
+        raise UnitError(f"unknown unit {unit!r} in {text!r}")
+    if expect_unit is not None and unit and unit != expect_unit:
+        raise UnitError(f"expected unit {expect_unit!r}, got {unit!r} in {text!r}")
+
+    return number * SI_PREFIXES[prefix]
+
+
+def format_quantity(value, unit="", digits=4):
+    """Format a float as an engineering quantity string.
+
+    >>> format_quantity(5e-10, "s")
+    '500ps'
+    >>> format_quantity(0.01, "A")
+    '10mA'
+
+    :param value: the value in SI base units.
+    :param unit: unit suffix appended after the SI prefix.
+    :param digits: number of significant digits.
+    """
+    if value == 0:
+        return f"0{unit}"
+    if math.isnan(value):
+        return f"nan{unit}"
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf{unit}"
+
+    exponent = math.floor(math.log10(abs(value)))
+    eng_exponent = 3 * (exponent // 3)
+    eng_exponent = max(-24, min(12, eng_exponent))
+    mantissa = value / 10.0**eng_exponent
+
+    prefixes = {
+        -24: "y", -21: "z", -18: "a", -15: "f", -12: "p", -9: "n",
+        -6: "u", -3: "m", 0: "", 3: "k", 6: "M", 9: "G", 12: "T",
+    }
+    text = f"{mantissa:.{digits}g}"
+    # Collapse "1000" mantissas produced by rounding (e.g. 0.9999e3).
+    if float(text) >= 1000.0 and eng_exponent < 12:
+        eng_exponent += 3
+        mantissa = value / 10.0**eng_exponent
+        text = f"{mantissa:.{digits}g}"
+    return f"{text}{prefixes[eng_exponent]}{unit}"
+
+
+def seconds(text):
+    """Parse a time quantity (``"500ps"`` -> ``5e-10``)."""
+    return parse_quantity(text, expect_unit="s")
+
+
+def amperes(text):
+    """Parse a current quantity (``"10mA"`` -> ``0.01``)."""
+    return parse_quantity(text, expect_unit="A")
+
+
+def volts(text):
+    """Parse a voltage quantity (``"2.5V"`` -> ``2.5``)."""
+    return parse_quantity(text, expect_unit="V")
+
+
+def hertz(text):
+    """Parse a frequency quantity (``"50MHz"`` -> ``5e7``)."""
+    return parse_quantity(text, expect_unit="Hz")

@@ -1,0 +1,168 @@
+"""VCD (Value Change Dump) export.
+
+Dumps recorded traces into the IEEE-1364 VCD format so campaign runs
+can be inspected in standard waveform viewers (GTKWave etc.).  Digital
+traces become scalar ``wire`` variables with full nine-value fidelity
+(0, 1, x, z); analog traces become ``real`` variables.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .errors import ReproError
+from .logic import Logic
+from .trace import STEP, Trace
+
+#: VCD identifier alphabet (printable ASCII ! through ~).
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+class VCDError(ReproError):
+    """Raised for invalid VCD export requests."""
+
+
+def _identifier(index):
+    """Short unique VCD identifier code for variable ``index``."""
+    base = len(_ID_ALPHABET)
+    code = _ID_ALPHABET[index % base]
+    index //= base
+    while index:
+        code = _ID_ALPHABET[index % base] + code
+        index //= base
+    return code
+
+
+def _vcd_logic_char(value):
+    """Map a trace payload to a VCD scalar character."""
+    if isinstance(value, Logic):
+        if value.is_high():
+            return "1"
+        if value.is_low():
+            return "0"
+        if value is Logic.Z:
+            return "z"
+        return "x"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        if value == 0:
+            return "0"
+        if value == 1:
+            return "1"
+    return "x"
+
+
+def _sanitize(name):
+    """VCD-legal variable name (no spaces)."""
+    return name.replace(" ", "_")
+
+
+def write_vcd(traces, stream, timescale_fs=1000, date="", comment="",
+              vectors=None):
+    """Write traces as a VCD document.
+
+    :param traces: mapping of display name -> :class:`Trace`, or an
+        iterable of traces (their own names are used).
+    :param stream: a text file-like object.
+    :param timescale_fs: VCD timescale in femtoseconds per tick
+        (default 1000 fs = 1 ps); times are rounded to this grid.
+    :param vectors: optional mapping ``name -> [bit traces, LSB
+        first]``; each becomes one multi-bit ``wire`` variable with
+        ``b...`` value changes (viewers then render the word).
+    :raises VCDError: for empty input or unsupported timescales.
+    """
+    if isinstance(traces, dict):
+        items = list(traces.items())
+    else:
+        items = [(trace.name, trace) for trace in traces]
+    vectors = dict(vectors or {})
+    if not items and not vectors:
+        raise VCDError("no traces to export")
+    scale_map = {1: "1 fs", 10: "10 fs", 100: "100 fs", 1000: "1 ps",
+                 10000: "10 ps", 100000: "100 ps", 1000000: "1 ns"}
+    if timescale_fs not in scale_map:
+        raise VCDError(
+            f"unsupported timescale {timescale_fs} fs; choose one of "
+            f"{sorted(scale_map)}"
+        )
+    tick = timescale_fs * 1e-15
+
+    stream.write("$date\n  " + (date or "repro export") + "\n$end\n")
+    if comment:
+        stream.write(f"$comment\n  {comment}\n$end\n")
+    stream.write(f"$timescale {scale_map[timescale_fs]} $end\n")
+    stream.write("$scope module repro $end\n")
+
+    variables = []
+    for index, (name, trace) in enumerate(items):
+        code = _identifier(index)
+        kind = "wire" if trace.interp == STEP else "real"
+        width = 1 if kind == "wire" else 64
+        stream.write(f"$var {kind} {width} {code} {_sanitize(name)} $end\n")
+        variables.append((code, trace, kind))
+    vector_vars = []
+    for offset, (name, bit_traces) in enumerate(vectors.items()):
+        if not bit_traces:
+            raise VCDError(f"vector {name!r} has no bit traces")
+        code = _identifier(len(items) + offset)
+        width = len(bit_traces)
+        stream.write(
+            f"$var wire {width} {code} "
+            f"{_sanitize(name)}[{width - 1}:0] $end\n"
+        )
+        vector_vars.append((code, list(bit_traces)))
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    # Merge all samples into one time-ordered change list.
+    changes = []
+    for code, trace, kind in variables:
+        last = None
+        for t, value in trace:
+            rendered = (
+                _vcd_logic_char(value)
+                if kind == "wire"
+                else f"{float(value):.9g}"
+            )
+            if rendered == last:
+                continue
+            last = rendered
+            changes.append((int(round(t / tick)), code, kind, rendered))
+    for code, bit_traces in vector_vars:
+        merged_times = sorted({t for trace in bit_traces for t, _v in trace})
+        last = None
+        for t in merged_times:
+            word = "".join(
+                _vcd_logic_char(trace.value_at(t))
+                for trace in reversed(bit_traces)  # MSB first
+            )
+            if word == last:
+                continue
+            last = word
+            changes.append((int(round(t / tick)), code, "vector", word))
+    changes.sort(key=lambda c: c[0])
+
+    current_time = None
+    for tick_time, code, kind, rendered in changes:
+        if tick_time != current_time:
+            stream.write(f"#{tick_time}\n")
+            current_time = tick_time
+        if kind == "wire":
+            stream.write(f"{rendered}{code}\n")
+        elif kind == "vector":
+            stream.write(f"b{rendered} {code}\n")
+        else:
+            stream.write(f"r{rendered} {code}\n")
+
+
+def dumps_vcd(traces, **kwargs):
+    """VCD document as a string (see :func:`write_vcd`)."""
+    buffer = io.StringIO()
+    write_vcd(traces, buffer, **kwargs)
+    return buffer.getvalue()
+
+
+def save_vcd(traces, path, **kwargs):
+    """Write a VCD file at ``path`` (see :func:`write_vcd`)."""
+    with open(path, "w") as handle:
+        write_vcd(traces, handle, **kwargs)

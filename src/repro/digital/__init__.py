@@ -1,0 +1,68 @@
+"""Digital substrate: gates, sequential elements, and behavioural blocks."""
+
+from .alu import Adder, BusMux, Comparator, ParityGen, Subtractor
+from .bus import Bus
+from .clock import (
+    BusSequencePlayer,
+    ClockGen,
+    PulseGen,
+    ResetGen,
+    SequencePlayer,
+)
+from .counter import ClockDivider, Counter, DownCounter
+from .cpu import Accumulator8, OPCODES, assemble
+from .fsm import MooreFSM, table_transition
+from .gates import (
+    AndGate,
+    BufGate,
+    Gate,
+    Mux2,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XnorGate,
+    XorGate,
+)
+from .lfsr import LFSR, MAXIMAL_TAPS
+from .seq import DFF, DLatch, Register, TFF
+from .shiftreg import ShiftRegister
+
+__all__ = [
+    "Adder",
+    "AndGate",
+    "BufGate",
+    "Bus",
+    "BusMux",
+    "BusSequencePlayer",
+    "Accumulator8",
+    "ClockDivider",
+    "ClockGen",
+    "Comparator",
+    "Counter",
+    "DFF",
+    "DLatch",
+    "DownCounter",
+    "Gate",
+    "LFSR",
+    "MAXIMAL_TAPS",
+    "MooreFSM",
+    "Mux2",
+    "NandGate",
+    "NorGate",
+    "OPCODES",
+    "NotGate",
+    "OrGate",
+    "ParityGen",
+    "PulseGen",
+    "Register",
+    "ResetGen",
+    "SequencePlayer",
+    "ShiftRegister",
+    "Subtractor",
+    "TFF",
+    "XnorGate",
+    "XorGate",
+    "assemble",
+    "table_transition",
+]

@@ -1,0 +1,183 @@
+"""Combinational arithmetic blocks over buses.
+
+Word-level behavioural models with X-poisoning: any undefined input bit
+makes the affected outputs undefined, so injected corruption propagates
+pessimistically — the same abstraction a VHDL integer-based behavioural
+model provides.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, bits_from_int, logic
+
+
+class _WordBlock(DigitalComponent):
+    """Shared machinery: evaluate on any input-bit change, drive buses."""
+
+    def __init__(self, sim, name, input_buses, input_signals, parent=None):
+        super().__init__(sim, name, parent=parent)
+        sensitivity = [sig for bus in input_buses for sig in bus.bits]
+        sensitivity.extend(input_signals)
+        self._sensitivity = sensitivity
+
+    def _start(self):
+        self.process(self._evaluate, sensitivity=self._sensitivity)
+
+    def _drive_bus_int(self, drivers, width, value):
+        for drv, bit in zip(drivers, bits_from_int(value % (1 << width), width)):
+            drv.set(bit)
+
+    def _drive_bus_x(self, drivers):
+        for drv in drivers:
+            drv.set(Logic.X)
+
+    def _evaluate(self):
+        raise NotImplementedError
+
+
+class Adder(_WordBlock):
+    """``s = a + b + cin`` with carry out.
+
+    :param a, b: input buses of equal width.
+    :param s: sum bus (same width).
+    :param cin: optional carry-in signal.
+    :param cout: optional carry-out signal.
+    """
+
+    def __init__(self, sim, name, a, b, s, cin=None, cout=None, parent=None):
+        if len(a) != len(b) or len(a) != len(s):
+            raise ElaborationError(f"adder {name}: bus widths differ")
+        signals = [cin] if cin is not None else []
+        super().__init__(sim, name, [a, b], signals, parent=parent)
+        self.a, self.b, self.s = a, b, s
+        self.cin, self.cout = cin, cout
+        self._s_drivers = [sig.driver(owner=self) for sig in s.bits]
+        self._cout_driver = cout.driver(owner=self) if cout is not None else None
+        self._start()
+
+    def _evaluate(self):
+        a = self.a.to_int_or_none()
+        b = self.b.to_int_or_none()
+        carry = 0
+        if self.cin is not None:
+            level = logic(self.cin.value)
+            if not level.is_defined():
+                a = None
+            carry = 1 if level.is_high() else 0
+        if a is None or b is None:
+            self._drive_bus_x(self._s_drivers)
+            if self._cout_driver is not None:
+                self._cout_driver.set(Logic.X)
+            return
+        total = a + b + carry
+        width = len(self.s)
+        self._drive_bus_int(self._s_drivers, width, total)
+        if self._cout_driver is not None:
+            self._cout_driver.set(
+                Logic.L1 if total >= (1 << width) else Logic.L0
+            )
+
+
+class Subtractor(_WordBlock):
+    """``d = a - b`` (two's complement wraparound), borrow flag out."""
+
+    def __init__(self, sim, name, a, b, d, borrow=None, parent=None):
+        if len(a) != len(b) or len(a) != len(d):
+            raise ElaborationError(f"subtractor {name}: bus widths differ")
+        super().__init__(sim, name, [a, b], [], parent=parent)
+        self.a, self.b, self.d = a, b, d
+        self.borrow = borrow
+        self._d_drivers = [sig.driver(owner=self) for sig in d.bits]
+        self._borrow_driver = (
+            borrow.driver(owner=self) if borrow is not None else None
+        )
+        self._start()
+
+    def _evaluate(self):
+        a = self.a.to_int_or_none()
+        b = self.b.to_int_or_none()
+        if a is None or b is None:
+            self._drive_bus_x(self._d_drivers)
+            if self._borrow_driver is not None:
+                self._borrow_driver.set(Logic.X)
+            return
+        self._drive_bus_int(self._d_drivers, len(self.d), a - b)
+        if self._borrow_driver is not None:
+            self._borrow_driver.set(Logic.L1 if a < b else Logic.L0)
+
+
+class Comparator(_WordBlock):
+    """Magnitude comparator driving eq/lt/gt flags."""
+
+    def __init__(self, sim, name, a, b, eq=None, lt=None, gt=None, parent=None):
+        if len(a) != len(b):
+            raise ElaborationError(f"comparator {name}: bus widths differ")
+        super().__init__(sim, name, [a, b], [], parent=parent)
+        self.a, self.b = a, b
+        self._flag_drivers = {}
+        for flag_name, sig in (("eq", eq), ("lt", lt), ("gt", gt)):
+            if sig is not None:
+                self._flag_drivers[flag_name] = sig.driver(owner=self)
+        if not self._flag_drivers:
+            raise ElaborationError(
+                f"comparator {name}: connect at least one of eq/lt/gt"
+            )
+        self._start()
+
+    def _evaluate(self):
+        a = self.a.to_int_or_none()
+        b = self.b.to_int_or_none()
+        if a is None or b is None:
+            for drv in self._flag_drivers.values():
+                drv.set(Logic.X)
+            return
+        results = {"eq": a == b, "lt": a < b, "gt": a > b}
+        for flag_name, drv in self._flag_drivers.items():
+            drv.set(Logic.L1 if results[flag_name] else Logic.L0)
+
+
+class BusMux(_WordBlock):
+    """Two-way bus multiplexer: ``y = a`` when sel=0 else ``b``."""
+
+    def __init__(self, sim, name, a, b, sel, y, parent=None):
+        if len(a) != len(b) or len(a) != len(y):
+            raise ElaborationError(f"busmux {name}: bus widths differ")
+        super().__init__(sim, name, [a, b], [sel], parent=parent)
+        self.a, self.b, self.sel, self.y = a, b, sel, y
+        self._y_drivers = [sig.driver(owner=self) for sig in y.bits]
+        self._start()
+
+    def _evaluate(self):
+        from ..core.logic import logic_buf
+
+        sel = logic(self.sel.value).to_x01()
+        if sel is Logic.L0:
+            source = self.a
+        elif sel is Logic.L1:
+            source = self.b
+        else:
+            for drv, abit, bbit in zip(self._y_drivers, self.a.bits, self.b.bits):
+                av, bv = logic_buf(abit.value), logic_buf(bbit.value)
+                drv.set(av if av is bv else Logic.X)
+            return
+        for drv, bit in zip(self._y_drivers, source.bits):
+            drv.set(logic_buf(bit.value))
+
+
+class ParityGen(_WordBlock):
+    """Even-parity generator over a bus (XOR reduce)."""
+
+    def __init__(self, sim, name, a, parity, parent=None):
+        super().__init__(sim, name, [a], [], parent=parent)
+        self.a = a
+        self._driver = parity.driver(owner=self)
+        self._start()
+
+    def _evaluate(self):
+        from functools import reduce
+
+        from ..core.logic import logic_xor
+
+        self._driver.set(reduce(logic_xor, (sig.value for sig in self.a.bits)))

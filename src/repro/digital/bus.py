@@ -1,0 +1,119 @@
+"""Multi-bit signal bundles.
+
+A :class:`Bus` groups ``width`` :class:`~repro.core.signal.Signal`
+objects (LSB first) and provides integer conversions with IEEE-1164
+``X`` propagation: a bus containing any undefined bit has no integer
+value, and behavioural blocks reading it emit unknowns — which is how
+an injected bit-flip corrupts downstream words realistically.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LogicValueError
+from ..core.logic import Logic, bits_from_int, int_from_bits, logic, vector_string
+
+
+class Bus:
+    """An LSB-first bundle of digital signals.
+
+    :param sim: owning simulator.
+    :param name: base name; bit *i* is named ``"<name>[i]"``.
+    :param width: number of bits (> 0).
+    :param init: initial integer value, logic level, or list of levels.
+    """
+
+    def __init__(self, sim, name, width, init=Logic.U):
+        if width <= 0:
+            raise LogicValueError(f"bus width must be positive, got {width}")
+        self.sim = sim
+        self.name = name
+        self.width = width
+        if isinstance(init, int) and not isinstance(init, bool) and not isinstance(init, Logic):
+            init_bits = bits_from_int(init, width)
+        elif isinstance(init, (list, tuple)):
+            if len(init) != width:
+                raise LogicValueError(
+                    f"init list has {len(init)} bits for width-{width} bus"
+                )
+            init_bits = [logic(b) for b in init]
+        else:
+            init_bits = [logic(init)] * width
+        self.bits = [
+            sim.signal(f"{name}[{i}]", init=init_bits[i]) for i in range(width)
+        ]
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self):
+        return self.width
+
+    def __getitem__(self, index):
+        result = self.bits[index]
+        return result
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    # -- value access ---------------------------------------------------------
+
+    def to_int(self):
+        """Integer value of the bus.
+
+        :raises LogicValueError: if any bit is undefined.
+        """
+        return int_from_bits(sig.value for sig in self.bits)
+
+    def to_int_or_none(self):
+        """Integer value, or None when any bit is undefined."""
+        try:
+            return self.to_int()
+        except LogicValueError:
+            return None
+
+    def values(self):
+        """Current logic levels, LSB first."""
+        return [sig.value for sig in self.bits]
+
+    def __str__(self):
+        return vector_string(sig.value for sig in self.bits)
+
+    def is_defined(self):
+        """True when every bit reads as 0 or 1."""
+        return all(logic(sig.value).is_defined() for sig in self.bits)
+
+    # -- driving ------------------------------------------------------------
+
+    def drive_int(self, value, delay=0.0):
+        """Drive all bits from an integer."""
+        for sig, bit in zip(self.bits, bits_from_int(value, self.width)):
+            sig.drive(bit, delay)
+
+    def drive_levels(self, levels, delay=0.0):
+        """Drive all bits from an LSB-first iterable of levels."""
+        levels = [logic(level) for level in levels]
+        if len(levels) != self.width:
+            raise LogicValueError(
+                f"got {len(levels)} levels for width-{self.width} bus"
+            )
+        for sig, level in zip(self.bits, levels):
+            sig.drive(level, delay)
+
+    def drive_all(self, level, delay=0.0):
+        """Drive every bit to the same level."""
+        level = logic(level)
+        for sig in self.bits:
+            sig.drive(level, delay)
+
+    # -- fault-injection hooks -------------------------------------------------
+
+    def deposit_int(self, value):
+        """Immediately overwrite all bits from an integer."""
+        for sig, bit in zip(self.bits, bits_from_int(value, self.width)):
+            sig.deposit(bit)
+
+    def state_map(self, prefix="q"):
+        """Mapping ``"<prefix>[i]" -> bit signal`` for state_signals()."""
+        return {f"{prefix}[{i}]": sig for i, sig in enumerate(self.bits)}
+
+    def __repr__(self):
+        return f"<Bus {self.name}[{self.width - 1}:0]={self}>"

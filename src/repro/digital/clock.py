@@ -1,0 +1,122 @@
+"""Clock and stimulus generators.
+
+Campaign workloads need reference clocks (the PLL's 500 kHz input),
+reset pulses and data stimulus; these generators provide them as
+event-driven components.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, logic
+
+
+class ClockGen(DigitalComponent):
+    """A free-running clock.
+
+    :param out: output signal.
+    :param period: clock period in seconds.
+    :param duty: high fraction of the period (0 < duty < 1).
+    :param start_delay: time of the first rising edge.
+    :param start_low: when True the clock idles low until the first
+        rising edge; when False it starts high.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        out,
+        period,
+        duty=0.5,
+        start_delay=0.0,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        if period <= 0:
+            raise ElaborationError(f"clock {name}: period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ElaborationError(f"clock {name}: duty must be in (0, 1)")
+        self.out = out
+        self.period = period
+        self.high_time = period * duty
+        self._driver = out.driver(owner=self)
+        self._driver.set(Logic.L0)
+        self.edges = 0
+        sim.at(sim.now + start_delay, self._rise)
+
+    def _rise(self):
+        self._driver.set(Logic.L1)
+        self.edges += 1
+        self.sim.schedule(self.high_time, self._fall)
+
+    def _fall(self):
+        self._driver.set(Logic.L0)
+        self.sim.schedule(self.period - self.high_time, self._rise)
+
+
+class ResetGen(DigitalComponent):
+    """An active-high reset pulse asserted from time 0 for ``duration``."""
+
+    def __init__(self, sim, name, out, duration, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.out = out
+        self._driver = out.driver(owner=self)
+        self._driver.set(Logic.L1)
+        sim.at(sim.now + duration, lambda: self._driver.set(Logic.L0))
+
+
+class PulseGen(DigitalComponent):
+    """A single pulse of a given polarity at a programmed time.
+
+    Useful both as stimulus and as the *injection control signal* of
+    the paper's saboteur (Figure 4), whose duration controls the pulse
+    width PW.
+    """
+
+    def __init__(self, sim, name, out, start, width, active=Logic.L1, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if width <= 0:
+            raise ElaborationError(f"pulse {name}: width must be positive")
+        self.out = out
+        active = logic(active)
+        idle = Logic.L0 if active.is_high() else Logic.L1
+        self._driver = out.driver(owner=self)
+        self._driver.set(idle)
+        sim.at(sim.now + start, lambda: self._driver.set(active))
+        sim.at(sim.now + start + width, lambda: self._driver.set(idle))
+
+
+class SequencePlayer(DigitalComponent):
+    """Drives a signal through a scripted ``(time, value)`` sequence."""
+
+    def __init__(self, sim, name, out, script, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.out = out
+        self._driver = out.driver(owner=self)
+        last_time = None
+        for time, value in script:
+            if last_time is not None and time < last_time:
+                raise ElaborationError(
+                    f"sequence {name}: times must be non-decreasing"
+                )
+            last_time = time
+            value = logic(value) if isinstance(value, (str, bool)) else value
+            sim.at(sim.now + time, self._make_setter(value))
+
+    def _make_setter(self, value):
+        return lambda: self._driver.set(value)
+
+
+class BusSequencePlayer(DigitalComponent):
+    """Drives a bus through a scripted ``(time, int_value)`` sequence."""
+
+    def __init__(self, sim, name, bus, script, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.bus = bus
+        for time, value in script:
+            sim.at(sim.now + time, self._make_setter(value))
+
+    def _make_setter(self, value):
+        return lambda: self.bus.drive_int(value)

@@ -1,0 +1,156 @@
+"""Counters and clock dividers.
+
+State lives *in the output bus bits*, so a deposited bit-flip (mutant
+SEU injection) corrupts the count exactly as it would in hardware: the
+next increment proceeds from the corrupted word, and an undefined bit
+poisons the whole word to ``X``.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, bits_from_int, logic
+from .bus import Bus
+
+
+class Counter(DigitalComponent):
+    """A ``width``-bit synchronous up counter.
+
+    :param clk: clock (rising edge).
+    :param q: output/state :class:`~repro.digital.bus.Bus`.
+    :param rst: optional active-high asynchronous reset.
+    :param en: optional active-high count enable.
+    :param modulo: wrap value (default ``2**width``).
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        clk,
+        q,
+        rst=None,
+        en=None,
+        modulo=None,
+        init=0,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.q = q
+        self.rst = rst
+        self.en = en
+        self.modulo = modulo if modulo is not None else (1 << len(q))
+        if self.modulo > (1 << len(q)):
+            raise ElaborationError(
+                f"counter {name}: modulo {self.modulo} needs more than "
+                f"{len(q)} bits"
+            )
+        self._drivers = [sig.driver(owner=self) for sig in q.bits]
+        self._set_word(init)
+        sensitivity = [clk]
+        if rst is not None:
+            sensitivity.append(rst)
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _set_word(self, value):
+        for drv, bit in zip(self._drivers, bits_from_int(value, len(self.q))):
+            drv.set(bit)
+
+    def _set_unknown(self):
+        for drv in self._drivers:
+            drv.set(Logic.X)
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._set_word(0)
+            return
+        if not self.clk.rose():
+            return
+        if self.en is not None and not logic(self.en.value).is_high():
+            return
+        current = self.q.to_int_or_none()
+        if current is None:
+            self._set_unknown()
+            return
+        self._set_word((current + 1) % self.modulo)
+
+    def state_signals(self):
+        return self.q.state_map()
+
+
+class DownCounter(Counter):
+    """A ``width``-bit synchronous down counter (wraps at zero)."""
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._set_word(self.modulo - 1)
+            return
+        if not self.clk.rose():
+            return
+        if self.en is not None and not logic(self.en.value).is_high():
+            return
+        current = self.q.to_int_or_none()
+        if current is None:
+            self._set_unknown()
+            return
+        self._set_word((current - 1) % self.modulo)
+
+
+class ClockDivider(DigitalComponent):
+    """Divide-by-N clock divider with a 50 %-ish duty output.
+
+    Counts rising input edges; the output toggles every ``n // 2``
+    (rounding up on the low phase for odd N).  The internal count is
+    exposed as injectable state.  This is the behavioural model of the
+    PLL's feedback divider (Figure 5).
+
+    :param clk_in: input clock.
+    :param clk_out: divided output signal.
+    :param n: division ratio (>= 2).
+    """
+
+    def __init__(self, sim, name, clk_in, clk_out, n, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if n < 2:
+            raise ElaborationError(f"divider {name}: n must be >= 2, got {n}")
+        self.n = n
+        self.clk_in = clk_in
+        self.clk_out = clk_out
+        width = max(1, (n - 1).bit_length())
+        self.count = Bus(sim, f"{self.path}.count", width, init=0)
+        self._count_drivers = [sig.driver(owner=self) for sig in self.count.bits]
+        for drv, bit in zip(self._count_drivers, bits_from_int(0, width)):
+            drv.set(bit)
+        self._out_driver = clk_out.driver(owner=self)
+        self._out_driver.set(Logic.L0)
+        self.half = n // 2
+        self.process(self._tick, sensitivity=[clk_in])
+
+    def _tick(self):
+        if not self.clk_in.rose():
+            return
+        current = self.count.to_int_or_none()
+        if current is None:
+            # A corrupted count recovers at the next wrap comparison:
+            # model the hardware by restarting the cycle, but flag the
+            # output unknown for one input period.
+            self._out_driver.set(Logic.X)
+            self._set_count(0)
+            return
+        nxt = current + 1
+        if nxt >= self.n:
+            nxt = 0
+        self._set_count(nxt)
+        # High for counts [0, half), low for [half, n).
+        self._out_driver.set(Logic.L1 if nxt < self.half else Logic.L0)
+
+    def _set_count(self, value):
+        for drv, bit in zip(
+            self._count_drivers, bits_from_int(value, len(self.count))
+        ):
+            drv.set(bit)
+
+    def state_signals(self):
+        return self.count.state_map(prefix="count")

@@ -1,0 +1,256 @@
+"""A small accumulator CPU — the processor-style campaign workload.
+
+Reference [2] of the paper studies "bit-flip injection in processor-
+based architectures"; this module provides that class of target: an
+8-bit accumulator machine with a program counter, an accumulator, a
+zero flag and a fetch/execute control FSM — all built on the library's
+own sequential elements, so every architectural register is an
+injectable SEU target with a distinct failure signature (PC upsets
+derail control flow, ACC upsets corrupt data, flag upsets misroute
+branches).
+
+Instruction set (4-bit opcode, 4-bit operand):
+
+=========  ====  =====================================
+``NOP``    0x0   do nothing
+``LDI n``  0x1   ACC <- n
+``ADD n``  0x2   ACC <- ACC + n (mod 256), sets Z
+``SUB n``  0x3   ACC <- ACC - n (mod 256), sets Z
+``JMP a``  0x4   PC <- a
+``JNZ a``  0x5   PC <- a when Z == 0
+``OUT``    0x6   OUT <- ACC, pulses ``out_valid``
+``HALT``   0x7   stop (PC holds)
+=========  ====  =====================================
+
+Programs are lists of ``(opcode << 4) | operand`` bytes, assembled with
+:func:`assemble`.
+"""
+
+from __future__ import annotations
+
+from ..core.component import Component, DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, logic
+from .bus import Bus
+
+#: Opcode table.
+OPCODES = {
+    "NOP": 0x0,
+    "LDI": 0x1,
+    "ADD": 0x2,
+    "SUB": 0x3,
+    "JMP": 0x4,
+    "JNZ": 0x5,
+    "OUT": 0x6,
+    "HALT": 0x7,
+}
+
+_NEEDS_OPERAND = {"LDI", "ADD", "SUB", "JMP", "JNZ"}
+
+
+def assemble(source):
+    """Assemble ``[("LDI", 5), ("ADD", 3), ("OUT",), ...]`` into bytes.
+
+    :raises ElaborationError: for unknown mnemonics, missing/extra
+        operands or out-of-range values.
+    """
+    program = []
+    for index, instruction in enumerate(source):
+        mnemonic = instruction[0]
+        if mnemonic not in OPCODES:
+            raise ElaborationError(
+                f"instruction {index}: unknown mnemonic {mnemonic!r}"
+            )
+        needs = mnemonic in _NEEDS_OPERAND
+        if needs and len(instruction) != 2:
+            raise ElaborationError(
+                f"instruction {index}: {mnemonic} needs one operand"
+            )
+        if not needs and len(instruction) != 1:
+            raise ElaborationError(
+                f"instruction {index}: {mnemonic} takes no operand"
+            )
+        operand = instruction[1] if needs else 0
+        if not 0 <= operand <= 15:
+            raise ElaborationError(
+                f"instruction {index}: operand {operand} out of range 0..15"
+            )
+        program.append((OPCODES[mnemonic] << 4) | operand)
+    if len(program) > 16:
+        raise ElaborationError(
+            f"program has {len(program)} instructions; ROM holds 16"
+        )
+    return program
+
+
+class Accumulator8(Component):
+    """The CPU: ROM + PC + ACC + Z flag + output port.
+
+    :param program: assembled bytes (max 16).
+    :param clk: clock (one instruction per rising edge).
+    :param rst: optional active-high reset (PC, ACC, Z to 0; restarts
+        a halted machine).
+
+    :ivar pc: 4-bit program-counter bus (injectable state).
+    :ivar acc: 8-bit accumulator bus (injectable state).
+    :ivar zflag: zero-flag signal (injectable state).
+    :ivar out: 8-bit output bus, written by ``OUT``.
+    :ivar out_valid: strobe raised for one cycle on each ``OUT``.
+    :ivar halted: high once ``HALT`` executes.
+    """
+
+    def __init__(self, sim, name, clk, program, rst=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if not program:
+            raise ElaborationError(f"cpu {name}: empty program")
+        if len(program) > 16:
+            raise ElaborationError(f"cpu {name}: ROM holds 16 bytes")
+        if any(not 0 <= b <= 255 for b in program):
+            raise ElaborationError(f"cpu {name}: bytes must be 0..255")
+        self.rom = list(program) + [OPCODES["HALT"] << 4] * (16 - len(program))
+        self.clk = clk
+        self.rst = rst
+        path = self.path
+
+        self.pc = Bus(sim, f"{path}.pc", 4, init=0)
+        self.acc = Bus(sim, f"{path}.acc", 8, init=0)
+        self.zflag = sim.signal(f"{path}.z", init=Logic.L1)
+        self.out = Bus(sim, f"{path}.out", 8, init=0)
+        self.out_valid = sim.signal(f"{path}.out_valid", init=Logic.L0)
+        self.halted = sim.signal(f"{path}.halted", init=Logic.L0)
+
+        self._pc_drv = [sig.driver(owner=self) for sig in self.pc.bits]
+        self._acc_drv = [sig.driver(owner=self) for sig in self.acc.bits]
+        self._z_drv = self.zflag.driver(owner=self)
+        self._out_drv = [sig.driver(owner=self) for sig in self.out.bits]
+        self._valid_drv = self.out_valid.driver(owner=self)
+        self._halt_drv = self.halted.driver(owner=self)
+        self.instructions_retired = 0
+
+        core = DigitalComponent(sim, "core", parent=self)
+        sensitivity = [clk] if rst is None else [clk, rst]
+        core.process(self._step, sensitivity=sensitivity)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _write_bus(self, drivers, width, value):
+        from ..core.logic import bits_from_int
+
+        for drv, bit in zip(drivers, bits_from_int(value % (1 << width),
+                                                   width)):
+            drv.set(bit)
+
+    def _poison(self, drivers):
+        for drv in drivers:
+            drv.set(Logic.X)
+
+    def _reset_state(self):
+        self._write_bus(self._pc_drv, 4, 0)
+        self._write_bus(self._acc_drv, 8, 0)
+        self._z_drv.set(Logic.L1)
+        self._valid_drv.set(Logic.L0)
+        self._halt_drv.set(Logic.L0)
+
+    # -- the fetch/execute step -----------------------------------------------
+
+    def _step(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._reset_state()
+            return
+        if not self.clk.rose():
+            return
+        if logic(self.halted.value).is_high():
+            return
+        self._valid_drv.set(Logic.L0)
+
+        pc = self.pc.to_int_or_none()
+        if pc is None:
+            # A corrupted PC fetches garbage; model as control-flow
+            # escape to address 0 with poisoned data state.
+            self._write_bus(self._pc_drv, 4, 0)
+            self._poison(self._acc_drv)
+            self._z_drv.set(Logic.X)
+            return
+        word = self.rom[pc]
+        opcode = word >> 4
+        operand = word & 0xF
+        acc = self.acc.to_int_or_none()
+        z = logic(self.zflag.value)
+        next_pc = (pc + 1) % 16
+        self.instructions_retired += 1
+
+        if opcode == OPCODES["NOP"]:
+            pass
+        elif opcode == OPCODES["LDI"]:
+            self._write_bus(self._acc_drv, 8, operand)
+            self._z_drv.set(Logic.L1 if operand == 0 else Logic.L0)
+        elif opcode in (OPCODES["ADD"], OPCODES["SUB"]):
+            if acc is None:
+                self._poison(self._acc_drv)
+                self._z_drv.set(Logic.X)
+            else:
+                delta = operand if opcode == OPCODES["ADD"] else -operand
+                result = (acc + delta) % 256
+                self._write_bus(self._acc_drv, 8, result)
+                self._z_drv.set(Logic.L1 if result == 0 else Logic.L0)
+        elif opcode == OPCODES["JMP"]:
+            next_pc = operand
+        elif opcode == OPCODES["JNZ"]:
+            if z.is_defined():
+                if z.is_low():
+                    next_pc = operand
+            else:
+                # Unknown flag: the branch goes an unknown way; model
+                # the pessimistic case by poisoning the PC.
+                self._poison(self._pc_drv)
+                return
+        elif opcode == OPCODES["OUT"]:
+            if acc is None:
+                self._poison(self._out_drv)
+            else:
+                self._write_bus(self._out_drv, 8, acc)
+            self._valid_drv.set(Logic.L1)
+        elif opcode == OPCODES["HALT"]:
+            self._halt_drv.set(Logic.L1)
+            return
+        self._write_bus(self._pc_drv, 4, next_pc)
+
+    def state_signals(self):
+        state = self.pc.state_map(prefix="pc")
+        state.update(self.acc.state_map(prefix="acc"))
+        state["z"] = self.zflag
+        return state
+
+    @staticmethod
+    def reference_run(program, max_steps=1000):
+        """Pure-software golden model; returns the list of OUT values.
+
+        Used by tests as the known answer for fault-free execution.
+        """
+        rom = list(program) + [OPCODES["HALT"] << 4] * (16 - len(program))
+        pc, acc, z = 0, 0, True
+        outputs = []
+        for _ in range(max_steps):
+            word = rom[pc]
+            opcode, operand = word >> 4, word & 0xF
+            next_pc = (pc + 1) % 16
+            if opcode == OPCODES["LDI"]:
+                acc = operand
+                z = acc == 0
+            elif opcode == OPCODES["ADD"]:
+                acc = (acc + operand) % 256
+                z = acc == 0
+            elif opcode == OPCODES["SUB"]:
+                acc = (acc - operand) % 256
+                z = acc == 0
+            elif opcode == OPCODES["JMP"]:
+                next_pc = operand
+            elif opcode == OPCODES["JNZ"]:
+                if not z:
+                    next_pc = operand
+            elif opcode == OPCODES["OUT"]:
+                outputs.append(acc)
+            elif opcode == OPCODES["HALT"]:
+                break
+            pc = next_pc
+        return outputs

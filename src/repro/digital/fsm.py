@@ -1,0 +1,152 @@
+"""Finite-state machines with injectable state registers.
+
+Reference [11] of the paper models SEUs in control logic as *erroneous
+transitions* of a finite state machine.  :class:`MooreFSM` realises
+that: states are binary-encoded in a bus of flip-flop bits, so a
+deposited bit-flip moves the machine to a *different* state — possibly
+one with no incoming arc, or an invalid encoding — and the campaign
+classifier observes the consequences.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, bits_from_int, logic
+from .bus import Bus
+
+
+class MooreFSM(DigitalComponent):
+    """A Moore machine with a binary-encoded state register.
+
+    :param states: ordered list of state names; index = encoding.
+    :param transition: callable ``(state_name, fsm) -> state_name``,
+        reading input signals through ``fsm`` attributes or closures.
+    :param moore_outputs: mapping ``signal -> (state_name -> level)``;
+        output signals are driven combinationally from the state.
+    :param inputs: signals the transition function reads; the state
+        update is clocked, so these only need to be stable at the
+        rising edge.
+    :param reset_state: state entered on reset and after an invalid
+        (out-of-range or undefined) encoding when ``on_invalid`` is
+        ``"reset"``.
+    :param on_invalid: ``"reset"`` (recover to ``reset_state``) or
+        ``"hold"`` (stay, outputs X) — the recovery policy models how
+        real control logic reacts to an illegal state.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        clk,
+        states,
+        transition,
+        moore_outputs=None,
+        rst=None,
+        reset_state=None,
+        on_invalid="reset",
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        if not states:
+            raise ElaborationError(f"fsm {name}: needs at least one state")
+        if len(set(states)) != len(states):
+            raise ElaborationError(f"fsm {name}: duplicate state names")
+        if on_invalid not in ("reset", "hold"):
+            raise ElaborationError(
+                f"fsm {name}: on_invalid must be 'reset' or 'hold'"
+            )
+        self.clk = clk
+        self.rst = rst
+        self.states = list(states)
+        self.encoding = {state: i for i, state in enumerate(self.states)}
+        self.transition = transition
+        self.reset_state = reset_state if reset_state is not None else states[0]
+        if self.reset_state not in self.encoding:
+            raise ElaborationError(
+                f"fsm {name}: unknown reset state {self.reset_state!r}"
+            )
+        self.on_invalid = on_invalid
+        width = max(1, (len(states) - 1).bit_length())
+        self.state_bus = Bus(sim, f"{self.path}.state", width)
+        self._drivers = [sig.driver(owner=self) for sig in self.state_bus.bits]
+        self._encode(self.reset_state)
+        self.moore_outputs = moore_outputs or {}
+        self._out_drivers = {
+            sig: sig.driver(owner=self) for sig in self.moore_outputs
+        }
+        self.invalid_entries = 0
+
+        sensitivity = [clk]
+        if rst is not None:
+            sensitivity.append(rst)
+        self.process(self._tick, sensitivity=sensitivity)
+        for sig in self.state_bus.bits:
+            sig.on_change(lambda _s: self._drive_outputs())
+        self._drive_outputs()
+
+    # -- state coding -------------------------------------------------------
+
+    def _encode(self, state_name):
+        code = self.encoding[state_name]
+        for drv, bit in zip(self._drivers, bits_from_int(code, len(self.state_bus))):
+            drv.set(bit)
+
+    def current_state(self):
+        """Current state name, or None for an invalid/undefined code."""
+        code = self.state_bus.to_int_or_none()
+        if code is None or code >= len(self.states):
+            return None
+        return self.states[code]
+
+    # -- behaviour ----------------------------------------------------------
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._encode(self.reset_state)
+            return
+        if not self.clk.rose():
+            return
+        state = self.current_state()
+        if state is None:
+            self.invalid_entries += 1
+            if self.on_invalid == "reset":
+                self._encode(self.reset_state)
+            return
+        nxt = self.transition(state, self)
+        if nxt not in self.encoding:
+            raise ElaborationError(
+                f"fsm {self.name}: transition returned unknown state {nxt!r}"
+            )
+        self._encode(nxt)
+
+    def _drive_outputs(self):
+        state = self.current_state()
+        for sig, table in self.moore_outputs.items():
+            if state is None:
+                self._out_drivers[sig].set(Logic.X)
+            else:
+                self._out_drivers[sig].set(logic(table[state]))
+
+    def state_signals(self):
+        return self.state_bus.state_map(prefix="state")
+
+
+def table_transition(table, default=None):
+    """Build a transition callable from a nested dict.
+
+    ``table[state]`` is either a state name (unconditional) or a
+    callable ``fsm -> state name``.  ``default`` handles states missing
+    from the table (self-loop when None).
+    """
+
+    def transition(state, fsm):
+        entry = table.get(state, default)
+        if entry is None:
+            return state
+        if callable(entry):
+            return entry(fsm)
+        return entry
+
+    return transition

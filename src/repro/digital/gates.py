@@ -1,0 +1,192 @@
+"""Combinational gate library.
+
+Gates are event-driven components computing nine-value logic with a
+configurable propagation delay.  A non-zero delay gives transport
+semantics; digital SET pulses (fault model ``SETPulse``) therefore
+propagate and can be latched or missed depending on clock alignment,
+as described in Section 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import (
+    logic_and,
+    logic_buf,
+    logic_nand,
+    logic_nor,
+    logic_not,
+    logic_or,
+    logic_xnor,
+    logic_xor,
+)
+
+
+class Gate(DigitalComponent):
+    """A combinational gate.
+
+    :param fn: function mapping a list of input levels to one output
+        level.
+    :param inputs: input signals.
+    :param output: output signal (driven through its own driver).
+    :param delay: propagation delay in seconds.
+    :param inertial: when True (and ``delay`` > 0), a new evaluation
+        cancels any still-pending opposite transition — input pulses
+        narrower than the gate delay never reach the output.  This is
+        the *electrical masking* a real gate applies to SETs ("a
+        voltage variation that **may** propagate through the gates",
+        Section 2); transport mode (the default) passes every glitch.
+    """
+
+    def __init__(self, sim, name, fn, inputs, output, delay=0.0,
+                 inertial=False, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if not inputs:
+            raise ElaborationError(f"gate {name} needs at least one input")
+        self.fn = fn
+        self.inputs = list(inputs)
+        self.output = output
+        self.delay = delay
+        self.inertial = inertial
+        self.filtered_glitches = 0
+        self._driver = output.driver(owner=self)
+        self._pending = None  # (event, value) of the in-flight update
+        self.process(self._evaluate, sensitivity=self.inputs)
+
+    def _evaluate(self):
+        value = self.fn([sig.value for sig in self.inputs])
+        if self.inertial and self.delay > 0:
+            if self._pending is not None:
+                event, pending_value = self._pending
+                if not event.cancelled and pending_value != value:
+                    # The input changed back before the earlier
+                    # transition emerged: swallow it (inertial delay).
+                    event.cancel()
+                    self.filtered_glitches += 1
+            if value == self.output.value and (
+                self._pending is None or self._pending[0].cancelled
+            ):
+                self._pending = None
+                return
+        event = self._driver.set(value, self.delay)
+        self._pending = (event, value)
+
+
+def _reduce(op):
+    def fn(values):
+        return reduce(op, values)
+
+    return fn
+
+
+class NotGate(Gate):
+    """Inverter."""
+
+    def __init__(self, sim, name, a, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(
+            sim, name, lambda v: logic_not(v[0]), [a], y, delay=delay,
+            inertial=inertial, parent=parent,
+        )
+
+
+class BufGate(Gate):
+    """Buffer (strength strip, optional delay)."""
+
+    def __init__(self, sim, name, a, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(
+            sim, name, lambda v: logic_buf(v[0]), [a], y, delay=delay,
+            inertial=inertial, parent=parent,
+        )
+
+
+class AndGate(Gate):
+    """N-input AND."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(sim, name, _reduce(logic_and), inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class OrGate(Gate):
+    """N-input OR."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(sim, name, _reduce(logic_or), inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class XorGate(Gate):
+    """N-input XOR (parity)."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(sim, name, _reduce(logic_xor), inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class NandGate(Gate):
+    """N-input NAND."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        def fn(values):
+            return logic_not(reduce(logic_and, values))
+
+        super().__init__(sim, name, fn, inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class NorGate(Gate):
+    """N-input NOR."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        def fn(values):
+            return logic_not(reduce(logic_or, values))
+
+        super().__init__(sim, name, fn, inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class XnorGate(Gate):
+    """Two-input XNOR."""
+
+    def __init__(self, sim, name, inputs, y, delay=0.0, inertial=False,
+                 parent=None):
+        super().__init__(sim, name, _reduce(logic_xnor), inputs, y, delay=delay,
+                         inertial=inertial, parent=parent)
+
+
+class Mux2(DigitalComponent):
+    """Two-way multiplexer: ``y = a`` when ``sel`` is 0, ``b`` when 1.
+
+    An undefined select propagates X unless both data inputs agree.
+    """
+
+    def __init__(self, sim, name, a, b, sel, y, delay=0.0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.a, self.b, self.sel, self.y = a, b, sel, y
+        self.delay = delay
+        self._driver = y.driver(owner=self)
+        self.process(self._evaluate, sensitivity=[a, b, sel])
+
+    def _evaluate(self):
+        from ..core.logic import Logic, logic
+
+        sel = logic(self.sel.value).to_x01()
+        if sel is Logic.L0:
+            value = logic_buf(self.a.value)
+        elif sel is Logic.L1:
+            value = logic_buf(self.b.value)
+        else:
+            a = logic_buf(self.a.value)
+            b = logic_buf(self.b.value)
+            value = a if a is b else Logic.X
+        self._driver.set(value, self.delay)

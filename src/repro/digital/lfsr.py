@@ -1,0 +1,115 @@
+"""Linear-feedback shift registers.
+
+LFSRs serve two roles in the campaign infrastructure: as *workload*
+(pseudo-random stimulus generators, the classical BIST pattern source)
+and as *targets* whose single-bit upsets derail the whole future
+sequence — a good stress case for the classification stage.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, bits_from_int, logic_xor
+
+#: Maximal-length Fibonacci tap sets (1-based bit indices, MSB = width).
+MAXIMAL_TAPS = {
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+}
+
+
+class LFSR(DigitalComponent):
+    """A Fibonacci LFSR over a state bus.
+
+    On each rising clock edge the register shifts toward the MSB and
+    bit 0 takes the XOR of the tap bits.  The all-zero state is a
+    lock-up state, exactly like hardware — a fault campaign can land
+    the register there, which the classifier then reports.
+
+    :param q: state bus, width >= 2.
+    :param taps: 1-based tap positions; default maximal-length taps
+        when the width is in :data:`MAXIMAL_TAPS`.
+    :param init: initial state (nonzero for free running).
+    :param en: optional active-high shift enable (holds when low).
+    """
+
+    def __init__(self, sim, name, clk, q, taps=None, init=1, rst=None,
+                 en=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        width = len(q)
+        if width < 2:
+            raise ElaborationError(f"lfsr {name}: width must be >= 2")
+        if taps is None:
+            if width not in MAXIMAL_TAPS:
+                raise ElaborationError(
+                    f"lfsr {name}: no default taps for width {width}; "
+                    "pass taps explicitly"
+                )
+            taps = MAXIMAL_TAPS[width]
+        for tap in taps:
+            if not 1 <= tap <= width:
+                raise ElaborationError(
+                    f"lfsr {name}: tap {tap} out of range 1..{width}"
+                )
+        self.clk = clk
+        self.q = q
+        self.rst = rst
+        self.en = en
+        self.taps = tuple(taps)
+        self.init = init
+        self._drivers = [sig.driver(owner=self) for sig in q.bits]
+        for drv, bit in zip(self._drivers, bits_from_int(init, width)):
+            drv.set(bit)
+        sensitivity = [clk] if rst is None else [clk, rst]
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _tick(self):
+        from ..core.logic import logic
+
+        if self.rst is not None and logic(self.rst.value).is_high():
+            for drv, bit in zip(
+                self._drivers, bits_from_int(self.init, len(self.q))
+            ):
+                drv.set(bit)
+            return
+        if not self.clk.rose():
+            return
+        if self.en is not None and not logic(self.en.value).is_high():
+            return
+        state = [sig.value for sig in self.q.bits]
+        feedback = reduce(logic_xor, (state[tap - 1] for tap in self.taps))
+        new_bits = [feedback] + state[:-1]
+        for drv, bit in zip(self._drivers, new_bits):
+            drv.set(bit)
+
+    def state_signals(self):
+        return self.q.state_map()
+
+    @staticmethod
+    def sequence(width, taps=None, init=1, steps=10):
+        """Reference software model: the integer sequence the LFSR
+        should produce (for known-answer tests and golden checks)."""
+        if taps is None:
+            taps = MAXIMAL_TAPS[width]
+        state = init
+        result = []
+        for _ in range(steps):
+            feedback = 0
+            for tap in taps:
+                feedback ^= (state >> (tap - 1)) & 1
+            state = ((state << 1) | feedback) & ((1 << width) - 1)
+            result.append(state)
+        return result

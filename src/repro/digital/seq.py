@@ -1,0 +1,148 @@
+"""Sequential elements: flip-flops, latches and registers.
+
+These are the SEU targets of the digital flow: each element exposes its
+stored bit(s) through :meth:`state_signals`, which the mutant
+instrumentation flips to model an upset (Section 2: "the consequence of
+both SETs and SEUs in a synchronous digital block can be modeled at the
+functional level by one or several bit-flip(s)").
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.logic import Logic, logic, logic_buf
+from .bus import Bus
+
+
+class DFF(DigitalComponent):
+    """Positive-edge D flip-flop with optional asynchronous reset.
+
+    :param d: data input signal.
+    :param clk: clock signal (rising-edge triggered).
+    :param q: output signal; holds the stored state.
+    :param rst: optional active-high asynchronous reset.
+    :param init: power-up value (default ``U``, like VHDL).
+    """
+
+    def __init__(self, sim, name, d, clk, q, rst=None, init=Logic.U, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.d = d
+        self.clk = clk
+        self.q = q
+        self.rst = rst
+        self._driver = q.driver(owner=self)
+        self._driver.set(init)
+        sensitivity = [clk] if rst is None else [clk, rst]
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._driver.set(Logic.L0)
+            return
+        if self.clk.rose():
+            self._driver.set(logic_buf(self.d.value))
+
+    def state_signals(self):
+        return {"q": self.q}
+
+
+class TFF(DigitalComponent):
+    """Positive-edge toggle flip-flop (divide-by-two element).
+
+    Toggles ``q`` on every rising clock edge; an undefined stored value
+    stays undefined until reset.  Used by ripple dividers such as the
+    PLL feedback divider.
+    """
+
+    def __init__(self, sim, name, clk, q, rst=None, init=Logic.L0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.clk = clk
+        self.q = q
+        self.rst = rst
+        self._driver = q.driver(owner=self)
+        self._driver.set(init)
+        sensitivity = [clk] if rst is None else [clk, rst]
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            self._driver.set(Logic.L0)
+            return
+        if self.clk.rose():
+            current = logic(self.q.value)
+            if current.is_defined():
+                self._driver.set(Logic.L0 if current.is_high() else Logic.L1)
+            else:
+                self._driver.set(Logic.X)
+
+    def state_signals(self):
+        return {"q": self.q}
+
+
+class DLatch(DigitalComponent):
+    """Level-sensitive transparent latch: follows ``d`` while ``en``
+    is high, holds while low."""
+
+    def __init__(self, sim, name, d, en, q, init=Logic.U, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.d = d
+        self.en = en
+        self.q = q
+        self._driver = q.driver(owner=self)
+        self._driver.set(init)
+        self.process(self._follow, sensitivity=[d, en])
+
+    def _follow(self):
+        if logic(self.en.value).is_high():
+            self._driver.set(logic_buf(self.d.value))
+
+    def state_signals(self):
+        return {"q": self.q}
+
+
+class Register(DigitalComponent):
+    """A ``width``-bit positive-edge register over buses.
+
+    :param d: input :class:`~repro.digital.bus.Bus`.
+    :param q: output :class:`~repro.digital.bus.Bus` (stored state).
+    :param en: optional active-high clock enable.
+    :param rst: optional active-high asynchronous reset (to 0).
+    """
+
+    def __init__(self, sim, name, d, clk, q, en=None, rst=None, init=0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if len(d) != len(q):
+            from ..core.errors import ElaborationError
+
+            raise ElaborationError(
+                f"register {name}: d is {len(d)} bits but q is {len(q)}"
+            )
+        self.d = d
+        self.clk = clk
+        self.q = q
+        self.en = en
+        self.rst = rst
+        self._drivers = [sig.driver(owner=self) for sig in q.bits]
+        from ..core.logic import bits_from_int
+
+        for drv, bit in zip(self._drivers, bits_from_int(init, len(q))):
+            drv.set(bit)
+        sensitivity = [clk]
+        if rst is not None:
+            sensitivity.append(rst)
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            for drv in self._drivers:
+                drv.set(Logic.L0)
+            return
+        if not self.clk.rose():
+            return
+        if self.en is not None and not logic(self.en.value).is_high():
+            return
+        for drv, src in zip(self._drivers, self.d.bits):
+            drv.set(logic_buf(src.value))
+
+    def state_signals(self):
+        return self.q.state_map()

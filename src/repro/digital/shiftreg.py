@@ -1,0 +1,94 @@
+"""Shift registers.
+
+Like counters, the state lives in the output bus bits so mutant
+bit-flips corrupt the stored word directly.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.logic import Logic, logic, logic_buf
+
+
+class ShiftRegister(DigitalComponent):
+    """A serial-in shift register with optional parallel load.
+
+    Shifts towards the MSB: on each rising clock edge bit *i+1* takes
+    bit *i* and bit 0 takes the serial input.  When ``load`` is high
+    the parallel input bus ``d`` is loaded instead.
+
+    :param serial_in: serial data input signal.
+    :param q: state/output bus.
+    :param d: optional parallel-load bus (same width as ``q``).
+    :param load: optional active-high parallel-load control.
+    :param serial_out: optional signal mirroring the MSB.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        clk,
+        serial_in,
+        q,
+        d=None,
+        load=None,
+        serial_out=None,
+        rst=None,
+        init=0,
+        parent=None,
+    ):
+        super().__init__(sim, name, parent=parent)
+        from ..core.errors import ElaborationError
+        from ..core.logic import bits_from_int
+
+        if (d is None) != (load is None):
+            raise ElaborationError(
+                f"shiftreg {name}: d and load must be given together"
+            )
+        if d is not None and len(d) != len(q):
+            raise ElaborationError(
+                f"shiftreg {name}: d is {len(d)} bits but q is {len(q)}"
+            )
+        self.clk = clk
+        self.serial_in = serial_in
+        self.q = q
+        self.d = d
+        self.load = load
+        self.rst = rst
+        self.serial_out = serial_out
+        self._drivers = [sig.driver(owner=self) for sig in q.bits]
+        for drv, bit in zip(self._drivers, bits_from_int(init, len(q))):
+            drv.set(bit)
+        self._so_driver = None
+        if serial_out is not None:
+            self._so_driver = serial_out.driver(owner=self)
+            self._so_driver.set(q.bits[-1].value)
+        sensitivity = [clk]
+        if rst is not None:
+            sensitivity.append(rst)
+        self.process(self._tick, sensitivity=sensitivity)
+
+    def _tick(self):
+        if self.rst is not None and logic(self.rst.value).is_high():
+            for drv in self._drivers:
+                drv.set(Logic.L0)
+            if self._so_driver is not None:
+                self._so_driver.set(Logic.L0)
+            return
+        if not self.clk.rose():
+            return
+        if self.load is not None and logic(self.load.value).is_high():
+            new_bits = [logic_buf(sig.value) for sig in self.d.bits]
+        else:
+            current = [sig.value for sig in self.q.bits]
+            new_bits = [logic_buf(self.serial_in.value)] + [
+                logic_buf(v) for v in current[:-1]
+            ]
+        for drv, bit in zip(self._drivers, new_bits):
+            drv.set(bit)
+        if self._so_driver is not None:
+            self._so_driver.set(new_bits[-1])
+
+    def state_signals(self):
+        return self.q.state_map()

@@ -1,0 +1,34 @@
+"""Fault models: the paper's Section 2 plus the classical alternatives."""
+
+from .bitflip import BitFlip, MultipleBitUpset
+from .current_pulse import FIGURE6_PULSE, FIGURE8_PULSES, TrapezoidPulse
+from .double_exp import DoubleExponentialPulse
+from .fitting import (
+    fit_double_exp,
+    fit_trapezoid,
+    rise_fall_times,
+    waveform_distance,
+)
+from .models import AnalogTransient, DigitalFault, FaultModel
+from .parametric import ParametricFault
+from .set_pulse import SETPulse
+from .stuckat import StuckAt
+
+__all__ = [
+    "AnalogTransient",
+    "BitFlip",
+    "DigitalFault",
+    "DoubleExponentialPulse",
+    "FIGURE6_PULSE",
+    "FIGURE8_PULSES",
+    "FaultModel",
+    "MultipleBitUpset",
+    "ParametricFault",
+    "SETPulse",
+    "StuckAt",
+    "TrapezoidPulse",
+    "fit_double_exp",
+    "fit_trapezoid",
+    "rise_fall_times",
+    "waveform_distance",
+]

@@ -1,0 +1,83 @@
+"""SEU bit-flip fault models for digital state (Section 2).
+
+"The consequence of both SETs and SEUs in a synchronous digital block
+can be modeled at the functional level by one or several bit-flip(s)"
+— these classes describe exactly that: which memory element(s) to
+flip, and when.  Targets are qualified state names as produced by
+:func:`repro.core.hierarchy.collect_state_signals`
+(``"<component path>.<state name>"``).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FaultModelError
+from ..core.units import format_quantity, parse_quantity
+from .models import DigitalFault
+
+
+class BitFlip(DigitalFault):
+    """A single-event upset: one stored bit inverts at one instant.
+
+    :param target: qualified state-signal name.
+    :param time: injection time in seconds (or ``"170us"`` style).
+    """
+
+    family = "seu"
+
+    def __init__(self, target, time):
+        if not isinstance(target, str) or not target:
+            raise FaultModelError(f"invalid bit-flip target {target!r}")
+        self.target = target
+        self.time = parse_quantity(time, expect_unit="s")
+        if self.time < 0:
+            raise FaultModelError(f"injection time must be >= 0, got {self.time}")
+
+    def targets(self):
+        """The state names this fault corrupts (one)."""
+        return (self.target,)
+
+    def describe(self):
+        return f"SEU bit-flip @ {format_quantity(self.time, 's')} on {self.target}"
+
+    def __repr__(self):
+        return f"BitFlip({self.target!r}, {self.time!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, BitFlip):
+            return NotImplemented
+        return (self.target, self.time) == (other.target, other.time)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.target, self.time))
+
+
+class MultipleBitUpset(DigitalFault):
+    """Several bits flip simultaneously (an MBU / MCU event).
+
+    :param targets: qualified state-signal names (>= 2, distinct).
+    :param time: injection time in seconds.
+    """
+
+    family = "mbu"
+
+    def __init__(self, targets, time):
+        targets = tuple(targets)
+        if len(targets) < 2:
+            raise FaultModelError("an MBU needs at least two targets")
+        if len(set(targets)) != len(targets):
+            raise FaultModelError("MBU targets must be distinct")
+        self._targets = targets
+        self.time = parse_quantity(time, expect_unit="s")
+        if self.time < 0:
+            raise FaultModelError(f"injection time must be >= 0, got {self.time}")
+
+    def targets(self):
+        """The state names this fault corrupts."""
+        return self._targets
+
+    def describe(self):
+        names = ", ".join(self._targets)
+        return f"MBU ({len(self._targets)} bits) @ {format_quantity(self.time, 's')} on {names}"
+
+    def __repr__(self):
+        return f"MultipleBitUpset({self._targets!r}, {self.time!r})"

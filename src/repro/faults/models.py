@@ -1,0 +1,95 @@
+"""Fault-model base classes.
+
+A fault model is a pure *description* of a disturbance — its shape,
+target and timing — decoupled from the mechanism that realises it in a
+simulation (saboteur or mutant, :mod:`repro.injection`).  That split
+mirrors the paper's flow, where the campaign definition supplies the
+pulse parameters and injection times, and the instrumented circuit
+carries the machinery.
+
+Two families exist:
+
+* :class:`AnalogTransient` — a current waveform ``i(t)`` superposed on
+  a circuit node (Section 2, Figure 1): the trapezoid model and the
+  Messenger double exponential.
+* :class:`DigitalFault` — value corruption of digital state or wires:
+  SEU bit-flips, multiple-bit upsets, SET pulses, stuck-ats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import FaultModelError
+
+
+class FaultModel:
+    """Common base for all fault descriptions."""
+
+    #: Short machine-readable family tag used in reports.
+    family = "generic"
+
+    def describe(self):
+        """One-line human-readable description for campaign reports."""
+        return repr(self)
+
+
+class AnalogTransient(FaultModel):
+    """A transient current waveform injected on an analog node.
+
+    Subclasses implement :meth:`current` (amperes at ``tau`` seconds
+    after injection start) and :attr:`duration`.  :meth:`charge`
+    integrates the waveform; :meth:`suggested_dt` recommends a solver
+    refinement step resolving the fastest edge.
+    """
+
+    family = "analog-transient"
+
+    @property
+    def duration(self):
+        """Support of the waveform in seconds (0 outside [0, duration])."""
+        raise NotImplementedError
+
+    def current(self, tau):
+        """Instantaneous current at ``tau`` seconds after onset."""
+        raise NotImplementedError
+
+    def current_array(self, taus):
+        """Vectorised :meth:`current` over a numpy array of times."""
+        taus = np.asarray(taus, dtype=float)
+        return np.array([self.current(t) for t in taus.ravel()]).reshape(taus.shape)
+
+    def charge(self, n=20001):
+        """Total injected charge in coulombs (numeric by default).
+
+        Subclasses with closed forms override this.
+        """
+        taus = np.linspace(0.0, self.duration, n)
+        return float(np.trapezoid(self.current_array(taus), taus))
+
+    def peak(self):
+        """Peak current magnitude in amperes (numeric by default)."""
+        taus = np.linspace(0.0, self.duration, 20001)
+        return float(np.max(np.abs(self.current_array(taus))))
+
+    def suggested_dt(self, points_per_edge=8):
+        """Solver timestep resolving the fastest feature of the pulse."""
+        raise NotImplementedError
+
+
+class DigitalFault(FaultModel):
+    """Base for digital value-corruption faults."""
+
+    family = "digital"
+
+
+def check_positive(name, value, allow_zero=False):
+    """Validate a fault parameter; returns the float value.
+
+    :raises FaultModelError: when negative (or zero, unless allowed).
+    """
+    value = float(value)
+    if value < 0 or (value == 0 and not allow_zero):
+        kind = "non-negative" if allow_zero else "positive"
+        raise FaultModelError(f"{name} must be {kind}, got {value}")
+    return value

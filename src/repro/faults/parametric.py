@@ -1,0 +1,74 @@
+"""Parametric fault model for analog behavioural blocks.
+
+The state of the art the paper improves upon: references such as [10]
+inject faults in analog behavioural descriptions "by modifying the
+equations describing the behavior, i.e. by injecting parametric
+faults".  Such faults represent process variation or aging — *not*
+transients — and the paper keeps them available for the cases where
+they are significant (Section 4.1).  This model changes a named
+attribute of a behavioural block (e.g. ``kvco`` of the VCO, ``gain``
+of an op-amp), permanently or over a time window.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FaultModelError
+from ..core.units import format_quantity, parse_quantity
+from .models import FaultModel
+
+
+class ParametricFault(FaultModel):
+    """A deviation of one behavioural-model parameter.
+
+    Exactly one of ``factor`` (multiplicative) or ``delta`` (additive)
+    must be given.
+
+    :param component: hierarchical path of the target block.
+    :param attribute: name of the numeric attribute to modify.
+    :param factor: multiply the nominal value by this.
+    :param delta: add this to the nominal value.
+    :param t_start: activation time (default 0: present from power-up,
+        like a process defect).
+    :param t_end: optional restoration time (None = permanent).
+    """
+
+    family = "parametric"
+
+    def __init__(self, component, attribute, factor=None, delta=None,
+                 t_start=0.0, t_end=None):
+        if not component or not attribute:
+            raise FaultModelError("component and attribute are required")
+        if (factor is None) == (delta is None):
+            raise FaultModelError("give exactly one of factor or delta")
+        self.component = component
+        self.attribute = attribute
+        self.factor = float(factor) if factor is not None else None
+        self.delta = float(delta) if delta is not None else None
+        self.t_start = parse_quantity(t_start, expect_unit="s")
+        self.t_end = parse_quantity(t_end, expect_unit="s") if t_end is not None else None
+        if self.t_start < 0:
+            raise FaultModelError("t_start must be >= 0")
+        if self.t_end is not None and self.t_end <= self.t_start:
+            raise FaultModelError("t_end must exceed t_start")
+
+    def faulty_value(self, nominal):
+        """The parameter value while the fault is active."""
+        if self.factor is not None:
+            return nominal * self.factor
+        return nominal + self.delta
+
+    def describe(self):
+        change = (
+            f"x{self.factor:g}" if self.factor is not None else f"{self.delta:+g}"
+        )
+        window = f"@ {format_quantity(self.t_start, 's')}"
+        if self.t_end is not None:
+            window += f"..{format_quantity(self.t_end, 's')}"
+        return f"parametric {self.component}.{self.attribute} {change} {window}"
+
+    def __repr__(self):
+        return (
+            f"ParametricFault({self.component!r}, {self.attribute!r}, "
+            f"factor={self.factor!r}, delta={self.delta!r}, "
+            f"t_start={self.t_start!r}, t_end={self.t_end!r})"
+        )

@@ -1,0 +1,55 @@
+"""Digital single-event-transient pulse model.
+
+A SET in combinational logic is "a voltage variation that may propagate
+through the gates until it is eventually captured (or not) in a
+flip-flop" (Section 2).  At the functional level this is a temporary
+value corruption of a wire: the signal is pinned to the disturbed value
+for the pulse width, then released to its driven value.  Whether the
+glitch is latched depends on its alignment with the capturing clock —
+the behaviour the digital campaign explores by sweeping the injection
+time within a cycle.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FaultModelError
+from ..core.units import format_quantity, parse_quantity
+from .models import DigitalFault
+
+
+class SETPulse(DigitalFault):
+    """A transient value pulse on a digital wire.
+
+    :param target: signal name (a wire, not necessarily state).
+    :param time: pulse start time in seconds.
+    :param width: pulse duration in seconds.
+    :param value: the disturbed level; None means "invert the value
+        present at injection time" (the usual SET abstraction).
+    """
+
+    family = "set"
+
+    def __init__(self, target, time, width, value=None):
+        if not isinstance(target, str) or not target:
+            raise FaultModelError(f"invalid SET target {target!r}")
+        self.target = target
+        self.time = parse_quantity(time, expect_unit="s")
+        self.width = parse_quantity(width, expect_unit="s")
+        if self.time < 0:
+            raise FaultModelError(f"pulse time must be >= 0, got {self.time}")
+        if self.width <= 0:
+            raise FaultModelError(f"pulse width must be positive, got {self.width}")
+        self.value = value
+
+    def describe(self):
+        what = "invert" if self.value is None else f"force {self.value}"
+        return (
+            f"SET pulse @ {format_quantity(self.time, 's')} "
+            f"({format_quantity(self.width, 's')}, {what}) on {self.target}"
+        )
+
+    def __repr__(self):
+        return (
+            f"SETPulse({self.target!r}, {self.time!r}, {self.width!r}, "
+            f"value={self.value!r})"
+        )

@@ -1,0 +1,51 @@
+"""Stuck-at fault model for digital wires and state.
+
+The classical permanent fault model, retained because campaign
+infrastructure built for transients classifies stuck-ats for free:
+forcing a signal to a fixed level over a window (or forever) covers
+both manufacturing-defect screening and long-duration transients.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import FaultModelError
+from ..core.logic import logic
+from ..core.units import format_quantity, parse_quantity
+from .models import DigitalFault
+
+
+class StuckAt(DigitalFault):
+    """A signal pinned to a fixed logic level.
+
+    :param target: signal name.
+    :param value: the pinned level (anything :func:`repro.core.logic`
+        accepts: 0, 1, '0', '1', 'X', ...).
+    :param t_start: activation time (default 0).
+    :param t_end: release time (None = permanent).
+    """
+
+    family = "stuck-at"
+
+    def __init__(self, target, value, t_start=0.0, t_end=None):
+        if not isinstance(target, str) or not target:
+            raise FaultModelError(f"invalid stuck-at target {target!r}")
+        self.target = target
+        self.value = logic(value)
+        self.t_start = parse_quantity(t_start, expect_unit="s")
+        self.t_end = parse_quantity(t_end, expect_unit="s") if t_end is not None else None
+        if self.t_start < 0:
+            raise FaultModelError("t_start must be >= 0")
+        if self.t_end is not None and self.t_end <= self.t_start:
+            raise FaultModelError("t_end must exceed t_start")
+
+    def describe(self):
+        window = f"@ {format_quantity(self.t_start, 's')}"
+        if self.t_end is not None:
+            window += f"..{format_quantity(self.t_end, 's')}"
+        return f"stuck-at-{self.value.char} {window} on {self.target}"
+
+    def __repr__(self):
+        return (
+            f"StuckAt({self.target!r}, {self.value.char!r}, "
+            f"t_start={self.t_start!r}, t_end={self.t_end!r})"
+        )

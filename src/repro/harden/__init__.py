@@ -1,0 +1,40 @@
+"""Protection mechanisms whose efficiency the flow validates.
+
+The paper's introduction motivates early fault injection with two
+goals: "(1) identify the significant nodes that should be protected in
+the circuit ... and (2) validate the efficiency of the implemented
+mechanisms".  This package provides the mechanisms — TMR wrappers,
+parity detection and Hamming correction — built from the same digital
+substrate, so the same campaigns that found the sensitive nodes can
+verify their protection.
+"""
+
+from .edac import (
+    HammingProtectedRegister,
+    ParityProtectedRegister,
+    hamming_decode,
+    hamming_encode,
+    hamming_widths,
+)
+from .tmr import TMRCounter, TMRDFF, TMRRegister
+from .voter import (
+    BusMajorityVoter,
+    DisagreementMonitor,
+    MajorityVoter,
+    majority,
+)
+
+__all__ = [
+    "BusMajorityVoter",
+    "DisagreementMonitor",
+    "HammingProtectedRegister",
+    "MajorityVoter",
+    "ParityProtectedRegister",
+    "TMRCounter",
+    "TMRDFF",
+    "TMRRegister",
+    "hamming_decode",
+    "hamming_encode",
+    "hamming_widths",
+    "majority",
+]

@@ -1,0 +1,235 @@
+"""Error detection and correction for register words.
+
+Complementary protection styles to TMR:
+
+* :class:`ParityProtectedRegister` — single-error *detection*: one
+  extra bit, an error flag, no correction.  The cheap option when a
+  higher level can retry.
+* :class:`HammingProtectedRegister` — single-error *correction* via a
+  Hamming SEC code over the stored word: the read port transparently
+  repairs any one flipped stored bit.
+
+Both store the code bits in ordinary registers, so campaigns can flip
+data *and* check bits and measure real coverage, including the
+miscorrection behaviour beyond the code's guarantee.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from ..core.component import Component, DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, logic, logic_xor
+from ..digital.bus import Bus
+from ..digital.seq import Register
+
+
+def parity_bit_positions(data_width):
+    """Positions (1-based, power of two) of Hamming check bits."""
+    positions = []
+    p = 1
+    total = data_width
+    while p <= total + len(positions):
+        positions.append(p)
+        p <<= 1
+    return positions
+
+
+def hamming_widths(data_width):
+    """Number of check bits for a SEC Hamming code over data_width."""
+    r = 0
+    while (1 << r) < data_width + r + 1:
+        r += 1
+    return r
+
+
+def hamming_encode(data_bits):
+    """Encode LSB-first data bits into an LSB-first Hamming codeword.
+
+    Returns the codeword as a list of ints (0/1); raises on undefined
+    bits (encoding happens on the write path where data is defined).
+    """
+    k = len(data_bits)
+    r = hamming_widths(k)
+    n = k + r
+    code = [0] * (n + 1)  # 1-based positions
+    data_iter = iter(data_bits)
+    check_positions = {1 << i for i in range(r)}
+    for pos in range(1, n + 1):
+        if pos not in check_positions:
+            code[pos] = next(data_iter)
+    for i in range(r):
+        p = 1 << i
+        acc = 0
+        for pos in range(1, n + 1):
+            if pos != p and pos & p:
+                acc ^= code[pos]
+        code[p] = acc
+    return code[1:]
+
+
+def hamming_decode(codeword):
+    """Decode an LSB-first codeword; returns (data_bits, syndrome).
+
+    A nonzero syndrome names the (1-based) flipped position, which is
+    corrected before extraction.  Exactly one flipped bit is repaired;
+    more violate the code's guarantee (and may miscorrect), as in
+    hardware.
+    """
+    n = len(codeword)
+    r = hamming_widths_from_n(n)
+    code = [0] + list(codeword)
+    syndrome = 0
+    for i in range(r):
+        p = 1 << i
+        acc = 0
+        for pos in range(1, n + 1):
+            if pos & p:
+                acc ^= code[pos]
+        if acc:
+            syndrome |= p
+    if 0 < syndrome <= n:
+        code[syndrome] ^= 1
+    check_positions = {1 << i for i in range(r)}
+    data = [code[pos] for pos in range(1, n + 1)
+            if pos not in check_positions]
+    return data, syndrome
+
+
+def hamming_widths_from_n(n):
+    """Number of check bits in an n-bit SEC codeword."""
+    r = 0
+    while (1 << r) <= n:
+        r += 1
+    return r
+
+
+class ParityProtectedRegister(Component):
+    """A register with one even-parity bit and an error flag.
+
+    :param error: output asserted (combinationally from the stored
+        word) when the stored parity disagrees with the stored data —
+        i.e. after any odd number of upsets.
+    """
+
+    def __init__(self, sim, name, d, clk, q, error, en=None, rst=None,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if len(d) != len(q):
+            raise ElaborationError(
+                f"parity register {name}: width mismatch"
+            )
+        path = self.path
+        # Extended input: data plus computed parity.
+        self._din_ext = Bus(sim, f"{path}.din_ext", len(d) + 1)
+        self._q_ext = Bus(sim, f"{path}.q_ext", len(d) + 1)
+        self._ext_drivers = [
+            sig.driver(owner=self) for sig in self._din_ext.bits
+        ]
+        self.d = d
+        self.q = q
+        self.error = error
+        self._q_drivers = [sig.driver(owner=self) for sig in q.bits]
+        self._err_driver = error.driver(owner=self)
+        self.register = Register(
+            sim, "store", self._din_ext, clk, self._q_ext, en=en, rst=rst,
+            parent=self,
+        )
+        DigitalComponent(sim, "encode", parent=self).process(
+            self._encode, sensitivity=list(d.bits)
+        )
+        DigitalComponent(sim, "decode", parent=self).process(
+            self._decode, sensitivity=list(self._q_ext.bits)
+        )
+
+    def _encode(self):
+        bits = [logic(sig.value) for sig in self.d.bits]
+        for drv, bit in zip(self._ext_drivers[:-1], bits):
+            drv.set(bit)
+        if all(b.is_defined() for b in bits):
+            parity = reduce(logic_xor, bits)
+        else:
+            parity = Logic.X
+        self._ext_drivers[-1].set(parity)
+
+    def _decode(self):
+        stored = [logic(sig.value) for sig in self._q_ext.bits]
+        for drv, bit in zip(self._q_drivers, stored[:-1]):
+            drv.set(bit)
+        if all(b.is_defined() for b in stored):
+            recomputed = reduce(logic_xor, stored[:-1])
+            self._err_driver.set(
+                Logic.L1 if recomputed is not stored[-1] else Logic.L0
+            )
+        else:
+            self._err_driver.set(Logic.X)
+
+
+class HammingProtectedRegister(Component):
+    """A register storing a SEC Hamming codeword; reads self-correct.
+
+    :param q: corrected data output bus.
+    :param corrected: optional flag pulsing high while the stored word
+        contains a (corrected) single-bit error.
+    """
+
+    def __init__(self, sim, name, d, clk, q, corrected=None, en=None,
+                 rst=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if len(d) != len(q):
+            raise ElaborationError(
+                f"hamming register {name}: width mismatch"
+            )
+        k = len(d)
+        n = k + hamming_widths(k)
+        path = self.path
+        self._code_in = Bus(sim, f"{path}.code_in", n)
+        self._code_q = Bus(sim, f"{path}.code_q", n)
+        self._in_drivers = [sig.driver(owner=self) for sig in self._code_in.bits]
+        self.d = d
+        self.q = q
+        self.corrected = corrected
+        self._q_drivers = [sig.driver(owner=self) for sig in q.bits]
+        self._corr_driver = (
+            corrected.driver(owner=self) if corrected is not None else None
+        )
+        self.register = Register(
+            sim, "store", self._code_in, clk, self._code_q, en=en, rst=rst,
+            parent=self,
+        )
+        DigitalComponent(sim, "encode", parent=self).process(
+            self._encode, sensitivity=list(d.bits)
+        )
+        DigitalComponent(sim, "decode", parent=self).process(
+            self._decode, sensitivity=list(self._code_q.bits)
+        )
+        self.corrections = 0
+
+    def _encode(self):
+        values = [logic(sig.value) for sig in self.d.bits]
+        if not all(v.is_defined() for v in values):
+            for drv in self._in_drivers:
+                drv.set(Logic.X)
+            return
+        codeword = hamming_encode([1 if v.is_high() else 0 for v in values])
+        for drv, bit in zip(self._in_drivers, codeword):
+            drv.set(Logic.L1 if bit else Logic.L0)
+
+    def _decode(self):
+        values = [logic(sig.value) for sig in self._code_q.bits]
+        if not all(v.is_defined() for v in values):
+            for drv in self._q_drivers:
+                drv.set(Logic.X)
+            if self._corr_driver is not None:
+                self._corr_driver.set(Logic.X)
+            return
+        data, syndrome = hamming_decode(
+            [1 if v.is_high() else 0 for v in values]
+        )
+        for drv, bit in zip(self._q_drivers, data):
+            drv.set(Logic.L1 if bit else Logic.L0)
+        if syndrome:
+            self.corrections += 1
+        if self._corr_driver is not None:
+            self._corr_driver.set(Logic.L1 if syndrome else Logic.L0)

@@ -1,0 +1,145 @@
+"""Triple-modular-redundancy wrappers for sequential elements.
+
+Drop-in hardened replacements: same port interface as the unprotected
+component, three internal state copies and a voter on the output.  All
+three copies are injectable (they expose their state signals), so a
+campaign can verify that single upsets are masked and find the
+double-upset residual failure rate.
+"""
+
+from __future__ import annotations
+
+from ..core.component import Component
+from ..core.errors import ElaborationError
+from ..core.logic import Logic
+from ..digital.bus import Bus
+from ..digital.counter import Counter
+from ..digital.seq import DFF, Register
+from .voter import BusMajorityVoter, DisagreementMonitor, MajorityVoter
+
+
+class TMRDFF(Component):
+    """Three D flip-flops voting on one output.
+
+    Same interface as :class:`~repro.digital.seq.DFF` plus an optional
+    ``mismatch`` monitor output.
+    """
+
+    def __init__(self, sim, name, d, clk, q, rst=None, init=Logic.U,
+                 mismatch=None, parent=None):
+        super().__init__(sim, name, parent=parent)
+        path = self.path
+        self.copies = []
+        copy_outputs = []
+        for k in range(3):
+            qk = sim.signal(f"{path}.q{k}")
+            copy_outputs.append(qk)
+            self.copies.append(
+                DFF(sim, f"copy{k}", d, clk, qk, rst=rst, init=init,
+                    parent=self)
+            )
+        self.q = q
+        self.voter = MajorityVoter(
+            sim, "voter", *copy_outputs, q, parent=self
+        )
+        self.monitor = None
+        if mismatch is not None:
+            self.monitor = DisagreementMonitor(
+                sim, "monitor", *copy_outputs, mismatch, parent=self
+            )
+
+    def state_signals(self):
+        # The wrapper itself has no extra state; the copies expose
+        # theirs through the hierarchy walk.
+        return {}
+
+
+class TMRRegister(Component):
+    """Three registers voting bitwise on one output bus."""
+
+    def __init__(self, sim, name, d, clk, q, en=None, rst=None, init=0,
+                 parent=None):
+        super().__init__(sim, name, parent=parent)
+        if len(d) != len(q):
+            raise ElaborationError(
+                f"tmr register {name}: d is {len(d)} bits, q is {len(q)}"
+            )
+        path = self.path
+        self.copies = []
+        copy_buses = []
+        for k in range(3):
+            qk = Bus(sim, f"{path}.q{k}", len(q))
+            copy_buses.append(qk)
+            self.copies.append(
+                Register(sim, f"copy{k}", d, clk, qk, en=en, rst=rst,
+                         init=init, parent=self)
+            )
+        self.q = q
+        self.voter = BusMajorityVoter(
+            sim, "voter", *copy_buses, q, parent=self
+        )
+
+
+class TMRCounter(Component):
+    """Three counters voting bitwise on one output bus.
+
+    Note the classic TMR subtlety this models faithfully: the copies
+    free-run, so a masked upset leaves one copy permanently out of
+    step (a latent error) until something resynchronises it.  With
+    ``resync=True`` each copy reloads the voted value every cycle,
+    which self-heals single upsets within one clock.
+    """
+
+    def __init__(self, sim, name, clk, q, rst=None, en=None, modulo=None,
+                 resync=False, parent=None):
+        super().__init__(sim, name, parent=parent)
+        path = self.path
+        self.resync = resync
+        self.copies = []
+        copy_buses = []
+        for k in range(3):
+            qk = Bus(sim, f"{path}.q{k}", len(q))
+            copy_buses.append(qk)
+            self.copies.append(
+                Counter(sim, f"copy{k}", clk, qk, rst=rst, en=en,
+                        modulo=modulo, parent=self)
+            )
+        self.q = q
+        self.copy_buses = copy_buses
+        self.voter = BusMajorityVoter(
+            sim, "voter", *copy_buses, q, parent=self
+        )
+        if resync:
+            # Scrubbing: after each rising edge, overwrite every copy
+            # with the voted word (behavioural model of feedback TMR).
+            self._clk = clk
+            self.process_owner = self.copies[0]
+            sim.add_process(self._scrub, sensitivity=[clk])
+
+    def _scrub(self):
+        if not self._clk.rose():
+            return
+
+        def do_scrub():
+            # The copies have finished counting by now (their driver
+            # updates were queued before this callback); compute the
+            # majority word directly from them rather than from the
+            # voter output, whose own delta cascade settles later.
+            from .voter import majority
+
+            voted_bits = [
+                majority(a.value, b.value, c.value)
+                for a, b, c in zip(*(bus.bits for bus in self.copy_buses))
+            ]
+            from ..core.logic import int_from_bits
+            from ..core.errors import LogicValueError
+
+            try:
+                voted = int_from_bits(voted_bits)
+            except LogicValueError:
+                return  # two copies corrupted identically: unrecoverable
+            for bus in self.copy_buses:
+                if bus.to_int_or_none() != voted:
+                    bus.deposit_int(voted)
+
+        self.sim.schedule(0.0, do_scrub)

@@ -1,0 +1,100 @@
+"""Majority voters.
+
+The combinational core of every triple-modular-redundancy scheme.  The
+paper's motivation names the second use of early fault injection as
+"validate the efficiency of the implemented mechanisms" — these are
+those mechanisms, built from the same substrate so the same campaigns
+validate them.
+"""
+
+from __future__ import annotations
+
+from ..core.component import DigitalComponent
+from ..core.errors import ElaborationError
+from ..core.logic import Logic, logic, logic_buf
+
+
+class MajorityVoter(DigitalComponent):
+    """Bitwise 2-of-3 majority.
+
+    Undefined inputs are out-voted when the other two agree — the
+    property that makes TMR mask a single upset; two undefined or
+    disagreeing inputs yield X.
+
+    :param a, b, c: input signals.
+    :param y: output signal.
+    """
+
+    def __init__(self, sim, name, a, b, c, y, delay=0.0, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.inputs = [a, b, c]
+        self.y = y
+        self.delay = delay
+        self._driver = y.driver(owner=self)
+        self.process(self._vote, sensitivity=self.inputs)
+
+    def _vote(self):
+        self._driver.set(majority(*(sig.value for sig in self.inputs)),
+                         self.delay)
+
+
+def majority(a, b, c):
+    """2-of-3 majority over nine-value logic.
+
+    Any two inputs that agree on a defined level win, regardless of
+    the third; otherwise X.
+    """
+    levels = [logic(v).to_x01() for v in (a, b, c)]
+    for first in range(3):
+        for second in range(first + 1, 3):
+            if (
+                levels[first] is levels[second]
+                and levels[first] is not Logic.X
+            ):
+                return levels[first]
+    return Logic.X
+
+
+class BusMajorityVoter(DigitalComponent):
+    """Bitwise majority over three equal-width buses."""
+
+    def __init__(self, sim, name, a, b, c, y, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if not (len(a) == len(b) == len(c) == len(y)):
+            raise ElaborationError(f"voter {name}: bus widths differ")
+        self.a, self.b, self.c, self.y = a, b, c, y
+        self._drivers = [sig.driver(owner=self) for sig in y.bits]
+        sensitivity = list(a.bits) + list(b.bits) + list(c.bits)
+        self.process(self._vote, sensitivity=sensitivity)
+
+    def _vote(self):
+        for drv, bit_a, bit_b, bit_c in zip(
+            self._drivers, self.a.bits, self.b.bits, self.c.bits
+        ):
+            drv.set(majority(bit_a.value, bit_b.value, bit_c.value))
+
+
+class DisagreementMonitor(DigitalComponent):
+    """Flags whenever the three TMR copies are not unanimous.
+
+    Real TMR systems expose this as a scrubbing/maintenance signal: the
+    fault is *masked* at the voter but the error is *latent* in one
+    copy until repaired.  Campaigns monitor it to count masked events.
+    """
+
+    def __init__(self, sim, name, a, b, c, mismatch, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.inputs = [a, b, c]
+        self.mismatch = mismatch
+        self._driver = mismatch.driver(owner=self)
+        self._was_disagreeing = False
+        self.events = 0
+        self.process(self._check, sensitivity=self.inputs)
+
+    def _check(self):
+        values = [logic_buf(sig.value) for sig in self.inputs]
+        disagree = not (values[0] is values[1] is values[2])
+        self._driver.set(Logic.L1 if disagree else Logic.L0)
+        if disagree and not self._was_disagreeing:
+            self.events += 1
+        self._was_disagreeing = disagree

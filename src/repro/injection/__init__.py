@@ -1,0 +1,27 @@
+"""Injection mechanisms: saboteurs, mutants, and the run-time controller."""
+
+from .controller import CurrentInjection, InjectionController
+from .instrument import Instrumentation, instrument
+from .mutant import MutantInjector
+from .saboteur import (
+    ControlledCurrentSaboteur,
+    CurrentPulseSaboteur,
+    DigitalSaboteur,
+    MODE_INVERT,
+    MODE_STUCK,
+    MODE_TRANSPARENT,
+)
+
+__all__ = [
+    "ControlledCurrentSaboteur",
+    "CurrentInjection",
+    "CurrentPulseSaboteur",
+    "DigitalSaboteur",
+    "InjectionController",
+    "Instrumentation",
+    "MODE_INVERT",
+    "MODE_STUCK",
+    "MODE_TRANSPARENT",
+    "MutantInjector",
+    "instrument",
+]

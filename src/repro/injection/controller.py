@@ -1,0 +1,202 @@
+"""Run-time injection controller.
+
+Binds *fault descriptions* to a *live design*: given a simulator, a
+hierarchy root and a fault instance, the controller picks the right
+mechanism — mutant deposit for bit-flips, signal force for SETs and
+stuck-ats, saboteur current for analog transients, attribute rewrite
+for parametric faults — and schedules it.  This is the run-time half of
+the paper's "fault injection set-up" box (Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InjectionError
+from ..core.logic import flip as flip_level
+from ..core.logic import logic
+from ..core.units import format_quantity, parse_quantity
+from ..faults.bitflip import BitFlip, MultipleBitUpset
+from ..faults.models import AnalogTransient, FaultModel
+from ..faults.parametric import ParametricFault
+from ..faults.set_pulse import SETPulse
+from ..faults.stuckat import StuckAt
+from .mutant import MutantInjector
+from .saboteur import CurrentPulseSaboteur
+
+
+class CurrentInjection(FaultModel):
+    """A complete analog fault instance: *what*, *where* and *when*.
+
+    The transient shapes (:class:`TrapezoidPulse`,
+    :class:`DoubleExponentialPulse`) describe only the waveform; this
+    wrapper adds the target node and the injection time — the extra
+    information the designer supplies during campaign definition
+    ("(1) the range of the parameters for the pulse specification and
+    (2) the injection times", Section 4.1).
+
+    :param transient: an :class:`AnalogTransient` waveform.
+    :param node: target current-node name.
+    :param time: injection time in seconds.
+    """
+
+    family = "analog-injection"
+
+    def __init__(self, transient, node, time):
+        if not isinstance(transient, AnalogTransient):
+            raise InjectionError(
+                f"{transient!r} is not an analog transient fault model"
+            )
+        if not isinstance(node, str) or not node:
+            raise InjectionError(f"invalid node name {node!r}")
+        self.transient = transient
+        self.node = node
+        self.time = parse_quantity(time, expect_unit="s")
+        if self.time < 0:
+            raise InjectionError("injection time must be >= 0")
+
+    def describe(self):
+        return (
+            f"{self.transient.describe()} @ "
+            f"{format_quantity(self.time, 's')} on {self.node}"
+        )
+
+    def __repr__(self):
+        return (
+            f"CurrentInjection({self.transient!r}, {self.node!r}, "
+            f"{self.time!r})"
+        )
+
+
+class InjectionController:
+    """Applies any supported fault model to a live design.
+
+    :param sim: the simulator.
+    :param root: hierarchy root (for mutant state lookup and
+        parametric component lookup).
+    :param saboteurs: optional mapping of node name ->
+        :class:`CurrentPulseSaboteur`; missing saboteurs are created
+        on demand when an analog injection names a current node.
+    """
+
+    def __init__(self, sim, root, saboteurs=None):
+        self.sim = sim
+        self.root = root
+        self.mutants = MutantInjector(sim, root)
+        self.saboteurs = dict(saboteurs or {})
+        self.applied = []
+
+    # -- saboteur management ---------------------------------------------------
+
+    def saboteur_for(self, node_name):
+        """The saboteur on ``node_name``, creating one if needed.
+
+        :raises InjectionError: when the node does not exist or is not
+            a current node.
+        """
+        if node_name in self.saboteurs:
+            return self.saboteurs[node_name]
+        node = self.sim.nodes.get(node_name)
+        if node is None:
+            known = ", ".join(sorted(self.sim.nodes)[:8])
+            raise InjectionError(
+                f"unknown node {node_name!r}; known nodes start with: "
+                f"{known} ..."
+            )
+        saboteur = CurrentPulseSaboteur(
+            self.sim, f"saboteur@{node_name.replace('/', '.')}", node
+        )
+        self.saboteurs[node_name] = saboteur
+        return saboteur
+
+    # -- application -------------------------------------------------------------
+
+    def apply(self, fault):
+        """Arm one fault instance; returns the fault.
+
+        :raises InjectionError: for unsupported fault types.
+        """
+        if isinstance(fault, (BitFlip, MultipleBitUpset)):
+            self.mutants.apply(fault)
+        elif isinstance(fault, SETPulse):
+            self._apply_set(fault)
+        elif isinstance(fault, StuckAt):
+            self._apply_stuck(fault)
+        elif isinstance(fault, CurrentInjection):
+            self.saboteur_for(fault.node).schedule(fault.transient, fault.time)
+        elif isinstance(fault, ParametricFault):
+            self._apply_parametric(fault)
+        else:
+            raise InjectionError(
+                f"no injection mechanism for {type(fault).__name__}"
+            )
+        self.applied.append(fault)
+        return fault
+
+    def apply_all(self, faults):
+        """Arm several fault instances."""
+        for fault in faults:
+            self.apply(fault)
+        return list(faults)
+
+    # -- mechanisms ------------------------------------------------------------
+
+    def _signal(self, name):
+        sig = self.sim.signals.get(name)
+        if sig is None:
+            # Qualified state names also name wires for convenience.
+            try:
+                return self.mutants.signal_for(name)
+            except InjectionError:
+                pass
+            known = ", ".join(sorted(self.sim.signals)[:8])
+            raise InjectionError(
+                f"unknown signal {name!r}; known signals start with: "
+                f"{known} ..."
+            )
+        return sig
+
+    def _apply_set(self, fault):
+        sig = self._signal(fault.target)
+
+        def start():
+            value = (
+                flip_level(sig.value)
+                if fault.value is None
+                else logic(fault.value)
+            )
+            sig.force(value)
+
+        self.sim.at(fault.time, start)
+        self.sim.at(fault.time + fault.width, sig.release)
+
+    def _apply_stuck(self, fault):
+        sig = self._signal(fault.target)
+        self.sim.at(fault.t_start, lambda: sig.force(fault.value))
+        if fault.t_end is not None:
+            self.sim.at(fault.t_end, sig.release)
+
+    def _apply_parametric(self, fault):
+        component = self.sim.find_component(fault.component)
+        if not hasattr(component, fault.attribute):
+            raise InjectionError(
+                f"component {fault.component} has no attribute "
+                f"{fault.attribute!r}"
+            )
+        nominal = getattr(component, fault.attribute)
+        if not isinstance(nominal, (int, float)) or isinstance(nominal, bool):
+            raise InjectionError(
+                f"attribute {fault.attribute!r} of {fault.component} is "
+                "not numeric"
+            )
+
+        def activate():
+            setattr(component, fault.attribute, fault.faulty_value(nominal))
+
+        def restore():
+            setattr(component, fault.attribute, nominal)
+
+        if fault.t_start <= self.sim.now:
+            activate()
+        else:
+            self.sim.at(fault.t_start, activate)
+        if fault.t_end is not None:
+            self.sim.at(fault.t_end, restore)

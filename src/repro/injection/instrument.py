@@ -1,0 +1,84 @@
+"""Design instrumentation pass.
+
+The paper instruments the circuit description *before* simulation
+(Figure 3: digital blocks get mutants, analog blocks get saboteurs).
+:func:`instrument` walks a live design and prepares both mechanisms,
+returning an :class:`Instrumentation` handle listing every legal
+injection target — the information the designer reviews during the
+campaign-definition step.
+"""
+
+from __future__ import annotations
+
+from ..core.hierarchy import (
+    collect_current_nodes,
+    collect_state_signals,
+    glob_match,
+)
+from .controller import InjectionController
+from .saboteur import CurrentPulseSaboteur
+
+
+class Instrumentation:
+    """The instrumented view of a design.
+
+    :ivar controller: ready :class:`InjectionController`.
+    :ivar analog_targets: current-node names with saboteurs attached.
+    :ivar digital_targets: qualified state names reachable by mutants.
+    """
+
+    def __init__(self, controller, analog_targets, digital_targets):
+        self.controller = controller
+        self.analog_targets = list(analog_targets)
+        self.digital_targets = list(digital_targets)
+
+    @property
+    def sim(self):
+        """The underlying simulator."""
+        return self.controller.sim
+
+    def summary(self):
+        """Human-readable inventory of injection targets."""
+        lines = [
+            f"analog saboteur targets ({len(self.analog_targets)}):",
+        ]
+        lines.extend(f"  {name}" for name in self.analog_targets)
+        lines.append(f"digital mutant targets ({len(self.digital_targets)}):")
+        lines.extend(f"  {name}" for name in self.digital_targets)
+        return "\n".join(lines)
+
+
+def instrument(sim, root, analog_pattern="*", digital_pattern="*",
+               pre_place_saboteurs=True):
+    """Instrument a live design for fault injection.
+
+    :param sim: the simulator.
+    :param root: hierarchy root component.
+    :param analog_pattern: fnmatch filter on current-node names that
+        receive saboteurs.
+    :param digital_pattern: fnmatch filter on qualified state names
+        kept as mutant targets.
+    :param pre_place_saboteurs: when True a saboteur component is
+        created on every matching node up front (the library-based
+        instrumentation of Section 4.2: "since the saboteur description
+        can be made available in a library, the instrumentation of the
+        analog blocks is very easy"); when False saboteurs are created
+        lazily at injection time.
+    :returns: an :class:`Instrumentation`.
+    """
+    saboteurs = {}
+    analog_targets = [
+        name for name, _node in collect_current_nodes(sim, analog_pattern)
+    ]
+    if pre_place_saboteurs:
+        for name in analog_targets:
+            saboteurs[name] = CurrentPulseSaboteur(
+                sim, f"saboteur@{name.replace('/', '.')}", sim.nodes[name]
+            )
+    digital_targets = [
+        name
+        for name, _sig in collect_state_signals(root)
+        if glob_match(name, digital_pattern)
+    ]
+    controller = InjectionController(sim, root, saboteurs=saboteurs)
+    return Instrumentation(controller, analog_targets, digital_targets)

@@ -1,0 +1,118 @@
+"""Mutant-based injection into digital state.
+
+The paper's second instrumentation mechanism (Section 3.2): instead of
+adding blocks between existing ones, "some blocks in the initial
+description have to be directly modified ... the modified description
+of the block is called a mutant", which is "more difficult but much
+more powerful" because it can reach *memorised* signals.
+
+In this library every sequential component already exposes its memory
+elements through ``state_signals()``; :class:`MutantInjector` is the
+runtime face of the mutant: it resolves qualified state names and
+flips, sets or pins stored bits at programmed times.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import InjectionError
+from ..core.hierarchy import collect_state_signals
+from ..core.logic import flip, logic
+from ..faults.bitflip import BitFlip, MultipleBitUpset
+
+
+class MutantInjector:
+    """Bit-flip / state-corruption injector over a design hierarchy.
+
+    :param sim: the simulator.
+    :param root: hierarchy root component whose state is injectable.
+    """
+
+    def __init__(self, sim, root):
+        self.sim = sim
+        self.root = root
+        self._index = dict(collect_state_signals(root))
+        self.log = []
+
+    # -- target resolution --------------------------------------------------
+
+    def targets(self, pattern="*"):
+        """Qualified names of injectable state bits (sorted)."""
+        from ..core.hierarchy import glob_match
+
+        return sorted(
+            name for name in self._index if glob_match(name, pattern)
+        )
+
+    def signal_for(self, target):
+        """Resolve a qualified state name to its signal.
+
+        :raises InjectionError: for unknown targets.
+        """
+        try:
+            return self._index[target]
+        except KeyError:
+            known = ", ".join(sorted(self._index)[:8])
+            raise InjectionError(
+                f"unknown state target {target!r}; known targets start "
+                f"with: {known} ..."
+            ) from None
+
+    def refresh(self):
+        """Re-scan the hierarchy (after adding components)."""
+        self._index = dict(collect_state_signals(self.root))
+
+    # -- immediate operations -------------------------------------------------
+
+    def flip_now(self, target):
+        """Invert the stored bit immediately (returns new value)."""
+        sig = self.signal_for(target)
+        new_value = flip(sig.value)
+        sig.deposit(new_value)
+        self.log.append((self.sim.now, target, "flip", new_value))
+        return new_value
+
+    def set_now(self, target, value):
+        """Deposit a specific level immediately."""
+        sig = self.signal_for(target)
+        value = logic(value)
+        sig.deposit(value)
+        self.log.append((self.sim.now, target, "set", value))
+        return value
+
+    # -- scheduled operations ---------------------------------------------------
+
+    def flip_at(self, target, time):
+        """Schedule an SEU bit-flip at absolute ``time``."""
+        self.signal_for(target)  # validate early
+        self.sim.at(time, lambda: self.flip_now(target))
+
+    def set_at(self, target, value, time):
+        """Schedule a state overwrite at absolute ``time``."""
+        self.signal_for(target)
+        self.sim.at(time, lambda: self.set_now(target, value))
+
+    def stick(self, target, value, t_start, t_end=None):
+        """Pin a state bit (stuck-at on a memory element)."""
+        sig = self.signal_for(target)
+        value = logic(value)
+        self.sim.at(t_start, lambda: sig.force(value))
+        if t_end is not None:
+            self.sim.at(t_end, sig.release)
+
+    # -- fault-model application ---------------------------------------------------
+
+    def apply(self, fault):
+        """Arm a :class:`BitFlip` or :class:`MultipleBitUpset`.
+
+        :raises InjectionError: for other fault types.
+        """
+        if isinstance(fault, BitFlip):
+            self.flip_at(fault.target, fault.time)
+        elif isinstance(fault, MultipleBitUpset):
+            for target in fault.targets():
+                self.flip_at(target, fault.time)
+        else:
+            raise InjectionError(
+                f"mutant injector cannot apply {type(fault).__name__}"
+            )
+        return fault

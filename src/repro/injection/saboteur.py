@@ -1,0 +1,220 @@
+"""Saboteurs: extra blocks inserted into the circuit to inject faults.
+
+Two families, mirroring Section 3.2 / 4.2 of the paper:
+
+* :class:`CurrentPulseSaboteur` — the analog saboteur.  It attaches to
+  a :class:`~repro.core.node.CurrentNode` and superposes a transient
+  current waveform on the node, "by superposition of the current spike
+  with the normal current at the target node".  It is the Python
+  equivalent of the generic VHDL-AMS ``GenCur`` entity of Figure 4.
+  Scheduling an injection automatically registers a solver refinement
+  window so the picosecond pulse edges are resolved.
+
+* :class:`ControlledCurrentSaboteur` — a literal port of ``GenCur``:
+  generics (RT, FT, PA), an external digital injection-control signal,
+  and an output current that ramps after the control like the
+  ``'ramp(RT, FT)`` attribute; the pulse width PW is the duration of
+  the control pulse.
+
+* :class:`DigitalSaboteur` — a serial saboteur spliced into a digital
+  interconnection, able to pass the value through, invert it, stick it,
+  or pulse it for a programmed window.
+"""
+
+from __future__ import annotations
+
+from ..core.component import AnalogBlock, DigitalComponent
+from ..core.errors import InjectionError
+from ..core.logic import Logic, flip, logic, logic_buf, logic_not
+from ..core.node import as_current_node
+from ..faults.models import AnalogTransient
+
+
+class CurrentPulseSaboteur(AnalogBlock):
+    """Programmable current-pulse saboteur on a current node.
+
+    :param node: target :class:`CurrentNode`.
+    :param refine_margin: extra time around each pulse kept at the
+        fine solver step (default 2 ns).
+    :param refine_points_per_edge: solver points across the fastest
+        pulse edge inside the refinement window.
+    """
+
+    def __init__(self, sim, name, node, refine_margin=2e-9,
+                 refine_points_per_edge=8, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.node = self.writes_node(as_current_node(node))
+        self.refine_margin = float(refine_margin)
+        self.refine_points_per_edge = int(refine_points_per_edge)
+        self._injections = []
+        self.injected_charge = 0.0
+
+    @staticmethod
+    def window_for(transient, time, refine_margin=2e-9,
+                   refine_points_per_edge=8):
+        """The ``(t0, t1, dt)`` refinement window one injection needs.
+
+        Exposed so a campaign can pre-apply the *union* of all its
+        faults' windows to the golden run and every faulty run: all
+        runs then integrate on the same time grid, and golden/faulty
+        differences reflect the fault, never the solver.
+        """
+        dt_fine = transient.suggested_dt(refine_points_per_edge)
+        return (
+            max(0.0, time - refine_margin),
+            time + transient.duration + refine_margin,
+            dt_fine,
+        )
+
+    def schedule(self, transient, time):
+        """Arm one transient injection starting at absolute ``time``.
+
+        :param transient: an :class:`AnalogTransient` (trapezoid or
+            double exponential).
+        :raises InjectionError: for invalid transients or past times.
+        """
+        if not isinstance(transient, AnalogTransient):
+            raise InjectionError(
+                f"saboteur {self.name}: {transient!r} is not an analog "
+                "transient fault model"
+            )
+        if time < self.sim.now:
+            raise InjectionError(
+                f"saboteur {self.name}: injection time {time} is in the past"
+            )
+        self._injections.append((float(time), transient))
+        t0, t1, dt_fine = self.window_for(
+            transient, time, self.refine_margin, self.refine_points_per_edge
+        )
+        self.sim.analog.add_refinement_window(t0, t1, dt_fine)
+        self.injected_charge += transient.charge()
+        return transient
+
+    def active_injections(self, t):
+        """Transients whose support covers time ``t``."""
+        return [
+            (t0, tr) for t0, tr in self._injections if t0 <= t < t0 + tr.duration
+        ]
+
+    def step(self, t, dt):
+        for t0, transient in self._injections:
+            if t0 <= t < t0 + transient.duration:
+                self.node.add_current(transient.current(t - t0), source=self.path)
+
+    def clear(self):
+        """Drop all armed injections (the windows remain registered)."""
+        self._injections.clear()
+
+
+class ControlledCurrentSaboteur(AnalogBlock):
+    """Faithful port of the paper's Figure 4 ``GenCur`` saboteur.
+
+    Generics RT, FT and PA; the output current follows an internal
+    target (PA while the injection-control signal is high, else 0)
+    with linear ramps of slope ``PA/RT`` up and ``PA/FT`` down —
+    VHDL-AMS ``inti'ramp(RT, FT)`` semantics.  The pulse width PW is
+    therefore set by the duration of the control pulse, exactly as in
+    the paper ("the duration of the current pulse (PW) is in this
+    example controlled through the duration of the external injection
+    control signal").
+
+    :param inj: digital injection-control signal.
+    :param out_cur: target current node.
+    :param rt, ft: ramp times (seconds).
+    :param pa: plateau amplitude (amperes).
+    """
+
+    def __init__(self, sim, name, inj, out_cur, rt, ft, pa, parent=None):
+        super().__init__(sim, name, parent=parent)
+        if rt <= 0 or ft <= 0:
+            raise InjectionError(f"saboteur {name}: RT and FT must be positive")
+        self.inj = inj
+        self.node = self.writes_node(as_current_node(out_cur))
+        self.rt = float(rt)
+        self.ft = float(ft)
+        self.pa = float(pa)
+        self._current = 0.0
+
+    def step(self, t, dt):
+        target = self.pa if logic(self.inj.value).is_high() else 0.0
+        if dt > 0 and self._current != target:
+            if target > self._current:
+                rate = abs(self.pa) / self.rt
+                self._current = min(self._current + rate * dt, target)
+            else:
+                rate = abs(self.pa) / self.ft
+                self._current = max(self._current - rate * dt, target)
+        if self._current:
+            self.node.add_current(self._current, source=self.path)
+
+
+#: Pass-through modes of the digital saboteur.
+MODE_TRANSPARENT = "transparent"
+MODE_STUCK = "stuck"
+MODE_INVERT = "invert"
+
+
+class DigitalSaboteur(DigitalComponent):
+    """Serial saboteur spliced into a digital interconnection.
+
+    In transparent mode the output follows the input (zero delay).
+    Fault modes:
+
+    * :meth:`stick` — pin the output to a level for a window,
+    * :meth:`invert` — invert the passing value for a window,
+    * :meth:`pulse` — SET-style: invert (or force) for a short width.
+
+    :param sig_in: upstream signal (original driver side).
+    :param sig_out: downstream signal (readers connect here).
+    """
+
+    def __init__(self, sim, name, sig_in, sig_out, parent=None):
+        super().__init__(sim, name, parent=parent)
+        self.sig_in = sig_in
+        self.sig_out = sig_out
+        self._driver = sig_out.driver(owner=self)
+        self.mode = MODE_TRANSPARENT
+        self.stuck_value = None
+        self.activations = 0
+        self.process(self._propagate, sensitivity=[sig_in])
+
+    def _propagate(self):
+        value = self.sig_in.value
+        if self.mode == MODE_TRANSPARENT:
+            self._driver.set(logic_buf(value))
+        elif self.mode == MODE_STUCK:
+            self._driver.set(self.stuck_value)
+        elif self.mode == MODE_INVERT:
+            self._driver.set(logic_not(value))
+
+    def _set_mode(self, mode, stuck_value=None):
+        self.mode = mode
+        self.stuck_value = stuck_value
+        self.activations += 1
+        self._propagate()
+
+    def stick(self, value, t_start, t_end=None):
+        """Pin the output to ``value`` over ``[t_start, t_end]``."""
+        value = logic(value)
+        self.sim.at(t_start, lambda: self._set_mode(MODE_STUCK, value))
+        if t_end is not None:
+            self.sim.at(t_end, lambda: self._set_mode(MODE_TRANSPARENT))
+
+    def invert(self, t_start, t_end=None):
+        """Invert the passing value over ``[t_start, t_end]``."""
+        self.sim.at(t_start, lambda: self._set_mode(MODE_INVERT))
+        if t_end is not None:
+            self.sim.at(t_end, lambda: self._set_mode(MODE_TRANSPARENT))
+
+    def pulse(self, t_start, width, value=None):
+        """SET pulse: disturb the output for ``width`` seconds.
+
+        ``value=None`` inverts whatever is passing; otherwise the
+        output is forced to ``value`` for the window.
+        """
+        if width <= 0:
+            raise InjectionError(f"saboteur {self.name}: width must be positive")
+        if value is None:
+            self.invert(t_start, t_start + width)
+        else:
+            self.stick(value, t_start, t_start + width)

@@ -1,0 +1,49 @@
+"""Netlist descriptions: schema, elaboration, instrumentation passes."""
+
+from .loader import (
+    design_factory,
+    dumps,
+    elaborate,
+    load_file,
+    loads,
+    save_file,
+)
+from .registry import known_types, lookup, register
+from .schema import BusDecl, InstanceDecl, Netlist, NodeDecl, SignalDecl
+from .textformat import (
+    dumps_text,
+    load_text_file,
+    loads_text,
+    save_text_file,
+)
+from .transform import (
+    attach_current_saboteur,
+    insert_digital_saboteur,
+    instrument_all_current_nodes,
+    instrument_all_digital_nets,
+)
+
+__all__ = [
+    "BusDecl",
+    "InstanceDecl",
+    "Netlist",
+    "NodeDecl",
+    "SignalDecl",
+    "attach_current_saboteur",
+    "design_factory",
+    "dumps",
+    "dumps_text",
+    "elaborate",
+    "insert_digital_saboteur",
+    "instrument_all_current_nodes",
+    "instrument_all_digital_nets",
+    "known_types",
+    "load_file",
+    "load_text_file",
+    "loads",
+    "loads_text",
+    "lookup",
+    "register",
+    "save_file",
+    "save_text_file",
+]

@@ -1,0 +1,122 @@
+"""Netlist elaboration and JSON I/O.
+
+``elaborate`` turns a :class:`~repro.netlist.schema.Netlist` into a
+live :class:`~repro.campaign.runner.Design` (simulator + hierarchy +
+probes), which plugs directly into the campaign runner: a netlist file
+*is* a design factory.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..campaign.runner import Design
+from ..core.component import Component
+from ..core.errors import NetlistError
+from ..core.kernel import Simulator
+from ..core.logic import logic
+from ..core.units import parse_quantity
+from ..digital.bus import Bus
+from .registry import lookup
+from .schema import Netlist
+
+
+def elaborate(netlist, dt=None):
+    """Build a live design from a netlist description.
+
+    :param netlist: a validated :class:`Netlist`.
+    :param dt: override the netlist's analog timestep.
+    :returns: a :class:`Design`; ``design.extras`` maps net and
+        instance names to the live objects.
+    :raises NetlistError: on unresolvable references or builder errors.
+    """
+    sim = Simulator(dt=parse_quantity(dt if dt is not None else netlist.dt,
+                                      expect_unit="s"))
+    root = Component(sim, netlist.name)
+    objects = {}
+
+    for decl in netlist.signals:
+        objects[decl.name] = sim.signal(decl.name, init=logic(decl.init))
+    for decl in netlist.nodes:
+        if decl.kind == "current":
+            objects[decl.name] = sim.current_node(decl.name, init=decl.init)
+        else:
+            objects[decl.name] = sim.node(decl.name, init=decl.init)
+    for decl in netlist.buses:
+        objects[decl.name] = Bus(sim, decl.name, decl.width, init=decl.init)
+
+    for inst in netlist.instances:
+        entry = lookup(inst.type)
+        ports = {}
+        for port, net in inst.ports.items():
+            ports[port] = objects[net]
+        try:
+            objects[inst.name] = entry.builder(
+                sim, inst.name, root, ports, dict(inst.params)
+            )
+        except TypeError as exc:
+            raise NetlistError(
+                f"instance {inst.name} ({inst.type}): bad parameters: {exc}"
+            ) from exc
+
+    probes = {}
+    for net in netlist.probes:
+        # Declared nets first; otherwise internal names created by
+        # assembly instances (e.g. "pll.icp", "pll.fout").
+        target = objects.get(net)
+        if target is None:
+            target = sim.signals.get(net) or sim.nodes.get(net)
+        if target is None:
+            known = ", ".join(sorted(
+                list(sim.signals) + list(sim.nodes))[:10])
+            raise NetlistError(
+                f"netlist {netlist.name}: probe {net!r} matches no "
+                f"declared or elaborated net; known nets start with: "
+                f"{known} ..."
+            )
+        if isinstance(target, Bus):
+            for bit in target.bits:
+                probes[bit.name] = sim.probe(bit)
+        else:
+            probes[net] = sim.probe(target)
+
+    return Design(sim=sim, root=root, probes=probes, extras=objects)
+
+
+def design_factory(netlist, dt=None):
+    """A zero-argument factory for the campaign runner."""
+
+    def factory():
+        return elaborate(netlist, dt=dt)
+
+    return factory
+
+
+# -- JSON I/O ----------------------------------------------------------------
+
+
+def loads(text):
+    """Parse a netlist from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetlistError(f"invalid netlist JSON: {exc}") from exc
+    return Netlist.from_dict(data)
+
+
+def dumps(netlist, indent=2):
+    """Serialise a netlist to a JSON string."""
+    return json.dumps(netlist.to_dict(), indent=indent)
+
+
+def load_file(path):
+    """Read a netlist from a JSON file."""
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+def save_file(netlist, path, indent=2):
+    """Write a netlist to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(netlist, indent=indent))
+        handle.write("\n")

@@ -1,0 +1,350 @@
+"""Component registry for netlist elaboration.
+
+Maps netlist ``type`` strings to constructors plus port metadata.  The
+port *directions* matter for instrumentation: a digital saboteur is
+inserted by splitting a net between its driver (``out`` ports) and its
+readers (``in`` ports), so the transform pass must know which is
+which — the information a VHDL tool gets from entity declarations.
+"""
+
+from __future__ import annotations
+
+from ..ams.adc import FlashADC, SARADC
+from ..ams.loads import DigitalLoad
+from ..ams.pll import PLL
+from ..analog.comparator import AnalogComparator, Digitizer
+from ..analog.sources import DCCurrent, DCVoltage, PulseVoltage, SineVoltage
+from ..core.errors import NetlistError
+from ..digital.alu import Adder, Comparator, ParityGen
+from ..digital.bus import Bus
+from ..digital.clock import ClockGen, PulseGen, ResetGen
+from ..digital.counter import ClockDivider, Counter
+from ..digital.fsm import MooreFSM
+from ..digital.gates import (
+    AndGate,
+    BufGate,
+    Mux2,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XorGate,
+)
+from ..digital.lfsr import LFSR
+from ..digital.seq import DFF, Register
+from ..digital.shiftreg import ShiftRegister
+
+
+class TypeEntry:
+    """Registry record: constructor + port direction map.
+
+    :param builder: ``builder(sim, name, parent, ports, params)`` where
+        ``ports`` maps port names to resolved Signal/Node/Bus objects.
+    :param inputs: port names read by the component.
+    :param outputs: port names driven by the component.
+    """
+
+    def __init__(self, builder, inputs=(), outputs=()):
+        self.builder = builder
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+
+
+_REGISTRY = {}
+
+
+def register(type_name, inputs=(), outputs=()):
+    """Decorator registering a builder under ``type_name``."""
+
+    def decorate(builder):
+        if type_name in _REGISTRY:
+            raise NetlistError(f"type {type_name!r} registered twice")
+        _REGISTRY[type_name] = TypeEntry(builder, inputs, outputs)
+        return builder
+
+    return decorate
+
+
+def lookup(type_name):
+    """Registry entry for a type.
+
+    :raises NetlistError: for unknown types.
+    """
+    try:
+        return _REGISTRY[type_name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise NetlistError(
+            f"unknown component type {type_name!r}; known types: {known}"
+        ) from None
+
+
+def known_types():
+    """Sorted list of registered type names."""
+    return sorted(_REGISTRY)
+
+
+def _simple(cls, *port_order, bus_ports=()):
+    """Builder for components taking ports positionally after name."""
+
+    def build(sim, name, parent, ports, params):
+        args = [ports[p] for p in port_order]
+        return cls(sim, name, *args, parent=parent, **params)
+
+    return build
+
+
+# -- stimulus ---------------------------------------------------------------
+
+register("ClockGen", outputs=("out",))(_simple(ClockGen, "out"))
+register("ResetGen", outputs=("out",))(_simple(ResetGen, "out"))
+register("PulseGen", outputs=("out",))(_simple(PulseGen, "out"))
+register("DCVoltage", outputs=("node",))(_simple(DCVoltage, "node"))
+register("SineVoltage", outputs=("node",))(_simple(SineVoltage, "node"))
+register("PulseVoltage", outputs=("node",))(_simple(PulseVoltage, "node"))
+register("DCCurrent", outputs=("node",))(_simple(DCCurrent, "node"))
+
+# -- gates ---------------------------------------------------------------------
+
+
+@register("NotGate", inputs=("a",), outputs=("y",))
+def _build_not(sim, name, parent, ports, params):
+    return NotGate(sim, name, ports["a"], ports["y"], parent=parent, **params)
+
+
+@register("BufGate", inputs=("a",), outputs=("y",))
+def _build_buf(sim, name, parent, ports, params):
+    return BufGate(sim, name, ports["a"], ports["y"], parent=parent, **params)
+
+
+def _nary_gate(cls):
+    def build(sim, name, parent, ports, params):
+        inputs = [ports[key] for key in sorted(ports) if key.startswith("in")]
+        if not inputs:
+            raise NetlistError(f"gate {name}: needs in0, in1, ... ports")
+        return cls(sim, name, inputs, ports["y"], parent=parent, **params)
+
+    return build
+
+
+for _name, _cls in (
+    ("AndGate", AndGate),
+    ("OrGate", OrGate),
+    ("XorGate", XorGate),
+    ("NandGate", NandGate),
+    ("NorGate", NorGate),
+):
+    register(_name, inputs=("in0", "in1", "in2", "in3"), outputs=("y",))(
+        _nary_gate(_cls)
+    )
+
+
+@register("Mux2", inputs=("a", "b", "sel"), outputs=("y",))
+def _build_mux2(sim, name, parent, ports, params):
+    return Mux2(
+        sim, name, ports["a"], ports["b"], ports["sel"], ports["y"],
+        parent=parent, **params,
+    )
+
+
+# -- sequential -------------------------------------------------------------------
+
+
+@register("DFF", inputs=("d", "clk", "rst"), outputs=("q",))
+def _build_dff(sim, name, parent, ports, params):
+    return DFF(
+        sim, name, ports["d"], ports["clk"], ports["q"],
+        rst=ports.get("rst"), parent=parent, **params,
+    )
+
+
+@register("Register", inputs=("d", "clk", "en", "rst"), outputs=("q",))
+def _build_register(sim, name, parent, ports, params):
+    return Register(
+        sim, name, ports["d"], ports["clk"], ports["q"],
+        en=ports.get("en"), rst=ports.get("rst"), parent=parent, **params,
+    )
+
+
+@register("Counter", inputs=("clk", "rst", "en"), outputs=("q",))
+def _build_counter(sim, name, parent, ports, params):
+    return Counter(
+        sim, name, ports["clk"], ports["q"], rst=ports.get("rst"),
+        en=ports.get("en"), parent=parent, **params,
+    )
+
+
+@register("ClockDivider", inputs=("clk_in",), outputs=("clk_out",))
+def _build_divider(sim, name, parent, ports, params):
+    return ClockDivider(
+        sim, name, ports["clk_in"], ports["clk_out"], parent=parent, **params
+    )
+
+
+@register("LFSR", inputs=("clk", "rst"), outputs=("q",))
+def _build_lfsr(sim, name, parent, ports, params):
+    return LFSR(
+        sim, name, ports["clk"], ports["q"], rst=ports.get("rst"),
+        parent=parent, **params,
+    )
+
+
+@register("ShiftRegister", inputs=("clk", "serial_in", "d", "load", "rst"),
+          outputs=("q", "serial_out"))
+def _build_shiftreg(sim, name, parent, ports, params):
+    return ShiftRegister(
+        sim, name, ports["clk"], ports["serial_in"], ports["q"],
+        d=ports.get("d"), load=ports.get("load"),
+        serial_out=ports.get("serial_out"), rst=ports.get("rst"),
+        parent=parent, **params,
+    )
+
+
+# -- word-level ----------------------------------------------------------------------
+
+
+@register("Adder", inputs=("a", "b", "cin"), outputs=("s", "cout"))
+def _build_adder(sim, name, parent, ports, params):
+    return Adder(
+        sim, name, ports["a"], ports["b"], ports["s"],
+        cin=ports.get("cin"), cout=ports.get("cout"), parent=parent, **params,
+    )
+
+
+@register("Comparator", inputs=("a", "b"), outputs=("eq", "lt", "gt"))
+def _build_comparator(sim, name, parent, ports, params):
+    return Comparator(
+        sim, name, ports["a"], ports["b"], eq=ports.get("eq"),
+        lt=ports.get("lt"), gt=ports.get("gt"), parent=parent, **params,
+    )
+
+
+@register("ParityGen", inputs=("a",), outputs=("parity",))
+def _build_parity(sim, name, parent, ports, params):
+    return ParityGen(sim, name, ports["a"], ports["parity"], parent=parent,
+                     **params)
+
+
+# -- analog / AMS ----------------------------------------------------------------------
+
+
+@register("Digitizer", inputs=("inp",), outputs=("out",))
+def _build_digitizer(sim, name, parent, ports, params):
+    return Digitizer(sim, name, ports["inp"], ports["out"], parent=parent,
+                     **params)
+
+
+@register("AnalogComparator", inputs=("plus", "minus"), outputs=("out",))
+def _build_acomp(sim, name, parent, ports, params):
+    return AnalogComparator(
+        sim, name, ports["plus"], ports["minus"], ports["out"],
+        parent=parent, **params,
+    )
+
+
+@register("PLL", inputs=("ref",), outputs=())
+def _build_pll(sim, name, parent, ports, params):
+    return PLL(sim, name, ref=ports.get("ref"), parent=parent, **params)
+
+
+@register("FlashADC", inputs=("clk", "vin"), outputs=())
+def _build_flash(sim, name, parent, ports, params):
+    return FlashADC(sim, name, ports["clk"], ports["vin"], parent=parent,
+                    **params)
+
+
+@register("SARADC", inputs=("clk", "vin"), outputs=())
+def _build_sar(sim, name, parent, ports, params):
+    return SARADC(sim, name, ports["clk"], ports["vin"], parent=parent,
+                  **params)
+
+
+@register("DigitalLoad", inputs=("clk",), outputs=())
+def _build_load(sim, name, parent, ports, params):
+    return DigitalLoad(sim, name, ports["clk"], parent=parent, **params)
+
+
+# -- instrumentation components (inserted by transform passes) ------------------
+
+
+@register("DigitalSaboteur", inputs=("sig_in",), outputs=("sig_out",))
+def _build_digital_saboteur(sim, name, parent, ports, params):
+    from ..injection.saboteur import DigitalSaboteur
+
+    return DigitalSaboteur(
+        sim, name, ports["sig_in"], ports["sig_out"], parent=parent, **params
+    )
+
+
+@register("CurrentPulseSaboteur", inputs=(), outputs=("node",))
+def _build_current_saboteur(sim, name, parent, ports, params):
+    from ..injection.saboteur import CurrentPulseSaboteur
+
+    return CurrentPulseSaboteur(sim, name, ports["node"], parent=parent,
+                                **params)
+
+
+@register("ControlledCurrentSaboteur", inputs=("inj",), outputs=("out_cur",))
+def _build_gencur(sim, name, parent, ports, params):
+    from ..injection.saboteur import ControlledCurrentSaboteur
+
+    return ControlledCurrentSaboteur(
+        sim, name, ports["inj"], ports["out_cur"], parent=parent, **params
+    )
+
+
+# -- hardened components ---------------------------------------------------------
+
+
+@register("TMRDFF", inputs=("d", "clk", "rst"), outputs=("q", "mismatch"))
+def _build_tmr_dff(sim, name, parent, ports, params):
+    from ..harden.tmr import TMRDFF
+
+    return TMRDFF(
+        sim, name, ports["d"], ports["clk"], ports["q"],
+        rst=ports.get("rst"), mismatch=ports.get("mismatch"),
+        parent=parent, **params,
+    )
+
+
+@register("TMRRegister", inputs=("d", "clk", "en", "rst"), outputs=("q",))
+def _build_tmr_register(sim, name, parent, ports, params):
+    from ..harden.tmr import TMRRegister
+
+    return TMRRegister(
+        sim, name, ports["d"], ports["clk"], ports["q"],
+        en=ports.get("en"), rst=ports.get("rst"), parent=parent, **params,
+    )
+
+
+@register("TMRCounter", inputs=("clk", "rst", "en"), outputs=("q",))
+def _build_tmr_counter(sim, name, parent, ports, params):
+    from ..harden.tmr import TMRCounter
+
+    return TMRCounter(
+        sim, name, ports["clk"], ports["q"], rst=ports.get("rst"),
+        en=ports.get("en"), parent=parent, **params,
+    )
+
+
+@register("ParityProtectedRegister", inputs=("d", "clk", "en", "rst"),
+          outputs=("q", "error"))
+def _build_parity_register(sim, name, parent, ports, params):
+    from ..harden.edac import ParityProtectedRegister
+
+    return ParityProtectedRegister(
+        sim, name, ports["d"], ports["clk"], ports["q"], ports["error"],
+        en=ports.get("en"), rst=ports.get("rst"), parent=parent, **params,
+    )
+
+
+@register("HammingProtectedRegister", inputs=("d", "clk", "en", "rst"),
+          outputs=("q", "corrected"))
+def _build_hamming_register(sim, name, parent, ports, params):
+    from ..harden.edac import HammingProtectedRegister
+
+    return HammingProtectedRegister(
+        sim, name, ports["d"], ports["clk"], ports["q"],
+        corrected=ports.get("corrected"), en=ports.get("en"),
+        rst=ports.get("rst"), parent=parent, **params,
+    )

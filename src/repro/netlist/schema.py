@@ -1,0 +1,209 @@
+"""Netlist description schema.
+
+The paper's flow transforms the circuit *description* (VHDL text)
+before simulating it.  Our equivalent description is a declarative,
+JSON-serialisable netlist: named signals, analog nodes and buses plus a
+list of component instances with port maps.  Instrumentation passes
+(:mod:`repro.netlist.transform`) rewrite this description — inserting
+saboteurs by splitting nets — and :mod:`repro.netlist.loader`
+elaborates it into a live simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import NetlistError
+
+
+@dataclass
+class SignalDecl:
+    """A digital signal declaration."""
+
+    name: str
+    init: str = "U"
+
+
+@dataclass
+class NodeDecl:
+    """An analog node declaration; ``kind`` is "voltage" or "current"."""
+
+    name: str
+    kind: str = "voltage"
+    init: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("voltage", "current"):
+            raise NetlistError(
+                f"node {self.name}: kind must be voltage or current, "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass
+class BusDecl:
+    """A digital bus declaration."""
+
+    name: str
+    width: int
+    init: object = "U"
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise NetlistError(f"bus {self.name}: width must be positive")
+
+
+@dataclass
+class InstanceDecl:
+    """One component instance.
+
+    :ivar type: registered component type name.
+    :ivar name: instance name (unique in the netlist).
+    :ivar ports: mapping port name -> net name (signal/node/bus).
+    :ivar params: constructor parameters (engineering strings allowed).
+    """
+
+    type: str
+    name: str
+    ports: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class Netlist:
+    """A complete circuit description.
+
+    :ivar name: top-level design name.
+    :ivar dt: analog solver timestep (seconds or engineering string).
+    :ivar probes: net names recorded as traces on elaboration.
+    :ivar outputs: subset of probes treated as system outputs by
+        campaigns built from this netlist.
+    """
+
+    name: str
+    signals: list = field(default_factory=list)
+    nodes: list = field(default_factory=list)
+    buses: list = field(default_factory=list)
+    instances: list = field(default_factory=list)
+    probes: list = field(default_factory=list)
+    outputs: list = field(default_factory=list)
+    dt: object = 1e-9
+
+    def __post_init__(self):
+        self.validate()
+
+    # -- net namespace ---------------------------------------------------
+
+    def net_names(self):
+        """All declared net names (signals, nodes, buses)."""
+        names = [s.name for s in self.signals]
+        names += [n.name for n in self.nodes]
+        names += [b.name for b in self.buses]
+        return names
+
+    def instance_names(self):
+        """All instance names."""
+        return [inst.name for inst in self.instances]
+
+    def find_instance(self, name):
+        """Look up an instance declaration by name.
+
+        :raises NetlistError: when absent.
+        """
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise NetlistError(f"netlist {self.name}: no instance {name!r}")
+
+    def find_signal(self, name):
+        """Look up a signal declaration by name."""
+        for sig in self.signals:
+            if sig.name == name:
+                return sig
+        raise NetlistError(f"netlist {self.name}: no signal {name!r}")
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self):
+        """Structural checks: unique names, resolvable port references.
+
+        :raises NetlistError: on the first inconsistency.
+        """
+        nets = self.net_names()
+        duplicates = {n for n in nets if nets.count(n) > 1}
+        if duplicates:
+            raise NetlistError(
+                f"netlist {self.name}: duplicate net names {sorted(duplicates)}"
+            )
+        inst_names = self.instance_names()
+        dup_inst = {n for n in inst_names if inst_names.count(n) > 1}
+        if dup_inst:
+            raise NetlistError(
+                f"netlist {self.name}: duplicate instances {sorted(dup_inst)}"
+            )
+        net_set = set(nets)
+        for inst in self.instances:
+            for port, net in inst.ports.items():
+                if net not in net_set:
+                    raise NetlistError(
+                        f"netlist {self.name}: instance {inst.name} port "
+                        f"{port} references undeclared net {net!r}"
+                    )
+        # Probes may also name *internal* nets that assemblies (PLL,
+        # ADC, ...) create during elaboration — e.g. "pll.icp" — so
+        # unresolved names are allowed here and checked by the loader
+        # once the design is live.
+        for out in self.outputs:
+            if out not in self.probes:
+                raise NetlistError(
+                    f"netlist {self.name}: output {out!r} must also be "
+                    "probed"
+                )
+        return self
+
+    # -- (de)serialisation --------------------------------------------------------
+
+    def to_dict(self):
+        """Plain-dict form for JSON serialisation."""
+        return {
+            "name": self.name,
+            "dt": self.dt,
+            "signals": [vars(s).copy() for s in self.signals],
+            "nodes": [vars(n).copy() for n in self.nodes],
+            "buses": [vars(b).copy() for b in self.buses],
+            "instances": [
+                {
+                    "type": i.type,
+                    "name": i.name,
+                    "ports": dict(i.ports),
+                    "params": dict(i.params),
+                }
+                for i in self.instances
+            ],
+            "probes": list(self.probes),
+            "outputs": list(self.outputs),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build (and validate) a netlist from a plain dict.
+
+        :raises NetlistError: on malformed input.
+        """
+        try:
+            return cls(
+                name=data["name"],
+                dt=data.get("dt", 1e-9),
+                signals=[SignalDecl(**s) for s in data.get("signals", [])],
+                nodes=[NodeDecl(**n) for n in data.get("nodes", [])],
+                buses=[BusDecl(**b) for b in data.get("buses", [])],
+                instances=[InstanceDecl(**i) for i in data.get("instances", [])],
+                probes=list(data.get("probes", [])),
+                outputs=list(data.get("outputs", [])),
+            )
+        except (KeyError, TypeError) as exc:
+            raise NetlistError(f"malformed netlist dict: {exc}") from exc
+
+    def copy(self):
+        """Deep copy (transform passes never mutate their input)."""
+        return Netlist.from_dict(self.to_dict())

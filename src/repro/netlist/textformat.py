@@ -1,0 +1,218 @@
+"""A SPICE-flavoured text netlist format (``.rcir``).
+
+The JSON schema is the canonical interchange form; this module adds a
+terse, hand-editable text syntax in the spirit of SPICE decks::
+
+    # the paper's counter demo
+    design demo
+    dt 1ns
+
+    signal clk init=0
+    signal parity
+    current icp
+    bus cnt width=4 init=0
+
+    ck      ClockGen  out=clk period=10ns
+    counter Counter   clk=clk q=cnt
+    par     ParityGen a=cnt parity=parity
+
+    probe cnt parity
+    output parity
+
+Line grammar (one statement per line, ``#`` comments, blank lines
+ignored):
+
+* ``design <name>`` — the design name (required, once);
+* ``dt <quantity>`` — analog timestep;
+* ``signal <name> [init=<level>]`` — digital signal;
+* ``node <name> [init=<volts>]`` — analog voltage node;
+* ``current <name> [init=<volts>]`` — current-summing node;
+* ``bus <name> width=<n> [init=<int>]`` — digital bus;
+* ``probe <net> [...]`` / ``output <net> [...]`` — observation points;
+* anything else — an instance: ``<name> <Type> key=value ...`` where
+  keys matching the type's registered ports bind nets and every other
+  key is a constructor parameter (engineering quantities allowed).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import NetlistError
+from ..core.units import parse_quantity
+from .registry import lookup
+from .schema import BusDecl, InstanceDecl, Netlist, NodeDecl, SignalDecl
+
+
+def _parse_value(text):
+    """Best-effort literal: bool, int, float, engineering quantity,
+    string."""
+    if text in ("True", "true"):
+        return True
+    if text in ("False", "false"):
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return parse_quantity(text)
+    except Exception:
+        return text
+
+
+def _split_kv(tokens, line_no):
+    pairs = {}
+    for token in tokens:
+        if "=" not in token:
+            raise NetlistError(
+                f"line {line_no}: expected key=value, got {token!r}"
+            )
+        key, _, value = token.partition("=")
+        if not key or not value:
+            raise NetlistError(
+                f"line {line_no}: malformed key=value {token!r}"
+            )
+        pairs[key] = value
+    return pairs
+
+
+def loads_text(text):
+    """Parse a ``.rcir`` document into a validated :class:`Netlist`.
+
+    :raises NetlistError: with the offending line number on any
+        syntax or semantic problem.
+    """
+    name = None
+    dt = 1e-9
+    signals = []
+    nodes = []
+    buses = []
+    instances = []
+    probes = []
+    outputs = []
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+
+        if keyword == "design":
+            if len(tokens) != 2:
+                raise NetlistError(f"line {line_no}: design takes one name")
+            if name is not None:
+                raise NetlistError(f"line {line_no}: duplicate design line")
+            name = tokens[1]
+        elif keyword == "dt":
+            if len(tokens) != 2:
+                raise NetlistError(f"line {line_no}: dt takes one quantity")
+            dt = parse_quantity(tokens[1], expect_unit="s")
+        elif keyword == "signal":
+            if len(tokens) < 2:
+                raise NetlistError(f"line {line_no}: signal needs a name")
+            kv = _split_kv(tokens[2:], line_no)
+            signals.append(
+                SignalDecl(name=tokens[1], init=str(kv.get("init", "U")))
+            )
+        elif keyword in ("node", "current"):
+            if len(tokens) < 2:
+                raise NetlistError(f"line {line_no}: {keyword} needs a name")
+            kv = _split_kv(tokens[2:], line_no)
+            nodes.append(NodeDecl(
+                name=tokens[1],
+                kind="current" if keyword == "current" else "voltage",
+                init=float(kv.get("init", 0.0)),
+            ))
+        elif keyword == "bus":
+            if len(tokens) < 2:
+                raise NetlistError(f"line {line_no}: bus needs a name")
+            kv = _split_kv(tokens[2:], line_no)
+            if "width" not in kv:
+                raise NetlistError(f"line {line_no}: bus needs width=<n>")
+            init = kv.get("init", "U")
+            buses.append(BusDecl(
+                name=tokens[1],
+                width=int(kv["width"]),
+                init=int(init) if init not in ("U", "X") else init,
+            ))
+        elif keyword == "probe":
+            probes.extend(tokens[1:])
+        elif keyword == "output":
+            outputs.extend(tokens[1:])
+        else:
+            if len(tokens) < 2:
+                raise NetlistError(
+                    f"line {line_no}: instance needs '<name> <Type> ...'"
+                )
+            inst_name, type_name = tokens[0], tokens[1]
+            entry = lookup(type_name)  # raises for unknown types
+            port_names = set(entry.inputs) | set(entry.outputs)
+            kv = _split_kv(tokens[2:], line_no)
+            ports = {}
+            params = {}
+            for key, value in kv.items():
+                if key in port_names:
+                    ports[key] = value
+                else:
+                    params[key] = _parse_value(value)
+            instances.append(InstanceDecl(
+                type=type_name, name=inst_name, ports=ports, params=params,
+            ))
+
+    if name is None:
+        raise NetlistError("missing 'design <name>' line")
+    # Outputs must also be probed; add them implicitly for convenience.
+    for out in outputs:
+        if out not in probes:
+            probes.append(out)
+    return Netlist(
+        name=name, dt=dt, signals=signals, nodes=nodes, buses=buses,
+        instances=instances, probes=probes, outputs=outputs,
+    )
+
+
+def dumps_text(netlist):
+    """Render a netlist back into ``.rcir`` text (parse round-trips)."""
+    lines = [f"design {netlist.name}", f"dt {netlist.dt}"]
+    if netlist.signals or netlist.nodes or netlist.buses:
+        lines.append("")
+    for decl in netlist.signals:
+        suffix = "" if decl.init == "U" else f" init={decl.init}"
+        lines.append(f"signal {decl.name}{suffix}")
+    for decl in netlist.nodes:
+        keyword = "current" if decl.kind == "current" else "node"
+        suffix = "" if decl.init == 0.0 else f" init={decl.init}"
+        lines.append(f"{keyword} {decl.name}{suffix}")
+    for decl in netlist.buses:
+        suffix = "" if decl.init == "U" else f" init={decl.init}"
+        lines.append(f"bus {decl.name} width={decl.width}{suffix}")
+    if netlist.instances:
+        lines.append("")
+    for inst in netlist.instances:
+        parts = [inst.name, inst.type]
+        parts.extend(f"{k}={v}" for k, v in inst.ports.items())
+        parts.extend(f"{k}={v}" for k, v in inst.params.items())
+        lines.append(" ".join(str(p) for p in parts))
+    if netlist.probes or netlist.outputs:
+        lines.append("")
+    if netlist.probes:
+        lines.append("probe " + " ".join(netlist.probes))
+    if netlist.outputs:
+        lines.append("output " + " ".join(netlist.outputs))
+    return "\n".join(lines) + "\n"
+
+
+def load_text_file(path):
+    """Read a ``.rcir`` file."""
+    with open(path) as handle:
+        return loads_text(handle.read())
+
+
+def save_text_file(netlist, path):
+    """Write a ``.rcir`` file."""
+    with open(path, "w") as handle:
+        handle.write(dumps_text(netlist))

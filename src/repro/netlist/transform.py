@@ -1,0 +1,149 @@
+"""Description-level instrumentation transforms.
+
+The paper's instrumentation happens on the circuit *description*
+("an instrumentation is done by transforming the VHDL code before
+synthesis", Section 3.1).  These passes do the same on netlists:
+
+* :func:`insert_digital_saboteur` splits a digital net between its
+  driver and its readers and splices a
+  :class:`~repro.injection.saboteur.DigitalSaboteur` in between — the
+  saboteur mechanism, limited (exactly as the paper notes) to
+  interconnections.
+* :func:`attach_current_saboteur` adds a current-pulse saboteur on an
+  analog current node — no rewiring needed, since current injection is
+  a superposition.
+
+Every pass returns a *new* netlist; descriptions are immutable inputs.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import NetlistError
+from .registry import lookup
+from .schema import InstanceDecl, Netlist, SignalDecl
+
+
+def _reader_ports(netlist, net):
+    """(instance, port) pairs that *read* ``net``."""
+    readers = []
+    for inst in netlist.instances:
+        entry = lookup(inst.type)
+        for port, bound in inst.ports.items():
+            if bound == net and port in entry.inputs:
+                readers.append((inst.name, port))
+    return readers
+
+
+def _driver_ports(netlist, net):
+    """(instance, port) pairs that *drive* ``net``."""
+    drivers = []
+    for inst in netlist.instances:
+        entry = lookup(inst.type)
+        for port, bound in inst.ports.items():
+            if bound == net and port in entry.outputs:
+                drivers.append((inst.name, port))
+    return drivers
+
+
+def insert_digital_saboteur(netlist, net, saboteur_name=None):
+    """Splice a digital saboteur into a signal net.
+
+    The original net keeps its driver; readers are rewired to a new net
+    ``"<net>__sab"`` driven by the saboteur.  Probes on the net are
+    left on the driver side (the saboteur corrupts what *readers* see,
+    which is what fault effects depend on; probe the new net explicitly
+    to observe the corrupted value).
+
+    :returns: ``(new_netlist, saboteur_instance_name, new_net_name)``.
+    :raises NetlistError: when the net is unknown, is not a signal, or
+        has no readers to corrupt.
+    """
+    netlist.find_signal(net)  # raises for nodes/buses/unknown
+    readers = _reader_ports(netlist, net)
+    if not readers:
+        raise NetlistError(
+            f"net {net!r} has no reader ports; a serial saboteur there "
+            "would corrupt nothing"
+        )
+    result = netlist.copy()
+    new_net = f"{net}__sab"
+    if new_net in result.net_names():
+        raise NetlistError(f"net {new_net!r} already exists")
+    saboteur_name = saboteur_name or f"sab_{net.replace('[', '_').replace(']', '')}"
+    if saboteur_name in result.instance_names():
+        raise NetlistError(f"instance {saboteur_name!r} already exists")
+
+    result.signals.append(SignalDecl(name=new_net, init="U"))
+    for inst_name, port in readers:
+        result.find_instance(inst_name).ports[port] = new_net
+    result.instances.append(
+        InstanceDecl(
+            type="DigitalSaboteur",
+            name=saboteur_name,
+            ports={"sig_in": net, "sig_out": new_net},
+        )
+    )
+    result.validate()
+    return result, saboteur_name, new_net
+
+
+def attach_current_saboteur(netlist, node, saboteur_name=None):
+    """Attach a current-pulse saboteur to a current node.
+
+    :returns: ``(new_netlist, saboteur_instance_name)``.
+    :raises NetlistError: when the node is unknown or not a current
+        node.
+    """
+    matches = [n for n in netlist.nodes if n.name == node]
+    if not matches:
+        raise NetlistError(f"no analog node {node!r} in netlist")
+    if matches[0].kind != "current":
+        raise NetlistError(
+            f"node {node!r} is a voltage node; current saboteurs need a "
+            "current-summing node"
+        )
+    result = netlist.copy()
+    saboteur_name = saboteur_name or f"sab_{node.replace('.', '_')}"
+    if saboteur_name in result.instance_names():
+        raise NetlistError(f"instance {saboteur_name!r} already exists")
+    result.instances.append(
+        InstanceDecl(
+            type="CurrentPulseSaboteur",
+            name=saboteur_name,
+            ports={"node": node},
+        )
+    )
+    result.validate()
+    return result, saboteur_name
+
+
+def instrument_all_digital_nets(netlist):
+    """Insert saboteurs on every signal net with readers.
+
+    :returns: ``(new_netlist, {net: saboteur_name})``.
+    """
+    current = netlist
+    placed = {}
+    for decl in netlist.signals:
+        if not _reader_ports(netlist, decl.name):
+            continue
+        current, sab_name, _new_net = insert_digital_saboteur(
+            current, decl.name
+        )
+        placed[decl.name] = sab_name
+    return current, placed
+
+
+def instrument_all_current_nodes(netlist):
+    """Attach a saboteur to every declared current node.
+
+    :returns: ``(new_netlist, {node: saboteur_name})``.
+    """
+    current = netlist
+    placed = {}
+    for decl in netlist.nodes:
+        if decl.kind != "current":
+            continue
+        current, sab_name = attach_current_saboteur(current, decl.name)
+        placed[decl.name] = sab_name
+    return current, placed

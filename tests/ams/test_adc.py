@@ -1,0 +1,137 @@
+"""Tests for the flash and SAR ADC assemblies."""
+
+import pytest
+
+from repro.analog import DCVoltage, PWLVoltage
+from repro.ams import FlashADC, SARADC
+from repro.core import L0, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import ClockGen
+
+
+def flash_setup(volts, bits=4, dt=10e-9, **kwargs):
+    sim = Simulator(dt=dt)
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=1e-6)
+    vin = sim.node("vin")
+    DCVoltage(sim, "src", vin, volts)
+    adc = FlashADC(sim, "adc", clk, vin, bits=bits, **kwargs)
+    return sim, adc
+
+
+def sar_setup(volts, bits=8, dt=10e-9):
+    sim = Simulator(dt=dt)
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=1e-6)
+    vin = sim.node("vin")
+    DCVoltage(sim, "src", vin, volts)
+    adc = SARADC(sim, "sar", clk, vin, bits=bits)
+    return sim, adc
+
+
+class TestFlashADC:
+    @pytest.mark.parametrize("volts", [0.4, 1.3, 2.5, 3.2, 4.8])
+    def test_dc_codes(self, volts):
+        sim, adc = flash_setup(volts)
+        sim.run(5e-6)
+        assert adc.output.to_int() == adc.ideal_code(volts)
+
+    def test_full_scale_clips(self):
+        sim, adc = flash_setup(7.0)
+        sim.run(5e-6)
+        assert adc.output.to_int() == 15
+
+    def test_zero_input(self):
+        sim, adc = flash_setup(0.0)
+        sim.run(5e-6)
+        assert adc.output.to_int() == 0
+
+    def test_tracks_ramp(self):
+        sim = Simulator(dt=10e-9)
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=1e-6)
+        vin = sim.node("vin")
+        PWLVoltage(sim, "src", vin, [(0, 0.0), (20e-6, 5.0)])
+        adc = FlashADC(sim, "adc", clk, vin, bits=4)
+        codes = []
+        sim.every(1e-6, lambda: codes.append(adc.output.to_int_or_none()),
+                  start=0.9e-6)
+        sim.run(20e-6)
+        defined = [c for c in codes if c is not None]
+        assert defined == sorted(defined)  # monotone ramp -> monotone codes
+        assert defined[-1] >= 14
+
+    def test_comparator_offset_parametric_fault(self):
+        """A large offset on one comparator creates a code error."""
+        offsets = [0.0] * 15
+        offsets[7] = 0.5  # input-referred offset: comparator fires early
+        sim, adc = flash_setup(2.2, comparator_offsets=offsets)
+        sim.run(5e-6)
+        assert adc.output.to_int() != adc.ideal_code(2.2)
+
+    def test_held_node_is_injectable(self):
+        from repro.core import CurrentNode
+
+        sim, adc = flash_setup(2.5)
+        assert isinstance(adc.held, CurrentNode)
+
+    def test_min_bits(self):
+        sim = Simulator(dt=10e-9)
+        clk = sim.signal("clk", init=L0)
+        vin = sim.node("vin")
+        with pytest.raises(ElaborationError):
+            FlashADC(sim, "adc", clk, vin, bits=1)
+
+    def test_output_register_seu_target(self):
+        sim, adc = flash_setup(3.2)
+        sim.run(5e-6)
+        states = adc.register.state_signals()
+        assert len(states) == 4
+
+
+class TestSARADC:
+    @pytest.mark.parametrize("volts", [0.3, 1.1, 2.5, 3.2, 4.9])
+    def test_dc_conversion(self, volts):
+        sim, adc = sar_setup(volts)
+        sim.run(30e-6)  # several conversions (9 cycles each)
+        assert adc.output.to_int() == adc.ideal_code(volts)
+
+    def test_conversion_takes_bits_plus_one_cycles(self):
+        sim, adc = sar_setup(2.5, bits=8)
+        done = sim.probe(adc.done)
+        sim.run(40e-6)
+        rises = done.edges("rise")
+        assert len(rises) >= 2
+        import numpy as np
+
+        gaps = np.diff(rises)
+        assert gaps[0] == pytest.approx(9e-6, rel=0.01)
+
+    def test_injection_during_trials_corrupts_code(self):
+        """Charge dumped on the hold cap mid-conversion shifts the
+        remaining bit decisions — the classic SAR failure mode."""
+        from repro.faults import TrapezoidPulse
+        from repro.injection import CurrentPulseSaboteur
+
+        sim, adc = sar_setup(2.5, bits=8)
+        sab = CurrentPulseSaboteur(sim, "sab", adc.held)
+        # hold cap 1 pF; 0.5 pC shifts the held value by ~0.5 V
+        pulse = TrapezoidPulse("1mA", "50ps", "50ps", "500ps")
+        # first conversion: sample at cycle 0 (edge at 0), trials at
+        # cycles 1..8; inject between trial edges.
+        sab.schedule(pulse, 3.5e-6)
+        sim.run(12e-6)
+        ideal = adc.ideal_code(2.5)
+        assert adc.output.to_int() != ideal
+
+    def test_trial_register_seu_target(self):
+        sim, adc = sar_setup(2.5)
+        targets = adc.logic.state_signals()
+        assert len(targets) == 8
+
+    def test_min_bits(self):
+        sim = Simulator(dt=10e-9)
+        clk = sim.signal("clk", init=L0)
+        vin = sim.node("vin")
+        with pytest.raises(ElaborationError):
+            SARADC(sim, "adc", clk, vin, bits=1)

@@ -1,0 +1,85 @@
+"""Tests for D/A bridges and the digital load block."""
+
+import pytest
+
+from repro.ams import BusToVoltage, DigitalLoad, LogicToVoltage
+from repro.core import L0, L1, Logic, Simulator
+from repro.digital import Bus, ClockGen, LFSR
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+class TestLogicToVoltage:
+    def test_levels(self, sim):
+        sig = sim.signal("s", init=L0)
+        node = sim.node("v")
+        LogicToVoltage(sim, "drv", sig, node, v_high=5.0, v_low=0.0)
+        sim.run(2e-9)
+        assert node.v == 0.0
+        sig.drive(L1)
+        sim.run(4e-9)
+        assert node.v == 5.0
+
+    def test_unknown_maps_to_midrail(self, sim):
+        sig = sim.signal("s", init=Logic.X)
+        node = sim.node("v")
+        LogicToVoltage(sim, "drv", sig, node, v_high=5.0, v_low=0.0)
+        sim.run(2e-9)
+        assert node.v == 2.5
+
+    def test_slew_limited_edge(self, sim):
+        sig = sim.signal("s", init=L0)
+        node = sim.node("v")
+        LogicToVoltage(sim, "drv", sig, node, slew=1e9)  # 1 V/ns
+        sim.run(2e-9)
+        sig.drive(L1)
+        sim.run(4e-9)
+        assert 0.0 < node.v < 5.0  # mid-transition
+        sim.run(10e-9)
+        assert node.v == pytest.approx(5.0)
+
+
+class TestBusToVoltage:
+    def test_code_mapping(self, sim):
+        bus = Bus(sim, "b", 4, init=8)
+        node = sim.node("v")
+        BusToVoltage(sim, "dac", bus, node, v_ref=5.0)
+        sim.run(2e-9)
+        assert node.v == pytest.approx(2.5)
+
+    def test_undefined_maps_midrail(self, sim):
+        bus = Bus(sim, "b", 4, init=Logic.U)
+        node = sim.node("v")
+        BusToVoltage(sim, "dac", bus, node, v_ref=5.0)
+        sim.run(2e-9)
+        assert node.v == pytest.approx(2.5)
+
+
+class TestDigitalLoad:
+    def test_counts_and_patterns(self, sim):
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        load = DigitalLoad(sim, "load", clk)
+        sim.run(105e-9)
+        count, pattern = load.snapshot()
+        assert count == 11
+        assert pattern == LFSR.sequence(8, steps=11)[-1]
+
+    def test_exposes_injectable_state(self, sim):
+        from repro.core.hierarchy import collect_state_signals
+
+        clk = sim.signal("clk", init=L0)
+        load = DigitalLoad(sim, "load", clk)
+        names = [n for n, _s in collect_state_signals(load)]
+        assert any("counter" in n for n in names)
+        assert any("lfsr" in n for n in names)
+
+    def test_parity_output_present(self, sim):
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        load = DigitalLoad(sim, "load", clk)
+        sim.run(15e-9)
+        assert load.parity.value.is_defined()

@@ -1,0 +1,129 @@
+"""Tests for the delay-locked loop case study."""
+
+import numpy as np
+import pytest
+
+from repro.ams.dll import DLL, VoltageControlledDelayLine
+from repro.analog import DCVoltage
+from repro.core import L0, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import ClockGen
+from repro.faults import TrapezoidPulse
+from repro.injection import CurrentPulseSaboteur
+
+
+def edge_alignment_error(ref_trace, delayed_trace, period):
+    """Mean |offset| of delayed rising edges vs the following ref
+    edges, over the last few cycles."""
+    ref_edges = ref_trace.edges("rise")
+    out_edges = delayed_trace.edges("rise")
+    errors = []
+    for edge in out_edges[-10:]:
+        nearest = ref_edges[np.argmin(np.abs(ref_edges - edge))]
+        errors.append(abs(edge - nearest))
+    return float(np.mean(errors))
+
+
+class TestDelayLine:
+    def test_delays_edges_by_control(self):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=20e-9)
+        out = sim.signal("out")
+        vc = sim.node("vc", init=2.5)
+        DCVoltage(sim, "src", vc, 2.5)
+        VoltageControlledDelayLine(
+            sim, "dl", clk, out, vc, d0=5e-9, kdl=2e-9
+        )
+        tr_in = sim.probe(clk)
+        tr_out = sim.probe(out)
+        sim.run(100e-9)
+        delay = tr_out.edges("rise")[0] - tr_in.edges("rise")[0]
+        assert delay == pytest.approx(5e-9, abs=1e-12)
+
+    def test_voltage_shifts_delay(self):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=20e-9)
+        out = sim.signal("out")
+        vc = sim.node("vc", init=3.0)
+        DCVoltage(sim, "src", vc, 3.0)
+        VoltageControlledDelayLine(
+            sim, "dl", clk, out, vc, d0=5e-9, kdl=2e-9, vcenter=2.5
+        )
+        tr_in = sim.probe(clk)
+        tr_out = sim.probe(out)
+        sim.run(100e-9)
+        delay = tr_out.edges("rise")[0] - tr_in.edges("rise")[0]
+        assert delay == pytest.approx(6e-9, abs=1e-12)
+
+    def test_clamp_limits(self):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=L0)
+        out = sim.signal("out")
+        vc = sim.node("vc", init=100.0)
+        dl = VoltageControlledDelayLine(
+            sim, "dl", clk, out, vc, d0=5e-9, kdl=2e-9,
+            d_min=1e-9, d_max=8e-9,
+        )
+        assert dl.current_delay() == pytest.approx(8e-9)
+
+    def test_bad_bounds(self):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=L0)
+        out = sim.signal("out")
+        vc = sim.node("vc")
+        with pytest.raises(ElaborationError):
+            VoltageControlledDelayLine(
+                sim, "dl", clk, out, vc, d0=5e-9, kdl=2e-9,
+                d_min=8e-9, d_max=1e-9,
+            )
+
+
+class TestDLLLocking:
+    def test_locks_to_one_period(self):
+        sim = Simulator(dt=1e-9)
+        dll = DLL(sim, "dll")
+        ref = sim.probe(dll.ref)
+        delayed = sim.probe(dll.delayed)
+        sim.run(30e-6)
+        error = edge_alignment_error(ref, delayed, dll.t_ref)
+        # quantisation floor is the 1 ns solver/PFD step
+        assert error < 2e-9
+        assert abs(dll.delay_error()) < 2e-9
+
+    def test_injection_perturbs_then_recovers(self):
+        sim = Simulator(dt=1e-9)
+        dll = DLL(sim, "dll")
+        sab = CurrentPulseSaboteur(sim, "sab", dll.icp)
+        pulse = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        sim.run(30e-6)  # lock first
+        sab.schedule(pulse, 32e-6)
+        vctrl = sim.probe(dll.vctrl)
+        sim.run(60e-6)
+        # charge step on the 64 pF loop cap: dV = Q/C ~ 94 mV
+        peak = vctrl.maximum(32e-6, 33e-6) - vctrl.at(31.9e-6)
+        assert peak == pytest.approx(pulse.charge() / 64e-12, rel=0.15)
+        # First-order loop: recovers towards lock.  The charge pump is
+        # sampled on the 1 ns solver grid, so the detector has a ~1 ns
+        # dead zone = kdl * 1 ns = 50 mV of control-voltage slack; the
+        # voltage must come back inside that band and the *delay* must
+        # be re-aligned within the quantisation floor.
+        late_dev = abs(vctrl.at(58e-6) - vctrl.at(31.9e-6))
+        assert late_dev < 0.6 * peak
+        assert abs(dll.delay_error()) < 2e-9
+
+    def test_icp_is_injection_target(self):
+        from repro.core import CurrentNode
+        from repro.core.hierarchy import collect_current_nodes
+
+        sim = Simulator(dt=1e-9)
+        dll = DLL(sim, "dll")
+        assert isinstance(dll.icp, CurrentNode)
+        names = [n for n, _node in collect_current_nodes(sim)]
+        assert "dll.icp" in names
+
+    def test_bad_d0_frac(self):
+        sim = Simulator(dt=1e-9)
+        with pytest.raises(ElaborationError):
+            DLL(sim, "dll", d0_frac=1.2)

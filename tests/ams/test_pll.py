@@ -1,0 +1,166 @@
+"""Tests for the Figure 5 PLL case study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_perturbation,
+    clock_periods,
+    is_locked,
+    mean_frequency,
+)
+from repro.core import Simulator
+from repro.core.errors import ElaborationError
+from repro.faults import FIGURE6_PULSE
+from repro.injection import CurrentPulseSaboteur
+
+from tests.conftest import make_fast_pll
+
+
+class TestStructure:
+    def test_figure5_hierarchy(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim)
+        names = {child.name for child in pll.children}
+        assert {"pfd", "chargepump", "filter", "vco", "digitizer",
+                "divider"} <= names
+
+    def test_injection_node_is_current_node(self):
+        from repro.core import CurrentNode
+
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim)
+        assert isinstance(pll.icp, CurrentNode)
+        assert pll.icp.name == "pll.icp"
+
+    def test_paper_operating_point(self):
+        """Default parameters give the paper's numbers: 500 kHz in,
+        50 MHz (20 ns) out, /100."""
+        from repro.ams import PLL
+
+        sim = Simulator(dt=1e-9)
+        pll = PLL(sim, "pll")
+        assert pll.f_ref == pytest.approx(500e3)
+        assert pll.n_div == 100
+        assert pll.f_out_nominal == pytest.approx(50e6)
+        assert pll.t_out_nominal == pytest.approx(20e-9)
+
+    def test_bad_divider_rejected(self):
+        from repro.ams import PLL
+
+        sim = Simulator(dt=1e-9)
+        with pytest.raises(ElaborationError):
+            PLL(sim, "pll", n_div=1)
+
+    def test_loop_crossover_estimate(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim)
+        # Ip*Kv*R/(2 pi N) = 1e-4 * 1e7 * 1.57e4 / (2 pi 10) ~ 250 kHz
+        assert pll.loop_crossover_hz() == pytest.approx(250e3, rel=0.01)
+
+    def test_external_reference_accepted(self):
+        from repro.ams import PLL
+        from repro.core import L0
+        from repro.digital import ClockGen
+
+        sim = Simulator(dt=1e-9)
+        ref = sim.signal("myref", init=L0)
+        ClockGen(sim, "ck", ref, period=0.2e-6)
+        pll = PLL(sim, "pll", f_ref="5MHz", n_div=10, c1="162pF", c2="16pF",
+                  ref=ref, preset_locked=True)
+        assert pll.refgen is None
+        vco = sim.probe(pll.vco_out)
+        sim.run(10e-6)
+        assert mean_frequency(vco, 2.5, t0=5e-6) == pytest.approx(50e6,
+                                                                  rel=0.01)
+
+
+class TestLocking:
+    def test_preset_locked_holds_lock(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        vco = sim.probe(pll.vco_out)
+        sim.run(20e-6)
+        assert is_locked(vco.segment(5e-6, None), pll.t_out_nominal,
+                         tol_frac=0.01)
+        assert mean_frequency(vco, 2.5, t0=10e-6) == pytest.approx(
+            50e6, rel=5e-3)
+
+    def test_acquires_lock_from_cold_start(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=False)
+        vco = sim.probe(pll.vco_out)
+        sim.run(60e-6)
+        assert is_locked(vco.segment(45e-6, None), pll.t_out_nominal,
+                         tol_frac=0.01)
+
+    def test_vctrl_settles_near_center(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        vctrl = sim.probe(pll.vctrl)
+        sim.run(20e-6)
+        assert vctrl.final == pytest.approx(pll.vctrl_locked, abs=0.05)
+
+    def test_divider_output_at_reference_frequency(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        fb = sim.probe(pll.fb)
+        sim.run(20e-6)
+        rises = fb.edges("rise")
+        periods = np.diff(rises)
+        assert np.mean(periods[-20:]) == pytest.approx(0.2e-6, rel=0.01)
+
+
+class TestInjectionResponse:
+    def test_figure6_pulse_perturbs_many_cycles(self):
+        """The headline Section 5.2 result on the fast PLL."""
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+        t_inj = 10e-6
+        sab.schedule(FIGURE6_PULSE, t_inj)
+        vco = sim.probe(pll.vco_out)
+        vctrl = sim.probe(pll.vctrl)
+        sim.run(25e-6)
+        report = analyze_perturbation(
+            vco.segment(5e-6, None), t_inj, FIGURE6_PULSE.pw,
+            pll.t_out_nominal, tol_frac=0.003,
+            vctrl_trace=vctrl, vctrl_nominal=pll.vctrl_locked,
+        )
+        assert report.multi_cycle()
+        assert report.perturbed_cycles > 5
+        assert report.amplification > 50
+        # fault is 2.5% of the clock period (PW = 500 ps vs 20 ns)
+        assert report.fault_to_period_ratio == pytest.approx(0.025)
+
+    def test_loop_recovers_lock_after_injection(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+        sab.schedule(FIGURE6_PULSE, 10e-6)
+        vco = sim.probe(pll.vco_out)
+        sim.run(30e-6)
+        assert is_locked(vco.segment(25e-6, None), pll.t_out_nominal,
+                         tol_frac=0.005, consecutive=10)
+
+    def test_vctrl_step_magnitude_matches_charge(self):
+        """Immediate control-voltage step ~ Q / C2."""
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        c2 = 16e-12
+        sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+        sab.schedule(FIGURE6_PULSE, 10e-6)
+        vctrl = sim.probe(pll.vctrl)
+        sim.run(12e-6)
+        peak = vctrl.maximum(10e-6, 10.5e-6) - pll.vctrl_locked
+        assert peak == pytest.approx(FIGURE6_PULSE.charge() / c2, rel=0.25)
+
+    def test_negative_pulse_dips_frequency(self):
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+        sab.schedule(FIGURE6_PULSE.scaled(amplitude_factor=-1.0), 10e-6)
+        vco = sim.probe(pll.vco_out)
+        sim.run(13e-6)
+        f_hit = mean_frequency(vco, 2.5, t0=10e-6, t1=11e-6)
+        assert f_hit < 50e6

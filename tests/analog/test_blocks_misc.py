@@ -1,0 +1,334 @@
+"""Tests for sources, charge pump, PFD, comparators, op-amp, S/H, DAC."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    AnalogComparator,
+    ChargePump,
+    DCVoltage,
+    Digitizer,
+    IdealDAC,
+    OpAmp,
+    PFD,
+    PulseVoltage,
+    PWLVoltage,
+    ResistorLadder,
+    SampleHold,
+    SineVoltage,
+    UnityBuffer,
+    WindowComparator,
+)
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import SimulationError
+from repro.digital import Bus, ClockGen
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+class TestSources:
+    def test_dc(self, sim):
+        n = sim.node("n")
+        DCVoltage(sim, "s", n, 3.3)
+        sim.run(5e-9)
+        assert n.v == 3.3
+
+    def test_sine(self, sim):
+        n = sim.node("n")
+        SineVoltage(sim, "s", n, amplitude=1.0, freq=1e6, offset=2.0)
+        tr = sim.probe(n)
+        sim.run(2e-6)
+        assert tr.maximum() == pytest.approx(3.0, abs=0.01)
+        assert tr.minimum() == pytest.approx(1.0, abs=0.01)
+        assert tr.mean() == pytest.approx(2.0, abs=0.02)
+
+    def test_pwl(self, sim):
+        n = sim.node("n")
+        PWLVoltage(sim, "s", n, [(0, 0.0), (10e-9, 1.0), (20e-9, 1.0)])
+        sim.run(5e-9)
+        assert n.v == pytest.approx(0.5, abs=0.11)
+        sim.run(30e-9)
+        assert n.v == 1.0
+
+    def test_pwl_empty_rejected(self, sim):
+        n = sim.node("n")
+        with pytest.raises(SimulationError):
+            PWLVoltage(sim, "s", n, [])
+
+    def test_pulse_train(self, sim):
+        n = sim.node("n")
+        PulseVoltage(sim, "s", n, v1=0.0, v2=5.0, delay=10e-9, rise=1e-9,
+                     fall=1e-9, width=5e-9, period=20e-9)
+        tr = sim.probe(n)
+        sim.run(60e-9)
+        rises = tr.crossings(2.5, "rise")
+        assert len(rises) == 3
+
+
+class TestChargePump:
+    def test_up_sources_current(self, sim):
+        up = sim.signal("up", init=L1)
+        down = sim.signal("down", init=L0)
+        node = sim.current_node("icp")
+        ChargePump(sim, "cp", up, down, node, i_pump=1e-4)
+        sim.run(2e-9)
+        assert node.i == pytest.approx(1e-4)
+
+    def test_down_sinks_current(self, sim):
+        up = sim.signal("up", init=L0)
+        down = sim.signal("down", init=L1)
+        node = sim.current_node("icp")
+        ChargePump(sim, "cp", up, down, node, i_pump=1e-4)
+        sim.run(2e-9)
+        assert node.i == pytest.approx(-1e-4)
+
+    def test_both_with_mismatch(self, sim):
+        up = sim.signal("up", init=L1)
+        down = sim.signal("down", init=L1)
+        node = sim.current_node("icp")
+        ChargePump(sim, "cp", up, down, node, i_pump=1e-4, mismatch=0.05)
+        sim.run(2e-9)
+        assert node.i == pytest.approx(5e-6)
+
+    def test_invalid_current_rejected(self, sim):
+        up = sim.signal("up", init=L0)
+        down = sim.signal("down", init=L0)
+        node = sim.current_node("icp")
+        with pytest.raises(SimulationError):
+            ChargePump(sim, "cp", up, down, node, i_pump=0.0)
+
+
+class TestPFD:
+    def test_ref_lead_asserts_up(self, sim):
+        ref = sim.signal("ref", init=L0)
+        fb = sim.signal("fb", init=L0)
+        up = sim.signal("up")
+        down = sim.signal("down")
+        PFD(sim, "pfd", ref, fb, up, down)
+        ref.drive(L1, 5e-9)
+        fb.drive(L1, 8e-9)
+        sim.run(6e-9)
+        assert up.value is L1 and down.value is L0
+        sim.run(9e-9)   # fb edge arrives -> both -> reset
+        assert up.value is L0 and down.value is L0
+
+    def test_fb_lead_asserts_down(self, sim):
+        ref = sim.signal("ref", init=L0)
+        fb = sim.signal("fb", init=L0)
+        up = sim.signal("up")
+        down = sim.signal("down")
+        PFD(sim, "pfd", ref, fb, up, down)
+        fb.drive(L1, 5e-9)
+        sim.run(6e-9)
+        assert down.value is L1 and up.value is L0
+
+    def test_frequency_detector_behaviour(self, sim):
+        """With ref much faster than fb, UP duty dominates."""
+        ref = sim.signal("ref", init=L0)
+        fb = sim.signal("fb", init=L0)
+        up = sim.signal("up")
+        down = sim.signal("down")
+        PFD(sim, "pfd", ref, fb, up, down)
+        ClockGen(sim, "ckr", ref, period=10e-9)
+        ClockGen(sim, "ckf", fb, period=35e-9)
+        tr_up = sim.probe(up)
+        sim.run(400e-9)
+        up_time = sum(
+            b - a for a, b in zip(tr_up.edges("rise"), tr_up.edges("fall"))
+        )
+        assert up_time > 200e-9
+
+    def test_state_signals(self, sim):
+        ref = sim.signal("ref", init=L0)
+        fb = sim.signal("fb", init=L0)
+        up = sim.signal("up")
+        down = sim.signal("down")
+        pfd = PFD(sim, "pfd", ref, fb, up, down)
+        assert set(pfd.state_signals()) == {"up", "down"}
+
+
+class TestDigitizer:
+    def test_threshold_crossing(self, sim):
+        n = sim.node("n")
+        SineVoltage(sim, "s", n, amplitude=2.5, freq=10e6, offset=2.5)
+        out = sim.signal("out")
+        Digitizer(sim, "dig", n, out, threshold=2.5)
+        tr = sim.probe(out)
+        sim.run(1e-6)
+        # 10 MHz -> ~10 rising edges in 1 us
+        assert 9 <= len(tr.edges("rise")) <= 11
+
+    def test_hysteresis_suppresses_chatter(self, sim):
+        n = sim.node("n")
+        # Slow ramp with tiny ripple around the threshold.
+        PWLVoltage(sim, "s", n, [(0, 2.4), (100e-9, 2.6)])
+        out_plain = sim.signal("plain")
+        out_hyst = sim.signal("hyst")
+        d1 = Digitizer(sim, "d1", n, out_plain, threshold=2.5)
+        d2 = Digitizer(sim, "d2", n, out_hyst, threshold=2.5,
+                       hysteresis=0.05)
+        sim.run(100e-9)
+        assert d2.transitions <= d1.transitions
+
+    def test_negative_hysteresis_rejected(self, sim):
+        n = sim.node("n")
+        out = sim.signal("out")
+        with pytest.raises(SimulationError):
+            Digitizer(sim, "d", n, out, hysteresis=-0.1)
+
+
+class TestComparators:
+    def test_analog_comparator(self, sim):
+        p = sim.node("p", init=3.0)
+        m = sim.node("m", init=2.0)
+        out = sim.node("out")
+        DCVoltage(sim, "sp", p, 3.0)
+        DCVoltage(sim, "sm", m, 2.0)
+        AnalogComparator(sim, "cmp", p, m, out)
+        sim.run(2e-9)
+        assert out.v == 5.0
+
+    def test_comparator_offset(self, sim):
+        p = sim.node("p", init=2.0)
+        m = sim.node("m", init=2.05)
+        out = sim.node("out")
+        DCVoltage(sim, "sp", p, 2.0)
+        DCVoltage(sim, "sm", m, 2.05)
+        AnalogComparator(sim, "cmp", p, m, out, offset=0.1)
+        sim.run(2e-9)
+        assert out.v == 5.0  # offset flips the decision
+
+    def test_window_comparator(self, sim):
+        n = sim.node("n")
+        PWLVoltage(sim, "s", n, [(0, 0.0), (100e-9, 5.0)])
+        out = sim.signal("inwin")
+        WindowComparator(sim, "wc", n, out, lo=2.0, hi=3.0)
+        tr = sim.probe(out)
+        sim.run(100e-9)
+        assert len(tr.edges("rise")) == 1
+        assert len(tr.edges("fall")) == 1
+
+
+class TestOpAmp:
+    def test_open_loop_saturates(self, sim):
+        p = sim.node("p", init=2.6)
+        m = sim.node("m", init=2.5)
+        out = sim.node("out")
+        DCVoltage(sim, "sp", p, 2.6)
+        DCVoltage(sim, "sm", m, 2.5)
+        OpAmp(sim, "op", p, m, out, gain=1e5, pole_hz=1e6)
+        sim.run(20e-6)
+        assert out.v == pytest.approx(5.0)
+
+    def test_slew_limit(self, sim):
+        p = sim.node("p", init=5.0)
+        m = sim.node("m", init=0.0)
+        out = sim.node("out")
+        DCVoltage(sim, "sp", p, 5.0)
+        DCVoltage(sim, "sm", m, 0.0)
+        OpAmp(sim, "op", p, m, out, gain=1e5, pole_hz=1e8, slew=1e6,
+              v_low=0.0, v_high=5.0)
+        tr = sim.probe(out)
+        sim.run(2e-6)
+        # 1 V/us slew from 2.5 V start: at 1 us, at most ~3.5 V.
+        assert tr.at(1e-6) <= 3.6
+
+    def test_parameter_validation(self, sim):
+        p = sim.node("p")
+        m = sim.node("m")
+        out = sim.node("out")
+        with pytest.raises(SimulationError):
+            OpAmp(sim, "op", p, m, out, gain=0.0)
+
+    def test_unity_buffer_tracks(self, sim):
+        src = sim.node("src")
+        out = sim.node("out")
+        SineVoltage(sim, "s", src, amplitude=1.0, freq=1e6, offset=2.5)
+        UnityBuffer(sim, "buf", src, out, bandwidth_hz=1e9)
+        sim.run(3e-6)
+        assert out.v == pytest.approx(src.v, abs=0.02)
+
+
+class TestSampleHold:
+    def test_tracks_then_holds(self, sim):
+        src = sim.node("src")
+        clk = sim.signal("clk", init=L1)
+        out = sim.node("out")
+        PWLVoltage(sim, "s", src, [(0, 0.0), (100e-9, 5.0)])
+        SampleHold(sim, "sh", src, clk, out)
+        sim.run(50e-9)
+        held = out.v
+        clk.drive(L0)
+        sim.run(100e-9)
+        assert out.v == pytest.approx(held, abs=0.06)
+
+    def test_injected_charge_droops_held_value(self, sim):
+        from repro.faults import TrapezoidPulse
+        from repro.injection import CurrentPulseSaboteur
+
+        src = sim.node("src")
+        clk = sim.signal("clk", init=L0)  # hold from the start
+        out = sim.current_node("out")
+        DCVoltage(sim, "s", src, 2.0)
+        SampleHold(sim, "sh", src, clk, out, c_hold=1e-12)
+        sab = CurrentPulseSaboteur(sim, "sab", out)
+        pulse = TrapezoidPulse("1mA", "100ps", "100ps", "300ps")
+        sab.schedule(pulse, 50e-9)
+        sim.run(200e-9)
+        dv_expected = pulse.charge() / 1e-12
+        assert out.v - 2.0 == pytest.approx(dv_expected, rel=0.1)
+
+    def test_bad_cap_rejected(self, sim):
+        src = sim.node("src")
+        clk = sim.signal("clk", init=L1)
+        out = sim.node("out")
+        with pytest.raises(SimulationError):
+            SampleHold(sim, "sh", src, clk, out, c_hold=0.0)
+
+
+class TestDAC:
+    def test_code_to_voltage(self, sim):
+        bus = Bus(sim, "code", 4, init=8)
+        out = sim.node("out")
+        IdealDAC(sim, "dac", bus, out, v_ref=5.0)
+        sim.run(2e-9)
+        assert out.v == pytest.approx(2.5)
+
+    def test_undefined_bus_holds_last(self, sim):
+        bus = Bus(sim, "code", 4, init=8)
+        out = sim.node("out")
+        IdealDAC(sim, "dac", bus, out, v_ref=5.0)
+        sim.run(2e-9)
+        bus.bits[0].deposit(Logic.X)
+        sim.run(4e-9)
+        assert out.v == pytest.approx(2.5)
+
+    def test_settling_bandwidth(self, sim):
+        bus = Bus(sim, "code", 4, init=0)
+        out = sim.node("out")
+        IdealDAC(sim, "dac", bus, out, v_ref=5.0, settle_hz=1e6)
+        sim.run(2e-9)
+        bus.drive_int(15)
+        sim.run(50e-9)
+        assert out.v < 2.0  # still settling
+
+
+class TestLadder:
+    def test_tap_voltages(self, sim):
+        ladder = ResistorLadder(sim, "lad", n_taps=3, v_top=4.0, v_bottom=0.0)
+        sim.run(2e-9)
+        assert [tap.v for tap in ladder.taps] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_deviations(self, sim):
+        ladder = ResistorLadder(sim, "lad", n_taps=2, v_top=3.0,
+                                deviations=[0.1, -0.1])
+        sim.run(2e-9)
+        assert ladder.taps[0].v == pytest.approx(1.1)
+        assert ladder.taps[1].v == pytest.approx(1.9)
+
+    def test_deviation_count_checked(self, sim):
+        with pytest.raises(SimulationError):
+            ResistorLadder(sim, "lad", n_taps=3, deviations=[0.0])

@@ -1,0 +1,128 @@
+"""Tests for transimpedance loop filters, including charge conservation."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    DCCurrent,
+    TransimpedanceFilter,
+    pi_loop_filter,
+    rc_transimpedance,
+)
+from repro.core import Simulator
+from repro.core.errors import SimulationError
+
+
+class TestFactories:
+    def test_rc_dc_gain_is_r(self):
+        sys_ = rc_transimpedance(1e4, 1e-9)
+        assert float(sys_.dc_gain()[0][0]) == pytest.approx(1e4)
+
+    def test_rc_validates(self):
+        with pytest.raises(SimulationError):
+            rc_transimpedance(-1.0, 1e-9)
+
+    def test_pi_validates(self):
+        with pytest.raises(SimulationError):
+            pi_loop_filter(1e4, 0.0, 1e-12)
+
+    def test_pi_is_integrator(self):
+        """DC current into the PI filter integrates without bound."""
+        sys_ = pi_loop_filter(1e4, 1e-9, 1e-10)
+        with pytest.raises(SimulationError):
+            sys_.dc_gain()
+
+
+class TestRCFilter:
+    def test_dc_current_settles_to_ir(self):
+        sim = Simulator(dt=10e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        DCCurrent(sim, "src", node, 1e-4)
+        TransimpedanceFilter(sim, "filt", node, out,
+                             rc_transimpedance(1e4, 1e-9))
+        sim.run(100e-6)  # >> RC = 10 us
+        assert out.v == pytest.approx(1e-4 * 1e4, rel=1e-3)
+
+    def test_clamp_limits_output(self):
+        sim = Simulator(dt=10e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        DCCurrent(sim, "src", node, 1e-3)  # would settle at 10 V
+        TransimpedanceFilter(sim, "filt", node, out,
+                             rc_transimpedance(1e4, 1e-9),
+                             v_min=0.0, v_max=5.0)
+        sim.run(100e-6)
+        assert out.v == pytest.approx(5.0)
+
+    def test_clamp_recovers_without_windup(self):
+        sim = Simulator(dt=10e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        src = DCCurrent(sim, "src", node, 1e-3)
+        TransimpedanceFilter(sim, "filt", node, out,
+                             rc_transimpedance(1e4, 1e-9),
+                             v_min=0.0, v_max=5.0)
+        sim.run(50e-6)
+        src.amps = 1e-4  # settles at 1 V
+        sim.run(200e-6)  # 15 RC time constants after the change
+        assert out.v == pytest.approx(1.0, rel=1e-2)
+
+
+class TestPIFilter:
+    def test_charge_conservation(self):
+        """A current bolus of charge Q raises the (unloaded) filter to
+        Q / (C1 + C2) at steady state — KCL on the two capacitors."""
+        sim = Simulator(dt=1e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        c1, c2 = 1e-9, 1e-10
+        src = DCCurrent(sim, "src", node, 1e-4)
+        TransimpedanceFilter(sim, "filt", node, out,
+                             pi_loop_filter(1e4, c1, c2))
+        sim.run(10e-6)
+        src.amps = 0.0
+        sim.run(100e-6)  # let charge redistribute
+        q = 1e-4 * 10e-6
+        assert out.v == pytest.approx(q / (c1 + c2), rel=2e-2)
+
+    def test_fast_pulse_hits_c2_first(self):
+        """A sub-ns pulse lands (almost) entirely on C2: the immediate
+        voltage step is ~ Q/C2, later relaxing to Q/(C1+C2)."""
+        from repro.faults import TrapezoidPulse
+        from repro.injection import CurrentPulseSaboteur
+
+        sim = Simulator(dt=1e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        c1, c2 = 1.62e-9, 8e-11
+        TransimpedanceFilter(sim, "filt", node, out,
+                             pi_loop_filter(1.57e4, c1, c2))
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        pulse = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        sab.schedule(pulse, 1e-6)
+        tr = sim.probe(out)
+        sim.run(3e-6)
+        q = pulse.charge()
+        peak = tr.maximum(1e-6, 1.2e-6)
+        assert peak == pytest.approx(q / c2, rel=0.1)
+
+    def test_preset_sets_both_states(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        filt = TransimpedanceFilter(sim, "filt", node, out,
+                                    pi_loop_filter(1e4, 1e-9, 1e-10))
+        filt.preset(2.5)
+        sim.run(10e-6)  # no input current: output must hold
+        assert out.v == pytest.approx(2.5, abs=1e-9)
+
+    def test_multi_input_system_rejected(self):
+        from repro.analog import LTISystem
+
+        sim = Simulator(dt=1e-9)
+        node = sim.current_node("i")
+        out = sim.node("v")
+        two_input = LTISystem(a=[[-1.0]], b=[[1.0, 1.0]], c=[[1.0]])
+        with pytest.raises(SimulationError):
+            TransimpedanceFilter(sim, "filt", node, out, two_input)

@@ -1,0 +1,104 @@
+"""Tests for the behavioural VCO."""
+
+import numpy as np
+import pytest
+
+from repro.analog import DCVoltage, PWLVoltage, VCO
+from repro.core import Simulator
+from repro.core.errors import SimulationError
+from repro.analysis import clock_periods, mean_frequency
+
+
+def run_vco(vctrl_volts, duration=2e-6, dt=1e-9, **kwargs):
+    sim = Simulator(dt=dt)
+    vc = sim.node("vc", init=vctrl_volts)
+    out = sim.node("out")
+    DCVoltage(sim, "src", vc, vctrl_volts)
+    VCO(sim, "vco", vc, out, f0=50e6, kvco=10e6, vcenter=2.5, **kwargs)
+    tr = sim.probe(out)
+    sim.run(duration)
+    return tr
+
+
+class TestFrequency:
+    def test_center_frequency(self):
+        tr = run_vco(2.5)
+        assert mean_frequency(tr, 2.5) == pytest.approx(50e6, rel=1e-3)
+
+    def test_gain_shifts_frequency(self):
+        tr = run_vco(2.6)  # +0.1 V * 10 MHz/V = +1 MHz
+        assert mean_frequency(tr, 2.5) == pytest.approx(51e6, rel=1e-3)
+
+    def test_negative_excursion(self):
+        tr = run_vco(2.0)
+        assert mean_frequency(tr, 2.5) == pytest.approx(45e6, rel=1e-3)
+
+    def test_clamping_at_f_min(self):
+        tr = run_vco(-100.0, duration=10e-6, f_min=1e6)
+        assert mean_frequency(tr, 2.5) == pytest.approx(1e6, rel=1e-2)
+
+    def test_periods_are_uniform(self):
+        tr = run_vco(2.5)
+        _edges, periods = clock_periods(tr, 2.5)
+        assert np.std(periods) < 0.01 * np.mean(periods)
+
+    def test_interpolated_period_resolution_below_dt(self):
+        """Sine output + linear interpolation recovers periods far more
+        precisely than the 1 ns solver step."""
+        tr = run_vco(2.5, dt=1e-9)
+        _edges, periods = clock_periods(tr, 2.5)
+        # nominal 20 ns; measured scatter should be well under 1 ns
+        assert abs(np.mean(periods) - 20e-9) < 0.2e-9
+        assert np.std(periods) < 0.5e-9
+
+
+class TestWaveform:
+    def test_sine_swings_rail_to_rail(self):
+        tr = run_vco(2.5, v_high=5.0)
+        assert tr.maximum() == pytest.approx(5.0, abs=0.05)
+        assert tr.minimum() == pytest.approx(0.0, abs=0.05)
+
+    def test_square_waveform(self):
+        tr = run_vco(2.5, waveform="square")
+        values = np.unique(np.round(tr.values, 3))
+        assert set(values) <= {0.0, 5.0}
+
+    def test_unknown_waveform_rejected(self):
+        sim = Simulator()
+        vc = sim.node("vc")
+        out = sim.node("out")
+        with pytest.raises(SimulationError):
+            VCO(sim, "vco", vc, out, f0=1e6, kvco=1e5, waveform="triangle")
+
+    def test_negative_f0_rejected(self):
+        sim = Simulator()
+        vc = sim.node("vc")
+        out = sim.node("out")
+        with pytest.raises(SimulationError):
+            VCO(sim, "vco", vc, out, f0=-1.0, kvco=1e5)
+
+
+class TestDynamics:
+    def test_tracks_control_ramp(self):
+        """Frequency follows a slow control-voltage ramp."""
+        sim = Simulator(dt=1e-9)
+        vc = sim.node("vc", init=2.5)
+        out = sim.node("out")
+        PWLVoltage(sim, "src", vc, [(0.0, 2.5), (10e-6, 3.0)])
+        VCO(sim, "vco", vc, out, f0=50e6, kvco=10e6, vcenter=2.5)
+        tr = sim.probe(out)
+        sim.run(10e-6)
+        f_start = mean_frequency(tr, 2.5, t0=0, t1=1e-6)
+        f_end = mean_frequency(tr, 2.5, t0=9e-6, t1=10e-6)
+        assert f_end > f_start
+        assert f_end == pytest.approx(50e6 + 10e6 * 0.475, rel=5e-3)
+
+    def test_phase_accumulator_wraps_safely(self):
+        sim = Simulator(dt=1e-9)
+        vc = sim.node("vc", init=2.5)
+        out = sim.node("out")
+        DCVoltage(sim, "src", vc, 2.5)
+        vco = VCO(sim, "vco", vc, out, f0=50e6, kvco=10e6)
+        vco.phase = 1e6 + 0.25  # force a wrap
+        sim.run(1e-6)
+        assert vco.phase < 1e6 + 1.0

@@ -1,0 +1,111 @@
+"""Tests for the jitter decomposition module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.jitter import (
+    analyze_jitter,
+    cycle_to_cycle_jitter,
+    phase_slip_cycles,
+    time_interval_error,
+)
+from repro.core import Trace
+from repro.core.errors import MeasurementError
+
+
+def clock_trace(periods, t_start=0.0, name="clk"):
+    """Synthesise a sine clock with the given period sequence."""
+    times = []
+    values = []
+    t = t_start
+    for period in periods:
+        for k in range(20):
+            times.append(t + period * k / 20)
+            values.append(2.5 + 2.5 * np.sin(2 * np.pi * k / 20))
+        t += period
+    times.append(t)
+    values.append(2.5)
+    return Trace.from_arrays(name, times, values)
+
+
+class TestCleanClock:
+    def test_zero_jitter(self):
+        tr = clock_trace([20e-9] * 50)
+        report = analyze_jitter(tr)
+        assert report.period_mean == pytest.approx(20e-9, rel=1e-6)
+        assert report.period_jitter_rms < 1e-14
+        assert report.c2c_jitter_rms < 1e-14
+        assert abs(report.tie_final) < 1e-13
+
+    def test_needs_three_edges(self):
+        tr = clock_trace([20e-9])
+        with pytest.raises(MeasurementError):
+            analyze_jitter(tr)
+
+
+class TestDisturbedClock:
+    def make_glitch(self):
+        # one long period in the middle of a clean train
+        periods = [20e-9] * 20 + [22e-9] + [20e-9] * 20
+        return clock_trace(periods)
+
+    def test_period_jitter_detects_glitch(self):
+        report = analyze_jitter(self.make_glitch(), nominal_period=20e-9)
+        assert report.period_jitter_pp == pytest.approx(2e-9, rel=0.05)
+
+    def test_c2c_jitter_sees_both_sides(self):
+        _edges, c2c = cycle_to_cycle_jitter(self.make_glitch())
+        # +2 ns entering the long cycle, -2 ns leaving it
+        assert np.max(c2c) == pytest.approx(2e-9, rel=0.05)
+        assert np.min(c2c) == pytest.approx(-2e-9, rel=0.05)
+
+    def test_tie_remembers_the_slip(self):
+        """Periods recover after the glitch but TIE stays displaced —
+        the integral view of the Section 5.2 feed-through."""
+        _edges, tie = time_interval_error(self.make_glitch(),
+                                          nominal_period=20e-9)
+        assert tie[-1] == pytest.approx(2e-9, rel=0.05)
+
+    def test_phase_slip_cycles(self):
+        periods = [20e-9] * 10 + [30e-9] * 2 + [20e-9] * 10
+        tr = clock_trace(periods)
+        slip = phase_slip_cycles(tr, 20e-9)
+        assert slip == pytest.approx(1.0, rel=0.05)
+
+    def test_mean_detrending_hides_static_offset(self):
+        """With nominal derived from the data, a static frequency
+        offset contributes no TIE; against the true nominal it does."""
+        tr = clock_trace([21e-9] * 40)
+        _e, tie_auto = time_interval_error(tr)
+        _e, tie_ref = time_interval_error(tr, nominal_period=20e-9)
+        assert np.ptp(tie_auto) < 1e-13
+        assert tie_ref[-1] == pytest.approx(40e-9, rel=0.05)
+
+
+class TestReportRendering:
+    def test_summary_text(self):
+        tr = clock_trace([20e-9] * 30)
+        text = analyze_jitter(tr).summary()
+        assert "cycle-to-cycle" in text
+        assert "ns" in text and "ps" in text
+
+
+class TestOnRealPLL:
+    def test_injection_shows_in_tie(self):
+        from repro.core import Simulator
+        from repro.faults import FIGURE6_PULSE
+        from repro.injection import CurrentPulseSaboteur
+        from tests.conftest import make_fast_pll
+
+        sim = Simulator(dt=1e-9)
+        pll = make_fast_pll(sim, preset_locked=True)
+        sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+        sab.schedule(FIGURE6_PULSE, 12e-6)
+        vco = sim.probe(pll.vco_out)
+        sim.run(25e-6)
+        quiet = analyze_jitter(vco, nominal_period=20e-9,
+                               t0=5e-6, t1=11e-6)
+        hit = analyze_jitter(vco, nominal_period=20e-9,
+                             t0=11e-6, t1=20e-6)
+        assert hit.period_jitter_pp > 5 * quiet.period_jitter_pp
+        assert hit.tie_pp > 5 * quiet.tie_pp

@@ -1,0 +1,130 @@
+"""Tests for waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    clock_edges,
+    clock_periods,
+    frequency_trace,
+    is_locked,
+    lock_time,
+    mean_frequency,
+    peak_deviation,
+    period_jitter,
+    rise_time,
+    settling_time,
+)
+from repro.core import Trace
+from repro.core.errors import MeasurementError
+
+
+def sine_trace(freq=50e6, duration=1e-6, dt=1e-9, amp=2.5, offset=2.5,
+               jitter=None, name="clk"):
+    times = np.arange(0.0, duration, dt)
+    phase = 2 * np.pi * freq * times
+    if jitter is not None:
+        phase = phase + jitter(times)
+    return Trace.from_arrays(name, times, offset + amp * np.sin(phase))
+
+
+class TestClockMeasurements:
+    def test_edges_count(self):
+        tr = sine_trace()
+        assert len(clock_edges(tr, 2.5)) == pytest.approx(50, abs=1)
+
+    def test_periods_mean(self):
+        tr = sine_trace()
+        _edges, periods = clock_periods(tr, 2.5)
+        assert np.mean(periods) == pytest.approx(20e-9, rel=1e-3)
+
+    def test_too_few_edges_raises(self):
+        tr = Trace.from_arrays("flat", [0, 1], [0.0, 0.0])
+        with pytest.raises(MeasurementError):
+            clock_periods(tr, 2.5)
+
+    def test_frequency_trace(self):
+        tr = sine_trace(freq=10e6, duration=2e-6)
+        _times, freqs = frequency_trace(tr, 2.5)
+        assert np.mean(freqs) == pytest.approx(10e6, rel=1e-3)
+
+    def test_mean_frequency_windowed(self):
+        tr = sine_trace(duration=2e-6)
+        f = mean_frequency(tr, 2.5, t0=1e-6, t1=2e-6)
+        assert f == pytest.approx(50e6, rel=1e-3)
+
+    def test_period_jitter_of_clean_clock_is_small(self):
+        tr = sine_trace()
+        assert period_jitter(tr, 2.5) < 0.05e-9
+
+    def test_period_jitter_detects_modulation(self):
+        wobble = lambda t: 0.5 * np.sin(2 * np.pi * 1e6 * t)
+        tr = sine_trace(jitter=wobble)
+        # 0.5 rad of 1 MHz phase modulation on a 50 MHz carrier gives
+        # ~1% peak period deviation, i.e. ~0.14 ns RMS.
+        assert period_jitter(tr, 2.5) > 0.1e-9
+
+
+class TestLockDetection:
+    def test_locked_clean_clock(self):
+        tr = sine_trace(duration=2e-6)
+        assert is_locked(tr, 20e-9, tol_frac=0.01)
+        assert lock_time(tr, 20e-9) < 1e-6
+
+    def test_never_locks_wrong_period(self):
+        tr = sine_trace(duration=2e-6)
+        assert not is_locked(tr, 25e-9, tol_frac=0.01)
+
+    def test_lock_time_after_transient(self):
+        # Frequency settles from 40 MHz to 50 MHz exponentially.
+        times = np.arange(0.0, 4e-6, 1e-9)
+        f_inst = 50e6 - 10e6 * np.exp(-times / 0.5e-6)
+        phase = 2 * np.pi * np.cumsum(f_inst) * 1e-9
+        tr = Trace.from_arrays("clk", times, 2.5 + 2.5 * np.sin(phase))
+        t_lock = lock_time(tr, 20e-9, tol_frac=0.01, consecutive=10)
+        assert 0.5e-6 < t_lock < 3e-6
+
+    def test_unlocked_raises(self):
+        tr = sine_trace(duration=1e-6)
+        with pytest.raises(MeasurementError):
+            lock_time(tr, 40e-9)
+
+
+class TestSettling:
+    def test_settling_time_exponential(self):
+        times = np.arange(0.0, 10e-6, 10e-9)
+        values = 1.0 - np.exp(-times / 1e-6)
+        tr = Trace.from_arrays("v", times, values)
+        ts = settling_time(tr, 1.0, tol=0.01)
+        assert ts == pytest.approx(1e-6 * np.log(100), rel=0.05)
+
+    def test_settled_from_start(self):
+        tr = Trace.from_arrays("v", [0, 1e-6], [1.0, 1.0])
+        assert settling_time(tr, 1.0, tol=0.01) == 0.0
+
+    def test_peak_deviation(self):
+        times = np.arange(0.0, 1e-6, 1e-9)
+        values = 2.5 + 0.08 * np.exp(-times / 1e-7)
+        tr = Trace.from_arrays("v", times, values)
+        assert peak_deviation(tr, 2.5) == pytest.approx(0.08, rel=0.01)
+
+    def test_peak_deviation_windowed(self):
+        times = np.arange(0.0, 1e-6, 1e-9)
+        values = np.where(times < 0.5e-6, 2.5, 3.0)
+        tr = Trace.from_arrays("v", times, values)
+        assert peak_deviation(tr, 2.5, t1=0.4e-6) == pytest.approx(0.0)
+        assert peak_deviation(tr, 2.5, t0=0.6e-6) == pytest.approx(0.5)
+
+
+class TestRiseTime:
+    def test_linear_ramp(self):
+        times = np.linspace(0, 100e-9, 101)
+        values = np.clip(times / 100e-9, 0, 1) * 5.0
+        tr = Trace.from_arrays("v", times, values)
+        # 10-90% of a 100 ns full-swing ramp = 80 ns.
+        assert rise_time(tr, 0.0, 5.0) == pytest.approx(80e-9, rel=0.02)
+
+    def test_no_transition_raises(self):
+        tr = Trace.from_arrays("v", [0, 1e-6], [0.0, 0.0])
+        with pytest.raises(MeasurementError):
+            rise_time(tr, 0.0, 5.0)

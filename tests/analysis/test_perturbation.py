@@ -1,0 +1,106 @@
+"""Tests for the perturbation metrics (the paper's key observable)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_perturbation, perturbed_cycles
+from repro.core import Trace
+from repro.core.errors import MeasurementError
+
+
+def perturbed_clock(t_inj=1e-6, depth=0.02, recovery=0.5e-6,
+                    duration=4e-6, dt=1e-9, f0=50e6):
+    """A 50 MHz clock whose frequency dips by `depth` after t_inj and
+    recovers exponentially — the canonical post-injection shape."""
+    times = np.arange(0.0, duration, dt)
+    f_inst = np.where(
+        times < t_inj,
+        f0,
+        f0 * (1.0 - depth * np.exp(-(times - t_inj) / recovery)),
+    )
+    phase = 2 * np.pi * np.cumsum(f_inst) * dt
+    clock = Trace.from_arrays("clk", times, 2.5 + 2.5 * np.sin(phase))
+    vctrl = Trace.from_arrays(
+        "vctrl", times,
+        2.5 - 0.1 * depth / 0.02 * np.exp(
+            -np.maximum(times - t_inj, 0) / recovery
+        ) * (times >= t_inj),
+    )
+    return clock, vctrl
+
+
+class TestPerturbedCycles:
+    def test_clean_clock_has_none(self):
+        clock, _v = perturbed_clock(depth=0.0)
+        hits = perturbed_cycles(clock, 1e-6, 20e-9, tol_frac=0.003)
+        assert len(hits) == 0
+
+    def test_perturbation_detected(self):
+        clock, _v = perturbed_clock(depth=0.02)
+        hits = perturbed_cycles(clock, 1e-6, 20e-9, tol_frac=0.003)
+        assert len(hits) > 10
+
+    def test_only_after_injection(self):
+        clock, _v = perturbed_clock(depth=0.02)
+        hits = perturbed_cycles(clock, 1e-6, 20e-9, tol_frac=0.003)
+        assert np.all(hits >= 1e-6)
+
+
+class TestAnalyzePerturbation:
+    def test_multi_cycle_impact(self):
+        """The Section 5.2 shape: a sub-ns fault, many bad cycles."""
+        clock, vctrl = perturbed_clock()
+        report = analyze_perturbation(
+            clock, 1e-6, 800e-12, 20e-9, tol_frac=0.003,
+            vctrl_trace=vctrl, vctrl_nominal=2.5, vctrl_tol=0.01,
+        )
+        assert report.multi_cycle()
+        assert report.perturbed_cycles > 10
+        assert report.amplification > 100
+        assert report.fault_to_period_ratio == pytest.approx(0.04)
+        assert report.max_period_deviation_frac == pytest.approx(0.02, rel=0.2)
+        assert report.vctrl_disturbance_duration > 0.5e-6
+        assert report.max_vctrl_deviation == pytest.approx(0.1, rel=0.05)
+
+    def test_silent_injection(self):
+        clock, vctrl = perturbed_clock(depth=0.0)
+        report = analyze_perturbation(
+            clock, 1e-6, 800e-12, 20e-9, tol_frac=0.003,
+            vctrl_trace=vctrl, vctrl_nominal=2.5,
+        )
+        assert report.perturbed_cycles == 0
+        assert report.perturbed_span == 0.0
+        assert not report.multi_cycle()
+
+    def test_no_cycles_after_injection_raises(self):
+        clock, _v = perturbed_clock(duration=2e-6)
+        with pytest.raises(MeasurementError):
+            analyze_perturbation(clock, 5e-6, 800e-12, 20e-9)
+
+    def test_vctrl_nominal_auto_estimated(self):
+        clock, vctrl = perturbed_clock()
+        report = analyze_perturbation(
+            clock, 1e-6, 800e-12, 20e-9, tol_frac=0.003,
+            vctrl_trace=vctrl,
+        )
+        assert report.max_vctrl_deviation == pytest.approx(0.1, rel=0.1)
+
+    def test_summary_is_readable(self):
+        clock, vctrl = perturbed_clock()
+        report = analyze_perturbation(
+            clock, 1e-6, 800e-12, 20e-9, tol_frac=0.003,
+            vctrl_trace=vctrl, vctrl_nominal=2.5,
+        )
+        text = report.summary()
+        assert "perturbed cycles" in text
+        assert "vctrl" in text
+
+    def test_deeper_dip_more_cycles(self):
+        shallow, _ = perturbed_clock(depth=0.005)
+        deep, _ = perturbed_clock(depth=0.04)
+        r_shallow = analyze_perturbation(shallow, 1e-6, 8e-10, 20e-9,
+                                         tol_frac=0.003)
+        r_deep = analyze_perturbation(deep, 1e-6, 8e-10, 20e-9,
+                                      tol_frac=0.003)
+        assert r_deep.perturbed_cycles > r_shallow.perturbed_cycles
+        assert r_deep.max_period_deviation > r_shallow.max_period_deviation

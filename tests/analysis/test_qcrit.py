@@ -1,0 +1,114 @@
+"""Tests for critical-charge estimation."""
+
+import pytest
+
+from repro.analysis.qcrit import (
+    QcritResult,
+    find_critical_charge,
+    scaled_pulse,
+)
+from repro.core.errors import MeasurementError
+from repro.faults import FIGURE6_PULSE, TrapezoidPulse
+
+REF = TrapezoidPulse("1mA", "100ps", "300ps", "500ps")
+
+
+class TestScaledPulse:
+    def test_charge_set_exactly(self):
+        pulse = scaled_pulse(REF, 2e-12)
+        assert pulse.charge() == pytest.approx(2e-12)
+
+    def test_shape_preserved(self):
+        pulse = scaled_pulse(REF, 2e-12)
+        assert pulse.rt == REF.rt
+        assert pulse.ft == REF.ft
+        assert pulse.pw == REF.pw
+
+    def test_invalid_charge(self):
+        with pytest.raises(MeasurementError):
+            scaled_pulse(REF, 0.0)
+
+
+class TestBisection:
+    def test_finds_synthetic_threshold(self):
+        threshold = 3.7e-13
+
+        def errored(pulse):
+            return abs(pulse.charge()) >= threshold
+
+        result = find_critical_charge(errored, REF, q_lo=1e-15,
+                                      q_hi=1e-11, rel_tol=0.02)
+        assert result.q_crit == pytest.approx(threshold, rel=0.05)
+        assert result.q_pass < threshold <= result.q_fail
+        assert result.uncertainty <= 0.02 * result.q_crit
+
+    def test_history_records_all_runs(self):
+        def errored(pulse):
+            return abs(pulse.charge()) >= 1e-13
+
+        result = find_critical_charge(errored, REF, q_lo=1e-15, q_hi=1e-11)
+        assert len(result.history) == result.evaluations
+        # Every recorded verdict is consistent with the threshold.
+        for charge, verdict in result.history:
+            assert verdict == (charge >= 1e-13)
+
+    def test_bad_bracket_low(self):
+        with pytest.raises(MeasurementError):
+            find_critical_charge(lambda p: True, REF)
+
+    def test_bad_bracket_high(self):
+        with pytest.raises(MeasurementError):
+            find_critical_charge(lambda p: False, REF)
+
+    def test_bad_range(self):
+        with pytest.raises(MeasurementError):
+            find_critical_charge(lambda p: True, REF, q_lo=1e-11,
+                                 q_hi=1e-12)
+
+    def test_evaluation_cap(self):
+        def errored(pulse):
+            return abs(pulse.charge()) >= 1e-13
+
+        result = find_critical_charge(errored, REF, q_lo=1e-16,
+                                      q_hi=1e-10, rel_tol=1e-9,
+                                      max_evaluations=10)
+        assert result.evaluations == 10
+
+    def test_summary(self):
+        result = QcritResult(q_crit=1e-13, q_pass=0.9e-13, q_fail=1.1e-13,
+                             evaluations=7, history=[])
+        assert "fC" in result.summary()
+
+
+class TestOnRealCircuit:
+    def test_pll_qcrit(self):
+        """Qcrit of the fast PLL's filter node: the smallest charge
+        that perturbs more than a couple of clock periods."""
+        from repro.analysis import analyze_perturbation
+        from repro.core import Simulator
+        from repro.injection import CurrentPulseSaboteur
+        from tests.conftest import make_fast_pll
+
+        T_INJ = 12e-6
+
+        def errored(pulse):
+            sim = Simulator(dt=1e-9)
+            pll = make_fast_pll(sim, preset_locked=True)
+            sab = CurrentPulseSaboteur(sim, "sab", pll.icp)
+            sab.schedule(pulse, T_INJ)
+            vco = sim.probe(pll.vco_out)
+            sim.run(18e-6)
+            report = analyze_perturbation(
+                vco.segment(8e-6, None), T_INJ, pulse.pw,
+                pll.t_out_nominal, tol_frac=0.003,
+            )
+            return report.perturbed_cycles > 2
+
+        result = find_critical_charge(
+            errored, FIGURE6_PULSE, q_lo=1e-15, q_hi=FIGURE6_PULSE.charge(),
+            rel_tol=0.2, max_evaluations=12,
+        )
+        # the Figure 6 pulse (6 pC) is far above threshold; the
+        # threshold must be a small fraction of it
+        assert result.q_crit < 0.2 * FIGURE6_PULSE.charge()
+        assert result.q_crit > 1e-15

@@ -1,0 +1,72 @@
+"""Tests for sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis import SensitivitySweep
+from repro.core.errors import MeasurementError
+from repro.faults import FIGURE8_PULSES
+
+
+class TestSweep:
+    def test_run_over_pulses(self):
+        sweep = SensitivitySweep()
+        sweep.run(FIGURE8_PULSES,
+                  lambda p: {"peak_dev": p.charge() * 1e9})
+        assert len(sweep.points) == 4
+        assert sweep.points[0].charge == pytest.approx(
+            FIGURE8_PULSES[0].charge())
+
+    def test_monotonic_in_charge(self):
+        sweep = SensitivitySweep()
+        sweep.run(FIGURE8_PULSES, lambda p: {"m": p.charge() * 2.0})
+        assert sweep.is_monotonic_in_charge("m")
+        assert sweep.is_monotonic_in_charge("m", strict=True)
+
+    def test_non_monotonic_detected(self):
+        sweep = SensitivitySweep()
+        sweep.add("a", 1e-12, {"m": 5.0})
+        sweep.add("b", 2e-12, {"m": 1.0})
+        assert not sweep.is_monotonic_in_charge("m")
+
+    def test_spearman_perfect_correlation(self):
+        sweep = SensitivitySweep()
+        for k in range(5):
+            sweep.add(f"p{k}", k * 1e-12, {"m": k * 3.0})
+        assert sweep.spearman("m") == pytest.approx(1.0)
+
+    def test_spearman_needs_three_points(self):
+        sweep = SensitivitySweep()
+        sweep.add("a", 1e-12, {"m": 1.0})
+        sweep.add("b", 2e-12, {"m": 2.0})
+        with pytest.raises(MeasurementError):
+            sweep.spearman("m")
+
+    def test_metric_series_order(self):
+        sweep = SensitivitySweep()
+        sweep.add("a", 2e-12, {"m": 1.0})
+        sweep.add("b", 1e-12, {"m": 2.0})
+        charges, values = sweep.metric_series("m")
+        assert list(charges) == [2e-12, 1e-12]
+        assert list(values) == [1.0, 2.0]
+
+    def test_unknown_metric(self):
+        sweep = SensitivitySweep()
+        sweep.add("a", 1e-12, {"m": 1.0})
+        with pytest.raises(MeasurementError):
+            sweep.points[0].metric("nope")
+
+    def test_table_rendering(self):
+        sweep = SensitivitySweep()
+        sweep.run(FIGURE8_PULSES[:2], lambda p: {"cycles": 42})
+        text = sweep.table(["cycles"])
+        assert "charge (pC)" in text
+        assert "42" in text
+
+    def test_custom_label_and_charge_fns(self):
+        sweep = SensitivitySweep()
+        sweep.run([1, 2, 3],
+                  lambda v: {"m": v},
+                  label_fn=lambda v: f"v{v}",
+                  charge_fn=lambda v: v * 1e-12)
+        assert sweep.points[0].label == "v1"
+        assert sweep.is_monotonic_in_charge("m", strict=True)

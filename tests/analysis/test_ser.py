@@ -1,0 +1,105 @@
+"""Tests for the soft-error-rate model."""
+
+import math
+
+import pytest
+
+from repro.analysis.ser import (
+    SEA_LEVEL_NEUTRON_FLUX,
+    SERModel,
+    compare_nodes,
+    format_ser_table,
+)
+from repro.core.errors import MeasurementError
+
+
+class TestModel:
+    def test_rate_positive_and_decreasing_in_qcrit(self):
+        model = SERModel()
+        soft = model.upset_rate(100e-15, 1e-8)
+        hard = model.upset_rate(500e-15, 1e-8)
+        assert soft > hard > 0
+
+    def test_exponential_slope(self):
+        model = SERModel(q_s=25e-15)
+        r1 = model.upset_rate(100e-15, 1e-8)
+        r2 = model.upset_rate(125e-15, 1e-8)
+        assert r1 / r2 == pytest.approx(math.e, rel=1e-9)
+
+    def test_rate_linear_in_area_and_flux(self):
+        model = SERModel()
+        base = model.upset_rate(200e-15, 1e-8)
+        assert model.upset_rate(200e-15, 2e-8) == pytest.approx(2 * base)
+        double_flux = SERModel(flux=2 * SEA_LEVEL_NEUTRON_FLUX)
+        assert double_flux.upset_rate(200e-15, 1e-8) == pytest.approx(2 * base)
+
+    def test_fit_conversion(self):
+        model = SERModel()
+        rate = model.upset_rate(200e-15, 1e-8)
+        assert model.fit_rate(200e-15, 1e-8) == pytest.approx(
+            rate * 3600e9)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            SERModel(flux=0.0)
+        model = SERModel()
+        with pytest.raises(MeasurementError):
+            model.upset_rate(0.0, 1e-8)
+        with pytest.raises(MeasurementError):
+            model.upset_rate(1e-13, 0.0)
+
+
+class TestInverse:
+    # A 10^-4 cm^2 block has a zero-charge ceiling of ~29 FIT with the
+    # default constants; budgets below that are attainable.
+    AREA = 1e-4
+
+    def test_roundtrip(self):
+        model = SERModel()
+        q = model.qcrit_for_fit_target(1.0, self.AREA)
+        assert q > 0
+        assert model.fit_rate(q, self.AREA) == pytest.approx(1.0, rel=1e-6)
+
+    def test_generous_budget_needs_no_charge(self):
+        model = SERModel()
+        q = model.qcrit_for_fit_target(1e30, self.AREA)
+        assert q == 0.0
+
+    def test_tighter_budget_needs_more_charge(self):
+        model = SERModel()
+        q_loose = model.qcrit_for_fit_target(10.0, self.AREA)
+        q_tight = model.qcrit_for_fit_target(0.1, self.AREA)
+        assert q_tight > q_loose > 0
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            SERModel().qcrit_for_fit_target(0.0, 1e-8)
+
+
+class TestDerating:
+    def test_masking_scales_rate(self):
+        model = SERModel()
+        assert model.derate(100.0, 0.075) == pytest.approx(7.5)
+
+    def test_bounds(self):
+        model = SERModel()
+        with pytest.raises(MeasurementError):
+            model.derate(1.0, 1.5)
+
+
+class TestNodeComparison:
+    def test_sorted_most_sensitive_first(self):
+        model = SERModel()
+        rows = compare_nodes(model, [
+            ("pll.icp", 446e-15),
+            ("adc.held", 160e-15),
+            ("dll.icp", 3190e-15),
+        ])
+        assert [name for name, _q, _f in rows] == \
+            ["adc.held", "pll.icp", "dll.icp"]
+
+    def test_table_rendering(self):
+        model = SERModel()
+        rows = compare_nodes(model, [("n1", 200e-15)])
+        text = format_ser_table(rows)
+        assert "Qcrit (fC)" in text and "n1" in text

@@ -1,0 +1,103 @@
+"""Tests for fault classification."""
+
+from repro.campaign import (
+    FAILURE,
+    LATENT,
+    SILENT,
+    TRANSIENT_ERROR,
+    classify,
+)
+from repro.campaign.compare import TraceComparison
+
+
+def cmp_result(name, diverged=False, final_match=True, first=None,
+               mismatch=0.0):
+    return TraceComparison(
+        name=name,
+        match=not diverged,
+        first_divergence=first if diverged else None,
+        last_divergence=first if diverged else None,
+        mismatch_time=mismatch,
+        max_deviation=1.0 if diverged else 0.0,
+        final_match=final_match,
+    )
+
+
+class TestLabels:
+    def test_all_matching_is_silent(self):
+        comparisons = {
+            "out": cmp_result("out"),
+            "state": cmp_result("state"),
+        }
+        assert classify(comparisons, ["out"]).label == SILENT
+
+    def test_internal_persistent_divergence_is_latent(self):
+        comparisons = {
+            "out": cmp_result("out"),
+            "state": cmp_result("state", diverged=True, final_match=False,
+                                first=1e-6),
+        }
+        result = classify(comparisons, ["out"])
+        assert result.label == LATENT
+        assert result.latent_traces == ["state"]
+
+    def test_internal_healed_divergence_is_silent(self):
+        comparisons = {
+            "out": cmp_result("out"),
+            "state": cmp_result("state", diverged=True, final_match=True,
+                                first=1e-6),
+        }
+        result = classify(comparisons, ["out"])
+        assert result.label == SILENT
+        assert result.diverged_internal == ["state"]
+
+    def test_recovered_output_is_transient_error(self):
+        comparisons = {
+            "out": cmp_result("out", diverged=True, final_match=True,
+                              first=2e-6, mismatch=1e-7),
+        }
+        result = classify(comparisons, ["out"])
+        assert result.label == TRANSIENT_ERROR
+        assert result.first_output_divergence == 2e-6
+        assert result.output_mismatch_time == 1e-7
+
+    def test_persistent_output_divergence_is_failure(self):
+        comparisons = {
+            "out": cmp_result("out", diverged=True, final_match=False,
+                              first=2e-6),
+        }
+        assert classify(comparisons, ["out"]).label == FAILURE
+
+    def test_failure_dominates_latent(self):
+        comparisons = {
+            "out": cmp_result("out", diverged=True, final_match=False,
+                              first=3e-6),
+            "state": cmp_result("state", diverged=True, final_match=False,
+                                first=1e-6),
+        }
+        result = classify(comparisons, ["out"])
+        assert result.label == FAILURE
+        assert result.diverged_internal == ["state"]
+
+    def test_earliest_output_divergence_reported(self):
+        comparisons = {
+            "out1": cmp_result("out1", diverged=True, first=5e-6),
+            "out2": cmp_result("out2", diverged=True, first=2e-6),
+        }
+        result = classify(comparisons, ["out1", "out2"])
+        assert result.first_output_divergence == 2e-6
+        assert sorted(result.diverged_outputs) == ["out1", "out2"]
+
+
+class TestSeverity:
+    def test_severity_ordering(self):
+        comparisons_silent = {"out": cmp_result("out")}
+        comparisons_failure = {
+            "out": cmp_result("out", diverged=True, final_match=False,
+                              first=1e-6)
+        }
+        silent = classify(comparisons_silent, ["out"])
+        failure = classify(comparisons_failure, ["out"])
+        assert failure.severity > silent.severity
+        assert not silent.is_error()
+        assert failure.is_error()

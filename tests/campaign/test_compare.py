@@ -1,0 +1,193 @@
+"""Tests for golden-vs-faulty trace comparison."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import compare_probe_sets, compare_traces
+from repro.core import L0, L1, Logic, STEP, Trace
+from repro.core.errors import MeasurementError
+
+
+def analog(name, values, dt=1e-9):
+    times = np.arange(len(values)) * dt
+    return Trace.from_arrays(name, times, values)
+
+
+def digital(name, samples):
+    tr = Trace(name, interp=STEP)
+    for t, v in samples:
+        tr.append(t, v)
+    return tr
+
+
+class TestAnalogComparison:
+    def test_identical_match(self):
+        a = analog("v", [1.0, 2.0, 3.0])
+        b = analog("v", [1.0, 2.0, 3.0])
+        result = compare_traces(a, b, tolerance=0.01)
+        assert result.match
+        assert result.first_divergence is None
+        assert result.mismatch_time == 0.0
+        assert result.final_match
+
+    def test_within_tolerance_matches(self):
+        a = analog("v", [1.0, 2.0, 3.0])
+        b = analog("v", [1.004, 2.0, 2.996])
+        assert compare_traces(a, b, tolerance=0.01).match
+
+    def test_outside_tolerance_diverges(self):
+        a = analog("v", [1.0, 2.0, 3.0, 4.0])
+        b = analog("v", [1.0, 2.5, 3.0, 4.0])
+        result = compare_traces(a, b, tolerance=0.01)
+        assert result.diverged
+        assert result.first_divergence == pytest.approx(1e-9)
+        assert result.max_deviation == pytest.approx(0.5)
+        assert result.final_match  # recovered by the end
+
+    def test_final_mismatch_flagged(self):
+        a = analog("v", [1.0, 1.0, 1.0])
+        b = analog("v", [1.0, 1.0, 9.0])
+        result = compare_traces(a, b, tolerance=0.01)
+        assert not result.final_match
+
+    def test_mismatch_time_accumulates(self):
+        a = analog("v", [0.0] * 10)
+        values = [0.0] * 10
+        values[3] = 1.0
+        values[4] = 1.0
+        b = analog("v", values)
+        result = compare_traces(a, b, tolerance=0.1)
+        assert result.mismatch_time >= 2e-9
+
+    def test_comparison_window(self):
+        a = analog("v", [0.0, 5.0, 0.0, 0.0])
+        b = analog("v", [0.0, 0.0, 0.0, 0.0])
+        # Full window diverges; window after the glitch matches.
+        assert compare_traces(a, b, tolerance=0.1).diverged
+        assert compare_traces(a, b, tolerance=0.1, t0=2e-9).match
+
+    def test_empty_window_raises(self):
+        a = analog("v", [0.0, 1.0])
+        b = analog("v", [0.0, 1.0])
+        with pytest.raises(MeasurementError):
+            compare_traces(a, b, t0=5.0, t1=1.0)
+
+
+class TestDigitalComparison:
+    def test_exact_match_required(self):
+        a = digital("q", [(0, L0), (5e-9, L1)])
+        b = digital("q", [(0, L0), (5e-9, L1)])
+        assert compare_traces(a, b, tolerance=0.0).match
+
+    def test_shifted_edge_diverges(self):
+        a = digital("q", [(0, L0), (5e-9, L1)])
+        b = digital("q", [(0, L0), (7e-9, L1)])
+        result = compare_traces(a, b, tolerance=0.0)
+        assert result.diverged
+        assert result.first_divergence == pytest.approx(5e-9)
+
+    def test_x_vs_value_diverges(self):
+        a = digital("q", [(0, L0), (5e-9, L1)])
+        b = digital("q", [(0, L0), (5e-9, Logic.X)])
+        result = compare_traces(a, b, tolerance=0.0)
+        assert result.diverged
+        assert result.max_deviation == float("inf")
+
+    def test_x_vs_x_matches(self):
+        a = digital("q", [(0, Logic.X), (5e-9, L1)])
+        b = digital("q", [(0, Logic.X), (5e-9, L1)])
+        assert compare_traces(a, b, tolerance=0.0).match
+
+
+class TestProbeSets:
+    def test_mixed_set(self):
+        golden = {
+            "out": digital("out", [(0, L0), (5e-9, L1)]),
+            "vctrl": analog("vctrl", [2.5] * 10),
+        }
+        faulty = {
+            "out": digital("out", [(0, L0), (5e-9, L1)]),
+            "vctrl": analog("vctrl", [2.5] * 9 + [2.6]),
+        }
+        results = compare_probe_sets(golden, faulty, analog_tolerance=0.01)
+        assert results["out"].match
+        assert results["vctrl"].diverged
+
+    def test_analog_tolerance_applies_only_to_linear(self):
+        golden = {"vctrl": analog("vctrl", [2.5] * 10)}
+        faulty = {"vctrl": analog("vctrl", [2.505] * 10)}
+        results = compare_probe_sets(golden, faulty, analog_tolerance=0.01)
+        assert results["vctrl"].match
+
+    def test_per_name_override(self):
+        golden = {"vctrl": analog("vctrl", [2.5] * 10)}
+        faulty = {"vctrl": analog("vctrl", [2.505] * 10)}
+        results = compare_probe_sets(
+            golden, faulty, tolerances={"vctrl": 0.001}
+        )
+        assert results["vctrl"].diverged
+
+    def test_probe_set_mismatch_raises(self):
+        with pytest.raises(MeasurementError):
+            compare_probe_sets(
+                {"a": analog("a", [0.0, 0.0])}, {"b": analog("b", [0.0, 0.0])}
+            )
+
+
+class TestDigitalEdgeTolerance:
+    """compare_digital_edges: edge-time-tolerant clock comparison."""
+
+    def _clock(self, name, edges, t_end=100e-9):
+        tr = digital(name, [(0.0, L0)])
+        level = L0
+        for t in edges:
+            level = L1 if level is L0 else L0
+            tr.append(t, level)
+        tr.append(t_end, level)
+        return tr
+
+    def test_identical_clocks_match(self):
+        from repro.campaign import compare_probe_sets
+        from repro.campaign.compare import compare_digital_edges
+
+        a = self._clock("clk", [10e-9, 20e-9, 30e-9])
+        b = self._clock("clk", [10e-9, 20e-9, 30e-9])
+        assert compare_digital_edges(a, b, 1e-9).match
+
+    def test_small_shift_within_tolerance(self):
+        from repro.campaign.compare import compare_digital_edges
+
+        a = self._clock("clk", [10e-9, 20e-9, 30e-9])
+        b = self._clock("clk", [10.4e-9, 20e-9, 29.7e-9])
+        result = compare_digital_edges(a, b, 0.5e-9)
+        assert result.match
+        assert result.max_deviation == pytest.approx(0.4e-9)
+
+    def test_large_shift_diverges(self):
+        from repro.campaign.compare import compare_digital_edges
+
+        a = self._clock("clk", [10e-9, 20e-9, 30e-9])
+        b = self._clock("clk", [10e-9, 22e-9, 30e-9])
+        result = compare_digital_edges(a, b, 0.5e-9)
+        assert result.diverged
+        assert result.first_divergence == pytest.approx(20e-9)
+
+    def test_extra_edge_diverges(self):
+        from repro.campaign.compare import compare_digital_edges
+
+        a = self._clock("clk", [10e-9, 20e-9])
+        b = self._clock("clk", [10e-9, 20e-9, 30e-9, 31e-9])
+        result = compare_digital_edges(a, b, 1e-9)
+        assert result.diverged
+
+    def test_probe_set_uses_time_tolerance(self):
+        from repro.campaign import compare_probe_sets
+
+        golden = {"clk": self._clock("clk", [10e-9, 20e-9])}
+        faulty = {"clk": self._clock("clk", [10.2e-9, 20e-9])}
+        exact = compare_probe_sets(golden, faulty)
+        tolerant = compare_probe_sets(
+            golden, faulty, time_tolerances={"clk": 0.5e-9}
+        )
+        assert exact["clk"].diverged
+        assert tolerant["clk"].match

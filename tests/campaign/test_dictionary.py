@@ -1,0 +1,127 @@
+"""Tests for the fault dictionary."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, Design, exhaustive_bitflips, run_campaign
+from repro.campaign.dictionary import FaultDictionary, Signature, signature_of
+from repro.core import Component, L0, Simulator
+from repro.core.errors import CampaignError
+from repro.digital import Bus, ClockGen, Counter, ParityGen
+
+
+def factory():
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+    q = Bus(sim, "cnt", 4)
+    Counter(sim, "counter", clk, q, parent=top)
+    par = sim.signal("parity")
+    ParityGen(sim, "par", q, par, parent=top)
+    probes = {
+        "parity": sim.probe(par),
+        "cnt[0]": sim.probe(q.bits[0]),
+        "cnt[2]": sim.probe(q.bits[2]),
+    }
+    return Design(sim=sim, root=top, probes=probes)
+
+
+@pytest.fixture(scope="module")
+def result():
+    faults = exhaustive_bitflips(
+        [f"top/counter.q[{i}]" for i in range(4)], [33e-9, 73e-9]
+    )
+    spec = CampaignSpec(name="dict", faults=faults, t_end=300e-9,
+                        outputs=["parity"])
+    return run_campaign(factory, spec)
+
+
+class TestSignature:
+    def test_signature_is_hashable_and_stable(self, result):
+        run = result.runs[0]
+        a = signature_of(run)
+        b = signature_of(run)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_bucket_quantisation(self, result):
+        run = result.runs[0]
+        fine = signature_of(run, time_bucket=1e-9)
+        coarse = signature_of(run, time_bucket=1.0)
+        assert fine.latency_bucket >= coarse.latency_bucket
+
+    def test_bad_bucket(self, result):
+        with pytest.raises(CampaignError):
+            signature_of(result.runs[0], time_bucket=0.0)
+
+    def test_describe(self, result):
+        text = signature_of(result.runs[0]).describe()
+        assert "->" in text or "(none)" in text
+
+    def test_order_can_be_dropped(self, result):
+        sig = signature_of(result.runs[0], include_order=False)
+        assert sig.order == ()
+
+
+class TestDictionary:
+    def test_index_covers_all_faults(self, result):
+        dictionary = FaultDictionary(result)
+        total = sum(
+            len(dictionary.candidates(s)) for s in dictionary.signatures()
+        )
+        assert total == len(result)
+
+    def test_lookup_roundtrip(self, result):
+        dictionary = FaultDictionary(result)
+        fault = result.runs[0].fault
+        signature = dictionary.signature_for(fault)
+        assert fault in dictionary.candidates(signature)
+
+    def test_unknown_fault_rejected(self, result):
+        from repro.faults import BitFlip
+
+        dictionary = FaultDictionary(result)
+        with pytest.raises(CampaignError):
+            dictionary.signature_for(BitFlip("ghost", 1e-9))
+
+    def test_unseen_signature_has_no_candidates(self, result):
+        dictionary = FaultDictionary(result)
+        ghost = Signature("failure", ("nothing",), ("nothing",), 0)
+        faults, n = dictionary.diagnose(ghost)
+        assert faults == [] and n == 0
+
+    def test_distinguishability_bounds(self, result):
+        dictionary = FaultDictionary(result)
+        assert 0.0 <= dictionary.distinguishability() <= 1.0
+
+    def test_coarser_buckets_reduce_distinguishability(self, result):
+        fine = FaultDictionary(result, time_bucket=1e-9)
+        coarse = FaultDictionary(result, time_bucket=1.0)
+        assert coarse.distinguishability() <= fine.distinguishability()
+
+    def test_ambiguity_histogram_sums(self, result):
+        dictionary = FaultDictionary(result)
+        histogram = dictionary.ambiguity_histogram()
+        assert sum(size * count for size, count in histogram.items()) \
+            == len(result)
+
+    def test_largest_class(self, result):
+        dictionary = FaultDictionary(result)
+        signature, faults = dictionary.largest_ambiguity_class()
+        assert len(faults) >= 1
+        assert dictionary.candidates(signature) == faults
+
+    def test_report_text(self, result):
+        dictionary = FaultDictionary(result)
+        text = dictionary.report()
+        assert "distinguishability" in text
+        assert "signatures" in text
+
+    def test_empty_campaign_rejected(self):
+        from repro.campaign.results import CampaignResult
+
+        class FakeSpec:
+            name = "empty"
+
+        with pytest.raises(CampaignError):
+            FaultDictionary(CampaignResult(FakeSpec()))

@@ -1,0 +1,121 @@
+"""Tests for fault-list generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import (
+    analog_injections,
+    cycle_times,
+    exhaustive_bitflips,
+    intra_cycle_times,
+    random_analog_injections,
+    random_bitflips,
+    random_mbus,
+    sample,
+    set_sweep,
+)
+from repro.core.errors import CampaignError
+from repro.faults import TrapezoidPulse
+
+PULSE = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+
+
+class TestExhaustive:
+    def test_product_size(self):
+        faults = exhaustive_bitflips(["a", "b"], [1e-6, 2e-6, 3e-6])
+        assert len(faults) == 6
+
+    def test_product_contents(self):
+        faults = exhaustive_bitflips(["a"], [1e-6])
+        assert faults[0].target == "a" and faults[0].time == 1e-6
+
+    def test_empty_rejected(self):
+        with pytest.raises(CampaignError):
+            exhaustive_bitflips([], [1e-6])
+
+    def test_analog_product(self):
+        faults = analog_injections(["n1", "n2"], [1e-6], [PULSE])
+        assert len(faults) == 2
+        assert {f.node for f in faults} == {"n1", "n2"}
+
+
+class TestRandom:
+    def test_bitflips_deterministic_by_seed(self):
+        a = random_bitflips(["x", "y"], (0, 1e-6), 20, seed=7)
+        b = random_bitflips(["x", "y"], (0, 1e-6), 20, seed=7)
+        assert a == b
+
+    def test_bitflips_differ_across_seeds(self):
+        a = random_bitflips(["x", "y"], (0, 1e-6), 20, seed=1)
+        b = random_bitflips(["x", "y"], (0, 1e-6), 20, seed=2)
+        assert a != b
+
+    def test_bitflips_within_window(self):
+        faults = random_bitflips(["x"], (2e-6, 3e-6), 50, seed=0)
+        assert all(2e-6 <= f.time <= 3e-6 for f in faults)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CampaignError):
+            random_bitflips(["x"], (1e-6, 1e-6), 5)
+
+    def test_mbus_cluster_adjacent(self):
+        targets = [f"q[{i}]" for i in range(8)]
+        faults = random_mbus(targets, (0, 1e-6), 10, multiplicity=3, seed=3)
+        for f in faults:
+            names = f.targets()
+            indices = [targets.index(n) for n in names]
+            assert indices == list(range(indices[0], indices[0] + 3))
+
+    def test_mbus_too_few_targets(self):
+        with pytest.raises(CampaignError):
+            random_mbus(["a"], (0, 1e-6), 1, multiplicity=2)
+
+    def test_random_analog_deterministic(self):
+        a = random_analog_injections(["n"], (0, 1e-6), [PULSE], 5, seed=9)
+        b = random_analog_injections(["n"], (0, 1e-6), [PULSE], 5, seed=9)
+        assert [(f.node, f.time) for f in a] == [(f.node, f.time) for f in b]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10000))
+    def test_seed_reproducibility_property(self, seed):
+        a = random_bitflips(["p", "q", "r"], (0, 1e-3), 10, seed=seed)
+        b = random_bitflips(["p", "q", "r"], (0, 1e-3), 10, seed=seed)
+        assert a == b
+
+
+class TestSampling:
+    def test_sample_without_replacement(self):
+        faults = exhaustive_bitflips([f"t{i}" for i in range(10)], [1e-6])
+        chosen = sample(faults, 4, seed=1)
+        assert len(chosen) == 4
+        assert len(set(id(f) for f in chosen)) == 4
+
+    def test_sample_too_many(self):
+        faults = exhaustive_bitflips(["a"], [1e-6])
+        with pytest.raises(CampaignError):
+            sample(faults, 2)
+
+
+class TestTimeGenerators:
+    def test_cycle_times(self):
+        times = cycle_times(1e-6, 20e-9, 5)
+        assert times == pytest.approx([1e-6 + k * 20e-9 for k in range(5)])
+
+    def test_cycle_times_phase(self):
+        times = cycle_times(0.0, 20e-9, 2, phase=0.25)
+        assert times == pytest.approx([5e-9, 25e-9])
+
+    def test_cycle_times_validation(self):
+        with pytest.raises(CampaignError):
+            cycle_times(0.0, -1.0, 2)
+        with pytest.raises(CampaignError):
+            cycle_times(0.0, 1e-9, 2, phase=1.5)
+
+    def test_intra_cycle_times_centred(self):
+        times = intra_cycle_times(0.0, 20e-9, 4)
+        assert times == pytest.approx([2.5e-9, 7.5e-9, 12.5e-9, 17.5e-9])
+
+    def test_set_sweep(self):
+        faults = set_sweep("wire", [1e-9, 2e-9], 5e-10)
+        assert len(faults) == 2
+        assert all(f.width == 5e-10 for f in faults)

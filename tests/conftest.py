@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator with a 1 ns analog step."""
+    return Simulator(dt=1e-9)
+
+
+def make_fast_pll(sim, preset_locked=True, **overrides):
+    """A PLL scaled for fast tests: 5 MHz reference, /10, 50 MHz out.
+
+    Same 50 MHz output clock as the paper's PLL but a 10x higher
+    reference and loop bandwidth (~250 kHz crossover), so lock
+    dynamics and recovery play out in a few microseconds instead of
+    tens — keeping PLL unit tests under a second each.
+    """
+    from repro.ams import PLL
+
+    params = dict(
+        f_ref="5MHz",
+        n_div=10,
+        kvco="10MHz",
+        i_pump="100uA",
+        r="15.7kOhm",
+        c1="162pF",
+        c2="16pF",
+        preset_locked=preset_locked,
+    )
+    params.update(overrides)
+    return PLL(sim, "pll", **params)

@@ -1,0 +1,124 @@
+"""Tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SchedulingError
+from repro.core.events import (
+    EventQueue,
+    PRIORITY_ANALOG,
+    PRIORITY_MONITOR,
+    PRIORITY_NORMAL,
+)
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append("c"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(2.0, lambda: order.append("b"))
+        while q.peek_time() is not None:
+            q.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        order = []
+        for tag in "abc":
+            q.push(1.0, lambda t=tag: order.append(t))
+        while q.peek_time() is not None:
+            q.pop().callback()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_within_timestamp(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("normal"), PRIORITY_NORMAL)
+        q.push(1.0, lambda: order.append("monitor"), PRIORITY_MONITOR)
+        q.push(1.0, lambda: order.append("analog"), PRIORITY_ANALOG)
+        while q.peek_time() is not None:
+            q.pop().callback()
+        assert order == ["analog", "normal", "monitor"]
+
+    def test_priority_never_beats_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("early-analog"), PRIORITY_ANALOG)
+        q.push(1.0, lambda: order.append("late-normal"), PRIORITY_NORMAL)
+        while q.peek_time() is not None:
+            q.pop().callback()
+        assert order == ["late-normal", "early-analog"]
+
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while q.peek_time() is not None:
+            popped.append(q.pop().time)
+        assert popped == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        assert q.peek_time() is None
+        assert len(q) == 0
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 0
+
+    def test_cancel_one_of_many(self):
+        q = EventQueue()
+        keep = q.push(2.0, lambda: None)
+        drop = q.push(1.0, lambda: None)
+        drop.cancel()
+        assert q.peek_time() == 2.0
+        assert q.pop() is keep
+
+
+class TestQueueBasics:
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.pop()
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        e = q.push(2.0, lambda: None)
+        assert len(q) == 2
+        e.cancel()
+        assert len(q) == 1
+
+    def test_executed_counter(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()
+        assert q.executed == 1
+        q.pop()
+        assert q.executed == 2
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert q.peek_time() is None
+
+    def test_repr_mentions_state(self):
+        q = EventQueue()
+        event = q.push(1.5, lambda: None)
+        assert "pending" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)

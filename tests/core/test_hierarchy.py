@@ -1,0 +1,113 @@
+"""Tests for the component hierarchy and its query helpers."""
+
+import pytest
+
+from repro.core import Component, L0, Simulator
+from repro.core.errors import ElaborationError
+from repro.core.hierarchy import (
+    collect_current_nodes,
+    collect_state_signals,
+    common_ancestor,
+    depth_of,
+    format_tree,
+)
+from repro.digital import Bus, Counter, DFF
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def build_tree(sim):
+    top = Component(sim, "top")
+    blk_a = Component(sim, "a", parent=top)
+    blk_b = Component(sim, "b", parent=top)
+    leaf = Component(sim, "leaf", parent=blk_a)
+    return top, blk_a, blk_b, leaf
+
+
+class TestPaths:
+    def test_path_composition(self, sim):
+        top, blk_a, _b, leaf = build_tree(sim)
+        assert top.path == "top"
+        assert blk_a.path == "top/a"
+        assert leaf.path == "top/a/leaf"
+
+    def test_walk_depth_first(self, sim):
+        top, blk_a, blk_b, leaf = build_tree(sim)
+        assert list(top.walk()) == [top, blk_a, leaf, blk_b]
+
+    def test_find(self, sim):
+        top, _a, _b, leaf = build_tree(sim)
+        assert top.find("a/leaf") is leaf
+
+    def test_find_missing_raises(self, sim):
+        top, *_ = build_tree(sim)
+        with pytest.raises(ElaborationError):
+            top.find("a/nothing")
+
+    def test_duplicate_sibling_rejected(self, sim):
+        top, *_ = build_tree(sim)
+        with pytest.raises(ElaborationError):
+            Component(sim, "a", parent=top)
+
+    def test_slash_in_name_rejected(self, sim):
+        with pytest.raises(ElaborationError):
+            Component(sim, "bad/name")
+
+    def test_depth(self, sim):
+        top, _a, _b, leaf = build_tree(sim)
+        assert depth_of(top) == 0
+        assert depth_of(leaf) == 2
+
+    def test_common_ancestor(self, sim):
+        top, blk_a, blk_b, leaf = build_tree(sim)
+        assert common_ancestor(leaf, blk_b) is top
+        assert common_ancestor(leaf, blk_a) is blk_a
+
+    def test_format_tree(self, sim):
+        top, *_ = build_tree(sim)
+        text = format_tree(top)
+        assert "top" in text and "  a" in text and "    leaf" in text
+
+
+class TestStateCollection:
+    def test_collect_state_signals(self, sim):
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        d = sim.signal("d", init=L0)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q, parent=top)
+        bus = Bus(sim, "cnt", 2)
+        Counter(sim, "counter", clk, bus, parent=top)
+        names = [name for name, _sig in collect_state_signals(top)]
+        assert "top/ff.q" in names
+        assert "top/counter.q[0]" in names and "top/counter.q[1]" in names
+
+    def test_pattern_filter(self, sim):
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        bus = Bus(sim, "cnt", 4)
+        Counter(sim, "counter", clk, bus, parent=top)
+        names = [n for n, _s in collect_state_signals(top, "*q[0]*")]
+        assert names == ["top/counter.q[0]"]
+
+    def test_combinational_component_has_no_state(self, sim):
+        top = Component(sim, "top")
+        assert collect_state_signals(top) == []
+
+
+class TestNodeCollection:
+    def test_collect_current_nodes_only(self, sim):
+        sim.node("v1")
+        sim.current_node("i1")
+        sim.current_node("i2")
+        names = [n for n, _node in collect_current_nodes(sim)]
+        assert names == ["i1", "i2"]
+
+    def test_collect_with_pattern(self, sim):
+        sim.current_node("pll.icp")
+        sim.current_node("adc.held")
+        names = [n for n, _node in collect_current_nodes(sim, "pll.*")]
+        assert names == ["pll.icp"]

@@ -1,0 +1,231 @@
+"""Tests for the mixed-mode simulation kernel."""
+
+import pytest
+
+from repro.core import AnalogBlock, L0, L1, Simulator
+from repro.core.errors import SchedulingError, SimulationError
+
+
+class Ramp(AnalogBlock):
+    """Writes t (in ns) to its node every step."""
+
+    def __init__(self, sim, name, node):
+        super().__init__(sim, name)
+        self.out = self.writes_node(node)
+        self.dts = []
+
+    def step(self, t, dt):
+        self.dts.append(dt)
+        self.out.set(t * 1e9)
+
+
+class Follower(AnalogBlock):
+    """Copies another node with gain 2 (combinational)."""
+
+    def __init__(self, sim, name, src, dst):
+        super().__init__(sim, name)
+        self.src = self.reads_node(src)
+        self.dst = self.writes_node(dst)
+
+    def step(self, t, dt):
+        self.dst.set(2.0 * self.src.v)
+
+
+class TestScheduling:
+    def test_schedule_and_at(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2e-9, lambda: order.append("b"))
+        sim.at(1e-9, lambda: order.append("a"))
+        sim.run(3e-9)
+        assert order == ["a", "b"]
+
+    def test_at_in_past_raises(self):
+        sim = Simulator()
+        sim.run(5e-9)
+        with pytest.raises(SchedulingError):
+            sim.at(1e-9, lambda: None)
+
+    def test_run_backwards_raises(self):
+        sim = Simulator()
+        sim.run(5e-9)
+        with pytest.raises(SchedulingError):
+            sim.run(1e-9)
+
+    def test_run_sets_now_to_until(self):
+        sim = Simulator()
+        sim.run(7e-9)
+        assert sim.now == pytest.approx(7e-9)
+
+    def test_every_periodic(self):
+        sim = Simulator()
+        hits = []
+        sim.every(1e-9, lambda: hits.append(sim.now))
+        sim.run(5.5e-9)
+        assert len(hits) == 5
+
+    def test_every_stop_on_false(self):
+        sim = Simulator()
+        hits = []
+
+        def tick():
+            hits.append(1)
+            if len(hits) == 3:
+                return False
+
+        sim.every(1e-9, tick)
+        sim.run(10e-9)
+        assert len(hits) == 3
+
+    def test_every_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.every(0.0, lambda: None)
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(3e-9)
+        sim.run_for(2e-9)
+        assert sim.now == pytest.approx(5e-9)
+
+
+class TestProcesses:
+    def test_process_runs_at_start(self):
+        sim = Simulator()
+        hits = []
+        sim.add_process(lambda: hits.append(sim.now))
+        sim.run(1e-9)
+        assert hits == [0.0]
+
+    def test_sensitivity_triggers(self):
+        sim = Simulator()
+        sig = sim.signal("s", init=L0)
+        hits = []
+        sim.add_process(lambda: hits.append(sim.now), sensitivity=[sig])
+        sig.drive(L1, 5e-9)
+        sim.run(10e-9)
+        assert hits == [0.0, 5e-9]
+
+    def test_one_activation_per_delta(self):
+        sim = Simulator()
+        a = sim.signal("a", init=L0)
+        b = sim.signal("b", init=L0)
+        hits = []
+        sim.add_process(lambda: hits.append(sim.now), sensitivity=[a, b])
+        a.drive(L1, 5e-9)
+        b.drive(L1, 5e-9)
+        sim.run(10e-9)
+        # Initial run + one combined activation at 5 ns.
+        assert len(hits) == 2
+
+
+class TestAnalogSolver:
+    def test_fixed_step_count(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.node("n")
+        Ramp(sim, "r", node)
+        sim.run(10e-9)
+        assert 10 <= sim.analog_steps <= 11
+
+    def test_no_blocks_no_steps(self):
+        sim = Simulator(dt=1e-9)
+        sim.run(10e-9)
+        assert sim.analog_steps == 0
+
+    def test_refinement_window_changes_dt(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.node("n")
+        ramp = Ramp(sim, "r", node)
+        sim.analog.add_refinement_window(5e-9, 6e-9, 0.1e-9)
+        sim.run(10e-9)
+        fine = [dt for dt in ramp.dts if 0 < dt < 0.5e-9]
+        assert len(fine) >= 9
+
+    def test_window_boundary_hit_exactly(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.node("n")
+        ramp = Ramp(sim, "r", node)
+        sim.analog.add_refinement_window(4.5e-9, 5.5e-9, 0.25e-9)
+        sim.run(10e-9)
+        # A step must land exactly on the window start.
+        starts = [t for t in _cumtimes(ramp.dts) if abs(t - 4.5e-9) < 1e-15]
+        assert starts
+
+    def test_bad_window_rejected(self):
+        sim = Simulator(dt=1e-9)
+        with pytest.raises(SimulationError):
+            sim.analog.add_refinement_window(5e-9, 5e-9, 1e-10)
+        with pytest.raises(SimulationError):
+            sim.analog.add_refinement_window(1e-9, 2e-9, 0.0)
+
+    def test_evaluation_order_follows_dataflow(self):
+        sim = Simulator(dt=1e-9)
+        a = sim.node("a")
+        b = sim.node("b")
+        # Register the follower FIRST; ordering must still put the
+        # ramp (producer) before it.
+        follower = Follower(sim, "f", a, b)
+        ramp = Ramp(sim, "r", a)
+        order = sim.analog.evaluation_order()
+        assert order.index(ramp) < order.index(follower)
+        sim.run(5e-9)
+        assert b.v == pytest.approx(2.0 * a.v)
+
+    def test_probe_analog_node(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.node("n")
+        Ramp(sim, "r", node)
+        tr = sim.probe(node)
+        sim.run(10e-9)
+        assert tr.at(5e-9) == pytest.approx(5.0, abs=0.2)
+
+    def test_probe_min_interval_decimates(self):
+        sim = Simulator(dt=1e-9)
+        node = sim.node("n")
+        Ramp(sim, "r", node)
+        dense = sim.probe(node)
+        sparse = sim.probe(node, min_interval=5e-9)
+        sim.run(20e-9)
+        assert len(sparse) < len(dense) / 2
+
+    def test_probe_current_node(self):
+        from repro.analog import DCCurrent
+
+        sim = Simulator(dt=1e-9)
+        node = sim.current_node("i")
+        DCCurrent(sim, "src", node, 1e-3)
+        tr = sim.probe_current(node)
+        sim.run(5e-9)
+        assert tr.final == pytest.approx(1e-3)
+
+    def test_probe_bad_target(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.probe(42)
+
+
+class TestRegistries:
+    def test_duplicate_node_name(self):
+        sim = Simulator()
+        sim.node("n")
+        with pytest.raises(Exception):
+            sim.node("n")
+
+    def test_find_component(self):
+        from repro.core import Component
+
+        sim = Simulator()
+        top = Component(sim, "top")
+        child = Component(sim, "child", parent=top)
+        assert sim.find_component("top/child") is child
+        with pytest.raises(Exception):
+            sim.find_component("nope")
+
+
+def _cumtimes(dts):
+    total = 0.0
+    times = []
+    for dt in dts:
+        total += dt
+        times.append(total)
+    return times

@@ -1,0 +1,225 @@
+"""Tests for the nine-value logic system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import LogicValueError
+from repro.core.logic import (
+    L0,
+    L1,
+    Logic,
+    X,
+    Z,
+    bits_from_int,
+    flip,
+    int_from_bits,
+    logic,
+    logic_and,
+    logic_buf,
+    logic_nand,
+    logic_nor,
+    logic_not,
+    logic_or,
+    logic_xnor,
+    logic_xor,
+    resolve,
+    resolve_many,
+    vector_string,
+)
+
+ALL_LEVELS = list(Logic)
+levels = st.sampled_from(ALL_LEVELS)
+
+
+class TestCoercion:
+    def test_from_bool(self):
+        assert logic(True) is L1
+        assert logic(False) is L0
+
+    def test_from_int(self):
+        assert logic(0) is L0
+        assert logic(1) is L1
+
+    def test_from_char_both_cases(self):
+        assert logic("x") is X
+        assert logic("Z") is Z
+        assert logic("L") is Logic.WL
+        assert logic("-") is Logic.DC
+
+    def test_invalid_int(self):
+        with pytest.raises(LogicValueError):
+            logic(2)
+
+    def test_invalid_char(self):
+        with pytest.raises(LogicValueError):
+            logic("Q")
+
+    def test_passthrough(self):
+        assert logic(Logic.WH) is Logic.WH
+
+
+class TestPredicates:
+    def test_high_levels(self):
+        assert L1.is_high() and Logic.WH.is_high()
+        assert not X.is_high() and not Z.is_high()
+
+    def test_low_levels(self):
+        assert L0.is_low() and Logic.WL.is_low()
+        assert not X.is_low()
+
+    def test_to_bool(self):
+        assert L1.to_bool() is True
+        assert Logic.WL.to_bool() is False
+        with pytest.raises(LogicValueError):
+            X.to_bool()
+
+    def test_to_x01(self):
+        assert Logic.WH.to_x01() is L1
+        assert Logic.WL.to_x01() is L0
+        assert Z.to_x01() is X
+        assert Logic.U.to_x01() is X
+
+    def test_char_roundtrip(self):
+        for level in ALL_LEVELS:
+            assert logic(level.char) is level
+
+
+class TestResolution:
+    def test_strong_beats_z(self):
+        assert resolve(L1, Z) is L1
+        assert resolve(Z, L0) is L0
+
+    def test_conflict_is_x(self):
+        assert resolve(L0, L1) is X
+
+    def test_u_dominates(self):
+        for level in ALL_LEVELS:
+            assert resolve(Logic.U, level) is Logic.U
+
+    def test_strong_beats_weak(self):
+        assert resolve(L0, Logic.WH) is L0
+        assert resolve(L1, Logic.WL) is L1
+
+    def test_weak_conflict(self):
+        assert resolve(Logic.WL, Logic.WH) is Logic.W
+
+    def test_resolve_many_empty_is_z(self):
+        assert resolve_many([]) is Z
+
+    def test_resolve_many_chain(self):
+        assert resolve_many([Z, Logic.WH, Z]) is Logic.WH
+        assert resolve_many([Z, Logic.WH, L0]) is L0
+
+    @given(levels, levels)
+    def test_commutative(self, a, b):
+        assert resolve(a, b) is resolve(b, a)
+
+    @given(levels, levels, levels)
+    def test_associative(self, a, b, c):
+        assert resolve(resolve(a, b), c) is resolve(a, resolve(b, c))
+
+    @given(levels)
+    def test_idempotent_except_dont_care(self, a):
+        # Per IEEE 1164 the don't-care resolves to X with anything
+        # except U — even with itself.
+        if a is Logic.DC:
+            assert resolve(a, a) is X
+        else:
+            assert resolve(a, a) is a
+
+    @given(levels)
+    def test_z_is_identity_except_dont_care(self, a):
+        if a is Logic.DC:
+            assert resolve(a, Z) is X
+        else:
+            assert resolve(a, Z) is a
+
+
+class TestOperators:
+    def test_not_truth_table(self):
+        assert logic_not(L0) is L1
+        assert logic_not(L1) is L0
+        assert logic_not(X) is X
+        assert logic_not(Z) is X
+
+    def test_and_dominant_zero(self):
+        assert logic_and(L0, X) is L0
+        assert logic_and(X, L0) is L0
+        assert logic_and(L1, L1) is L1
+        assert logic_and(L1, X) is X
+
+    def test_or_dominant_one(self):
+        assert logic_or(L1, X) is L1
+        assert logic_or(L0, L0) is L0
+        assert logic_or(L0, X) is X
+
+    def test_xor(self):
+        assert logic_xor(L0, L1) is L1
+        assert logic_xor(L1, L1) is L0
+        assert logic_xor(L1, X) is X
+
+    def test_derived_gates(self):
+        assert logic_nand(L1, L1) is L0
+        assert logic_nor(L0, L0) is L1
+        assert logic_xnor(L1, L1) is L1
+
+    def test_buf_strips_strength(self):
+        assert logic_buf(Logic.WH) is L1
+        assert logic_buf(Z) is X
+
+    @given(levels, levels)
+    def test_de_morgan(self, a, b):
+        assert logic_not(logic_and(a, b)) is logic_or(logic_not(a), logic_not(b))
+
+    @given(levels)
+    def test_double_negation_on_defined(self, a):
+        if a.is_defined():
+            assert logic_not(logic_not(a)) is a.to_x01()
+
+
+class TestFlip:
+    def test_flip_defined(self):
+        assert flip(L0) is L1
+        assert flip(Logic.WH) is L0
+
+    def test_flip_undefined_goes_x(self):
+        assert flip(X) is X
+        assert flip(Z) is X
+        assert flip(Logic.U) is X
+
+    @given(levels)
+    def test_flip_always_differs_when_defined(self, a):
+        if a.is_defined():
+            assert flip(a).is_defined()
+            assert flip(a).is_high() != a.is_high()
+
+
+class TestVectors:
+    def test_bits_from_int(self):
+        assert bits_from_int(5, 4) == [L1, L0, L1, L0]
+
+    def test_int_from_bits_roundtrip(self):
+        for value in (0, 1, 7, 200, 255):
+            assert int_from_bits(bits_from_int(value, 8)) == value
+
+    def test_int_from_bits_undefined_raises(self):
+        with pytest.raises(LogicValueError):
+            int_from_bits([L1, X, L0])
+
+    def test_out_of_range(self):
+        with pytest.raises(LogicValueError):
+            bits_from_int(16, 4)
+        with pytest.raises(LogicValueError):
+            bits_from_int(-1, 4)
+
+    def test_zero_width(self):
+        with pytest.raises(LogicValueError):
+            bits_from_int(0, 0)
+
+    def test_vector_string_msb_first(self):
+        assert vector_string(bits_from_int(5, 4)) == "0101"
+        assert vector_string([X, L1]) == "1X"
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip_property(self, value):
+        assert int_from_bits(bits_from_int(value, 16)) == value

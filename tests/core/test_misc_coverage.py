@@ -1,0 +1,86 @@
+"""Coverage for small helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.core import AnalogBlock, Component, L0, Simulator
+from repro.core.hierarchy import analog_blocks, iter_components
+from repro.core.node import CurrentNode
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+class TestHierarchyHelpers:
+    def test_iter_components(self, sim):
+        top = Component(sim, "top")
+        child = Component(sim, "child", parent=top)
+        assert list(iter_components(top)) == [top, child]
+
+    def test_analog_blocks_filters(self, sim):
+        top = Component(sim, "top")
+        node = sim.node("n")
+
+        class Block(AnalogBlock):
+            def __init__(self, s, name, parent):
+                super().__init__(s, name, parent=parent)
+                self.out = self.writes_node(node)
+
+            def step(self, t, dt):
+                self.out.set(1.0)
+
+        block = Block(sim, "blk", top)
+        Component(sim, "digitalish", parent=top)
+        assert analog_blocks(top) == [block]
+
+    def test_default_state_signals_empty(self, sim):
+        assert Component(sim, "c").state_signals() == {}
+
+    def test_abstract_step_raises(self, sim):
+        block = AnalogBlock(sim, "b")
+        with pytest.raises(NotImplementedError):
+            block.step(0.0, 1e-9)
+
+
+class TestCurrentNodeDiagnostics:
+    def test_labelled_contributions(self, sim):
+        node = CurrentNode(sim, "i")
+        node.clear_current()
+        node.add_current(1e-3, source="pump")
+        node.add_current(-2e-4, source="sab")
+        node.add_current(1e-4, source="pump")
+        assert node.i == pytest.approx(9e-4)
+        contributions = node.contributions()
+        assert contributions["pump"] == pytest.approx(1.1e-3)
+        assert contributions["sab"] == pytest.approx(-2e-4)
+
+    def test_clear_resets(self, sim):
+        node = CurrentNode(sim, "i")
+        node.add_current(1e-3, source="x")
+        node.clear_current()
+        assert node.i == 0.0
+        assert node.contributions() == {}
+
+    def test_repr_shows_both_quantities(self, sim):
+        node = CurrentNode(sim, "i")
+        node.set(2.5)
+        node.add_current(1e-3)
+        text = repr(node)
+        assert "2.5" in text and "0.001" in text
+
+
+class TestSimulatorIntrospection:
+    def test_counters_advance(self, sim):
+        sig = sim.signal("s", init=L0)
+        sim.schedule(1e-9, lambda: None)
+        sim.run(2e-9)
+        assert sim.events_executed >= 1
+        assert sim.analog_steps == 0  # no analog blocks
+
+    def test_probe_names_default_and_override(self, sim):
+        sig = sim.signal("s", init=L0)
+        assert sim.probe(sig).name == "s"
+        assert sim.probe(sig, name="alias").name == "alias"
+        node = sim.current_node("i")
+        assert sim.probe_current(node).name == "i.i"

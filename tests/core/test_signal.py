@@ -1,0 +1,188 @@
+"""Tests for digital signals: driving, resolution, forcing, edges."""
+
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator, X, Z
+from repro.core.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+class TestDriving:
+    def test_initial_value(self, sim):
+        sig = sim.signal("s", init=L0)
+        assert sig.value is L0
+
+    def test_default_init_is_u(self, sim):
+        sig = sim.signal("s")
+        assert sig.value is Logic.U
+
+    def test_drive_with_delay(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L1, delay=5e-9)
+        sim.run(4e-9)
+        assert sig.value is L0
+        sim.run(6e-9)
+        assert sig.value is L1
+
+    def test_zero_delay_drive_lands_same_run(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L1)
+        sim.run(0.0)
+        assert sig.value is L1
+
+    def test_negative_delay_raises(self, sim):
+        sig = sim.signal("s", init=L0)
+        with pytest.raises(SimulationError):
+            sig.drive(L1, delay=-1e-9)
+
+    def test_change_count(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L1, 1e-9)
+        sig.drive(L1, 2e-9)  # no change
+        sig.drive(L0, 3e-9)
+        sim.run(5e-9)
+        assert sig.change_count == 2
+
+    def test_non_logic_payload(self, sim):
+        sig = sim.signal("state", init="IDLE")
+        sig.drive("RUN", delay=1e-9)
+        sim.run(2e-9)
+        assert sig.value == "RUN"
+
+
+class TestResolution:
+    def test_two_drivers_resolve(self, sim):
+        sig = sim.signal("s", init=Z)
+        d1 = sig.driver()
+        d2 = sig.driver()
+        d1.set(L1)
+        d2.set(Z)
+        sim.run(1e-9)
+        assert sig.value is L1
+        d2.set(L0)
+        sim.run(2e-9)
+        assert sig.value is X
+
+    def test_unresolved_signal_rejects_second_driver(self, sim):
+        sig = sim.signal("s", resolved=False)
+        sig.driver()
+        with pytest.raises(SimulationError):
+            sig.driver()
+
+
+class TestEdges:
+    def test_rose_seen_by_listener(self, sim):
+        sig = sim.signal("s", init=L0)
+        seen = []
+        sig.on_change(lambda s: seen.append((s.rose(), s.fell())))
+        sig.drive(L1, 1e-9)
+        sig.drive(L0, 2e-9)
+        sim.run(3e-9)
+        assert seen == [(True, False), (False, True)]
+
+    def test_last_change_time(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L1, 7e-9)
+        sim.run(10e-9)
+        assert sig.last_change_time == pytest.approx(7e-9)
+
+    def test_prev_value(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L1, 1e-9)
+        sim.run(2e-9)
+        assert sig.prev is L0
+
+    def test_rose_false_for_non_logic(self, sim):
+        sig = sim.signal("s", init="A")
+        sig.drive("B", 1e-9)
+        sim.run(2e-9)
+        assert sig.rose() is False and sig.fell() is False
+
+
+class TestDeposit:
+    def test_deposit_overwrites_now(self, sim):
+        sig = sim.signal("s", init=L0)
+        sim.run(5e-9)
+        sig.deposit(L1)
+        assert sig.value is L1
+
+    def test_deposit_notifies_listeners(self, sim):
+        sig = sim.signal("s", init=L0)
+        hits = []
+        sig.on_change(lambda s: hits.append(s.value))
+        sig.deposit(L1)
+        assert hits == [L1]
+
+    def test_deposit_same_value_is_noop(self, sim):
+        sig = sim.signal("s", init=L0)
+        hits = []
+        sig.on_change(lambda s: hits.append(1))
+        sig.deposit(L0)
+        assert hits == []
+
+    def test_deposit_overwritten_by_next_drive(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.deposit(L1)
+        sig.drive(L0, 1e-9)
+        sim.run(2e-9)
+        assert sig.value is L0
+
+
+class TestForce:
+    def test_force_pins_value(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.force(L1)
+        sig.drive(L0, 1e-9)
+        sim.run(2e-9)
+        assert sig.value is L1
+        assert sig.is_forced
+
+    def test_release_restores_driven_value(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.drive(L0)
+        sim.run(1e-9)
+        sig.force(L1)
+        sig.drive(L0, 1e-9)  # driver keeps pushing 0
+        sim.run(2e-9)
+        sig.release()
+        assert sig.value is L0
+        assert not sig.is_forced
+
+    def test_release_without_force_is_noop(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.release()
+        assert sig.value is L0
+
+    def test_deposit_on_forced_raises(self, sim):
+        sig = sim.signal("s", init=L0)
+        sig.force(L1)
+        with pytest.raises(SimulationError):
+            sig.deposit(L0)
+
+    def test_force_notifies_on_change(self, sim):
+        sig = sim.signal("s", init=L0)
+        hits = []
+        sig.on_change(lambda s: hits.append(s.value))
+        sig.force(L1)
+        sig.release()
+        assert hits == [L1, L0]
+
+
+class TestListeners:
+    def test_remove_listener(self, sim):
+        sig = sim.signal("s", init=L0)
+        hits = []
+        cb = sig.on_change(lambda s: hits.append(1))
+        sig.deposit(L1)
+        sig.remove_listener(cb)
+        sig.deposit(L0)
+        assert hits == [1]
+
+    def test_duplicate_name_rejected(self, sim):
+        sim.signal("s")
+        with pytest.raises(Exception):
+            sim.signal("s")

@@ -1,0 +1,124 @@
+"""Tests for engineering-unit parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.units import (
+    UnitError,
+    amperes,
+    format_quantity,
+    hertz,
+    parse_quantity,
+    seconds,
+    volts,
+)
+
+
+class TestParseQuantity:
+    def test_plain_number_passthrough(self):
+        assert parse_quantity(3.5) == 3.5
+        assert parse_quantity(7) == 7.0
+
+    def test_milliamp(self):
+        assert parse_quantity("10mA") == pytest.approx(10e-3)
+
+    def test_picoseconds(self):
+        assert parse_quantity("500ps") == pytest.approx(500e-12)
+
+    def test_megahertz(self):
+        assert parse_quantity("50MHz") == pytest.approx(50e6)
+
+    def test_kilohm(self):
+        assert parse_quantity("15.7kOhm") == pytest.approx(15.7e3)
+
+    def test_volts_no_prefix(self):
+        assert parse_quantity("2.5V") == 2.5
+
+    def test_bare_number_string(self):
+        assert parse_quantity("42") == 42.0
+
+    def test_scientific_notation(self):
+        assert parse_quantity("1e-9s") == pytest.approx(1e-9)
+
+    def test_negative_value(self):
+        assert parse_quantity("-10mA") == pytest.approx(-10e-3)
+
+    def test_micro_both_spellings(self):
+        assert parse_quantity("100uA") == pytest.approx(100e-6)
+        assert parse_quantity("100µA") == pytest.approx(100e-6)
+
+    def test_nanofarad(self):
+        assert parse_quantity("1.62nF") == pytest.approx(1.62e-9)
+
+    def test_expected_unit_match(self):
+        assert parse_quantity("20ns", expect_unit="s") == pytest.approx(20e-9)
+
+    def test_expected_unit_mismatch_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("10mA", expect_unit="s")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("10mX")
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity("hello")
+
+    def test_none_raises(self):
+        with pytest.raises(UnitError):
+            parse_quantity(None)
+
+    def test_bare_prefix_is_implicit_milli(self):
+        # "10m" parses as 10 milli-<implicit unit>.
+        assert parse_quantity("10m") == pytest.approx(0.01)
+
+    def test_shorthand_helpers(self):
+        assert seconds("20ns") == pytest.approx(20e-9)
+        assert amperes("10mA") == pytest.approx(0.01)
+        assert volts("5V") == 5.0
+        assert hertz("500kHz") == pytest.approx(5e5)
+
+    def test_expect_unit_allows_bare_number(self):
+        assert parse_quantity("3.3", expect_unit="V") == 3.3
+
+
+class TestFormatQuantity:
+    def test_zero(self):
+        assert format_quantity(0.0, "A") == "0A"
+
+    def test_milli(self):
+        assert format_quantity(0.01, "A") == "10mA"
+
+    def test_pico(self):
+        assert format_quantity(5e-10, "s") == "500ps"
+
+    def test_mega(self):
+        assert format_quantity(5e7, "Hz") == "50MHz"
+
+    def test_negative(self):
+        assert format_quantity(-2.5e-3, "V") == "-2.5mV"
+
+    def test_nan_inf(self):
+        assert format_quantity(float("nan"), "s") == "nans"
+        assert format_quantity(float("inf"), "s") == "infs"
+        assert format_quantity(float("-inf"), "s") == "-infs"
+
+    def test_rounding_rollover(self):
+        # 999.99 rounds to 1000 at 4 digits and must roll to the next
+        # prefix rather than print "1000".
+        text = format_quantity(999.99e-9, "s", digits=3)
+        assert text == "1us"
+
+
+@given(
+    st.floats(min_value=1e-12, max_value=1e11, allow_nan=False),
+    st.sampled_from(["s", "A", "V", "Hz"]),
+)
+def test_format_parse_roundtrip(value, unit):
+    """format -> parse recovers the value within formatting precision."""
+    text = format_quantity(value, unit, digits=9)
+    recovered = parse_quantity(text, expect_unit=unit)
+    assert math.isclose(recovered, value, rel_tol=1e-6)

@@ -1,0 +1,149 @@
+"""Tests for VCD export."""
+
+import pytest
+
+from repro.core import L0, L1, LINEAR, Logic, STEP, Simulator, Trace
+from repro.core.vcd import VCDError, dumps_vcd, save_vcd
+from repro.digital import ClockGen
+
+
+def digital_trace():
+    tr = Trace("clk", interp=STEP)
+    tr.append(0.0, L0)
+    tr.append(5e-9, L1)
+    tr.append(10e-9, L0)
+    tr.append(15e-9, Logic.X)
+    tr.append(20e-9, Logic.Z)
+    return tr
+
+
+def analog_trace():
+    tr = Trace("vctrl", interp=LINEAR)
+    for k in range(5):
+        tr.append(k * 1e-9, 2.5 + 0.1 * k)
+    return tr
+
+
+class TestHeader:
+    def test_structure(self):
+        text = dumps_vcd({"clk": digital_trace()})
+        assert "$timescale 1 ps $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+
+    def test_real_variable_for_analog(self):
+        text = dumps_vcd({"vctrl": analog_trace()})
+        assert "$var real 64" in text
+
+    def test_timescale_selection(self):
+        text = dumps_vcd({"clk": digital_trace()}, timescale_fs=1000000)
+        assert "$timescale 1 ns $end" in text
+
+    def test_bad_timescale(self):
+        with pytest.raises(VCDError):
+            dumps_vcd({"clk": digital_trace()}, timescale_fs=123)
+
+    def test_empty_rejected(self):
+        with pytest.raises(VCDError):
+            dumps_vcd({})
+
+    def test_name_sanitised(self):
+        text = dumps_vcd({"my sig": digital_trace()})
+        assert "my_sig" in text
+
+
+class TestChanges:
+    def test_digital_values_mapped(self):
+        text = dumps_vcd({"clk": digital_trace()})
+        lines = text.splitlines()
+        # times in ps: 0, 5000, 10000, 15000, 20000
+        assert "#0" in lines
+        assert "#5000" in lines
+        body = text.split("$enddefinitions $end")[1]
+        assert "x" in body  # the X sample
+        assert "z" in body  # the Z sample
+
+    def test_analog_values_as_reals(self):
+        text = dumps_vcd({"vctrl": analog_trace()})
+        body = text.split("$enddefinitions $end")[1]
+        assert "r2.5 " in body
+        assert "r2.9 " in body
+
+    def test_time_ordering(self):
+        text = dumps_vcd({"clk": digital_trace(),
+                          "vctrl": analog_trace()})
+        body = text.split("$enddefinitions $end")[1]
+        times = [int(line[1:]) for line in body.splitlines()
+                 if line.startswith("#")]
+        assert times == sorted(times)
+
+    def test_duplicate_values_compressed(self):
+        tr = Trace("s", interp=STEP)
+        tr.append(0.0, L0)
+        tr.append(1e-9, L0)  # no change
+        tr.append(2e-9, L1)
+        text = dumps_vcd({"s": tr})
+        body = text.split("$enddefinitions $end")[1]
+        changes = [l for l in body.splitlines()
+                   if l and not l.startswith("#")]
+        assert len(changes) == 2
+
+
+class TestEndToEnd:
+    def test_simulated_clock_roundtrip(self, tmp_path):
+        sim = Simulator(dt=1e-9)
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        tr = sim.probe(clk)
+        sim.run(50e-9)
+        path = tmp_path / "wave.vcd"
+        save_vcd({"clk": tr}, path)
+        text = path.read_text()
+        body = text.split("$enddefinitions $end")[1]
+        rises = [l for l in body.splitlines()
+                 if l.startswith("1") and not l.startswith("#")]
+        # rising edges at 0, 10, 20, 30, 40 and exactly 50 ns
+        assert len(rises) == 6
+
+    def test_iterable_of_traces(self):
+        text = dumps_vcd([digital_trace(), analog_trace()])
+        assert "clk" in text and "vctrl" in text
+
+
+class TestVectors:
+    def _bus_traces(self):
+        sim = Simulator(dt=1e-9)
+        from repro.digital import Bus, ClockGen, Counter
+
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        q = Bus(sim, "cnt", 4)
+        Counter(sim, "counter", clk, q)
+        bit_traces = [sim.probe(bit) for bit in q.bits]
+        sim.run(45e-9)
+        return bit_traces
+
+    def test_vector_variable_declared(self):
+        bits = self._bus_traces()
+        text = dumps_vcd({}, vectors={"cnt": bits})
+        assert "$var wire 4" in text
+        assert "cnt[3:0]" in text
+
+    def test_vector_changes_are_words(self):
+        bits = self._bus_traces()
+        text = dumps_vcd({}, vectors={"cnt": bits})
+        body = text.split("$enddefinitions $end")[1]
+        words = [l.split()[0][1:] for l in body.splitlines()
+                 if l.startswith("b")]
+        # counts 0..5 after edges at 0,10,20,30,40 (initial U word too)
+        assert "0101" in words
+        assert words[-1] == "0101"
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(VCDError):
+            dumps_vcd({}, vectors={"cnt": []})
+
+    def test_scalars_and_vectors_combine(self):
+        bits = self._bus_traces()
+        text = dumps_vcd({"clk": digital_trace()}, vectors={"cnt": bits})
+        assert "$var wire 1" in text and "$var wire 4" in text

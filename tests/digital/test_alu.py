@@ -1,0 +1,202 @@
+"""Tests for word-level arithmetic blocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import Adder, Bus, BusMux, Comparator, ParityGen, Subtractor
+
+
+def make_sim():
+    return Simulator(dt=1e-9)
+
+
+class TestAdder:
+    def test_simple_sum(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=3)
+        b = Bus(sim, "b", 4, init=5)
+        s = Bus(sim, "s", 4)
+        Adder(sim, "add", a, b, s)
+        sim.run(1e-9)
+        assert s.to_int() == 8
+
+    def test_carry_out(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=12)
+        b = Bus(sim, "b", 4, init=7)
+        s = Bus(sim, "s", 4)
+        cout = sim.signal("cout")
+        Adder(sim, "add", a, b, s, cout=cout)
+        sim.run(1e-9)
+        assert s.to_int() == (12 + 7) % 16
+        assert cout.value is L1
+
+    def test_carry_in(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=1)
+        b = Bus(sim, "b", 4, init=1)
+        s = Bus(sim, "s", 4)
+        cin = sim.signal("cin", init=L1)
+        Adder(sim, "add", a, b, s, cin=cin)
+        sim.run(1e-9)
+        assert s.to_int() == 3
+
+    def test_x_input_poisons_output(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=1)
+        b = Bus(sim, "b", 4, init=1)
+        s = Bus(sim, "s", 4)
+        cout = sim.signal("cout")
+        Adder(sim, "add", a, b, s, cout=cout)
+        sim.run(1e-9)
+        a.bits[2].deposit(Logic.X)
+        sim.run(2e-9)
+        assert s.to_int_or_none() is None
+        assert cout.value is Logic.X
+
+    def test_width_mismatch(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4)
+        b = Bus(sim, "b", 3)
+        s = Bus(sim, "s", 4)
+        with pytest.raises(ElaborationError):
+            Adder(sim, "add", a, b, s)
+
+    def test_reacts_to_input_change(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 8, init=10)
+        b = Bus(sim, "b", 8, init=20)
+        s = Bus(sim, "s", 8)
+        Adder(sim, "add", a, b, s)
+        sim.run(1e-9)
+        a.drive_int(100)
+        sim.run(2e-9)
+        assert s.to_int() == 120
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.booleans())
+    def test_matches_integer_addition(self, va, vb, carry):
+        sim = make_sim()
+        a = Bus(sim, "a", 8, init=va)
+        b = Bus(sim, "b", 8, init=vb)
+        s = Bus(sim, "s", 8)
+        cin = sim.signal("cin", init=L1 if carry else L0)
+        cout = sim.signal("cout")
+        Adder(sim, "add", a, b, s, cin=cin, cout=cout)
+        sim.run(1e-9)
+        total = va + vb + int(carry)
+        assert s.to_int() == total % 256
+        assert cout.value is (L1 if total >= 256 else L0)
+
+
+class TestSubtractor:
+    def test_difference(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=9)
+        b = Bus(sim, "b", 4, init=3)
+        d = Bus(sim, "d", 4)
+        Subtractor(sim, "sub", a, b, d)
+        sim.run(1e-9)
+        assert d.to_int() == 6
+
+    def test_borrow_and_wrap(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=3)
+        b = Bus(sim, "b", 4, init=9)
+        d = Bus(sim, "d", 4)
+        borrow = sim.signal("borrow")
+        Subtractor(sim, "sub", a, b, d, borrow=borrow)
+        sim.run(1e-9)
+        assert d.to_int() == (3 - 9) % 16
+        assert borrow.value is L1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_matches_integer_subtraction(self, va, vb):
+        sim = make_sim()
+        a = Bus(sim, "a", 8, init=va)
+        b = Bus(sim, "b", 8, init=vb)
+        d = Bus(sim, "d", 8)
+        Subtractor(sim, "sub", a, b, d)
+        sim.run(1e-9)
+        assert d.to_int() == (va - vb) % 256
+
+
+class TestComparator:
+    @pytest.mark.parametrize("va,vb,eq,lt,gt", [
+        (5, 5, L1, L0, L0),
+        (3, 7, L0, L1, L0),
+        (9, 2, L0, L0, L1),
+    ])
+    def test_flags(self, va, vb, eq, lt, gt):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=va)
+        b = Bus(sim, "b", 4, init=vb)
+        feq = sim.signal("eq")
+        flt = sim.signal("lt")
+        fgt = sim.signal("gt")
+        Comparator(sim, "cmp", a, b, eq=feq, lt=flt, gt=fgt)
+        sim.run(1e-9)
+        assert (feq.value, flt.value, fgt.value) == (eq, lt, gt)
+
+    def test_needs_at_least_one_flag(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4)
+        b = Bus(sim, "b", 4)
+        with pytest.raises(ElaborationError):
+            Comparator(sim, "cmp", a, b)
+
+    def test_x_input_makes_flags_x(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=3)
+        b = Bus(sim, "b", 4, init=3)
+        feq = sim.signal("eq")
+        Comparator(sim, "cmp", a, b, eq=feq)
+        sim.run(1e-9)
+        b.bits[0].deposit(Logic.X)
+        sim.run(2e-9)
+        assert feq.value is Logic.X
+
+
+class TestBusMux:
+    def test_select(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=3)
+        b = Bus(sim, "b", 4, init=12)
+        sel = sim.signal("sel", init=L0)
+        y = Bus(sim, "y", 4)
+        BusMux(sim, "mux", a, b, sel, y)
+        sim.run(1e-9)
+        assert y.to_int() == 3
+        sel.drive(L1)
+        sim.run(2e-9)
+        assert y.to_int() == 12
+
+    def test_x_select_bitwise_agreement(self):
+        sim = make_sim()
+        a = Bus(sim, "a", 4, init=0b1010)
+        b = Bus(sim, "b", 4, init=0b1001)
+        sel = sim.signal("sel", init=Logic.X)
+        y = Bus(sim, "y", 4)
+        BusMux(sim, "mux", a, b, sel, y)
+        sim.run(1e-9)
+        # bits 3 (1==1) and... a=1010, b=1001: bit0 0/1 X, bit1 1/0 X,
+        # bit2 0/0 -> 0, bit3 1/1 -> 1
+        assert y.bits[2].value is L0
+        assert y.bits[3].value is L1
+        assert y.bits[0].value is Logic.X
+        assert y.bits[1].value is Logic.X
+
+
+class TestParity:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255))
+    def test_matches_popcount(self, value):
+        sim = make_sim()
+        a = Bus(sim, "a", 8, init=value)
+        p = sim.signal("p")
+        ParityGen(sim, "par", a, p)
+        sim.run(1e-9)
+        assert p.value is (L1 if bin(value).count("1") % 2 else L0)

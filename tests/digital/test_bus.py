@@ -1,0 +1,124 @@
+"""Tests for buses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import LogicValueError
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def make_bus(sim, width=4, init=0):
+    from repro.digital import Bus
+
+    return Bus(sim, "b", width, init=init)
+
+
+class TestConstruction:
+    def test_bit_names(self, sim):
+        bus = make_bus(sim)
+        assert bus.bits[0].name == "b[0]"
+        assert bus.bits[3].name == "b[3]"
+
+    def test_int_init(self, sim):
+        bus = make_bus(sim, init=5)
+        assert bus.to_int() == 5
+
+    def test_level_init(self, sim):
+        from repro.digital import Bus
+
+        bus = Bus(sim, "u", 3, init=Logic.U)
+        assert bus.to_int_or_none() is None
+
+    def test_list_init(self, sim):
+        from repro.digital import Bus
+
+        bus = Bus(sim, "l", 3, init=[L1, L0, L1])
+        assert bus.to_int() == 5
+
+    def test_list_init_wrong_length(self, sim):
+        from repro.digital import Bus
+
+        with pytest.raises(LogicValueError):
+            Bus(sim, "l", 3, init=[L1, L0])
+
+    def test_zero_width_rejected(self, sim):
+        from repro.digital import Bus
+
+        with pytest.raises(LogicValueError):
+            Bus(sim, "z", 0)
+
+
+class TestValues:
+    def test_str_msb_first(self, sim):
+        bus = make_bus(sim, init=5)
+        assert str(bus) == "0101"
+
+    def test_is_defined(self, sim):
+        bus = make_bus(sim, init=5)
+        assert bus.is_defined()
+        bus.bits[1].deposit(Logic.X)
+        assert not bus.is_defined()
+        assert bus.to_int_or_none() is None
+
+    def test_to_int_undefined_raises(self, sim):
+        from repro.digital import Bus
+
+        bus = Bus(sim, "u", 2, init=Logic.U)
+        with pytest.raises(LogicValueError):
+            bus.to_int()
+
+    def test_iteration_and_indexing(self, sim):
+        bus = make_bus(sim)
+        assert len(list(bus)) == 4
+        assert bus[0] is bus.bits[0]
+
+
+class TestDriving:
+    def test_drive_int(self, sim):
+        bus = make_bus(sim)
+        bus.drive_int(9, delay=1e-9)
+        sim.run(2e-9)
+        assert bus.to_int() == 9
+
+    def test_drive_levels(self, sim):
+        bus = make_bus(sim)
+        bus.drive_levels([L1, L1, L0, L0])
+        sim.run(1e-9)
+        assert bus.to_int() == 3
+
+    def test_drive_levels_wrong_length(self, sim):
+        bus = make_bus(sim)
+        with pytest.raises(LogicValueError):
+            bus.drive_levels([L1])
+
+    def test_drive_all(self, sim):
+        bus = make_bus(sim)
+        bus.drive_all(L1)
+        sim.run(1e-9)
+        assert bus.to_int() == 15
+
+    def test_deposit_int(self, sim):
+        bus = make_bus(sim, init=0)
+        bus.deposit_int(12)
+        assert bus.to_int() == 12
+
+    def test_state_map_keys(self, sim):
+        bus = make_bus(sim)
+        keys = sorted(bus.state_map().keys())
+        assert keys == ["q[0]", "q[1]", "q[2]", "q[3]"]
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_drive_roundtrip(value):
+    from repro.digital import Bus
+
+    sim = Simulator()
+    bus = Bus(sim, "b", 8)
+    bus.drive_int(value)
+    sim.run(1e-9)
+    assert bus.to_int() == value

@@ -1,0 +1,121 @@
+"""Tests for clock and stimulus generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import L0, L1, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import (
+    BusSequencePlayer,
+    Bus,
+    ClockGen,
+    PulseGen,
+    ResetGen,
+    SequencePlayer,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+class TestClockGen:
+    def test_period_and_edges(self, sim):
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        tr = sim.probe(clk)
+        sim.run(100e-9)
+        rises = tr.edges("rise")
+        np.testing.assert_allclose(np.diff(rises), 10e-9)
+
+    def test_duty_cycle(self, sim):
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9, duty=0.3)
+        tr = sim.probe(clk)
+        sim.run(50e-9)
+        rises = tr.edges("rise")
+        falls = tr.edges("fall")
+        high = falls[0] - rises[0]
+        assert high == pytest.approx(3e-9)
+
+    def test_start_delay(self, sim):
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9, start_delay=7e-9)
+        tr = sim.probe(clk)
+        sim.run(30e-9)
+        assert tr.edges("rise")[0] == pytest.approx(7e-9)
+
+    def test_bad_params(self, sim):
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            ClockGen(sim, "ck", clk, period=0.0)
+        with pytest.raises(ElaborationError):
+            ClockGen(sim, "ck2", clk, period=1e-9, duty=1.5)
+
+    def test_edge_counter(self, sim):
+        clk = sim.signal("clk", init=L0)
+        gen = ClockGen(sim, "ck", clk, period=10e-9)
+        sim.run(45e-9)
+        assert gen.edges == 5
+
+
+class TestResetGen:
+    def test_asserts_then_releases(self, sim):
+        rst = sim.signal("rst")
+        ResetGen(sim, "rg", rst, duration=20e-9)
+        sim.run(1e-9)
+        assert rst.value is L1
+        sim.run(25e-9)
+        assert rst.value is L0
+
+
+class TestPulseGen:
+    def test_positive_pulse(self, sim):
+        out = sim.signal("p")
+        PulseGen(sim, "pg", out, start=10e-9, width=5e-9)
+        sim.run(5e-9)
+        assert out.value is L0
+        sim.run(12e-9)
+        assert out.value is L1
+        sim.run(20e-9)
+        assert out.value is L0
+
+    def test_negative_pulse(self, sim):
+        out = sim.signal("p")
+        PulseGen(sim, "pg", out, start=10e-9, width=5e-9, active=L0)
+        sim.run(5e-9)
+        assert out.value is L1
+        sim.run(12e-9)
+        assert out.value is L0
+
+    def test_zero_width_rejected(self, sim):
+        out = sim.signal("p")
+        with pytest.raises(ElaborationError):
+            PulseGen(sim, "pg", out, start=0.0, width=0.0)
+
+
+class TestSequencePlayer:
+    def test_plays_script(self, sim):
+        out = sim.signal("s")
+        SequencePlayer(sim, "sp", out,
+                       [(0.0, "0"), (5e-9, "1"), (9e-9, "0")])
+        tr = sim.probe(out)
+        sim.run(20e-9)
+        assert tr.edges("rise") == pytest.approx([5e-9])
+        assert tr.edges("fall") == pytest.approx([9e-9])
+
+    def test_decreasing_times_rejected(self, sim):
+        out = sim.signal("s")
+        with pytest.raises(ElaborationError):
+            SequencePlayer(sim, "sp", out, [(5e-9, "1"), (1e-9, "0")])
+
+
+class TestBusSequencePlayer:
+    def test_plays_int_script(self, sim):
+        bus = Bus(sim, "b", 4)
+        BusSequencePlayer(sim, "bp", bus, [(0.0, 3), (10e-9, 12)])
+        sim.run(5e-9)
+        assert bus.to_int() == 3
+        sim.run(15e-9)
+        assert bus.to_int() == 12

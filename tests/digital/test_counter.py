@@ -1,0 +1,149 @@
+"""Tests for counters and clock dividers."""
+
+import numpy as np
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import Bus, ClockDivider, ClockGen, Counter, DownCounter
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def add_clock(sim, period=10e-9):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=period)
+    return clk
+
+
+class TestCounter:
+    def test_counts_rising_edges(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q)
+        sim.run(55e-9)  # edges at 0,10,20,30,40,50
+        assert q.to_int() == 6
+
+    def test_wraps_at_width(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 3)
+        Counter(sim, "cnt", clk, q)
+        sim.run(95e-9)  # 10 edges -> 10 % 8
+        assert q.to_int() == 2
+
+    def test_modulo(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q, modulo=10)
+        sim.run(115e-9)  # 12 edges -> 12 % 10
+        assert q.to_int() == 2
+
+    def test_modulo_too_big_rejected(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 3)
+        with pytest.raises(ElaborationError):
+            Counter(sim, "cnt", clk, q, modulo=9)
+
+    def test_enable(self, sim):
+        clk = add_clock(sim)
+        en = sim.signal("en", init=L0)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q, en=en)
+        sim.run(25e-9)
+        assert q.to_int() == 0
+        en.drive(L1)
+        sim.run(55e-9)  # edges at 30,40,50
+        assert q.to_int() == 3
+
+    def test_reset(self, sim):
+        clk = add_clock(sim)
+        rst = sim.signal("rst", init=L0)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q, rst=rst)
+        sim.run(35e-9)
+        rst.drive(L1)
+        sim.run(36e-9)
+        assert q.to_int() == 0
+
+    def test_seu_corrupts_future_counts(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q)
+        sim.run(25e-9)       # count = 3
+        q.bits[3].deposit(L1)  # +8
+        sim.run(35e-9)       # one more edge
+        assert q.to_int() == 12
+
+    def test_x_poisons_word(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        Counter(sim, "cnt", clk, q)
+        sim.run(25e-9)
+        q.bits[0].deposit(Logic.X)
+        sim.run(35e-9)
+        assert q.to_int_or_none() is None
+        assert all(sig.value is Logic.X for sig in q.bits)
+
+
+class TestDownCounter:
+    def test_counts_down_with_wrap(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 3)
+        DownCounter(sim, "cnt", clk, q, init=2)
+        sim.run(25e-9)  # 3 edges: 2->1->0->7
+        assert q.to_int() == 7
+
+    def test_reset_to_max(self, sim):
+        clk = add_clock(sim)
+        rst = sim.signal("rst", init=L0)
+        q = Bus(sim, "q", 3)
+        DownCounter(sim, "cnt", clk, q, rst=rst, modulo=6, init=3)
+        rst.drive(L1, 12e-9)
+        sim.run(13e-9)
+        assert q.to_int() == 5
+
+
+class TestClockDivider:
+    @pytest.mark.parametrize("n", [2, 3, 4, 10])
+    def test_division_ratio(self, sim, n):
+        clk = add_clock(sim, period=10e-9)
+        out = sim.signal("out", init=L0)
+        ClockDivider(sim, "div", clk, out, n=n)
+        tr = sim.probe(out)
+        sim.run(10e-9 * 10 * n + 5e-9)
+        rises = tr.edges("rise")
+        periods = np.diff(rises)
+        assert np.allclose(periods, 10e-9 * n), periods
+
+    def test_min_ratio(self, sim):
+        clk = add_clock(sim)
+        out = sim.signal("out", init=L0)
+        with pytest.raises(ElaborationError):
+            ClockDivider(sim, "div", clk, out, n=1)
+
+    def test_state_exposed(self, sim):
+        clk = add_clock(sim)
+        out = sim.signal("out", init=L0)
+        div = ClockDivider(sim, "div", clk, out, n=4)
+        assert set(div.state_signals()) == {"count[0]", "count[1]"}
+
+    def test_seu_on_count_shifts_phase_only(self, sim):
+        """A flip in the divider count slips the output phase but the
+        frequency recovers — the divider re-wraps within one cycle."""
+        clk = add_clock(sim, period=10e-9)
+        out = sim.signal("out", init=L0)
+        div = ClockDivider(sim, "div", clk, out, n=4)
+        tr = sim.probe(out)
+        sim.run(200e-9)
+        div.count.bits[0].deposit(
+            L1 if not div.count.bits[0].value.is_high() else L0
+        )
+        sim.run(400e-9)
+        rises = tr.edges("rise")
+        periods = np.diff(rises)
+        # after settling, the period is 40 ns again
+        assert periods[-1] == pytest.approx(40e-9)
+        assert periods.max() <= 50e-9 + 1e-12

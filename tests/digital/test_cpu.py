@@ -1,0 +1,154 @@
+"""Tests for the accumulator CPU case study."""
+
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import ClockGen
+from repro.digital.cpu import Accumulator8, OPCODES, assemble
+
+PERIOD = 10e-9
+
+COUNTDOWN = assemble([
+    ("LDI", 5),        # 0: acc = 5
+    ("OUT",),          # 1: emit
+    ("SUB", 1),        # 2: acc -= 1
+    ("JNZ", 1),        # 3: loop while acc != 0
+    ("OUT",),          # 4: emit the final zero
+    ("HALT",),         # 5
+])
+
+
+def build(program, duration=None, rst=None):
+    sim = Simulator(dt=1e-9)
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=PERIOD)
+    rst_sig = None
+    if rst:
+        rst_sig = sim.signal("rst", init=L0)
+    cpu = Accumulator8(sim, "cpu", clk, program, rst=rst_sig)
+    outs = []
+    cpu.out_valid.on_change(
+        lambda sig: outs.append(cpu.out.to_int_or_none())
+        if sig.value is L1 else None
+    )
+    if duration:
+        sim.run(duration)
+    return sim, cpu, outs, rst_sig
+
+
+class TestAssembler:
+    def test_encodes(self):
+        assert assemble([("LDI", 5)]) == [0x15]
+        assert assemble([("OUT",)]) == [0x60]
+        assert assemble([("HALT",)]) == [0x70]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ElaborationError):
+            assemble([("FLY", 1)])
+
+    def test_operand_arity(self):
+        with pytest.raises(ElaborationError):
+            assemble([("LDI",)])
+        with pytest.raises(ElaborationError):
+            assemble([("OUT", 1)])
+
+    def test_operand_range(self):
+        with pytest.raises(ElaborationError):
+            assemble([("LDI", 16)])
+
+    def test_program_size_limit(self):
+        with pytest.raises(ElaborationError):
+            assemble([("NOP",)] * 17)
+
+
+class TestExecution:
+    def test_countdown_matches_reference(self):
+        expected = Accumulator8.reference_run(COUNTDOWN)
+        assert expected == [5, 4, 3, 2, 1, 0]
+        _sim, cpu, outs, _rst = build(COUNTDOWN, duration=40 * PERIOD)
+        assert outs == expected
+        assert cpu.halted.value is L1
+
+    def test_arithmetic_wraps(self):
+        program = assemble([("LDI", 0), ("SUB", 1), ("OUT",), ("HALT",)])
+        _sim, _cpu, outs, _rst = build(program, duration=10 * PERIOD)
+        assert outs == [255]
+
+    def test_jmp_loops_forever(self):
+        program = assemble([("ADD", 1), ("JMP", 0)])
+        _sim, cpu, _outs, _rst = build(program, duration=20 * PERIOD)
+        assert cpu.halted.value is L0
+        assert cpu.instructions_retired >= 19
+
+    def test_halt_stops_retirement(self):
+        program = assemble([("HALT",)])
+        _sim, cpu, _outs, _rst = build(program, duration=20 * PERIOD)
+        assert cpu.instructions_retired == 1
+
+    def test_reset_restarts(self):
+        program = assemble([("LDI", 3), ("OUT",), ("HALT",)])
+        sim, cpu, outs, rst = build(program, rst=True)
+        sim.run(10 * PERIOD)
+        assert cpu.halted.value is L1
+        rst.drive(L1)
+        sim.run(10.5 * PERIOD)
+        rst.drive(L0)
+        sim.run(25 * PERIOD)
+        assert outs == [3, 3]
+
+    def test_empty_program_rejected(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            Accumulator8(sim, "cpu", clk, [])
+
+    def test_state_signals_exposed(self):
+        _sim, cpu, _outs, _rst = build(COUNTDOWN)
+        names = set(cpu.state_signals())
+        assert "pc[0]" in names and "acc[7]" in names and "z" in names
+        assert len(names) == 13
+
+
+class TestSEUSignatures:
+    def test_acc_flip_corrupts_data_not_flow(self):
+        sim, cpu, outs, _rst = build(COUNTDOWN)
+        sim.run(1.5 * PERIOD)  # after OUT of 5
+        cpu.acc.bits[6].deposit(L1)  # acc: 5 -> 69
+        # 69 countdown iterations x 3 cycles each: run long enough.
+        sim.run(400 * PERIOD)
+        # The countdown still reaches zero and halts (control intact),
+        # but emits corrupted values on the way.
+        assert cpu.halted.value is L1
+        assert outs[0] == 5
+        assert outs[1] != 4
+
+    def test_pc_flip_derails_control_flow(self):
+        sim, cpu, outs, _rst = build(COUNTDOWN)
+        sim.run(1.5 * PERIOD)
+        cpu.pc.bits[2].deposit(L1)  # jump somewhere else
+        sim.run(80 * PERIOD)
+        assert outs != [5, 4, 3, 2, 1, 0]
+
+    def test_z_flip_misroutes_branch(self):
+        program = assemble([
+            ("LDI", 0),     # acc = 0, Z = 1
+            ("JNZ", 3),     # not taken when healthy
+            ("HALT",),      # healthy path
+            ("LDI", 9),     # faulty path
+            ("OUT",),
+            ("HALT",),
+        ])
+        sim, cpu, outs, _rst = build(program)
+        sim.run(0.5 * PERIOD)  # LDI executed at edge 0
+        cpu.zflag.deposit(L0)  # SEU on the flag before the branch
+        sim.run(20 * PERIOD)
+        assert outs == [9]  # the branch went the wrong way
+
+    def test_x_pc_recovers_via_escape(self):
+        sim, cpu, _outs, _rst = build(COUNTDOWN)
+        sim.run(1.5 * PERIOD)
+        cpu.pc.bits[0].deposit(Logic.X)
+        sim.run(3.5 * PERIOD)
+        # The escape path restarted at 0 with poisoned data state.
+        assert cpu.pc.to_int_or_none() is not None

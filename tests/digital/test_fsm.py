@@ -1,0 +1,159 @@
+"""Tests for the Moore FSM framework and SEU-induced erroneous transitions."""
+
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import ClockGen, MooreFSM, table_transition
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def add_clock(sim, period=10e-9):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=period)
+    return clk
+
+
+def make_cycle_fsm(sim, clk, states=("A", "B", "C"), **kwargs):
+    """FSM cycling A -> B -> C -> A unconditionally."""
+    table = {s: states[(i + 1) % len(states)] for i, s in enumerate(states)}
+    return MooreFSM(
+        sim, "fsm", clk, list(states), table_transition(table), **kwargs
+    )
+
+
+class TestBasics:
+    def test_starts_in_reset_state(self, sim):
+        clk = sim.signal("clk", init=L0)
+        fsm = make_cycle_fsm(sim, clk)
+        sim.run(1e-9)
+        assert fsm.current_state() == "A"
+
+    def test_cycles_through_states(self, sim):
+        clk = add_clock(sim)
+        fsm = make_cycle_fsm(sim, clk)
+        sim.run(25e-9)  # edges at 0, 10, 20
+        assert fsm.current_state() == "A"
+        sim.run(35e-9)
+        assert fsm.current_state() == "B"
+
+    def test_conditional_transition(self, sim):
+        clk = add_clock(sim)
+        go = sim.signal("go", init=L0)
+
+        def transition(state, fsm):
+            if state == "IDLE":
+                return "RUN" if go.value.is_high() else "IDLE"
+            return "IDLE"
+
+        fsm = MooreFSM(sim, "fsm", clk, ["IDLE", "RUN"], transition)
+        sim.run(25e-9)
+        assert fsm.current_state() == "IDLE"
+        go.drive(L1)
+        sim.run(35e-9)
+        assert fsm.current_state() == "RUN"
+
+    def test_moore_outputs_follow_state(self, sim):
+        clk = add_clock(sim)
+        out = sim.signal("busy")
+        table = {"A": "B", "B": "A"}
+        MooreFSM(
+            sim, "fsm", clk, ["A", "B"], table_transition(table),
+            moore_outputs={out: {"A": L0, "B": L1}},
+        )
+        sim.run(5e-9)   # edge at 0: A -> B
+        assert out.value is L1
+        sim.run(15e-9)  # edge at 10: B -> A
+        assert out.value is L0
+
+    def test_reset_signal(self, sim):
+        clk = add_clock(sim)
+        rst = sim.signal("rst", init=L0)
+        fsm = make_cycle_fsm(sim, clk, rst=rst)
+        sim.run(15e-9)
+        assert fsm.current_state() == "C"
+        rst.drive(L1)
+        sim.run(16e-9)
+        assert fsm.current_state() == "A"
+
+
+class TestValidation:
+    def test_empty_states_rejected(self, sim):
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            MooreFSM(sim, "fsm", clk, [], lambda s, f: s)
+
+    def test_duplicate_states_rejected(self, sim):
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            MooreFSM(sim, "fsm", clk, ["A", "A"], lambda s, f: s)
+
+    def test_unknown_reset_state(self, sim):
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            MooreFSM(sim, "fsm", clk, ["A"], lambda s, f: s, reset_state="Z")
+
+    def test_bad_on_invalid(self, sim):
+        clk = sim.signal("clk", init=L0)
+        with pytest.raises(ElaborationError):
+            MooreFSM(sim, "fsm", clk, ["A"], lambda s, f: s,
+                     on_invalid="explode")
+
+    def test_transition_to_unknown_state_raises(self, sim):
+        clk = add_clock(sim)
+        MooreFSM(sim, "fsm", clk, ["A"], lambda s, f: "NOPE")
+        with pytest.raises(ElaborationError):
+            sim.run(1e-9)
+
+
+class TestSEUTransitions:
+    def test_bitflip_causes_erroneous_transition(self, sim):
+        clk = add_clock(sim)
+        fsm = make_cycle_fsm(sim, clk, states=("A", "B", "C", "D"))
+        sim.run(5e-9)   # now in B (code 1)
+        assert fsm.current_state() == "B"
+        fsm.state_bus.bits[1].deposit(L1)  # code 1 -> 3 = D
+        assert fsm.current_state() == "D"
+        sim.run(15e-9)  # next edge proceeds from D
+        assert fsm.current_state() == "A"
+
+    def test_invalid_code_recovers_by_reset_policy(self, sim):
+        clk = add_clock(sim)
+        fsm = make_cycle_fsm(sim, clk)  # 3 states on 2 bits; code 3 invalid
+        sim.run(5e-9)
+        fsm.state_bus.deposit_int(3)
+        assert fsm.current_state() is None
+        sim.run(15e-9)
+        assert fsm.current_state() == "A"
+        assert fsm.invalid_entries == 1
+
+    def test_invalid_code_hold_policy(self, sim):
+        clk = add_clock(sim)
+        fsm = make_cycle_fsm(sim, clk, on_invalid="hold")
+        sim.run(5e-9)
+        fsm.state_bus.deposit_int(3)
+        sim.run(25e-9)
+        assert fsm.current_state() is None
+        assert fsm.invalid_entries >= 2
+
+    def test_invalid_state_drives_x_outputs(self, sim):
+        clk = add_clock(sim)
+        out = sim.signal("flag")
+        table = {"A": "B", "B": "C", "C": "A"}
+        fsm = MooreFSM(
+            sim, "fsm", clk, ["A", "B", "C"], table_transition(table),
+            moore_outputs={out: {"A": L0, "B": L1, "C": L1}},
+        )
+        sim.run(5e-9)
+        fsm.state_bus.deposit_int(3)
+        sim.run(6e-9)
+        assert out.value is Logic.X
+
+    def test_state_signals_exposed(self, sim):
+        clk = add_clock(sim)
+        fsm = make_cycle_fsm(sim, clk)
+        assert set(fsm.state_signals()) == {"state[0]", "state[1]"}

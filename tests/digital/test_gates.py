@@ -1,0 +1,255 @@
+"""Tests for combinational gates."""
+
+import itertools
+
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator, X
+from repro.core.errors import ElaborationError
+from repro.digital import (
+    AndGate,
+    BufGate,
+    Mux2,
+    NandGate,
+    NorGate,
+    NotGate,
+    OrGate,
+    XorGate,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def settle(sim):
+    sim.run(sim.now + 1e-9)
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "cls,table",
+        [
+            (AndGate, {(0, 0): L0, (0, 1): L0, (1, 0): L0, (1, 1): L1}),
+            (OrGate, {(0, 0): L0, (0, 1): L1, (1, 0): L1, (1, 1): L1}),
+            (XorGate, {(0, 0): L0, (0, 1): L1, (1, 0): L1, (1, 1): L0}),
+            (NandGate, {(0, 0): L1, (0, 1): L1, (1, 0): L1, (1, 1): L0}),
+            (NorGate, {(0, 0): L1, (0, 1): L0, (1, 0): L0, (1, 1): L0}),
+        ],
+    )
+    def test_two_input(self, cls, table):
+        for (va, vb), expected in table.items():
+            sim = Simulator()
+            a = sim.signal("a", init=L1 if va else L0)
+            b = sim.signal("b", init=L1 if vb else L0)
+            y = sim.signal("y")
+            cls(sim, "g", [a, b], y)
+            settle(sim)
+            assert y.value is expected, f"{cls.__name__}({va},{vb})"
+
+    def test_not(self, sim):
+        a = sim.signal("a", init=L0)
+        y = sim.signal("y")
+        NotGate(sim, "inv", a, y)
+        settle(sim)
+        assert y.value is L1
+        a.drive(L1)
+        settle(sim)
+        assert y.value is L0
+
+    def test_buf(self, sim):
+        a = sim.signal("a", init=Logic.WH)
+        y = sim.signal("y")
+        BufGate(sim, "buf", a, y)
+        settle(sim)
+        assert y.value is L1
+
+
+class TestXPropagation:
+    def test_and_with_controlling_zero(self, sim):
+        a = sim.signal("a", init=L0)
+        b = sim.signal("b", init=X)
+        y = sim.signal("y")
+        AndGate(sim, "g", [a, b], y)
+        settle(sim)
+        assert y.value is L0
+
+    def test_and_with_x_and_one(self, sim):
+        a = sim.signal("a", init=L1)
+        b = sim.signal("b", init=X)
+        y = sim.signal("y")
+        AndGate(sim, "g", [a, b], y)
+        settle(sim)
+        assert y.value is X
+
+
+class TestDelays:
+    def test_propagation_delay(self, sim):
+        a = sim.signal("a", init=L0)
+        y = sim.signal("y")
+        NotGate(sim, "inv", a, y, delay=3e-9)
+        sim.run(4e-9)
+        assert y.value is L1  # initial evaluation propagated
+        a.drive(L1)
+        sim.run(6e-9)
+        assert y.value is L1  # change still in flight
+        sim.run(8e-9)
+        assert y.value is L0
+
+    def test_glitch_passes_transport_delay(self, sim):
+        a = sim.signal("a", init=L0)
+        y = sim.signal("y")
+        BufGate(sim, "buf", a, y, delay=5e-9)
+        changes = []
+        y.on_change(lambda s: changes.append((sim.now, s.value)))
+        sim.run(6e-9)
+        a.drive(L1)        # pulse 1 ns wide at t=6
+        a.drive(L0, 1e-9)
+        sim.run(20e-9)
+        # Transport delay: the 1 ns pulse reappears at the output.
+        assert (pytest.approx(11e-9), L1) == changes[-2]
+        assert (pytest.approx(12e-9), L0) == changes[-1]
+
+
+class TestStructure:
+    def test_three_input_gate(self, sim):
+        sigs = [sim.signal(f"i{k}", init=L1) for k in range(3)]
+        y = sim.signal("y")
+        AndGate(sim, "g", sigs, y)
+        settle(sim)
+        assert y.value is L1
+        sigs[2].drive(L0)
+        settle(sim)
+        assert y.value is L0
+
+    def test_no_inputs_rejected(self, sim):
+        y = sim.signal("y")
+        with pytest.raises(ElaborationError):
+            AndGate(sim, "g", [], y)
+
+    def test_chain_settles_through_deltas(self, sim):
+        # inverter chain of length 5, all zero delay: settles within
+        # the same timestamp through delta cycles.
+        stages = [sim.signal(f"n{k}") for k in range(6)]
+        stages[0].drive(L0)
+        for k in range(5):
+            NotGate(sim, f"inv{k}", stages[k], stages[k + 1])
+        settle(sim)
+        assert stages[5].value is L1
+
+
+class TestMux:
+    @pytest.mark.parametrize("sel,expected", [(L0, L1), (L1, L0)])
+    def test_select(self, sim, sel, expected):
+        a = sim.signal("a", init=L1)
+        b = sim.signal("b", init=L0)
+        s = sim.signal("s", init=sel)
+        y = sim.signal("y")
+        Mux2(sim, "mux", a, b, s, y)
+        settle(sim)
+        assert y.value is expected
+
+    def test_x_select_with_agreeing_inputs(self, sim):
+        a = sim.signal("a", init=L1)
+        b = sim.signal("b", init=L1)
+        s = sim.signal("s", init=X)
+        y = sim.signal("y")
+        Mux2(sim, "mux", a, b, s, y)
+        settle(sim)
+        assert y.value is L1
+
+    def test_x_select_with_disagreeing_inputs(self, sim):
+        a = sim.signal("a", init=L1)
+        b = sim.signal("b", init=L0)
+        s = sim.signal("s", init=X)
+        y = sim.signal("y")
+        Mux2(sim, "mux", a, b, s, y)
+        settle(sim)
+        assert y.value is X
+
+
+def test_exhaustive_xor_reduction():
+    """3-input XOR equals parity for every defined input combo."""
+    for combo in itertools.product([0, 1], repeat=3):
+        sim = Simulator()
+        sigs = [sim.signal(f"i{k}", init=L1 if v else L0)
+                for k, v in enumerate(combo)]
+        y = sim.signal("y")
+        XorGate(sim, "g", sigs, y)
+        sim.run(1e-9)
+        assert y.value is (L1 if sum(combo) % 2 else L0)
+
+
+class TestInertialDelay:
+    def _buffer(self, sim, inertial):
+        a = sim.signal("a", init=L0)
+        y = sim.signal("y")
+        gate = BufGate(sim, "buf", a, y, delay=5e-9, inertial=inertial)
+        return a, y, gate
+
+    def test_narrow_pulse_filtered(self):
+        """A pulse shorter than the gate delay never emerges —
+        electrical masking of SETs."""
+        sim = Simulator()
+        a, y, gate = self._buffer(sim, inertial=True)
+        changes = []
+        y.on_change(lambda s: changes.append((sim.now, s.value)))
+        sim.run(10e-9)
+        a.drive(L1)          # 2 ns pulse at t=10, < 5 ns delay
+        a.drive(L0, 2e-9)
+        sim.run(30e-9)
+        assert all(v is not L1 for _t, v in changes)
+        assert gate.filtered_glitches >= 1
+
+    def test_wide_pulse_passes(self):
+        sim = Simulator()
+        a, y, _gate = self._buffer(sim, inertial=True)
+        tr = sim.probe(y)
+        sim.run(10e-9)
+        a.drive(L1)          # 8 ns pulse > 5 ns delay
+        a.drive(L0, 8e-9)
+        sim.run(40e-9)
+        assert len(tr.edges("rise")) == 1
+        assert len(tr.edges("fall")) == 1
+
+    def test_transport_mode_passes_narrow_pulse(self):
+        sim = Simulator()
+        a, y, _gate = self._buffer(sim, inertial=False)
+        tr = sim.probe(y)
+        sim.run(10e-9)
+        a.drive(L1)
+        a.drive(L0, 2e-9)
+        sim.run(30e-9)
+        assert len(tr.edges("rise")) == 1  # glitch reproduced
+
+    def test_steady_state_behaviour_unchanged(self):
+        """Inertial gates still compute the right function."""
+        sim = Simulator()
+        ins = [sim.signal(f"i{k}", init=L1) for k in range(2)]
+        y = sim.signal("y")
+        AndGate(sim, "g", ins, y, delay=3e-9, inertial=True)
+        sim.run(10e-9)
+        assert y.value is L1
+        ins[0].drive(L0)
+        sim.run(20e-9)
+        assert y.value is L0
+
+    def test_inertial_chain_attenuates_progressively(self):
+        """Through a chain of inertial gates, only pulses wider than
+        every stage's delay survive."""
+        sim = Simulator()
+        stages = [sim.signal(f"n{k}") for k in range(4)]
+        stages[0].drive(L0)
+        gates = [
+            BufGate(sim, f"b{k}", stages[k], stages[k + 1],
+                    delay=(k + 1) * 2e-9, inertial=True)
+            for k in range(3)
+        ]
+        tr = sim.probe(stages[3])
+        sim.run(10e-9)
+        stages[0].drive(L1)   # 5 ns pulse: passes 2 ns and 4 ns stages,
+        stages[0].drive(L0, 5e-9)  # filtered by the 6 ns stage
+        sim.run(60e-9)
+        assert len(tr.edges("rise")) == 0
+        assert gates[2].filtered_glitches >= 1

@@ -1,0 +1,107 @@
+"""Tests for LFSRs, including hypothesis checks against the software model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import L0, L1, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import Bus, ClockGen, LFSR, MAXIMAL_TAPS
+
+
+def run_lfsr(width, steps, taps=None, init=1):
+    sim = Simulator()
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9)
+    q = Bus(sim, "q", width)
+    LFSR(sim, "lfsr", clk, q, taps=taps, init=init)
+    sim.run(steps * 10e-9 - 5e-9)
+    return q.to_int()
+
+
+class TestAgainstSoftwareModel:
+    @pytest.mark.parametrize("width", [3, 4, 8])
+    def test_matches_reference(self, width):
+        steps = 12
+        expected = LFSR.sequence(width, steps=steps)[-1]
+        assert run_lfsr(width, steps) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([3, 4, 5, 8]),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_any_step_count(self, width, steps):
+        expected = LFSR.sequence(width, steps=steps)[-1]
+        assert run_lfsr(width, steps) == expected
+
+
+class TestMaximality:
+    @pytest.mark.parametrize("width", [3, 4, 5])
+    def test_maximal_period(self, width):
+        """Default taps visit all 2**n - 1 nonzero states."""
+        seq = LFSR.sequence(width, steps=(1 << width) - 1)
+        assert len(set(seq)) == (1 << width) - 1
+        assert 0 not in seq
+        assert seq[-1] == 1  # returns to the seed
+
+    def test_all_zero_locks_up(self):
+        seq = LFSR.sequence(4, init=0, steps=5)
+        assert seq == [0] * 5
+
+
+class TestConstruction:
+    def test_unknown_width_needs_taps(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        q = Bus(sim, "q", 13)  # 13 not in MAXIMAL_TAPS
+        with pytest.raises(ElaborationError):
+            LFSR(sim, "l", clk, q)
+
+    def test_explicit_taps(self):
+        assert run_lfsr(3, 3, taps=(3, 2)) == LFSR.sequence(3, taps=(3, 2), steps=3)[-1]
+
+    def test_tap_out_of_range(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        q = Bus(sim, "q", 4)
+        with pytest.raises(ElaborationError):
+            LFSR(sim, "l", clk, q, taps=(5,))
+
+    def test_width_one_rejected(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        q = Bus(sim, "q", 1)
+        with pytest.raises(ElaborationError):
+            LFSR(sim, "l", clk, q)
+
+    def test_reset_restores_seed(self):
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        rst = sim.signal("rst", init=L0)
+        q = Bus(sim, "q", 8)
+        LFSR(sim, "l", clk, q, init=1, rst=rst)
+        sim.run(55e-9)
+        assert q.to_int() != 1
+        rst.drive(L1)
+        sim.run(56e-9)
+        assert q.to_int() == 1
+
+    def test_default_taps_table_covers_claimed_widths(self):
+        for width, taps in MAXIMAL_TAPS.items():
+            assert max(taps) == width
+
+
+class TestSEUBehaviour:
+    def test_flip_changes_entire_future(self):
+        """One upset decorrelates the whole subsequent sequence."""
+        sim = Simulator()
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9)
+        q = Bus(sim, "q", 8)
+        LFSR(sim, "l", clk, q)
+        sim.run(55e-9)
+        golden_future = LFSR.sequence(8, steps=20)
+        q.bits[4].deposit(L0 if q.bits[4].value.is_high() else L1)
+        sim.run(195e-9)
+        assert q.to_int() != golden_future[-1]

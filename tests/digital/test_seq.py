@@ -1,0 +1,180 @@
+"""Tests for sequential elements (DFF, TFF, latch, register)."""
+
+import pytest
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.digital import Bus, ClockGen, DFF, DLatch, Register, TFF
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def add_clock(sim, period=10e-9):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=period)
+    return clk
+
+
+class TestDFF:
+    def test_captures_on_rising_edge(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q)
+        sim.run(1e-9)
+        assert q.value is L1
+
+    def test_ignores_falling_edge(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L0)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q)
+        sim.run(2e-9)
+        d.drive(L1)      # changes after the rising edge at t=0
+        sim.run(6e-9)    # falling edge at 5 ns passed
+        assert q.value is L0
+        sim.run(11e-9)   # next rising edge at 10 ns
+        assert q.value is L1
+
+    def test_initial_value_u(self, sim):
+        d = sim.signal("d", init=L0)
+        clk = sim.signal("clkq", init=L0)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q)
+        sim.run(1e-9)
+        assert q.value is Logic.U
+
+    def test_async_reset(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        rst = sim.signal("rst", init=L0)
+        DFF(sim, "ff", d, clk, q, rst=rst)
+        sim.run(1e-9)
+        assert q.value is L1
+        rst.drive(L1, 2e-9)   # mid-cycle, no clock edge
+        sim.run(4e-9)
+        assert q.value is L0
+
+    def test_state_signals(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L0)
+        q = sim.signal("q")
+        ff = DFF(sim, "ff", d, clk, q)
+        assert ff.state_signals() == {"q": q}
+
+    def test_seu_deposit_persists_until_next_edge(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L0)
+        q = sim.signal("q")
+        DFF(sim, "ff", d, clk, q)
+        sim.run(3e-9)
+        q.deposit(L1)          # SEU
+        sim.run(9e-9)          # no clock edge yet
+        assert q.value is L1
+        sim.run(11e-9)         # rising edge reloads d=0
+        assert q.value is L0
+
+
+class TestTFF:
+    def test_divides_by_two(self, sim):
+        clk = add_clock(sim)
+        q = sim.signal("q")
+        TFF(sim, "t", clk, q)
+        tr = sim.probe(q)
+        sim.run(45e-9)
+        # input rises at 0,10,20,30,40 -> q toggles each time
+        assert len(tr.edges("rise")) + len(tr.edges("fall")) == 5
+
+    def test_undefined_stays_x(self, sim):
+        clk = add_clock(sim)
+        q = sim.signal("q")
+        TFF(sim, "t", clk, q, init=Logic.X)
+        sim.run(25e-9)
+        assert q.value is Logic.X
+
+    def test_reset(self, sim):
+        clk = add_clock(sim)
+        q = sim.signal("q")
+        rst = sim.signal("rst", init=L0)
+        TFF(sim, "t", clk, q, rst=rst)
+        sim.run(12e-9)
+        rst.drive(L1)
+        sim.run(13e-9)
+        assert q.value is L0
+
+
+class TestDLatch:
+    def test_transparent_when_enabled(self, sim):
+        d = sim.signal("d", init=L0)
+        en = sim.signal("en", init=L1)
+        q = sim.signal("q")
+        DLatch(sim, "lat", d, en, q)
+        sim.run(1e-9)
+        d.drive(L1)
+        sim.run(2e-9)
+        assert q.value is L1
+
+    def test_holds_when_disabled(self, sim):
+        d = sim.signal("d", init=L1)
+        en = sim.signal("en", init=L1)
+        q = sim.signal("q")
+        DLatch(sim, "lat", d, en, q)
+        sim.run(1e-9)
+        en.drive(L0)
+        sim.run(2e-9)
+        d.drive(L0)
+        sim.run(3e-9)
+        assert q.value is L1
+
+
+class TestRegister:
+    def test_load_on_edge(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4, init=9)
+        q = Bus(sim, "q", 4)
+        Register(sim, "reg", d, clk, q)
+        sim.run(1e-9)
+        assert q.to_int() == 9
+
+    def test_enable_gates_load(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4, init=9)
+        q = Bus(sim, "q", 4)
+        en = sim.signal("en", init=L0)
+        Register(sim, "reg", d, clk, q, en=en, init=3)
+        sim.run(11e-9)
+        assert q.to_int() == 3
+        en.drive(L1)
+        sim.run(21e-9)
+        assert q.to_int() == 9
+
+    def test_async_reset_clears(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4, init=15)
+        q = Bus(sim, "q", 4)
+        rst = sim.signal("rst", init=L0)
+        Register(sim, "reg", d, clk, q, rst=rst)
+        sim.run(1e-9)
+        assert q.to_int() == 15
+        rst.drive(L1, 2e-9)
+        sim.run(4e-9)
+        assert q.to_int() == 0
+
+    def test_width_mismatch_rejected(self, sim):
+        from repro.core.errors import ElaborationError
+
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4)
+        q = Bus(sim, "q", 3)
+        with pytest.raises(ElaborationError):
+            Register(sim, "reg", d, clk, q)
+
+    def test_state_signals_per_bit(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 2)
+        q = Bus(sim, "q", 2)
+        reg = Register(sim, "reg", d, clk, q)
+        assert set(reg.state_signals()) == {"q[0]", "q[1]"}

@@ -1,0 +1,114 @@
+"""Tests for shift registers."""
+
+import pytest
+
+from repro.core import L0, L1, Simulator
+from repro.core.errors import ElaborationError
+from repro.digital import Bus, ClockGen, ShiftRegister
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def build(sim, width=4, **kwargs):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9)
+    sin = sim.signal("sin", init=L0)
+    q = Bus(sim, "q", width)
+    sr = ShiftRegister(sim, "sr", clk, sin, q, **kwargs)
+    return clk, sin, q, sr
+
+
+class TestShifting:
+    def test_shifts_toward_msb(self, sim):
+        _clk, sin, q, _sr = build(sim)
+        sin.drive(L1)
+        sim.run(5e-9)    # edge at 0 shifted in a 1
+        assert q.to_int() == 1
+        sin.drive(L0)
+        sim.run(15e-9)   # edge at 10 shifts: q = 2
+        assert q.to_int() == 2
+        sim.run(35e-9)   # edges at 20, 30
+        assert q.to_int() == 8
+
+    def test_bit_falls_off_the_end(self, sim):
+        _clk, sin, q, _sr = build(sim, width=2, init=2)
+        sim.run(5e-9)    # 0 shifted in, MSB=1 discarded
+        assert q.to_int() == 0
+
+    def test_serial_out_mirrors_msb(self, sim):
+        sim2 = Simulator()
+        clk = sim2.signal("clk", init=L0)
+        ClockGen(sim2, "ck", clk, period=10e-9)
+        sin = sim2.signal("sin", init=L1)
+        sout = sim2.signal("sout")
+        q = Bus(sim2, "q", 3)
+        ShiftRegister(sim2, "sr", clk, sin, q, serial_out=sout)
+        sim2.run(25e-9)  # three edges: q = 111
+        assert q.to_int() == 7
+        assert sout.value is L1
+
+
+class TestParallelLoad:
+    def test_load_overrides_shift(self, sim):
+        sim2 = Simulator()
+        clk = sim2.signal("clk", init=L0)
+        ClockGen(sim2, "ck", clk, period=10e-9)
+        sin = sim2.signal("sin", init=L1)
+        d = Bus(sim2, "d", 4, init=9)
+        load = sim2.signal("load", init=L1)
+        q = Bus(sim2, "q", 4)
+        ShiftRegister(sim2, "sr", clk, sin, q, d=d, load=load)
+        sim2.run(5e-9)
+        assert q.to_int() == 9
+        load.drive(L0)
+        sim2.run(15e-9)  # shift: 9 -> (9 << 1 | 1) & 15 = 3
+        assert q.to_int() == 3
+
+    def test_d_without_load_rejected(self, sim):
+        clk = sim.signal("clk2", init=L0)
+        sin = sim.signal("sin2", init=L0)
+        d = Bus(sim, "d", 4)
+        q = Bus(sim, "q2", 4)
+        with pytest.raises(ElaborationError):
+            ShiftRegister(sim, "sr2", clk, sin, q, d=d)
+
+    def test_width_mismatch_rejected(self, sim):
+        clk = sim.signal("clk2", init=L0)
+        sin = sim.signal("sin2", init=L0)
+        d = Bus(sim, "d", 3)
+        load = sim.signal("load2", init=L0)
+        q = Bus(sim, "q2", 4)
+        with pytest.raises(ElaborationError):
+            ShiftRegister(sim, "sr2", clk, sin, q, d=d, load=load)
+
+
+class TestResetAndState:
+    def test_reset_clears(self, sim):
+        sim2 = Simulator()
+        clk = sim2.signal("clk", init=L0)
+        ClockGen(sim2, "ck", clk, period=10e-9)
+        sin = sim2.signal("sin", init=L1)
+        rst = sim2.signal("rst", init=L0)
+        q = Bus(sim2, "q", 4)
+        ShiftRegister(sim2, "sr", clk, sin, q, rst=rst)
+        sim2.run(25e-9)
+        assert q.to_int() == 7
+        rst.drive(L1)
+        sim2.run(26e-9)
+        assert q.to_int() == 0
+
+    def test_state_signals(self, sim):
+        _clk, _sin, q, sr = build(sim)
+        assert set(sr.state_signals()) == {f"q[{i}]" for i in range(4)}
+
+    def test_seu_shifts_out_eventually(self, sim):
+        """A flipped bit is flushed after `width` clocks — the natural
+        recovery of a shift register."""
+        _clk, sin, q, _sr = build(sim)
+        sim.run(5e-9)
+        q.bits[1].deposit(L1)
+        sim.run(45e-9)  # 4 more edges flush the corruption
+        assert q.to_int() == 0

@@ -1,0 +1,119 @@
+"""Tests for digital fault descriptions: bit-flips, MBUs, SETs, stuck-ats,
+and the analog parametric model."""
+
+import pytest
+
+from repro.core.errors import FaultModelError
+from repro.core.logic import Logic
+from repro.faults import (
+    BitFlip,
+    MultipleBitUpset,
+    ParametricFault,
+    SETPulse,
+    StuckAt,
+)
+
+
+class TestBitFlip:
+    def test_basic(self):
+        f = BitFlip("top/ff.q", 1e-6)
+        assert f.target == "top/ff.q"
+        assert f.time == 1e-6
+        assert f.targets() == ("top/ff.q",)
+
+    def test_engineering_time(self):
+        f = BitFlip("t", "170us")
+        assert f.time == pytest.approx(170e-6)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultModelError):
+            BitFlip("t", -1.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(FaultModelError):
+            BitFlip("", 1.0)
+
+    def test_equality_and_hash(self):
+        assert BitFlip("t", 1e-6) == BitFlip("t", 1e-6)
+        assert BitFlip("t", 1e-6) != BitFlip("t", 2e-6)
+        assert len({BitFlip("t", 1e-6), BitFlip("t", 1e-6)}) == 1
+
+    def test_describe(self):
+        assert "SEU" in BitFlip("t", 1e-6).describe()
+
+
+class TestMBU:
+    def test_basic(self):
+        f = MultipleBitUpset(["a", "b", "c"], 1e-6)
+        assert f.targets() == ("a", "b", "c")
+
+    def test_single_target_rejected(self):
+        with pytest.raises(FaultModelError):
+            MultipleBitUpset(["a"], 1e-6)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(FaultModelError):
+            MultipleBitUpset(["a", "a"], 1e-6)
+
+    def test_describe_counts_bits(self):
+        assert "2 bits" in MultipleBitUpset(["a", "b"], 1e-6).describe()
+
+
+class TestSETPulse:
+    def test_basic(self):
+        f = SETPulse("wire", "10ns", "500ps")
+        assert f.width == pytest.approx(5e-10)
+        assert f.value is None
+
+    def test_forced_value(self):
+        f = SETPulse("wire", 1e-8, 1e-9, value="1")
+        assert "force" in f.describe()
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(FaultModelError):
+            SETPulse("wire", 1e-8, 0.0)
+
+    def test_invert_describe(self):
+        assert "invert" in SETPulse("wire", 1e-8, 1e-9).describe()
+
+
+class TestStuckAt:
+    def test_basic(self):
+        f = StuckAt("wire", 1)
+        assert f.value is Logic.L1
+        assert f.t_end is None
+
+    def test_windowed(self):
+        f = StuckAt("wire", "X", t_start="1us", t_end="2us")
+        assert f.t_end == pytest.approx(2e-6)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(FaultModelError):
+            StuckAt("wire", 0, t_start=2e-6, t_end=1e-6)
+
+    def test_describe(self):
+        assert "stuck-at-1" in StuckAt("wire", 1).describe()
+
+
+class TestParametric:
+    def test_factor(self):
+        f = ParametricFault("pll/vco", "kvco", factor=1.2)
+        assert f.faulty_value(10e6) == pytest.approx(12e6)
+
+    def test_delta(self):
+        f = ParametricFault("pll/vco", "kvco", delta=-1e6)
+        assert f.faulty_value(10e6) == pytest.approx(9e6)
+
+    def test_exactly_one_mode(self):
+        with pytest.raises(FaultModelError):
+            ParametricFault("c", "a", factor=1.1, delta=0.1)
+        with pytest.raises(FaultModelError):
+            ParametricFault("c", "a")
+
+    def test_window_validation(self):
+        with pytest.raises(FaultModelError):
+            ParametricFault("c", "a", factor=2.0, t_start=2.0, t_end=1.0)
+
+    def test_describe(self):
+        text = ParametricFault("pll/vco", "kvco", factor=1.2).describe()
+        assert "pll/vco.kvco" in text and "x1.2" in text

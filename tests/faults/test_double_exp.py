@@ -1,0 +1,101 @@
+"""Tests for the Messenger double-exponential model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import FaultModelError
+from repro.faults import DoubleExponentialPulse
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DoubleExponentialPulse("14mA", "50ps", "300ps")
+        assert d.i0 == pytest.approx(0.014)
+        assert d.tau_r == pytest.approx(50e-12)
+        assert d.tau_f == pytest.approx(300e-12)
+
+    def test_tau_ordering_enforced(self):
+        with pytest.raises(FaultModelError):
+            DoubleExponentialPulse(0.01, 3e-10, 5e-11)
+
+    def test_equal_taus_rejected(self):
+        with pytest.raises(FaultModelError):
+            DoubleExponentialPulse(0.01, 1e-10, 1e-10)
+
+    def test_zero_i0_rejected(self):
+        with pytest.raises(FaultModelError):
+            DoubleExponentialPulse(0.0, 5e-11, 3e-10)
+
+    def test_from_peak(self):
+        d = DoubleExponentialPulse.from_peak("10mA", "50ps", "300ps")
+        assert d.peak() == pytest.approx(0.01, rel=1e-9)
+
+    def test_from_charge(self):
+        d = DoubleExponentialPulse.from_charge(6e-12, 5e-11, 3e-10)
+        assert d.charge() == pytest.approx(6e-12)
+
+
+class TestClosedForms:
+    def test_peak_time_formula(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        taus = np.linspace(0, 2e-9, 200001)
+        numeric_peak_t = taus[np.argmax(d.current_array(taus))]
+        assert d.t_peak == pytest.approx(float(numeric_peak_t), abs=2e-13)
+
+    def test_charge_formula(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        taus = np.linspace(0, 30 * d.tau_f, 400001)
+        numeric = float(np.trapezoid(d.current_array(taus), taus))
+        assert d.charge() == pytest.approx(numeric, rel=1e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.floats(min_value=1e-3, max_value=0.1),
+        st.floats(min_value=1e-11, max_value=1e-10),
+        st.floats(min_value=1.5, max_value=50.0),
+    )
+    def test_peak_formula_property(self, i0, tau_r, ratio):
+        d = DoubleExponentialPulse(i0, tau_r, tau_r * ratio)
+        taus = np.linspace(0, 10 * d.tau_f, 50001)
+        numeric = float(np.max(d.current_array(taus)))
+        assert d.peak() == pytest.approx(numeric, rel=1e-3)
+
+    def test_current_zero_before_onset(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        assert d.current(-1e-12) == 0.0
+        assert d.current(0.0) == 0.0
+
+
+class TestTail:
+    def test_tail_time_bounds_decay(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        t = d.tail_time(1e-3)
+        assert abs(d.current(t)) <= 1.1e-3 * d.peak()
+
+    def test_tail_fraction_validated(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        with pytest.raises(FaultModelError):
+            d.tail_time(0.0)
+        with pytest.raises(FaultModelError):
+            d.tail_time(1.5)
+
+    def test_duration_covers_pulse(self):
+        d = DoubleExponentialPulse(0.01, 5e-11, 3e-10)
+        assert abs(d.current(d.duration)) < 1e-3 * d.peak()
+        assert d.duration > d.t_peak
+
+
+class TestMisc:
+    def test_suggested_dt(self):
+        d = DoubleExponentialPulse(0.01, 8e-11, 3e-10)
+        assert d.suggested_dt(8) == pytest.approx(1e-11)
+
+    def test_describe(self):
+        d = DoubleExponentialPulse("14mA", "50ps", "300ps")
+        assert "tau_r" in d.describe()
+
+    def test_negative_polarity(self):
+        d = DoubleExponentialPulse(-0.01, 5e-11, 3e-10)
+        assert d.current(d.t_peak) < 0
+        assert d.peak() > 0

@@ -1,0 +1,124 @@
+"""Tests for the Figure 1b trapezoid <-> double-exponential derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import FaultModelError
+from repro.faults import (
+    DoubleExponentialPulse,
+    TrapezoidPulse,
+    fit_double_exp,
+    fit_trapezoid,
+    rise_fall_times,
+    waveform_distance,
+)
+
+
+def reference_dexp():
+    return DoubleExponentialPulse.from_peak("10mA", "50ps", "300ps")
+
+
+class TestRiseFallTimes:
+    def test_trapezoid_edges_recovered(self):
+        p = TrapezoidPulse(0.01, 100e-12, 300e-12, 500e-12)
+        t_rise, t_fall, t_peak = rise_fall_times(p)
+        # 10-90% of a linear edge = 0.8 * full edge.
+        assert t_rise == pytest.approx(0.8 * 100e-12, rel=1e-3)
+        assert t_fall == pytest.approx(0.8 * 300e-12, rel=1e-3)
+        assert 100e-12 <= t_peak <= 500e-12
+
+    def test_double_exp_monotonic_edges(self):
+        d = reference_dexp()
+        t_rise, t_fall, t_peak = rise_fall_times(d)
+        assert 0 < t_rise < t_peak
+        assert t_fall > t_rise  # slow collection tail
+
+
+class TestFitTrapezoid:
+    def test_charge_method_preserves_peak_and_charge(self):
+        d = reference_dexp()
+        fit = fit_trapezoid(d, method="charge")
+        assert fit.peak() == pytest.approx(d.peak(), rel=1e-6)
+        assert fit.charge() == pytest.approx(d.charge(), rel=1e-6)
+
+    def test_waveforms_similar(self):
+        """The Figure 7 claim: 'very similar, although the numeric
+        values are slightly different' — L2 distance well under 1."""
+        d = reference_dexp()
+        fit = fit_trapezoid(d, method="charge")
+        assert waveform_distance(d, fit) < 0.35
+
+    def test_lsq_refines_or_matches_analytic(self):
+        d = reference_dexp()
+        analytic = fit_trapezoid(d, method="charge")
+        refined = fit_trapezoid(d, method="lsq")
+        assert waveform_distance(d, refined) <= waveform_distance(d, analytic) + 1e-6
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(FaultModelError):
+            fit_trapezoid(reference_dexp(), method="magic")
+
+    def test_negative_polarity_preserved(self):
+        d = DoubleExponentialPulse.from_peak(-0.01, 5e-11, 3e-10)
+        fit = fit_trapezoid(d)
+        assert fit.pa < 0
+        assert fit.charge() == pytest.approx(d.charge(), rel=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=1e-3, max_value=0.05),
+        st.floats(min_value=2e-11, max_value=1.5e-10),
+        st.floats(min_value=2.0, max_value=20.0),
+    )
+    def test_charge_conserved_property(self, ipeak, tau_r, ratio):
+        d = DoubleExponentialPulse.from_peak(ipeak, tau_r, tau_r * ratio)
+        fit = fit_trapezoid(d, method="charge")
+        assert fit.charge() == pytest.approx(d.charge(), rel=1e-3)
+        assert fit.pw >= fit.rt  # always a valid trapezoid
+
+
+class TestFitDoubleExp:
+    def test_roundtrip_preserves_peak_and_charge(self):
+        p = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        d = fit_double_exp(p)
+        assert d.peak() == pytest.approx(p.peak(), rel=1e-3)
+        assert abs(d.charge()) == pytest.approx(abs(p.charge()), rel=1e-3)
+
+    def test_roundtrip_stays_similar(self):
+        p = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        d = fit_double_exp(p)
+        back = fit_trapezoid(d, method="charge")
+        assert back.peak() == pytest.approx(p.peak(), rel=1e-3)
+        assert back.charge() == pytest.approx(p.charge(), rel=1e-3)
+
+    def test_figure8_pulses_invertible(self):
+        from repro.faults import FIGURE8_PULSES
+
+        for p in FIGURE8_PULSES:
+            d = fit_double_exp(p)
+            assert d.tau_f > d.tau_r
+            assert abs(d.charge()) == pytest.approx(abs(p.charge()), rel=5e-3)
+
+
+class TestWaveformDistance:
+    def test_identical_is_zero(self):
+        p = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        assert waveform_distance(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_reference_rejected(self):
+        p = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+
+        class Null(TrapezoidPulse):
+            def current_array(self, taus):
+                import numpy as np
+
+                return np.zeros_like(taus)
+
+        null = Null("1mA", "100ps", "100ps", "300ps")
+        with pytest.raises(FaultModelError):
+            waveform_distance(null, p)
+
+    def test_scaled_amplitude_distance(self):
+        p = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+        half = p.scaled(amplitude_factor=0.5)
+        assert waveform_distance(p, half) == pytest.approx(0.5, rel=1e-6)

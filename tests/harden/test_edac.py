@@ -1,0 +1,146 @@
+"""Tests for parity and Hamming protected registers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import L0, L1, Logic, Simulator
+from repro.digital import Bus, ClockGen
+from repro.harden import (
+    HammingProtectedRegister,
+    ParityProtectedRegister,
+    hamming_decode,
+    hamming_encode,
+    hamming_widths,
+)
+
+
+class TestHammingCode:
+    @pytest.mark.parametrize("k,r", [(4, 3), (8, 4), (11, 4), (16, 5)])
+    def test_check_bit_count(self, k, r):
+        assert hamming_widths(k) == r
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_roundtrip_clean(self, value):
+        data = [(value >> i) & 1 for i in range(8)]
+        code = hamming_encode(data)
+        decoded, syndrome = hamming_decode(code)
+        assert decoded == data
+        assert syndrome == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=11))
+    def test_single_error_corrected(self, value, position):
+        data = [(value >> i) & 1 for i in range(8)]
+        code = hamming_encode(data)
+        code[position] ^= 1
+        decoded, syndrome = hamming_decode(code)
+        assert decoded == data
+        assert syndrome != 0
+
+    def test_double_error_not_guaranteed(self):
+        data = [1, 0, 1, 0, 1, 0, 1, 0]
+        code = hamming_encode(data)
+        code[0] ^= 1
+        code[5] ^= 1
+        decoded, _syndrome = hamming_decode(code)
+        # SEC code: two errors at least decode to *something*; they
+        # are not guaranteed corrected (usually miscorrected).
+        assert decoded != data
+
+
+def add_clock(sim, period=10e-9):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=period)
+    return clk
+
+
+class TestParityRegister:
+    def test_stores_and_reads(self):
+        sim = Simulator()
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 8, init=0xA5)
+        q = Bus(sim, "q", 8)
+        err = sim.signal("err")
+        ParityProtectedRegister(sim, "reg", d, clk, q, err)
+        sim.run(3e-9)
+        assert q.to_int() == 0xA5
+        assert err.value is L0
+
+    def test_detects_single_upset(self):
+        sim = Simulator()
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 8, init=0xA5)
+        q = Bus(sim, "q", 8)
+        err = sim.signal("err")
+        reg = ParityProtectedRegister(sim, "reg", d, clk, q, err)
+        sim.run(3e-9)
+        reg._q_ext.bits[2].deposit(
+            L0 if reg._q_ext.bits[2].value.is_high() else L1
+        )
+        sim.run(4e-9)
+        assert err.value is L1
+        assert q.to_int() != 0xA5  # detected, not corrected
+
+    def test_misses_double_upset(self):
+        sim = Simulator()
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 8, init=0xA5)
+        q = Bus(sim, "q", 8)
+        err = sim.signal("err")
+        reg = ParityProtectedRegister(sim, "reg", d, clk, q, err)
+        sim.run(3e-9)
+        for i in (1, 6):
+            reg._q_ext.bits[i].deposit(
+                L0 if reg._q_ext.bits[i].value.is_high() else L1
+            )
+        sim.run(4e-9)
+        assert err.value is L0  # even number of flips escapes parity
+
+
+class TestHammingRegister:
+    def build(self, value=0xA5):
+        sim = Simulator()
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 8, init=value)
+        q = Bus(sim, "q", 8)
+        corrected = sim.signal("corr")
+        reg = HammingProtectedRegister(sim, "reg", d, clk, q,
+                                       corrected=corrected)
+        return sim, reg, q, corrected
+
+    def test_stores_and_reads(self):
+        sim, _reg, q, corrected = self.build()
+        sim.run(3e-9)
+        assert q.to_int() == 0xA5
+        assert corrected.value is L0
+
+    @pytest.mark.parametrize("bit", [0, 3, 7, 11])
+    def test_corrects_any_single_stored_bit(self, bit):
+        sim, reg, q, corrected = self.build()
+        sim.run(3e-9)
+        target = reg._code_q.bits[bit]
+        target.deposit(L0 if target.value.is_high() else L1)
+        sim.run(4e-9)
+        assert q.to_int() == 0xA5  # transparently corrected
+        assert corrected.value is L1
+        assert reg.corrections >= 1
+
+    def test_next_write_clears_correction_flag(self):
+        sim, reg, q, corrected = self.build()
+        sim.run(3e-9)
+        reg._code_q.bits[4].deposit(
+            L0 if reg._code_q.bits[4].value.is_high() else L1
+        )
+        sim.run(4e-9)
+        assert corrected.value is L1
+        sim.run(12e-9)  # next clock edge rewrites the clean codeword
+        assert corrected.value is L0
+        assert q.to_int() == 0xA5
+
+    def test_x_input_poisons(self):
+        sim, reg, q, _corr = self.build()
+        sim.run(3e-9)
+        reg._code_q.bits[0].deposit(Logic.X)
+        sim.run(4e-9)
+        assert q.to_int_or_none() is None

@@ -1,0 +1,129 @@
+"""Tests for TMR wrappers: masking, residual failures, scrubbing."""
+
+import pytest
+
+from repro.core import L0, L1, Simulator
+from repro.core.hierarchy import collect_state_signals
+from repro.digital import Bus, ClockGen
+from repro.harden import TMRCounter, TMRDFF, TMRRegister
+from repro.injection import MutantInjector
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+def add_clock(sim, period=10e-9):
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=period)
+    return clk
+
+
+class TestTMRDFF:
+    def test_functions_as_dff(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        TMRDFF(sim, "ff", d, clk, q)
+        sim.run(1e-9)
+        assert q.value is L1
+
+    def test_masks_single_copy_upset(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        ff = TMRDFF(sim, "ff", d, clk, q)
+        sim.run(3e-9)
+        ff.copies[1].q.deposit(L0)  # SEU in one copy
+        sim.run(4e-9)
+        assert q.value is L1  # masked
+
+    def test_mismatch_monitor_counts_masked_events(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        mismatch = sim.signal("mm")
+        ff = TMRDFF(sim, "ff", d, clk, q, mismatch=mismatch)
+        sim.run(3e-9)
+        ff.copies[0].q.deposit(L0)
+        sim.run(4e-9)
+        assert mismatch.value is L1
+        assert ff.monitor.events == 1
+        sim.run(12e-9)  # next clock edge reloads all copies from d
+        assert mismatch.value is L0
+
+    def test_copies_are_injectable_targets(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        ff = TMRDFF(sim, "ff", d, clk, q)
+        targets = [n for n, _s in collect_state_signals(ff)]
+        assert len(targets) == 3
+
+    def test_mutant_campaign_on_copies(self, sim):
+        clk = add_clock(sim)
+        d = sim.signal("d", init=L1)
+        q = sim.signal("q")
+        ff = TMRDFF(sim, "ff", d, clk, q)
+        injector = MutantInjector(sim, ff)
+        sim.run(3e-9)
+        injector.flip_now(injector.targets()[0])
+        sim.run(4e-9)
+        assert q.value is L1  # still masked through the real flow
+
+
+class TestTMRRegister:
+    def test_masks_single_upset(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4, init=9)
+        q = Bus(sim, "q", 4)
+        reg = TMRRegister(sim, "reg", d, clk, q)
+        sim.run(3e-9)
+        assert q.to_int() == 9
+        reg.copies[2].q.bits[0].deposit(L0)
+        sim.run(4e-9)
+        assert q.to_int() == 9
+
+    def test_double_upset_same_bit_fails(self, sim):
+        clk = add_clock(sim)
+        d = Bus(sim, "d", 4, init=9)
+        q = Bus(sim, "q", 4)
+        reg = TMRRegister(sim, "reg", d, clk, q)
+        sim.run(3e-9)
+        reg.copies[0].q.bits[0].deposit(L0)
+        reg.copies[1].q.bits[0].deposit(L0)
+        sim.run(4e-9)
+        assert q.to_int() == 8  # voter out-voted
+
+
+class TestTMRCounter:
+    def test_counts_like_plain_counter(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        TMRCounter(sim, "cnt", clk, q)
+        sim.run(55e-9)
+        assert q.to_int() == 6
+
+    def test_free_running_upset_is_latent(self, sim):
+        """Without scrubbing a masked upset persists in the struck
+        copy: the output is right but the redundancy is spent."""
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        cnt = TMRCounter(sim, "cnt", clk, q, resync=False)
+        sim.run(25e-9)
+        cnt.copy_buses[0].bits[3].deposit(L1)
+        sim.run(95e-9)
+        assert q.to_int() == 10  # output still correct
+        values = [bus.to_int() for bus in cnt.copy_buses]
+        assert values[0] != values[1]  # copy 0 still out of step
+
+    def test_scrubbing_self_heals(self, sim):
+        clk = add_clock(sim)
+        q = Bus(sim, "q", 4)
+        cnt = TMRCounter(sim, "cnt", clk, q, resync=True)
+        sim.run(25e-9)
+        cnt.copy_buses[0].bits[3].deposit(L1)
+        sim.run(95e-9)
+        values = [bus.to_int() for bus in cnt.copy_buses]
+        assert values[0] == values[1] == values[2] == q.to_int() == 10

@@ -1,0 +1,112 @@
+"""Tests for majority voters."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import L0, L1, Logic, Simulator, X
+from repro.core.errors import ElaborationError
+from repro.digital import Bus
+from repro.harden import (
+    BusMajorityVoter,
+    DisagreementMonitor,
+    MajorityVoter,
+    majority,
+)
+
+defined = st.sampled_from([L0, L1])
+any_level = st.sampled_from(list(Logic))
+
+
+class TestMajorityFunction:
+    @pytest.mark.parametrize("a,b,c,expected", [
+        (L0, L0, L0, L0),
+        (L1, L1, L1, L1),
+        (L0, L0, L1, L0),
+        (L1, L0, L1, L1),
+        (X, L1, L1, L1),
+        (L0, X, L0, L0),
+        (X, X, L1, X),
+        (L0, L1, X, X),
+    ])
+    def test_table(self, a, b, c, expected):
+        assert majority(a, b, c) is expected
+
+    @given(defined, defined, defined)
+    def test_matches_boolean_majority(self, a, b, c):
+        ones = sum(1 for v in (a, b, c) if v.is_high())
+        assert majority(a, b, c) is (L1 if ones >= 2 else L0)
+
+    @given(any_level, defined)
+    def test_single_corruption_masked(self, bad, good):
+        """Any single corrupted input is out-voted by two good ones."""
+        assert majority(bad, good, good) is good.to_x01()
+        assert majority(good, bad, good) is good.to_x01()
+        assert majority(good, good, bad) is good.to_x01()
+
+    @given(any_level, any_level, any_level)
+    def test_symmetric(self, a, b, c):
+        results = {
+            majority(*perm) for perm in itertools.permutations((a, b, c))
+        }
+        assert len(results) == 1
+
+
+class TestVoterComponents:
+    def test_majority_voter_masks_flip(self):
+        sim = Simulator()
+        ins = [sim.signal(f"i{k}", init=L1) for k in range(3)]
+        y = sim.signal("y")
+        MajorityVoter(sim, "v", *ins, y)
+        sim.run(1e-9)
+        assert y.value is L1
+        ins[1].deposit(L0)
+        sim.run(2e-9)
+        assert y.value is L1  # masked
+
+    def test_double_flip_defeats_voter(self):
+        sim = Simulator()
+        ins = [sim.signal(f"i{k}", init=L1) for k in range(3)]
+        y = sim.signal("y")
+        MajorityVoter(sim, "v", *ins, y)
+        sim.run(1e-9)
+        ins[0].deposit(L0)
+        ins[2].deposit(L0)
+        sim.run(2e-9)
+        assert y.value is L0
+
+    def test_bus_voter(self):
+        sim = Simulator()
+        buses = [Bus(sim, f"b{k}", 4, init=9) for k in range(3)]
+        y = Bus(sim, "y", 4)
+        BusMajorityVoter(sim, "v", *buses, y)
+        sim.run(1e-9)
+        assert y.to_int() == 9
+        buses[0].bits[3].deposit(L0)  # one copy corrupted
+        sim.run(2e-9)
+        assert y.to_int() == 9
+
+    def test_bus_voter_width_check(self):
+        sim = Simulator()
+        a = Bus(sim, "a", 4)
+        b = Bus(sim, "b", 4)
+        c = Bus(sim, "c", 3)
+        y = Bus(sim, "y", 4)
+        with pytest.raises(ElaborationError):
+            BusMajorityVoter(sim, "v", a, b, c, y)
+
+    def test_disagreement_monitor(self):
+        sim = Simulator()
+        ins = [sim.signal(f"i{k}", init=L1) for k in range(3)]
+        flag = sim.signal("flag")
+        mon = DisagreementMonitor(sim, "m", *ins, flag)
+        sim.run(1e-9)
+        assert flag.value is L0
+        ins[1].deposit(L0)
+        sim.run(2e-9)
+        assert flag.value is L1
+        assert mon.events == 1
+        ins[1].deposit(L1)
+        sim.run(3e-9)
+        assert flag.value is L0

@@ -1,0 +1,235 @@
+"""Tests for mutant injection and the run-time injection controller."""
+
+import pytest
+
+from repro.core import Component, L0, L1, Logic, Simulator
+from repro.core.errors import InjectionError
+from repro.digital import Bus, ClockGen, Counter, DFF
+from repro.faults import (
+    BitFlip,
+    MultipleBitUpset,
+    ParametricFault,
+    SETPulse,
+    StuckAt,
+    TrapezoidPulse,
+)
+from repro.injection import (
+    CurrentInjection,
+    InjectionController,
+    MutantInjector,
+    instrument,
+)
+
+
+def build_digital(sim):
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+    q = Bus(sim, "cnt", 4)
+    Counter(sim, "counter", clk, q, parent=top)
+    d = sim.signal("d", init=L0)
+    ffq = sim.signal("ffq")
+    DFF(sim, "ff", d, clk, ffq, parent=top)
+    return top, q, ffq
+
+
+class TestMutantInjector:
+    def test_targets_enumerated(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        assert "top/ff.q" in mi.targets()
+        assert "top/counter.q[0]" in mi.targets()
+
+    def test_pattern_filter(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        assert mi.targets("top/ff*") == ["top/ff.q"]
+
+    def test_unknown_target_raises(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        with pytest.raises(InjectionError):
+            mi.flip_now("nope")
+
+    def test_flip_now(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        sim.run(25e-9)  # count = 3
+        mi.flip_now("top/counter.q[1]")
+        assert q.to_int() == 1
+        assert mi.log[-1][1] == "top/counter.q[1]"
+
+    def test_flip_of_undefined_gives_x(self):
+        sim = Simulator()
+        top, _q, ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        # ff never clocked with defined d? q is U before first edge...
+        # flip U -> X per the SEU model.
+        mi.set_now("top/ff.q", Logic.U)
+        mi.flip_now("top/ff.q")
+        assert ffq.value is Logic.X
+
+    def test_flip_at_scheduled(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        mi.flip_at("top/counter.q[0]", 25e-9)
+        sim.run(26e-9)
+        assert q.to_int() == 2  # was 3, bit0 flipped
+
+    def test_stick_state(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        mi.stick("top/counter.q[0]", L0, 5e-9, 100e-9)
+        sim.run(95e-9)
+        assert q.bits[0].value is L0
+        assert q.bits[0].is_forced
+
+    def test_apply_bitflip_models(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        mi.apply(BitFlip("top/counter.q[2]", 25e-9))
+        mi.apply(MultipleBitUpset(
+            ["top/counter.q[0]", "top/counter.q[1]"], 25e-9))
+        sim.run(26e-9)
+        assert q.to_int() == 4  # 3 ^ 4 ^ 1 ^ 2
+
+    def test_apply_wrong_type(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        mi = MutantInjector(sim, top)
+        with pytest.raises(InjectionError):
+            mi.apply(StuckAt("x", 1))
+
+
+class TestInjectionController:
+    def test_set_pulse_on_wire(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        ctl = InjectionController(sim, top)
+        ctl.apply(SETPulse("clk", 23e-9, 2e-9))
+        clk = sim.signals["clk"]
+        sim.run(24e-9)
+        assert clk.is_forced
+        sim.run(26e-9)
+        assert not clk.is_forced
+
+    def test_stuck_at_on_wire(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        ctl = InjectionController(sim, top)
+        ctl.apply(StuckAt("clk", 0, t_start=15e-9))
+        sim.run(100e-9)
+        assert q.to_int() == 2  # only edges at 0 and 10 counted
+
+    def test_stuck_at_on_state_name(self):
+        sim = Simulator()
+        top, q, _ffq = build_digital(sim)
+        ctl = InjectionController(sim, top)
+        ctl.apply(StuckAt("top/counter.q[0]", 1, t_start=0.0))
+        sim.run(100e-9)
+        assert q.bits[0].value is L1
+
+    def test_unknown_signal(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        ctl = InjectionController(sim, top)
+        with pytest.raises(InjectionError):
+            ctl.apply(SETPulse("ghost", 1e-9, 1e-9))
+
+    def test_current_injection_autocreates_saboteur(self):
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        sim.current_node("icp")
+        ctl = InjectionController(sim, top)
+        fault = CurrentInjection(
+            TrapezoidPulse("10mA", "100ps", "300ps", "500ps"), "icp", 50e-9
+        )
+        ctl.apply(fault)
+        assert "icp" in ctl.saboteurs
+        sim.run(100e-9)
+
+    def test_current_injection_unknown_node(self):
+        sim = Simulator()
+        top = Component(sim, "top")
+        ctl = InjectionController(sim, top)
+        fault = CurrentInjection(
+            TrapezoidPulse("10mA", "100ps", "300ps", "500ps"), "ghost", 1e-9
+        )
+        with pytest.raises(InjectionError):
+            ctl.apply(fault)
+
+    def test_parametric_fault_applied_and_restored(self):
+        from repro.analog import DCVoltage, VCO
+
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        vc = sim.node("vc", init=2.5)
+        out = sim.node("out")
+        DCVoltage(sim, "src", vc, 2.5, parent=top)
+        vco = VCO(sim, "vco", vc, out, f0=50e6, kvco=10e6, parent=top)
+        ctl = InjectionController(sim, top)
+        ctl.apply(ParametricFault("top/vco", "kvco", factor=2.0,
+                                  t_start=1e-6, t_end=2e-6))
+        sim.run(1.5e-6)
+        assert vco.kvco == pytest.approx(20e6)
+        sim.run(2.5e-6)
+        assert vco.kvco == pytest.approx(10e6)
+
+    def test_parametric_bad_attribute(self):
+        sim = Simulator()
+        top = Component(sim, "top")
+        ctl = InjectionController(sim, top)
+        with pytest.raises(InjectionError):
+            ctl.apply(ParametricFault("top", "nothing", factor=2.0))
+
+    def test_unsupported_fault_type(self):
+        sim = Simulator()
+        top = Component(sim, "top")
+        ctl = InjectionController(sim, top)
+        with pytest.raises(InjectionError):
+            ctl.apply(object())
+
+    def test_applied_log(self):
+        sim = Simulator()
+        top, _q, _ffq = build_digital(sim)
+        ctl = InjectionController(sim, top)
+        faults = [BitFlip("top/ff.q", 1e-9), SETPulse("clk", 2e-9, 1e-9)]
+        ctl.apply_all(faults)
+        assert ctl.applied == faults
+
+
+class TestInstrument:
+    def test_collects_targets(self):
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+        q = Bus(sim, "cnt", 2)
+        Counter(sim, "counter", clk, q, parent=top)
+        sim.current_node("pll.icp")
+        inst = instrument(sim, top)
+        assert inst.analog_targets == ["pll.icp"]
+        assert "top/counter.q[0]" in inst.digital_targets
+        assert "pll.icp" in inst.controller.saboteurs
+
+    def test_lazy_saboteurs(self):
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        sim.current_node("icp")
+        inst = instrument(sim, top, pre_place_saboteurs=False)
+        assert inst.controller.saboteurs == {}
+        assert inst.analog_targets == ["icp"]
+
+    def test_summary_lists_targets(self):
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        sim.current_node("icp")
+        inst = instrument(sim, top)
+        assert "icp" in inst.summary()

@@ -1,0 +1,191 @@
+"""Tests for saboteurs: current-pulse, GenCur-style controlled, digital."""
+
+import numpy as np
+import pytest
+
+from repro.analog import TransimpedanceFilter, rc_transimpedance
+from repro.core import L0, L1, Logic, Simulator
+from repro.core.errors import InjectionError
+from repro.digital import ClockGen, PulseGen
+from repro.faults import DoubleExponentialPulse, TrapezoidPulse
+from repro.injection import (
+    ControlledCurrentSaboteur,
+    CurrentPulseSaboteur,
+    DigitalSaboteur,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1e-9)
+
+
+PULSE = TrapezoidPulse("10mA", "100ps", "300ps", "500ps")
+
+
+class TestCurrentPulseSaboteur:
+    def test_delivers_charge(self, sim):
+        """Integrated node current equals the model's closed-form
+        charge — the superposition is numerically faithful."""
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        sab.schedule(PULSE, 100e-9)
+        tr = sim.probe_current(node)
+        sim.run(200e-9)
+        charge = np.trapezoid(tr.values, tr.times)
+        assert charge == pytest.approx(PULSE.charge(), rel=0.05)
+
+    def test_registers_refinement_window(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        assert len(sim.analog.windows) == 0
+        sab.schedule(PULSE, 100e-9)
+        assert len(sim.analog.windows) == 1
+        window = sim.analog.windows[0]
+        assert window.t0 <= 100e-9
+        assert window.t1 >= 100e-9 + PULSE.duration
+        assert window.dt <= PULSE.suggested_dt()
+
+    def test_rejects_voltage_node(self, sim):
+        node = sim.node("v")
+        with pytest.raises(Exception):
+            CurrentPulseSaboteur(sim, "sab", node)
+
+    def test_rejects_non_transient(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        with pytest.raises(InjectionError):
+            sab.schedule("not-a-pulse", 1e-6)
+
+    def test_rejects_past_time(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        sim.run(1e-6)
+        with pytest.raises(InjectionError):
+            sab.schedule(PULSE, 0.5e-6)
+
+    def test_multiple_injections(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        sab.schedule(PULSE, 50e-9)
+        sab.schedule(PULSE, 150e-9)
+        tr = sim.probe_current(node)
+        sim.run(300e-9)
+        charge = np.trapezoid(tr.values, tr.times)
+        assert charge == pytest.approx(2 * PULSE.charge(), rel=0.05)
+        assert sab.injected_charge == pytest.approx(2 * PULSE.charge())
+
+    def test_double_exponential_supported(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        dexp = DoubleExponentialPulse.from_peak("10mA", "50ps", "300ps")
+        sab.schedule(dexp, 100e-9)
+        tr = sim.probe_current(node)
+        sim.run(300e-9)
+        charge = np.trapezoid(tr.values, tr.times)
+        assert charge == pytest.approx(dexp.charge(), rel=0.05)
+
+    def test_active_injections_window(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        sab.schedule(PULSE, 100e-9)
+        assert sab.active_injections(100.4e-9)
+        assert not sab.active_injections(99e-9)
+        assert not sab.active_injections(101e-9)
+
+    def test_clear(self, sim):
+        node = sim.current_node("icp")
+        sab = CurrentPulseSaboteur(sim, "sab", node)
+        sab.schedule(PULSE, 100e-9)
+        sab.clear()
+        tr = sim.probe_current(node)
+        sim.run(200e-9)
+        assert np.max(np.abs(tr.values)) == 0.0
+
+
+class TestControlledSaboteur:
+    """The literal GenCur port: PW set by the control-pulse duration."""
+
+    def test_pulse_width_follows_control(self, sim):
+        inj = sim.signal("inj", init=L0)
+        node = sim.current_node("icp")
+        ControlledCurrentSaboteur(sim, "gencur", inj, node,
+                                  rt=1e-9, ft=1e-9, pa=0.01)
+        PulseGen(sim, "ctl", inj, start=50e-9, width=10e-9)
+        tr = sim.probe_current(node)
+        sim.run(100e-9)
+        charge = np.trapezoid(tr.values, tr.times)
+        # Ramp-following: Q ~= PA * PW (ramp up inside, ramp down after).
+        assert charge == pytest.approx(0.01 * 10e-9, rel=0.15)
+
+    def test_ramp_rate_limited(self, sim):
+        inj = sim.signal("inj", init=L0)
+        node = sim.current_node("icp")
+        ControlledCurrentSaboteur(sim, "gencur", inj, node,
+                                  rt=10e-9, ft=10e-9, pa=0.01)
+        PulseGen(sim, "ctl", inj, start=10e-9, width=5e-9)
+        tr = sim.probe_current(node)
+        sim.run(50e-9)
+        # Control shorter than RT: the current never reaches PA.
+        assert np.max(tr.values) < 0.0075
+
+    def test_validates_ramps(self, sim):
+        inj = sim.signal("inj", init=L0)
+        node = sim.current_node("icp")
+        with pytest.raises(InjectionError):
+            ControlledCurrentSaboteur(sim, "g", inj, node, rt=0.0,
+                                      ft=1e-9, pa=0.01)
+
+
+class TestDigitalSaboteur:
+    def build(self, sim):
+        src = sim.signal("src", init=L0)
+        dst = sim.signal("dst")
+        sab = DigitalSaboteur(sim, "sab", src, dst)
+        ClockGen(sim, "ck", src, period=10e-9)
+        return src, dst, sab
+
+    def test_transparent_by_default(self, sim):
+        _src, dst, _sab = self.build(sim)
+        tr = sim.probe(dst)
+        sim.run(45e-9)
+        assert len(tr.edges("rise")) == 5
+
+    def test_stick_window(self, sim):
+        _src, dst, sab = self.build(sim)
+        sab.stick(L0, 20e-9, 40e-9)
+        tr = sim.probe(dst)
+        sim.run(60e-9)
+        seg = tr.segment(21e-9, 39e-9)
+        assert all(v == 0.0 for v in seg.values)
+
+    def test_invert_window(self, sim):
+        src, dst, sab = self.build(sim)
+        sab.invert(20e-9, 40e-9)
+        sim.run(25e-9)
+        assert dst.value is not src.value
+
+    def test_pulse_inverts_briefly(self, sim):
+        src, dst, sab = self.build(sim)
+        sab.pulse(22e-9, 2e-9)
+        sim.run(23e-9)
+        assert dst.value is not src.value
+        sim.run(26e-9)
+        assert dst.value is src.value
+
+    def test_pulse_forced_value(self, sim):
+        _src, dst, sab = self.build(sim)
+        sab.pulse(22e-9, 2e-9, value=L1)
+        sim.run(23e-9)
+        assert dst.value is L1
+
+    def test_pulse_zero_width_rejected(self, sim):
+        _src, _dst, sab = self.build(sim)
+        with pytest.raises(InjectionError):
+            sab.pulse(22e-9, 0.0)
+
+    def test_activation_counter(self, sim):
+        _src, _dst, sab = self.build(sim)
+        sab.stick(L1, 20e-9, 30e-9)
+        sim.run(40e-9)
+        assert sab.activations == 2  # enter + leave stuck mode

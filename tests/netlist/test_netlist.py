@@ -1,0 +1,218 @@
+"""Tests for netlist schema, elaboration and instrumentation transforms."""
+
+import pytest
+
+from repro.core.errors import NetlistError
+from repro.netlist import (
+    Netlist,
+    attach_current_saboteur,
+    dumps,
+    elaborate,
+    insert_digital_saboteur,
+    instrument_all_current_nodes,
+    instrument_all_digital_nets,
+    known_types,
+    loads,
+    lookup,
+)
+
+
+def counter_netlist():
+    return Netlist.from_dict({
+        "name": "demo",
+        "dt": "1ns",
+        "signals": [
+            {"name": "clk", "init": "0"},
+            {"name": "div", "init": "0"},
+        ],
+        "nodes": [{"name": "icp", "kind": "current"}],
+        "buses": [{"name": "cnt", "width": 4, "init": 0}],
+        "instances": [
+            {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+             "params": {"period": 1e-8}},
+            {"type": "Counter", "name": "counter",
+             "ports": {"clk": "clk", "q": "cnt"}},
+            {"type": "ClockDivider", "name": "div2",
+             "ports": {"clk_in": "clk", "clk_out": "div"},
+             "params": {"n": 2}},
+        ],
+        "probes": ["cnt", "div"],
+        "outputs": ["div"],
+    })
+
+
+class TestSchema:
+    def test_valid_netlist(self):
+        nl = counter_netlist()
+        assert nl.name == "demo"
+        assert set(nl.net_names()) == {"clk", "div", "icp", "cnt"}
+
+    def test_duplicate_net_rejected(self):
+        data = counter_netlist().to_dict()
+        data["signals"].append({"name": "clk"})
+        with pytest.raises(NetlistError):
+            Netlist.from_dict(data)
+
+    def test_unknown_port_net_rejected(self):
+        data = counter_netlist().to_dict()
+        data["instances"][0]["ports"]["out"] = "ghost"
+        with pytest.raises(NetlistError):
+            Netlist.from_dict(data)
+
+    def test_undeclared_probe_caught_at_elaboration(self):
+        # Probes may name nets that assemblies create during
+        # elaboration, so the schema admits them; a name that never
+        # materialises is rejected when the design goes live.
+        data = counter_netlist().to_dict()
+        data["probes"].append("ghost")
+        netlist = Netlist.from_dict(data)  # accepted at schema level
+        with pytest.raises(NetlistError):
+            elaborate(netlist)
+
+    def test_output_must_be_probed(self):
+        data = counter_netlist().to_dict()
+        data["outputs"] = ["clk"]
+        with pytest.raises(NetlistError):
+            Netlist.from_dict(data)
+
+    def test_bad_node_kind(self):
+        data = counter_netlist().to_dict()
+        data["nodes"][0]["kind"] = "fluid"
+        with pytest.raises(NetlistError):
+            Netlist.from_dict(data)
+
+    def test_roundtrip_json(self):
+        nl = counter_netlist()
+        again = loads(dumps(nl))
+        assert again.to_dict() == nl.to_dict()
+
+    def test_copy_is_independent(self):
+        nl = counter_netlist()
+        clone = nl.copy()
+        clone.signals[0].name = "other"
+        assert nl.signals[0].name == "clk"
+
+    def test_malformed_json(self):
+        with pytest.raises(NetlistError):
+            loads("{not json")
+
+    def test_find_helpers(self):
+        nl = counter_netlist()
+        assert nl.find_instance("counter").type == "Counter"
+        with pytest.raises(NetlistError):
+            nl.find_instance("ghost")
+        with pytest.raises(NetlistError):
+            nl.find_signal("icp")  # a node, not a signal
+
+
+class TestRegistry:
+    def test_known_types_nonempty(self):
+        types = known_types()
+        assert "PLL" in types and "Counter" in types
+
+    def test_unknown_type(self):
+        with pytest.raises(NetlistError):
+            lookup("FluxCapacitor")
+
+    def test_port_directions_recorded(self):
+        entry = lookup("Counter")
+        assert "clk" in entry.inputs
+        assert "q" in entry.outputs
+
+
+class TestElaboration:
+    def test_simulates(self):
+        design = elaborate(counter_netlist())
+        design.sim.run(105e-9)
+        assert design.extras["cnt"].to_int() == 11
+
+    def test_bus_probes_expand_per_bit(self):
+        design = elaborate(counter_netlist())
+        assert "cnt[0]" in design.probes
+        assert "div" in design.probes
+
+    def test_bad_params_reported(self):
+        data = counter_netlist().to_dict()
+        data["instances"][0]["params"] = {"bogus_param": 1}
+        with pytest.raises(NetlistError):
+            elaborate(Netlist.from_dict(data))
+
+    def test_dt_override(self):
+        design = elaborate(counter_netlist(), dt="5ns")
+        assert design.sim.analog.dt_nominal == pytest.approx(5e-9)
+
+
+class TestTransforms:
+    def test_insert_digital_saboteur(self):
+        nl, sab_name, new_net = insert_digital_saboteur(
+            counter_netlist(), "clk")
+        assert new_net == "clk__sab"
+        # readers rewired, driver untouched
+        assert nl.find_instance("counter").ports["clk"] == new_net
+        assert nl.find_instance("ck").ports["out"] == "clk"
+        assert nl.find_instance(sab_name).type == "DigitalSaboteur"
+
+    def test_original_netlist_untouched(self):
+        nl = counter_netlist()
+        insert_digital_saboteur(nl, "clk")
+        assert "clk__sab" not in nl.net_names()
+
+    def test_saboteur_gates_readers(self):
+        nl, sab_name, _net = insert_digital_saboteur(counter_netlist(), "clk")
+        design = elaborate(nl)
+        design.extras[sab_name].stick("0", 0.0, None)
+        design.sim.run(100e-9)
+        assert design.extras["cnt"].to_int() == 0
+
+    def test_net_without_readers_rejected(self):
+        nl = counter_netlist()
+        with pytest.raises(NetlistError):
+            insert_digital_saboteur(nl, "div")  # div has no reader ports
+
+    def test_attach_current_saboteur(self):
+        nl, sab_name = attach_current_saboteur(counter_netlist(), "icp")
+        design = elaborate(nl)
+        assert sab_name in design.extras
+
+    def test_attach_to_voltage_node_rejected(self):
+        data = counter_netlist().to_dict()
+        data["nodes"].append({"name": "vx", "kind": "voltage"})
+        nl = Netlist.from_dict(data)
+        with pytest.raises(NetlistError):
+            attach_current_saboteur(nl, "vx")
+
+    def test_instrument_all_digital(self):
+        nl, placed = instrument_all_digital_nets(counter_netlist())
+        assert "clk" in placed
+        assert "div" not in placed  # no readers
+        elaborate(nl)  # still elaborates
+
+    def test_instrument_all_current(self):
+        nl, placed = instrument_all_current_nodes(counter_netlist())
+        assert list(placed) == ["icp"]
+
+    def test_double_insertion_gets_unique_names(self):
+        nl, _s, _n = insert_digital_saboteur(counter_netlist(), "clk")
+        with pytest.raises(NetlistError):
+            insert_digital_saboteur(nl, "clk")  # clk__sab exists now
+
+
+class TestInternalNetProbes:
+    def test_assembly_internal_node_probed(self):
+        """Probes can name nets assemblies create at elaboration —
+        e.g. the PLL's charge-pump node, the paper's injection target."""
+        nl = Netlist.from_dict({
+            "name": "top",
+            "dt": "1ns",
+            "instances": [
+                {"type": "PLL", "name": "pll",
+                 "params": {"f_ref": "5MHz", "n_div": 10, "c1": "162pF",
+                            "c2": "16pF", "preset_locked": True}},
+            ],
+            "probes": ["top/pll.vctrl", "top/pll.fout"],
+            "outputs": ["top/pll.fout"],
+        })
+        design = elaborate(nl)
+        design.sim.run(2e-6)
+        assert "top/pll.vctrl" in design.probes
+        assert len(design.probes["top/pll.fout"]) > 10

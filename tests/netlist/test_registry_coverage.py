@@ -1,0 +1,275 @@
+"""Elaboration coverage for every registered component type."""
+
+import pytest
+
+from repro.core import L0, L1
+from repro.netlist import Netlist, elaborate, known_types
+
+
+def elaborate_dict(data):
+    return elaborate(Netlist.from_dict(data))
+
+
+class TestGateBuilders:
+    @pytest.mark.parametrize("gate_type,expected", [
+        ("AndGate", "0"), ("OrGate", "1"), ("XorGate", "1"),
+        ("NandGate", "1"), ("NorGate", "0"),
+    ])
+    def test_two_input_gates(self, gate_type, expected):
+        design = elaborate_dict({
+            "name": "g",
+            "signals": [
+                {"name": "a", "init": "1"},
+                {"name": "b", "init": "0"},
+                {"name": "y"},
+            ],
+            "instances": [
+                {"type": gate_type, "name": "gate",
+                 "ports": {"in0": "a", "in1": "b", "y": "y"}},
+            ],
+            "probes": ["y"],
+        })
+        design.sim.run(1e-9)
+        assert str(design.extras["y"].value) == expected
+
+    def test_not_and_buf(self):
+        design = elaborate_dict({
+            "name": "g",
+            "signals": [{"name": "a", "init": "0"},
+                        {"name": "n"}, {"name": "b"}],
+            "instances": [
+                {"type": "NotGate", "name": "inv",
+                 "ports": {"a": "a", "y": "n"}},
+                {"type": "BufGate", "name": "buf",
+                 "ports": {"a": "n", "y": "b"}},
+            ],
+        })
+        design.sim.run(1e-9)
+        assert design.extras["b"].value is L1
+
+    def test_mux2(self):
+        design = elaborate_dict({
+            "name": "g",
+            "signals": [{"name": "a", "init": "1"}, {"name": "b", "init": "0"},
+                        {"name": "sel", "init": "1"}, {"name": "y"}],
+            "instances": [
+                {"type": "Mux2", "name": "mux",
+                 "ports": {"a": "a", "b": "b", "sel": "sel", "y": "y"}},
+            ],
+        })
+        design.sim.run(1e-9)
+        assert design.extras["y"].value is L0
+
+    def test_gate_without_inputs_rejected(self):
+        from repro.core.errors import NetlistError
+
+        with pytest.raises(NetlistError):
+            elaborate_dict({
+                "name": "g",
+                "signals": [{"name": "y"}],
+                "instances": [
+                    {"type": "AndGate", "name": "gate", "ports": {"y": "y"}},
+                ],
+            })
+
+
+class TestWordBuilders:
+    def test_adder(self):
+        design = elaborate_dict({
+            "name": "w",
+            "buses": [
+                {"name": "a", "width": 4, "init": 3},
+                {"name": "b", "width": 4, "init": 4},
+                {"name": "s", "width": 4},
+            ],
+            "instances": [
+                {"type": "Adder", "name": "add",
+                 "ports": {"a": "a", "b": "b", "s": "s"}},
+            ],
+        })
+        design.sim.run(1e-9)
+        assert design.extras["s"].to_int() == 7
+
+    def test_comparator(self):
+        design = elaborate_dict({
+            "name": "w",
+            "signals": [{"name": "eq"}],
+            "buses": [
+                {"name": "a", "width": 4, "init": 5},
+                {"name": "b", "width": 4, "init": 5},
+            ],
+            "instances": [
+                {"type": "Comparator", "name": "cmp",
+                 "ports": {"a": "a", "b": "b", "eq": "eq"}},
+            ],
+        })
+        design.sim.run(1e-9)
+        assert design.extras["eq"].value is L1
+
+    def test_dff_register_shiftreg_lfsr(self):
+        design = elaborate_dict({
+            "name": "w",
+            "signals": [
+                {"name": "clk", "init": "0"},
+                {"name": "d", "init": "1"},
+                {"name": "q"},
+                {"name": "sin", "init": "1"},
+            ],
+            "buses": [
+                {"name": "rd", "width": 2, "init": 2},
+                {"name": "rq", "width": 2},
+                {"name": "sq", "width": 4},
+                {"name": "lq", "width": 8},
+            ],
+            "instances": [
+                {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+                 "params": {"period": 1e-8}},
+                {"type": "DFF", "name": "ff",
+                 "ports": {"d": "d", "clk": "clk", "q": "q"}},
+                {"type": "Register", "name": "reg",
+                 "ports": {"d": "rd", "clk": "clk", "q": "rq"}},
+                {"type": "ShiftRegister", "name": "sr",
+                 "ports": {"clk": "clk", "serial_in": "sin", "q": "sq"}},
+                {"type": "LFSR", "name": "lfsr",
+                 "ports": {"clk": "clk", "q": "lq"}},
+            ],
+        })
+        design.sim.run(25e-9)
+        assert design.extras["q"].value is L1
+        assert design.extras["rq"].to_int() == 2
+        assert design.extras["sq"].to_int() == 7
+        assert design.extras["lq"].to_int() != 1
+
+
+class TestAnalogAndAmsBuilders:
+    def test_sources_and_digitizer(self):
+        design = elaborate_dict({
+            "name": "a",
+            "signals": [{"name": "dig"}],
+            "nodes": [{"name": "vs"}, {"name": "vp"},
+                      {"name": "ic", "kind": "current"}],
+            "instances": [
+                {"type": "SineVoltage", "name": "sine",
+                 "ports": {"node": "vs"},
+                 "params": {"amplitude": 2.5, "freq": 1e6, "offset": 2.5}},
+                {"type": "PulseVoltage", "name": "pulse",
+                 "ports": {"node": "vp"},
+                 "params": {"v1": 0.0, "v2": 5.0, "delay": 1e-7,
+                            "rise": 1e-9, "fall": 1e-9, "width": 1e-7}},
+                {"type": "DCCurrent", "name": "idc",
+                 "ports": {"node": "ic"}, "params": {"amps": 1e-3}},
+                {"type": "Digitizer", "name": "dig0",
+                 "ports": {"inp": "vs", "out": "dig"}},
+            ],
+            "probes": ["dig"],
+        })
+        design.sim.run(2e-6)
+        assert len(design.probes["dig"].edges("rise")) >= 1
+
+    def test_analog_comparator(self):
+        design = elaborate_dict({
+            "name": "a",
+            "nodes": [{"name": "p"}, {"name": "m"}, {"name": "o"}],
+            "instances": [
+                {"type": "DCVoltage", "name": "sp", "ports": {"node": "p"},
+                 "params": {"volts": 3.0}},
+                {"type": "DCVoltage", "name": "sm", "ports": {"node": "m"},
+                 "params": {"volts": 2.0}},
+                {"type": "AnalogComparator", "name": "cmp",
+                 "ports": {"plus": "p", "minus": "m", "out": "o"}},
+            ],
+        })
+        design.sim.run(5e-9)
+        assert design.extras["o"].v == 5.0
+
+    def test_adcs_and_load(self):
+        design = elaborate_dict({
+            "name": "a",
+            "dt": 1e-8,
+            "signals": [{"name": "clk", "init": "0"}],
+            "nodes": [{"name": "vin"}],
+            "instances": [
+                {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+                 "params": {"period": 1e-6}},
+                {"type": "DCVoltage", "name": "src", "ports": {"node": "vin"},
+                 "params": {"volts": 2.0}},
+                {"type": "FlashADC", "name": "flash",
+                 "ports": {"clk": "clk", "vin": "vin"},
+                 "params": {"bits": 4}},
+                {"type": "SARADC", "name": "sar",
+                 "ports": {"clk": "clk", "vin": "vin"},
+                 "params": {"bits": 4}},
+                {"type": "DigitalLoad", "name": "load",
+                 "ports": {"clk": "clk"}},
+            ],
+        })
+        design.sim.run(12e-6)
+        flash = design.extras["flash"]
+        sar = design.extras["sar"]
+        assert flash.output.to_int() == flash.ideal_code(2.0)
+        assert sar.output.to_int() == sar.ideal_code(2.0)
+
+    def test_gencur_saboteur(self):
+        design = elaborate_dict({
+            "name": "a",
+            "signals": [{"name": "inj", "init": "0"}],
+            "nodes": [{"name": "ic", "kind": "current"}],
+            "instances": [
+                {"type": "PulseGen", "name": "ctl", "ports": {"out": "inj"},
+                 "params": {"start": 1e-8, "width": 1e-8}},
+                {"type": "ControlledCurrentSaboteur", "name": "gencur",
+                 "ports": {"inj": "inj", "out_cur": "ic"},
+                 "params": {"rt": 1e-9, "ft": 1e-9, "pa": 0.01}},
+            ],
+        })
+        trace = design.sim.probe_current(design.extras["ic"])
+        design.sim.run(5e-8)
+        assert trace.maximum() == pytest.approx(0.01, rel=0.05)
+
+
+class TestHardenedBuilders:
+    def test_tmr_register_from_netlist(self):
+        design = elaborate_dict({
+            "name": "h",
+            "signals": [{"name": "clk", "init": "0"}],
+            "buses": [
+                {"name": "d", "width": 4, "init": 9},
+                {"name": "q", "width": 4},
+            ],
+            "instances": [
+                {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+                 "params": {"period": 1e-8}},
+                {"type": "TMRRegister", "name": "reg",
+                 "ports": {"d": "d", "clk": "clk", "q": "q"}},
+            ],
+        })
+        design.sim.run(3e-9)
+        assert design.extras["q"].to_int() == 9
+
+    def test_hamming_register_from_netlist(self):
+        design = elaborate_dict({
+            "name": "h",
+            "signals": [{"name": "clk", "init": "0"},
+                        {"name": "corr"}],
+            "buses": [
+                {"name": "d", "width": 8, "init": 0x5A},
+                {"name": "q", "width": 8},
+            ],
+            "instances": [
+                {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+                 "params": {"period": 1e-8}},
+                {"type": "HammingProtectedRegister", "name": "reg",
+                 "ports": {"d": "d", "clk": "clk", "q": "q",
+                           "corrected": "corr"}},
+            ],
+        })
+        design.sim.run(3e-9)
+        assert design.extras["q"].to_int() == 0x5A
+
+    def test_all_registered_types_have_directions(self):
+        from repro.netlist import lookup
+
+        for type_name in known_types():
+            entry = lookup(type_name)
+            assert isinstance(entry.inputs, tuple)
+            assert isinstance(entry.outputs, tuple)

@@ -1,0 +1,121 @@
+"""Tests for the .rcir text netlist format."""
+
+import pytest
+
+from repro.core.errors import NetlistError
+from repro.netlist import elaborate
+from repro.netlist.textformat import (
+    dumps_text,
+    load_text_file,
+    loads_text,
+    save_text_file,
+)
+
+DECK = """
+# the counter demo in text form
+design demo
+dt 1ns
+
+signal clk init=0
+signal parity
+current icp
+bus cnt width=4 init=0
+
+ck      ClockGen  out=clk period=10ns
+counter Counter   clk=clk q=cnt
+par     ParityGen a=cnt parity=parity
+
+probe cnt
+output parity
+"""
+
+
+class TestParsing:
+    def test_basic_deck(self):
+        nl = loads_text(DECK)
+        assert nl.name == "demo"
+        assert nl.dt == pytest.approx(1e-9)
+        assert [s.name for s in nl.signals] == ["clk", "parity"]
+        assert nl.nodes[0].kind == "current"
+        assert nl.buses[0].width == 4
+        assert len(nl.instances) == 3
+
+    def test_outputs_implicitly_probed(self):
+        nl = loads_text(DECK)
+        assert "parity" in nl.probes
+
+    def test_engineering_params(self):
+        nl = loads_text(DECK)
+        ck = nl.find_instance("ck")
+        assert ck.params["period"] == pytest.approx(10e-9)
+
+    def test_ports_vs_params_split(self):
+        nl = loads_text(DECK)
+        counter = nl.find_instance("counter")
+        assert counter.ports == {"clk": "clk", "q": "cnt"}
+        assert counter.params == {}
+
+    def test_comments_and_blanks_ignored(self):
+        nl = loads_text("design d\n\n# nothing\nsignal a  # trailing\n")
+        assert nl.signals[0].name == "a"
+
+    def test_missing_design_line(self):
+        with pytest.raises(NetlistError):
+            loads_text("signal a\n")
+
+    def test_duplicate_design_line(self):
+        with pytest.raises(NetlistError):
+            loads_text("design a\ndesign b\n")
+
+    def test_unknown_type_reported(self):
+        with pytest.raises(NetlistError):
+            loads_text("design d\nx FluxCapacitor a=b\n")
+
+    def test_malformed_kv(self):
+        with pytest.raises(NetlistError):
+            loads_text("design d\nsignal a init\n")
+
+    def test_bus_needs_width(self):
+        with pytest.raises(NetlistError):
+            loads_text("design d\nbus b init=0\n")
+
+    def test_undeclared_net_caught_by_validation(self):
+        with pytest.raises(NetlistError):
+            loads_text("design d\nck ClockGen out=ghost period=1e-8\n")
+
+
+class TestRoundTrip:
+    def test_parse_dump_parse(self):
+        nl = loads_text(DECK)
+        again = loads_text(dumps_text(nl))
+        assert again.to_dict() == nl.to_dict()
+
+    def test_file_roundtrip(self, tmp_path):
+        nl = loads_text(DECK)
+        path = tmp_path / "demo.rcir"
+        save_text_file(nl, path)
+        again = load_text_file(path)
+        assert again.to_dict() == nl.to_dict()
+
+
+class TestElaboration:
+    def test_text_deck_simulates(self):
+        design = elaborate(loads_text(DECK))
+        design.sim.run(105e-9)
+        assert design.extras["cnt"].to_int() == 11
+
+    def test_mixed_signal_deck(self):
+        deck = """
+design mixed
+dt 1ns
+node vin
+signal dig
+src  SineVoltage node=vin amplitude=2.5 freq=1MHz offset=2.5
+comp Digitizer   inp=vin out=dig
+probe dig
+"""
+        design = elaborate(loads_text(deck))
+        design.sim.run(3.5e-6)
+        # sin starts at the threshold, so the output begins high; the
+        # next rising crossings land at 1, 2 and 3 us.
+        assert len(design.probes["dig"].edges("rise")) == 3

@@ -1,0 +1,185 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, fault_from_dict, load_faults, main
+from repro.core.errors import ReproError
+from repro.faults import (
+    BitFlip,
+    MultipleBitUpset,
+    ParametricFault,
+    SETPulse,
+    StuckAt,
+)
+from repro.injection import CurrentInjection
+
+NETLIST = {
+    "name": "dut",
+    "dt": "1ns",
+    "signals": [
+        {"name": "clk", "init": "0"},
+        {"name": "parity", "init": "U"},
+    ],
+    "buses": [{"name": "cnt", "width": 4, "init": 0}],
+    "instances": [
+        {"type": "ClockGen", "name": "ck", "ports": {"out": "clk"},
+         "params": {"period": 1e-8}},
+        {"type": "Counter", "name": "counter",
+         "ports": {"clk": "clk", "q": "cnt"}},
+        {"type": "ParityGen", "name": "par",
+         "ports": {"a": "cnt", "parity": "parity"}},
+    ],
+    "probes": ["cnt", "parity"],
+    "outputs": ["parity"],
+}
+
+FAULTS = [
+    {"kind": "bitflip", "target": "dut/counter.q[0]", "time": "35ns"},
+    {"kind": "stuck", "target": "clk", "value": "0", "t_start": "50ns"},
+]
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "design.json"
+    path.write_text(json.dumps(NETLIST))
+    return str(path)
+
+
+@pytest.fixture
+def fault_file(tmp_path):
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(FAULTS))
+    return str(path)
+
+
+class TestFaultParsing:
+    def test_bitflip(self):
+        fault = fault_from_dict(
+            {"kind": "bitflip", "target": "x.q", "time": "1us"})
+        assert isinstance(fault, BitFlip)
+        assert fault.time == pytest.approx(1e-6)
+
+    def test_mbu(self):
+        fault = fault_from_dict(
+            {"kind": "mbu", "targets": ["a", "b"], "time": 1e-6})
+        assert isinstance(fault, MultipleBitUpset)
+
+    def test_set(self):
+        fault = fault_from_dict(
+            {"kind": "set", "target": "w", "time": "1us", "width": "2ns"})
+        assert isinstance(fault, SETPulse)
+
+    def test_stuck(self):
+        fault = fault_from_dict(
+            {"kind": "stuck", "target": "w", "value": "X"})
+        assert isinstance(fault, StuckAt)
+
+    def test_current_trapezoid(self):
+        fault = fault_from_dict({
+            "kind": "current", "node": "icp", "time": "40us",
+            "pulse": {"pa": "10mA", "rt": "100ps", "ft": "300ps",
+                      "pw": "500ps"},
+        })
+        assert isinstance(fault, CurrentInjection)
+        assert fault.transient.peak() == pytest.approx(0.01)
+
+    def test_current_double_exp(self):
+        fault = fault_from_dict({
+            "kind": "current", "node": "icp", "time": "40us",
+            "pulse": {"i0": "14mA", "tau_r": "50ps", "tau_f": "300ps"},
+        })
+        assert isinstance(fault, CurrentInjection)
+
+    def test_parametric(self):
+        fault = fault_from_dict({
+            "kind": "parametric", "component": "pll/vco",
+            "attribute": "kvco", "factor": 1.2,
+        })
+        assert isinstance(fault, ParametricFault)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            fault_from_dict({"kind": "gremlin"})
+
+    def test_missing_key(self):
+        with pytest.raises(ReproError):
+            fault_from_dict({"kind": "bitflip", "target": "x"})
+
+    def test_load_faults_file(self, fault_file):
+        faults = load_faults(fault_file)
+        assert len(faults) == 2
+
+    def test_load_faults_not_a_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ReproError):
+            load_faults(str(path))
+
+
+class TestCommands:
+    def test_types(self, capsys):
+        assert main(["types"]) == 0
+        out = capsys.readouterr().out
+        assert "PLL" in out and "Counter" in out
+
+    def test_info(self, netlist_file, capsys):
+        assert main(["info", netlist_file]) == 0
+        out = capsys.readouterr().out
+        assert "design   : dut" in out
+        assert "counter: Counter" in out
+
+    def test_simulate(self, netlist_file, capsys):
+        assert main(["simulate", netlist_file, "--until", "200ns"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 0.2 us" in out
+        assert "parity" in out
+
+    def test_simulate_writes_vcd(self, netlist_file, tmp_path, capsys):
+        vcd = str(tmp_path / "wave.vcd")
+        assert main(["simulate", netlist_file, "--until", "100ns",
+                     "--vcd", vcd]) == 0
+        text = open(vcd).read()
+        assert "$timescale" in text
+
+    def test_campaign(self, netlist_file, fault_file, tmp_path, capsys):
+        csv_path = str(tmp_path / "runs.csv")
+        code = main(["campaign", netlist_file, fault_file,
+                     "--until", "300ns", "--csv", csv_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "classification summary" in out
+        assert len(open(csv_path).read().splitlines()) == 3
+
+    def test_campaign_fail_on_error(self, netlist_file, fault_file):
+        code = main(["campaign", netlist_file, fault_file,
+                     "--until", "300ns", "--fail-on-error"])
+        assert code == 1  # the counter flip is an error
+
+    def test_missing_file_is_error_exit(self):
+        assert main(["info", "/nonexistent/x.json"]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTextNetlistSupport:
+    def test_rcir_file_accepted(self, tmp_path, capsys):
+        deck = (
+            "design textdut\n"
+            "dt 1ns\n"
+            "signal clk init=0\n"
+            "bus cnt width=4 init=0\n"
+            "ck ClockGen out=clk period=10ns\n"
+            "counter Counter clk=clk q=cnt\n"
+            "probe cnt\n"
+        )
+        path = tmp_path / "design.rcir"
+        path.write_text(deck)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "textdut" in out
+        assert main(["simulate", str(path), "--until", "100ns"]) == 0
