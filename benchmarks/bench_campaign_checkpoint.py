@@ -1,0 +1,121 @@
+"""Cold-start versus warm-start campaign execution.
+
+The paper's flow re-simulates the whole design for every fault; for
+the PLL that means replaying an identical locked preamble hundreds of
+times.  Warm start checkpoints the single golden run just before each
+injection time and restores, so each faulty run only simulates its own
+suffix.  This bench runs the same after-lock injection campaign both
+ways and reports wall-clock, kernel events and the (required)
+bit-identical classifications, emitting the measurements as JSON for
+machine consumption.
+
+Reproduced claim: warm start executes >= 2x fewer kernel events than
+cold start on an after-lock PLL campaign, with identical results.
+"""
+
+import json
+import os
+import time
+
+from repro import Simulator
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    analog_injections,
+    run_campaign,
+    to_csv,
+)
+from repro.faults import TrapezoidPulse
+
+from conftest import banner, fast_pll, once
+
+T_END = 8e-6
+#: Injection times after the (preset) lock point, spread over the
+#: second half of the window — the paper's Figure 6 scenario, swept.
+INJECTION_TIMES = [6.0e-6, 6.4e-6, 6.8e-6, 7.2e-6]
+AMPLITUDES = [2e-3, 10e-3]
+
+
+def pll_factory():
+    sim = Simulator(dt=1e-9)
+    pll = fast_pll(sim, preset_locked=True)
+    probes = {
+        "vctrl": sim.probe(pll.vctrl),
+        "fout": sim.probe(pll.vco_out, min_interval=0.0),
+    }
+    return Design(sim=sim, root=pll, probes=probes)
+
+
+def make_spec():
+    pulses = [
+        TrapezoidPulse(rt=100e-12, ft=300e-12, pw=500e-12, pa=pa)
+        for pa in AMPLITUDES
+    ]
+    return CampaignSpec(
+        name="pll-checkpoint",
+        faults=analog_injections(["pll.icp"], INJECTION_TIMES, pulses),
+        t_end=T_END,
+        outputs=["vctrl"],
+        analog_tolerance=0.02,
+    )
+
+
+def run_both():
+    spec = make_spec()
+    t0 = time.perf_counter()
+    cold = run_campaign(pll_factory, spec)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_campaign(pll_factory, spec, warm_start=True)
+    t_warm = time.perf_counter() - t0
+    return cold, t_cold, warm, t_warm
+
+
+def test_checkpoint_campaign(benchmark):
+    cold, t_cold, warm, t_warm = once(benchmark, run_both)
+
+    event_ratio = (
+        cold.execution["kernel_events"] / warm.execution["kernel_events"]
+    )
+    measurements = {
+        "faults": len(cold),
+        "t_end_s": T_END,
+        "cold": {
+            "wall_s": round(t_cold, 4),
+            "kernel_events": cold.execution["kernel_events"],
+            "golden_events": cold.execution["golden_events"],
+            "fault_events": cold.execution["fault_events"],
+        },
+        "warm": {
+            "wall_s": round(t_warm, 4),
+            "kernel_events": warm.execution["kernel_events"],
+            "golden_events": warm.execution["golden_events"],
+            "fault_events": warm.execution["fault_events"],
+            "checkpoints": warm.execution["checkpoints"],
+        },
+        "event_ratio": round(event_ratio, 3),
+        "speedup": round(t_cold / t_warm, 3),
+        "classifications": {
+            "cold": [run.label for run in cold],
+            "warm": [run.label for run in warm],
+        },
+    }
+
+    banner("Checkpoint/warm-start campaign — after-lock PLL injections")
+    print(json.dumps(measurements, indent=2))
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(measurements, handle, indent=2)
+        print(f"wrote {out_path}")
+
+    # Identical results: same CSV (fault, class, divergence times) and
+    # bit-identical golden traces.
+    assert to_csv(cold) == to_csv(warm)
+    for name, golden in cold.golden_probes.items():
+        assert golden._times == warm.golden_probes[name]._times
+        assert golden._values == warm.golden_probes[name]._values
+    # Not vacuous: the pulses really disturb the loop.
+    assert any(run.label != "silent" for run in cold)
+    # The headline claim: >= 2x fewer kernel events end to end.
+    assert event_ratio >= 2.0

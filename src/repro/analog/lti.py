@@ -111,6 +111,19 @@ class LTISystem:
         u = np.atleast_1d(np.asarray(u, dtype=float))
         return self.c @ self.x + self.d @ u
 
+    def state_dict(self):
+        """State-vector capture for checkpoint/restore.
+
+        The discretisation cache is deliberately excluded: it maps
+        timestep to constant matrices, so it stays valid (and warm)
+        across restores.
+        """
+        return {"x": self.x.copy()}
+
+    def load_state_dict(self, state):
+        """Restore a capture made by :meth:`state_dict`."""
+        self.x = state["x"].copy()
+
     def reset(self, x0=None):
         """Reset the state (to zeros or a given vector)."""
         if x0 is None:

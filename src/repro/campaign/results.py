@@ -39,12 +39,19 @@ class CampaignResult:
 
     :param spec: the :class:`CampaignSpec` that was executed.
     :param golden_probes: probe traces of the golden run.
+
+    :ivar execution: how the campaign was executed — a dict with keys
+        ``mode`` (``"cold"``/``"warm"``), ``workers``, ``checkpoints``,
+        ``golden_events``, ``fault_events`` and ``kernel_events`` (the
+        total).  Filled in by :meth:`CampaignRunner.run`; ``None`` for
+        results assembled by hand.
     """
 
     def __init__(self, spec, golden_probes=None):
         self.spec = spec
         self.golden_probes = golden_probes or {}
         self.runs = []
+        self.execution = None
 
     def add(self, result):
         """Record one :class:`FaultResult`."""

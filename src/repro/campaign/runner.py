@@ -1,25 +1,50 @@
 """Campaign execution.
 
 Runs the full flow of Figures 2 and 3: a golden reference simulation,
-then one fresh, instrumented simulation per fault, each compared and
+then one instrumented simulation per fault, each compared and
 classified against the golden traces.
 
 The user supplies a **design factory**: a zero-argument callable
 returning a :class:`Design` — a freshly built circuit with its probes.
-Rebuilding per run guarantees runs are independent (no state leaks
-between injections), the simulation-based equivalent of reloading the
-emulator bitstream between experiments.
+
+Two execution strategies are available:
+
+* **cold start** (the default, and the paper's literal flow): every
+  faulty run rebuilds the design and re-simulates from t=0.  Runs are
+  maximally isolated — the simulation-based equivalent of reloading
+  the emulator bitstream between experiments.
+* **warm start** (``warm_start=True``): one design is built; during
+  the single golden run the kernel takes :class:`Snapshot` checkpoints
+  just before the faults' injection times, and each faulty run
+  *restores* the nearest checkpoint at or before its injection time
+  and simulates only the ``[t_ckpt, t_end]`` suffix.  The shared
+  golden prefix of every trace is preserved through the restore, so
+  results are bit-identical to cold runs while skipping the identical
+  warm-up — for the paper's PLL campaign, where every fault injects
+  after lock, that removes the bulk of each run.
+
+Warm start relies on the same grid-identity discipline as comparison:
+the union of all faults' solver refinement windows is pre-applied to
+the golden run (see :meth:`CampaignRunner._collect_windows`), and all
+current-pulse saboteurs are pre-created before the golden run so every
+run — golden and faulty — evaluates the identical block set.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from ..core.errors import CampaignError
-from ..injection.controller import InjectionController
+from ..core.trace import Trace
+from ..core.units import parse_quantity
+from ..injection.controller import CurrentInjection, InjectionController
 from .classify import classify
 from .compare import compare_probe_sets
 from .results import CampaignResult, FaultResult
+
+#: Default ceiling on retained golden checkpoints (memory bound).
+DEFAULT_MAX_CHECKPOINTS = 64
 
 
 @dataclass
@@ -40,6 +65,43 @@ class Design:
     extras: dict = field(default_factory=dict)
 
 
+def _clone_trace(trace):
+    """A detached copy of a trace's samples (same name/interpolation)."""
+    clone = Trace(trace.name, interp=trace.interp)
+    clone._times = list(trace._times)
+    clone._values = list(trace._values)
+    return clone
+
+
+def _fault_schedule_time(fault):
+    """When a fault first disturbs the design (checkpoint anchor).
+
+    Faults without a recognisable time attribute anchor at 0.0, which
+    degrades to a full replay — always correct, never fast.
+    """
+    for attr in ("time", "t_start"):
+        value = getattr(fault, attr, None)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return 0.0
+
+
+def _needs_strict_checkpoint(fault):
+    """True when the fault must restore *strictly before* its time.
+
+    Parametric faults activate immediately when applied at their start
+    time instead of scheduling an event, which would reorder them
+    against same-timestamp activity; restoring to an earlier
+    checkpoint sidesteps that.  Every other mechanism schedules
+    through the event queue inside the injection band, which
+    reproduces cold-run delta ordering even at an exactly-coincident
+    checkpoint.
+    """
+    from ..faults.parametric import ParametricFault
+
+    return isinstance(fault, ParametricFault)
+
+
 class CampaignRunner:
     """Executes a :class:`CampaignSpec` against a design factory.
 
@@ -58,6 +120,7 @@ class CampaignRunner:
         self.metric_hooks = list(metric_hooks)
         self.progress = progress
         self._shared_windows = self._collect_windows(spec.faults)
+        self._warm = None
 
     @staticmethod
     def _collect_windows(faults):
@@ -71,7 +134,6 @@ class CampaignRunner:
         observed difference is caused by the fault alone.
         """
         from ..injection.saboteur import CurrentPulseSaboteur
-        from ..injection.controller import CurrentInjection
 
         windows = []
         for fault in faults:
@@ -112,6 +174,157 @@ class CampaignRunner:
                 f"design factory does not probe declared outputs: {missing}"
             )
 
+    # -- warm-start machinery ---------------------------------------------------
+
+    def checkpoint_times(self, checkpoint_every=None, max_checkpoints=None):
+        """The golden-run checkpoint schedule for this campaign.
+
+        Candidates are the faults' injection times (quantised down to
+        multiples of ``checkpoint_every`` when given), clipped to the
+        simulated window, with a base checkpoint at t=0 so every fault
+        has a restore point.  Parametric faults anchor one candidate
+        *below* their start time (see :func:`_needs_strict_checkpoint`).
+        When the candidate set exceeds ``max_checkpoints`` it is
+        thinned evenly — correctness is unaffected, late-injecting
+        faults just replay a little more suffix.
+        """
+        if max_checkpoints is None:
+            max_checkpoints = DEFAULT_MAX_CHECKPOINTS
+        if max_checkpoints < 1:
+            raise CampaignError("max_checkpoints must be >= 1")
+        if checkpoint_every is not None:
+            checkpoint_every = parse_quantity(
+                checkpoint_every, expect_unit="s"
+            )
+        candidates = {0.0}
+        for fault in self.spec.faults:
+            t_inj = _fault_schedule_time(fault)
+            if _needs_strict_checkpoint(fault):
+                # Quantisation already lands below t_inj unless t_inj
+                # is an exact multiple; nudging one nominal analog
+                # step earlier keeps the restore strictly before the
+                # activation without measurable replay cost.
+                t_inj -= self._nominal_dt()
+            if checkpoint_every:
+                t_inj = int(t_inj / checkpoint_every) * checkpoint_every
+            if 0.0 < t_inj < self.spec.t_end:
+                candidates.add(t_inj)
+        times = sorted(candidates)
+        if len(times) > max_checkpoints:
+            if max_checkpoints == 1:
+                return [times[0]]
+            step = (len(times) - 1) / (max_checkpoints - 1)
+            keep = sorted({round(i * step) for i in range(max_checkpoints)})
+            times = [times[i] for i in keep]
+        return times
+
+    def _nominal_dt(self):
+        # The factory owns the solver step; one nominal nanosecond-ish
+        # step is recovered lazily from the warm design when present.
+        if self._warm is not None:
+            return self._warm["design"].sim.analog.dt_nominal
+        return 0.0
+
+    def prepare_warm(self, checkpoint_every=None, max_checkpoints=None):
+        """Build the design, run the golden simulation and checkpoint it.
+
+        Returns the warm-state dict (design, snapshots, golden probe
+        clones, saboteur map).  Idempotent: subsequent calls reuse the
+        prepared state.
+        """
+        if self._warm is not None:
+            return self._warm
+
+        design = self.factory()
+        self._check_probes(design, self.spec.outputs)
+        self._apply_shared_windows(design)
+        sim = design.sim
+
+        # Pre-create every saboteur the fault list needs, so golden
+        # and faulty runs evaluate one identical analog block set (an
+        # idle saboteur contributes no current).  Created before the
+        # elaboration mark: in a cold run the saboteur also exists
+        # before the run starts.
+        bootstrap = InjectionController(sim, design.root)
+        for fault in self.spec.faults:
+            if isinstance(fault, CurrentInjection):
+                bootstrap.saboteur_for(fault.node)
+        saboteurs = dict(bootstrap.saboteurs)
+
+        sim.mark_elaboration()
+        self._warm = {"design": design, "saboteurs": saboteurs}
+
+        events_before = sim.events_executed
+        snapshots = []
+        for t_ckpt in self.checkpoint_times(checkpoint_every, max_checkpoints):
+            # Stop *before* the checkpoint timestamp's delta cycles so
+            # a fault injected exactly there replays in cold-run order.
+            sim.run(t_ckpt, inclusive=False)
+            snapshots.append((t_ckpt, sim.snapshot()))
+        sim.run(self.spec.t_end)
+
+        self._warm.update(
+            snapshots=snapshots,
+            ckpt_times=[t for t, _ in snapshots],
+            golden_probes={
+                name: _clone_trace(trace)
+                for name, trace in design.probes.items()
+            },
+            # Full golden sample data for every kernel trace, used to
+            # re-splice the golden prefix after each restore: a restore
+            # only truncates traces back to the checkpoint *length*,
+            # and once a faulty run has overwritten the suffix, the
+            # region between an earlier restore point and the current
+            # checkpoint would otherwise carry stale faulty samples.
+            golden_trace_data=[
+                (trace, list(trace._times), list(trace._values))
+                for trace in sim._traces
+            ],
+            golden_events=sim.events_executed - events_before,
+        )
+        return self._warm
+
+    def run_fault_warm(self, fault):
+        """Execute one faulty run from the nearest golden checkpoint.
+
+        Returns ``(probes, metrics, events)`` where ``probes`` are
+        detached trace copies spanning the full ``[0, t_end]`` window
+        (golden prefix + faulty suffix) and ``events`` counts the
+        kernel events this run actually executed.
+        """
+        warm = self.prepare_warm()
+        design = warm["design"]
+        sim = design.sim
+
+        t_inj = _fault_schedule_time(fault)
+        if _needs_strict_checkpoint(fault):
+            index = bisect_right(warm["ckpt_times"], t_inj - self._nominal_dt())
+        else:
+            index = bisect_right(warm["ckpt_times"], t_inj)
+        _t_ckpt, snap = warm["snapshots"][max(index - 1, 0)]
+
+        events_before = sim.events_executed
+        sim.restore(snap)
+        for trace, times, values in warm["golden_trace_data"]:
+            n = len(trace._times)
+            trace._times[:] = times[:n]
+            trace._values[:] = values[:n]
+            trace._cache = None
+        controller = InjectionController(
+            sim, design.root, saboteurs=warm["saboteurs"]
+        )
+        with sim.injection_band():
+            controller.apply(fault)
+        sim.run(self.spec.t_end)
+
+        probes = {
+            name: _clone_trace(trace) for name, trace in design.probes.items()
+        }
+        metrics = {}
+        for hook in self.metric_hooks:
+            metrics.update(hook(design, fault))
+        return probes, metrics, sim.events_executed - events_before
+
     # -- the campaign -----------------------------------------------------------
 
     def _evaluate(self, golden_probes, fault, faulty_probes, metrics):
@@ -133,66 +346,144 @@ class CampaignRunner:
         )
 
     def _execute_one(self, fault):
-        """Run one faulty simulation; returns (probes, metrics).
+        """Run one faulty simulation; returns (probes, metrics, events).
 
         Used both in-process and as the body of a worker process —
-        only picklable data (traces, metric dicts) crosses the
-        boundary in the parallel case.
+        only picklable data (traces, metric dicts, counters) crosses
+        the boundary in the parallel case.
         """
         design, _controller = self.run_fault(fault)
         metrics = {}
         for hook in self.metric_hooks:
             metrics.update(hook(design, fault))
-        return design.probes, metrics
+        return design.probes, metrics, design.sim.events_executed
 
-    def run(self, workers=None):
+    def _make_pool(self, workers):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError as exc:
+            raise CampaignError(
+                "parallel campaigns need the 'fork' start method"
+            ) from exc
+        return context.Pool(processes=workers)
+
+    def run(
+        self,
+        workers=None,
+        warm_start=False,
+        checkpoint_every=None,
+        max_checkpoints=None,
+    ):
         """Run golden + every fault; returns a :class:`CampaignResult`.
 
         :param workers: when > 1 on a platform with ``fork``, faulty
             runs execute in a process pool (each worker inherits the
-            factory and hooks via fork; only probe traces and metric
+            factory, hooks — and in warm mode the golden design with
+            its snapshots — via fork; only probe traces and metric
             dicts are shipped back).  Comparison and classification
             always happen in the parent, against the one golden run.
+        :param warm_start: restore golden checkpoints instead of
+            re-simulating each fault from t=0 (see the module
+            docstring for semantics and caveats).
+        :param checkpoint_every: checkpoint time granularity in
+            seconds for warm starts (default: one checkpoint per
+            distinct injection time, bounded by ``max_checkpoints``).
+        :param max_checkpoints: ceiling on retained golden snapshots
+            (default 64).
         """
+        if warm_start:
+            return self._run_warm(workers, checkpoint_every, max_checkpoints)
+        return self._run_cold(workers)
+
+    def _run_cold(self, workers):
         golden = self.run_golden()
         result = CampaignResult(self.spec, golden_probes=golden.probes)
         total = len(self.spec.faults)
+        golden_events = golden.sim.events_executed
+        fault_events = 0
 
         if workers is not None and workers > 1 and total > 1:
-            import multiprocessing
-
             global _ACTIVE_RUNNER
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError as exc:
-                raise CampaignError(
-                    "parallel campaigns need the 'fork' start method"
-                ) from exc
             # Workers inherit this runner (factory, hooks and all)
             # through fork; only integer indices go out and picklable
             # (traces, metrics) results come back, so closures are
             # fine as factories and hooks.
             _ACTIVE_RUNNER = self
             try:
-                with context.Pool(processes=workers) as pool:
+                with self._make_pool(workers) as pool:
                     outcomes = pool.map(_worker_execute, range(total))
             finally:
                 _ACTIVE_RUNNER = None
-            for index, (fault, (probes, metrics)) in enumerate(
+            for index, (fault, (probes, metrics, events)) in enumerate(
                 zip(self.spec.faults, outcomes)
             ):
                 if self.progress is not None:
                     self.progress(index, total, fault)
+                fault_events += events
                 result.add(
                     self._evaluate(golden.probes, fault, probes, metrics)
                 )
-            return result
+        else:
+            for index, fault in enumerate(self.spec.faults):
+                if self.progress is not None:
+                    self.progress(index, total, fault)
+                probes, metrics, events = self._execute_one(fault)
+                fault_events += events
+                result.add(self._evaluate(golden.probes, fault, probes, metrics))
 
-        for index, fault in enumerate(self.spec.faults):
-            if self.progress is not None:
+        result.execution = {
+            "mode": "cold",
+            "workers": workers or 1,
+            "checkpoints": 0,
+            "golden_events": golden_events,
+            "fault_events": fault_events,
+            "kernel_events": golden_events + fault_events,
+        }
+        return result
+
+    def _run_warm(self, workers, checkpoint_every, max_checkpoints):
+        warm = self.prepare_warm(checkpoint_every, max_checkpoints)
+        golden_probes = warm["golden_probes"]
+        result = CampaignResult(self.spec, golden_probes=golden_probes)
+        total = len(self.spec.faults)
+        fault_events = 0
+
+        if workers is not None and workers > 1 and total > 1:
+            global _ACTIVE_RUNNER
+            # The forked workers inherit the golden design *and* its
+            # snapshots; each restores and runs in its own copy-on-
+            # write memory, so parallel warm runs stay independent.
+            _ACTIVE_RUNNER = self
+            try:
+                with self._make_pool(workers) as pool:
+                    outcomes = pool.map(_worker_execute_warm, range(total))
+            finally:
+                _ACTIVE_RUNNER = None
+        else:
+            outcomes = []
+            for index, fault in enumerate(self.spec.faults):
+                if self.progress is not None:
+                    self.progress(index, total, fault)
+                outcomes.append(self.run_fault_warm(fault))
+
+        for index, (fault, (probes, metrics, events)) in enumerate(
+            zip(self.spec.faults, outcomes)
+        ):
+            if workers is not None and self.progress is not None and workers > 1:
                 self.progress(index, total, fault)
-            probes, metrics = self._execute_one(fault)
-            result.add(self._evaluate(golden.probes, fault, probes, metrics))
+            fault_events += events
+            result.add(self._evaluate(golden_probes, fault, probes, metrics))
+
+        result.execution = {
+            "mode": "warm",
+            "workers": workers or 1,
+            "checkpoints": len(warm["snapshots"]),
+            "golden_events": warm["golden_events"],
+            "fault_events": fault_events,
+            "kernel_events": warm["golden_events"] + fault_events,
+        }
         return result
 
 
@@ -205,8 +496,27 @@ def _worker_execute(index):
     return _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
 
 
-def run_campaign(factory, spec, metric_hooks=(), progress=None, workers=None):
+def _worker_execute_warm(index):
+    """Pool worker body: warm-start fault ``index`` from a checkpoint."""
+    return _ACTIVE_RUNNER.run_fault_warm(_ACTIVE_RUNNER.spec.faults[index])
+
+
+def run_campaign(
+    factory,
+    spec,
+    metric_hooks=(),
+    progress=None,
+    workers=None,
+    warm_start=False,
+    checkpoint_every=None,
+    max_checkpoints=None,
+):
     """Convenience wrapper: build a runner and run it."""
     return CampaignRunner(
         factory, spec, metric_hooks=metric_hooks, progress=progress
-    ).run(workers=workers)
+    ).run(
+        workers=workers,
+        warm_start=warm_start,
+        checkpoint_every=checkpoint_every,
+        max_checkpoints=max_checkpoints,
+    )

@@ -175,6 +175,13 @@ def cmd_campaign(args):
         design_factory(netlist),
         spec,
         workers=args.workers,
+        warm_start=args.warm_start,
+        checkpoint_every=(
+            parse_quantity(args.checkpoint_every, expect_unit="s")
+            if args.checkpoint_every
+            else None
+        ),
+        max_checkpoints=args.max_checkpoints,
         progress=(
             (lambda i, n, f: print(f"run {i + 1}/{n}: {f.describe()}",
                                    file=sys.stderr))
@@ -184,6 +191,13 @@ def cmd_campaign(args):
     )
     report = full_report(result, listing_limit=args.listing_limit)
     print(report)
+    if args.verbose and result.execution:
+        ex = result.execution
+        print(
+            f"execution: {ex['mode']} start, {ex['checkpoints']} "
+            f"checkpoints, {ex['kernel_events']} kernel events",
+            file=sys.stderr,
+        )
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(report + "\n")
@@ -230,6 +244,14 @@ def build_parser():
     p_camp.add_argument("--listing-limit", type=int, default=20)
     p_camp.add_argument("--workers", type=int, default=None,
                         help="run faulty simulations in N processes")
+    p_camp.add_argument("--warm-start", action="store_true",
+                        help="restore golden checkpoints instead of "
+                             "re-simulating each fault from t=0")
+    p_camp.add_argument("--checkpoint-every", default=None,
+                        help="checkpoint granularity for --warm-start, "
+                             "e.g. '500ns' (default: per injection time)")
+    p_camp.add_argument("--max-checkpoints", type=int, default=None,
+                        help="ceiling on retained golden checkpoints")
     p_camp.add_argument("--verbose", action="store_true")
     p_camp.add_argument("--fail-on-error", action="store_true",
                         help="exit 1 when any fault caused an error")

@@ -18,7 +18,54 @@ instrumentation (Section 3.2) uses to flip stored bits.
 
 from __future__ import annotations
 
+import enum
+
+import numpy as np
+
 from .errors import ElaborationError
+
+#: Infrastructure attributes a generic state capture must never touch:
+#: identity, hierarchy links and dataflow registrations are structural,
+#: not simulation state.
+_STATE_SKIP = frozenset(
+    {"sim", "name", "parent", "children", "read_nodes", "write_nodes"}
+)
+
+#: Scalar types captured (and restored) by value.
+_SCALARS = (int, float, bool, complex, str, bytes, type(None), enum.Enum)
+
+#: Marker for attributes the generic capture leaves alone.
+_SKIP = object()
+
+
+def _capture(value):
+    """Classify one attribute value for a generic state capture.
+
+    Returns ``(kind, payload)`` or :data:`_SKIP`:
+
+    * scalars (numbers, strings, enums, None) — by value;
+    * numpy arrays — copied;
+    * lists / tuples / dicts / sets — shallow-copied (their *elements*
+      are assumed immutable or externally managed; blocks mutating
+      container elements in place must override ``state_dict``);
+    * objects exposing ``state_dict``/``load_state_dict`` (e.g.
+      :class:`~repro.analog.lti.LTISystem`) — captured recursively,
+      except components themselves, which the simulator snapshots
+      individually;
+    * anything else (signals, nodes, drivers, callables) — skipped,
+      because the kernel snapshot covers it through other channels.
+    """
+    if isinstance(value, Component):
+        return _SKIP
+    if isinstance(value, _SCALARS):
+        return ("scalar", value)
+    if isinstance(value, np.ndarray):
+        return ("array", value.copy())
+    if isinstance(value, (list, tuple, dict, set)):
+        return ("container", type(value)(value))
+    if hasattr(value, "state_dict") and hasattr(value, "load_state_dict"):
+        return ("nested", value.state_dict())
+    return _SKIP
 
 
 class Component:
@@ -87,6 +134,41 @@ class Component:
         override this; purely combinational components return ``{}``.
         """
         return {}
+
+    # -- checkpoint support ------------------------------------------------
+
+    def state_dict(self):
+        """Internal simulation state for checkpoint/restore.
+
+        The default captures every *plain-data* instance attribute —
+        scalars, numpy arrays, shallow containers and nested objects
+        exposing their own ``state_dict`` — which covers the phase
+        accumulators, one-sample input histories, mode flags and
+        activity counters behavioural models keep outside signals and
+        nodes.  Components with state the generic rules cannot see
+        (open file handles, iterators, containers mutated element-wise
+        in place) must override both this and :meth:`load_state_dict`.
+        """
+        state = {}
+        for key, value in vars(self).items():
+            if key in _STATE_SKIP:
+                continue
+            captured = _capture(value)
+            if captured is not _SKIP:
+                state[key] = captured
+        return state
+
+    def load_state_dict(self, state):
+        """Restore a capture made by :meth:`state_dict`."""
+        for key, (kind, payload) in state.items():
+            if kind == "scalar":
+                setattr(self, key, payload)
+            elif kind == "array":
+                setattr(self, key, payload.copy())
+            elif kind == "container":
+                setattr(self, key, type(payload)(payload))
+            elif kind == "nested":
+                getattr(self, key).load_state_dict(payload)
 
     def __repr__(self):
         return f"<{type(self).__name__} {self.path}>"

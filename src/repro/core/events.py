@@ -5,12 +5,25 @@ events at the same time execute in insertion order, which gives the
 delta-cycle semantics the digital layer relies on: a zero-delay signal
 update scheduled while processing time *t* runs later within the same
 timestamp, never "in the past".
+
+Insertion order is materialised as a monotonically increasing sequence
+number.  Checkpoint/warm-start support (see
+:mod:`repro.core.snapshot`) adds two refinements:
+
+* the counter is a plain integer (`next_seq`) so a snapshot can record
+  and restore it, keeping replayed runs sequence-identical with an
+  uninterrupted run; and
+* an *epoch band*: between :meth:`begin_epoch` and :meth:`end_epoch`,
+  pushed events receive fractional sequence numbers just below a
+  recorded mark.  A fault applied after restoring a mid-run snapshot
+  then sorts exactly where it would have in a cold run — after all
+  elaboration-time events but before every event scheduled while the
+  simulation was running.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 
 from .errors import SchedulingError
 
@@ -20,6 +33,11 @@ from .errors import SchedulingError
 PRIORITY_ANALOG = 0
 PRIORITY_NORMAL = 1
 PRIORITY_MONITOR = 2
+
+#: Spacing of fractional sequence numbers inside an epoch band.  The
+#: band spans half a unit below the mark, so up to ``0.5 / _EPOCH_STEP``
+#: events fit before the band would leak into normal sequence space.
+_EPOCH_STEP = 2.0 ** -20
 
 
 class Event:
@@ -55,15 +73,50 @@ class EventQueue:
 
     def __init__(self):
         self._heap = []
-        self._seq = itertools.count()
+        self._next_seq = 0
+        self._epoch = None
         self.executed = 0
 
     def __len__(self):
         return sum(1 for event in self._heap if not event.cancelled)
 
+    # -- sequence numbering ------------------------------------------------
+
+    def mark(self):
+        """The sequence number the next normal push would receive."""
+        return self._next_seq
+
+    def begin_epoch(self, mark):
+        """Hand out fractional seqs in ``(mark - 0.5, mark)`` until
+        :meth:`end_epoch`.
+
+        Events pushed inside the epoch order after everything pushed
+        before ``mark`` and before everything pushed after it — the
+        slot a fault-injection event occupies when it is applied
+        between elaboration and the run.
+        """
+        self._epoch = [float(mark) - 0.5, 0]
+
+    def end_epoch(self):
+        """Return to normal integer sequence numbering."""
+        self._epoch = None
+
+    def _take_seq(self):
+        if self._epoch is not None:
+            base, n = self._epoch
+            if (n + 1) * _EPOCH_STEP >= 0.5:
+                raise SchedulingError("epoch sequence band exhausted")
+            self._epoch[1] = n + 1
+            return base + n * _EPOCH_STEP
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- scheduling --------------------------------------------------------
+
     def push(self, time, callback, priority=PRIORITY_NORMAL):
         """Schedule ``callback`` at absolute ``time``; returns the Event."""
-        event = Event(time, priority, next(self._seq), callback)
+        event = Event(time, priority, self._take_seq(), callback)
         heapq.heappush(self._heap, event)
         return event
 
@@ -93,3 +146,30 @@ class EventQueue:
     def clear(self):
         """Drop every pending event."""
         self._heap.clear()
+
+    # -- checkpoint support ------------------------------------------------
+
+    def capture(self):
+        """Snapshot of the pending heap: (events, cancelled flags, seq).
+
+        The event objects themselves are shared with the live heap;
+        only the list and the mutable ``cancelled`` flags are copied.
+        """
+        events = list(self._heap)
+        return events, [event.cancelled for event in events], self._next_seq
+
+    def restore(self, state):
+        """Reinstall a heap captured with :meth:`capture`.
+
+        Events created after the capture are dropped; cancelled flags
+        revert to their captured values.  The ``executed`` counter is
+        *not* rewound — it counts real work done, across restores.
+        """
+        events, flags, next_seq = state
+        for event, flag in zip(events, flags):
+            event.cancelled = flag
+        # The captured list was heap-ordered when taken, so it can be
+        # reinstalled verbatim.
+        self._heap = list(events)
+        self._next_seq = next_seq
+        self._epoch = None

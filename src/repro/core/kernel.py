@@ -17,9 +17,20 @@ Both engines share one event queue, so digital events and analog steps
 interleave in strict time order.  Analog steps run at a higher priority
 within a timestamp, so a digital process waking at time *t* observes
 analog node values already advanced to *t*.
+
+The kernel also supports **checkpointing**: ``sim.snapshot()`` captures
+the complete state (see :mod:`repro.core.snapshot`) and
+``sim.restore(snap)`` rewinds to it, bit-identically.  The campaign
+layer uses this to warm-start faulty runs from a golden checkpoint
+taken just before each fault's injection time instead of re-simulating
+the identical warm-up from t=0.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_right
+from contextlib import contextmanager
+import heapq
 
 import networkx as nx
 
@@ -27,6 +38,7 @@ from .errors import ElaborationError, SchedulingError, SimulationError
 from .events import EventQueue, PRIORITY_ANALOG, PRIORITY_NORMAL
 from .node import AnalogNode, CurrentNode
 from .signal import Signal
+from .snapshot import Snapshot
 from .trace import LINEAR, STEP, Trace
 
 
@@ -89,6 +101,35 @@ class _NodeProbe:
         self.trace.append(t, getattr(self.node, self.attr))
         self.last_time = t
 
+    def compile(self):
+        """A per-step sampling callable with pre-bound hot references.
+
+        Undecimated probes (``min_interval == 0``) dominate real
+        campaigns; for those the compiled sampler appends straight to
+        the trace's backing lists, skipping the interval check, the
+        attribute string lookup and the monotonicity check (solver
+        time is strictly increasing by construction).  The closures
+        bind the list *objects*, which checkpoint restore preserves by
+        truncating traces in place.
+        """
+        if self.min_interval > 0:
+            return self.sample
+        trace = self.trace
+        append_time = trace._times.append
+        append_value = trace._values.append
+        node = self.node
+        if self.attr == "v":
+            def sample(t):
+                append_time(t)
+                append_value(node.v)
+                trace._cache = None
+        else:
+            def sample(t):
+                append_time(t)
+                append_value(node.i)
+                trace._cache = None
+        return sample
+
 
 class AnalogSolver:
     """Fixed-step behavioural analog solver with refinement windows.
@@ -108,6 +149,14 @@ class AnalogSolver:
         self._last_step_time = None
         self.steps = 0
         self._started = False
+        #: Merged window boundaries and the timestep in force between
+        #: consecutive boundaries — rebuilt lazily so adding N windows
+        #: up front costs one merge, and looked up via bisect instead
+        #: of a per-step linear scan over the windows.
+        self._boundaries = []
+        self._interval_dts = []
+        self._schedule_dirty = False
+        self._samplers = None
 
     # -- configuration -----------------------------------------------------
 
@@ -121,11 +170,18 @@ class AnalogSolver:
         window = RefinementWindow(t0, t1, dt)
         self.windows.append(window)
         self.windows.sort(key=lambda w: w.t0)
+        self._schedule_dirty = True
         return window
 
     def add_probe(self, probe):
         """Register a per-step node sampler (see Simulator.probe)."""
         self._probes.append(probe)
+        self._samplers = None
+
+    def _invalidate_schedule(self):
+        """Force boundary and sampler recompilation (checkpoint restore)."""
+        self._schedule_dirty = True
+        self._samplers = None
 
     # -- evaluation ordering --------------------------------------------------
 
@@ -168,13 +224,50 @@ class AnalogSolver:
 
     # -- timestep selection ---------------------------------------------------
 
+    def _rebuild_schedule(self):
+        """Merge window boundaries into a sorted array with per-interval
+        timesteps.
+
+        Uses a sweep with a lazy min-heap of active windows, so the
+        rebuild is O(W log W) in the number of windows and every
+        subsequent :meth:`dt_at` / :meth:`next_step_time` is a single
+        bisect — the per-step O(W) scans this replaces dominated the
+        kernel profile for campaigns whose shared refinement windows
+        number in the hundreds.
+        """
+        bounds = sorted(
+            {w.t0 for w in self.windows} | {w.t1 for w in self.windows}
+        )
+        dts = []
+        by_start = self.windows  # already sorted by t0
+        pointer = 0
+        active = []  # (dt, t1) lazy heap of windows covering the sweep point
+        for left in bounds[:-1] if bounds else ():
+            while pointer < len(by_start) and by_start[pointer].t0 <= left:
+                window = by_start[pointer]
+                heapq.heappush(active, (window.dt, window.t1))
+                pointer += 1
+            while active and active[0][1] <= left:
+                heapq.heappop(active)
+            if active:
+                dts.append(min(self.dt_nominal, active[0][0]))
+            else:
+                dts.append(self.dt_nominal)
+        self._boundaries = bounds
+        self._interval_dts = dts
+        self._schedule_dirty = False
+
     def dt_at(self, t):
         """The timestep in force at time ``t``."""
-        dt = self.dt_nominal
-        for window in self.windows:
-            if window.t0 <= t < window.t1:
-                dt = min(dt, window.dt)
-        return dt
+        if self._schedule_dirty:
+            self._rebuild_schedule()
+        bounds = self._boundaries
+        if not bounds:
+            return self.dt_nominal
+        idx = bisect_right(bounds, t) - 1
+        if idx < 0 or idx >= len(self._interval_dts):
+            return self.dt_nominal
+        return self._interval_dts[idx]
 
     def next_step_time(self, t):
         """The time of the step after one taken at ``t``.
@@ -183,11 +276,10 @@ class AnalogSolver:
         refinement window is skipped over at the coarse step.
         """
         candidate = t + self.dt_at(t)
-        for window in self.windows:
-            if t < window.t0 < candidate:
-                candidate = window.t0
-            if t < window.t1 < candidate:
-                candidate = window.t1
+        bounds = self._boundaries
+        idx = bisect_right(bounds, t)
+        if idx < len(bounds) and bounds[idx] < candidate:
+            return bounds[idx]
         return candidate
 
     # -- stepping --------------------------------------------------------------
@@ -199,18 +291,29 @@ class AnalogSolver:
         self._started = True
         self.sim._queue.push(self.sim.now, self._step_event, PRIORITY_ANALOG)
 
+    def _compile_samplers(self):
+        self._samplers = [probe.compile() for probe in self._probes]
+        return self._samplers
+
     def _step_event(self):
         t = self.sim.now
-        dt = 0.0 if self._last_step_time is None else t - self._last_step_time
+        last = self._last_step_time
+        dt = 0.0 if last is None else t - last
         self._last_step_time = t
         self.steps += 1
 
         for node in self.current_nodes:
             node.clear_current()
-        for block in self.evaluation_order():
+        order = self._order
+        if order is None:
+            order = self.evaluation_order()
+        for block in order:
             block.step(t, dt)
-        for probe in self._probes:
-            probe.sample(t)
+        samplers = self._samplers
+        if samplers is None:
+            samplers = self._compile_samplers()
+        for sample in samplers:
+            sample(t)
 
         self.sim._queue.push(self.next_step_time(t), self._step_event, PRIORITY_ANALOG)
 
@@ -236,8 +339,11 @@ class Simulator:
         self.signals = {}
         self.nodes = {}
         self.components = []
+        self._components_by_path = {}
         self._processes = []
+        self._traces = []
         self._finished = False
+        self._elaboration_mark = None
 
     # -- registries (called from Signal/Node/Component constructors) -------
 
@@ -255,6 +361,9 @@ class Simulator:
 
     def _register_component(self, component):
         self.components.append(component)
+        # First registration wins, matching the old linear scan's
+        # behaviour when sibling-unchecked paths collide.
+        self._components_by_path.setdefault(component.path, component)
 
     # -- factories --------------------------------------------------------
 
@@ -330,10 +439,12 @@ class Simulator:
             trace = Trace(name or target.name, interp=STEP)
             trace.append(self.now, target.value)
             target.on_change(lambda sig: trace.append(self.now, sig.value))
+            self._traces.append(trace)
             return trace
         if isinstance(target, AnalogNode):
             trace = Trace(name or target.name, interp=LINEAR)
             self.analog.add_probe(_NodeProbe(target, trace, min_interval, "v"))
+            self._traces.append(trace)
             return trace
         raise SimulationError(f"cannot probe {target!r}")
 
@@ -343,16 +454,24 @@ class Simulator:
             raise SimulationError(f"{node!r} is not a CurrentNode")
         trace = Trace(name or f"{node.name}.i", interp=LINEAR)
         self.analog.add_probe(_NodeProbe(node, trace, min_interval, "i"))
+        self._traces.append(trace)
         return trace
 
     # -- running ------------------------------------------------------------
 
-    def run(self, until):
+    def run(self, until, inclusive=True):
         """Advance the simulation to absolute time ``until``.
 
         May be called repeatedly with increasing times.  Digital events
         and analog steps execute in time order; at ``until`` the run
         stops with all events at or before ``until`` processed.
+
+        :param inclusive: when False, events scheduled exactly at
+            ``until`` are left pending and ``now`` still advances to
+            ``until``.  Checkpointing uses this to capture state
+            *before* the delta cycles of the checkpoint timestamp, so
+            a fault injected exactly at that time replays in the same
+            order as in an uninterrupted run.
         """
         if until < self.now:
             raise SchedulingError(
@@ -363,6 +482,8 @@ class Simulator:
         while True:
             t_next = queue.peek_time()
             if t_next is None or t_next > until:
+                break
+            if not inclusive and t_next >= until:
                 break
             event = queue.pop()
             if event.time < self.now - 1e-18:
@@ -377,6 +498,58 @@ class Simulator:
         """Advance the simulation by ``duration`` seconds."""
         self.run(self.now + duration)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self):
+        """Capture the complete kernel state (see :class:`Snapshot`)."""
+        return Snapshot.capture(self)
+
+    def restore(self, snap):
+        """Rewind to a state captured with :meth:`snapshot`.
+
+        Restoring is bit-exact: resuming the run reproduces the same
+        events, analog steps and trace samples an uninterrupted run
+        would have produced.  The ``events_executed`` and
+        ``analog_steps`` counters are *not* rewound — they keep
+        counting real work across restores, which is what campaign
+        throughput accounting needs.
+        """
+        snap.apply(self)
+        return self
+
+    def mark_elaboration(self):
+        """Declare the design fully elaborated (for injection ordering).
+
+        Records the event-sequence watermark separating construction-
+        time events from run-time events.  :meth:`injection_band` uses
+        it to give late-applied faults the delta-cycle slot they would
+        have had if applied before the run started.
+        """
+        self._elaboration_mark = self._queue.mark()
+        return self._elaboration_mark
+
+    @contextmanager
+    def injection_band(self):
+        """Events scheduled inside sort as if applied pre-run.
+
+        After restoring a mid-run checkpoint, a fault's events would
+        normally receive sequence numbers *after* every pending event —
+        but in a cold run the fault is armed before the run, so its
+        events at a shared timestamp execute before run-scheduled
+        ones.  Within this context, pushes draw fractional sequence
+        numbers just below the :meth:`mark_elaboration` watermark,
+        reproducing the cold-run order exactly.
+        """
+        if self._elaboration_mark is None:
+            raise SimulationError(
+                "mark_elaboration() must be called before injection_band()"
+            )
+        self._queue.begin_epoch(self._elaboration_mark)
+        try:
+            yield self
+        finally:
+            self._queue.end_epoch()
+
     # -- introspection ---------------------------------------------------------
 
     @property
@@ -390,8 +563,8 @@ class Simulator:
         return self.analog.steps
 
     def find_component(self, path):
-        """Look up a component by full hierarchical path."""
-        for component in self.components:
-            if component.path == path:
-                return component
-        raise ElaborationError(f"no component at path {path!r}")
+        """Look up a component by full hierarchical path (O(1))."""
+        component = self._components_by_path.get(path)
+        if component is None:
+            raise ElaborationError(f"no component at path {path!r}")
+        return component

@@ -46,6 +46,18 @@ class AnalogNode:
         if block not in self.readers:
             self.readers.append(block)
 
+    # -- checkpoint support ------------------------------------------------
+
+    def _state(self):
+        """Capture the node value and dataflow registrations."""
+        return (self.v, list(self.writers), list(self.readers))
+
+    def _load_state(self, state):
+        """Restore a capture made by :meth:`_state`."""
+        self.v, writers, readers = state
+        self.writers = list(writers)
+        self.readers = list(readers)
+
     def __repr__(self):
         return f"<AnalogNode {self.name}={self.v:.6g}>"
 
@@ -85,6 +97,14 @@ class CurrentNode(AnalogNode):
     def contributions(self):
         """Mapping of labelled per-step contributions (diagnostics)."""
         return dict(self._contributions)
+
+    def _state(self):
+        return (super()._state(), self.i, dict(self._contributions))
+
+    def _load_state(self, state):
+        base, self.i, contributions = state
+        super()._load_state(base)
+        self._contributions = dict(contributions)
 
     def __repr__(self):
         return f"<CurrentNode {self.name} v={self.v:.6g} i={self.i:.6g}>"

@@ -213,6 +213,42 @@ class Signal:
         """True while a :meth:`force` is active."""
         return self._forced
 
+    # -- checkpoint support ----------------------------------------------
+
+    def _state(self):
+        """Capture everything a snapshot needs to replay this signal."""
+        return (
+            self._value,
+            self._prev,
+            self._last_change_time,
+            self.change_count,
+            self._forced,
+            self._forced_value,
+            list(self._drivers),
+            [drv.value for drv in self._drivers],
+            self._default_driver,
+            list(self._listeners),
+        )
+
+    def _load_state(self, state):
+        """Restore a capture made by :meth:`_state`."""
+        (
+            self._value,
+            self._prev,
+            self._last_change_time,
+            self.change_count,
+            self._forced,
+            self._forced_value,
+            drivers,
+            driver_values,
+            self._default_driver,
+            listeners,
+        ) = state
+        self._drivers = list(drivers)
+        for drv, value in zip(self._drivers, driver_values):
+            drv.value = value
+        self._listeners = list(listeners)
+
     # -- observation ----------------------------------------------------
 
     def on_change(self, callback):

@@ -1,0 +1,170 @@
+"""Kernel state checkpointing.
+
+A :class:`Snapshot` captures everything the mixed-mode kernel needs to
+resume a simulation from an intermediate time as if it had never
+stopped: signal values and driver contributions, analog node state,
+per-component behavioural state (through
+:meth:`~repro.core.component.Component.state_dict`), the pending event
+queue, solver bookkeeping and recorded trace lengths.
+
+The design constraint is *bit-identity*: a run restored from a
+snapshot must produce traces exactly equal — no tolerance — to an
+uninterrupted run, because the campaign layer compares golden and
+faulty waveforms sample by sample.  Three details make that work:
+
+* event objects are shared between the snapshot and the live heap, so
+  callbacks keep their closed-over references; the snapshot only
+  restores the heap membership and the mutable ``cancelled`` flags;
+* the event sequence counter is restored, so replayed events receive
+  the same insertion order they had in the original run; and
+* traces are truncated *in place* (the list objects survive), so
+  bound-method fast paths and probe listeners stay valid.
+
+Snapshots are tied to the simulator instance they were captured from:
+they hold direct references to its signals, nodes, components and
+events.  They cannot be applied to a different simulator, but they
+*do* travel across ``fork()`` — a forked campaign worker inherits the
+design and its snapshots and can restore and run independently, which
+is how warm-started campaigns parallelise.
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationError
+
+
+class Snapshot:
+    """An immutable capture of a :class:`~repro.core.kernel.Simulator`.
+
+    Build one with :meth:`capture` (or ``sim.snapshot()``); apply it
+    with ``sim.restore(snap)``.  A snapshot may be restored any number
+    of times — the campaign runner restores the same golden checkpoint
+    once per fault.
+    """
+
+    __slots__ = (
+        "sim",
+        "time",
+        "queue_state",
+        "signal_states",
+        "signal_registry",
+        "node_states",
+        "node_registry",
+        "component_states",
+        "components",
+        "component_index",
+        "process_states",
+        "processes",
+        "trace_lengths",
+        "solver_state",
+    )
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.time = sim.now
+        self.queue_state = sim._queue.capture()
+
+        self.signal_registry = dict(sim.signals)
+        self.signal_states = [
+            (signal, signal._state()) for signal in self.signal_registry.values()
+        ]
+        self.node_registry = dict(sim.nodes)
+        self.node_states = [
+            (node, node._state()) for node in self.node_registry.values()
+        ]
+
+        self.components = list(sim.components)
+        self.component_index = dict(sim._components_by_path)
+        self.component_states = [
+            (component, component.state_dict()) for component in self.components
+        ]
+
+        self.processes = list(sim._processes)
+        self.process_states = [proc.pending for proc in self.processes]
+
+        self.trace_lengths = [(trace, len(trace)) for trace in sim._traces]
+
+        solver = sim.analog
+        self.solver_state = (
+            list(solver.blocks),
+            list(solver.windows),
+            list(solver.current_nodes),
+            list(solver._probes),
+            [probe.last_time for probe in solver._probes],
+            solver._last_step_time,
+            solver._started,
+        )
+
+    @classmethod
+    def capture(cls, sim):
+        """Capture the full kernel state of ``sim``."""
+        return cls(sim)
+
+    def apply(self, sim):
+        """Rewind ``sim`` to this snapshot's state.
+
+        :raises SimulationError: when applied to a different simulator
+            than the one captured.
+        """
+        if sim is not self.sim:
+            raise SimulationError(
+                "snapshot belongs to a different simulator instance"
+            )
+
+        sim.now = self.time
+        sim._queue.restore(self.queue_state)
+
+        sim.signals = dict(self.signal_registry)
+        for signal, state in self.signal_states:
+            signal._load_state(state)
+        sim.nodes = dict(self.node_registry)
+        for node, state in self.node_states:
+            node._load_state(state)
+
+        sim.components = list(self.components)
+        sim._components_by_path = dict(self.component_index)
+        for component, state in self.component_states:
+            component.load_state_dict(state)
+
+        sim._processes = list(self.processes)
+        for proc, pending in zip(self.processes, self.process_states):
+            proc.pending = pending
+
+        # Traces are truncated in place so listener closures and the
+        # solver's compiled samplers keep pointing at live lists.
+        sim._traces = [trace for trace, _ in self.trace_lengths]
+        for trace, length in self.trace_lengths:
+            if len(trace._times) > length:
+                del trace._times[length:]
+                del trace._values[length:]
+            trace._cache = None
+
+        solver = sim.analog
+        (
+            blocks,
+            windows,
+            current_nodes,
+            probes,
+            probe_last_times,
+            last_step_time,
+            started,
+        ) = self.solver_state
+        solver.blocks = list(blocks)
+        solver.windows = list(windows)
+        solver.current_nodes = list(current_nodes)
+        solver._probes = list(probes)
+        for probe, last_time in zip(solver._probes, probe_last_times):
+            probe.last_time = last_time
+        solver._last_step_time = last_step_time
+        solver._started = started
+        solver._order = None
+        solver._invalidate_schedule()
+        return sim
+
+    def __repr__(self):
+        events = len(self.queue_state[0])
+        return (
+            f"<Snapshot t={self.time:.6g} events={events} "
+            f"signals={len(self.signal_states)} nodes={len(self.node_states)} "
+            f"components={len(self.component_states)}>"
+        )
