@@ -1,0 +1,154 @@
+"""Observability instrumentation overhead.
+
+The obs subsystem's design constraint is the *disabled* cost: kernel
+and campaign hot paths guard on one boolean and take the original code
+path when no instrument is enabled.  This bench measures
+
+* the kernel event throughput with instrumentation disabled against
+  the uninstrumented loop body itself (``Simulator._run_loop``), which
+  is exactly the code that ran before obs existed — the guard and the
+  dispatch are the only difference; and
+* the full-campaign wall cost of *enabled* tracing + metrics, which
+  may legitimately cost a few percent but must stay bounded and must
+  actually produce the per-fault spans and counters.
+
+Reproduced claim: enabling-by-default costs nothing — disabled
+instrumentation keeps kernel event throughput within 3% of the
+uninstrumented loop.
+"""
+
+import json
+import os
+import time
+
+from repro import Simulator, obs
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    exhaustive_bitflips,
+    run_campaign,
+)
+from repro.core import Component, L0
+from repro.digital import Bus, ClockGen, Counter, ParityGen
+
+from conftest import banner, once
+
+T_END = 40e-6          # ~8000 clock edges per measured run
+TRIALS = 7
+
+
+def build_sim():
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+    q = Bus(sim, "cnt", 8)
+    Counter(sim, "counter", clk, q, parent=top)
+    par = sim.signal("parity")
+    ParityGen(sim, "par", q, par, parent=top)
+    probes = {"parity": sim.probe(par)}
+    return sim, top, probes
+
+
+def factory():
+    sim, top, probes = build_sim()
+    return Design(sim=sim, root=top, probes=probes)
+
+
+def make_spec():
+    faults = exhaustive_bitflips(
+        [f"top/counter.q[{i}]" for i in range(4)], [3e-6, 11e-6]
+    )
+    return CampaignSpec(name="obs-overhead", faults=faults, t_end=20e-6,
+                        outputs=["parity"])
+
+
+def _best_throughput(run_call):
+    """Best events/second over TRIALS fresh simulations.
+
+    Min-time (max-throughput) of several trials cancels scheduler
+    noise, which at the 3% level would otherwise dominate.
+    """
+    best = 0.0
+    for _ in range(TRIALS):
+        sim, _top, _probes = build_sim()
+        t0 = time.perf_counter()
+        run_call(sim)
+        elapsed = time.perf_counter() - t0
+        best = max(best, sim.events_executed / elapsed)
+    return best
+
+
+def measure():
+    obs.disable()
+    obs.reset()
+
+    # Interleaved within _best_throughput's trial loop structure:
+    # public run() with obs disabled vs the raw pre-obs loop.
+    baseline = _best_throughput(
+        lambda sim: sim._run_loop(T_END, inclusive=True)
+    )
+    disabled = _best_throughput(lambda sim: sim.run(T_END))
+
+    # Enabled end-to-end campaign cost vs the identical disabled one.
+    spec = make_spec()
+    t0 = time.perf_counter()
+    run_campaign(factory, spec)
+    wall_disabled = time.perf_counter() - t0
+
+    obs.enable()
+    t0 = time.perf_counter()
+    result = run_campaign(factory, make_spec())
+    wall_enabled = time.perf_counter() - t0
+    snapshot = obs.metrics.snapshot()
+    spans = obs.tracer.TRACER.to_dicts()
+    obs.disable()
+    obs.reset()
+
+    return (baseline, disabled, wall_disabled, wall_enabled,
+            result, snapshot, spans)
+
+
+def test_obs_overhead(benchmark):
+    (baseline, disabled, wall_disabled, wall_enabled,
+     result, snapshot, spans) = once(benchmark, measure)
+
+    disabled_ratio = disabled / baseline
+    enabled_ratio = wall_enabled / wall_disabled
+    fault_spans = [s for s in spans if s["name"] == "campaign.fault_run"]
+
+    measurements = {
+        "kernel_events_per_s": {
+            "uninstrumented_loop": round(baseline),
+            "obs_disabled": round(disabled),
+            "ratio": round(disabled_ratio, 4),
+        },
+        "campaign_wall_s": {
+            "obs_disabled": round(wall_disabled, 4),
+            "obs_enabled": round(wall_enabled, 4),
+            "ratio": round(enabled_ratio, 3),
+        },
+        "enabled_counters": snapshot["counters"],
+        "fault_spans": len(fault_spans),
+    }
+
+    banner("Observability overhead — disabled hot path vs baseline")
+    print(json.dumps(measurements, indent=2))
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(measurements, handle, indent=2)
+        print(f"wrote {out_path}")
+
+    # The headline claim: disabled instrumentation costs < 3% kernel
+    # event throughput.
+    assert disabled_ratio >= 0.97
+    # Enabled instrumentation is allowed to cost, but boundedly so on
+    # this span-per-run workload.
+    assert enabled_ratio <= 1.5
+    # And it must actually observe the campaign: one span per faulty
+    # run, counters matching the result.
+    assert len(fault_spans) == len(result)
+    assert snapshot["counters"]["campaign.runs"] == len(result)
+    assert snapshot["histograms"]["campaign.run_wall_s"]["count"] == \
+        len(result)

@@ -148,6 +148,33 @@ class FaultDictionary:
         signature = max(self._index, key=lambda s: len(self._index[s]))
         return signature, list(self._index[signature])
 
+    def to_dict(self):
+        """JSON-ready export of the dictionary.
+
+        Used to publish dictionaries built from a campaign store
+        (``repro campaign report --from-db``) to downstream tooling;
+        faults are referenced by their ``describe()`` line.
+        """
+        return {
+            "n_faults": self.n_faults,
+            "time_bucket": self.time_bucket,
+            "include_order": self.include_order,
+            "distinguishability": self.distinguishability(),
+            "signatures": [
+                {
+                    "label": signature.label,
+                    "diverged": list(signature.diverged),
+                    "order": list(signature.order),
+                    "latency_bucket": signature.latency_bucket,
+                    "faults": [
+                        fault.describe()
+                        for fault in self._index[signature]
+                    ],
+                }
+                for signature in self.signatures()
+            ],
+        }
+
     def report(self, limit=10):
         """Text report of the dictionary's diagnostic power."""
         lines = [

@@ -54,6 +54,60 @@ def per_target_table(result):
     return _format_table(rows)
 
 
+def execution_summary(result):
+    """How the campaign ran: mode, checkpoints, events, warm stats.
+
+    Renders :attr:`CampaignResult.execution` — the warm-start /
+    checkpoint accounting that used to stay buried in the result
+    object — as a report section.  Returns an empty string for
+    hand-assembled results with no execution record.
+    """
+    ex = result.execution
+    if not ex:
+        return ""
+    lines = [
+        f"mode            : {ex.get('mode', '?')} start"
+        f" ({ex.get('workers', 1)} worker"
+        f"{'s' if ex.get('workers', 1) != 1 else ''})",
+        f"kernel events   : {ex.get('kernel_events', 0)}"
+        f" (golden {ex.get('golden_events', 0)}"
+        f" + faulty {ex.get('fault_events', 0)})",
+    ]
+    if ex.get("mode") == "warm":
+        lines.append(f"checkpoints     : {ex.get('checkpoints', 0)}")
+        if "warm_hits" in ex:
+            lines.append(
+                f"warm restores   : {ex['warm_hits']} hit"
+                f" / {ex['warm_misses']} miss (replayed from t=0)"
+            )
+    if "wall_s" in ex:
+        completed = ex.get("completed", len(result))
+        rate = completed / ex["wall_s"] if ex["wall_s"] > 0 else 0.0
+        lines.append(
+            f"wall time       : {ex['wall_s']:.3g} s"
+            f" ({rate:.2f} runs/s)"
+        )
+    if ex.get("skipped"):
+        lines.append(
+            f"resumed         : {ex['skipped']} runs loaded from store, "
+            f"{ex.get('completed', 0)} executed"
+        )
+    if ex.get("errors"):
+        lines.append(f"run errors      : {ex['errors']}")
+    return "\n".join(lines)
+
+
+def error_listing(result, limit=None):
+    """One line per failed run (``on_error="collect"`` campaigns)."""
+    errors = getattr(result, "errors", None) or []
+    lines = []
+    for err in errors[: limit if limit is not None else len(errors)]:
+        lines.append(err.describe())
+    if limit is not None and len(errors) > limit:
+        lines.append(f"... ({len(errors) - limit} more)")
+    return "\n".join(lines)
+
+
 def fault_listing(result, limit=None):
     """One line per run: fault description and class."""
     lines = []
@@ -90,6 +144,18 @@ def full_report(result, listing_limit=20):
             fault_listing(result, listing_limit),
         ]
     )
+    if result.execution:
+        sections.extend(
+            ["", "--- execution ---", execution_summary(result)]
+        )
+    if getattr(result, "errors", None):
+        sections.extend(
+            [
+                "",
+                f"--- run errors ({len(result.errors)}) ---",
+                error_listing(result, listing_limit),
+            ]
+        )
     return "\n".join(sections)
 
 

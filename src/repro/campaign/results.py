@@ -10,6 +10,28 @@ from .classify import CLASSES, SILENT, Classification
 
 
 @dataclass
+class CampaignRunError:
+    """One faulty run that raised instead of completing.
+
+    Collected (rather than raised) when a campaign executes with
+    ``on_error="collect"``; the campaign continues and the failed
+    fault is retried on a store-backed resume.
+
+    :ivar index: position of the fault in the campaign's fault list.
+    :ivar fault: the fault-model instance whose run failed.
+    :ivar message: ``"ExceptionType: message"`` rendering of the error.
+    """
+
+    index: int
+    fault: object
+    message: str
+
+    def describe(self):
+        """One line: fault -> error."""
+        return f"{self.fault.describe():60s} !! {self.message}"
+
+
+@dataclass
 class FaultResult:
     """Outcome of one faulty run.
 
@@ -42,9 +64,14 @@ class CampaignResult:
 
     :ivar execution: how the campaign was executed — a dict with keys
         ``mode`` (``"cold"``/``"warm"``), ``workers``, ``checkpoints``,
-        ``golden_events``, ``fault_events`` and ``kernel_events`` (the
-        total).  Filled in by :meth:`CampaignRunner.run`; ``None`` for
-        results assembled by hand.
+        ``golden_events``, ``fault_events``, ``kernel_events`` (the
+        total), ``wall_s``, ``completed``, ``skipped`` (store-resumed
+        runs), ``errors``, and — warm only — ``warm_hits`` /
+        ``warm_misses`` (restores from a t>0 checkpoint vs full
+        replays from t=0).  Filled in by :meth:`CampaignRunner.run`;
+        ``None`` for results assembled by hand.
+    :ivar errors: list of :class:`CampaignRunError` for faulty runs
+        that raised (``on_error="collect"`` executions only).
     """
 
     def __init__(self, spec, golden_probes=None):
@@ -52,6 +79,7 @@ class CampaignResult:
         self.golden_probes = golden_probes or {}
         self.runs = []
         self.execution = None
+        self.errors = []
 
     def add(self, result):
         """Record one :class:`FaultResult`."""

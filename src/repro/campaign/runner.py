@@ -34,14 +34,17 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..core.errors import CampaignError
 from ..core.trace import Trace
 from ..core.units import parse_quantity
 from ..injection.controller import CurrentInjection, InjectionController
+from ..obs import metrics as _metrics
+from ..obs import tracer as _tracer
 from .classify import classify
 from .compare import compare_probe_sets
-from .results import CampaignResult, FaultResult
+from .results import CampaignResult, CampaignRunError, FaultResult
 
 #: Default ceiling on retained golden checkpoints (memory bound).
 DEFAULT_MAX_CHECKPOINTS = 64
@@ -154,7 +157,8 @@ class CampaignRunner:
         design = self.factory()
         self._check_probes(design, self.spec.outputs)
         self._apply_shared_windows(design)
-        design.sim.run(self.spec.t_end)
+        with _tracer.TRACER.span("campaign.golden", t_end=self.spec.t_end):
+            design.sim.run(self.spec.t_end)
         return design
 
     def run_fault(self, fault):
@@ -256,12 +260,18 @@ class CampaignRunner:
 
         events_before = sim.events_executed
         snapshots = []
-        for t_ckpt in self.checkpoint_times(checkpoint_every, max_checkpoints):
-            # Stop *before* the checkpoint timestamp's delta cycles so
-            # a fault injected exactly there replays in cold-run order.
-            sim.run(t_ckpt, inclusive=False)
-            snapshots.append((t_ckpt, sim.snapshot()))
-        sim.run(self.spec.t_end)
+        with _tracer.TRACER.span(
+            "campaign.golden", t_end=self.spec.t_end, warm=True
+        ):
+            for t_ckpt in self.checkpoint_times(
+                checkpoint_every, max_checkpoints
+            ):
+                # Stop *before* the checkpoint timestamp's delta cycles
+                # so a fault injected exactly there replays in cold-run
+                # order.
+                sim.run(t_ckpt, inclusive=False)
+                snapshots.append((t_ckpt, sim.snapshot()))
+            sim.run(self.spec.t_end)
 
         self._warm.update(
             snapshots=snapshots,
@@ -284,6 +294,21 @@ class CampaignRunner:
         )
         return self._warm
 
+    def _restore_point(self, fault):
+        """The ``(time, snapshot)`` checkpoint a warm run restores.
+
+        A restore at t > 0 is a warm-start *hit* (golden prefix
+        skipped); falling back to the base t=0 checkpoint is a *miss*
+        (full replay, always correct).  Requires :meth:`prepare_warm`.
+        """
+        warm = self.prepare_warm()
+        t_inj = _fault_schedule_time(fault)
+        if _needs_strict_checkpoint(fault):
+            index = bisect_right(warm["ckpt_times"], t_inj - self._nominal_dt())
+        else:
+            index = bisect_right(warm["ckpt_times"], t_inj)
+        return warm["snapshots"][max(index - 1, 0)]
+
     def run_fault_warm(self, fault):
         """Execute one faulty run from the nearest golden checkpoint.
 
@@ -296,12 +321,7 @@ class CampaignRunner:
         design = warm["design"]
         sim = design.sim
 
-        t_inj = _fault_schedule_time(fault)
-        if _needs_strict_checkpoint(fault):
-            index = bisect_right(warm["ckpt_times"], t_inj - self._nominal_dt())
-        else:
-            index = bisect_right(warm["ckpt_times"], t_inj)
-        _t_ckpt, snap = warm["snapshots"][max(index - 1, 0)]
+        _t_ckpt, snap = self._restore_point(fault)
 
         events_before = sim.events_executed
         sim.restore(snap)
@@ -369,21 +389,86 @@ class CampaignRunner:
             ) from exc
         return context.Pool(processes=workers)
 
+    # -- outcome streams ---------------------------------------------------------
+
+    def _serial_outcomes(self, pending, warm_start, on_error):
+        """Yield ``(index, ok, payload, wall_s)`` per pending fault.
+
+        ``payload`` is the ``(probes, metrics, events)`` tuple on
+        success, or the exception on failure.  With
+        ``on_error="raise"`` exceptions propagate untouched,
+        preserving their type for callers.
+        """
+        tracer = _tracer.TRACER
+        for position, index in enumerate(pending):
+            fault = self.spec.faults[index]
+            if self.progress is not None:
+                self.progress(position, len(pending), fault)
+            wall_start = perf_counter()
+            try:
+                with tracer.span(
+                    "campaign.fault_run", index=index, fault=fault.describe()
+                ):
+                    payload = (
+                        self.run_fault_warm(fault)
+                        if warm_start
+                        else self._execute_one(fault)
+                    )
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                yield index, False, exc, perf_counter() - wall_start
+                continue
+            yield index, True, payload, perf_counter() - wall_start
+
+    def _parallel_outcomes(self, pending, workers, warm_start):
+        """Stream worker outcomes back to the parent as they complete.
+
+        Workers are forked (inheriting the factory, hooks and — warm —
+        the golden design plus snapshots); ``imap`` streams results in
+        fault order, so the parent can classify and persist each run
+        while later runs are still simulating, and an interrupt loses
+        at most the results still in flight.
+        """
+        global _ACTIVE_RUNNER
+        body = _worker_execute_warm if warm_start else _worker_execute
+        _ACTIVE_RUNNER = self
+        try:
+            with self._make_pool(workers) as pool:
+                for position, outcome in enumerate(
+                    pool.imap(body, pending)
+                ):
+                    if self.progress is not None:
+                        self.progress(
+                            position, len(pending), self.spec.faults[outcome[0]]
+                        )
+                    yield outcome
+        finally:
+            _ACTIVE_RUNNER = None
+
+    # -- the campaign -----------------------------------------------------------
+
     def run(
         self,
         workers=None,
         warm_start=False,
         checkpoint_every=None,
         max_checkpoints=None,
+        store=None,
+        resume=False,
+        on_error="raise",
     ):
-        """Run golden + every fault; returns a :class:`CampaignResult`.
+        """Run golden + every (remaining) fault; returns a
+        :class:`CampaignResult`.
 
         :param workers: when > 1 on a platform with ``fork``, faulty
             runs execute in a process pool (each worker inherits the
             factory, hooks — and in warm mode the golden design with
             its snapshots — via fork; only probe traces and metric
-            dicts are shipped back).  Comparison and classification
-            always happen in the parent, against the one golden run.
+            dicts are shipped back).  Comparison, classification and
+            store writes always happen in the parent — the single
+            writer — against the one golden run, streaming as results
+            arrive.
         :param warm_start: restore golden checkpoints instead of
             re-simulating each fault from t=0 (see the module
             docstring for semantics and caveats).
@@ -392,98 +477,124 @@ class CampaignRunner:
             distinct injection time, bounded by ``max_checkpoints``).
         :param max_checkpoints: ceiling on retained golden snapshots
             (default 64).
+        :param store: optional
+            :class:`~repro.store.CampaignStore`; every completed run
+            is committed to it immediately.
+        :param resume: with ``store``, skip faults the store already
+            holds a successful run for (errored runs are retried).
+            The stored fault list and golden traces are verified
+            first, and previously stored runs are merged into the
+            returned result, so a resumed campaign reports exactly
+            like an uninterrupted one.
+        :param on_error: ``"raise"`` (default) propagates the first
+            per-fault simulation error; ``"collect"`` records it in
+            :attr:`CampaignResult.errors` (and the store) and carries
+            on with the remaining faults.
         """
-        if warm_start:
-            return self._run_warm(workers, checkpoint_every, max_checkpoints)
-        return self._run_cold(workers)
+        if on_error not in ("raise", "collect"):
+            raise CampaignError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        if resume and store is None:
+            raise CampaignError("resume=True requires a store")
 
-    def _run_cold(self, workers):
-        golden = self.run_golden()
-        result = CampaignResult(self.spec, golden_probes=golden.probes)
+        wall_start = perf_counter()
         total = len(self.spec.faults)
-        golden_events = golden.sim.events_executed
-        fault_events = 0
+        campaign_id = None
+        pending = list(range(total))
+        if store is not None:
+            campaign_id = store.open_campaign(self.spec, resume=resume)
+            if resume:
+                pending = store.pending_indices(campaign_id, total)
 
-        if workers is not None and workers > 1 and total > 1:
-            global _ACTIVE_RUNNER
-            # Workers inherit this runner (factory, hooks and all)
-            # through fork; only integer indices go out and picklable
-            # (traces, metrics) results come back, so closures are
-            # fine as factories and hooks.
-            _ACTIVE_RUNNER = self
-            try:
-                with self._make_pool(workers) as pool:
-                    outcomes = pool.map(_worker_execute, range(total))
-            finally:
-                _ACTIVE_RUNNER = None
-            for index, (fault, (probes, metrics, events)) in enumerate(
-                zip(self.spec.faults, outcomes)
-            ):
-                if self.progress is not None:
-                    self.progress(index, total, fault)
-                fault_events += events
-                result.add(
-                    self._evaluate(golden.probes, fault, probes, metrics)
-                )
+        if warm_start:
+            warm = self.prepare_warm(checkpoint_every, max_checkpoints)
+            golden_probes = warm["golden_probes"]
+            golden_events = warm["golden_events"]
+            checkpoints = len(warm["snapshots"])
         else:
-            for index, fault in enumerate(self.spec.faults):
-                if self.progress is not None:
-                    self.progress(index, total, fault)
-                probes, metrics, events = self._execute_one(fault)
-                fault_events += events
-                result.add(self._evaluate(golden.probes, fault, probes, metrics))
+            golden = self.run_golden()
+            golden_probes = golden.probes
+            golden_events = golden.sim.events_executed
+            checkpoints = 0
+        if store is not None:
+            store.check_golden(campaign_id, golden_probes)
+
+        parallel = workers is not None and workers > 1 and len(pending) > 1
+        outcomes = (
+            self._parallel_outcomes(pending, workers, warm_start)
+            if parallel
+            else self._serial_outcomes(pending, warm_start, on_error)
+        )
+
+        registry = _metrics.REGISTRY
+        result = CampaignResult(self.spec, golden_probes=golden_probes)
+        new_runs = {}
+        errors = []
+        fault_events = 0
+        for index, ok, payload, wall_s in outcomes:
+            fault = self.spec.faults[index]
+            if not ok:
+                if on_error == "raise":
+                    raise payload
+                message = f"{type(payload).__name__}: {payload}"
+                errors.append(CampaignRunError(index, fault, message))
+                registry.inc("campaign.errors")
+                if store is not None:
+                    store.record_error(campaign_id, index, message, wall_s)
+                continue
+            probes, metrics, events = payload
+            fault_events += events
+            run_result = self._evaluate(golden_probes, fault, probes, metrics)
+            new_runs[index] = run_result
+            registry.inc("campaign.runs")
+            registry.inc(f"campaign.class.{run_result.label}")
+            registry.observe("campaign.run_wall_s", wall_s)
+            if store is not None:
+                store.record_run(
+                    campaign_id, index, run_result,
+                    wall_s=wall_s, kernel_events=events,
+                )
+
+        merged = dict(new_runs)
+        if store is not None and resume:
+            # Previously completed runs come back from the store with
+            # the live spec's fault instances, so the merged result is
+            # indistinguishable from an uninterrupted campaign.
+            stored = store.load_runs(campaign_id, self.spec.faults)
+            for index, stored_run in stored.items():
+                merged.setdefault(index, stored_run)
+        result.runs = [merged[index] for index in sorted(merged)]
+        result.errors = errors
 
         result.execution = {
-            "mode": "cold",
+            "mode": "warm" if warm_start else "cold",
             "workers": workers or 1,
-            "checkpoints": 0,
+            "checkpoints": checkpoints,
             "golden_events": golden_events,
             "fault_events": fault_events,
             "kernel_events": golden_events + fault_events,
+            "wall_s": perf_counter() - wall_start,
+            "completed": len(new_runs),
+            "skipped": total - len(pending),
+            "errors": len(errors),
         }
-        return result
-
-    def _run_warm(self, workers, checkpoint_every, max_checkpoints):
-        warm = self.prepare_warm(checkpoint_every, max_checkpoints)
-        golden_probes = warm["golden_probes"]
-        result = CampaignResult(self.spec, golden_probes=golden_probes)
-        total = len(self.spec.faults)
-        fault_events = 0
-
-        if workers is not None and workers > 1 and total > 1:
-            global _ACTIVE_RUNNER
-            # The forked workers inherit the golden design *and* its
-            # snapshots; each restores and runs in its own copy-on-
-            # write memory, so parallel warm runs stay independent.
-            _ACTIVE_RUNNER = self
-            try:
-                with self._make_pool(workers) as pool:
-                    outcomes = pool.map(_worker_execute_warm, range(total))
-            finally:
-                _ACTIVE_RUNNER = None
-        else:
-            outcomes = []
-            for index, fault in enumerate(self.spec.faults):
-                if self.progress is not None:
-                    self.progress(index, total, fault)
-                outcomes.append(self.run_fault_warm(fault))
-
-        for index, (fault, (probes, metrics, events)) in enumerate(
-            zip(self.spec.faults, outcomes)
-        ):
-            if workers is not None and self.progress is not None and workers > 1:
-                self.progress(index, total, fault)
-            fault_events += events
-            result.add(self._evaluate(golden_probes, fault, probes, metrics))
-
-        result.execution = {
-            "mode": "warm",
-            "workers": workers or 1,
-            "checkpoints": len(warm["snapshots"]),
-            "golden_events": warm["golden_events"],
-            "fault_events": fault_events,
-            "kernel_events": warm["golden_events"] + fault_events,
-        }
+        if warm_start:
+            hits = sum(
+                1
+                for index in pending
+                if self._restore_point(self.spec.faults[index])[0] > 0.0
+            )
+            result.execution["warm_hits"] = hits
+            result.execution["warm_misses"] = len(pending) - hits
+            registry.inc("campaign.warm.hit", hits)
+            registry.inc("campaign.warm.miss", len(pending) - hits)
+        if store is not None:
+            store.record_execution(
+                campaign_id,
+                result.execution,
+                status="complete" if not errors else "errors",
+            )
         return result
 
 
@@ -491,14 +602,37 @@ class CampaignRunner:
 _ACTIVE_RUNNER = None
 
 
+def _picklable(exc):
+    """The exception itself when it pickles, else a CampaignError twin."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return CampaignError(f"{type(exc).__name__}: {exc}")
+
+
 def _worker_execute(index):
     """Pool worker body: run fault ``index`` of the inherited runner."""
-    return _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
+    wall_start = perf_counter()
+    try:
+        payload = _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
+    except Exception as exc:
+        return index, False, _picklable(exc), perf_counter() - wall_start
+    return index, True, payload, perf_counter() - wall_start
 
 
 def _worker_execute_warm(index):
     """Pool worker body: warm-start fault ``index`` from a checkpoint."""
-    return _ACTIVE_RUNNER.run_fault_warm(_ACTIVE_RUNNER.spec.faults[index])
+    wall_start = perf_counter()
+    try:
+        payload = _ACTIVE_RUNNER.run_fault_warm(
+            _ACTIVE_RUNNER.spec.faults[index]
+        )
+    except Exception as exc:
+        return index, False, _picklable(exc), perf_counter() - wall_start
+    return index, True, payload, perf_counter() - wall_start
 
 
 def run_campaign(
@@ -510,6 +644,9 @@ def run_campaign(
     warm_start=False,
     checkpoint_every=None,
     max_checkpoints=None,
+    store=None,
+    resume=False,
+    on_error="raise",
 ):
     """Convenience wrapper: build a runner and run it."""
     return CampaignRunner(
@@ -519,4 +656,7 @@ def run_campaign(
         warm_start=warm_start,
         checkpoint_every=checkpoint_every,
         max_checkpoints=max_checkpoints,
+        store=store,
+        resume=resume,
+        on_error=on_error,
     )

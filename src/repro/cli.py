@@ -6,7 +6,23 @@ Makefile without writing Python::
     python -m repro types
     python -m repro info design.json
     python -m repro simulate design.json --until 1us --vcd out.vcd
-    python -m repro campaign design.json faults.json --report report.txt
+    python -m repro campaign run design.json faults.json --report report.txt
+
+Campaigns can be recorded into a persistent SQLite store as they run,
+then resumed after an interruption or queried without re-simulating::
+
+    python -m repro campaign run design.json faults.json --store camp.db
+    python -m repro campaign run design.json faults.json --resume camp.db
+    python -m repro campaign status --from-db camp.db
+    python -m repro campaign report --from-db camp.db --dictionary
+
+(The pre-store spelling ``repro campaign design.json faults.json`` is
+still accepted and behaves like ``campaign run``.)
+
+Observability: ``--trace spans.json`` records kernel/campaign spans,
+``--metrics-out metrics.json`` dumps the counter/histogram registry,
+and an interactive run shows a live progress line with runs/sec and an
+ETA (force it with ``--progress``).
 
 The fault file is a JSON list of fault descriptors::
 
@@ -20,6 +36,9 @@ The fault file is a JSON list of fault descriptors::
       {"kind": "parametric", "component": "pll/vco", "attribute": "kvco",
        "factor": 1.2}
     ]
+
+Exit codes: 0 success, 1 ``--fail-on-error`` tripped, 2 usage or file
+errors, 3 one or more fault runs raised simulation errors.
 """
 
 from __future__ import annotations
@@ -27,22 +46,23 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from time import monotonic
 
-from .campaign import CampaignSpec, full_report, run_campaign, to_csv
+from .campaign import (
+    CampaignSpec,
+    FaultDictionary,
+    full_report,
+    run_campaign,
+    to_csv,
+)
 from .core.errors import ReproError
 from .core.units import parse_quantity
 from .core.vcd import save_vcd
-from .faults import (
-    BitFlip,
-    DoubleExponentialPulse,
-    MultipleBitUpset,
-    ParametricFault,
-    SETPulse,
-    StuckAt,
-    TrapezoidPulse,
-)
-from .injection import CurrentInjection
 from .netlist import design_factory, known_types, load_file, load_text_file
+from .obs import metrics as obs_metrics
+from .obs import tracer as obs_tracer
+from .store import CampaignStore
+from .store.serialize import fault_from_dict
 
 
 def load_netlist(path):
@@ -56,48 +76,6 @@ def load_netlist(path):
     return load_text_file(path)
 
 
-def fault_from_dict(data):
-    """Build a fault-model instance from a JSON descriptor.
-
-    :raises ReproError: for unknown kinds or malformed descriptors.
-    """
-    kind = data.get("kind")
-    try:
-        if kind == "bitflip":
-            return BitFlip(data["target"], data["time"])
-        if kind == "mbu":
-            return MultipleBitUpset(data["targets"], data["time"])
-        if kind == "set":
-            return SETPulse(data["target"], data["time"], data["width"],
-                            value=data.get("value"))
-        if kind == "stuck":
-            return StuckAt(data["target"], data["value"],
-                           t_start=data.get("t_start", 0.0),
-                           t_end=data.get("t_end"))
-        if kind == "current":
-            pulse = data["pulse"]
-            if "tau_r" in pulse:
-                transient = DoubleExponentialPulse(
-                    pulse["i0"], pulse["tau_r"], pulse["tau_f"]
-                )
-            else:
-                transient = TrapezoidPulse(
-                    pulse["pa"], pulse["rt"], pulse["ft"], pulse["pw"]
-                )
-            return CurrentInjection(transient, data["node"], data["time"])
-        if kind == "parametric":
-            return ParametricFault(
-                data["component"], data["attribute"],
-                factor=data.get("factor"), delta=data.get("delta"),
-                t_start=data.get("t_start", 0.0), t_end=data.get("t_end"),
-            )
-    except KeyError as exc:
-        raise ReproError(
-            f"fault descriptor {data!r} is missing key {exc}"
-        ) from exc
-    raise ReproError(f"unknown fault kind {kind!r}")
-
-
 def load_faults(path):
     """Read a JSON fault list file."""
     with open(path) as handle:
@@ -105,6 +83,44 @@ def load_faults(path):
     if not isinstance(entries, list):
         raise ReproError("fault file must contain a JSON list")
     return [fault_from_dict(entry) for entry in entries]
+
+
+class ProgressLine:
+    """A single live stderr line: completed count, rate, ETA.
+
+    The campaign runner invokes it as its ``progress`` callback;
+    ``index`` counts already-completed (or started) runs, so the rate
+    estimate is simply ``index / elapsed``.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.t_start = monotonic()
+        self._dirty = False
+
+    def __call__(self, index, total, fault):
+        """Render progress for run ``index`` of ``total``."""
+        elapsed = monotonic() - self.t_start
+        if index and elapsed > 0:
+            rate = index / elapsed
+            eta = f"{(total - index) / rate:4.0f}s"
+            rate = f"{rate:6.2f}"
+        else:
+            rate, eta = " " * 6, "   ?s"
+        line = (
+            f"\r[{index + 1:>4}/{total}] {index / total:4.0%}"
+            f" {rate} runs/s  eta {eta}  {fault.describe():<60.60s}"
+        )
+        self.stream.write(line)
+        self.stream.flush()
+        self._dirty = True
+
+    def finish(self):
+        """Terminate the live line (idempotent)."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False
 
 
 # -- subcommands -----------------------------------------------------------
@@ -155,7 +171,18 @@ def cmd_simulate(args):
     return 0
 
 
-def cmd_campaign(args):
+def _write_observability(args):
+    """Dump trace spans / metrics snapshots the run collected."""
+    if getattr(args, "trace", None):
+        obs_tracer.TRACER.save(args.trace)
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as handle:
+            json.dump(obs_metrics.snapshot(), handle, indent=2)
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
+
+
+def cmd_campaign_run(args):
     """Run a fault-injection campaign from netlist + fault files."""
     netlist = load_netlist(args.netlist)
     faults = load_faults(args.faults)
@@ -171,33 +198,54 @@ def cmd_campaign(args):
         analog_tolerance=args.analog_tolerance,
         compare_from=args.compare_from,
     )
-    result = run_campaign(
-        design_factory(netlist),
-        spec,
-        workers=args.workers,
-        warm_start=args.warm_start,
-        checkpoint_every=(
-            parse_quantity(args.checkpoint_every, expect_unit="s")
-            if args.checkpoint_every
-            else None
-        ),
-        max_checkpoints=args.max_checkpoints,
-        progress=(
-            (lambda i, n, f: print(f"run {i + 1}/{n}: {f.describe()}",
-                                   file=sys.stderr))
-            if args.verbose
-            else None
-        ),
-    )
+
+    if args.trace:
+        obs_tracer.reset()
+        obs_tracer.enable()
+    if args.metrics_out:
+        obs_metrics.reset()
+        obs_metrics.enable()
+
+    if args.verbose:
+        progress = (lambda i, n, f: print(f"run {i + 1}/{n}: {f.describe()}",
+                                          file=sys.stderr))
+    elif args.progress or sys.stderr.isatty():
+        progress = ProgressLine()
+    else:
+        progress = None
+
+    store_path = args.resume or args.store
+    store = CampaignStore(store_path) if store_path else None
+    try:
+        result = run_campaign(
+            design_factory(netlist),
+            spec,
+            workers=args.workers,
+            warm_start=args.warm_start,
+            checkpoint_every=(
+                parse_quantity(args.checkpoint_every, expect_unit="s")
+                if args.checkpoint_every
+                else None
+            ),
+            max_checkpoints=args.max_checkpoints,
+            progress=progress,
+            store=store,
+            resume=args.resume is not None,
+            on_error="collect",
+        )
+    finally:
+        if store is not None:
+            store.close()
+        if isinstance(progress, ProgressLine):
+            progress.finish()
+        _write_observability(args)
+        if args.trace:
+            obs_tracer.disable()
+        if args.metrics_out:
+            obs_metrics.disable()
+
     report = full_report(result, listing_limit=args.listing_limit)
     print(report)
-    if args.verbose and result.execution:
-        ex = result.execution
-        print(
-            f"execution: {ex['mode']} start, {ex['checkpoints']} "
-            f"checkpoints, {ex['kernel_events']} kernel events",
-            file=sys.stderr,
-        )
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(report + "\n")
@@ -205,8 +253,65 @@ def cmd_campaign(args):
         with open(args.csv, "w") as handle:
             handle.write(to_csv(result))
         print(f"wrote {args.csv}")
+
+    if result.errors:
+        print(
+            f"error: {len(result.errors)} of {len(spec.faults)} fault "
+            "runs raised simulation errors:",
+            file=sys.stderr,
+        )
+        for err in result.errors[:10]:
+            print(f"  [{err.index}] {err.describe()}", file=sys.stderr)
+        if len(result.errors) > 10:
+            print(f"  ... ({len(result.errors) - 10} more)", file=sys.stderr)
+        if store_path:
+            print(
+                f"(rerun with --resume {store_path} to retry the failed "
+                "runs)",
+                file=sys.stderr,
+            )
+        return 3
     errors = sum(1 for r in result if r.classification.is_error())
     return 1 if args.fail_on_error and errors else 0
+
+
+def cmd_campaign_status(args):
+    """Progress summary of every campaign in a store."""
+    with CampaignStore(args.from_db) as store:
+        summaries = store.status()
+    if not summaries:
+        print("no campaigns recorded")
+        return 0
+    header = f"{'campaign':<24} {'status':<9} {'done':>10} {'errors':>6}  last update"
+    print(header)
+    print("-" * len(header))
+    for row in summaries:
+        done = f"{row['completed']}/{row['total']}"
+        print(
+            f"{row['name']:<24} {row['status']:<9} {done:>10} "
+            f"{row['errors']:>6}  {row['updated_at']}"
+        )
+    return 0
+
+
+def cmd_campaign_report(args):
+    """Regenerate reports from a campaign store, without simulating."""
+    with CampaignStore(args.from_db) as store:
+        result = store.load_result(args.name)
+    report = full_report(result, listing_limit=args.listing_limit)
+    print(report)
+    if args.dictionary:
+        print()
+        print("--- fault dictionary ---")
+        print(FaultDictionary(result).report())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(result))
+        print(f"wrote {args.csv}")
+    return 0
 
 
 def build_parser():
@@ -232,37 +337,99 @@ def build_parser():
     p_sim.add_argument("--vcd", help="write probe waves to a VCD file")
     p_sim.set_defaults(func=cmd_simulate)
 
-    p_camp = sub.add_parser("campaign", help="run an injection campaign")
-    p_camp.add_argument("netlist")
-    p_camp.add_argument("faults", help="JSON fault list file")
-    p_camp.add_argument("--until", default="1us")
-    p_camp.add_argument("--name", default=None)
-    p_camp.add_argument("--analog-tolerance", type=float, default=0.01)
-    p_camp.add_argument("--compare-from", type=float, default=None)
-    p_camp.add_argument("--report", help="also write the report to a file")
-    p_camp.add_argument("--csv", help="write per-run results as CSV")
-    p_camp.add_argument("--listing-limit", type=int, default=20)
-    p_camp.add_argument("--workers", type=int, default=None,
-                        help="run faulty simulations in N processes")
-    p_camp.add_argument("--warm-start", action="store_true",
-                        help="restore golden checkpoints instead of "
-                             "re-simulating each fault from t=0")
-    p_camp.add_argument("--checkpoint-every", default=None,
-                        help="checkpoint granularity for --warm-start, "
-                             "e.g. '500ns' (default: per injection time)")
-    p_camp.add_argument("--max-checkpoints", type=int, default=None,
-                        help="ceiling on retained golden checkpoints")
-    p_camp.add_argument("--verbose", action="store_true")
-    p_camp.add_argument("--fail-on-error", action="store_true",
-                        help="exit 1 when any fault caused an error")
-    p_camp.set_defaults(func=cmd_campaign)
+    p_camp = sub.add_parser("campaign", help="fault-injection campaigns")
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_run = camp_sub.add_parser("run", help="run an injection campaign")
+    p_run.add_argument("netlist")
+    p_run.add_argument("faults", help="JSON fault list file")
+    p_run.add_argument("--until", default="1us")
+    p_run.add_argument("--name", default=None)
+    p_run.add_argument("--analog-tolerance", type=float, default=0.01)
+    p_run.add_argument("--compare-from", type=float, default=None)
+    p_run.add_argument("--report", help="also write the report to a file")
+    p_run.add_argument("--csv", help="write per-run results as CSV")
+    p_run.add_argument("--listing-limit", type=int, default=20)
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="run faulty simulations in N processes")
+    p_run.add_argument("--warm-start", action="store_true",
+                       help="restore golden checkpoints instead of "
+                            "re-simulating each fault from t=0")
+    p_run.add_argument("--checkpoint-every", default=None,
+                       help="checkpoint granularity for --warm-start, "
+                            "e.g. '500ns' (default: per injection time)")
+    p_run.add_argument("--max-checkpoints", type=int, default=None,
+                       help="ceiling on retained golden checkpoints")
+    p_run.add_argument("--store", metavar="DB", default=None,
+                       help="record results into a campaign database as "
+                            "each run completes")
+    p_run.add_argument("--resume", metavar="DB", default=None,
+                       help="resume an interrupted campaign from DB, "
+                            "skipping already-completed faults "
+                            "(implies --store DB)")
+    p_run.add_argument("--trace", metavar="FILE", default=None,
+                       help="record kernel/campaign spans to a JSON file")
+    p_run.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="dump the metrics registry to a JSON file")
+    p_run.add_argument("--progress", action="store_true",
+                       help="force the live progress line (default: only "
+                            "on a tty)")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.add_argument("--fail-on-error", action="store_true",
+                       help="exit 1 when any fault caused an error")
+    p_run.set_defaults(func=cmd_campaign_run)
+
+    p_status = camp_sub.add_parser(
+        "status", help="progress of stored campaigns"
+    )
+    p_status.add_argument("--from-db", required=True, metavar="DB",
+                          help="campaign database to inspect")
+    p_status.set_defaults(func=cmd_campaign_status)
+
+    p_report = camp_sub.add_parser(
+        "report", help="regenerate reports from a campaign database"
+    )
+    p_report.add_argument("--from-db", required=True, metavar="DB",
+                          help="campaign database to report from")
+    p_report.add_argument("--name", default=None,
+                          help="campaign name (when the DB holds several)")
+    p_report.add_argument("--listing-limit", type=int, default=20)
+    p_report.add_argument("--dictionary", action="store_true",
+                          help="also print the fault-dictionary report")
+    p_report.add_argument("--report", help="also write the report to a file")
+    p_report.add_argument("--csv", help="write per-run results as CSV")
+    p_report.set_defaults(func=cmd_campaign_report)
+
     return parser
+
+
+_CAMPAIGN_SUBCOMMANDS = {"run", "status", "report"}
+
+
+def _normalize_argv(argv):
+    """Accept the historic ``repro campaign <netlist> <faults>`` form.
+
+    The campaign command grew subcommands (``run``/``status``/
+    ``report``); a bare ``campaign`` followed by a file path is
+    rewritten to ``campaign run`` so existing Makefiles keep working.
+    """
+    argv = list(argv)
+    if (
+        len(argv) >= 2
+        and argv[0] == "campaign"
+        and argv[1] not in _CAMPAIGN_SUBCOMMANDS
+        and not argv[1].startswith("-")
+    ):
+        argv.insert(1, "run")
+    return argv
 
 
 def main(argv=None):
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(
+        _normalize_argv(sys.argv[1:] if argv is None else argv)
+    )
     try:
         return args.func(args)
     except (ReproError, OSError, json.JSONDecodeError) as exc:

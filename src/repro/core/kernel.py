@@ -30,10 +30,13 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from contextlib import contextmanager
+from time import perf_counter
 import heapq
 
 import networkx as nx
 
+from ..obs import metrics as _metrics
+from ..obs import tracer as _tracer
 from .errors import ElaborationError, SchedulingError, SimulationError
 from .events import EventQueue, PRIORITY_ANALOG, PRIORITY_NORMAL
 from .node import AnalogNode, CurrentNode
@@ -473,6 +476,12 @@ class Simulator:
             a fault injected exactly at that time replays in the same
             order as in an uninterrupted run.
         """
+        if _metrics.REGISTRY.enabled or _tracer.TRACER.enabled:
+            return self._run_observed(until, inclusive)
+        return self._run_loop(until, inclusive)
+
+    def _run_loop(self, until, inclusive):
+        """The uninstrumented event loop (see :meth:`run`)."""
         if until < self.now:
             raise SchedulingError(
                 f"cannot run to {until}; simulation already at {self.now}"
@@ -494,6 +503,24 @@ class Simulator:
             event.callback()
         self.now = until
 
+    def _run_observed(self, until, inclusive):
+        """Instrumented :meth:`run`: delta-count events and steps.
+
+        The event loop itself stays untouched — dispatch and step
+        counts already exist (``events_executed``, ``analog_steps``),
+        so observability records their *deltas* around the loop
+        instead of paying per-event bookkeeping.
+        """
+        events_before = self._queue.executed
+        steps_before = self.analog.steps
+        wall_start = perf_counter()
+        with _tracer.TRACER.span("kernel.run", t_from=self.now, t_to=until):
+            self._run_loop(until, inclusive)
+        registry = _metrics.REGISTRY
+        registry.inc("kernel.events", self._queue.executed - events_before)
+        registry.inc("kernel.analog_steps", self.analog.steps - steps_before)
+        registry.observe("kernel.run_wall_s", perf_counter() - wall_start)
+
     def run_for(self, duration):
         """Advance the simulation by ``duration`` seconds."""
         self.run(self.now + duration)
@@ -502,7 +529,16 @@ class Simulator:
 
     def snapshot(self):
         """Capture the complete kernel state (see :class:`Snapshot`)."""
-        return Snapshot.capture(self)
+        if not (_metrics.REGISTRY.enabled or _tracer.TRACER.enabled):
+            return Snapshot.capture(self)
+        wall_start = perf_counter()
+        with _tracer.TRACER.span("kernel.snapshot", at=self.now):
+            snap = Snapshot.capture(self)
+        _metrics.REGISTRY.inc("kernel.snapshots")
+        _metrics.REGISTRY.observe(
+            "kernel.snapshot_wall_s", perf_counter() - wall_start
+        )
+        return snap
 
     def restore(self, snap):
         """Rewind to a state captured with :meth:`snapshot`.
@@ -514,7 +550,16 @@ class Simulator:
         counting real work across restores, which is what campaign
         throughput accounting needs.
         """
-        snap.apply(self)
+        if not (_metrics.REGISTRY.enabled or _tracer.TRACER.enabled):
+            snap.apply(self)
+            return self
+        wall_start = perf_counter()
+        with _tracer.TRACER.span("kernel.restore", to=snap.time):
+            snap.apply(self)
+        _metrics.REGISTRY.inc("kernel.restores")
+        _metrics.REGISTRY.observe(
+            "kernel.restore_wall_s", perf_counter() - wall_start
+        )
         return self
 
     def mark_elaboration(self):

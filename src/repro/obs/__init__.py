@@ -1,0 +1,62 @@
+"""Observability: span tracing and metrics for kernel and campaigns.
+
+``repro.obs`` makes campaign execution inspectable: the kernel records
+event/step deltas and checkpoint-restore timings, the campaign runner
+records per-fault spans, classification outcomes and warm-start
+hit/miss counters, and the CLI exposes everything through ``--trace``
+and ``--metrics-out``.  Both instruments are process-global singletons
+that start *disabled* and cost (near) nothing until enabled::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run a campaign
+    print(obs.metrics.snapshot()["counters"]["campaign.runs"])
+    obs.tracer.TRACER.save("spans.json")
+
+See ``docs/observability.md`` for the full instrument inventory.
+"""
+
+from . import metrics, tracer
+from .metrics import Counter, Histogram, MetricsRegistry
+from .tracer import Span, Tracer
+
+
+def enable(enable_metrics=True, enable_tracing=True):
+    """Switch on the global metrics registry and/or tracer."""
+    if enable_metrics:
+        metrics.enable()
+    if enable_tracing:
+        tracer.enable()
+
+
+def disable():
+    """Switch off both global instruments (collected data is kept)."""
+    metrics.disable()
+    tracer.disable()
+
+
+def enabled():
+    """True when either global instrument is recording."""
+    return metrics.enabled() or tracer.enabled()
+
+
+def reset():
+    """Clear both global instruments' collected data."""
+    metrics.reset()
+    tracer.reset()
+
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "metrics",
+    "reset",
+    "tracer",
+]

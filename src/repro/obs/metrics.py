@@ -1,0 +1,225 @@
+"""Counter and histogram metrics with near-zero disabled overhead.
+
+Campaigns over millions of faults need the same run telemetry that
+emulation-based environments (DAVOS, OpenSEA) treat as first-class
+output: how many kernel events were dispatched, how long each faulty
+run took, how often a warm start actually hit a checkpoint.  This
+module provides that as a process-global :class:`MetricsRegistry` of
+named :class:`Counter` and :class:`Histogram` instruments.
+
+The design constraint is the *disabled* cost, not the enabled one:
+instrumented hot paths (the kernel event loop, the analog solver) must
+pay nothing when nobody asked for metrics.  Two rules achieve that:
+
+* hot code guards on the single boolean :attr:`MetricsRegistry.enabled`
+  (exposed as :func:`enabled`) and takes the uninstrumented path when
+  it is False — no dict lookups, no dead calls;
+* where a count already exists for free (the kernel's
+  ``events_executed`` counter), instrumentation records *deltas* at
+  coarse boundaries (once per ``Simulator.run`` call) instead of
+  touching the per-event loop at all.
+
+Instruments are created on first use and live until :func:`reset`.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Raised for invalid metric names or values."""
+
+
+class Counter:
+    """A monotonically increasing named count.
+
+    :ivar name: registry key.
+    :ivar value: current count.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+    def __repr__(self):
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """Summary statistics over recorded samples.
+
+    Keeps count, sum, min and max — enough for mean/rate reporting
+    without unbounded memory, which matters for per-fault-run samples
+    in million-fault campaigns.
+
+    :ivar name: registry key.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def record(self, value):
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        """Arithmetic mean of the samples (None when empty)."""
+        return self.total / self.count if self.count else None
+
+    def summary(self):
+        """Plain-dict rendering: count, total, min, max, mean."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self):
+        return f"<Histogram {self.name} n={self.count} mean={self.mean}>"
+
+
+class MetricsRegistry:
+    """Named instruments plus the global enabled flag.
+
+    All mutating helpers (:meth:`inc`, :meth:`observe`) are no-ops
+    while :attr:`enabled` is False, so call sites that cannot afford
+    even a dict lookup can guard on the attribute themselves and
+    everything else can call unconditionally.
+
+    :ivar enabled: master switch; start disabled.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._counters = {}
+        self._histograms = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self):
+        """Turn metric recording on."""
+        self.enabled = True
+
+    def disable(self):
+        """Turn metric recording off (instruments keep their values)."""
+        self.enabled = False
+
+    def reset(self):
+        """Drop every instrument and its value (flag unchanged)."""
+        self._counters.clear()
+        self._histograms.clear()
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name):
+        """The :class:`Counter` called ``name``, created on first use."""
+        if not name or not isinstance(name, str):
+            raise MetricsError(f"invalid metric name {name!r}")
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name):
+        """The :class:`Histogram` called ``name``, created on first use."""
+        if not name or not isinstance(name, str):
+            raise MetricsError(f"invalid metric name {name!r}")
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def inc(self, name, n=1):
+        """Increment counter ``name`` by ``n`` — no-op while disabled."""
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def observe(self, name, value):
+        """Record ``value`` into histogram ``name`` — no-op while disabled."""
+        if self.enabled:
+            self.histogram(name).record(value)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self):
+        """JSON-ready dict of every instrument's current state."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+#: The process-global registry every instrumented module records into.
+REGISTRY = MetricsRegistry()
+
+
+def enable():
+    """Enable the global registry."""
+    REGISTRY.enable()
+
+
+def disable():
+    """Disable the global registry."""
+    REGISTRY.disable()
+
+
+def enabled():
+    """True when the global registry is recording."""
+    return REGISTRY.enabled
+
+
+def reset():
+    """Clear every instrument in the global registry."""
+    REGISTRY.reset()
+
+
+def counter(name):
+    """Global-registry :class:`Counter` accessor."""
+    return REGISTRY.counter(name)
+
+
+def histogram(name):
+    """Global-registry :class:`Histogram` accessor."""
+    return REGISTRY.histogram(name)
+
+
+def inc(name, n=1):
+    """Increment a global counter (no-op while disabled)."""
+    REGISTRY.inc(name, n)
+
+
+def observe(name, value):
+    """Record a global histogram sample (no-op while disabled)."""
+    REGISTRY.observe(name, value)
+
+
+def snapshot():
+    """Snapshot of the global registry."""
+    return REGISTRY.snapshot()

@@ -1,0 +1,203 @@
+"""A lightweight span tracer for kernel and campaign hot paths.
+
+A *span* is a named wall-clock interval with free-form attributes:
+one golden run, one checkpoint restore, one faulty run.  The global
+:data:`TRACER` collects spans in memory and exports them as a JSON
+list (and as the Chrome ``chrome://tracing`` / Perfetto event format,
+so campaign timelines can be inspected visually).
+
+Like :mod:`repro.obs.metrics`, the tracer is built around the disabled
+case: :meth:`Tracer.span` returns a shared no-op context manager while
+disabled, and call sites on true hot paths should guard on
+:attr:`Tracer.enabled` and skip the call entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+
+
+class Span:
+    """One completed named interval.
+
+    :ivar name: span name (dotted, e.g. ``"campaign.fault_run"``).
+    :ivar t0: start, in seconds since the tracer's epoch.
+    :ivar t1: end, in seconds since the tracer's epoch.
+    :ivar attrs: free-form attributes attached at creation or via
+        :meth:`_OpenSpan.annotate`.
+    """
+
+    __slots__ = ("name", "t0", "t1", "attrs")
+
+    def __init__(self, name, t0, t1, attrs):
+        self.name = name
+        self.t0 = t0
+        self.t1 = t1
+        self.attrs = attrs
+
+    @property
+    def duration(self):
+        """Span length in seconds."""
+        return self.t1 - self.t0
+
+    def to_dict(self):
+        """JSON-ready rendering."""
+        return {
+            "name": self.name,
+            "start_s": self.t0,
+            "duration_s": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self):
+        return f"<Span {self.name} {self.duration * 1e3:.3f}ms>"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        return False
+
+    def annotate(self, **_attrs):
+        """Discard attributes (tracing is disabled)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("tracer", "name", "attrs", "t0")
+
+    def __init__(self, tracer, name, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        self.t0 = perf_counter() - self.tracer.epoch
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._record(
+            Span(self.name, self.t0, perf_counter() - self.tracer.epoch,
+                 self.attrs)
+        )
+        return False
+
+    def annotate(self, **attrs):
+        """Attach attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects :class:`Span` objects while enabled.
+
+    :ivar enabled: master switch; start disabled.
+    :ivar spans: completed spans, in completion order.
+    :ivar epoch: ``perf_counter`` origin for span timestamps.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self.spans = []
+        self.epoch = perf_counter()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self):
+        """Turn span recording on."""
+        self.enabled = True
+
+    def disable(self):
+        """Turn span recording off (collected spans are kept)."""
+        self.enabled = False
+
+    def reset(self):
+        """Drop collected spans and restart the epoch."""
+        self.spans = []
+        self.epoch = perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Context manager timing one named interval.
+
+        While disabled this returns a shared no-op object, so wrapping
+        cold paths unconditionally is safe; hot paths should guard on
+        :attr:`enabled` instead.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _OpenSpan(self, name, attrs)
+
+    def _record(self, span):
+        self.spans.append(span)
+
+    # -- export --------------------------------------------------------------
+
+    def to_dicts(self):
+        """Every span as a JSON-ready dict."""
+        return [span.to_dict() for span in self.spans]
+
+    def to_chrome_trace(self):
+        """Spans in the Chrome/Perfetto ``traceEvents`` format."""
+        return {
+            "traceEvents": [
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.t0 * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": span.attrs,
+                }
+                for span in self.spans
+            ]
+        }
+
+    def save(self, path, chrome=False):
+        """Write collected spans to ``path`` as JSON."""
+        payload = self.to_chrome_trace() if chrome else self.to_dicts()
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+
+#: The process-global tracer instrumented modules record into.
+TRACER = Tracer()
+
+
+def enable():
+    """Enable the global tracer."""
+    TRACER.enable()
+
+
+def disable():
+    """Disable the global tracer."""
+    TRACER.disable()
+
+
+def enabled():
+    """True when the global tracer is recording."""
+    return TRACER.enabled
+
+
+def reset():
+    """Drop the global tracer's spans."""
+    TRACER.reset()
+
+
+def span(name, **attrs):
+    """Global-tracer :meth:`Tracer.span` shortcut."""
+    return TRACER.span(name, **attrs)

@@ -1,0 +1,48 @@
+"""Persistent campaign results: the fault-injection database.
+
+``repro.store`` turns a campaign from an in-memory artifact into a
+durable one: a :class:`CampaignStore` (one SQLite file) records the
+spec, the fault list and one row per completed run as the campaign
+executes, making campaigns **resumable** (interrupt at any point,
+re-run with ``resume=True`` and only the remaining faults execute)
+and **queryable** (reports and fault dictionaries regenerate from the
+database without re-simulating)::
+
+    from repro.store import CampaignStore
+
+    with CampaignStore("campaign.db") as store:
+        run_campaign(factory, spec, store=store)          # records as it goes
+    with CampaignStore("campaign.db") as store:
+        result = store.load_result()                       # no simulation
+        print(full_report(result))
+
+See ``docs/observability.md`` for the schema and resume semantics.
+"""
+
+from .serialize import (
+    SerializationError,
+    fault_from_dict,
+    fault_key,
+    fault_to_dict,
+    faults_digest,
+    probes_digest,
+    spec_from_dict,
+    spec_to_dict,
+    trace_digest,
+)
+from .store import SCHEMA_VERSION, CampaignStore, StoreError
+
+__all__ = [
+    "CampaignStore",
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "StoreError",
+    "fault_from_dict",
+    "fault_key",
+    "fault_to_dict",
+    "faults_digest",
+    "probes_digest",
+    "spec_from_dict",
+    "spec_to_dict",
+    "trace_digest",
+]

@@ -1,0 +1,459 @@
+"""SQLite-backed persistent campaign results.
+
+The campaign database is a first-class artifact of the flow — the
+moral equivalent of DAVOS's fault-injection database: it records the
+campaign specification, the full fault list, and one row per completed
+faulty run (classification, per-trace comparison summaries, metrics,
+timing, kernel-event counts).  Rows are committed as each run
+completes, so a crashed or killed campaign loses at most the run in
+flight, and a later session can
+
+* **resume** — re-run only the faults without a successful row
+  (:meth:`CampaignStore.pending_indices`), after verifying that the
+  stored fault list and the regenerated golden traces match; and
+* **query** — rebuild a full :class:`CampaignResult` *without
+  re-simulating* (:meth:`CampaignStore.load_result`), from which the
+  standard reports and fault dictionaries regenerate exactly.
+
+Writes go through a **single writer** (the campaign parent process);
+fork-parallel workers ship results back to the parent, which owns the
+connection.  That keeps the store free of cross-process locking while
+still recording parallel campaigns incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from datetime import datetime, timezone
+
+from ..core.errors import ReproError
+from .serialize import (
+    fault_key,
+    fault_to_dict,
+    faults_digest,
+    probes_digest,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+#: Schema version recorded in the ``meta`` table.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    name           TEXT UNIQUE NOT NULL,
+    spec_json      TEXT NOT NULL,
+    fault_digest   TEXT NOT NULL,
+    golden_json    TEXT,
+    execution_json TEXT,
+    status         TEXT NOT NULL DEFAULT 'running',
+    created_at     TEXT NOT NULL,
+    updated_at     TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS faults (
+    campaign_id     INTEGER NOT NULL REFERENCES campaigns(id),
+    idx             INTEGER NOT NULL,
+    kind            TEXT NOT NULL,
+    key             TEXT NOT NULL,
+    description     TEXT NOT NULL,
+    descriptor_json TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, idx)
+);
+CREATE TABLE IF NOT EXISTS runs (
+    campaign_id         INTEGER NOT NULL REFERENCES campaigns(id),
+    fault_idx           INTEGER NOT NULL,
+    status              TEXT NOT NULL,
+    label               TEXT,
+    classification_json TEXT,
+    comparisons_json    TEXT,
+    metrics_json        TEXT,
+    error               TEXT,
+    wall_s              REAL,
+    kernel_events       INTEGER,
+    completed_at        TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, fault_idx)
+);
+CREATE INDEX IF NOT EXISTS runs_by_label ON runs (campaign_id, label);
+"""
+
+
+class StoreError(ReproError):
+    """Raised for campaign-store consistency or usage errors."""
+
+
+def _now():
+    return datetime.now(timezone.utc).isoformat()
+
+
+def _classification_to_dict(classification):
+    return {
+        "label": classification.label,
+        "first_output_divergence": classification.first_output_divergence,
+        "output_mismatch_time": classification.output_mismatch_time,
+        "diverged_outputs": list(classification.diverged_outputs),
+        "diverged_internal": list(classification.diverged_internal),
+        "latent_traces": list(classification.latent_traces),
+    }
+
+
+def _comparisons_to_dict(comparisons):
+    return {
+        name: {
+            "match": cmp_result.match,
+            "first_divergence": cmp_result.first_divergence,
+            "last_divergence": cmp_result.last_divergence,
+            "mismatch_time": cmp_result.mismatch_time,
+            "max_deviation": cmp_result.max_deviation,
+            "final_match": cmp_result.final_match,
+        }
+        for name, cmp_result in comparisons.items()
+    }
+
+
+class CampaignStore:
+    """One SQLite file holding any number of named campaigns.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+
+    :param path: database file path (created on first open).  The
+        special name ``":memory:"`` works for tests.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+        self._conn.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Close the underlying connection."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        """Context-manager entry: returns the store itself."""
+        return self
+
+    def __exit__(self, *_exc):
+        """Context-manager exit: closes the connection."""
+        self.close()
+        return False
+
+    # -- campaign registration ----------------------------------------------
+
+    def open_campaign(self, spec, resume=False):
+        """Register ``spec`` (or re-attach to it) and return its row id.
+
+        A campaign is keyed by its name.  First open inserts the spec
+        and fault list; re-opening requires ``resume=True`` *and* an
+        identical fault list (by content digest), so results from
+        different campaign definitions can never silently mix.
+
+        :raises StoreError: on name collisions without ``resume`` or
+            on fault-list mismatches.
+        """
+        digest = faults_digest(spec.faults)
+        row = self._conn.execute(
+            "SELECT id, fault_digest FROM campaigns WHERE name = ?",
+            (spec.name,),
+        ).fetchone()
+        if row is not None:
+            if not resume:
+                raise StoreError(
+                    f"campaign {spec.name!r} already exists in {self.path}; "
+                    "pass resume=True (CLI: --resume) to continue it"
+                )
+            if row["fault_digest"] != digest:
+                raise StoreError(
+                    f"campaign {spec.name!r} in {self.path} was recorded "
+                    "with a different fault list; refusing to resume"
+                )
+            return row["id"]
+
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (name, spec_json, fault_digest, status,"
+            " created_at, updated_at) VALUES (?, ?, ?, 'running', ?, ?)",
+            (spec.name, json.dumps(spec_to_dict(spec)), digest,
+             _now(), _now()),
+        )
+        campaign_id = cursor.lastrowid
+        self._conn.executemany(
+            "INSERT INTO faults (campaign_id, idx, kind, key, description,"
+            " descriptor_json) VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (campaign_id, index, descriptor.get("kind", "?"),
+                 fault_key(fault), fault.describe(),
+                 json.dumps(descriptor))
+                for index, (fault, descriptor) in enumerate(
+                    (fault, fault_to_dict(fault)) for fault in spec.faults
+                )
+            ],
+        )
+        self._conn.commit()
+        return campaign_id
+
+    def check_golden(self, campaign_id, probes):
+        """Record or verify the golden-run trace digests.
+
+        First call stores the digests; later calls (resume) compare
+        and raise when the regenerated golden run differs — a changed
+        design factory would otherwise corrupt the merged results.
+
+        :raises StoreError: on digest mismatch.
+        """
+        digests = probes_digest(probes)
+        row = self._conn.execute(
+            "SELECT golden_json FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign with id {campaign_id}")
+        if row["golden_json"] is None:
+            self._conn.execute(
+                "UPDATE campaigns SET golden_json = ?, updated_at = ?"
+                " WHERE id = ?",
+                (json.dumps(digests), _now(), campaign_id),
+            )
+            self._conn.commit()
+            return
+        stored = json.loads(row["golden_json"])
+        if stored != digests:
+            changed = sorted(
+                name for name in set(stored) | set(digests)
+                if stored.get(name) != digests.get(name)
+            )
+            raise StoreError(
+                "golden run differs from the stored campaign "
+                f"(changed traces: {', '.join(changed)}); the design or "
+                "its parameters changed — refusing to mix results"
+            )
+
+    # -- run recording --------------------------------------------------------
+
+    def completed_indices(self, campaign_id):
+        """Set of fault indices with a successful run row."""
+        rows = self._conn.execute(
+            "SELECT fault_idx FROM runs WHERE campaign_id = ?"
+            " AND status = 'ok'",
+            (campaign_id,),
+        ).fetchall()
+        return {row["fault_idx"] for row in rows}
+
+    def pending_indices(self, campaign_id, total):
+        """Fault indices still to run, in campaign order.
+
+        Errored runs count as pending: a resume retries them.
+        """
+        done = self.completed_indices(campaign_id)
+        return [index for index in range(total) if index not in done]
+
+    def record_run(self, campaign_id, index, fault_result,
+                   wall_s=None, kernel_events=None):
+        """Persist one completed faulty run (commits immediately)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
+            " label, classification_json, comparisons_json, metrics_json,"
+            " error, wall_s, kernel_events, completed_at)"
+            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?)",
+            (
+                campaign_id,
+                index,
+                fault_result.label,
+                json.dumps(
+                    _classification_to_dict(fault_result.classification)
+                ),
+                json.dumps(_comparisons_to_dict(fault_result.comparisons)),
+                json.dumps(fault_result.metrics, default=str),
+                wall_s,
+                kernel_events,
+                _now(),
+            ),
+        )
+        self._conn.commit()
+
+    def record_error(self, campaign_id, index, message,
+                     wall_s=None):
+        """Persist one failed faulty run (retried on resume)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
+            " label, classification_json, comparisons_json, metrics_json,"
+            " error, wall_s, kernel_events, completed_at)"
+            " VALUES (?, ?, 'error', NULL, NULL, NULL, NULL, ?, ?, NULL, ?)",
+            (campaign_id, index, message, wall_s, _now()),
+        )
+        self._conn.commit()
+
+    def record_execution(self, campaign_id, execution, status="complete"):
+        """Store the final execution-stats dict and campaign status."""
+        self._conn.execute(
+            "UPDATE campaigns SET execution_json = ?, status = ?,"
+            " updated_at = ? WHERE id = ?",
+            (json.dumps(execution), status, _now(), campaign_id),
+        )
+        self._conn.commit()
+
+    # -- queries ---------------------------------------------------------------
+
+    def campaign_id(self, name=None):
+        """Resolve a campaign name to its row id.
+
+        With ``name=None`` the database must hold exactly one
+        campaign.
+
+        :raises StoreError: for unknown or ambiguous names.
+        """
+        if name is None:
+            rows = self._conn.execute(
+                "SELECT id, name FROM campaigns ORDER BY id"
+            ).fetchall()
+            if not rows:
+                raise StoreError(f"{self.path} holds no campaigns")
+            if len(rows) > 1:
+                names = ", ".join(row["name"] for row in rows)
+                raise StoreError(
+                    f"{self.path} holds several campaigns ({names}); "
+                    "pick one by name"
+                )
+            return rows[0]["id"]
+        row = self._conn.execute(
+            "SELECT id FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign named {name!r} in {self.path}")
+        return row["id"]
+
+    def load_spec(self, campaign_id):
+        """Rebuild the stored :class:`CampaignSpec` (real fault objects)."""
+        row = self._conn.execute(
+            "SELECT spec_json FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign with id {campaign_id}")
+        return spec_from_dict(json.loads(row["spec_json"]))
+
+    def load_runs(self, campaign_id, faults):
+        """Completed runs as ``{index: FaultResult}`` over ``faults``.
+
+        ``faults`` supplies the fault instances the rebuilt
+        :class:`FaultResult` objects reference — pass the live spec's
+        list when merging into a resumed campaign, or the stored
+        spec's when loading standalone.
+        """
+        from ..campaign.classify import Classification
+        from ..campaign.compare import TraceComparison
+        from ..campaign.results import FaultResult
+
+        results = {}
+        for row in self._conn.execute(
+            "SELECT * FROM runs WHERE campaign_id = ? AND status = 'ok'"
+            " ORDER BY fault_idx",
+            (campaign_id,),
+        ):
+            index = row["fault_idx"]
+            if index >= len(faults):
+                raise StoreError(
+                    f"run row for fault {index} exceeds fault list"
+                )
+            classification = Classification(
+                **json.loads(row["classification_json"])
+            )
+            comparisons = {
+                name: TraceComparison(name=name, **fields)
+                for name, fields in
+                json.loads(row["comparisons_json"]).items()
+            }
+            results[index] = FaultResult(
+                fault=faults[index],
+                classification=classification,
+                comparisons=comparisons,
+                metrics=json.loads(row["metrics_json"] or "{}"),
+            )
+        return results
+
+    def load_result(self, name=None):
+        """Rebuild a full :class:`CampaignResult` without simulating.
+
+        The result carries the stored spec (with reconstructed fault
+        instances), every successful run in fault-list order, the
+        stored execution stats, and empty golden probes (traces are
+        not persisted — only their digests are).
+        """
+        from ..campaign.results import CampaignResult
+
+        campaign_id = self.campaign_id(name)
+        spec = self.load_spec(campaign_id)
+        result = CampaignResult(spec)
+        runs = self.load_runs(campaign_id, spec.faults)
+        for index in sorted(runs):
+            result.add(runs[index])
+        row = self._conn.execute(
+            "SELECT execution_json FROM campaigns WHERE id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row["execution_json"]:
+            result.execution = json.loads(row["execution_json"])
+        return result
+
+    def status(self):
+        """Per-campaign progress summary for every stored campaign.
+
+        Returns a list of dicts with ``name``, ``status``, ``total``,
+        ``completed``, ``errors``, ``created_at`` and ``updated_at``.
+        """
+        summaries = []
+        for row in self._conn.execute(
+            "SELECT id, name, status, created_at, updated_at"
+            " FROM campaigns ORDER BY id"
+        ):
+            total = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM faults WHERE campaign_id = ?",
+                (row["id"],),
+            ).fetchone()["n"]
+            completed = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
+                " AND status = 'ok'",
+                (row["id"],),
+            ).fetchone()["n"]
+            errors = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
+                " AND status = 'error'",
+                (row["id"],),
+            ).fetchone()["n"]
+            summaries.append(
+                {
+                    "name": row["name"],
+                    "status": row["status"],
+                    "total": total,
+                    "completed": completed,
+                    "errors": errors,
+                    "created_at": row["created_at"],
+                    "updated_at": row["updated_at"],
+                }
+            )
+        return summaries
+
+    def class_counts(self, name=None):
+        """Classification label -> run count, straight from SQL."""
+        campaign_id = self.campaign_id(name)
+        return {
+            row["label"]: row["n"]
+            for row in self._conn.execute(
+                "SELECT label, COUNT(*) AS n FROM runs"
+                " WHERE campaign_id = ? AND status = 'ok'"
+                " GROUP BY label ORDER BY label",
+                (campaign_id,),
+            )
+        }

@@ -1,0 +1,149 @@
+"""Report rendering and fault-dictionary round-trips (on one real
+campaign, plus store-loaded results — reports must not care where a
+result came from)."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    FaultDictionary,
+    error_listing,
+    exhaustive_bitflips,
+    execution_summary,
+    full_report,
+    run_campaign,
+    sensitivity_matrix,
+    signature_of,
+    to_csv,
+)
+from repro.core import Component, L0, Simulator
+from repro.digital import Bus, ClockGen, Counter, ParityGen
+from repro.store import CampaignStore
+
+
+def factory():
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    clk = sim.signal("clk", init=L0)
+    ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+    q = Bus(sim, "cnt", 4)
+    Counter(sim, "counter", clk, q, parent=top)
+    par = sim.signal("parity")
+    ParityGen(sim, "par", q, par, parent=top)
+    probes = {
+        "parity": sim.probe(par),
+        "cnt[0]": sim.probe(q.bits[0]),
+    }
+    return Design(sim=sim, root=top, probes=probes)
+
+
+def make_spec():
+    faults = exhaustive_bitflips(
+        [f"top/counter.q[{i}]" for i in range(4)], [33e-9, 55e-9, 77e-9]
+    )
+    return CampaignSpec(name="par", faults=faults, t_end=300e-9,
+                        outputs=["parity"])
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_campaign(factory, make_spec(), warm_start=True)
+
+
+class TestExecutionSummary:
+    def test_warm_summary_sections(self, result):
+        text = execution_summary(result)
+        assert "warm start" in text
+        assert "checkpoints" in text
+        assert "warm restores" in text
+        assert "runs/s" in text
+
+    def test_empty_for_hand_assembled_results(self, result):
+        from repro.campaign import CampaignResult
+
+        assert execution_summary(CampaignResult(make_spec())) == ""
+
+    def test_full_report_includes_execution(self, result):
+        assert "--- execution ---" in full_report(result)
+
+    def test_resumed_summary_mentions_the_split(self, result, tmp_path):
+        path = tmp_path / "campaign.db"
+        with CampaignStore(path) as store:
+            run_campaign(factory, make_spec(), store=store)
+        with CampaignStore(path) as store:
+            resumed = run_campaign(factory, make_spec(), store=store,
+                                   resume=True)
+        assert "resumed" in execution_summary(resumed)
+
+
+class TestErrorListing:
+    def test_collected_errors_rendered(self):
+        spec = make_spec()
+        spec.faults[2].target = "top/counter.nope"
+        result = run_campaign(factory, spec, on_error="collect")
+        assert len(result.errors) == 1
+        listing = error_listing(result)
+        assert "!!" in listing
+        text = full_report(result)
+        assert "--- run errors (1) ---" in text
+
+    def test_limit_truncates(self):
+        spec = make_spec()
+        for fault in spec.faults[:4]:
+            fault.target = "top/counter.nope"
+        result = run_campaign(factory, spec, on_error="collect")
+        listing = error_listing(result, limit=2)
+        assert "(2 more)" in listing
+
+
+class TestSensitivityMatrix:
+    def test_matrix_covers_targets_and_legend(self, result):
+        text = sensitivity_matrix(result)
+        for i in range(4):
+            assert f"top/counter.q[{i}]" in text
+        assert "legend:" in text
+
+
+class TestDictionaryRoundTrip:
+    def test_to_dict_is_json_ready_and_consistent(self, result):
+        dictionary = FaultDictionary(result)
+        data = json.loads(json.dumps(dictionary.to_dict()))
+        assert data["n_faults"] == len(result)
+        assert data["distinguishability"] == pytest.approx(
+            dictionary.distinguishability()
+        )
+        assert sum(len(s["faults"]) for s in data["signatures"]) == \
+            len(result)
+        # Signature rows mirror the live lookup structures.
+        for row, signature in zip(data["signatures"],
+                                  dictionary.signatures()):
+            assert row["label"] == signature.label
+            assert tuple(row["diverged"]) == signature.diverged
+            assert len(row["faults"]) == \
+                len(dictionary.candidates(signature))
+
+    def test_dictionary_from_store_matches_live(self, result, tmp_path):
+        path = tmp_path / "campaign.db"
+        with CampaignStore(path) as store:
+            live = run_campaign(factory, make_spec(), store=store)
+            loaded = store.load_result()
+        assert to_csv(loaded) == to_csv(live)
+        assert FaultDictionary(loaded).to_dict() == \
+            FaultDictionary(live).to_dict()
+
+    def test_signature_lookup_round_trip(self, result):
+        dictionary = FaultDictionary(result)
+        run = result.runs[0]
+        signature = signature_of(run)
+        assert signature == dictionary.signature_for(run.fault)
+        assert run.fault in dictionary.candidates(signature)
+        faults, ambiguity = dictionary.diagnose(signature)
+        assert run.fault in faults and ambiguity == len(faults)
+
+    def test_report_renders(self, result):
+        text = FaultDictionary(result).report(limit=3)
+        assert "fault dictionary:" in text
+        assert "distinguishability" in text

@@ -1,0 +1,14 @@
+"""Keep the process-global instruments isolated between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_instruments():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

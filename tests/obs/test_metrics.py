@@ -1,0 +1,93 @@
+"""Counter/histogram metrics and the global registry."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+
+class TestHistogram:
+    def test_summary_over_samples(self):
+        histogram = Histogram("h")
+        for value in (2.0, 4.0, 9.0):
+            histogram.record(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 2.0
+        assert summary["max"] == 9.0
+        assert summary["mean"] == pytest.approx(5.0)
+
+    def test_empty_histogram_has_no_mean(self):
+        assert Histogram("h").mean is None
+
+
+class TestRegistry:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.observe("b", 1.0)
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_enabled_registry_records(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("a", 3)
+        registry.observe("b", 2.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["a"] == 3
+        assert snap["histograms"]["b"]["count"] == 1
+
+    def test_instruments_are_reused_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            registry.counter("")
+        with pytest.raises(MetricsError):
+            registry.histogram(None)
+
+    def test_reset_drops_instruments_but_not_flag(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("a")
+        registry.reset()
+        assert registry.enabled
+        assert registry.snapshot()["counters"] == {}
+
+    def test_disable_keeps_values(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.inc("a", 7)
+        registry.disable()
+        assert registry.snapshot()["counters"]["a"] == 7
+
+
+class TestGlobalRegistry:
+    def test_module_helpers_hit_the_global_registry(self):
+        metrics.enable()
+        metrics.inc("g.count", 2)
+        metrics.observe("g.hist", 1.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["g.count"] == 2
+        assert snap["histograms"]["g.hist"]["count"] == 1
+        assert metrics.enabled()
+
+    def test_global_helpers_noop_while_disabled(self):
+        metrics.inc("never")
+        assert "never" not in metrics.snapshot()["counters"]

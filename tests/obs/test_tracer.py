@@ -1,0 +1,84 @@
+"""Span tracer behavior and export formats."""
+
+import json
+
+import pytest
+
+from repro.obs import tracer
+from repro.obs.tracer import Tracer
+
+
+class TestTracer:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        span = t.span("x", a=1)
+        assert span is t.span("y")
+        with span as handle:
+            handle.annotate(later=2)
+        assert t.spans == []
+
+    def test_enabled_span_records_interval_and_attrs(self):
+        t = Tracer()
+        t.enable()
+        with t.span("kernel.run", t_from=0.0) as span:
+            span.annotate(t_to=1e-6)
+        assert len(t.spans) == 1
+        recorded = t.spans[0]
+        assert recorded.name == "kernel.run"
+        assert recorded.attrs == {"t_from": 0.0, "t_to": 1e-6}
+        assert recorded.duration >= 0.0
+
+    def test_exception_annotates_and_propagates(self):
+        t = Tracer()
+        t.enable()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("no")
+        assert t.spans[0].attrs["error"] == "ValueError"
+
+    def test_reset_drops_spans(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            pass
+        t.reset()
+        assert t.spans == []
+
+    def test_to_dicts_shape(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a", k="v"):
+            pass
+        (entry,) = t.to_dicts()
+        assert set(entry) == {"name", "start_s", "duration_s", "attrs"}
+        assert entry["attrs"] == {"k": "v"}
+
+    def test_chrome_trace_format(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            pass
+        events = t.to_chrome_trace()["traceEvents"]
+        assert events[0]["ph"] == "X"
+        assert events[0]["name"] == "a"
+
+    def test_save_writes_json(self, tmp_path):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            pass
+        plain = tmp_path / "spans.json"
+        chrome = tmp_path / "chrome.json"
+        t.save(plain)
+        t.save(chrome, chrome=True)
+        assert json.loads(plain.read_text())[0]["name"] == "a"
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+
+class TestGlobalTracer:
+    def test_module_helpers_hit_the_global_tracer(self):
+        tracer.enable()
+        with tracer.span("global.span"):
+            pass
+        assert tracer.enabled()
+        assert tracer.TRACER.spans[-1].name == "global.span"

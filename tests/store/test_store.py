@@ -1,0 +1,164 @@
+"""CampaignStore unit behavior against an in-memory database."""
+
+import pytest
+
+from repro.campaign import CampaignSpec, Classification, TraceComparison
+from repro.campaign.results import FaultResult
+from repro.faults import BitFlip
+from repro.store import CampaignStore, StoreError
+
+
+def make_spec(name="unit", n=4):
+    faults = [BitFlip(f"top/ff.q[{i}]", 10e-9 * (i + 1)) for i in range(n)]
+    return CampaignSpec(name=name, faults=faults, t_end=1e-6,
+                        outputs=["out"])
+
+
+def make_result(fault, label="silent"):
+    return FaultResult(
+        fault=fault,
+        classification=Classification(
+            label=label,
+            first_output_divergence=None if label == "silent" else 42e-9,
+            output_mismatch_time=0.0 if label == "silent" else 5e-9,
+            diverged_outputs=[] if label == "silent" else ["out"],
+        ),
+        comparisons={
+            "out": TraceComparison(
+                name="out",
+                match=label == "silent",
+                first_divergence=None if label == "silent" else 42e-9,
+                last_divergence=None if label == "silent" else 47e-9,
+                mismatch_time=0.0 if label == "silent" else 5e-9,
+                max_deviation=0.0 if label == "silent" else 1.0,
+                final_match=True,
+            )
+        },
+        metrics={"events": 123},
+    )
+
+
+@pytest.fixture
+def store():
+    with CampaignStore(":memory:") as s:
+        yield s
+
+
+class TestOpenCampaign:
+    def test_reopen_without_resume_refused(self, store):
+        spec = make_spec()
+        store.open_campaign(spec)
+        with pytest.raises(StoreError, match="already exists"):
+            store.open_campaign(spec)
+
+    def test_resume_reattaches_to_same_id(self, store):
+        spec = make_spec()
+        first = store.open_campaign(spec)
+        again = store.open_campaign(make_spec(), resume=True)
+        assert again == first
+
+    def test_resume_with_different_faults_refused(self, store):
+        store.open_campaign(make_spec(n=4))
+        with pytest.raises(StoreError, match="different fault list"):
+            store.open_campaign(make_spec(n=5), resume=True)
+
+    def test_two_campaigns_coexist(self, store):
+        a = store.open_campaign(make_spec("a"))
+        b = store.open_campaign(make_spec("b"))
+        assert a != b
+        with pytest.raises(StoreError, match="several campaigns"):
+            store.campaign_id()
+        assert store.campaign_id("b") == b
+
+    def test_unknown_name_rejected(self, store):
+        store.open_campaign(make_spec("a"))
+        with pytest.raises(StoreError, match="no campaign named"):
+            store.campaign_id("zz")
+
+
+class TestRunRecording:
+    def test_pending_shrinks_as_runs_complete(self, store):
+        spec = make_spec(n=3)
+        campaign_id = store.open_campaign(spec)
+        assert store.pending_indices(campaign_id, 3) == [0, 1, 2]
+        store.record_run(campaign_id, 1, make_result(spec.faults[1]),
+                         wall_s=0.1, kernel_events=500)
+        assert store.pending_indices(campaign_id, 3) == [0, 2]
+        assert store.completed_indices(campaign_id) == {1}
+
+    def test_errored_runs_stay_pending(self, store):
+        spec = make_spec(n=2)
+        campaign_id = store.open_campaign(spec)
+        store.record_error(campaign_id, 0, "InjectionError: no such state")
+        assert store.pending_indices(campaign_id, 2) == [0, 1]
+        summary = store.status()[0]
+        assert summary["errors"] == 1
+
+    def test_record_run_overwrites_error(self, store):
+        spec = make_spec(n=1)
+        campaign_id = store.open_campaign(spec)
+        store.record_error(campaign_id, 0, "boom")
+        store.record_run(campaign_id, 0, make_result(spec.faults[0]))
+        assert store.pending_indices(campaign_id, 1) == []
+        assert store.status()[0]["errors"] == 0
+
+    def test_load_runs_rebuilds_fault_results(self, store):
+        spec = make_spec(n=2)
+        campaign_id = store.open_campaign(spec)
+        original = make_result(spec.faults[1], label="failure")
+        store.record_run(campaign_id, 1, original)
+        loaded = store.load_runs(campaign_id, spec.faults)
+        assert set(loaded) == {1}
+        rebuilt = loaded[1]
+        assert rebuilt.fault is spec.faults[1]
+        assert rebuilt.label == "failure"
+        assert rebuilt.classification == original.classification
+        assert rebuilt.comparisons["out"] == original.comparisons["out"]
+        assert rebuilt.metrics == {"events": 123}
+
+    def test_class_counts_from_sql(self, store):
+        spec = make_spec(n=3)
+        campaign_id = store.open_campaign(spec)
+        store.record_run(campaign_id, 0, make_result(spec.faults[0]))
+        store.record_run(campaign_id, 1, make_result(spec.faults[1],
+                                                     label="failure"))
+        store.record_run(campaign_id, 2, make_result(spec.faults[2]))
+        assert store.class_counts() == {"failure": 1, "silent": 2}
+
+
+class TestGoldenCheck:
+    def test_first_call_stores_then_verifies(self, store, tmp_path):
+        from repro.core.trace import Trace
+
+        trace = Trace("out")
+        trace.append(0.0, 0.0)
+        trace.append(1e-9, 1.0)
+        campaign_id = store.open_campaign(make_spec())
+        store.check_golden(campaign_id, {"out": trace})
+        store.check_golden(campaign_id, {"out": trace})  # identical: fine
+        changed = Trace("out")
+        changed.append(0.0, 0.0)
+        changed.append(1e-9, 2.0)
+        with pytest.raises(StoreError, match="golden run differs"):
+            store.check_golden(campaign_id, {"out": changed})
+
+
+class TestPersistence:
+    def test_file_store_survives_reopen(self, tmp_path):
+        path = tmp_path / "campaign.db"
+        spec = make_spec(n=2)
+        with CampaignStore(path) as store:
+            campaign_id = store.open_campaign(spec)
+            store.record_run(campaign_id, 0, make_result(spec.faults[0]))
+            store.record_execution(campaign_id, {"mode": "cold"},
+                                   status="interrupted")
+        with CampaignStore(path) as store:
+            summary = store.status()[0]
+            assert summary["completed"] == 1
+            assert summary["total"] == 2
+            assert summary["status"] == "interrupted"
+            result = store.load_result()
+            assert len(result) == 1
+            assert result.execution == {"mode": "cold"}
+            assert result.spec.faults[0].describe() == \
+                spec.faults[0].describe()

@@ -13,6 +13,8 @@ PACKAGES = [
     "repro.faults",
     "repro.injection",
     "repro.campaign",
+    "repro.obs",
+    "repro.store",
     "repro.analysis",
     "repro.harden",
     "repro.netlist",
