@@ -35,6 +35,65 @@ CLASSES = (SILENT, LATENT, TRANSIENT_ERROR, FAILURE)
 #: Rank used to aggregate severities.
 SEVERITY = {label: rank for rank, label in enumerate(CLASSES)}
 
+# -- run statuses ------------------------------------------------------------
+#
+# Orthogonal to the dependability classes above: a *run status* says
+# whether the faulty simulation itself completed, and if not, how it
+# died.  A supervised campaign terminates with one status per fault —
+# the injected fault can classify the circuit only when the run is
+# RUN_OK; every other status is a first-class outcome of its own
+# (DAVOS-style), never a hung campaign.
+
+#: The run completed and produced comparable traces.
+RUN_OK = "ok"
+#: The run exhausted its :class:`~repro.core.budget.RunBudget`
+#: (wall-clock, kernel events or analog steps) or was killed by the
+#: supervisor's per-fault deadline.
+RUN_TIMEOUT = "timeout"
+#: The analog solver diverged (NaN/Inf or runaway node values).
+RUN_DIVERGED = "diverged"
+#: The worker process died without reporting (signal, segfault, OOM).
+RUN_CRASHED = "crashed"
+#: The run raised an ordinary simulation error.
+RUN_ERROR = "error"
+#: Retries exhausted; the fault is parked and skipped on resume unless
+#: explicitly re-requested.
+RUN_QUARANTINED = "quarantined"
+
+#: Every terminal run status a store row or result may carry.
+RUN_STATUSES = (
+    RUN_OK, RUN_TIMEOUT, RUN_DIVERGED, RUN_CRASHED, RUN_ERROR,
+    RUN_QUARANTINED,
+)
+
+#: Statuses describing a run that did not complete.
+FAILURE_STATUSES = (RUN_TIMEOUT, RUN_DIVERGED, RUN_CRASHED, RUN_ERROR)
+
+
+def classify_failure(exc):
+    """Map a per-run exception to its terminal run status.
+
+    The typed errors the kernel's run budget and numerical guard raise
+    (and the supervisor's crash report) each have a dedicated status;
+    anything else is a plain :data:`RUN_ERROR`.
+
+    :param exc: the exception a faulty run raised.
+    :returns: one of :data:`FAILURE_STATUSES`.
+    """
+    from ..core.errors import (
+        BudgetExceededError,
+        NumericalDivergenceError,
+        WorkerCrashError,
+    )
+
+    if isinstance(exc, BudgetExceededError):
+        return RUN_TIMEOUT
+    if isinstance(exc, NumericalDivergenceError):
+        return RUN_DIVERGED
+    if isinstance(exc, WorkerCrashError):
+        return RUN_CRASHED
+    return RUN_ERROR
+
 
 @dataclass
 class Classification:

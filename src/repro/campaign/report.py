@@ -94,6 +94,20 @@ def execution_summary(result):
         )
     if ex.get("errors"):
         lines.append(f"run errors      : {ex['errors']}")
+    if ex.get("retries"):
+        lines.append(f"retries         : {ex['retries']}")
+    breakdown = [
+        f"{ex[key]} {key}"
+        for key in ("timeouts", "diverged", "crashed")
+        if ex.get(key)
+    ]
+    if breakdown:
+        lines.append(f"failed runs     : {', '.join(breakdown)}")
+    if ex.get("quarantined"):
+        lines.append(
+            f"quarantined     : {ex['quarantined']}"
+            " (skipped on resume unless retried explicitly)"
+        )
     return "\n".join(lines)
 
 

@@ -6,29 +6,44 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..core.errors import CampaignError
-from .classify import CLASSES, SILENT, Classification
+from .classify import CLASSES, RUN_ERROR, SILENT, Classification
 
 
 @dataclass
 class CampaignRunError:
-    """One faulty run that raised instead of completing.
+    """One faulty run that did not complete.
 
     Collected (rather than raised) when a campaign executes with
-    ``on_error="collect"``; the campaign continues and the failed
-    fault is retried on a store-backed resume.
+    ``on_error="collect"``; the campaign continues, and the failed
+    fault is re-run on a store-backed resume (quarantined faults only
+    when explicitly requested).
 
     :ivar index: position of the fault in the campaign's fault list.
     :ivar fault: the fault-model instance whose run failed.
     :ivar message: ``"ExceptionType: message"`` rendering of the error.
+    :ivar status: terminal run status — one of
+        :data:`~repro.campaign.classify.FAILURE_STATUSES`
+        (``timeout``/``diverged``/``crashed``/``error``).
+    :ivar attempts: how many times the run was attempted (1 = no
+        retries).
+    :ivar quarantined: True when the retry policy gave up on the
+        fault; resume skips it unless asked to retry quarantined runs.
     """
 
     index: int
     fault: object
     message: str
+    status: str = RUN_ERROR
+    attempts: int = 1
+    quarantined: bool = False
 
     def describe(self):
-        """One line: fault -> error."""
-        return f"{self.fault.describe():60s} !! {self.message}"
+        """One line: fault -> status and error."""
+        suffix = f" ({self.attempts} attempts)" if self.attempts > 1 else ""
+        return (
+            f"{self.fault.describe():60s} !! "
+            f"[{self.status}] {self.message}{suffix}"
+        )
 
 
 @dataclass
@@ -115,6 +130,25 @@ class CampaignResult:
     def by_class(self, label):
         """All runs with a given classification label."""
         return [run for run in self.runs if run.label == label]
+
+    def status_counts(self):
+        """Mapping terminal run status -> count, completed runs included.
+
+        Completed runs count under ``"ok"``; failed runs count under
+        their terminal status (``timeout``/``diverged``/``crashed``/
+        ``error``), with quarantined ones *additionally* tallied under
+        ``"quarantined"``.  A supervised campaign therefore satisfies
+        ``counts["ok"] + sum(failure statuses) == len(spec.faults)``.
+        """
+        from .classify import RUN_OK, RUN_QUARANTINED
+
+        counts = Counter()
+        counts[RUN_OK] = len(self.runs)
+        for err in self.errors:
+            counts[err.status] += 1
+            if err.quarantined:
+                counts[RUN_QUARANTINED] += 1
+        return dict(counts)
 
     def by_target(self):
         """Mapping injection-target description -> class counter.

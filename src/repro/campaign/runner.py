@@ -32,22 +32,36 @@ run — golden and faulty — evaluates the identical block set.
 
 from __future__ import annotations
 
+import logging
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 
+from ..core.budget import NumericalGuard, RunBudget
 from ..core.errors import CampaignError
 from ..core.trace import Trace
 from ..core.units import parse_quantity
 from ..injection.controller import CurrentInjection, InjectionController
 from ..obs import metrics as _metrics
 from ..obs import tracer as _tracer
-from .classify import classify
+from .classify import (
+    RUN_CRASHED,
+    RUN_DIVERGED,
+    RUN_TIMEOUT,
+    classify,
+    classify_failure,
+)
 from .compare import compare_probe_sets
 from .results import CampaignResult, CampaignRunError, FaultResult
+from .supervisor import RetryPolicy, WorkerSupervisor
+
+LOGGER = logging.getLogger("repro.campaign")
 
 #: Default ceiling on retained golden checkpoints (memory bound).
 DEFAULT_MAX_CHECKPOINTS = 64
+
+#: Sentinel: "use the default numerical guard" (pass None to disable).
+_DEFAULT_GUARD = object()
 
 
 @dataclass
@@ -124,6 +138,11 @@ class CampaignRunner:
         self.progress = progress
         self._shared_windows = self._collect_windows(spec.faults)
         self._warm = None
+        # Supervision config, set per run() call; faulty runs are
+        # armed with these, golden runs never are.
+        self._budget = None
+        self._guard = None
+        self._retry = None
 
     @staticmethod
     def _collect_windows(faults):
@@ -165,10 +184,22 @@ class CampaignRunner:
         """Execute one faulty run; returns ``(design, controller)``."""
         design = self.factory()
         self._apply_shared_windows(design)
+        self._arm(design.sim)
         controller = InjectionController(design.sim, design.root)
         controller.apply(fault)
         design.sim.run(self.spec.t_end)
         return design, controller
+
+    def _arm(self, sim):
+        """Install the run budget and numerical guard on a faulty sim.
+
+        Golden runs are never armed: they are fault-free by
+        construction, and a budget tripping there would abort the whole
+        campaign rather than classify one run.
+        """
+        sim.budget = self._budget
+        if self._guard is not None and sim.analog.guard is None:
+            sim.analog.guard = self._guard.fresh()
 
     @staticmethod
     def _check_probes(design, outputs):
@@ -320,6 +351,9 @@ class CampaignRunner:
         warm = self.prepare_warm()
         design = warm["design"]
         sim = design.sim
+        # Budget the faulty suffix only (the restore below also resets
+        # the guard's step history via the solver's invalidate hook).
+        self._arm(sim)
 
         _t_ckpt, snap = self._restore_point(fault)
 
@@ -378,71 +412,102 @@ class CampaignRunner:
             metrics.update(hook(design, fault))
         return design.probes, metrics, design.sim.events_executed
 
-    def _make_pool(self, workers):
+    @staticmethod
+    def _fork_context():
+        """The ``fork`` multiprocessing context, or None when missing.
+
+        Workers inherit the active runner (and warm state) by fork;
+        ``spawn``/``forkserver`` cannot reproduce that, so platforms
+        without ``fork`` degrade gracefully to serial execution (the
+        caller logs the downgrade) instead of failing the campaign.
+        """
         import multiprocessing
 
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError as exc:
-            raise CampaignError(
-                "parallel campaigns need the 'fork' start method"
-            ) from exc
-        return context.Pool(processes=workers)
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
 
     # -- outcome streams ---------------------------------------------------------
 
     def _serial_outcomes(self, pending, warm_start, on_error):
-        """Yield ``(index, ok, payload, wall_s)`` per pending fault.
+        """Yield ``(index, ok, payload, wall_s, attempts)`` per fault.
 
         ``payload`` is the ``(probes, metrics, events)`` tuple on
-        success, or the exception on failure.  With
-        ``on_error="raise"`` exceptions propagate untouched,
-        preserving their type for callers.
+        success and ``(exception, status)`` on failure, where
+        ``status`` is one of
+        :data:`~repro.campaign.classify.FAILURE_STATUSES`.  Failed
+        attempts are retried under the runner's retry policy before
+        their terminal outcome is yielded.  With ``on_error="raise"``
+        the first exception propagates untouched, preserving its type
+        for callers.
         """
         tracer = _tracer.TRACER
+        retry = self._retry
         for position, index in enumerate(pending):
             fault = self.spec.faults[index]
             if self.progress is not None:
                 self.progress(position, len(pending), fault)
-            wall_start = perf_counter()
-            try:
-                with tracer.span(
-                    "campaign.fault_run", index=index, fault=fault.describe()
-                ):
-                    payload = (
-                        self.run_fault_warm(fault)
-                        if warm_start
-                        else self._execute_one(fault)
-                    )
-            except Exception as exc:
-                if on_error == "raise":
-                    raise
-                yield index, False, exc, perf_counter() - wall_start
-                continue
-            yield index, True, payload, perf_counter() - wall_start
+            attempt = 0
+            while True:
+                attempt += 1
+                wall_start = perf_counter()
+                try:
+                    with tracer.span(
+                        "campaign.fault_run", index=index,
+                        fault=fault.describe(), attempt=attempt,
+                    ):
+                        payload = (
+                            self.run_fault_warm(fault)
+                            if warm_start
+                            else self._execute_one(fault)
+                        )
+                except Exception as exc:
+                    wall_s = perf_counter() - wall_start
+                    if on_error == "raise":
+                        raise
+                    status = classify_failure(exc)
+                    if retry is not None and attempt < retry.attempts:
+                        _metrics.REGISTRY.inc("campaign.retries")
+                        sleep(retry.delay(attempt))
+                        continue
+                    yield index, False, (exc, status), wall_s, attempt
+                    break
+                yield index, True, payload, perf_counter() - wall_start, attempt
+                break
 
-    def _parallel_outcomes(self, pending, workers, warm_start):
-        """Stream worker outcomes back to the parent as they complete.
+    def _parallel_outcomes(self, pending, workers, warm_start, on_error,
+                           context):
+        """Stream supervised worker outcomes as they complete.
 
         Workers are forked (inheriting the factory, hooks and — warm —
-        the golden design plus snapshots); ``imap`` streams results in
-        fault order, so the parent can classify and persist each run
-        while later runs are still simulating, and an interrupt loses
-        at most the results still in flight.
+        the golden design plus snapshots) and individually supervised:
+        a dead worker is detected, attributed to the fault it was
+        running and replaced; a worker that blows the per-fault
+        deadline is killed.  Outcomes stream in *completion* order (the
+        consumer re-sorts by index), so the parent classifies and
+        persists each run while later runs are still simulating, and
+        an interrupt loses at most the results still in flight.
         """
         global _ACTIVE_RUNNER
         body = _worker_execute_warm if warm_start else _worker_execute
+        supervisor = WorkerSupervisor(
+            context,
+            body,
+            workers,
+            retry=self._retry if on_error == "collect" else None,
+            deadline_s=(
+                self._budget.max_wall_s if self._budget is not None else None
+            ),
+        )
         _ACTIVE_RUNNER = self
         try:
-            with self._make_pool(workers) as pool:
-                for position, outcome in enumerate(
-                    pool.imap(body, pending)
-                ):
-                    if self.progress is not None:
-                        self.progress(
-                            position, len(pending), self.spec.faults[outcome[0]]
-                        )
-                    yield outcome
+            for position, outcome in enumerate(supervisor.outcomes(pending)):
+                if self.progress is not None:
+                    self.progress(
+                        position, len(pending), self.spec.faults[outcome[0]]
+                    )
+                yield outcome
         finally:
             _ACTIVE_RUNNER = None
 
@@ -457,18 +522,27 @@ class CampaignRunner:
         store=None,
         resume=False,
         on_error="raise",
+        timeout=None,
+        event_budget=None,
+        budget=None,
+        guard=_DEFAULT_GUARD,
+        retries=None,
+        retry=None,
+        retry_quarantined=False,
     ):
         """Run golden + every (remaining) fault; returns a
         :class:`CampaignResult`.
 
         :param workers: when > 1 on a platform with ``fork``, faulty
-            runs execute in a process pool (each worker inherits the
-            factory, hooks — and in warm mode the golden design with
-            its snapshots — via fork; only probe traces and metric
-            dicts are shipped back).  Comparison, classification and
-            store writes always happen in the parent — the single
-            writer — against the one golden run, streaming as results
-            arrive.
+            runs execute under a :class:`WorkerSupervisor` (each
+            worker inherits the factory, hooks — and in warm mode the
+            golden design with its snapshots — via fork; only probe
+            traces and metric dicts are shipped back; dead workers are
+            detected, attributed and replaced).  Comparison,
+            classification and store writes always happen in the
+            parent — the single writer — against the one golden run,
+            streaming as results arrive.  Without ``fork`` the
+            campaign logs a warning and runs serially.
         :param warm_start: restore golden checkpoints instead of
             re-simulating each fault from t=0 (see the module
             docstring for semantics and caveats).
@@ -490,6 +564,24 @@ class CampaignRunner:
             per-fault simulation error; ``"collect"`` records it in
             :attr:`CampaignResult.errors` (and the store) and carries
             on with the remaining faults.
+        :param timeout: per-fault wall-clock ceiling in seconds
+            (accepts ``"30s"``).  Enforced cooperatively inside the
+            kernel (:class:`~repro.core.errors.BudgetExceededError`
+            -> ``timeout`` status) and, in parallel mode, by a hard
+            supervisor kill a grace period later.
+        :param event_budget: per-fault ceiling on kernel events.
+        :param budget: a full :class:`~repro.core.budget.RunBudget`
+            (overrides ``timeout``/``event_budget``).
+        :param guard: a :class:`~repro.core.budget.NumericalGuard`
+            armed on every faulty run (a fresh instance per design);
+            defaults to ``NumericalGuard()``; pass ``None`` to disable.
+        :param retries: extra attempts per failed fault before it is
+            quarantined (default 1 retry with ``on_error="collect"``,
+            none with ``"raise"``); 0 disables retries.
+        :param retry: a full :class:`RetryPolicy` (overrides
+            ``retries``).
+        :param retry_quarantined: with ``resume``, re-run faults a
+            previous execution quarantined instead of skipping them.
         """
         if on_error not in ("raise", "collect"):
             raise CampaignError(
@@ -498,6 +590,16 @@ class CampaignRunner:
         if resume and store is None:
             raise CampaignError("resume=True requires a store")
 
+        if budget is None and (timeout is not None or event_budget is not None):
+            budget = RunBudget(max_wall_s=timeout, max_events=event_budget)
+        self._budget = budget
+        self._guard = NumericalGuard() if guard is _DEFAULT_GUARD else guard
+        if retry is None and on_error == "collect":
+            retry = RetryPolicy(
+                attempts=1 + (retries if retries is not None else 1)
+            )
+        self._retry = retry if on_error == "collect" else None
+
         wall_start = perf_counter()
         total = len(self.spec.faults)
         campaign_id = None
@@ -505,7 +607,10 @@ class CampaignRunner:
         if store is not None:
             campaign_id = store.open_campaign(self.spec, resume=resume)
             if resume:
-                pending = store.pending_indices(campaign_id, total)
+                pending = store.pending_indices(
+                    campaign_id, total,
+                    include_quarantined=retry_quarantined,
+                )
 
         if warm_start:
             warm = self.prepare_warm(checkpoint_every, max_checkpoints)
@@ -521,8 +626,20 @@ class CampaignRunner:
             store.check_golden(campaign_id, golden_probes)
 
         parallel = workers is not None and workers > 1 and len(pending) > 1
+        context = None
+        if parallel:
+            context = self._fork_context()
+            if context is None:
+                LOGGER.warning(
+                    "parallel campaign requested (workers=%d) but the "
+                    "'fork' start method is unavailable on this platform; "
+                    "falling back to serial execution", workers,
+                )
+                parallel = False
         outcomes = (
-            self._parallel_outcomes(pending, workers, warm_start)
+            self._parallel_outcomes(
+                pending, workers, warm_start, on_error, context
+            )
             if parallel
             else self._serial_outcomes(pending, warm_start, on_error)
         )
@@ -532,16 +649,37 @@ class CampaignRunner:
         new_runs = {}
         errors = []
         fault_events = 0
-        for index, ok, payload, wall_s in outcomes:
+        retried = 0
+        failure_tally = {RUN_TIMEOUT: 0, RUN_DIVERGED: 0, RUN_CRASHED: 0}
+        for index, ok, payload, wall_s, attempts in outcomes:
             fault = self.spec.faults[index]
+            retried += attempts - 1
             if not ok:
+                exc, status = payload
                 if on_error == "raise":
-                    raise payload
-                message = f"{type(payload).__name__}: {payload}"
-                errors.append(CampaignRunError(index, fault, message))
+                    raise exc
+                quarantined = (
+                    self._retry is not None
+                    and attempts >= self._retry.attempts
+                )
+                message = f"{type(exc).__name__}: {exc}"
+                errors.append(CampaignRunError(
+                    index, fault, message,
+                    status=status, attempts=attempts,
+                    quarantined=quarantined,
+                ))
                 registry.inc("campaign.errors")
+                if status in failure_tally:
+                    failure_tally[status] += 1
+                    registry.inc(f"campaign.{status}")
+                if quarantined:
+                    registry.inc("campaign.quarantined")
                 if store is not None:
-                    store.record_error(campaign_id, index, message, wall_s)
+                    store.record_error(
+                        campaign_id, index, message, wall_s,
+                        status=status, attempts=attempts,
+                        quarantined=quarantined,
+                    )
                 continue
             probes, metrics, events = payload
             fault_events += events
@@ -553,8 +691,10 @@ class CampaignRunner:
             if store is not None:
                 store.record_run(
                     campaign_id, index, run_result,
-                    wall_s=wall_s, kernel_events=events,
+                    wall_s=wall_s, kernel_events=events, attempts=attempts,
                 )
+        if retried:
+            registry.inc("campaign.retried_runs", retried)
 
         merged = dict(new_runs)
         if store is not None and resume:
@@ -564,6 +704,17 @@ class CampaignRunner:
             stored = store.load_runs(campaign_id, self.spec.faults)
             for index, stored_run in stored.items():
                 merged.setdefault(index, stored_run)
+            # Quarantined faults that were skipped this execution keep
+            # their stored terminal error, so the merged result still
+            # accounts for every fault in the spec.
+            fresh = {err.index for err in errors}
+            for stored_err in store.load_errors(campaign_id, self.spec.faults):
+                if (
+                    stored_err.index not in fresh
+                    and stored_err.index not in merged
+                ):
+                    errors.append(stored_err)
+        errors.sort(key=lambda err: err.index)
         result.runs = [merged[index] for index in sorted(merged)]
         result.errors = errors
 
@@ -578,6 +729,11 @@ class CampaignRunner:
             "completed": len(new_runs),
             "skipped": total - len(pending),
             "errors": len(errors),
+            "retries": retried,
+            "timeouts": failure_tally[RUN_TIMEOUT],
+            "diverged": failure_tally[RUN_DIVERGED],
+            "crashed": failure_tally[RUN_CRASHED],
+            "quarantined": sum(1 for err in errors if err.quarantined),
         }
         if warm_start:
             hits = sum(
@@ -614,24 +770,35 @@ def _picklable(exc):
 
 
 def _worker_execute(index):
-    """Pool worker body: run fault ``index`` of the inherited runner."""
+    """Worker body: run fault ``index`` of the inherited runner.
+
+    Failures classify *inside the worker* (on the original exception,
+    before any lossy pickling fallback) and ship as an
+    ``(exception, status)`` payload.
+    """
     wall_start = perf_counter()
     try:
         payload = _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
     except Exception as exc:
-        return index, False, _picklable(exc), perf_counter() - wall_start
+        return (
+            index, False, (_picklable(exc), classify_failure(exc)),
+            perf_counter() - wall_start,
+        )
     return index, True, payload, perf_counter() - wall_start
 
 
 def _worker_execute_warm(index):
-    """Pool worker body: warm-start fault ``index`` from a checkpoint."""
+    """Worker body: warm-start fault ``index`` from a checkpoint."""
     wall_start = perf_counter()
     try:
         payload = _ACTIVE_RUNNER.run_fault_warm(
             _ACTIVE_RUNNER.spec.faults[index]
         )
     except Exception as exc:
-        return index, False, _picklable(exc), perf_counter() - wall_start
+        return (
+            index, False, (_picklable(exc), classify_failure(exc)),
+            perf_counter() - wall_start,
+        )
     return index, True, payload, perf_counter() - wall_start
 
 
@@ -647,6 +814,13 @@ def run_campaign(
     store=None,
     resume=False,
     on_error="raise",
+    timeout=None,
+    event_budget=None,
+    budget=None,
+    guard=_DEFAULT_GUARD,
+    retries=None,
+    retry=None,
+    retry_quarantined=False,
 ):
     """Convenience wrapper: build a runner and run it."""
     return CampaignRunner(
@@ -659,4 +833,11 @@ def run_campaign(
         store=store,
         resume=resume,
         on_error=on_error,
+        timeout=timeout,
+        event_budget=event_budget,
+        budget=budget,
+        guard=guard,
+        retries=retries,
+        retry=retry,
+        retry_quarantined=retry_quarantined,
     )

@@ -232,6 +232,10 @@ def cmd_campaign_run(args):
             store=store,
             resume=args.resume is not None,
             on_error="collect",
+            timeout=args.timeout,
+            event_budget=args.event_budget,
+            retries=args.retries,
+            retry_quarantined=args.retry_quarantined,
         )
     finally:
         if store is not None:
@@ -265,11 +269,10 @@ def cmd_campaign_run(args):
         if len(result.errors) > 10:
             print(f"  ... ({len(result.errors) - 10} more)", file=sys.stderr)
         if store_path:
-            print(
-                f"(rerun with --resume {store_path} to retry the failed "
-                "runs)",
-                file=sys.stderr,
-            )
+            hint = f"(rerun with --resume {store_path} to retry the failed runs"
+            if any(err.quarantined for err in result.errors):
+                hint += "; add --retry-quarantined to include quarantined ones"
+            print(hint + ")", file=sys.stderr)
         return 3
     errors = sum(1 for r in result if r.classification.is_error())
     return 1 if args.fail_on_error and errors else 0
@@ -282,14 +285,18 @@ def cmd_campaign_status(args):
     if not summaries:
         print("no campaigns recorded")
         return 0
-    header = f"{'campaign':<24} {'status':<9} {'done':>10} {'errors':>6}  last update"
+    header = (
+        f"{'campaign':<24} {'status':<9} {'done':>10} {'errors':>6} "
+        f"{'quar':>5}  last update"
+    )
     print(header)
     print("-" * len(header))
     for row in summaries:
         done = f"{row['completed']}/{row['total']}"
         print(
             f"{row['name']:<24} {row['status']:<9} {done:>10} "
-            f"{row['errors']:>6}  {row['updated_at']}"
+            f"{row['errors']:>6} {row.get('quarantined', 0):>5}  "
+            f"{row['updated_at']}"
         )
     return 0
 
@@ -371,6 +378,22 @@ def build_parser():
                        help="record kernel/campaign spans to a JSON file")
     p_run.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="dump the metrics registry to a JSON file")
+    p_run.add_argument("--timeout", default=None, metavar="SECONDS",
+                       help="per-fault wall-clock budget, e.g. '30s'; "
+                            "overrunning runs classify as 'timeout' "
+                            "(parallel workers are killed a grace "
+                            "period later)")
+    p_run.add_argument("--event-budget", type=int, default=None,
+                       metavar="N",
+                       help="per-fault ceiling on kernel events; "
+                            "overrunning runs classify as 'timeout'")
+    p_run.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts per failed fault before it "
+                            "is quarantined (default 1; 0 disables)")
+    p_run.add_argument("--retry-quarantined", action="store_true",
+                       help="with --resume, re-run previously "
+                            "quarantined faults instead of skipping "
+                            "them")
     p_run.add_argument("--progress", action="store_true",
                        help="force the live progress line (default: only "
                             "on a tty)")

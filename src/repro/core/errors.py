@@ -43,8 +43,72 @@ class InjectionError(ReproError):
     """Raised when a fault cannot be injected at the requested target."""
 
 
+class BudgetExceededError(SimulationError):
+    """Raised when a run exhausts its :class:`~repro.core.budget.RunBudget`.
+
+    Campaign supervision maps this to the ``timeout`` run status: the
+    simulation was healthy but would not finish within its allotted
+    wall-clock time, kernel events or analog solver steps.
+
+    Extra context (all optional, ``None`` when unknown — e.g. after
+    crossing a process boundary) is carried in attributes so callers
+    can report *which* resource ran out without parsing the message.
+
+    :ivar resource: ``"wall"``, ``"events"`` or ``"steps"``.
+    :ivar limit: the configured ceiling.
+    :ivar used: the amount consumed when the budget tripped.
+    :ivar at_time: simulated time when the budget tripped.
+    """
+
+    def __init__(self, message, resource=None, limit=None, used=None,
+                 at_time=None):
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.at_time = at_time
+
+
+class NumericalDivergenceError(SimulationError):
+    """Raised when an analog node value becomes non-finite or runs away.
+
+    The very pulses a campaign injects can drive the behavioural
+    analog solver into divergence; without this guard a NaN silently
+    poisons every downstream trace sample.  Campaign supervision maps
+    this to the ``diverged`` run status.
+
+    :ivar node: name of the offending analog node (``None`` if lost
+        across a process boundary).
+    :ivar value: the offending value.
+    :ivar at_time: simulated time of the failed check.
+    """
+
+    def __init__(self, message, node=None, value=None, at_time=None):
+        super().__init__(message)
+        self.node = node
+        self.value = value
+        self.at_time = at_time
+
+
 class CampaignError(ReproError):
     """Raised for invalid campaign specifications or failed campaign runs."""
+
+
+class WorkerCrashError(CampaignError):
+    """Raised when a campaign worker process died without reporting.
+
+    Synthesised by the supervised worker pool when a forked worker's
+    exit is observed (non-zero exitcode, killed by a signal, or its
+    result pipe hit EOF mid-run).  Campaign supervision maps this to
+    the ``crashed`` run status.
+
+    :ivar exitcode: the worker's exit code (negative = killed by that
+        signal number), when known.
+    """
+
+    def __init__(self, message, exitcode=None):
+        super().__init__(message)
+        self.exitcode = exitcode
 
 
 class NetlistError(ReproError):

@@ -37,7 +37,12 @@ import networkx as nx
 
 from ..obs import metrics as _metrics
 from ..obs import tracer as _tracer
-from .errors import ElaborationError, SchedulingError, SimulationError
+from .errors import (
+    BudgetExceededError,
+    ElaborationError,
+    SchedulingError,
+    SimulationError,
+)
 from .events import EventQueue, PRIORITY_ANALOG, PRIORITY_NORMAL
 from .node import AnalogNode, CurrentNode
 from .signal import Signal
@@ -160,6 +165,10 @@ class AnalogSolver:
         self._interval_dts = []
         self._schedule_dirty = False
         self._samplers = None
+        #: Optional :class:`~repro.core.budget.NumericalGuard` checked
+        #: after every solver step; None (the default) costs one
+        #: attribute load per step.
+        self.guard = None
 
     # -- configuration -----------------------------------------------------
 
@@ -185,6 +194,10 @@ class AnalogSolver:
         """Force boundary and sampler recompilation (checkpoint restore)."""
         self._schedule_dirty = True
         self._samplers = None
+        if self.guard is not None:
+            # A restore rewinds node values; stale step-to-step guard
+            # history would read as a huge (spurious) slew.
+            self.guard.reset()
 
     # -- evaluation ordering --------------------------------------------------
 
@@ -317,6 +330,9 @@ class AnalogSolver:
             samplers = self._compile_samplers()
         for sample in samplers:
             sample(t)
+        guard = self.guard
+        if guard is not None:
+            guard.maybe_check(self.sim, t)
 
         self.sim._queue.push(self.next_step_time(t), self._step_event, PRIORITY_ANALOG)
 
@@ -337,6 +353,9 @@ class Simulator:
 
     def __init__(self, dt=1e-9, t_start=0.0):
         self.now = float(t_start)
+        #: Optional :class:`~repro.core.budget.RunBudget` enforced per
+        #: :meth:`run` call; None (the default) keeps the fast loop.
+        self.budget = None
         self._queue = EventQueue()
         self.analog = AnalogSolver(self, dt_nominal=dt)
         self.signals = {}
@@ -486,6 +505,8 @@ class Simulator:
             raise SchedulingError(
                 f"cannot run to {until}; simulation already at {self.now}"
             )
+        if self.budget is not None and not self.budget.empty:
+            return self._run_budgeted(until, inclusive)
         self.analog.start()
         queue = self._queue
         while True:
@@ -501,6 +522,72 @@ class Simulator:
                 )
             self.now = max(self.now, event.time)
             event.callback()
+        self.now = until
+
+    #: Events between wall-clock budget checks in the budgeted loop; a
+    #: power of two so the modulo is a mask.
+    _WALL_CHECK_STRIDE = 256
+
+    def _run_budgeted(self, until, inclusive):
+        """The budget-enforcing event loop (see :class:`RunBudget`).
+
+        Identical semantics to :meth:`_run_loop` plus per-iteration
+        resource checks.  Event and step ceilings are compared every
+        iteration (one integer compare each); the wall clock is read
+        every :data:`_WALL_CHECK_STRIDE` events so a tight event storm
+        cannot make ``perf_counter`` itself the hot path.
+
+        :raises BudgetExceededError: the run became a ``timeout``.
+        """
+        budget = self.budget
+        queue = self._queue
+        max_events = budget.max_events
+        max_steps = budget.max_steps
+        max_wall = budget.max_wall_s
+        start_events = queue.executed
+        start_steps = self.analog.steps
+        wall_start = perf_counter() if max_wall is not None else 0.0
+        wall_mask = self._WALL_CHECK_STRIDE - 1
+
+        self.analog.start()
+        executed = 0
+        while True:
+            t_next = queue.peek_time()
+            if t_next is None or t_next > until:
+                break
+            if not inclusive and t_next >= until:
+                break
+            if max_events is not None and queue.executed - start_events >= max_events:
+                raise BudgetExceededError(
+                    f"run exceeded its event budget "
+                    f"({max_events} events) at t={self.now:.6g}",
+                    resource="events", limit=max_events,
+                    used=queue.executed - start_events, at_time=self.now,
+                )
+            if max_steps is not None and self.analog.steps - start_steps >= max_steps:
+                raise BudgetExceededError(
+                    f"run exceeded its analog step budget "
+                    f"({max_steps} steps) at t={self.now:.6g}",
+                    resource="steps", limit=max_steps,
+                    used=self.analog.steps - start_steps, at_time=self.now,
+                )
+            if max_wall is not None and executed & wall_mask == 0:
+                elapsed = perf_counter() - wall_start
+                if elapsed > max_wall:
+                    raise BudgetExceededError(
+                        f"run exceeded its wall-clock budget "
+                        f"({max_wall:g} s) at t={self.now:.6g}",
+                        resource="wall", limit=max_wall,
+                        used=elapsed, at_time=self.now,
+                    )
+            event = queue.pop()
+            if event.time < self.now - 1e-18:
+                raise SimulationError(
+                    f"event at {event.time} behind current time {self.now}"
+                )
+            self.now = max(self.now, event.time)
+            event.callback()
+            executed += 1
         self.now = until
 
     def _run_observed(self, until, inclusive):

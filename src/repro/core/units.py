@@ -100,6 +100,56 @@ def parse_quantity(text, expect_unit=None):
     return number * SI_PREFIXES[prefix]
 
 
+def format_nonfinite(value, unit=""):
+    """Format a NaN/Inf value with its unit, or None for finite values.
+
+    The single source of truth for non-finite renderings: both
+    :func:`format_quantity` and the numerical-guard diagnostics
+    (:func:`nonfinite_diagnostic`) use it, so ``nan``/``inf`` always
+    read the same everywhere.  A space separates the word from the
+    unit (``"nan V"``, not the former ``"nanV"`` — which for seconds
+    produced the unfortunate ``"nans"``).
+
+    >>> format_nonfinite(float("nan"), "s")
+    'nan s'
+    >>> format_nonfinite(float("-inf"), "V")
+    '-inf V'
+    >>> format_nonfinite(1.0, "V") is None
+    True
+    """
+    if math.isnan(value):
+        return f"nan {unit}".rstrip()
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf {unit}".rstrip()
+    return None
+
+
+def nonfinite_diagnostic(name, value, time, unit="V"):
+    """One-line diagnostic for a value that became non-finite.
+
+    Used by the analog numerical guard so every divergence report
+    renders identically: ``"node 'pll.vctrl' became non-finite
+    (nan V) at t=40us"``.  Finite values render in engineering
+    notation (useful for runaway — but still finite — magnitudes).
+
+    :param name: node or quantity name.
+    :param value: the offending value.
+    :param time: simulated time of the check, in seconds.
+    :param unit: unit suffix of the value.
+    """
+    rendered = format_nonfinite(value, unit)
+    if rendered is not None:
+        kind = "non-finite"
+    else:
+        rendered = format_quantity(value, unit)
+        kind = "divergent"
+    return (
+        f"node {name!r} became {kind} ({rendered}) "
+        f"at t={format_quantity(time, 's')}"
+    )
+
+
 def format_quantity(value, unit="", digits=4):
     """Format a float as an engineering quantity string.
 
@@ -114,11 +164,9 @@ def format_quantity(value, unit="", digits=4):
     """
     if value == 0:
         return f"0{unit}"
-    if math.isnan(value):
-        return f"nan{unit}"
-    if math.isinf(value):
-        sign = "-" if value < 0 else ""
-        return f"{sign}inf{unit}"
+    nonfinite = format_nonfinite(value, unit)
+    if nonfinite is not None:
+        return nonfinite
 
     exponent = math.floor(math.log10(abs(value)))
     eng_exponent = 3 * (exponent // 3)

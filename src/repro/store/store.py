@@ -38,7 +38,14 @@ from .serialize import (
 )
 
 #: Schema version recorded in the ``meta`` table.
-SCHEMA_VERSION = 1
+#:
+#: * v1 — campaigns/faults/runs with binary ok/error run status.
+#: * v2 — supervised execution: ``runs`` gains ``attempts`` and
+#:   ``quarantined`` columns, and ``status`` may carry any of the
+#:   terminal :data:`~repro.campaign.classify.RUN_STATUSES`
+#:   (``timeout``/``diverged``/``crashed`` in addition to
+#:   ``ok``/``error``).  v1 files migrate in place on open.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -77,6 +84,8 @@ CREATE TABLE IF NOT EXISTS runs (
     wall_s              REAL,
     kernel_events       INTEGER,
     completed_at        TEXT NOT NULL,
+    attempts            INTEGER,
+    quarantined         INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (campaign_id, fault_idx)
 );
 CREATE INDEX IF NOT EXISTS runs_by_label ON runs (campaign_id, label);
@@ -103,14 +112,19 @@ def _classification_to_dict(classification):
 
 
 def _comparisons_to_dict(comparisons):
+    # Analog comparisons carry numpy scalars (np.bool_/np.float64);
+    # coerce to plain Python so json.dumps never chokes on them.
+    def _opt_float(value):
+        return None if value is None else float(value)
+
     return {
         name: {
-            "match": cmp_result.match,
-            "first_divergence": cmp_result.first_divergence,
-            "last_divergence": cmp_result.last_divergence,
-            "mismatch_time": cmp_result.mismatch_time,
-            "max_deviation": cmp_result.max_deviation,
-            "final_match": cmp_result.final_match,
+            "match": bool(cmp_result.match),
+            "first_divergence": _opt_float(cmp_result.first_divergence),
+            "last_divergence": _opt_float(cmp_result.last_divergence),
+            "mismatch_time": _opt_float(cmp_result.mismatch_time),
+            "max_deviation": _opt_float(cmp_result.max_deviation),
+            "final_match": bool(cmp_result.final_match),
         }
         for name, cmp_result in comparisons.items()
     }
@@ -130,11 +144,33 @@ class CampaignStore:
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.execute(
-            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
             ("schema_version", str(SCHEMA_VERSION)),
         )
         self._conn.commit()
+
+    def _migrate(self):
+        """Upgrade a pre-v2 database in place (additive columns only).
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves an existing v1 ``runs``
+        table untouched, so the supervised-execution columns are added
+        here; existing rows read back with ``attempts`` NULL (treated
+        as 1) and ``quarantined`` 0, which is exactly what a v1
+        campaign meant.
+        """
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        if "attempts" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN attempts INTEGER")
+        if "quarantined" not in columns:
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN quarantined INTEGER"
+                " NOT NULL DEFAULT 0"
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -252,22 +288,37 @@ class CampaignStore:
         ).fetchall()
         return {row["fault_idx"] for row in rows}
 
-    def pending_indices(self, campaign_id, total):
+    def quarantined_indices(self, campaign_id):
+        """Set of fault indices parked by the retry policy."""
+        rows = self._conn.execute(
+            "SELECT fault_idx FROM runs WHERE campaign_id = ?"
+            " AND quarantined != 0",
+            (campaign_id,),
+        ).fetchall()
+        return {row["fault_idx"] for row in rows}
+
+    def pending_indices(self, campaign_id, total, include_quarantined=False):
         """Fault indices still to run, in campaign order.
 
-        Errored runs count as pending: a resume retries them.
+        Failed runs count as pending — a resume retries them — with
+        one exception: faults a previous execution *quarantined*
+        (retries exhausted) stay parked unless ``include_quarantined``
+        asks for another round.
         """
         done = self.completed_indices(campaign_id)
+        if not include_quarantined:
+            done = done | self.quarantined_indices(campaign_id)
         return [index for index in range(total) if index not in done]
 
     def record_run(self, campaign_id, index, fault_result,
-                   wall_s=None, kernel_events=None):
+                   wall_s=None, kernel_events=None, attempts=1):
         """Persist one completed faulty run (commits immediately)."""
         self._conn.execute(
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
-            " error, wall_s, kernel_events, completed_at)"
-            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?)",
+            " error, wall_s, kernel_events, completed_at, attempts,"
+            " quarantined)"
+            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0)",
             (
                 campaign_id,
                 index,
@@ -280,19 +331,36 @@ class CampaignStore:
                 wall_s,
                 kernel_events,
                 _now(),
+                attempts,
             ),
         )
         self._conn.commit()
 
-    def record_error(self, campaign_id, index, message,
-                     wall_s=None):
-        """Persist one failed faulty run (retried on resume)."""
+    def record_error(self, campaign_id, index, message, wall_s=None,
+                     status="error", attempts=1, quarantined=False):
+        """Persist one failed faulty run (commits immediately).
+
+        :param status: terminal failure status — one of
+            :data:`~repro.campaign.classify.FAILURE_STATUSES`.
+        :param attempts: how many times the fault was attempted.
+        :param quarantined: True parks the fault: resume skips it
+            unless quarantined faults are explicitly re-requested.
+        """
+        from ..campaign.classify import FAILURE_STATUSES
+
+        if status not in FAILURE_STATUSES:
+            raise StoreError(
+                f"invalid failure status {status!r};"
+                f" expected one of {FAILURE_STATUSES}"
+            )
         self._conn.execute(
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
-            " error, wall_s, kernel_events, completed_at)"
-            " VALUES (?, ?, 'error', NULL, NULL, NULL, NULL, ?, ?, NULL, ?)",
-            (campaign_id, index, message, wall_s, _now()),
+            " error, wall_s, kernel_events, completed_at, attempts,"
+            " quarantined)"
+            " VALUES (?, ?, ?, NULL, NULL, NULL, NULL, ?, ?, NULL, ?, ?, ?)",
+            (campaign_id, index, status, message, wall_s, _now(),
+             attempts, 1 if quarantined else 0),
         )
         self._conn.commit()
 
@@ -383,6 +451,36 @@ class CampaignStore:
             )
         return results
 
+    def load_errors(self, campaign_id, faults):
+        """Failed runs as a list of :class:`CampaignRunError`.
+
+        Mirrors :meth:`load_runs` for the rows that did *not* complete
+        — a resumed or loaded campaign accounts for quarantined and
+        still-failing faults the same way a live one does.
+        """
+        from ..campaign.results import CampaignRunError
+
+        errors = []
+        for row in self._conn.execute(
+            "SELECT * FROM runs WHERE campaign_id = ? AND status != 'ok'"
+            " ORDER BY fault_idx",
+            (campaign_id,),
+        ):
+            index = row["fault_idx"]
+            if index >= len(faults):
+                raise StoreError(
+                    f"run row for fault {index} exceeds fault list"
+                )
+            errors.append(CampaignRunError(
+                index=index,
+                fault=faults[index],
+                message=row["error"] or "",
+                status=row["status"],
+                attempts=row["attempts"] or 1,
+                quarantined=bool(row["quarantined"]),
+            ))
+        return errors
+
     def load_result(self, name=None):
         """Rebuild a full :class:`CampaignResult` without simulating.
 
@@ -399,6 +497,7 @@ class CampaignStore:
         runs = self.load_runs(campaign_id, spec.faults)
         for index in sorted(runs):
             result.add(runs[index])
+        result.errors = self.load_errors(campaign_id, spec.faults)
         row = self._conn.execute(
             "SELECT execution_json FROM campaigns WHERE id = ?",
             (campaign_id,),
@@ -429,7 +528,12 @@ class CampaignStore:
             ).fetchone()["n"]
             errors = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
-                " AND status = 'error'",
+                " AND status != 'ok'",
+                (row["id"],),
+            ).fetchone()["n"]
+            quarantined = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
+                " AND quarantined != 0",
                 (row["id"],),
             ).fetchone()["n"]
             summaries.append(
@@ -439,6 +543,7 @@ class CampaignStore:
                     "total": total,
                     "completed": completed,
                     "errors": errors,
+                    "quarantined": quarantined,
                     "created_at": row["created_at"],
                     "updated_at": row["updated_at"],
                 }

@@ -2,9 +2,51 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.core import Simulator
+
+#: Per-test wall-clock guard in seconds (0 disables).  The supervised
+#: campaign tests deliberately kill and time out workers; if a
+#: regression ever made the supervisor itself hang, this guard turns
+#: the hang into a failing test instead of a stuck CI job.
+TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout():
+    """SIGALRM-based per-test deadline (no pytest-timeout dependency).
+
+    Active only on platforms with ``SIGALRM`` (POSIX) and in the main
+    thread.  Forked campaign workers do not inherit the interval
+    timer, so long individual faulty runs are unaffected — only the
+    parent-side test body is bounded.
+    """
+    if (
+        TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_S:.0f}s per-test guard "
+            "(tune with REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -102,9 +102,11 @@ class TestFormatQuantity:
         assert format_quantity(-2.5e-3, "V") == "-2.5mV"
 
     def test_nan_inf(self):
-        assert format_quantity(float("nan"), "s") == "nans"
-        assert format_quantity(float("inf"), "s") == "infs"
-        assert format_quantity(float("-inf"), "s") == "-infs"
+        assert format_quantity(float("nan"), "s") == "nan s"
+        assert format_quantity(float("inf"), "s") == "inf s"
+        assert format_quantity(float("-inf"), "s") == "-inf s"
+        assert format_quantity(float("nan")) == "nan"
+        assert format_quantity(float("-inf")) == "-inf"
 
     def test_rounding_rollover(self):
         # 999.99 rounds to 1000 at 4 digits and must roll to the next

@@ -1,0 +1,191 @@
+"""Acceptance test: a hostile PLL campaign always terminates classified.
+
+The robustness contract of supervised execution, exercised end to end
+on the paper's mixed-signal PLL: a fault list containing
+
+* a tiny current pulse (masked — classifies ``silent``),
+* the Figure 6 pulse (classifies ``transient-error``),
+* a mega pulse that drives an unclamped parasitic node into numerical
+  runaway (run status ``diverged``), and
+* a pulse whose worker is SIGKILLed mid-campaign (run status
+  ``crashed``)
+
+must complete with a classified, persisted outcome for **every** fault
+— no hangs, no lost rows — and a store-backed resume must reproduce
+the same merged result without re-simulating.
+
+The stock PLL blocks clamp every node to the supply rails (which is
+why the divergence guard never fires on them); the parasitic
+integrator below models the realistic case of a behavioural node
+*without* a rail clamp.
+"""
+
+import multiprocessing
+import os
+import sys
+
+import pytest
+
+from repro.campaign import (
+    RUN_CRASHED,
+    RUN_DIVERGED,
+    SILENT,
+    TRANSIENT_ERROR,
+    CampaignSpec,
+    Design,
+    analog_injections,
+    run_campaign,
+)
+from repro.core import AnalogBlock, NumericalGuard, Simulator
+from repro.faults import FIGURE6_PULSE, TrapezoidPulse
+from repro.store import CampaignStore
+
+from tests.conftest import make_fast_pll
+
+needs_fork = pytest.mark.skipif(
+    sys.platform == "win32"
+    or "fork" not in multiprocessing.get_all_start_methods(),
+    reason="supervised parallel campaigns need the fork start method",
+)
+
+T_END = 14e-6
+T_INJ = 8e-6
+T_KILL = 9e-6
+
+TINY = TrapezoidPulse("10uA", "100ps", "300ps", "500ps")
+#: Large enough to integrate the 1 pF parasitic past the guard ceiling.
+MEGA = TrapezoidPulse("10A", "1ns", "100ns", "1ns")
+
+
+class ParasiticIntegrator(AnalogBlock):
+    """An unclamped charge integrator hanging off a current node."""
+
+    is_state = True
+
+    def __init__(self, sim, name, current_node, out, cap=1e-12):
+        super().__init__(sim, name)
+        self.src = self.reads_node(current_node)
+        self.out = self.writes_node(out)
+        self.cap = cap
+        self.v = 0.0
+
+    def step(self, t, dt):
+        self.v += self.src.i * dt / self.cap
+        self.out.set(self.v)
+
+
+def hostile_pll_factory():
+    sim = Simulator(dt=1e-9)
+    pll = make_fast_pll(sim, preset_locked=True)
+    ParasiticIntegrator(sim, "parasitic", pll.icp, sim.node("pll.vpar"))
+    probes = {
+        "vctrl": sim.probe(pll.vctrl, min_interval=5e-9),
+        "fout": sim.probe(pll.fout),
+        "fb": sim.probe(pll.fb),
+    }
+    return Design(sim=sim, root=pll, probes=probes)
+
+
+def make_spec(name="pll-supervised"):
+    faults = analog_injections(
+        nodes=["pll.icp"], times=[T_INJ],
+        transients=[TINY, FIGURE6_PULSE, MEGA],
+    ) + analog_injections(
+        nodes=["pll.icp"], times=[T_KILL], transients=[TINY],
+    )
+    return CampaignSpec(
+        name=name,
+        faults=faults,
+        t_end=T_END,
+        outputs=["fout", "fb"],
+        tolerances={"vctrl": 0.01},
+        time_tolerances={"fout": 2e-9, "fb": 2e-9},
+        compare_from=2e-6,
+    )
+
+
+GUARD = NumericalGuard(max_abs=1e4, check_every=1)
+
+
+def kill_hook(design, fault):
+    if fault.time == T_KILL:
+        os.kill(os.getpid(), 9)
+    return {}
+
+
+@needs_fork
+class TestSupervisedPLLCampaign:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("campaign") / "pll.sqlite"
+
+    @pytest.fixture(scope="class")
+    def hostile_result(self, store_path):
+        with CampaignStore(store_path) as store:
+            yield run_campaign(
+                hostile_pll_factory, make_spec(),
+                metric_hooks=[kill_hook],
+                workers=2, on_error="collect", retries=0,
+                guard=GUARD, store=store,
+            )
+
+    def test_every_fault_terminates_classified(self, hostile_result):
+        result = hostile_result
+        assert len(result.runs) + len(result.errors) == 4
+        statuses = {err.fault.transient.peak(): err.status
+                    for err in result.errors}
+        assert statuses[MEGA.peak()] == RUN_DIVERGED
+        assert statuses[TINY.peak()] == RUN_CRASHED
+        assert all(err.quarantined for err in result.errors)
+        assert result.execution["diverged"] == 1
+        assert result.execution["crashed"] == 1
+
+    def test_surviving_runs_classify_as_unsupervised(self, hostile_result):
+        by_peak = {run.fault.transient.peak(): run
+                   for run in hostile_result.runs}
+        assert by_peak[TINY.peak()].label == SILENT
+        assert by_peak[FIGURE6_PULSE.peak()].label == TRANSIENT_ERROR
+
+    def test_divergence_names_the_parasitic_node(self, hostile_result):
+        (diverged,) = [err for err in hostile_result.errors
+                       if err.status == RUN_DIVERGED]
+        assert "pll.vpar" in diverged.message
+
+    def test_all_rows_persisted(self, hostile_result, store_path):
+        with CampaignStore(store_path) as store:
+            campaign_id = store.campaign_id("pll-supervised")
+            assert len(store.completed_indices(campaign_id)) == 2
+            errors = store.load_errors(campaign_id, make_spec().faults)
+            assert sorted(err.status for err in errors) == \
+                sorted([RUN_DIVERGED, RUN_CRASHED])
+
+    def test_resume_reproduces_merged_result(self, hostile_result,
+                                             store_path):
+        with CampaignStore(store_path) as store:
+            resumed = run_campaign(
+                hostile_pll_factory, make_spec(),
+                workers=2, on_error="collect", retries=0,
+                guard=GUARD, store=store, resume=True,
+            )
+        assert resumed.execution["completed"] == 0
+        assert [r.label for r in resumed.runs] == \
+            [r.label for r in hostile_result.runs]
+        assert [(e.index, e.status) for e in resumed.errors] == \
+            [(e.index, e.status) for e in hostile_result.errors]
+
+    def test_retry_quarantined_reclassifies_deterministically(
+        self, hostile_result, store_path
+    ):
+        # Without the kill hook the crashed fault completes; the
+        # diverging pulse diverges again — deterministic, terminal.
+        with CampaignStore(store_path) as store:
+            final = run_campaign(
+                hostile_pll_factory, make_spec(),
+                workers=2, on_error="collect", retries=0,
+                guard=GUARD, store=store, resume=True,
+                retry_quarantined=True,
+            )
+        assert len(final.runs) == 3
+        (err,) = final.errors
+        assert err.status == RUN_DIVERGED
+        assert err.quarantined

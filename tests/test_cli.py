@@ -161,6 +161,43 @@ class TestCommands:
     def test_missing_file_is_error_exit(self):
         assert main(["info", "/nonexistent/x.json"]) == 2
 
+    def test_campaign_event_budget_times_out_runs(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        """A starved event budget quarantines every fault: exit 3."""
+        db = str(tmp_path / "camp.db")
+        code = main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--event-budget", "10",
+                     "--retries", "0", "--store", db])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "[timeout]" in err
+        assert "--retry-quarantined" in err
+
+    def test_campaign_retry_quarantined_resume(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        db = str(tmp_path / "camp.db")
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--event-budget", "10",
+                     "--retries", "0", "--store", db]) == 3
+        # Plain resume skips the quarantined faults: still exit 3.
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--resume", db]) == 3
+        # Lifting the budget and retrying quarantined faults completes.
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--resume", db,
+                     "--retry-quarantined"]) == 0
+        out = capsys.readouterr().out
+        assert "classification summary" in out
+
+    def test_campaign_timeout_flag_parses_quantities(
+        self, netlist_file, fault_file
+    ):
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--timeout", "30s",
+                     "--retries", "1"]) == 0
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -139,8 +139,8 @@ class TestErrorExitCode:
         assert summary["errors"] == 1
         assert summary["status"] == "errors"
 
-    def test_resume_retries_failed_runs(self, netlist_file, tmp_path,
-                                        capsys):
+    def test_resume_skips_quarantined_failed_runs(self, netlist_file,
+                                                  tmp_path, capsys):
         faults = FAULTS + [
             {"kind": "bitflip", "target": "dut/counter.nope", "time": "35ns"}
         ]
@@ -149,12 +149,25 @@ class TestErrorExitCode:
         db = str(tmp_path / "camp.db")
         assert main(["campaign", "run", netlist_file, str(bad_faults),
                      "--until", "300ns", "--store", db]) == 3
-        # Same fault list, so the resume retries index 3 and fails again
-        # -- but the already-good runs are not re-simulated.
+        # Index 3 exhausted its attempts and is quarantined, so a plain
+        # resume loads all four stored rows -- the three good runs plus
+        # the quarantined error -- and simulates nothing.
         assert main(["campaign", "run", netlist_file, str(bad_faults),
                      "--until", "300ns", "--resume", db]) == 3
         out = capsys.readouterr().out
-        assert "resumed         : 3 runs loaded from store" in out
+        assert "resumed         : 4 runs loaded from store, 0 executed" \
+            in out
+        assert "quarantined" in out
+        # --retry-quarantined gives index 3 another chance; the broken
+        # target is deterministic, so it fails (and re-quarantines).
+        assert main(["campaign", "run", netlist_file, str(bad_faults),
+                     "--until", "300ns", "--resume", db,
+                     "--retry-quarantined"]) == 3
+        out = capsys.readouterr().out
+        # Only index 3 was pending again; it errored, so no run completed.
+        assert "resumed         : 3 runs loaded from store, 0 executed" \
+            in out
+        assert "(2 attempts)" in out
 
 
 class TestObservabilityFlags:
