@@ -28,6 +28,11 @@ class ChargePump(AnalogBlock):
         non-ideality available for parametric fault experiments.
     """
 
+    #: The pump reads only the shared digital side and contributes a
+    #: scalar current that broadcasts over the per-variant current
+    #: column, so the scalar :meth:`step` is already ensemble-correct.
+    ensemble_safe = True
+
     def __init__(self, sim, name, up, down, out, i_pump, mismatch=0.0,
                  parent=None):
         super().__init__(sim, name, parent=parent)

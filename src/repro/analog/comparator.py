@@ -11,6 +11,8 @@ waveform instead (see :mod:`repro.analysis.measurements`).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.component import AnalogBlock
 from ..core.errors import SimulationError
 from ..core.logic import Logic
@@ -58,6 +60,56 @@ class Digitizer(AnalogBlock):
             self.transitions += 1
             self._driver.set(Logic.L0)
 
+    def step_ensemble(self, t, dt, ensemble):
+        """Batched :meth:`step` with majority consensus and peel-off.
+
+        The digitizer is where the per-variant analog columns meet the
+        *shared* digital side of the batch, so it is the divergence
+        detector: each variant votes (rise / fall / hold) from its own
+        input column, the majority of active variants decides what the
+        shared signal does, and active variants outvoted by the
+        consensus are peeled off the ensemble — they finish on the
+        scalar path from the checkpoint, so their results stay exact.
+
+        ``transitions`` counts the shared signal's edges; peeled
+        variants recompute their own count on the scalar rerun.
+        """
+        v = self.inp.v
+        k = ensemble.size
+        if self._state is None:
+            init = np.empty(k, dtype=bool)
+            init[:] = v >= self.threshold
+            chosen, dissent = ensemble.consensus(init.astype(np.int8))
+            self._driver.set(Logic.L1 if chosen else Logic.L0)
+            self._state = init
+            ensemble.peel_mask(dissent, "digital-divergence")
+            return
+        rise_at = self.threshold + 0.5 * self.hysteresis
+        fall_at = self.threshold - 0.5 * self.hysteresis
+        # The checkpoint restores ``_state`` as a plain bool; keep the
+        # vote masks boolean arrays (a Python ``~False`` is the integer
+        # -1, which would silently turn the masks into index arrays).
+        state = np.broadcast_to(np.asarray(self._state, dtype=bool), (k,))
+        rising = ~state & (v >= rise_at)
+        falling = state & (v <= fall_at)
+        if not (np.any(rising) or np.any(falling)):
+            return
+        codes = np.zeros(k, dtype=np.int8)
+        codes[rising] = 1
+        codes[falling] = 2
+        chosen, dissent = ensemble.consensus(codes)
+        ensemble.peel_mask(dissent, "digital-divergence")
+        # Per-variant state update: surviving active variants agree
+        # with the consensus by construction; peeled/inactive columns
+        # keep free-running and are never read back.
+        self._state = np.where(rising, True, np.where(falling, False, state))
+        if chosen == 1:
+            self.transitions += 1
+            self._driver.set(Logic.L1)
+        elif chosen == 2:
+            self.transitions += 1
+            self._driver.set(Logic.L0)
+
 
 class AnalogComparator(AnalogBlock):
     """Two-input analog comparator with an analog output level.
@@ -81,6 +133,11 @@ class AnalogComparator(AnalogBlock):
     def step(self, t, dt):
         diff = (self.plus.v + self.offset) - self.minus.v
         self.out.set(self.v_high if diff >= 0 else self.v_low)
+
+    def step_ensemble(self, t, dt, ensemble):
+        """Batched :meth:`step` (selection-only, so bit-identical)."""
+        diff = (self.plus.v + self.offset) - self.minus.v
+        self.out.v = np.where(diff >= 0, self.v_high, self.v_low)
 
 
 class WindowComparator(AnalogBlock):

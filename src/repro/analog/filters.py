@@ -53,7 +53,10 @@ class TransimpedanceFilter(TrackedInputBlock):
 
     def step(self, t, dt):
         i_avg = self.trapezoid_input(self.input_node.i)
-        y = float(self.system.step([i_avg], dt)[0])
+        if self.system.siso_fast:
+            y = float(self.system.step_siso(i_avg, dt))
+        else:
+            y = float(self.system.step([i_avg], dt)[0])
         if self.v_min is not None or self.v_max is not None:
             lo = self.v_min if self.v_min is not None else -np.inf
             hi = self.v_max if self.v_max is not None else np.inf
@@ -65,13 +68,56 @@ class TransimpedanceFilter(TrackedInputBlock):
                 y = clamped
         self.output_node.set(y)
 
+    def supports_ensemble(self):
+        """Batched stepping needs the elementwise LTI fast path."""
+        return self.system.siso_fast
+
+    def enter_ensemble(self, k):
+        """Promote the LTI state to one column per variant."""
+        self.system.promote_state(k)
+
+    def step_ensemble(self, t, dt, ensemble):
+        """Per-variant :meth:`step` over the whole batch at once.
+
+        Uses the same elementwise expressions as the scalar path
+        (:meth:`LTISystem.step_siso`, selection-only clamp,
+        multiply-by-exact-1.0 anti-windup masking), so each column is
+        bitwise identical to a scalar run of that variant.
+        """
+        i_avg = self.trapezoid_input(self.input_node.i)
+        y = self.system.step_siso(i_avg, dt)
+        if self.v_min is not None or self.v_max is not None:
+            lo = self.v_min if self.v_min is not None else -np.inf
+            hi = self.v_max if self.v_max is not None else np.inf
+            clamped = np.clip(y, lo, hi)
+            mask = clamped != y
+            if np.any(mask):
+                self._saturate_state_ensemble(clamped, mask)
+                y = np.where(mask, clamped, y)
+        self.output_node.v = y
+
     def _saturate_state(self, level):
         # Scale states so the output equals the clamp level; exact for
         # single-state filters, a good behavioural approximation for
         # the two-state PI filter where both states ride together.
-        current = float(self.system.output([0.0])[0])
+        if self.system.siso_fast:
+            current = float(self.system.output_siso())
+        else:
+            current = float(self.system.output([0.0])[0])
         if current != 0:
             self.system.x = self.system.x * (level / current)
+
+    def _saturate_state_ensemble(self, level, mask):
+        # Vectorized _saturate_state: variants outside ``mask`` (and
+        # those with zero unforced output) multiply their state by
+        # exactly 1.0, which is a bitwise no-op in IEEE-754.
+        current = self.system.output_siso()
+        nonzero = current != 0.0
+        safe = np.where(nonzero, current, 1.0)
+        factor = np.where(mask & nonzero, level / safe, 1.0)
+        x = self.system.x
+        for row in range(x.shape[0]):
+            x[row] = x[row] * factor
 
     def preset(self, volts):
         """Preset the filter output to ``volts`` (locked-start support).
@@ -132,4 +178,20 @@ class VoltageFilter(TrackedInputBlock):
 
     def step(self, t, dt):
         v_avg = self.trapezoid_input(self.input_node.v)
-        self.output_node.set(float(self.system.step([v_avg], dt)[0]))
+        if self.system.siso_fast:
+            self.output_node.set(float(self.system.step_siso(v_avg, dt)))
+        else:
+            self.output_node.set(float(self.system.step([v_avg], dt)[0]))
+
+    def supports_ensemble(self):
+        """Batched stepping needs the elementwise LTI fast path."""
+        return self.system.siso_fast
+
+    def enter_ensemble(self, k):
+        """Promote the LTI state to one column per variant."""
+        self.system.promote_state(k)
+
+    def step_ensemble(self, t, dt, ensemble):
+        """Per-variant :meth:`step` over the whole batch at once."""
+        v_avg = self.trapezoid_input(self.input_node.v)
+        self.output_node.v = self.system.step_siso(v_avg, dt)

@@ -57,6 +57,10 @@ class LTISystem:
             raise SimulationError(f"x0 must have shape ({n},)")
         self._cache = OrderedDict()
         self._cache_size = cache_size
+        #: True when the elementwise SISO fast path applies (see
+        #: :meth:`step_siso`).
+        self.siso_fast = n <= 2 and m == 1 and p == 1
+        self._siso_cache = {}
 
     @property
     def n_states(self):
@@ -103,6 +107,86 @@ class LTISystem:
             ad, bd = self.discretize(dt)
             self.x = ad @ self.x + bd @ u
         return self.c @ self.x + self.d @ u
+
+    # -- elementwise SISO fast path ---------------------------------------
+
+    def _siso_coeffs(self, dt):
+        """Unpacked ``(Ad, Bd)`` scalars for the fast path (cached)."""
+        key = float(dt)
+        cached = self._siso_cache.get(key)
+        if cached is None:
+            ad, bd = self.discretize(dt)
+            if self.n_states == 1:
+                cached = (ad[0, 0].item(), 0.0, 0.0, 0.0,
+                          bd[0, 0].item(), 0.0)
+            else:
+                cached = (ad[0, 0].item(), ad[0, 1].item(),
+                          ad[1, 0].item(), ad[1, 1].item(),
+                          bd[0, 0].item(), bd[1, 0].item())
+            self._siso_cache[key] = cached
+        return cached
+
+    def step_siso(self, u, dt):
+        """Fast-path :meth:`step` for 1- and 2-state SISO systems.
+
+        Semantically ``step([u], dt)[0]``, but computed with explicit
+        scalar expressions instead of BLAS matvecs.  That skips numpy
+        dispatch on the kernel's hottest block, and — more importantly
+        — makes the update *elementwise reproducible*: evaluating the
+        same expressions with ``u`` (and the promoted state rows) as
+        ``(k,)`` arrays in ensemble mode produces bitwise-identical
+        per-variant results, a guarantee BLAS gemv/gemm kernels do not
+        give (they reassociate/fuse the dot products).
+
+        ``u`` may be a float (scalar simulation) or a ``(k,)`` array
+        (ensemble simulation with :attr:`x` promoted to ``(n, k)``);
+        the return matches.  Only valid when :attr:`siso_fast`.
+        """
+        x = self.x
+        if self.n_states == 1:
+            x0 = x[0]
+            if dt > 0:
+                a00, _a01, _a10, _a11, b0, _b1 = self._siso_coeffs(dt)
+                x0 = a00 * x0 + b0 * u
+                x[0] = x0
+            y = self.c[0, 0] * x0
+        else:
+            x0 = x[0]
+            x1 = x[1]
+            if dt > 0:
+                a00, a01, a10, a11, b0, b1 = self._siso_coeffs(dt)
+                nx0 = a00 * x0 + a01 * x1 + b0 * u
+                nx1 = a10 * x0 + a11 * x1 + b1 * u
+                x[0] = nx0
+                x[1] = nx1
+                x0 = nx0
+                x1 = nx1
+            y = self.c[0, 0] * x0 + self.c[0, 1] * x1
+        d00 = self.d[0, 0]
+        if d00 != 0.0:
+            y = y + d00 * u
+        return y
+
+    def output_siso(self, u=0.0):
+        """Fast-path :meth:`output` for 1- and 2-state SISO systems."""
+        x = self.x
+        if self.n_states == 1:
+            y = self.c[0, 0] * x[0]
+        else:
+            y = self.c[0, 0] * x[0] + self.c[0, 1] * x[1]
+        d00 = self.d[0, 0]
+        if d00 != 0.0:
+            y = y + d00 * u
+        return y
+
+    def promote_state(self, k):
+        """Widen the state to ``(n_states, k)`` for ensemble stepping.
+
+        Every column starts as a copy of the current state, so all
+        variants share the restored checkpoint exactly.
+        """
+        if self.x.ndim == 1:
+            self.x = np.repeat(self.x.reshape(-1, 1), k, axis=1)
 
     def output(self, u=None):
         """Current output without advancing the state."""

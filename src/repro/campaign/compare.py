@@ -48,8 +48,8 @@ class TraceComparison:
         return not self.match
 
 
-def _comparison_grid(golden, faulty, t0, t1):
-    merged = np.union1d(golden.times, faulty.times)
+def _window_grid(merged, t0, t1):
+    """Clip a sorted-unique time array to ``[t0, t1]`` with endpoints."""
     grid = merged[(merged >= t0) & (merged <= t1)]
     if len(grid) == 0:
         # No activity inside the window on either side: both traces
@@ -63,6 +63,46 @@ def _comparison_grid(golden, faulty, t0, t1):
     if grid[-1] < t1:
         grid = np.concatenate((grid, [t1]))
     return grid
+
+
+class ComparisonGridCache:
+    """Reuses comparison grids across the faults of one campaign.
+
+    Warm-started (and batched) campaigns pre-apply the union of every
+    fault's solver refinement windows, so analog traces of every run —
+    golden and faulty — sample on the *same* time grid.  The
+    ``np.union1d`` of golden and faulty times then collapses to the
+    golden times themselves; this cache detects that case per trace
+    (one ``np.array_equal`` instead of a sort-merge) and builds the
+    clipped grid once per ``(trace, window)`` instead of once per
+    fault.  Traces whose sample times differ (digital traces with
+    shifted edges, diverged analog runs) simply miss the cache and
+    take the exact union path — results are identical either way.
+    """
+
+    def __init__(self):
+        self._grids = {}
+
+    def grid(self, name, golden, faulty, t0, t1):
+        """The shared-grid fast path, or ``None`` on time mismatch."""
+        gt = golden.times
+        ft = faulty.times
+        if gt.shape != ft.shape or not np.array_equal(gt, ft):
+            return None
+        key = (name, t0, t1)
+        grid = self._grids.get(key)
+        if grid is None:
+            grid = self._grids[key] = _window_grid(np.unique(gt), t0, t1)
+        return grid
+
+
+def _comparison_grid(golden, faulty, t0, t1, grid_cache=None, name=None):
+    if grid_cache is not None:
+        grid = grid_cache.grid(name, golden, faulty, t0, t1)
+        if grid is not None:
+            return grid
+    merged = np.union1d(golden.times, faulty.times)
+    return _window_grid(merged, t0, t1)
 
 
 def compare_digital_edges(golden, faulty, time_tolerance, t0=None, t1=None):
@@ -141,12 +181,16 @@ def compare_digital_edges(golden, faulty, time_tolerance, t0=None, t1=None):
     )
 
 
-def compare_traces(golden, faulty, tolerance=0.0, t0=None, t1=None):
+def compare_traces(golden, faulty, tolerance=0.0, t0=None, t1=None,
+                   grid_cache=None):
     """Compare two traces of the same probe.
 
     :param tolerance: absolute amplitude tolerance; 0 for digital
         traces (exact match), a voltage band for analog traces.
     :param t0, t1: comparison window (defaults to the overlap).
+    :param grid_cache: optional :class:`ComparisonGridCache` shared
+        across faults; hit when both traces carry identical sample
+        times.
     :returns: a :class:`TraceComparison`.
     """
     start = max(golden.t_start, faulty.t_start) if t0 is None else t0
@@ -158,7 +202,9 @@ def compare_traces(golden, faulty, tolerance=0.0, t0=None, t1=None):
         raise MeasurementError(
             f"comparison window empty for trace {golden.name!r}"
         )
-    grid = _comparison_grid(golden, faulty, start, end)
+    grid = _comparison_grid(
+        golden, faulty, start, end, grid_cache=grid_cache, name=golden.name
+    )
     g = golden.resample(grid)
     f = faulty.resample(grid)
     # NaN (undefined logic) compares equal to NaN and different from
@@ -210,13 +256,15 @@ def default_tolerance(trace, analog_tolerance=0.01):
 
 def compare_probe_sets(golden_probes, faulty_probes, tolerances=None,
                        analog_tolerance=0.01, time_tolerances=None,
-                       t0=None, t1=None):
+                       t0=None, t1=None, grid_cache=None):
     """Compare every same-named probe pair.
 
     :param tolerances: optional per-name amplitude overrides.
     :param time_tolerances: optional per-name *edge-time* tolerances
         (seconds) for event-sampled traces; such probes are compared
         with :func:`compare_digital_edges` instead of exact matching.
+    :param grid_cache: optional :class:`ComparisonGridCache` the
+        campaign runner shares across its faults.
     :returns: dict name -> :class:`TraceComparison`.
     :raises MeasurementError: when the probe sets differ.
     """
@@ -239,6 +287,7 @@ def compare_probe_sets(golden_probes, faulty_probes, tolerances=None,
             name, default_tolerance(golden, analog_tolerance)
         )
         result[name] = compare_traces(
-            golden, faulty_probes[name], tolerance=tol, t0=t0, t1=t1
+            golden, faulty_probes[name], tolerance=tol, t0=t0, t1=t1,
+            grid_cache=grid_cache,
         )
     return result

@@ -112,6 +112,23 @@ def random_analog_injections(nodes, t_window, transients, count, seed=0):
     ]
 
 
+def batch_key(fault):
+    """Ensemble-batching group key for ``fault``, or ``None``.
+
+    Faults sharing a key target the same circuit site with the same
+    injection mechanism and may execute together as one vectorized
+    ensemble (see :mod:`repro.core.ensemble`), varying only their
+    pulse parameters and times.  Only analog current injections
+    batch: each maps to exactly one saboteur (keyed by node), and its
+    waveform evaluates per-variant inside the solver step.  Digital
+    faults, parametric faults and anything unrecognised return
+    ``None`` and always run scalar.
+    """
+    if isinstance(fault, CurrentInjection):
+        return fault.node
+    return None
+
+
 def sample(faults, count, seed=0):
     """A reproducible without-replacement sample of a fault list."""
     faults = list(faults)

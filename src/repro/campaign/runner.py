@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from time import perf_counter, sleep
 
 from ..core.budget import NumericalGuard, RunBudget
+from ..core.ensemble import Ensemble, EnsembleDrainedError
 from ..core.errors import CampaignError
 from ..core.trace import Trace
 from ..core.units import parse_quantity
@@ -51,7 +52,8 @@ from .classify import (
     classify,
     classify_failure,
 )
-from .compare import compare_probe_sets
+from .compare import ComparisonGridCache, compare_probe_sets
+from .faultlist import batch_key
 from .results import CampaignResult, CampaignRunError, FaultResult
 from .supervisor import RetryPolicy, WorkerSupervisor
 
@@ -84,10 +86,7 @@ class Design:
 
 def _clone_trace(trace):
     """A detached copy of a trace's samples (same name/interpolation)."""
-    clone = Trace(trace.name, interp=trace.interp)
-    clone._times = list(trace._times)
-    clone._values = list(trace._values)
-    return clone
+    return trace.clone()
 
 
 def _fault_schedule_time(fault):
@@ -143,6 +142,9 @@ class CampaignRunner:
         self._budget = None
         self._guard = None
         self._retry = None
+        self._grid_cache = None
+        self._flush_store = None
+        self._batch_stats = None
 
     @staticmethod
     def _collect_windows(faults):
@@ -318,7 +320,7 @@ class CampaignRunner:
             # region between an earlier restore point and the current
             # checkpoint would otherwise carry stale faulty samples.
             golden_trace_data=[
-                (trace, list(trace._times), list(trace._values))
+                (trace, trace._times.copy_data(), trace._values.copy_data())
                 for trace in sim._traces
             ],
             golden_events=sim.events_executed - events_before,
@@ -340,6 +342,21 @@ class CampaignRunner:
             index = bisect_right(warm["ckpt_times"], t_inj)
         return warm["snapshots"][max(index - 1, 0)]
 
+    @staticmethod
+    def _resplice_golden_prefixes(warm):
+        """Rewrite every kernel trace's prefix with golden sample data.
+
+        A restore truncates traces back to the checkpoint *length*;
+        once a faulty run has overwritten the suffix, the region
+        between an earlier restore point and the current checkpoint
+        would otherwise carry stale faulty samples.
+        """
+        for trace, times, values in warm["golden_trace_data"]:
+            n = len(trace._times)
+            trace._times.load_prefix(times, n)
+            trace._values.load_prefix(values, n)
+            trace._cache = None
+
     def run_fault_warm(self, fault):
         """Execute one faulty run from the nearest golden checkpoint.
 
@@ -359,11 +376,7 @@ class CampaignRunner:
 
         events_before = sim.events_executed
         sim.restore(snap)
-        for trace, times, values in warm["golden_trace_data"]:
-            n = len(trace._times)
-            trace._times[:] = times[:n]
-            trace._values[:] = values[:n]
-            trace._cache = None
+        self._resplice_golden_prefixes(warm)
         controller = InjectionController(
             sim, design.root, saboteurs=warm["saboteurs"]
         )
@@ -379,6 +392,195 @@ class CampaignRunner:
             metrics.update(hook(design, fault))
         return probes, metrics, sim.events_executed - events_before
 
+    # -- batched (ensemble) execution -------------------------------------------
+
+    def _plan_batches(self, pending):
+        """Split pending fault indices into ensemble batches and scalar runs.
+
+        Faults batch when they share a :func:`batch_key` (same
+        injection site) *and* restore the same golden checkpoint, so
+        one restore serves the whole batch.  Per-run metric hooks need
+        a live per-variant design, which a batch cannot provide, so
+        campaigns with hooks stay entirely scalar.  Returns
+        ``(batches, scalar_indices)``; singleton groups run scalar —
+        a batch of one is pure overhead.
+        """
+        if self.metric_hooks:
+            return [], list(pending)
+        groups = {}
+        scalar = []
+        for index in pending:
+            fault = self.spec.faults[index]
+            key = batch_key(fault)
+            if key is None:
+                scalar.append(index)
+                continue
+            t_ckpt, _snap = self._restore_point(fault)
+            groups.setdefault((key, t_ckpt), []).append(index)
+        batches = []
+        for group in groups.values():
+            if len(group) > 1:
+                batches.append(group)
+            else:
+                scalar.extend(group)
+        return batches, sorted(scalar)
+
+    def _scaled_budget(self, k):
+        """The per-variant run budget scaled to a whole ``k``-batch.
+
+        A batched run does ~``k`` variants' work inside one
+        ``sim.run`` call, so each ceiling multiplies by ``k``.  A trip
+        aborts the whole batch, and every variant then re-runs scalar
+        under its own unscaled budget — so budget *semantics* (and the
+        resulting per-variant ``timeout`` classifications) stay
+        exactly per-variant.
+        """
+        budget = self._budget
+        if budget is None or budget.empty:
+            return budget
+        return RunBudget(
+            max_wall_s=(budget.max_wall_s * k
+                        if budget.max_wall_s is not None else None),
+            max_events=(budget.max_events * k
+                        if budget.max_events is not None else None),
+            max_steps=(budget.max_steps * k
+                       if budget.max_steps is not None else None),
+        )
+
+    def run_batch_warm(self, indices):
+        """Execute one batch of same-site faults as a vectorized ensemble.
+
+        One checkpoint restore serves all ``k`` variants; the analog
+        solver then advances all of them per step (see
+        :mod:`repro.core.ensemble`), while the digital side runs once,
+        shared.  Variants whose digital or numerical behaviour
+        diverges from the ensemble consensus *peel off* and re-run on
+        the ordinary scalar warm path, so every reported result is
+        bit-identical to its scalar run.
+
+        Returns ``(completed, leftovers, info)``:
+
+        * ``completed`` — ``(index, payload, wall_s)`` tuples whose
+          payload matches :meth:`run_fault_warm`'s
+          ``(probes, metrics, events)``; ``events`` is the batch's
+          shared kernel-event count, which is what each variant's
+          scalar run would have executed.
+        * ``leftovers`` — indices that must re-run scalar (peeled
+          variants, or all of ``indices`` when the batch fell back).
+        * ``info`` — ``peeled`` count and ``fallback`` flag.
+        """
+        warm = self.prepare_warm()
+        design = warm["design"]
+        sim = design.sim
+        faults = [(index, self.spec.faults[index]) for index in indices]
+        k = len(faults)
+        info = {"peeled": 0, "fallback": False}
+        wall_start = perf_counter()
+
+        _t_ckpt, snap = self._restore_point(faults[0][1])
+        events_before = sim.events_executed
+        sim.budget = self._scaled_budget(k)
+        ensemble = Ensemble(sim, k, guard=self._guard)
+        try:
+            sim.restore(snap)
+            self._resplice_golden_prefixes(warm)
+            for pos, (_index, fault) in enumerate(faults):
+                ensemble.add_injection(
+                    pos, warm["saboteurs"][fault.node], fault.transient,
+                    fault.time,
+                )
+            ensemble.attach()
+            try:
+                sim.run(self.spec.t_end)
+            except EnsembleDrainedError:
+                pass
+            finally:
+                ensemble.detach()
+        except Exception as exc:
+            # The batch is strictly a fast path: *any* failure —
+            # unsupported block, budget trip, solver error — demotes
+            # the whole batch to scalar execution, where the ordinary
+            # supervision machinery budgets, retries and attributes
+            # failures per variant.  The next restore rewinds every
+            # trace and state array the aborted batch touched.
+            ensemble.detach()
+            LOGGER.warning(
+                "batch of %d variants fell back to scalar execution: %s",
+                k, exc,
+            )
+            info["fallback"] = True
+            return [], list(indices), info
+        finally:
+            sim.budget = None
+
+        wall_s = perf_counter() - wall_start
+        events = sim.events_executed - events_before
+        survivors = ensemble.completed()
+        info["peeled"] = len(ensemble.peeled)
+        wall_each = wall_s / len(survivors) if survivors else 0.0
+        completed = []
+        for pos in survivors:
+            index, _fault = faults[pos]
+            probes = {
+                name: ensemble.variant_trace(trace, pos)
+                for name, trace in design.probes.items()
+            }
+            completed.append((index, (probes, {}, events), wall_each))
+        leftovers = [faults[pos][0] for pos in sorted(ensemble.peeled)]
+        return completed, leftovers, info
+
+    def _batched_outcomes(self, pending, on_error):
+        """Outcome stream for batched execution.
+
+        Batches run first; their peeled variants and every unbatchable
+        fault then drain through the ordinary scalar serial stream
+        (same retry/supervision semantics).  Yields the same
+        ``(index, ok, payload, wall_s, attempts)`` tuples as
+        :meth:`_serial_outcomes`.
+        """
+        registry = _metrics.REGISTRY
+        stats = self._batch_stats
+        batches, scalar = self._plan_batches(pending)
+        for position, batch in enumerate(batches):
+            if self.progress is not None:
+                self.progress(
+                    position, len(batches), self.spec.faults[batch[0]]
+                )
+            with _tracer.TRACER.span(
+                "campaign.batch", size=len(batch),
+                site=batch_key(self.spec.faults[batch[0]]),
+            ):
+                completed, leftovers, info = self.run_batch_warm(batch)
+            stats["batches"] += 1
+            stats["batched_runs"] += len(completed)
+            stats["peeled"] += info["peeled"]
+            registry.inc("campaign.batch.count")
+            registry.observe("campaign.batch.size", len(batch))
+            if info["peeled"]:
+                registry.inc("campaign.batch.peeled", info["peeled"])
+            if info["fallback"]:
+                stats["fallbacks"] += 1
+                registry.inc("campaign.batch.fallback")
+            registry.inc("campaign.runs.batched", len(completed))
+            for index, payload, wall_s in completed:
+                yield index, True, payload, wall_s, 1
+            scalar.extend(leftovers)
+            # The parent consumed (classified, stored) this batch's
+            # outcomes before the generator resumed: flush them as one
+            # store transaction.
+            if self._flush_store is not None:
+                self._flush_store()
+        remaining = sorted(scalar)
+        stats["scalar_runs"] = len(remaining)
+        if remaining:
+            registry.inc("campaign.runs.scalar", len(remaining))
+        for outcome in self._serial_outcomes(remaining, True, on_error):
+            yield outcome
+            # One row per transaction on the scalar tail — the same
+            # crash-durability record_run gives unbatched campaigns.
+            if self._flush_store is not None:
+                self._flush_store()
+
     # -- the campaign -----------------------------------------------------------
 
     def _evaluate(self, golden_probes, fault, faulty_probes, metrics):
@@ -390,6 +592,7 @@ class CampaignRunner:
             time_tolerances=self.spec.time_tolerances,
             t0=self.spec.compare_from,
             t1=self.spec.t_end,
+            grid_cache=self._grid_cache,
         )
         classification = classify(comparisons, self.spec.outputs)
         return FaultResult(
@@ -517,6 +720,7 @@ class CampaignRunner:
         self,
         workers=None,
         warm_start=False,
+        batch=False,
         checkpoint_every=None,
         max_checkpoints=None,
         store=None,
@@ -546,6 +750,16 @@ class CampaignRunner:
         :param warm_start: restore golden checkpoints instead of
             re-simulating each fault from t=0 (see the module
             docstring for semantics and caveats).
+        :param batch: run same-site current-injection faults as
+            vectorized ensembles (implies ``warm_start``): one
+            checkpoint restore per group, all variants advanced per
+            solver step, with divergent variants peeled off to the
+            scalar path.  Results stay bit-identical to scalar
+            execution.  Batched groups execute serially in the parent
+            (the vectorization *is* the parallelism); leftover scalar
+            runs follow serially too, so ``workers`` is ignored with a
+            warning.  Campaigns with ``metric_hooks`` degrade to plain
+            warm starts.
         :param checkpoint_every: checkpoint time granularity in
             seconds for warm starts (default: one checkpoint per
             distinct injection time, bounded by ``max_checkpoints``).
@@ -589,6 +803,17 @@ class CampaignRunner:
             )
         if resume and store is None:
             raise CampaignError("resume=True requires a store")
+        if batch:
+            # Batching is warm-start execution with a vectorized inner
+            # loop; the checkpoints are what let one restore serve a
+            # whole group.
+            warm_start = True
+            if self.metric_hooks:
+                LOGGER.warning(
+                    "batched execution disabled: metric hooks need a "
+                    "live per-variant design; running plain warm starts"
+                )
+                batch = False
 
         if budget is None and (timeout is not None or event_budget is not None):
             budget = RunBudget(max_wall_s=timeout, max_events=event_budget)
@@ -599,6 +824,11 @@ class CampaignRunner:
                 attempts=1 + (retries if retries is not None else 1)
             )
         self._retry = retry if on_error == "collect" else None
+        self._grid_cache = ComparisonGridCache()
+        self._batch_stats = {
+            "batches": 0, "batched_runs": 0, "peeled": 0,
+            "fallbacks": 0, "scalar_runs": 0,
+        }
 
         wall_start = perf_counter()
         total = len(self.spec.faults)
@@ -626,6 +856,13 @@ class CampaignRunner:
             store.check_golden(campaign_id, golden_probes)
 
         parallel = workers is not None and workers > 1 and len(pending) > 1
+        if batch and parallel:
+            LOGGER.warning(
+                "batched execution requested with workers=%d; batching "
+                "runs serially in the parent (the vectorization is the "
+                "parallelism) — ignoring workers", workers,
+            )
+            parallel = False
         context = None
         if parallel:
             context = self._fork_context()
@@ -636,13 +873,14 @@ class CampaignRunner:
                     "falling back to serial execution", workers,
                 )
                 parallel = False
-        outcomes = (
-            self._parallel_outcomes(
+        if batch:
+            outcomes = self._batched_outcomes(pending, on_error)
+        elif parallel:
+            outcomes = self._parallel_outcomes(
                 pending, workers, warm_start, on_error, context
             )
-            if parallel
-            else self._serial_outcomes(pending, warm_start, on_error)
-        )
+        else:
+            outcomes = self._serial_outcomes(pending, warm_start, on_error)
 
         registry = _metrics.REGISTRY
         result = CampaignResult(self.spec, golden_probes=golden_probes)
@@ -651,48 +889,72 @@ class CampaignRunner:
         fault_events = 0
         retried = 0
         failure_tally = {RUN_TIMEOUT: 0, RUN_DIVERGED: 0, RUN_CRASHED: 0}
-        for index, ok, payload, wall_s, attempts in outcomes:
-            fault = self.spec.faults[index]
-            retried += attempts - 1
-            if not ok:
-                exc, status = payload
-                if on_error == "raise":
-                    raise exc
-                quarantined = (
-                    self._retry is not None
-                    and attempts >= self._retry.attempts
-                )
-                message = f"{type(exc).__name__}: {exc}"
-                errors.append(CampaignRunError(
-                    index, fault, message,
-                    status=status, attempts=attempts,
-                    quarantined=quarantined,
-                ))
-                registry.inc("campaign.errors")
-                if status in failure_tally:
-                    failure_tally[status] += 1
-                    registry.inc(f"campaign.{status}")
-                if quarantined:
-                    registry.inc("campaign.quarantined")
-                if store is not None:
-                    store.record_error(
-                        campaign_id, index, message, wall_s,
+        # In batched mode successful rows are buffered and committed in
+        # one transaction per batch (the outcome generator triggers the
+        # flush at each batch boundary); the finally clause guarantees
+        # nothing already classified is lost to a late error.
+        store_rows = []
+
+        def _flush_rows():
+            if store is not None and store_rows:
+                store.record_runs(campaign_id, store_rows)
+                store_rows.clear()
+
+        self._flush_store = _flush_rows if batch else None
+        try:
+            for index, ok, payload, wall_s, attempts in outcomes:
+                fault = self.spec.faults[index]
+                retried += attempts - 1
+                if not ok:
+                    exc, status = payload
+                    if on_error == "raise":
+                        raise exc
+                    quarantined = (
+                        self._retry is not None
+                        and attempts >= self._retry.attempts
+                    )
+                    message = f"{type(exc).__name__}: {exc}"
+                    errors.append(CampaignRunError(
+                        index, fault, message,
                         status=status, attempts=attempts,
                         quarantined=quarantined,
-                    )
-                continue
-            probes, metrics, events = payload
-            fault_events += events
-            run_result = self._evaluate(golden_probes, fault, probes, metrics)
-            new_runs[index] = run_result
-            registry.inc("campaign.runs")
-            registry.inc(f"campaign.class.{run_result.label}")
-            registry.observe("campaign.run_wall_s", wall_s)
-            if store is not None:
-                store.record_run(
-                    campaign_id, index, run_result,
-                    wall_s=wall_s, kernel_events=events, attempts=attempts,
+                    ))
+                    registry.inc("campaign.errors")
+                    if status in failure_tally:
+                        failure_tally[status] += 1
+                        registry.inc(f"campaign.{status}")
+                    if quarantined:
+                        registry.inc("campaign.quarantined")
+                    if store is not None:
+                        store.record_error(
+                            campaign_id, index, message, wall_s,
+                            status=status, attempts=attempts,
+                            quarantined=quarantined,
+                        )
+                    continue
+                probes, metrics, events = payload
+                fault_events += events
+                run_result = self._evaluate(
+                    golden_probes, fault, probes, metrics
                 )
+                new_runs[index] = run_result
+                registry.inc("campaign.runs")
+                registry.inc(f"campaign.class.{run_result.label}")
+                registry.observe("campaign.run_wall_s", wall_s)
+                if store is not None:
+                    if batch:
+                        store_rows.append(
+                            (index, run_result, wall_s, events, attempts)
+                        )
+                    else:
+                        store.record_run(
+                            campaign_id, index, run_result,
+                            wall_s=wall_s, kernel_events=events,
+                            attempts=attempts,
+                        )
+        finally:
+            _flush_rows()
+            self._flush_store = None
         if retried:
             registry.inc("campaign.retried_runs", retried)
 
@@ -719,7 +981,7 @@ class CampaignRunner:
         result.errors = errors
 
         result.execution = {
-            "mode": "warm" if warm_start else "cold",
+            "mode": "batched" if batch else ("warm" if warm_start else "cold"),
             "workers": workers or 1,
             "checkpoints": checkpoints,
             "golden_events": golden_events,
@@ -745,6 +1007,8 @@ class CampaignRunner:
             result.execution["warm_misses"] = len(pending) - hits
             registry.inc("campaign.warm.hit", hits)
             registry.inc("campaign.warm.miss", len(pending) - hits)
+        if batch:
+            result.execution["batch"] = dict(self._batch_stats)
         if store is not None:
             store.record_execution(
                 campaign_id,
@@ -809,6 +1073,7 @@ def run_campaign(
     progress=None,
     workers=None,
     warm_start=False,
+    batch=False,
     checkpoint_every=None,
     max_checkpoints=None,
     store=None,
@@ -828,6 +1093,7 @@ def run_campaign(
     ).run(
         workers=workers,
         warm_start=warm_start,
+        batch=batch,
         checkpoint_every=checkpoint_every,
         max_checkpoints=max_checkpoints,
         store=store,

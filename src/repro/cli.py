@@ -222,6 +222,7 @@ def cmd_campaign_run(args):
             spec,
             workers=args.workers,
             warm_start=args.warm_start,
+            batch=args.batch,
             checkpoint_every=(
                 parse_quantity(args.checkpoint_every, expect_unit="s")
                 if args.checkpoint_every
@@ -362,6 +363,12 @@ def build_parser():
     p_run.add_argument("--warm-start", action="store_true",
                        help="restore golden checkpoints instead of "
                             "re-simulating each fault from t=0")
+    p_run.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="run same-site current injections as "
+                            "vectorized ensembles (implies --warm-start; "
+                            "divergent variants peel off to the scalar "
+                            "path, results stay bit-identical)")
     p_run.add_argument("--checkpoint-every", default=None,
                        help="checkpoint granularity for --warm-start, "
                             "e.g. '500ns' (default: per injection time)")

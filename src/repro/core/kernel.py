@@ -169,6 +169,10 @@ class AnalogSolver:
         #: after every solver step; None (the default) costs one
         #: attribute load per step.
         self.guard = None
+        #: Attached :class:`~repro.core.ensemble.Ensemble` while a
+        #: batch of fault variants is stepping vectorized; None (the
+        #: default) keeps the scalar per-step path.
+        self._ensemble = None
 
     # -- configuration -----------------------------------------------------
 
@@ -317,6 +321,19 @@ class AnalogSolver:
         dt = 0.0 if last is None else t - last
         self._last_step_time = t
         self.steps += 1
+
+        ensemble = self._ensemble
+        if ensemble is not None:
+            # Batched variant stepping: the ensemble evaluates every
+            # block over all variant columns at once, records into its
+            # own buffers and runs its vectorized guard mirror.  The
+            # next step is scheduled first so an EnsembleDrainedError
+            # leaves a resumable queue.
+            self.sim._queue.push(
+                self.next_step_time(t), self._step_event, PRIORITY_ANALOG
+            )
+            ensemble.solver_step(t, dt)
+            return
 
         for node in self.current_nodes:
             node.clear_current()

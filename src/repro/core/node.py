@@ -89,8 +89,9 @@ class CurrentNode(AnalogNode):
         :param amps: contribution in amperes (positive into the node).
         :param source: optional label recorded for debugging/reports.
         """
-        amps = float(amps)
-        self.i += amps
+        if isinstance(amps, (int, float)):
+            amps = float(amps)
+        self.i = self.i + amps
         if source is not None:
             self._contributions[source] = self._contributions.get(source, 0.0) + amps
 

@@ -17,7 +17,7 @@ faulty waveforms sample by sample.  Three details make that work:
   restores the heap membership and the mutable ``cancelled`` flags;
 * the event sequence counter is restored, so replayed events receive
   the same insertion order they had in the original run; and
-* traces are truncated *in place* (the list objects survive), so
+* traces are truncated *in place* (the sample buffers survive), so
   bound-method fast paths and probe listeners stay valid.
 
 Snapshots are tied to the simulator instance they were captured from:
@@ -131,13 +131,10 @@ class Snapshot:
             proc.pending = pending
 
         # Traces are truncated in place so listener closures and the
-        # solver's compiled samplers keep pointing at live lists.
+        # solver's compiled samplers keep pointing at live buffers.
         sim._traces = [trace for trace, _ in self.trace_lengths]
         for trace, length in self.trace_lengths:
-            if len(trace._times) > length:
-                del trace._times[length:]
-                del trace._values[length:]
-            trace._cache = None
+            trace.truncate(length)
 
         solver = sim.analog
         (

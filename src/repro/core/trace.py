@@ -9,6 +9,14 @@ solver step, linear interpolation).
 Traces are what the paper's "results (traces) analysis" stage consumes:
 the campaign engine compares a faulty trace against the golden trace,
 with an amplitude tolerance for analog nodes (Section 4.1).
+
+Storage: each sample column lives in a :class:`_SampleBuffer` — an
+amortized-growth float64 numpy array for the dominant case (analog
+solver samples are plain floats), demoting itself to a Python object
+list the first time a non-float payload (a Logic level, an int, ...)
+is appended.  In float mode the ``times``/``values`` properties return
+zero-copy views, so reading a trace no longer reconverts the whole
+sample list after every append the way the old list-backed cache did.
 """
 
 from __future__ import annotations
@@ -23,6 +31,9 @@ from .logic import Logic
 #: Interpolation styles.
 STEP = "step"
 LINEAR = "linear"
+
+#: Starting capacity of a sample buffer (doubles on overflow).
+_INITIAL_CAPACITY = 16
 
 
 def _to_float(value):
@@ -44,6 +55,184 @@ def _to_float(value):
     raise MeasurementError(f"trace value {value!r} is not numeric")
 
 
+class _SampleBuffer:
+    """One sample column with amortized-growth storage.
+
+    Float payloads land in a pre-allocated float64 numpy array that
+    doubles when full; the first non-float payload demotes the buffer
+    to a plain Python list so raw payloads (Logic levels, ints) are
+    preserved exactly.  The surface is deliberately list-like —
+    ``append``/``len``/iteration/indexing/``==`` — because the
+    kernel's compiled probe samplers bind ``buffer.append`` directly
+    and checkpoint restore truncates buffers in place, so the buffer
+    *object* must stay alive for the lifetime of its trace.
+    """
+
+    __slots__ = ("_data", "_n", "_objects")
+
+    def __init__(self):
+        self._data = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._n = 0
+        self._objects = None
+
+    # -- hot path ---------------------------------------------------------
+
+    def append(self, value):
+        objects = self._objects
+        if objects is not None:
+            objects.append(value)
+            return
+        if isinstance(value, float):
+            n = self._n
+            data = self._data
+            if n == data.shape[0]:
+                data = self._grow(n + 1)
+            data[n] = value
+            self._n = n + 1
+            return
+        self._demote().append(value)
+
+    def _grow(self, need):
+        capacity = max(2 * self._data.shape[0], need, _INITIAL_CAPACITY)
+        data = np.empty(capacity, dtype=np.float64)
+        data[: self._n] = self._data[: self._n]
+        self._data = data
+        return data
+
+    def _demote(self):
+        """Switch to object-list storage, keeping existing samples."""
+        self._objects = self._data[: self._n].tolist()
+        return self._objects
+
+    def extend(self, values):
+        """Append many payloads (bulk copy for float64 arrays)."""
+        if self._objects is not None:
+            self._objects.extend(values)
+            return
+        if not isinstance(values, (list, tuple, np.ndarray, _SampleBuffer)):
+            values = list(values)
+        if isinstance(values, _SampleBuffer):
+            if values._objects is not None:
+                self._demote().extend(values._objects)
+                return
+            values = values.view()
+        arr = np.asarray(values) if not isinstance(values, np.ndarray) else values
+        if arr.ndim == 1 and arr.dtype == np.float64:
+            need = self._n + arr.shape[0]
+            if need > self._data.shape[0]:
+                self._grow(need)
+            self._data[self._n : need] = arr
+            self._n = need
+            return
+        for value in values:
+            self.append(value)
+
+    # -- views and copies -------------------------------------------------
+
+    @property
+    def is_float(self):
+        """True while every payload has been a float (numpy mode)."""
+        return self._objects is None
+
+    def view(self):
+        """Zero-copy float64 view of the live samples (float mode only)."""
+        return self._data[: self._n]
+
+    def raw_list(self):
+        """The payloads as a new Python list."""
+        if self._objects is not None:
+            return list(self._objects)
+        return self._data[: self._n].tolist()
+
+    def copy_data(self):
+        """An independent capture for later :meth:`load_prefix`."""
+        if self._objects is not None:
+            return list(self._objects)
+        return self._data[: self._n].copy()
+
+    # -- in-place mutation (checkpoint / warm-start machinery) ------------
+
+    def truncate(self, n):
+        """Drop samples beyond the first ``n``, in place."""
+        if self._objects is not None:
+            del self._objects[n:]
+        elif n < self._n:
+            self._n = max(n, 0)
+
+    def load_prefix(self, data, n):
+        """Become the first ``n`` entries of ``data``, in place.
+
+        ``data`` is a capture from :meth:`copy_data` (float64 array or
+        list); the buffer object identity is preserved so bound-method
+        fast paths and snapshot references stay valid.
+        """
+        if isinstance(data, np.ndarray):
+            self._objects = None
+            if self._data.shape[0] < n:
+                self._data = np.empty(
+                    max(n, _INITIAL_CAPACITY), dtype=np.float64
+                )
+            self._data[:n] = data[:n]
+            self._n = n
+        else:
+            if self._objects is None:
+                self._objects = []
+            self._objects[:] = data[:n]
+
+    def load_from(self, other):
+        """Become a copy of ``other`` (a :class:`_SampleBuffer`)."""
+        self.load_prefix(other.copy_data(), len(other))
+
+    # -- list-like surface ------------------------------------------------
+
+    def __len__(self):
+        if self._objects is not None:
+            return len(self._objects)
+        return self._n
+
+    def __iter__(self):
+        if self._objects is not None:
+            return iter(self._objects)
+        return iter(self._data[: self._n].tolist())
+
+    def __getitem__(self, index):
+        if self._objects is not None:
+            return self._objects[index]
+        if isinstance(index, slice):
+            return self._data[: self._n][index].tolist()
+        n = self._n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("sample index out of range")
+        return float(self._data[index])
+
+    def __eq__(self, other):
+        if isinstance(other, _SampleBuffer):
+            if self._objects is None and other._objects is None:
+                a, b = self.view(), other.view()
+                return a.shape == b.shape and bool(np.array_equal(a, b))
+            return self.raw_list() == other.raw_list()
+        if isinstance(other, (list, tuple)):
+            return self.raw_list() == list(other)
+        return NotImplemented
+
+    __hash__ = None
+
+    def __array__(self, dtype=None, copy=None):
+        if self._objects is None:
+            arr = self._data[: self._n]
+        else:
+            arr = np.asarray(self._objects)
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        return np.array(arr) if copy else arr
+
+    def __repr__(self):
+        mode = "object" if self._objects is not None else "float64"
+        return f"<_SampleBuffer n={len(self)} mode={mode}>"
+
+
 class Trace:
     """A time-ordered sequence of waveform samples.
 
@@ -57,35 +246,41 @@ class Trace:
             raise MeasurementError(f"unknown interpolation {interp!r}")
         self.name = name
         self.interp = interp
-        self._times = []
-        self._values = []
+        self._times = _SampleBuffer()
+        self._values = _SampleBuffer()
         self._cache = None
 
     # -- construction ---------------------------------------------------
 
     def append(self, time, value):
         """Append one sample; times must be non-decreasing."""
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if len(times) and time < times[-1]:
             raise MeasurementError(
                 f"trace {self.name}: time {time} precedes last sample "
-                f"{self._times[-1]}"
+                f"{times[-1]}"
             )
-        self._times.append(time)
+        times.append(time)
         self._values.append(value)
         self._cache = None
 
     @classmethod
     def from_arrays(cls, name, times, values, interp=LINEAR):
         """Build a trace from parallel arrays (copied)."""
-        times = list(times)
-        values = list(values)
-        if len(times) != len(values):
-            raise MeasurementError("times and values must have equal length")
-        if any(b < a for a, b in zip(times, times[1:])):
-            raise MeasurementError("times must be non-decreasing")
         trace = cls(name, interp=interp)
-        trace._times = times
-        trace._values = values
+        trace._times.extend(times)
+        trace._values.extend(values)
+        if len(trace._times) != len(trace._values):
+            raise MeasurementError("times and values must have equal length")
+        tb = trace._times
+        if tb.is_float:
+            view = tb.view()
+            if view.shape[0] > 1 and bool(np.any(np.diff(view) < 0)):
+                raise MeasurementError("times must be non-decreasing")
+        else:
+            seq = tb.raw_list()
+            if any(b < a for a, b in zip(seq, seq[1:])):
+                raise MeasurementError("times must be non-decreasing")
         return trace
 
     # -- basic access -----------------------------------------------------
@@ -98,28 +293,45 @@ class Trace:
 
     @property
     def times(self):
-        """Sample times as a numpy array (cached)."""
+        """Sample times as a numpy array (zero-copy in float mode)."""
+        times = self._times
+        if times.is_float:
+            return times.view()
         self._ensure_cache()
         return self._cache[0]
 
     @property
     def values(self):
-        """Sample values as a float numpy array (cached).
+        """Sample values as a float numpy array.
 
-        Logic values map to 0/1/NaN; see :func:`_to_float`.
+        Logic values map to 0/1/NaN; see :func:`_to_float`.  Float-mode
+        traces return a zero-copy view of the backing buffer.
         """
+        values = self._values
+        if values.is_float:
+            return values.view()
         self._ensure_cache()
         return self._cache[1]
 
     @property
     def raw_values(self):
         """The unconverted sample payloads (list)."""
-        return list(self._values)
+        return self._values.raw_list()
 
     def _ensure_cache(self):
         if self._cache is None:
-            times = np.asarray(self._times, dtype=float)
-            values = np.asarray([_to_float(v) for v in self._values], dtype=float)
+            tb, vb = self._times, self._values
+            times = (
+                tb.view()
+                if tb.is_float
+                else np.asarray(tb.raw_list(), dtype=float)
+            )
+            if vb.is_float:
+                values = vb.view()
+            else:
+                values = np.asarray(
+                    [_to_float(v) for v in vb.raw_list()], dtype=float
+                )
             self._cache = (times, values)
 
     @property
@@ -146,6 +358,26 @@ class Trace:
                 f"trace {self.name} needs at least {n} sample(s), has "
                 f"{len(self._times)}"
             )
+
+    # -- in-place mutation (checkpoint / warm-start machinery) ------------
+
+    def truncate(self, n):
+        """Drop samples beyond the first ``n``, in place.
+
+        Checkpoint restore uses this; the backing buffers survive so
+        the kernel's compiled samplers and signal listeners keep
+        pointing at live storage.
+        """
+        self._times.truncate(n)
+        self._values.truncate(n)
+        self._cache = None
+
+    def clone(self):
+        """An independent copy (same name/interp, copied samples)."""
+        dup = Trace(self.name, interp=self.interp)
+        dup._times.load_from(self._times)
+        dup._values.load_from(self._values)
+        return dup
 
     # -- interpolation ------------------------------------------------------
 
@@ -190,10 +422,15 @@ class Trace:
         """Sub-trace with samples in ``[t0, t1]`` (same interpolation)."""
         self._require_samples()
         lo = 0 if t0 is None else bisect.bisect_left(self._times, t0)
-        hi = len(self._times) if t1 is None else bisect.bisect_right(self._times, t1)
+        hi = (
+            len(self._times)
+            if t1 is None
+            else bisect.bisect_right(self._times, t1)
+        )
         sub = Trace(self.name, interp=self.interp)
-        sub._times = self._times[lo:hi]
-        sub._values = self._values[lo:hi]
+        tb, vb = self._times, self._values
+        sub._times.extend(tb.view()[lo:hi] if tb.is_float else tb[lo:hi])
+        sub._values.extend(vb.view()[lo:hi] if vb.is_float else vb[lo:hi])
         return sub
 
     # -- events ------------------------------------------------------------

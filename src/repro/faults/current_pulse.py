@@ -20,6 +20,8 @@ double exponential (Figure 1b).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.errors import FaultModelError
 from ..core.units import format_quantity, parse_quantity
 from .models import AnalogTransient, check_positive
@@ -72,6 +74,20 @@ class TrapezoidPulse(AnalogTransient):
             return self.pa
         return self.pa * (1.0 - (tau - self.pw) / self.ft) if self.ft else 0.0
 
+    def current_batch(self, tau):
+        """Vectorized :meth:`current` over an array of offsets.
+
+        Bitwise identical to calling :meth:`current` per element (the
+        branches become selections and the arithmetic is the same
+        elementwise IEEE-754 expression), which is what lets ensemble
+        campaign batches evaluate every variant's pulse at once
+        without perturbing results.
+        """
+        tau = np.asarray(tau, dtype=float)
+        return trapezoid_currents(
+            tau, self.pa, self.rt, self.ft, self.pw, self.duration
+        )
+
     def charge(self, n=None):
         """Closed-form charge: ``PA * (PW - RT/2 + FT/2)``."""
         return self.pa * (self.pw - 0.5 * self.rt + 0.5 * self.ft)
@@ -122,6 +138,48 @@ class TrapezoidPulse(AnalogTransient):
 
     def __hash__(self):
         return hash((self.pa, self.rt, self.ft, self.pw))
+
+
+def stack_trapezoids(pulses):
+    """Struct-of-arrays parameters for a sequence of trapezoid pulses.
+
+    :returns: dict of parallel float64 arrays ``pa``, ``rt``, ``ft``,
+        ``pw``, ``duration`` — the layout :func:`trapezoid_currents`
+        (and the ensemble saboteur plan) evaluates in one shot.
+    """
+    for pulse in pulses:
+        if not isinstance(pulse, TrapezoidPulse):
+            raise FaultModelError(
+                f"stack_trapezoids: {pulse!r} is not a TrapezoidPulse"
+            )
+    return {
+        "pa": np.array([p.pa for p in pulses]),
+        "rt": np.array([p.rt for p in pulses]),
+        "ft": np.array([p.ft for p in pulses]),
+        "pw": np.array([p.pw for p in pulses]),
+        "duration": np.array([p.duration for p in pulses]),
+    }
+
+
+def trapezoid_currents(tau, pa, rt, ft, pw, duration):
+    """Vectorized :meth:`TrapezoidPulse.current` over parallel arrays.
+
+    All arguments broadcast: one pulse over many offsets, or one
+    offset per pulse (the ensemble case, where ``tau = t - t0`` per
+    batch variant).  Each element evaluates exactly the scalar
+    method's expression for its selected branch, so results are
+    bit-identical to the scalar piecewise evaluation; out-of-support
+    elements are exactly ``0.0``.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rise = pa * tau / rt
+        fall = pa * (1.0 - (tau - pw) / ft)
+    out = np.where(
+        tau < rt,
+        rise,
+        np.where(tau < pw, pa, np.where(ft != 0.0, fall, 0.0)),
+    )
+    return np.where((tau < 0) | (tau >= duration), 0.0, out)
 
 
 #: The paper's Figure 6 reference pulse: a typical SEU-like strike

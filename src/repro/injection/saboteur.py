@@ -101,6 +101,21 @@ class CurrentPulseSaboteur(AnalogBlock):
             if t0 <= t < t0 + transient.duration:
                 self.node.add_current(transient.current(t - t0), source=self.path)
 
+    def step_ensemble(self, t, dt, ensemble):
+        """Batched :meth:`step`: per-variant pulse currents at once.
+
+        The injection table lives in the ensemble (one pulse per
+        variant), not in :attr:`_injections` — batched variants never
+        call :meth:`schedule`, their refinement windows having been
+        pre-applied by the campaign's shared-window union.
+        """
+        plan = ensemble.plan_for(self)
+        if plan is None:
+            return
+        currents = plan.currents(t)
+        if currents is not None:
+            self.node.add_current(currents, source=self.path)
+
     def clear(self):
         """Drop all armed injections (the windows remain registered)."""
         self._injections.clear()

@@ -336,6 +336,49 @@ class CampaignStore:
         )
         self._conn.commit()
 
+    def record_runs(self, campaign_id, rows):
+        """Persist many completed runs in **one** transaction.
+
+        The batched-campaign complement of :meth:`record_run` (which
+        commits per row): an ensemble batch classifies a whole group
+        of runs at once, and committing them with a single
+        ``executemany`` amortises the fsync that otherwise dominates
+        many-small-runs campaigns.  Crash durability is per *batch*:
+        an interrupted campaign loses at most the rows of the batch in
+        flight, which resume re-runs.
+
+        :param rows: iterable of ``(index, fault_result, wall_s,
+            kernel_events, attempts)`` tuples.
+        """
+        payload = [
+            (
+                campaign_id,
+                index,
+                fault_result.label,
+                json.dumps(
+                    _classification_to_dict(fault_result.classification)
+                ),
+                json.dumps(_comparisons_to_dict(fault_result.comparisons)),
+                json.dumps(fault_result.metrics, default=str),
+                wall_s,
+                kernel_events,
+                _now(),
+                attempts,
+            )
+            for index, fault_result, wall_s, kernel_events, attempts in rows
+        ]
+        if not payload:
+            return
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
+            " label, classification_json, comparisons_json, metrics_json,"
+            " error, wall_s, kernel_events, completed_at, attempts,"
+            " quarantined)"
+            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0)",
+            payload,
+        )
+        self._conn.commit()
+
     def record_error(self, campaign_id, index, message, wall_s=None,
                      status="error", attempts=1, quarantined=False):
         """Persist one failed faulty run (commits immediately).

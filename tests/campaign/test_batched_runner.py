@@ -1,0 +1,201 @@
+"""Batched (ensemble) campaigns must be indistinguishable from scalar.
+
+The contract: ``run_campaign(..., batch=True)`` produces bit-identical
+traces, the same per-fault classifications and the same CSV export as
+the scalar warm-start flow — including when variants peel off the
+ensemble mid-run and finish on the scalar path — while running same-site
+variants together in one vectorized pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Design,
+    RUN_DIVERGED,
+    RUN_TIMEOUT,
+    analog_injections,
+    batch_key,
+    run_campaign,
+    to_csv,
+)
+from repro.campaign.runner import CampaignRunner
+from repro.core import Simulator
+from repro.core.budget import NumericalGuard
+from repro.faults import TrapezoidPulse
+from repro.store import CampaignStore
+
+
+def pll_factory():
+    from tests.conftest import make_fast_pll
+
+    sim = Simulator(dt=1e-9)
+    pll = make_fast_pll(sim, preset_locked=True)
+    probes = {
+        "vctrl": sim.probe(pll.vctrl),
+        "fout": sim.probe(pll.vco_out, min_interval=0.0),
+    }
+    return Design(sim=sim, root=pll, probes=probes)
+
+
+def grid_pulses(amplitudes, widths):
+    return [
+        TrapezoidPulse(rt=100e-12, ft=300e-12, pw=pw, pa=pa)
+        for pa in amplitudes
+        for pw in widths
+    ]
+
+
+def pll_spec(pulses, name="pll-batch"):
+    return CampaignSpec(
+        name=name,
+        faults=analog_injections(["pll.icp"], [4.0e-6], pulses),
+        t_end=8e-6,
+        outputs=["vctrl"],
+        analog_tolerance=0.02,
+    )
+
+
+#: Sub-threshold PA x PW grid: no digitizer edge moves, nothing peels.
+BENIGN = grid_pulses([20e-9, 40e-9], [300e-12, 600e-12])
+#: Large enough to shift step-quantised digitizer edges -> peel-off.
+DISRUPTIVE = TrapezoidPulse(rt=100e-12, ft=300e-12, pw=500e-12, pa=5e-3)
+
+
+def assert_same_outcome(scalar, batched):
+    assert to_csv(scalar) == to_csv(batched)
+    for name, golden in scalar.golden_probes.items():
+        other = batched.golden_probes[name]
+        assert golden._times == other._times
+        assert golden._values == other._values
+    for run_s, run_b in zip(scalar.runs, batched.runs):
+        assert run_s.label == run_b.label
+        for name in run_s.comparisons:
+            assert (
+                run_s.comparisons[name].match
+                == run_b.comparisons[name].match
+            )
+
+
+class TestBatchedEquivalence:
+    def test_matches_scalar_warm_start(self):
+        spec = pll_spec(BENIGN)
+        scalar = run_campaign(pll_factory, spec, warm_start=True)
+        batched = run_campaign(pll_factory, spec, batch=True)
+        assert_same_outcome(scalar, batched)
+        stats = batched.execution["batch"]
+        assert batched.execution["mode"] == "batched"
+        assert stats["batches"] == 1
+        assert stats["batched_runs"] == len(spec.faults)
+        assert stats["peeled"] == 0
+        assert stats["fallbacks"] == 0
+        assert stats["scalar_runs"] == 0
+
+    def test_traces_bit_identical(self):
+        """Ensemble columns reproduce every scalar sample bitwise."""
+        spec = pll_spec(BENIGN)
+        scalar = CampaignRunner(pll_factory, spec)
+        batched = CampaignRunner(pll_factory, spec)
+        completed, leftovers, info = batched.run_batch_warm(
+            list(range(len(spec.faults)))
+        )
+        assert not leftovers and not info["fallback"]
+        assert len(completed) == len(spec.faults)
+        for index, (probes, _metrics, _events), _wall in completed:
+            ref, _, _ = scalar.run_fault_warm(spec.faults[index])
+            for name, trace in ref.items():
+                got = probes[name]
+                assert np.array_equal(trace.times, got.times)
+                assert np.array_equal(trace.values, got.values)
+
+    def test_peel_off_preserves_outcomes(self):
+        """A divergent variant peels and still matches its scalar run."""
+        spec = pll_spec(BENIGN + [DISRUPTIVE], name="pll-peel")
+        scalar = run_campaign(pll_factory, spec, warm_start=True)
+        batched = run_campaign(pll_factory, spec, batch=True)
+        assert_same_outcome(scalar, batched)
+        stats = batched.execution["batch"]
+        assert stats["peeled"] >= 1
+        assert stats["scalar_runs"] == stats["peeled"]
+        assert stats["batched_runs"] + stats["scalar_runs"] == len(spec.faults)
+        # Not vacuous: the disruptive pulse really perturbs the loop.
+        assert any(run.label != "silent" for run in scalar)
+
+    def test_singleton_groups_run_scalar(self):
+        """One fault per site has nothing to batch with."""
+        spec = pll_spec([BENIGN[0]], name="pll-single")
+        batched = run_campaign(pll_factory, spec, batch=True)
+        stats = batched.execution["batch"]
+        assert stats["batches"] == 0
+        assert stats["scalar_runs"] == 1
+
+    def test_batch_key_groups_current_injections(self):
+        spec = pll_spec(BENIGN)
+        keys = {batch_key(fault) for fault in spec.faults}
+        assert keys == {"pll.icp"}
+
+
+class TestBatchedSupervision:
+    def test_event_budget_is_per_variant(self):
+        """A too-small budget times out each variant, as in scalar."""
+        spec = pll_spec(BENIGN)
+        scalar = run_campaign(
+            pll_factory, spec, warm_start=True,
+            event_budget=50, on_error="collect", retries=0,
+        )
+        batched = run_campaign(
+            pll_factory, spec, batch=True,
+            event_budget=50, on_error="collect", retries=0,
+        )
+        assert len(scalar.errors) == len(spec.faults)
+        assert len(batched.errors) == len(spec.faults)
+        for err_s, err_b in zip(scalar.errors, batched.errors):
+            assert err_s.index == err_b.index
+            assert err_s.status == err_b.status == RUN_TIMEOUT
+        # The batch aborted wholesale and every variant re-ran scalar
+        # under its own (unscaled) budget.
+        assert batched.execution["batch"]["fallbacks"] == 1
+
+    def test_guard_is_per_variant(self):
+        """A tripping guard yields the same diverged statuses."""
+        guard = NumericalGuard(max_abs=1.0, check_every=8)
+        spec = pll_spec(BENIGN)
+        scalar = run_campaign(
+            pll_factory, spec, warm_start=True,
+            guard=guard, on_error="collect", retries=0,
+        )
+        batched = run_campaign(
+            pll_factory, spec, batch=True,
+            guard=guard, on_error="collect", retries=0,
+        )
+        assert len(scalar.errors) == len(spec.faults)
+        assert len(batched.errors) == len(spec.faults)
+        for err_s, err_b in zip(scalar.errors, batched.errors):
+            assert err_s.index == err_b.index
+            assert err_s.status == err_b.status == RUN_DIVERGED
+
+    def test_store_roundtrip_and_resume(self, tmp_path):
+        spec = pll_spec(BENIGN)
+        with CampaignStore(tmp_path / "c.sqlite") as store:
+            first = run_campaign(pll_factory, spec, batch=True, store=store)
+            resumed = run_campaign(
+                pll_factory, spec, batch=True, store=store, resume=True
+            )
+        assert resumed.execution["completed"] == 0
+        assert resumed.execution["skipped"] == len(spec.faults)
+        assert to_csv(first) == to_csv(resumed)
+
+    def test_metric_hooks_disable_batching(self):
+        spec = pll_spec(BENIGN)
+        result = run_campaign(
+            pll_factory, spec, batch=True,
+            metric_hooks=[lambda design, fault: {}],
+        )
+        assert result.execution["mode"] == "warm"
+        assert "batch" not in result.execution
+
+    def test_batch_implies_warm_start(self):
+        spec = pll_spec(BENIGN)
+        result = run_campaign(pll_factory, spec, batch=True)
+        assert result.execution["checkpoints"] >= 1
