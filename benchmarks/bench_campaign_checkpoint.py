@@ -14,7 +14,6 @@ cold start on an after-lock PLL campaign, with identical results.
 """
 
 import json
-import os
 import time
 
 from repro import Simulator
@@ -27,7 +26,7 @@ from repro.campaign import (
 )
 from repro.faults import TrapezoidPulse
 
-from conftest import banner, fast_pll, once
+from conftest import banner, fast_pll, once, write_bench_json
 
 T_END = 8e-6
 #: Injection times after the (preset) lock point, spread over the
@@ -103,11 +102,7 @@ def test_checkpoint_campaign(benchmark):
 
     banner("Checkpoint/warm-start campaign — after-lock PLL injections")
     print(json.dumps(measurements, indent=2))
-    out_path = os.environ.get("REPRO_BENCH_JSON")
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(measurements, handle, indent=2)
-        print(f"wrote {out_path}")
+    write_bench_json("BENCH_campaign_checkpoint.json", measurements)
 
     # Identical results: same CSV (fault, class, divergence times) and
     # bit-identical golden traces.

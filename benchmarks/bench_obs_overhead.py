@@ -18,7 +18,6 @@ uninstrumented loop.
 """
 
 import json
-import os
 import time
 
 from repro import Simulator, obs
@@ -31,7 +30,7 @@ from repro.campaign import (
 from repro.core import Component, L0
 from repro.digital import Bus, ClockGen, Counter, ParityGen
 
-from conftest import banner, once
+from conftest import banner, once, write_bench_json
 
 T_END = 40e-6          # ~8000 clock edges per measured run
 TRIALS = 7
@@ -134,11 +133,7 @@ def test_obs_overhead(benchmark):
 
     banner("Observability overhead — disabled hot path vs baseline")
     print(json.dumps(measurements, indent=2))
-    out_path = os.environ.get("REPRO_BENCH_JSON")
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(measurements, handle, indent=2)
-        print(f"wrote {out_path}")
+    write_bench_json("BENCH_obs_overhead.json", measurements)
 
     # The headline claim: disabled instrumentation costs < 3% kernel
     # event throughput.

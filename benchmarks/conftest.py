@@ -9,6 +9,9 @@ cheap numeric kernels use normal benchmark rounds.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro import PLL, Simulator
@@ -54,3 +57,23 @@ def banner(title):
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def write_bench_json(default_name, measurements):
+    """Emit a machine-readable ``BENCH_*.json`` measurement record.
+
+    ``measurements`` is the benchmark's own dict (wall times, speedup,
+    run counts...); the written record adds a ``bench`` name key so CI
+    artifact consumers can aggregate files without parsing filenames.
+    The output path defaults to ``default_name`` (conventionally
+    ``BENCH_<bench>.json`` in the working directory) and can be
+    redirected with the ``REPRO_BENCH_JSON`` environment variable.
+    Returns the path written.
+    """
+    record = {"bench": default_name.removeprefix("BENCH_").removesuffix(".json")}
+    record.update(measurements)
+    out_path = os.environ.get("REPRO_BENCH_JSON", default_name)
+    with open(out_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    print(f"wrote {out_path}")
+    return out_path

@@ -97,9 +97,20 @@ class FaultDictionary:
     # -- lookup ---------------------------------------------------------
 
     def signatures(self):
-        """All distinct signatures, most populous first."""
+        """All distinct signatures, most populous first.
+
+        Ties break on the signature fields themselves (label, diverged
+        set, order, latency bucket) so the listing is deterministic
+        across processes and Python hash seeds — equally populous
+        signatures would otherwise come back in dict-insertion order,
+        which batch planning and resume can legitimately permute.
+        """
         return sorted(
-            self._index, key=lambda s: -len(self._index[s])
+            self._index,
+            key=lambda s: (
+                -len(self._index[s]),
+                s.label, s.diverged, s.order, s.latency_bucket,
+            ),
         )
 
     def candidates(self, signature):

@@ -129,6 +129,25 @@ def batch_key(fault):
     return None
 
 
+def digital_batch_key(fault):
+    """Grouping key for digital faults eligible for bit-flip batching.
+
+    Bit-flips, multi-bit upsets and SET pulses return their primary
+    target name; these are the mechanisms whose mutants can fork off a
+    shared golden branch walk (copy-on-divergence) and re-join it via
+    state re-convergence.  Stuck-ats (often unbounded), parametric and
+    analog faults return ``None`` and take their own paths.
+    """
+    from ..faults.bitflip import BitFlip, MultipleBitUpset
+    from ..faults.set_pulse import SETPulse
+
+    if isinstance(fault, (BitFlip, MultipleBitUpset)):
+        return fault.targets()[0]
+    if isinstance(fault, SETPulse):
+        return fault.target
+    return None
+
+
 def sample(faults, count, seed=0):
     """A reproducible without-replacement sample of a fault list."""
     faults = list(faults)

@@ -73,12 +73,32 @@ def execution_summary(result):
         f" (golden {ex.get('golden_events', 0)}"
         f" + faulty {ex.get('fault_events', 0)})",
     ]
-    if ex.get("mode") == "warm":
+    if ex.get("mode") in ("warm", "batched"):
         lines.append(f"checkpoints     : {ex.get('checkpoints', 0)}")
         if "warm_hits" in ex:
             lines.append(
                 f"warm restores   : {ex['warm_hits']} hit"
                 f" / {ex['warm_misses']} miss (replayed from t=0)"
+            )
+    batch = ex.get("batch")
+    if batch:
+        lines.append(
+            f"batch mode      : {batch.get('mode', 'auto')}"
+            f" ({batch.get('batches', 0)} batches:"
+            f" {batch.get('analog_batches', 0)} analog,"
+            f" {batch.get('digital_batches', 0)} digital)"
+        )
+        lines.append(
+            f"batched runs    : {batch.get('batched_runs', 0)} batched"
+            f" / {batch.get('scalar_runs', 0)} scalar"
+            f" ({batch.get('peeled', 0)} peeled,"
+            f" {batch.get('fallbacks', 0)} fallbacks)"
+        )
+        if batch.get("converged") or batch.get("branch_snapshots"):
+            lines.append(
+                f"re-convergence  : {batch.get('converged', 0)} mutants"
+                f" spliced onto golden tails"
+                f" ({batch.get('branch_snapshots', 0)} branch snapshots)"
             )
     if "wall_s" in ex:
         completed = ex.get("completed", len(result))

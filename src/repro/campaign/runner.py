@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from time import perf_counter, sleep
 
 from ..core.budget import NumericalGuard, RunBudget
+from ..core.ckpt_tree import CheckpointTree
 from ..core.ensemble import Ensemble, EnsembleDrainedError
 from ..core.errors import CampaignError
 from ..core.trace import Trace
@@ -53,7 +54,7 @@ from .classify import (
     classify_failure,
 )
 from .compare import ComparisonGridCache, compare_probe_sets
-from .faultlist import batch_key
+from .faultlist import batch_key, digital_batch_key
 from .results import CampaignResult, CampaignRunError, FaultResult
 from .supervisor import RetryPolicy, WorkerSupervisor
 
@@ -62,8 +63,33 @@ LOGGER = logging.getLogger("repro.campaign")
 #: Default ceiling on retained golden checkpoints (memory bound).
 DEFAULT_MAX_CHECKPOINTS = 64
 
+#: Ceiling on convergence-horizon comparison points past the last
+#: flip time of a digital batch (the horizon doubles geometrically, so
+#: this bounds both snapshot memory and per-mutant check cost).
+MAX_HORIZON_POINTS = 16
+
+#: Valid ``batch`` modes (:func:`normalize_batch_mode`).
+BATCH_MODES = ("auto", "analog", "digital", "off")
+
 #: Sentinel: "use the default numerical guard" (pass None to disable).
 _DEFAULT_GUARD = object()
+
+
+def normalize_batch_mode(batch):
+    """Map a ``batch`` argument to one of :data:`BATCH_MODES`.
+
+    Accepts the legacy booleans (``True`` -> ``"auto"``, ``False``/
+    ``None`` -> ``"off"``) and the mode strings themselves.
+    """
+    if batch is None or batch is False:
+        return "off"
+    if batch is True:
+        return "auto"
+    if isinstance(batch, str) and batch in BATCH_MODES:
+        return batch
+    raise CampaignError(
+        f"batch must be a bool or one of {BATCH_MODES}, got {batch!r}"
+    )
 
 
 @dataclass
@@ -306,9 +332,12 @@ class CampaignRunner:
                 snapshots.append((t_ckpt, sim.snapshot()))
             sim.run(self.spec.t_end)
 
+        tree = CheckpointTree()
+        tree.set_trunk(snapshots)
         self._warm.update(
             snapshots=snapshots,
             ckpt_times=[t for t, _ in snapshots],
+            tree=tree,
             golden_probes={
                 name: _clone_trace(trace)
                 for name, trace in design.probes.items()
@@ -325,6 +354,10 @@ class CampaignRunner:
             ],
             golden_events=sim.events_executed - events_before,
         )
+        self._warm["golden_by_id"] = {
+            id(trace): (times, values)
+            for trace, times, values in self._warm["golden_trace_data"]
+        }
         return self._warm
 
     def _restore_point(self, fault):
@@ -355,6 +388,23 @@ class CampaignRunner:
             n = len(trace._times)
             trace._times.load_prefix(times, n)
             trace._values.load_prefix(values, n)
+            trace._cache = None
+
+    @staticmethod
+    def _reinflate_golden(warm):
+        """Reload every kernel trace with the *full* golden record.
+
+        A checkpoint restore can only truncate traces, which assumes
+        the live trace is at least as long as the snapshot recorded —
+        true for ordinary warm runs (they always simulate to
+        ``t_end``), but not after a convergence early-out stopped a
+        digital mutant mid-window.  Reloading the complete golden data
+        first makes any snapshot restorable again: truncation then
+        yields exactly the golden prefix, no re-splice needed.
+        """
+        for trace, times, values in warm["golden_trace_data"]:
+            trace._times.load_prefix(times, len(times))
+            trace._values.load_prefix(values, len(values))
             trace._cache = None
 
     def run_fault_warm(self, fault):
@@ -394,35 +444,59 @@ class CampaignRunner:
 
     # -- batched (ensemble) execution -------------------------------------------
 
-    def _plan_batches(self, pending):
-        """Split pending fault indices into ensemble batches and scalar runs.
+    def _plan_batches(self, pending, mode="auto"):
+        """Split pending fault indices into batches and scalar runs.
 
-        Faults batch when they share a :func:`batch_key` (same
-        injection site) *and* restore the same golden checkpoint, so
-        one restore serves the whole batch.  Per-run metric hooks need
-        a live per-variant design, which a batch cannot provide, so
-        campaigns with hooks stay entirely scalar.  Returns
-        ``(batches, scalar_indices)``; singleton groups run scalar —
-        a batch of one is pure overhead.
+        Two batch kinds, both grouped by the golden checkpoint their
+        faults restore (one restore serves the whole batch):
+
+        * **analog** — current injections advance together as a
+          vectorized ensemble.  Grouping is *cross-site*: variants on
+          different nodes share the solver step, each saboteur's plan
+          carrying per-variant currents (zero outside a variant's
+          injection support).
+        * **digital** — bit-flip-style mutants fork off one shared
+          golden branch walk (see :meth:`run_batch_digital`).
+
+        Per-run metric hooks need a live per-variant design, which a
+        batch cannot provide, so campaigns with hooks stay entirely
+        scalar.  Returns ``(batches, scalar_indices)`` where each
+        batch is ``(kind, t_ckpt, indices)``; the plan is fully
+        deterministic — groups are keyed by checkpoint time and
+        ordered by (checkpoint, kind, first index), never by dict/hash
+        order — so store row order and resume behaviour are stable
+        across Python hash seeds.  Singleton groups run scalar — a
+        batch of one is pure overhead.
         """
         if self.metric_hooks:
             return [], list(pending)
-        groups = {}
+        analog_groups = {}
+        digital_groups = {}
         scalar = []
-        for index in pending:
+        for index in sorted(pending):
             fault = self.spec.faults[index]
-            key = batch_key(fault)
-            if key is None:
-                scalar.append(index)
-                continue
-            t_ckpt, _snap = self._restore_point(fault)
-            groups.setdefault((key, t_ckpt), []).append(index)
-        batches = []
-        for group in groups.values():
-            if len(group) > 1:
-                batches.append(group)
+            if mode in ("auto", "analog") and batch_key(fault) is not None:
+                t_ckpt, _snap = self._restore_point(fault)
+                analog_groups.setdefault(t_ckpt, []).append(index)
+            elif (
+                mode in ("auto", "digital")
+                and digital_batch_key(fault) is not None
+            ):
+                t_ckpt, _snap = self._restore_point(fault)
+                digital_groups.setdefault(t_ckpt, []).append(index)
             else:
-                scalar.extend(group)
+                scalar.append(index)
+        batches = []
+        for kind, groups in (
+            ("analog", analog_groups), ("digital", digital_groups)
+        ):
+            for t_ckpt in sorted(groups):
+                group = groups[t_ckpt]
+                if len(group) > 1:
+                    batches.append((kind, t_ckpt, group))
+                else:
+                    scalar.extend(group)
+        batches.sort(key=lambda item: (item[1], item[0], item[2][0]))
         return batches, sorted(scalar)
 
     def _scaled_budget(self, k):
@@ -529,35 +603,233 @@ class CampaignRunner:
         leftovers = [faults[pos][0] for pos in sorted(ensemble.peeled)]
         return completed, leftovers, info
 
-    def _batched_outcomes(self, pending, on_error):
+    def _horizon_times(self, flip_times):
+        """Convergence comparison points past the last flip time.
+
+        Geometric spacing starting at the flip grid's own granularity:
+        most SEUs that heal do so within a few cycles of the last
+        flip, so early points are dense; the doubling tail bounds the
+        walk for stubborn mutants without giving up the early-out.
+        """
+        t_last = flip_times[-1]
+        t_end = self.spec.t_end
+        if t_last >= t_end:
+            return []
+        gaps = [
+            b - a for a, b in zip(flip_times, flip_times[1:]) if b > a
+        ]
+        gap = min(gaps) if gaps else (t_end - t_last) / 256.0
+        if gap <= 0.0:
+            return []
+        times = []
+        t = t_last + gap
+        while t < t_end and len(times) < MAX_HORIZON_POINTS:
+            times.append(t)
+            gap *= 2.0
+            t = t_last + (times[-1] - t_last) + gap
+        return times
+
+    def run_batch_digital(self, indices):
+        """Execute one batch of digital mutants along a golden branch walk.
+
+        The copy-on-divergence strategy: the group's trunk checkpoint
+        is restored once, then the *golden* trajectory is advanced
+        time-ordered through every distinct flip time (plus a
+        geometric convergence horizon), snapshotting each point as a
+        branch node of the checkpoint tree.  Every mutant then costs
+        one cheap restore of the branch node at exactly its flip time
+        — the shared golden prefix is simulated once per batch, not
+        once per mutant — and runs forward only until its state
+        *re-converges* with a later branch snapshot
+        (:meth:`~repro.core.snapshot.Snapshot.matches_live`): a flipped
+        bit that is overwritten, shifted out or resynchronised puts
+        the mutant back on the golden trajectory, so the rest of its
+        traces is spliced from golden sample data — bit-identical by
+        determinism — instead of simulated.  Mutants that never
+        re-converge run to ``t_end`` exactly like a scalar warm start.
+
+        With a run budget armed the whole batch falls back to scalar
+        execution: budget ceilings are *per run call* over the restored
+        suffix, and the branch walk both shortens that suffix (the
+        restore lands exactly at the flip time) and would segment it
+        across several run calls — either way a budget could trip
+        differently than the scalar run it must classify like.
+
+        Returns ``(completed, leftovers, info)`` shaped like
+        :meth:`run_batch_warm`; ``info`` adds ``converged`` and
+        ``branch_snapshots`` counts.
+        """
+        warm = self.prepare_warm()
+        design = warm["design"]
+        sim = design.sim
+        tree = warm["tree"]
+        faults = [(index, self.spec.faults[index]) for index in indices]
+        info = {
+            "peeled": 0, "fallback": False,
+            "converged": 0, "branch_snapshots": 0,
+        }
+        if self._budget is not None and not self._budget.empty:
+            info["fallback"] = True
+            return [], list(indices), info
+
+        by_time = {}
+        for index, fault in faults:
+            by_time.setdefault(_fault_schedule_time(fault), []).append(
+                (index, fault)
+            )
+        flip_times = sorted(by_time)
+        trunk = tree.trunk_at(flip_times[0])
+
+        # Shared branch walk: golden work, never budgeted (mirrors the
+        # unarmed golden run), one prefix re-splice for the whole batch.
+        branch_nodes = []
+        try:
+            sim.budget = None
+            self._reinflate_golden(warm)
+            sim.restore(trunk.snapshot)
+            parent = trunk
+            for t_branch in flip_times + self._horizon_times(flip_times):
+                sim.run(t_branch, inclusive=False)
+                parent = tree.branch(parent, t_branch, sim.snapshot())
+                branch_nodes.append(parent)
+        except Exception as exc:
+            if branch_nodes:
+                tree.release(branch_nodes[0])
+            self._reinflate_golden(warm)
+            LOGGER.warning(
+                "digital batch of %d mutants fell back to scalar "
+                "execution: %s", len(faults), exc,
+            )
+            info["fallback"] = True
+            return [], list(indices), info
+        info["branch_snapshots"] = len(branch_nodes)
+
+        completed = []
+        leftovers = []
+        try:
+            for position, t_flip in enumerate(flip_times):
+                node = branch_nodes[position]
+                for index, fault in by_time[t_flip]:
+                    wall_start = perf_counter()
+                    events_before = sim.events_executed
+                    try:
+                        self._arm(sim)
+                        self._reinflate_golden(warm)
+                        sim.restore(node.snapshot)
+                        controller = InjectionController(
+                            sim, design.root, saboteurs=warm["saboteurs"]
+                        )
+                        with sim.injection_band():
+                            controller.apply(fault)
+                        converged = None
+                        for later in branch_nodes[position + 1:]:
+                            sim.run(later.time, inclusive=False)
+                            if later.snapshot.matches_live(sim):
+                                converged = later
+                                break
+                        if converged is not None:
+                            info["converged"] += 1
+                            probes = self._spliced_probes(
+                                design, warm, converged.snapshot
+                            )
+                        else:
+                            sim.run(self.spec.t_end)
+                            probes = {
+                                name: _clone_trace(trace)
+                                for name, trace in design.probes.items()
+                            }
+                        payload = (
+                            probes, {}, sim.events_executed - events_before
+                        )
+                        completed.append(
+                            (index, payload, perf_counter() - wall_start)
+                        )
+                    except Exception as exc:
+                        # One mutant's failure peels it to the scalar
+                        # path (budget/guard trips classify there);
+                        # the rest of the batch carries on.
+                        LOGGER.warning(
+                            "digital mutant %d peeled to scalar "
+                            "execution: %s", index, exc,
+                        )
+                        info["peeled"] += 1
+                        leftovers.append(index)
+                    finally:
+                        sim.budget = None
+        finally:
+            if branch_nodes:
+                tree.release(branch_nodes[0])
+            # Whatever state the last mutant left (possibly an
+            # early-out mid-window), hand the next consumer — scalar
+            # runs, other batches — restorable full-length traces.
+            self._reinflate_golden(warm)
+        return completed, leftovers, info
+
+    def _spliced_probes(self, design, warm, snapshot):
+        """Probe clones for a mutant that re-converged at ``snapshot``.
+
+        Each probe trace currently holds the mutant's samples up to
+        the convergence boundary; the tail is the golden sample data
+        beyond the *golden* trace length recorded in the convergence
+        snapshot (the two lengths may differ — a healed mutant
+        legitimately recorded extra toggles in its divergence window).
+        """
+        lengths = {
+            id(trace): length for trace, length in snapshot.trace_lengths
+        }
+        golden_by_id = warm["golden_by_id"]
+        probes = {}
+        for name, trace in design.probes.items():
+            dup = _clone_trace(trace)
+            times, values = golden_by_id[id(trace)]
+            cut = lengths[id(trace)]
+            dup._times.extend(times[cut:])
+            dup._values.extend(values[cut:])
+            dup._cache = None
+            probes[name] = dup
+        return probes
+
+    def _batched_outcomes(self, pending, on_error, mode="auto"):
         """Outcome stream for batched execution.
 
-        Batches run first; their peeled variants and every unbatchable
-        fault then drain through the ordinary scalar serial stream
-        (same retry/supervision semantics).  Yields the same
-        ``(index, ok, payload, wall_s, attempts)`` tuples as
-        :meth:`_serial_outcomes`.
+        Batches run first — analog ensembles and digital branch walks
+        interleaved in deterministic plan order; their peeled variants
+        and every unbatchable fault then drain through the ordinary
+        scalar serial stream (same retry/supervision semantics).
+        Yields the same ``(index, ok, payload, wall_s, attempts)``
+        tuples as :meth:`_serial_outcomes`.
         """
         registry = _metrics.REGISTRY
         stats = self._batch_stats
-        batches, scalar = self._plan_batches(pending)
-        for position, batch in enumerate(batches):
+        batches, scalar = self._plan_batches(pending, mode)
+        for position, (kind, t_ckpt, indices) in enumerate(batches):
             if self.progress is not None:
                 self.progress(
-                    position, len(batches), self.spec.faults[batch[0]]
+                    position, len(batches), self.spec.faults[indices[0]]
                 )
             with _tracer.TRACER.span(
-                "campaign.batch", size=len(batch),
-                site=batch_key(self.spec.faults[batch[0]]),
+                "campaign.batch", kind=kind, size=len(indices),
+                t_ckpt=t_ckpt,
             ):
-                completed, leftovers, info = self.run_batch_warm(batch)
+                if kind == "digital":
+                    completed, leftovers, info = self.run_batch_digital(
+                        indices
+                    )
+                else:
+                    completed, leftovers, info = self.run_batch_warm(indices)
             stats["batches"] += 1
+            stats[f"{kind}_batches"] += 1
             stats["batched_runs"] += len(completed)
             stats["peeled"] += info["peeled"]
+            stats["converged"] += info.get("converged", 0)
+            stats["branch_snapshots"] += info.get("branch_snapshots", 0)
             registry.inc("campaign.batch.count")
-            registry.observe("campaign.batch.size", len(batch))
+            registry.inc(f"campaign.batch.{kind}")
+            registry.observe("campaign.batch.size", len(indices))
             if info["peeled"]:
                 registry.inc("campaign.batch.peeled", info["peeled"])
+            if info.get("converged"):
+                registry.inc("campaign.batch.converged", info["converged"])
             if info["fallback"]:
                 stats["fallbacks"] += 1
                 registry.inc("campaign.batch.fallback")
@@ -750,16 +1022,23 @@ class CampaignRunner:
         :param warm_start: restore golden checkpoints instead of
             re-simulating each fault from t=0 (see the module
             docstring for semantics and caveats).
-        :param batch: run same-site current-injection faults as
-            vectorized ensembles (implies ``warm_start``): one
-            checkpoint restore per group, all variants advanced per
-            solver step, with divergent variants peeled off to the
-            scalar path.  Results stay bit-identical to scalar
-            execution.  Batched groups execute serially in the parent
-            (the vectorization *is* the parallelism); leftover scalar
-            runs follow serially too, so ``workers`` is ignored with a
-            warning.  Campaigns with ``metric_hooks`` degrade to plain
-            warm starts.
+        :param batch: batched execution mode (implies ``warm_start``).
+            One of :data:`BATCH_MODES` — ``"auto"`` enables both batch
+            kinds, ``"analog"`` / ``"digital"`` restrict to one,
+            ``"off"`` disables; the legacy booleans still work
+            (``True`` -> ``"auto"``, ``False`` -> ``"off"``).  Analog
+            batches advance current-injection variants — cross-site —
+            as one vectorized ensemble per checkpoint group, with
+            divergent variants peeled off to the scalar path.  Digital
+            batches fork bit-flip mutants off a shared golden branch
+            walk (copy-on-divergence) and splice golden trace tails
+            when a mutant's state re-converges (see
+            :meth:`run_batch_digital`).  Either way results stay
+            bit-identical to scalar execution.  Batched groups execute
+            serially in the parent (the vectorization is the
+            parallelism); leftover scalar runs follow serially too, so
+            ``workers`` is ignored with a warning.  Campaigns with
+            ``metric_hooks`` degrade to plain warm starts.
         :param checkpoint_every: checkpoint time granularity in
             seconds for warm starts (default: one checkpoint per
             distinct injection time, bounded by ``max_checkpoints``).
@@ -803,10 +1082,12 @@ class CampaignRunner:
             )
         if resume and store is None:
             raise CampaignError("resume=True requires a store")
+        batch_mode = normalize_batch_mode(batch)
+        batch = batch_mode != "off"
         if batch:
-            # Batching is warm-start execution with a vectorized inner
-            # loop; the checkpoints are what let one restore serve a
-            # whole group.
+            # Batching is warm-start execution with a vectorized (or
+            # branch-walked) inner loop; the checkpoints are what let
+            # one restore serve a whole group.
             warm_start = True
             if self.metric_hooks:
                 LOGGER.warning(
@@ -814,6 +1095,7 @@ class CampaignRunner:
                     "live per-variant design; running plain warm starts"
                 )
                 batch = False
+                batch_mode = "off"
 
         if budget is None and (timeout is not None or event_budget is not None):
             budget = RunBudget(max_wall_s=timeout, max_events=event_budget)
@@ -826,8 +1108,10 @@ class CampaignRunner:
         self._retry = retry if on_error == "collect" else None
         self._grid_cache = ComparisonGridCache()
         self._batch_stats = {
-            "batches": 0, "batched_runs": 0, "peeled": 0,
-            "fallbacks": 0, "scalar_runs": 0,
+            "mode": batch_mode,
+            "batches": 0, "analog_batches": 0, "digital_batches": 0,
+            "batched_runs": 0, "peeled": 0, "converged": 0,
+            "branch_snapshots": 0, "fallbacks": 0, "scalar_runs": 0,
         }
 
         wall_start = perf_counter()
@@ -874,7 +1158,7 @@ class CampaignRunner:
                 )
                 parallel = False
         if batch:
-            outcomes = self._batched_outcomes(pending, on_error)
+            outcomes = self._batched_outcomes(pending, on_error, batch_mode)
         elif parallel:
             outcomes = self._parallel_outcomes(
                 pending, workers, warm_start, on_error, context

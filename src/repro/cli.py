@@ -287,15 +287,16 @@ def cmd_campaign_status(args):
         print("no campaigns recorded")
         return 0
     header = (
-        f"{'campaign':<24} {'status':<9} {'done':>10} {'errors':>6} "
-        f"{'quar':>5}  last update"
+        f"{'campaign':<24} {'status':<9} {'mode':<15} {'done':>10} "
+        f"{'errors':>6} {'quar':>5}  last update"
     )
     print(header)
     print("-" * len(header))
     for row in summaries:
         done = f"{row['completed']}/{row['total']}"
         print(
-            f"{row['name']:<24} {row['status']:<9} {done:>10} "
+            f"{row['name']:<24} {row['status']:<9} "
+            f"{row.get('mode', '?'):<15} {done:>10} "
             f"{row['errors']:>6} {row.get('quarantined', 0):>5}  "
             f"{row['updated_at']}"
         )
@@ -363,12 +364,22 @@ def build_parser():
     p_run.add_argument("--warm-start", action="store_true",
                        help="restore golden checkpoints instead of "
                             "re-simulating each fault from t=0")
-    p_run.add_argument("--batch", action=argparse.BooleanOptionalAction,
-                       default=False,
-                       help="run same-site current injections as "
-                            "vectorized ensembles (implies --warm-start; "
-                            "divergent variants peel off to the scalar "
-                            "path, results stay bit-identical)")
+    p_run.add_argument("--batch", nargs="?", const="auto", default="off",
+                       choices=["auto", "analog", "digital", "off"],
+                       metavar="{auto,analog,digital,off}",
+                       help="batched execution mode (implies "
+                            "--warm-start): 'analog' advances "
+                            "current-injection variants as vectorized "
+                            "ensembles, 'digital' forks bit-flip "
+                            "mutants off a shared golden branch walk, "
+                            "'auto' (the default when the flag is "
+                            "given bare) enables both; divergent "
+                            "variants peel off to the scalar path, "
+                            "results stay bit-identical")
+    p_run.add_argument("--no-batch", dest="batch", action="store_const",
+                       const="off",
+                       help="disable batched execution (same as "
+                            "--batch off; kept as an alias)")
     p_run.add_argument("--checkpoint-every", default=None,
                        help="checkpoint granularity for --warm-start, "
                             "e.g. '500ns' (default: per injection time)")

@@ -1,0 +1,158 @@
+"""Checkpoint tree: the restore-point structure batched campaigns share.
+
+Warm-started campaigns keep a flat list of golden snapshots; batched
+execution generalises that into a *tree*:
+
+* the **root** is the state at t=0 (the base golden checkpoint);
+* **trunk** nodes are the golden-run checkpoints taken at the faults'
+  injection times — the same snapshots plain warm starts restore;
+* **branch** nodes hang off a trunk node: a digital bit-flip batch
+  restores its group's trunk checkpoint once, then advances along the
+  golden trajectory snapshotting at every distinct flip time (and at a
+  geometric tail of *convergence horizon* points), so each mutant
+  restores the branch node at exactly its flip time and every later
+  branch node doubles as a state-comparison reference.
+
+Branch snapshots are cheap to keep live: a :class:`Snapshot` stores
+trace *lengths*, not sample data, so its footprint is the design's
+state vectors — a few kilobytes for the digital blocks this path
+serves.  The tree tracks how many were created and the peak live count
+so campaign observability can report the real memory shape.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from .errors import SimulationError
+
+#: Node kinds.
+ROOT = "root"
+TRUNK = "trunk"
+BRANCH = "branch"
+
+
+class CheckpointNode:
+    """One restore point in the tree.
+
+    :ivar time: simulated time the snapshot was captured at.
+    :ivar snapshot: the :class:`~repro.core.snapshot.Snapshot`.
+    :ivar parent: parent node (None for the root).
+    :ivar kind: :data:`ROOT`, :data:`TRUNK` or :data:`BRANCH`.
+    """
+
+    __slots__ = ("time", "snapshot", "parent", "children", "kind")
+
+    def __init__(self, time, snapshot, parent=None, kind=TRUNK):
+        self.time = time
+        self.snapshot = snapshot
+        self.parent = parent
+        self.children = []
+        self.kind = kind
+        if parent is not None:
+            parent.children.append(self)
+
+    def __repr__(self):
+        return (
+            f"<CheckpointNode {self.kind} t={self.time:.6g} "
+            f"children={len(self.children)}>"
+        )
+
+
+class CheckpointTree:
+    """Restore points organised as a tree rooted at the golden t=0 state.
+
+    Built by the campaign runner during :meth:`prepare_warm` (trunk)
+    and extended per digital batch (branches); released branches are
+    dropped eagerly so peak memory stays one batch deep.
+    """
+
+    def __init__(self):
+        self.root = None
+        self._trunk = []          # CheckpointNode, ascending time
+        self._trunk_times = []
+        self.branches_created = 0
+        self.branches_live = 0
+        self.peak_live = 0
+
+    # -- trunk -------------------------------------------------------------
+
+    def set_trunk(self, checkpoints):
+        """Install the golden checkpoint spine.
+
+        :param checkpoints: iterable of ``(time, snapshot)`` pairs in
+            ascending time order; the first becomes the root.
+        """
+        self.root = None
+        self._trunk = []
+        self._trunk_times = []
+        parent = None
+        for time, snapshot in checkpoints:
+            kind = ROOT if parent is None else TRUNK
+            node = CheckpointNode(time, snapshot, parent=parent, kind=kind)
+            if parent is None:
+                self.root = node
+            self._trunk.append(node)
+            self._trunk_times.append(time)
+            parent = node
+        if self.root is None:
+            raise SimulationError("checkpoint tree needs at least one trunk node")
+        return self._trunk
+
+    @property
+    def trunk(self):
+        """The trunk nodes, ascending in time."""
+        return list(self._trunk)
+
+    def trunk_at(self, time):
+        """The deepest trunk node at or before ``time`` (root fallback)."""
+        if not self._trunk:
+            raise SimulationError("checkpoint tree has no trunk")
+        index = bisect_right(self._trunk_times, time)
+        return self._trunk[max(index - 1, 0)]
+
+    # -- branches ----------------------------------------------------------
+
+    def branch(self, parent, time, snapshot):
+        """Attach a branch node under ``parent`` (trunk or branch)."""
+        if time < parent.time:
+            raise SimulationError(
+                f"branch time {time} precedes parent checkpoint {parent.time}"
+            )
+        node = CheckpointNode(time, snapshot, parent=parent, kind=BRANCH)
+        self.branches_created += 1
+        self.branches_live += 1
+        self.peak_live = max(self.peak_live, self.branches_live)
+        return node
+
+    def release(self, node):
+        """Drop a branch subtree (frees its snapshots for GC)."""
+        if node.kind != BRANCH:
+            raise SimulationError("only branch nodes can be released")
+        dropped = 1 + self._count(node)
+        if node.parent is not None:
+            node.parent.children.remove(node)
+        node.parent = None
+        self.branches_live -= dropped
+        return dropped
+
+    @staticmethod
+    def _count(node):
+        total = 0
+        for child in node.children:
+            total += 1 + CheckpointTree._count(child)
+        return total
+
+    def stats(self):
+        """Counters for campaign observability."""
+        return {
+            "trunk": len(self._trunk),
+            "branch_snapshots": self.branches_created,
+            "branch_peak_live": self.peak_live,
+        }
+
+    def __repr__(self):
+        return (
+            f"<CheckpointTree trunk={len(self._trunk)} "
+            f"branches={self.branches_created} live={self.branches_live}>"
+        )

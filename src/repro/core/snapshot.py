@@ -30,7 +30,83 @@ is how warm-started campaigns parallelise.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .errors import SimulationError
+
+
+def _values_equal(a, b):
+    """Strict structural equality over snapshot state payloads.
+
+    Floats and numpy arrays compare bitwise (``-0.0 != 0.0``, equal-NaN
+    by bit pattern) because convergence detection must never declare
+    two states equal when downstream arithmetic could diverge.
+    """
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or a.keys() != b.keys():
+            return False
+        return all(_values_equal(a[key], b[key]) for key in a)
+    if isinstance(a, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return False
+        return all(_values_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return a.hex() == b.hex()
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _callbacks_equal(a, b):
+    """Semantic identity of two scheduled callbacks.
+
+    Event callbacks are bound methods (``ClockGen._rise``), reused
+    closure objects (``sim.every``'s tick) or one-shot lambdas; two
+    distinct creations of the same logical callback share the bound
+    target / code object, while different callbacks never do.  Closure
+    cells compare by identity (components, signals — whose behavioural
+    state the caller compares separately) or by value for plain
+    scalars.  Unknown shapes compare unequal, which only costs the
+    early-out, never correctness.
+    """
+    if a is b:
+        return True
+    func_a = getattr(a, "__func__", None)
+    func_b = getattr(b, "__func__", None)
+    if func_a is not None or func_b is not None:
+        return func_a is func_b and getattr(a, "__self__", None) is getattr(
+            b, "__self__", None
+        )
+    code_a = getattr(a, "__code__", None)
+    if code_a is None or code_a is not getattr(b, "__code__", None):
+        return False
+    cells_a = getattr(a, "__closure__", None) or ()
+    cells_b = getattr(b, "__closure__", None) or ()
+    if len(cells_a) != len(cells_b):
+        return False
+    for cell_a, cell_b in zip(cells_a, cells_b):
+        va, vb = cell_a.cell_contents, cell_b.cell_contents
+        if va is vb:
+            continue
+        if (
+            isinstance(va, (int, float, str, bool, type(None)))
+            and type(va) is type(vb)
+            and va == vb
+        ):
+            continue
+        return False
+    return True
 
 
 class Snapshot:
@@ -157,6 +233,74 @@ class Snapshot:
         solver._order = None
         solver._invalidate_schedule()
         return sim
+
+    def matches_live(self, sim):
+        """True when ``sim``'s live state equals this capture.
+
+        The *re-convergence* test batched digital campaigns rely on: a
+        mutant whose flipped bit has been overwritten (shifted out,
+        reloaded, resynchronised) is back on the golden trajectory the
+        moment its full kernel state equals the golden snapshot at the
+        same time — determinism then guarantees the rest of its run is
+        sample-identical to golden, so simulation can stop and the
+        golden tail be spliced in.
+
+        The comparison covers everything that feeds future behaviour:
+        signal values/previous values/forces/driver contributions,
+        node values and currents, component ``state_dict`` captures,
+        process pending flags, and the pending event queue (by time,
+        priority and callback identity — relative order included).
+        Purely observational bookkeeping — signal change counters and
+        last-change times, executed-event tallies, trace lengths — is
+        deliberately excluded: a healed mutant legitimately toggled
+        more often than golden, and none of those counters feed the
+        simulation.  The result errs on the side of ``False``: a
+        missed match costs speed, never correctness.
+        """
+        if sim is not self.sim or sim.now != self.time:
+            return False
+        for signal, state in self.signal_states:
+            live = signal._state()
+            # _state() layout: value, prev, last_change_time,
+            # change_count, forced, forced_value, drivers,
+            # driver values, default driver, listeners.  Indices 2/3
+            # are observational; 6/8/9 are structural registrations
+            # shared with the snapshot by construction.
+            if live[0] != state[0] or live[1] != state[1]:
+                return False
+            if live[4] != state[4] or live[5] != state[5]:
+                return False
+            if not _values_equal(live[7], state[7]):
+                return False
+        for node, state in self.node_states:
+            live = node._state()
+            if not _values_equal(live[0], state[0]):
+                return False
+            if len(live) > 1 and not _values_equal(live[1:], state[1:]):
+                return False
+        for component, state in self.component_states:
+            if not _values_equal(component.state_dict(), state):
+                return False
+        for proc, pending in zip(self.processes, self.process_states):
+            if proc.pending != pending:
+                return False
+        events, flags, _next_seq = self.queue_state
+        order = lambda event: (event.time, event.priority, event.seq)
+        captured = sorted(
+            (e for e, cancelled in zip(events, flags) if not cancelled),
+            key=order,
+        )
+        live_events = sorted(
+            (e for e in sim._queue._heap if not e.cancelled), key=order
+        )
+        if len(captured) != len(live_events):
+            return False
+        for want, have in zip(captured, live_events):
+            if want.time != have.time or want.priority != have.priority:
+                return False
+            if not _callbacks_equal(want.callback, have.callback):
+                return False
+        return True
 
     def __repr__(self):
         events = len(self.queue_state[0])

@@ -81,3 +81,11 @@ class MultipleBitUpset(DigitalFault):
 
     def __repr__(self):
         return f"MultipleBitUpset({self._targets!r}, {self.time!r})"
+
+    def __eq__(self, other):
+        if not isinstance(other, MultipleBitUpset):
+            return NotImplemented
+        return (self._targets, self.time) == (other._targets, other.time)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._targets, self.time))

@@ -553,13 +553,23 @@ class CampaignStore:
         """Per-campaign progress summary for every stored campaign.
 
         Returns a list of dicts with ``name``, ``status``, ``total``,
-        ``completed``, ``errors``, ``created_at`` and ``updated_at``.
+        ``completed``, ``errors``, ``created_at``, ``updated_at`` and
+        ``mode`` (the recorded execution mode — ``cold`` / ``warm`` /
+        ``batched``, suffixed with the batch mode when one was
+        recorded; ``"?"`` until an execution record lands).
         """
         summaries = []
         for row in self._conn.execute(
-            "SELECT id, name, status, created_at, updated_at"
-            " FROM campaigns ORDER BY id"
+            "SELECT id, name, status, created_at, updated_at,"
+            " execution_json FROM campaigns ORDER BY id"
         ):
+            mode = "?"
+            if row["execution_json"]:
+                execution = json.loads(row["execution_json"])
+                mode = execution.get("mode", "?")
+                batch_mode = (execution.get("batch") or {}).get("mode")
+                if mode == "batched" and batch_mode:
+                    mode = f"batched/{batch_mode}"
             total = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM faults WHERE campaign_id = ?",
                 (row["id"],),
@@ -583,6 +593,7 @@ class CampaignStore:
                 {
                     "name": row["name"],
                     "status": row["status"],
+                    "mode": mode,
                     "total": total,
                     "completed": completed,
                     "errors": errors,

@@ -21,7 +21,8 @@ from repro.campaign import (
     to_csv,
 )
 from repro.campaign.runner import CampaignRunner
-from repro.core import Simulator
+from repro.analog import TransimpedanceFilter, rc_transimpedance
+from repro.core import Component, Simulator
 from repro.core.budget import NumericalGuard
 from repro.faults import TrapezoidPulse
 from repro.store import CampaignStore
@@ -134,6 +135,118 @@ class TestBatchedEquivalence:
         spec = pll_spec(BENIGN)
         keys = {batch_key(fault) for fault in spec.faults}
         assert keys == {"pll.icp"}
+
+    def test_k1_batch_matches_scalar(self):
+        """A one-variant ensemble is still bit-identical to scalar."""
+        spec = pll_spec(BENIGN)
+        scalar = CampaignRunner(pll_factory, spec)
+        batched = CampaignRunner(pll_factory, spec)
+        completed, leftovers, info = batched.run_batch_warm([0])
+        assert not leftovers and not info["fallback"]
+        [(index, (probes, _metrics, _events), _wall)] = completed
+        assert index == 0
+        ref, _, _ = scalar.run_fault_warm(spec.faults[0])
+        for name, trace in ref.items():
+            got = probes[name]
+            assert np.array_equal(trace.times, got.times)
+            assert np.array_equal(trace.values, got.values)
+
+    def test_all_variants_peel_on_first_step(self):
+        """A drained ensemble hands every variant to the scalar path.
+
+        A guard ceiling below the locked control voltage trips every
+        variant at the first guarded step: the ensemble drains
+        (:class:`EnsembleDrainedError`), nothing completes batched, and
+        each variant's scalar re-run classifies its divergence exactly
+        like the scalar campaign.
+        """
+        guard = NumericalGuard(max_abs=1e-12, check_every=1)
+        spec = pll_spec(BENIGN, name="pll-drain")
+        scalar = run_campaign(
+            pll_factory, spec, warm_start=True,
+            guard=guard, on_error="collect", retries=0,
+        )
+        batched = run_campaign(
+            pll_factory, spec, batch=True,
+            guard=guard, on_error="collect", retries=0,
+        )
+        stats = batched.execution["batch"]
+        assert stats["peeled"] == len(spec.faults)
+        assert stats["batched_runs"] == 0
+        assert stats["fallbacks"] == 0
+        assert len(batched.errors) == len(spec.faults)
+        for err_s, err_b in zip(scalar.errors, batched.errors):
+            assert err_s.index == err_b.index
+            assert err_s.status == err_b.status == RUN_DIVERGED
+
+
+def twosite_factory():
+    """Two independent injection sites: R//C filters on separate nodes."""
+    sim = Simulator(dt=1e-9)
+    top = Component(sim, "top")
+    n1 = sim.current_node("n1")
+    n2 = sim.current_node("n2")
+    v1 = sim.node("v1")
+    v2 = sim.node("v2")
+    TransimpedanceFilter(
+        sim, "f1", n1, v1, rc_transimpedance(1e3, 1e-12), parent=top
+    )
+    TransimpedanceFilter(
+        sim, "f2", n2, v2, rc_transimpedance(2e3, 2e-12), parent=top
+    )
+    probes = {"v1": sim.probe(v1), "v2": sim.probe(v2)}
+    return Design(sim=sim, root=top, probes=probes)
+
+
+class TestCrossSiteBatching:
+    """Variants on *different* nodes share one ensemble pass."""
+
+    def twosite_spec(self):
+        pulses = [
+            TrapezoidPulse(rt=100e-12, ft=300e-12, pw=500e-12, pa=pa)
+            for pa in (5e-3, 8e-3)
+        ]
+        return CampaignSpec(
+            name="twosite",
+            faults=analog_injections(
+                ["n1", "n2"], [1.0e-6, 1.5e-6], pulses
+            ),
+            t_end=4e-6,
+            outputs=["v1", "v2"],
+            analog_tolerance=1e-6,
+        )
+
+    def test_cross_site_batches_match_scalar(self):
+        spec = self.twosite_spec()
+        scalar = run_campaign(twosite_factory, spec, warm_start=True)
+        batched = run_campaign(twosite_factory, spec, batch=True)
+        assert_same_outcome(scalar, batched)
+        stats = batched.execution["batch"]
+        # One batch per injection time, each spanning both nodes — the
+        # per-site grouping of earlier releases would have needed four.
+        assert stats["analog_batches"] == 2
+        assert stats["batched_runs"] == len(spec.faults)
+        assert stats["peeled"] == 0
+        assert stats["fallbacks"] == 0
+        assert any(run.label != "silent" for run in scalar)
+
+    def test_cross_site_traces_bit_identical(self):
+        spec = self.twosite_spec()
+        scalar = CampaignRunner(twosite_factory, spec)
+        batched = CampaignRunner(twosite_factory, spec)
+        t_first = [
+            i for i, fault in enumerate(spec.faults)
+            if fault.time == 1.0e-6
+        ]
+        completed, leftovers, info = batched.run_batch_warm(t_first)
+        assert not leftovers and not info["fallback"]
+        assert len(completed) == len(t_first)
+        for index, (probes, _metrics, _events), _wall in completed:
+            ref, _, _ = scalar.run_fault_warm(spec.faults[index])
+            for name, trace in ref.items():
+                got = probes[name]
+                assert np.array_equal(trace.times, got.times)
+                assert np.array_equal(trace.values, got.values)
 
 
 class TestBatchedSupervision:

@@ -1,0 +1,85 @@
+"""Checkpoint tree mechanics: trunk lookup, branching, release accounting."""
+
+import pytest
+
+from repro.core import CheckpointNode, CheckpointTree
+from repro.core.errors import SimulationError
+
+
+def make_tree(times=(0.0, 1e-6, 2e-6)):
+    tree = CheckpointTree()
+    tree.set_trunk([(t, f"snap@{t}") for t in times])
+    return tree
+
+
+class TestTrunk:
+    def test_first_checkpoint_is_root(self):
+        tree = make_tree()
+        assert tree.root.kind == "root"
+        assert tree.root.time == 0.0
+        kinds = [node.kind for node in tree.trunk]
+        assert kinds == ["root", "trunk", "trunk"]
+
+    def test_trunk_is_a_chain(self):
+        tree = make_tree()
+        trunk = tree.trunk
+        assert trunk[1].parent is trunk[0]
+        assert trunk[2].parent is trunk[1]
+
+    def test_trunk_at_picks_deepest_at_or_before(self):
+        tree = make_tree()
+        assert tree.trunk_at(0.0).time == 0.0
+        assert tree.trunk_at(1e-6).time == 1e-6
+        assert tree.trunk_at(1.5e-6).time == 1e-6
+        assert tree.trunk_at(5e-6).time == 2e-6
+        # Before the root: fall back to the root, never IndexError.
+        assert tree.trunk_at(-1.0).time == 0.0
+
+    def test_empty_tree_rejected(self):
+        tree = CheckpointTree()
+        with pytest.raises(SimulationError):
+            tree.set_trunk([])
+        with pytest.raises(SimulationError):
+            tree.trunk_at(0.0)
+
+
+class TestBranches:
+    def test_branch_chain_counts(self):
+        tree = make_tree()
+        parent = tree.trunk_at(1e-6)
+        b1 = tree.branch(parent, 1.1e-6, "s1")
+        b2 = tree.branch(b1, 1.2e-6, "s2")
+        b3 = tree.branch(b2, 1.4e-6, "s3")
+        assert tree.branches_created == 3
+        assert tree.branches_live == 3
+        assert tree.stats() == {
+            "trunk": 3,
+            "branch_snapshots": 3,
+            "branch_peak_live": 3,
+        }
+        # Releasing the chain head drops the whole subtree.
+        assert tree.release(b1) == 3
+        assert tree.branches_live == 0
+        # Only the trunk child remains under the parent.
+        assert all(child.kind != "branch" for child in parent.children)
+        # Created/peak counters are cumulative for observability.
+        assert tree.branches_created == 3
+        assert tree.peak_live == 3
+        assert b3.kind == "branch"
+
+    def test_branch_before_parent_rejected(self):
+        tree = make_tree()
+        parent = tree.trunk_at(1e-6)
+        with pytest.raises(SimulationError):
+            tree.branch(parent, 0.5e-6, "too-early")
+
+    def test_only_branches_release(self):
+        tree = make_tree()
+        with pytest.raises(SimulationError):
+            tree.release(tree.trunk_at(0.0))
+
+    def test_node_repr_smoke(self):
+        node = CheckpointNode(1e-6, "snap")
+        assert "1e-06" in repr(node)
+        tree = make_tree()
+        assert "trunk=3" in repr(tree)

@@ -203,6 +203,36 @@ class TestCommands:
             build_parser().parse_args([])
 
 
+class TestBatchFlag:
+    def parse(self, *extra):
+        return build_parser().parse_args(
+            ["campaign", "run", "design.json", "faults.json", *extra]
+        )
+
+    def test_default_is_off(self):
+        assert self.parse().batch == "off"
+
+    def test_bare_flag_means_auto(self):
+        assert self.parse("--batch").batch == "auto"
+
+    def test_explicit_modes(self):
+        for mode in ("auto", "analog", "digital", "off"):
+            assert self.parse("--batch", mode).batch == mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            self.parse("--batch", "turbo")
+
+    def test_no_batch_alias(self):
+        assert self.parse("--batch", "--no-batch").batch == "off"
+
+    def test_campaign_runs_batched(self, netlist_file, fault_file, capsys):
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--batch", "digital"]) == 0
+        out = capsys.readouterr().out
+        assert "batch mode" in out
+
+
 class TestTextNetlistSupport:
     def test_rcir_file_accepted(self, tmp_path, capsys):
         deck = (

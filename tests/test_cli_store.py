@@ -94,6 +94,18 @@ class TestStoreBackedRuns:
         out = capsys.readouterr().out
         assert "dut" in out
         assert "3/3" in out
+        assert "mode" in out
+        assert "cold" in out
+
+    def test_status_shows_batch_mode(self, netlist_file, fault_file,
+                                     tmp_path, capsys):
+        db = str(tmp_path / "camp.db")
+        main(["campaign", "run", netlist_file, fault_file,
+              "--until", "300ns", "--store", db, "--batch", "digital"])
+        capsys.readouterr()
+        assert main(["campaign", "status", "--from-db", db]) == 0
+        out = capsys.readouterr().out
+        assert "batched/digital" in out
 
     def test_report_from_db_matches_live(self, netlist_file, fault_file,
                                          tmp_path, capsys):
