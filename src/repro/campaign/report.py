@@ -107,6 +107,14 @@ def execution_summary(result):
             f"wall time       : {ex['wall_s']:.3g} s"
             f" ({rate:.2f} runs/s)"
         )
+    phases = ex.get("phases")
+    if phases and any(phases.values()):
+        parts = [
+            f"{name} {phases[name]:.3g}s"
+            for name in ("restore", "step", "classify", "store_write")
+            if phases.get(name)
+        ]
+        lines.append(f"phase breakdown : {', '.join(parts)}")
     if ex.get("skipped"):
         lines.append(
             f"resumed         : {ex['skipped']} runs loaded from store, "

@@ -28,6 +28,8 @@ class CampaignRunError:
         retries).
     :ivar quarantined: True when the retry policy gave up on the
         fault; resume skips it unless asked to retry quarantined runs.
+    :ivar postmortem: path of the flight-recorder post-mortem dumped
+        for this failure, or None when none was written.
     """
 
     index: int
@@ -36,6 +38,7 @@ class CampaignRunError:
     status: str = RUN_ERROR
     attempts: int = 1
     quarantined: bool = False
+    postmortem: str = None
 
     def describe(self):
         """One line: fault -> status and error."""

@@ -33,6 +33,7 @@ run — golden and faulty — evaluates the identical block set.
 from __future__ import annotations
 
 import logging
+import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from time import perf_counter, sleep
@@ -44,8 +45,16 @@ from ..core.errors import CampaignError
 from ..core.trace import Trace
 from ..core.units import parse_quantity
 from ..injection.controller import CurrentInjection, InjectionController
+from ..obs import journal as _journal
 from ..obs import metrics as _metrics
 from ..obs import tracer as _tracer
+from ..obs.flightrec import (
+    FlightRecorder,
+    build_postmortem,
+    postmortem_path,
+    write_postmortem,
+    write_worker_postmortem,
+)
 from .classify import (
     RUN_CRASHED,
     RUN_DIVERGED,
@@ -56,7 +65,7 @@ from .classify import (
 from .compare import ComparisonGridCache, compare_probe_sets
 from .faultlist import batch_key, digital_batch_key
 from .results import CampaignResult, CampaignRunError, FaultResult
-from .supervisor import RetryPolicy, WorkerSupervisor
+from .supervisor import RetryPolicy, WorkerSupervisor, set_worker_phase
 
 LOGGER = logging.getLogger("repro.campaign")
 
@@ -171,6 +180,15 @@ class CampaignRunner:
         self._grid_cache = None
         self._flush_store = None
         self._batch_stats = None
+        # Telemetry state: the flight-recorder post-mortem directory,
+        # the sim/recorder of the faulty run in flight (what a failure
+        # dump captures), per-phase wall-time accumulators and the
+        # worker-lifecycle monitor (parallel runs only).
+        self._postmortem_dir = None
+        self._last_sim = None
+        self._recorder = None
+        self._phase_s = None
+        self._worker_monitor = None
 
     @staticmethod
     def _collect_windows(faults):
@@ -210,24 +228,149 @@ class CampaignRunner:
 
     def run_fault(self, fault):
         """Execute one faulty run; returns ``(design, controller)``."""
+        self._last_sim = None
+        self._recorder = None
         design = self.factory()
         self._apply_shared_windows(design)
         self._arm(design.sim)
         controller = InjectionController(design.sim, design.root)
         controller.apply(fault)
+        step_start = perf_counter()
         design.sim.run(self.spec.t_end)
+        if self._phase_s is not None:
+            self._phase_s["step"] += perf_counter() - step_start
         return design, controller
 
     def _arm(self, sim):
-        """Install the run budget and numerical guard on a faulty sim.
+        """Install the run budget, guard and flight recorder on a sim.
 
         Golden runs are never armed: they are fault-free by
         construction, and a budget tripping there would abort the whole
-        campaign rather than classify one run.
+        campaign rather than classify one run.  The flight recorder is
+        a *fresh* ring per faulty run (armed only when a post-mortem
+        directory is configured), so a dump always shows this run's
+        recent history, never a predecessor's.
         """
         sim.budget = self._budget
         if self._guard is not None and sim.analog.guard is None:
             sim.analog.guard = self._guard.fresh()
+        self._last_sim = sim
+        if self._postmortem_dir is not None:
+            self._recorder = FlightRecorder()
+            sim.analog.recorder = self._recorder
+        else:
+            self._recorder = None
+
+    def _dump_postmortem(self, index, fault, status, exc, attempt):
+        """Best-effort flight-recorder dump for one failed attempt.
+
+        Returns the post-mortem path, or None when dumping is off (no
+        post-mortem directory) or itself failed — a broken dump must
+        never turn a classified failure into a campaign abort.
+        """
+        if self._postmortem_dir is None:
+            return None
+        try:
+            payload = build_postmortem(
+                self._last_sim, self._recorder, fault=fault, index=index,
+                status=status, error=exc, budget=self._budget,
+                attempt=attempt,
+            )
+            path = write_postmortem(self._postmortem_dir, index, payload)
+        except Exception:
+            LOGGER.exception(
+                "failed to write post-mortem for fault %d", index
+            )
+            return None
+        _journal.emit(
+            "postmortem_written", index=index, path=path, status=status
+        )
+        return path
+
+    def _find_postmortem(self, index):
+        """The existing post-mortem path for ``index``, or None.
+
+        Post-mortem paths are deterministic precisely so the parent
+        can reference a dump a (possibly dead) worker wrote without
+        any cross-process handshake: an existence check is the whole
+        protocol.
+        """
+        if self._postmortem_dir is None:
+            return None
+        path = postmortem_path(self._postmortem_dir, index)
+        return path if os.path.exists(path) else None
+
+    def _build_worker_monitor(self, store, campaign_id):
+        """The supervisor monitor that turns worker lifecycle events
+        into journal events, store worker rows and (for workers that
+        die without reporting) parent-written post-mortems."""
+
+        def monitor(info):
+            event = info.get("event")
+            pid = info.get("pid")
+            index = info.get("index")
+            if event == "spawned":
+                _journal.emit("worker_spawned", pid=pid)
+                if store is not None:
+                    store.record_worker(campaign_id, pid, "alive",
+                                        phase="idle")
+            elif event == "task":
+                _journal.emit(
+                    "run_started", index=index,
+                    fault=self.spec.faults[index].describe(),
+                    attempt=info.get("attempt"), worker_pid=pid,
+                )
+                if store is not None:
+                    store.record_worker(campaign_id, pid, "alive",
+                                        fault_idx=index, phase="running")
+            elif event == "heartbeat":
+                _journal.emit(
+                    "worker_heartbeat", pid=pid, index=index,
+                    phase=info.get("phase"),
+                )
+                if store is not None:
+                    store.record_worker(campaign_id, pid, "alive",
+                                        fault_idx=index,
+                                        phase=info.get("phase"))
+            elif event == "died":
+                _journal.emit(
+                    "worker_died", pid=pid, index=index,
+                    exitcode=info.get("exitcode"),
+                    killed=bool(info.get("killed")),
+                )
+                heartbeat = info.get("last_heartbeat") or {}
+                if store is not None:
+                    store.record_worker(
+                        campaign_id, pid, "dead", fault_idx=index,
+                        phase=heartbeat.get("phase"),
+                        exitcode=info.get("exitcode"),
+                    )
+                # A killed/crashed worker could not dump its own
+                # flight recorder; write what the parent knows.
+                if self._postmortem_dir is not None and index is not None:
+                    status = info.get("status", RUN_CRASHED)
+                    path = write_worker_postmortem(
+                        self._postmortem_dir, index,
+                        fault=self.spec.faults[index], status=status,
+                        error=(
+                            f"worker pid {pid} died"
+                            f" (exitcode {info.get('exitcode')},"
+                            f" killed={bool(info.get('killed'))})"
+                        ),
+                        pid=pid, exitcode=info.get("exitcode"),
+                        last_heartbeat=info.get("last_heartbeat"),
+                    )
+                    _journal.emit(
+                        "postmortem_written", index=index, path=path,
+                        status=status,
+                    )
+            elif event == "retry":
+                _journal.emit(
+                    "retry", index=index, attempt=info.get("attempt"),
+                    delay_s=info.get("delay_s"), status=info.get("status"),
+                )
+
+        return monitor
 
     @staticmethod
     def _check_probes(design, outputs):
@@ -422,17 +565,25 @@ class CampaignRunner:
         # the guard's step history via the solver's invalidate hook).
         self._arm(sim)
 
-        _t_ckpt, snap = self._restore_point(fault)
+        t_ckpt, snap = self._restore_point(fault)
 
         events_before = sim.events_executed
+        set_worker_phase("restore")
+        restore_start = perf_counter()
         sim.restore(snap)
         self._resplice_golden_prefixes(warm)
+        step_start = perf_counter()
+        _journal.emit("checkpoint_restored", t_ckpt=t_ckpt)
+        set_worker_phase("simulate")
         controller = InjectionController(
             sim, design.root, saboteurs=warm["saboteurs"]
         )
         with sim.injection_band():
             controller.apply(fault)
         sim.run(self.spec.t_end)
+        if self._phase_s is not None:
+            self._phase_s["restore"] += step_start - restore_start
+            self._phase_s["step"] += perf_counter() - step_start
 
         probes = {
             name: _clone_trace(trace) for name, trace in design.probes.items()
@@ -554,6 +705,10 @@ class CampaignRunner:
         _t_ckpt, snap = self._restore_point(faults[0][1])
         events_before = sim.events_executed
         sim.budget = self._scaled_budget(k)
+        # The per-run flight recorder is a scalar-path instrument; a
+        # leftover ring from a previous scalar run must not record (or
+        # dump) ensemble steps.
+        sim.analog.recorder = None
         ensemble = Ensemble(sim, k, guard=self._guard)
         try:
             sim.restore(snap)
@@ -685,6 +840,7 @@ class CampaignRunner:
         branch_nodes = []
         try:
             sim.budget = None
+            sim.analog.recorder = None  # golden walk is never recorded
             self._reinflate_golden(warm)
             sim.restore(trunk.snapshot)
             parent = trunk
@@ -807,6 +963,10 @@ class CampaignRunner:
                 self.progress(
                     position, len(batches), self.spec.faults[indices[0]]
                 )
+            _journal.emit(
+                "batch_planned", kind=kind, size=len(indices),
+                t_ckpt=t_ckpt, position=position, batches=len(batches),
+            )
             with _tracer.TRACER.span(
                 "campaign.batch", kind=kind, size=len(indices),
                 t_ckpt=t_ckpt,
@@ -927,6 +1087,10 @@ class CampaignRunner:
             while True:
                 attempt += 1
                 wall_start = perf_counter()
+                _journal.emit(
+                    "run_started", index=index, fault=fault.describe(),
+                    attempt=attempt,
+                )
                 try:
                     with tracer.span(
                         "campaign.fault_run", index=index,
@@ -942,8 +1106,13 @@ class CampaignRunner:
                     if on_error == "raise":
                         raise
                     status = classify_failure(exc)
+                    self._dump_postmortem(index, fault, status, exc, attempt)
                     if retry is not None and attempt < retry.attempts:
                         _metrics.REGISTRY.inc("campaign.retries")
+                        _journal.emit(
+                            "retry", index=index, attempt=attempt,
+                            delay_s=retry.delay(attempt), status=status,
+                        )
                         sleep(retry.delay(attempt))
                         continue
                     yield index, False, (exc, status), wall_s, attempt
@@ -974,6 +1143,7 @@ class CampaignRunner:
             deadline_s=(
                 self._budget.max_wall_s if self._budget is not None else None
             ),
+            monitor=self._worker_monitor,
         )
         _ACTIVE_RUNNER = self
         try:
@@ -1005,6 +1175,7 @@ class CampaignRunner:
         retries=None,
         retry=None,
         retry_quarantined=False,
+        postmortem_dir=None,
     ):
         """Run golden + every (remaining) fault; returns a
         :class:`CampaignResult`.
@@ -1075,6 +1246,14 @@ class CampaignRunner:
             ``retries``).
         :param retry_quarantined: with ``resume``, re-run faults a
             previous execution quarantined instead of skipping them.
+        :param postmortem_dir: directory for failure flight-recorder
+            dumps.  When set, every faulty run carries a
+            :class:`~repro.obs.flightrec.FlightRecorder`, and a run
+            that fails (timeout/diverged/crashed/error) leaves a
+            ``fault_NNNNN.postmortem.json`` there — referenced from
+            its store row — with the last recorded solver steps, live
+            node values, event-queue tail, fault parameters and budget
+            state.  ``None`` (the default) disables recording.
         """
         if on_error not in ("raise", "collect"):
             raise CampaignError(
@@ -1107,6 +1286,12 @@ class CampaignRunner:
             )
         self._retry = retry if on_error == "collect" else None
         self._grid_cache = ComparisonGridCache()
+        self._postmortem_dir = (
+            None if postmortem_dir is None else str(postmortem_dir)
+        )
+        self._phase_s = {
+            "restore": 0.0, "step": 0.0, "classify": 0.0, "store_write": 0.0,
+        }
         self._batch_stats = {
             "mode": batch_mode,
             "batches": 0, "analog_batches": 0, "digital_batches": 0,
@@ -1124,6 +1309,11 @@ class CampaignRunner:
                 pending = store.pending_indices(
                     campaign_id, total,
                     include_quarantined=retry_quarantined,
+                )
+            if _journal.JOURNAL.enabled:
+                store.record_journal(
+                    campaign_id, _journal.JOURNAL.path,
+                    _journal.JOURNAL.session_offset,
                 )
 
         if warm_start:
@@ -1157,6 +1347,16 @@ class CampaignRunner:
                     "falling back to serial execution", workers,
                 )
                 parallel = False
+        mode = "batched" if batch else ("warm" if warm_start else "cold")
+        _journal.emit(
+            "campaign_started", name=self.spec.name, total=total,
+            pending=len(pending), mode=mode,
+            workers=workers if parallel else 1, resume=bool(resume),
+        )
+        if parallel:
+            self._worker_monitor = self._build_worker_monitor(
+                store, campaign_id
+            )
         if batch:
             outcomes = self._batched_outcomes(pending, on_error, batch_mode)
         elif parallel:
@@ -1184,7 +1384,14 @@ class CampaignRunner:
                 store.record_runs(campaign_id, store_rows)
                 store_rows.clear()
 
-        self._flush_store = _flush_rows if batch else None
+        phases = self._phase_s
+
+        def _flush_timed():
+            flush_start = perf_counter()
+            _flush_rows()
+            phases["store_write"] += perf_counter() - flush_start
+
+        self._flush_store = _flush_timed if batch else None
         try:
             for index, ok, payload, wall_s, attempts in outcomes:
                 fault = self.spec.faults[index]
@@ -1198,10 +1405,11 @@ class CampaignRunner:
                         and attempts >= self._retry.attempts
                     )
                     message = f"{type(exc).__name__}: {exc}"
+                    postmortem = self._find_postmortem(index)
                     errors.append(CampaignRunError(
                         index, fault, message,
                         status=status, attempts=attempts,
-                        quarantined=quarantined,
+                        quarantined=quarantined, postmortem=postmortem,
                     ))
                     registry.inc("campaign.errors")
                     if status in failure_tally:
@@ -1209,36 +1417,57 @@ class CampaignRunner:
                         registry.inc(f"campaign.{status}")
                     if quarantined:
                         registry.inc("campaign.quarantined")
+                        _journal.emit(
+                            "quarantined", index=index, status=status,
+                            attempts=attempts,
+                        )
+                    _journal.emit(
+                        "run_finished", index=index, status=status,
+                        label=None, wall_s=round(wall_s, 6),
+                        attempts=attempts,
+                    )
                     if store is not None:
+                        write_start = perf_counter()
                         store.record_error(
                             campaign_id, index, message, wall_s,
                             status=status, attempts=attempts,
-                            quarantined=quarantined,
+                            quarantined=quarantined, postmortem=postmortem,
                         )
+                        phases["store_write"] += perf_counter() - write_start
                     continue
                 probes, metrics, events = payload
                 fault_events += events
+                classify_start = perf_counter()
                 run_result = self._evaluate(
                     golden_probes, fault, probes, metrics
                 )
+                phases["classify"] += perf_counter() - classify_start
                 new_runs[index] = run_result
                 registry.inc("campaign.runs")
                 registry.inc(f"campaign.class.{run_result.label}")
                 registry.observe("campaign.run_wall_s", wall_s)
+                _journal.emit(
+                    "run_finished", index=index, status="ok",
+                    label=run_result.label, wall_s=round(wall_s, 6),
+                    attempts=attempts,
+                )
                 if store is not None:
                     if batch:
                         store_rows.append(
                             (index, run_result, wall_s, events, attempts)
                         )
                     else:
+                        write_start = perf_counter()
                         store.record_run(
                             campaign_id, index, run_result,
                             wall_s=wall_s, kernel_events=events,
                             attempts=attempts,
                         )
+                        phases["store_write"] += perf_counter() - write_start
         finally:
             _flush_rows()
             self._flush_store = None
+            self._worker_monitor = None
         if retried:
             registry.inc("campaign.retried_runs", retried)
 
@@ -1265,7 +1494,7 @@ class CampaignRunner:
         result.errors = errors
 
         result.execution = {
-            "mode": "batched" if batch else ("warm" if warm_start else "cold"),
+            "mode": mode,
             "workers": workers or 1,
             "checkpoints": checkpoints,
             "golden_events": golden_events,
@@ -1293,12 +1522,26 @@ class CampaignRunner:
             registry.inc("campaign.warm.miss", len(pending) - hits)
         if batch:
             result.execution["batch"] = dict(self._batch_stats)
+        # Per-phase wall-time breakdown.  restore/step accrue inside
+        # the process that simulates — the parent for serial and
+        # batched campaigns; forked workers (whose accumulators die
+        # with them) for parallel ones — so in parallel mode only the
+        # parent-side classify/store_write phases are visible.
+        result.execution["phases"] = {
+            name: round(value, 6) for name, value in phases.items()
+        }
+        for name, value in phases.items():
+            registry.observe(f"campaign.phase.{name}_s", value)
         if store is not None:
             store.record_execution(
                 campaign_id,
                 result.execution,
                 status="complete" if not errors else "errors",
             )
+        _journal.emit(
+            "campaign_finished", name=self.spec.name,
+            execution=result.execution,
+        )
         return result
 
 
@@ -1322,14 +1565,20 @@ def _worker_execute(index):
 
     Failures classify *inside the worker* (on the original exception,
     before any lossy pickling fallback) and ship as an
-    ``(exception, status)`` payload.
+    ``(exception, status)`` payload — after the worker dumps its own
+    flight recorder, which only it holds; the parent locates the dump
+    by its deterministic path.
     """
     wall_start = perf_counter()
+    runner = _ACTIVE_RUNNER
+    fault = runner.spec.faults[index]
     try:
-        payload = _ACTIVE_RUNNER._execute_one(_ACTIVE_RUNNER.spec.faults[index])
+        payload = runner._execute_one(fault)
     except Exception as exc:
+        status = classify_failure(exc)
+        runner._dump_postmortem(index, fault, status, exc, None)
         return (
-            index, False, (_picklable(exc), classify_failure(exc)),
+            index, False, (_picklable(exc), status),
             perf_counter() - wall_start,
         )
     return index, True, payload, perf_counter() - wall_start
@@ -1338,13 +1587,15 @@ def _worker_execute(index):
 def _worker_execute_warm(index):
     """Worker body: warm-start fault ``index`` from a checkpoint."""
     wall_start = perf_counter()
+    runner = _ACTIVE_RUNNER
+    fault = runner.spec.faults[index]
     try:
-        payload = _ACTIVE_RUNNER.run_fault_warm(
-            _ACTIVE_RUNNER.spec.faults[index]
-        )
+        payload = runner.run_fault_warm(fault)
     except Exception as exc:
+        status = classify_failure(exc)
+        runner._dump_postmortem(index, fault, status, exc, None)
         return (
-            index, False, (_picklable(exc), classify_failure(exc)),
+            index, False, (_picklable(exc), status),
             perf_counter() - wall_start,
         )
     return index, True, payload, perf_counter() - wall_start
@@ -1370,6 +1621,7 @@ def run_campaign(
     retries=None,
     retry=None,
     retry_quarantined=False,
+    postmortem_dir=None,
 ):
     """Convenience wrapper: build a runner and run it."""
     return CampaignRunner(
@@ -1390,4 +1642,5 @@ def run_campaign(
         retries=retries,
         retry=retry,
         retry_quarantined=retry_quarantined,
+        postmortem_dir=postmortem_dir,
     )

@@ -31,6 +31,8 @@ tuples where a failure payload is ``(exception, status)``.
 from __future__ import annotations
 
 import logging
+import os
+import threading
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_ready
@@ -41,6 +43,22 @@ from ..obs import metrics as _metrics
 from .classify import RUN_CRASHED, RUN_TIMEOUT
 
 LOGGER = logging.getLogger("repro.campaign")
+
+#: Default seconds between worker heartbeat messages.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: Worker-local run state the heartbeat thread reports.  The campaign
+#: worker bodies update it (plain dict assignment — no locking needed
+#: for a single-writer, single-reader flag) as a run moves through its
+#: phases; fork gives every worker its own copy.
+WORKER_PHASE = {"index": None, "phase": "idle"}
+
+
+def set_worker_phase(phase, index=None):
+    """Record the phase the current (worker) process is in."""
+    WORKER_PHASE["phase"] = phase
+    if index is not None:
+        WORKER_PHASE["index"] = index
 
 
 @dataclass(frozen=True)
@@ -72,13 +90,40 @@ class RetryPolicy:
         return min(self.backoff_cap_s, self.backoff_s * 2 ** (failures - 1))
 
 
-def _supervised_worker(conn, body):
+def _supervised_worker(conn, body, heartbeat_s=None):
     """Worker main loop: receive a fault index, run it, send the outcome.
 
     ``body`` catches per-run exceptions itself and folds them into the
     outcome tuple, so the only way this loop dies is a genuine process
     death — which the parent observes as EOF on ``conn``.
+
+    With ``heartbeat_s`` set, a daemon thread periodically sends
+    ``("hb", {...})`` liveness messages carrying the pid and the
+    current :data:`WORKER_PHASE` (fault index + phase), so the parent
+    can tell a *slow* run from a *wedged* one and attribute a kill to
+    the exact phase it interrupted.  Outcome messages are tagged
+    ``("result", ...)``; a lock serialises the two senders (reads and
+    writes travel opposite directions on the duplex pipe, so the main
+    thread's blocking ``recv`` never contends with a heartbeat send).
     """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _heartbeat_loop():
+        while not stop.wait(heartbeat_s):
+            message = ("hb", {
+                "pid": os.getpid(),
+                "index": WORKER_PHASE["index"],
+                "phase": WORKER_PHASE["phase"],
+            })
+            try:
+                with send_lock:
+                    conn.send(message)
+            except (OSError, ValueError):
+                return  # pipe gone: the worker is shutting down
+
+    if heartbeat_s:
+        threading.Thread(target=_heartbeat_loop, daemon=True).start()
     try:
         while True:
             try:
@@ -87,8 +132,14 @@ def _supervised_worker(conn, body):
                 break
             if task is None:
                 break
-            conn.send(body(task))
+            set_worker_phase("running", index=task)
+            outcome = body(task)
+            set_worker_phase("idle")
+            WORKER_PHASE["index"] = None
+            with send_lock:
+                conn.send(("result", outcome))
     finally:
+        stop.set()
         conn.close()
 
 
@@ -96,7 +147,7 @@ class _Worker:
     """Parent-side record of one supervised worker process."""
 
     __slots__ = ("process", "conn", "index", "attempt", "started_at",
-                 "killed")
+                 "killed", "last_heartbeat", "heartbeat_at")
 
     def __init__(self, process, conn):
         self.process = process
@@ -105,6 +156,8 @@ class _Worker:
         self.attempt = 0
         self.started_at = 0.0
         self.killed = False     # True when the supervisor killed it
+        self.last_heartbeat = None   # most recent hb payload dict
+        self.heartbeat_at = None     # monotonic() of that payload
 
     @property
     def busy(self):
@@ -128,10 +181,19 @@ class WorkerSupervisor:
         runs wedged inside a single native call.
     :param kill_grace_s: grace between the deadline and the hard kill.
     :param poll_s: result-poll granularity.
+    :param heartbeat_s: seconds between worker liveness heartbeats
+        (``None`` disables the heartbeat thread entirely).
+    :param monitor: optional callable ``(event_dict)`` notified of
+        worker lifecycle events — ``spawned``, ``task``,
+        ``heartbeat``, ``died`` — with the worker pid and (where
+        known) the fault index, phase and exit code.  The supervisor
+        stays transport-only; the campaign runner's monitor turns
+        these into journal events and store rows.
     """
 
     def __init__(self, context, body, workers, retry=None, deadline_s=None,
-                 kill_grace_s=2.0, poll_s=0.05):
+                 kill_grace_s=2.0, poll_s=0.05,
+                 heartbeat_s=DEFAULT_HEARTBEAT_S, monitor=None):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers!r}")
         self.context = context
@@ -141,6 +203,16 @@ class WorkerSupervisor:
         self.deadline_s = deadline_s
         self.kill_grace_s = kill_grace_s
         self.poll_s = poll_s
+        self.heartbeat_s = heartbeat_s
+        self.monitor = monitor
+
+    def _notify(self, event, **fields):
+        if self.monitor is None:
+            return
+        try:
+            self.monitor(dict(event=event, **fields))
+        except Exception:
+            LOGGER.exception("worker monitor callback failed")
 
     # -- process management ------------------------------------------------
 
@@ -148,7 +220,7 @@ class WorkerSupervisor:
         parent_conn, child_conn = self.context.Pipe()
         process = self.context.Process(
             target=_supervised_worker,
-            args=(child_conn, self.body),
+            args=(child_conn, self.body, self.heartbeat_s),
             daemon=True,
         )
         process.start()
@@ -156,6 +228,7 @@ class WorkerSupervisor:
         # signals a worker death only surfaces once *every* handle on
         # that end is closed.
         child_conn.close()
+        self._notify("spawned", pid=process.pid)
         return _Worker(process, parent_conn)
 
     def _shutdown(self, workers):
@@ -217,6 +290,8 @@ class WorkerSupervisor:
                     worker.killed = False
                     try:
                         worker.conn.send(index)
+                        self._notify("task", pid=worker.process.pid,
+                                     index=index, attempt=attempt)
                     except (OSError, ValueError) as exc:
                         # Worker died before it ever took a task.
                         workers.remove(worker)
@@ -282,7 +357,7 @@ class WorkerSupervisor:
         index, attempt = worker.index, worker.attempt
         wall_s = monotonic() - worker.started_at
         try:
-            result = worker.conn.recv()
+            message = worker.conn.recv()
         except (EOFError, OSError):
             # The worker died mid-run: attribute the death to the fault
             # it was executing, then replace the process.
@@ -307,8 +382,21 @@ class WorkerSupervisor:
                 )
             LOGGER.warning("%s", error)
             _metrics.REGISTRY.inc("campaign.worker_deaths")
+            self._notify(
+                "died", pid=worker.process.pid, index=index,
+                attempt=attempt, exitcode=exitcode, killed=worker.killed,
+                status=status, last_heartbeat=worker.last_heartbeat,
+            )
             return self._dispose(delayed, index, attempt, error, status,
                                  wall_s)
+
+        tag, result = message
+        if tag == "hb":
+            # Liveness only: the worker stays busy on its fault.
+            worker.last_heartbeat = result
+            worker.heartbeat_at = monotonic()
+            self._notify("heartbeat", **result)
+            return None
 
         worker.index = None  # idle again
         r_index, ok, payload, r_wall = result
@@ -321,6 +409,8 @@ class WorkerSupervisor:
         """Retry a failed attempt, or return its terminal outcome."""
         if self.retry is not None and attempt < self.retry.attempts:
             _metrics.REGISTRY.inc("campaign.retries")
+            self._notify("retry", index=index, attempt=attempt,
+                         delay_s=self.retry.delay(attempt), status=status)
             delayed.append(
                 (monotonic() + self.retry.delay(attempt), index, attempt + 1)
             )

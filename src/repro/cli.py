@@ -21,8 +21,11 @@ still accepted and behaves like ``campaign run``.)
 
 Observability: ``--trace spans.json`` records kernel/campaign spans,
 ``--metrics-out metrics.json`` dumps the counter/histogram registry,
-and an interactive run shows a live progress line with runs/sec and an
-ETA (force it with ``--progress``).
+``--journal events.jsonl`` streams typed campaign events as they
+happen (``campaign watch camp.db`` tails them live), and
+``--postmortem-dir dumps/`` writes a flight-recorder post-mortem per
+failed run.  An interactive run shows a live progress line with
+runs/sec and an ETA (force it with ``--progress``).
 
 The fault file is a JSON list of fault descriptors::
 
@@ -46,7 +49,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from time import monotonic
+from collections import deque
+from datetime import datetime, timezone
+from time import monotonic, sleep
 
 from .campaign import (
     CampaignSpec,
@@ -59,8 +64,10 @@ from .core.errors import ReproError
 from .core.units import parse_quantity
 from .core.vcd import save_vcd
 from .netlist import design_factory, known_types, load_file, load_text_file
+from .obs import journal as obs_journal
 from .obs import metrics as obs_metrics
 from .obs import tracer as obs_tracer
+from .obs.tracer import atomic_write_json
 from .store import CampaignStore
 from .store.serialize import fault_from_dict
 
@@ -99,16 +106,23 @@ class ProgressLine:
         self._dirty = False
 
     def __call__(self, index, total, fault):
-        """Render progress for run ``index`` of ``total``."""
+        """Render progress for run ``index`` of ``total``.
+
+        Guarded against the degenerate inputs a first callback (or an
+        empty campaign) produces: ``total == 0``, zero elapsed time and
+        zero rate all render placeholders instead of raising or
+        printing ``inf``/``nan``.
+        """
         elapsed = monotonic() - self.t_start
-        if index and elapsed > 0:
-            rate = index / elapsed
-            eta = f"{(total - index) / rate:4.0f}s"
-            rate = f"{rate:6.2f}"
+        if index > 0 and elapsed > 0:
+            runs_per_s = index / elapsed
+            eta = f"{(total - index) / runs_per_s:4.0f}s"
+            rate = f"{runs_per_s:6.2f}"
         else:
             rate, eta = " " * 6, "   ?s"
+        percent = f"{index / total:4.0%}" if total > 0 else "   -"
         line = (
-            f"\r[{index + 1:>4}/{total}] {index / total:4.0%}"
+            f"\r[{index + 1:>4}/{total}] {percent}"
             f" {rate} runs/s  eta {eta}  {fault.describe():<60.60s}"
         )
         self.stream.write(line)
@@ -172,13 +186,17 @@ def cmd_simulate(args):
 
 
 def _write_observability(args):
-    """Dump trace spans / metrics snapshots the run collected."""
+    """Dump trace spans / metrics snapshots the run collected.
+
+    Both artifacts are written atomically (temp file + rename), so an
+    interrupt mid-dump leaves the previous file or the complete new
+    one, never truncated JSON.
+    """
     if getattr(args, "trace", None):
         obs_tracer.TRACER.save(args.trace)
         print(f"wrote {args.trace}", file=sys.stderr)
     if getattr(args, "metrics_out", None):
-        with open(args.metrics_out, "w") as handle:
-            json.dump(obs_metrics.snapshot(), handle, indent=2)
+        atomic_write_json(args.metrics_out, obs_metrics.snapshot())
         print(f"wrote {args.metrics_out}", file=sys.stderr)
 
 
@@ -205,6 +223,12 @@ def cmd_campaign_run(args):
     if args.metrics_out:
         obs_metrics.reset()
         obs_metrics.enable()
+    if args.journal:
+        # Resumed campaigns append to a shared journal file (the store
+        # records this session's byte offset); fresh runs truncate.
+        obs_journal.open_journal(
+            args.journal, append=args.resume is not None
+        )
 
     if args.verbose:
         progress = (lambda i, n, f: print(f"run {i + 1}/{n}: {f.describe()}",
@@ -237,12 +261,16 @@ def cmd_campaign_run(args):
             event_budget=args.event_budget,
             retries=args.retries,
             retry_quarantined=args.retry_quarantined,
+            postmortem_dir=args.postmortem_dir,
         )
     finally:
         if store is not None:
             store.close()
         if isinstance(progress, ProgressLine):
             progress.finish()
+        if args.journal:
+            obs_journal.close_journal()
+            print(f"wrote {args.journal}", file=sys.stderr)
         _write_observability(args)
         if args.trace:
             obs_tracer.disable()
@@ -279,28 +307,168 @@ def cmd_campaign_run(args):
     return 1 if args.fail_on_error and errors else 0
 
 
+def _age_seconds(iso_text):
+    """Seconds since an ISO timestamp, or None when unparseable."""
+    try:
+        then = datetime.fromisoformat(iso_text)
+    except (TypeError, ValueError):
+        return None
+    if then.tzinfo is None:
+        then = then.replace(tzinfo=timezone.utc)
+    return (datetime.now(timezone.utc) - then).total_seconds()
+
+
+def _worker_lines(store, name):
+    """Rendered supervised-worker rows for one campaign (may be [])."""
+    try:
+        rows = store.worker_rows(name)
+    except ReproError:
+        return []
+    lines = []
+    for row in rows:
+        state = row["state"]
+        if state == "dead" and row["exitcode"] is not None:
+            state = f"dead[{row['exitcode']}]"
+        task = (
+            "idle" if row["fault_idx"] is None
+            else f"fault {row['fault_idx']}"
+        )
+        if row["phase"]:
+            task += f" ({row['phase']})"
+        age = _age_seconds(row["updated_at"])
+        updated = f"{age:.1f}s ago" if age is not None else "?"
+        lines.append(
+            f"worker {row['pid']}: {state:<9} {task:<24} updated {updated}"
+        )
+    return lines
+
+
 def cmd_campaign_status(args):
     """Progress summary of every campaign in a store."""
     with CampaignStore(args.from_db) as store:
         summaries = store.status()
-    if not summaries:
-        print("no campaigns recorded")
-        return 0
-    header = (
-        f"{'campaign':<24} {'status':<9} {'mode':<15} {'done':>10} "
-        f"{'errors':>6} {'quar':>5}  last update"
-    )
-    print(header)
-    print("-" * len(header))
-    for row in summaries:
-        done = f"{row['completed']}/{row['total']}"
-        print(
-            f"{row['name']:<24} {row['status']:<9} "
-            f"{row.get('mode', '?'):<15} {done:>10} "
-            f"{row['errors']:>6} {row.get('quarantined', 0):>5}  "
-            f"{row['updated_at']}"
+        if not summaries:
+            print("no campaigns recorded")
+            return 0
+        header = (
+            f"{'campaign':<24} {'status':<9} {'mode':<15} {'done':>10} "
+            f"{'errors':>6} {'quar':>5}  last update"
         )
+        print(header)
+        print("-" * len(header))
+        for row in summaries:
+            done = f"{row['completed']}/{row['total']}"
+            print(
+                f"{row['name']:<24} {row['status']:<9} "
+                f"{row.get('mode', '?'):<15} {done:>10} "
+                f"{row['errors']:>6} {row.get('quarantined', 0):>5}  "
+                f"{row['updated_at']}"
+            )
+        for row in summaries:
+            worker_lines = _worker_lines(store, row["name"])
+            if worker_lines:
+                print(f"workers ({row['name']}):")
+                for line in worker_lines:
+                    print(f"  {line}")
     return 0
+
+
+def _watch_frame(store, name, finished, last_event, journal_path):
+    """One rendered frame of the ``campaign watch`` live view."""
+    stamp = datetime.now(timezone.utc).strftime("%H:%M:%S")
+    lines = [f"--- campaign watch @ {stamp}Z ---"]
+    try:
+        summaries = store.status()
+    except Exception as exc:  # writer holds the lock: show a stale frame
+        lines.append(f"(store busy: {exc})")
+        return "\n".join(lines)
+    if name is not None:
+        summaries = [s for s in summaries if s["name"] == name]
+    if not summaries:
+        lines.append("no campaigns recorded yet")
+        return "\n".join(lines)
+    window_s = 10.0
+    cutoff = monotonic() - window_s
+    rate = sum(1 for t in finished if t >= cutoff) / window_s
+    for row in summaries:
+        total = row["total"]
+        percent = (
+            f"{row['completed'] / total:4.0%}" if total else "   -"
+        )
+        lines.append(
+            f"{row['name']}: {row['status']} [{row.get('mode', '?')}]  "
+            f"{row['completed']}/{total} {percent}  "
+            f"errors {row['errors']}  "
+            f"quarantined {row.get('quarantined', 0)}"
+        )
+        try:
+            counts = store.run_status_counts(row["name"])
+        except ReproError:
+            counts = {}
+        if counts:
+            text = "  ".join(
+                f"{status}={n}" for status, n in sorted(counts.items())
+            )
+            lines.append(f"  status: {text}")
+        for line in _worker_lines(store, row["name"]):
+            lines.append(f"  {line}")
+    if journal_path:
+        lines.append(
+            f"  rate: {rate:.2f} runs/s (last {window_s:.0f}s,"
+            f" journal {journal_path})"
+        )
+        if last_event is not None:
+            lines.append(
+                f"  last event: {last_event.get('event')}"
+                f" (seq {last_event.get('seq')})"
+            )
+    else:
+        lines.append("  (no journal recorded; polling store only)")
+    return "\n".join(lines)
+
+
+def cmd_campaign_watch(args):
+    """Live view of a (running) campaign: tail the journal, poll the
+    store, render per-status counts, workers and runs/sec."""
+    from .obs.journal import tail_journal
+
+    deadline = monotonic() + args.duration if args.duration else None
+    finished = deque(maxlen=1024)  # stamps of recent run_finished events
+    last_event = None
+    with CampaignStore(args.from_db) as store:
+        journal_path = args.journal
+        position = 0
+        if journal_path is None:
+            try:
+                located = store.journal_location(args.name)
+            except ReproError:
+                located = None
+            if located:
+                journal_path, position = located
+        try:
+            while True:
+                if journal_path:
+                    events, position = tail_journal(journal_path, position)
+                    now = monotonic()
+                    for event in events:
+                        if event.get("event") == "run_finished":
+                            finished.append(now)
+                    if events:
+                        last_event = events[-1]
+                print(
+                    _watch_frame(
+                        store, args.name, finished, last_event,
+                        journal_path,
+                    ),
+                    flush=True,
+                )
+                if args.once:
+                    return 0
+                if deadline is not None and monotonic() >= deadline:
+                    return 0
+                sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_campaign_report(args):
@@ -396,6 +564,16 @@ def build_parser():
                        help="record kernel/campaign spans to a JSON file")
     p_run.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="dump the metrics registry to a JSON file")
+    p_run.add_argument("--journal", metavar="FILE", default=None,
+                       help="stream typed campaign events to FILE as "
+                            "JSONL while the campaign runs; 'campaign "
+                            "watch' tails it (with --resume the file "
+                            "is appended, not truncated)")
+    p_run.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                       help="write a flight-recorder post-mortem JSON "
+                            "per failed run (recent solver steps, node "
+                            "values, event-queue tail, fault and "
+                            "budget state) into DIR")
     p_run.add_argument("--timeout", default=None, metavar="SECONDS",
                        help="per-fault wall-clock budget, e.g. '30s'; "
                             "overrunning runs classify as 'timeout' "
@@ -427,6 +605,26 @@ def build_parser():
                           help="campaign database to inspect")
     p_status.set_defaults(func=cmd_campaign_status)
 
+    p_watch = camp_sub.add_parser(
+        "watch", help="live view of a running campaign"
+    )
+    p_watch.add_argument("from_db", metavar="DB",
+                         help="campaign database to watch")
+    p_watch.add_argument("--name", default=None,
+                         help="campaign name (when the DB holds several)")
+    p_watch.add_argument("--journal", metavar="FILE", default=None,
+                         help="journal file to tail (default: the one "
+                              "recorded in the store, when any)")
+    p_watch.add_argument("--interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="refresh interval (default 1s)")
+    p_watch.add_argument("--once", action="store_true",
+                         help="render a single frame and exit")
+    p_watch.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="stop watching after SECONDS")
+    p_watch.set_defaults(func=cmd_campaign_watch)
+
     p_report = camp_sub.add_parser(
         "report", help="regenerate reports from a campaign database"
     )
@@ -444,7 +642,7 @@ def build_parser():
     return parser
 
 
-_CAMPAIGN_SUBCOMMANDS = {"run", "status", "report"}
+_CAMPAIGN_SUBCOMMANDS = {"run", "status", "report", "watch"}
 
 
 def _normalize_argv(argv):

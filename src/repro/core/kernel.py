@@ -169,6 +169,10 @@ class AnalogSolver:
         #: after every solver step; None (the default) costs one
         #: attribute load per step.
         self.guard = None
+        #: Optional :class:`~repro.obs.flightrec.FlightRecorder` fed
+        #: after every solver step; None (the default) costs one
+        #: attribute load per step, same as the guard.
+        self.recorder = None
         #: Attached :class:`~repro.core.ensemble.Ensemble` while a
         #: batch of fault variants is stepping vectorized; None (the
         #: default) keeps the scalar per-step path.
@@ -350,6 +354,9 @@ class AnalogSolver:
         guard = self.guard
         if guard is not None:
             guard.maybe_check(self.sim, t)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_step(self.sim, t)
 
         self.sim._queue.push(self.next_step_time(t), self._step_event, PRIORITY_ANALOG)
 

@@ -1,4 +1,4 @@
-"""Observability: span tracing and metrics for kernel and campaigns.
+"""Observability: tracing, metrics, event journal and flight recorder.
 
 ``repro.obs`` makes campaign execution inspectable: the kernel records
 event/step deltas and checkpoint-restore timings, the campaign runner
@@ -14,10 +14,18 @@ that start *disabled* and cost (near) nothing until enabled::
     print(obs.metrics.snapshot()["counters"]["campaign.runs"])
     obs.tracer.TRACER.save("spans.json")
 
+Two streaming instruments complement the buffered pair:
+:mod:`repro.obs.journal` appends typed campaign events to a JSONL
+file as they happen (the stream ``campaign watch`` tails), and
+:mod:`repro.obs.flightrec` keeps a bounded ring of recent solver
+steps per faulty run and dumps a post-mortem file when a run dies.
+
 See ``docs/observability.md`` for the full instrument inventory.
 """
 
-from . import metrics, tracer
+from . import flightrec, journal, metrics, tracer
+from .flightrec import FlightRecorder
+from .journal import Journal
 from .metrics import Counter, Histogram, MetricsRegistry
 from .tracer import Span, Tracer
 
@@ -49,13 +57,17 @@ def reset():
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Histogram",
+    "Journal",
     "MetricsRegistry",
     "Span",
     "Tracer",
     "disable",
     "enable",
     "enabled",
+    "flightrec",
+    "journal",
     "metrics",
     "reset",
     "tracer",

@@ -15,7 +15,23 @@ disabled, and call sites on true hot paths should guard on
 from __future__ import annotations
 
 import json
+import os
 from time import perf_counter
+
+
+def atomic_write_json(path, payload, indent=2):
+    """Write ``payload`` as JSON via a same-directory temp + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so an interrupt
+    mid-write leaves either the previous file or the complete new one
+    — never truncated JSON.  Used for every end-of-run observability
+    artifact (trace spans, metrics snapshots, post-mortems).
+    """
+    path = str(path)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=indent, default=str)
+    os.replace(tmp, path)
 
 
 class Span:
@@ -168,10 +184,9 @@ class Tracer:
         }
 
     def save(self, path, chrome=False):
-        """Write collected spans to ``path`` as JSON."""
+        """Write collected spans to ``path`` as JSON (atomically)."""
         payload = self.to_chrome_trace() if chrome else self.to_dicts()
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2, default=str)
+        atomic_write_json(path, payload)
 
 
 #: The process-global tracer instrumented modules record into.

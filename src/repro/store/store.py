@@ -45,7 +45,14 @@ from .serialize import (
 #:   terminal :data:`~repro.campaign.classify.RUN_STATUSES`
 #:   (``timeout``/``diverged``/``crashed`` in addition to
 #:   ``ok``/``error``).  v1 files migrate in place on open.
-SCHEMA_VERSION = 2
+#: * v3 — telemetry: ``runs`` gains a ``postmortem`` column (path of
+#:   the flight-recorder dump for a failed run), ``campaigns`` gains
+#:   ``journal_path``/``journal_offset`` (where this campaign's event
+#:   stream lives inside a possibly shared journal file), and a new
+#:   ``workers`` table tracks supervised worker liveness (fed by
+#:   heartbeats; surfaced by ``campaign status``/``campaign watch``).
+#:   Older files migrate in place on open.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -86,9 +93,21 @@ CREATE TABLE IF NOT EXISTS runs (
     completed_at        TEXT NOT NULL,
     attempts            INTEGER,
     quarantined         INTEGER NOT NULL DEFAULT 0,
+    postmortem          TEXT,
     PRIMARY KEY (campaign_id, fault_idx)
 );
 CREATE INDEX IF NOT EXISTS runs_by_label ON runs (campaign_id, label);
+CREATE TABLE IF NOT EXISTS workers (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    pid         INTEGER NOT NULL,
+    state       TEXT NOT NULL,
+    fault_idx   INTEGER,
+    phase       TEXT,
+    exitcode    INTEGER,
+    spawned_at  TEXT NOT NULL,
+    updated_at  TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, pid)
+);
 """
 
 
@@ -152,13 +171,14 @@ class CampaignStore:
         self._conn.commit()
 
     def _migrate(self):
-        """Upgrade a pre-v2 database in place (additive columns only).
+        """Upgrade an older database in place (additive columns only).
 
-        ``CREATE TABLE IF NOT EXISTS`` leaves an existing v1 ``runs``
-        table untouched, so the supervised-execution columns are added
-        here; existing rows read back with ``attempts`` NULL (treated
-        as 1) and ``quarantined`` 0, which is exactly what a v1
-        campaign meant.
+        ``CREATE TABLE IF NOT EXISTS`` leaves existing tables
+        untouched, so newer columns are added here; existing rows read
+        back with the new columns NULL (``attempts`` NULL is treated
+        as 1, ``quarantined`` defaults to 0), which is exactly what
+        the older campaign meant.  The ``workers`` table is new in v3
+        and created by the schema script itself.
         """
         columns = {
             row["name"]
@@ -170,6 +190,20 @@ class CampaignStore:
             self._conn.execute(
                 "ALTER TABLE runs ADD COLUMN quarantined INTEGER"
                 " NOT NULL DEFAULT 0"
+            )
+        if "postmortem" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN postmortem TEXT")
+        campaign_columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(campaigns)")
+        }
+        if "journal_path" not in campaign_columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN journal_path TEXT"
+            )
+        if "journal_offset" not in campaign_columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN journal_offset INTEGER"
             )
 
     # -- lifecycle ---------------------------------------------------------
@@ -380,7 +414,8 @@ class CampaignStore:
         self._conn.commit()
 
     def record_error(self, campaign_id, index, message, wall_s=None,
-                     status="error", attempts=1, quarantined=False):
+                     status="error", attempts=1, quarantined=False,
+                     postmortem=None):
         """Persist one failed faulty run (commits immediately).
 
         :param status: terminal failure status — one of
@@ -388,6 +423,8 @@ class CampaignStore:
         :param attempts: how many times the fault was attempted.
         :param quarantined: True parks the fault: resume skips it
             unless quarantined faults are explicitly re-requested.
+        :param postmortem: optional path of the flight-recorder dump
+            written for this failure (see :mod:`repro.obs.flightrec`).
         """
         from ..campaign.classify import FAILURE_STATUSES
 
@@ -400,11 +437,52 @@ class CampaignStore:
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
             " error, wall_s, kernel_events, completed_at, attempts,"
-            " quarantined)"
-            " VALUES (?, ?, ?, NULL, NULL, NULL, NULL, ?, ?, NULL, ?, ?, ?)",
+            " quarantined, postmortem)"
+            " VALUES (?, ?, ?, NULL, NULL, NULL, NULL, ?, ?, NULL, ?, ?, ?,"
+            " ?)",
             (campaign_id, index, status, message, wall_s, _now(),
-             attempts, 1 if quarantined else 0),
+             attempts, 1 if quarantined else 0,
+             None if postmortem is None else str(postmortem)),
         )
+        self._conn.commit()
+
+    def record_journal(self, campaign_id, path, offset=0):
+        """Record where this campaign's journal event stream lives.
+
+        ``offset`` is the byte position at which this execution's
+        events start (non-zero when appending to a shared journal
+        file), so a consumer can seek straight to them.
+        """
+        self._conn.execute(
+            "UPDATE campaigns SET journal_path = ?, journal_offset = ?,"
+            " updated_at = ? WHERE id = ?",
+            (str(path), int(offset), _now(), campaign_id),
+        )
+        self._conn.commit()
+
+    def record_worker(self, campaign_id, pid, state, fault_idx=None,
+                      phase=None, exitcode=None):
+        """Upsert one supervised worker's liveness row.
+
+        Called by the campaign parent on worker lifecycle events
+        (spawn, heartbeat, death); ``campaign status`` and ``campaign
+        watch`` render the result as the workers section.
+        """
+        now = _now()
+        cursor = self._conn.execute(
+            "UPDATE workers SET state = ?, fault_idx = ?, phase = ?,"
+            " exitcode = ?, updated_at = ?"
+            " WHERE campaign_id = ? AND pid = ?",
+            (state, fault_idx, phase, exitcode, now, campaign_id, pid),
+        )
+        if cursor.rowcount == 0:
+            self._conn.execute(
+                "INSERT INTO workers (campaign_id, pid, state, fault_idx,"
+                " phase, exitcode, spawned_at, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (campaign_id, pid, state, fault_idx, phase, exitcode,
+                 now, now),
+            )
         self._conn.commit()
 
     def record_execution(self, campaign_id, execution, status="complete"):
@@ -521,8 +599,39 @@ class CampaignStore:
                 status=row["status"],
                 attempts=row["attempts"] or 1,
                 quarantined=bool(row["quarantined"]),
+                postmortem=row["postmortem"],
             ))
         return errors
+
+    def journal_location(self, name=None):
+        """The recorded ``(journal_path, journal_offset)`` (or None)."""
+        campaign_id = self.campaign_id(name)
+        row = self._conn.execute(
+            "SELECT journal_path, journal_offset FROM campaigns"
+            " WHERE id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None or row["journal_path"] is None:
+            return None
+        return row["journal_path"], row["journal_offset"] or 0
+
+    def worker_rows(self, name=None):
+        """Supervised worker liveness rows for one campaign.
+
+        Returns a list of dicts (``pid``, ``state``, ``fault_idx``,
+        ``phase``, ``exitcode``, ``spawned_at``, ``updated_at``) in
+        spawn order; empty for serial campaigns.
+        """
+        campaign_id = self.campaign_id(name)
+        return [
+            dict(row)
+            for row in self._conn.execute(
+                "SELECT pid, state, fault_idx, phase, exitcode,"
+                " spawned_at, updated_at FROM workers"
+                " WHERE campaign_id = ? ORDER BY spawned_at, pid",
+                (campaign_id,),
+            )
+        ]
 
     def load_result(self, name=None):
         """Rebuild a full :class:`CampaignResult` without simulating.
@@ -603,6 +712,23 @@ class CampaignStore:
                 }
             )
         return summaries
+
+    def run_status_counts(self, name=None):
+        """Terminal run status -> row count, straight from SQL.
+
+        ``ok`` counts completed runs; failure statuses (``timeout``/
+        ``diverged``/``crashed``/``error``) count their terminal rows.
+        The live view (``campaign watch``) polls this.
+        """
+        campaign_id = self.campaign_id(name)
+        return {
+            row["status"]: row["n"]
+            for row in self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM runs"
+                " WHERE campaign_id = ? GROUP BY status ORDER BY status",
+                (campaign_id,),
+            )
+        }
 
     def class_counts(self, name=None):
         """Classification label -> run count, straight from SQL."""

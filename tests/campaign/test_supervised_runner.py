@@ -378,7 +378,7 @@ class TestQuarantineResume:
             version = store._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()["value"]
-            assert version == "2"
+            assert version == "3"
             # And v2 writes work against the migrated table.
             store.record_error(1, 1, "new", status=RUN_TIMEOUT,
                                attempts=2, quarantined=True)

@@ -38,6 +38,7 @@ from repro.campaign import (
 )
 from repro.core import AnalogBlock, NumericalGuard, Simulator
 from repro.faults import FIGURE6_PULSE, TrapezoidPulse
+from repro.obs.journal import close_journal, open_journal, read_journal
 from repro.store import CampaignStore
 
 from tests.conftest import make_fast_pll
@@ -120,14 +121,36 @@ class TestSupervisedPLLCampaign:
         return tmp_path_factory.mktemp("campaign") / "pll.sqlite"
 
     @pytest.fixture(scope="class")
-    def hostile_result(self, store_path):
-        with CampaignStore(store_path) as store:
-            yield run_campaign(
-                hostile_pll_factory, make_spec(),
-                metric_hooks=[kill_hook],
-                workers=2, on_error="collect", retries=0,
-                guard=GUARD, store=store,
-            )
+    def artifact_dir(self, tmp_path_factory):
+        """Where the journal and post-mortems land.
+
+        ``REPRO_ARTIFACT_DIR`` (set by CI) redirects them to a
+        directory the workflow uploads as build artifacts, so a failed
+        acceptance run ships its own flight-recorder evidence.
+        """
+        root = os.environ.get("REPRO_ARTIFACT_DIR")
+        if root:
+            path = os.path.join(root, "supervised-pll")
+            os.makedirs(path, exist_ok=True)
+            return path
+        return str(tmp_path_factory.mktemp("telemetry"))
+
+    @pytest.fixture(scope="class")
+    def hostile_result(self, store_path, artifact_dir):
+        open_journal(os.path.join(artifact_dir, "pll-campaign.jsonl"))
+        try:
+            with CampaignStore(store_path) as store:
+                yield run_campaign(
+                    hostile_pll_factory, make_spec(),
+                    metric_hooks=[kill_hook],
+                    workers=2, on_error="collect", retries=0,
+                    guard=GUARD, store=store,
+                    postmortem_dir=os.path.join(
+                        artifact_dir, "postmortems"
+                    ),
+                )
+        finally:
+            close_journal()
 
     def test_every_fault_terminates_classified(self, hostile_result):
         result = hostile_result
@@ -158,6 +181,50 @@ class TestSupervisedPLLCampaign:
             errors = store.load_errors(campaign_id, make_spec().faults)
             assert sorted(err.status for err in errors) == \
                 sorted([RUN_DIVERGED, RUN_CRASHED])
+
+    def test_journal_tells_the_whole_story(self, hostile_result,
+                                           artifact_dir):
+        import json
+
+        path = os.path.join(artifact_dir, "pll-campaign.jsonl")
+        events = list(read_journal(path))  # raises if any line is bad
+        names = [e["event"] for e in events]
+        assert names[0] == "campaign_started"
+        assert names[-1] == "campaign_finished"
+        assert names.count("run_finished") == 4
+        assert "worker_spawned" in names
+        # The SIGKILLed worker's death is attributed to its fault.
+        died = [e for e in events if e["event"] == "worker_died"]
+        assert any(e["exitcode"] == -9 for e in died)
+        statuses = sorted(
+            e["status"] for e in events if e["event"] == "run_finished"
+        )
+        assert statuses == ["crashed", "diverged", "ok", "ok"]
+        # Every line is self-contained JSON a foreign consumer can load.
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_postmortems_referenced_from_store(self, hostile_result,
+                                               store_path):
+        import json
+
+        by_status = {err.status: err for err in hostile_result.errors}
+        diverged = by_status[RUN_DIVERGED]
+        assert diverged.postmortem and os.path.exists(diverged.postmortem)
+        payload = json.load(open(diverged.postmortem))
+        assert payload["status"] == RUN_DIVERGED
+        assert payload["recorder"]["solver_steps"]
+        assert "pll.vpar" in payload["recorder"]["nodes_now"]
+        crashed = by_status[RUN_CRASHED]
+        assert crashed.postmortem and os.path.exists(crashed.postmortem)
+        assert json.load(open(crashed.postmortem))["kind"] == "worker_death"
+        # The store rows carry the same references.
+        with CampaignStore(store_path) as store:
+            campaign_id = store.campaign_id("pll-supervised")
+            stored = store.load_errors(campaign_id, make_spec().faults)
+        assert {err.postmortem for err in stored} == \
+            {diverged.postmortem, crashed.postmortem}
 
     def test_resume_reproduces_merged_result(self, hostile_result,
                                              store_path):

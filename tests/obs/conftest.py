@@ -9,6 +9,8 @@ from repro import obs
 def clean_instruments():
     obs.disable()
     obs.reset()
+    obs.journal.close_journal()
     yield
     obs.disable()
     obs.reset()
+    obs.journal.close_journal()

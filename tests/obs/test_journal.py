@@ -1,0 +1,191 @@
+"""Event journal: envelope, tolerance to interrupts, tailing."""
+
+import json
+
+import pytest
+
+from repro.obs import journal
+from repro.obs.journal import (
+    EVENT_TYPES,
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    JournalError,
+    read_journal,
+    tail_journal,
+)
+
+
+class TestJournalLifecycle:
+    def test_disabled_emit_is_noop(self):
+        j = Journal()
+        j.emit("run_finished", index=0)  # must not raise or write
+        assert not j.enabled
+        assert j.path is None
+
+    def test_open_enables_and_close_disables(self, tmp_path):
+        j = Journal()
+        path = tmp_path / "j.jsonl"
+        offset = j.open(path)
+        assert offset == 0
+        assert j.enabled
+        assert j.path == str(path)
+        j.close()
+        assert not j.enabled
+        assert j.path is None
+        j.close()  # idempotent
+
+    def test_append_reports_session_offset(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("campaign_started", name="a")
+        j.close()
+        first_size = path.stat().st_size
+        assert first_size > 0
+        offset = j.open(path, append=True)
+        assert offset == first_size
+        assert j.session_offset == first_size
+        j.emit("campaign_finished", name="a")
+        j.close()
+        # Reading from the offset sees only the second session.
+        events = list(read_journal(path, offset=offset))
+        assert [e["event"] for e in events] == ["campaign_finished"]
+
+    def test_reopen_truncates_without_append(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("campaign_started", name="a")
+        j.close()
+        j.open(path)
+        j.close()
+        assert path.stat().st_size == 0
+
+
+class TestJournalEmit:
+    def test_envelope_fields_and_sequence(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("campaign_started", name="c", total=3)
+        j.emit("run_finished", index=0, status="ok")
+        j.close()
+        events = list(read_journal(path))
+        assert len(events) == 2
+        for event in events:
+            assert event["v"] == JOURNAL_SCHEMA_VERSION
+            assert event["t_wall"] >= 0.0
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["event"] == "campaign_started"
+        assert events[0]["name"] == "c"
+        assert events[0]["total"] == 3
+        assert events[1]["index"] == 0
+
+    def test_unknown_event_type_raises(self, tmp_path):
+        j = Journal()
+        j.open(tmp_path / "j.jsonl")
+        with pytest.raises(JournalError):
+            j.emit("made_up_event")
+
+    def test_every_declared_event_type_is_accepted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        for event in EVENT_TYPES:
+            j.emit(event)
+        j.close()
+        assert [e["event"] for e in read_journal(path)] == list(EVENT_TYPES)
+
+    def test_odd_values_degrade_to_strings(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("run_finished", weird=object())
+        j.close()
+        (event,) = read_journal(path)
+        assert isinstance(event["weird"], str)
+
+    def test_lines_are_flushed_as_written(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("campaign_started", name="c")
+        # Readable *before* close: the contract campaign watch needs.
+        events = list(read_journal(path))
+        assert len(events) == 1
+        j.close()
+
+
+class TestReadJournal:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "event": "campaign_started"})
+        path.write_text(good + "\n" + '{"v": 1, "seq": 1, "eve')
+        events = list(read_journal(path))
+        assert len(events) == 1
+        assert events[0]["seq"] == 0
+
+    def test_malformed_mid_file_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "event": "campaign_started"})
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(JournalError):
+            list(read_journal(path))
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        good = json.dumps({"v": 1, "seq": 0, "event": "campaign_started"})
+        path.write_text(good + "\n\n" + good + "\n")
+        assert len(list(read_journal(path))) == 2
+
+
+class TestTailJournal:
+    def test_missing_file_returns_unchanged_position(self, tmp_path):
+        events, position = tail_journal(tmp_path / "absent.jsonl", 0)
+        assert events == []
+        assert position == 0
+
+    def test_tail_never_double_reads(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = Journal()
+        j.open(path)
+        j.emit("campaign_started", name="c")
+        events, position = tail_journal(path, 0)
+        assert [e["event"] for e in events] == ["campaign_started"]
+        again, position2 = tail_journal(path, position)
+        assert again == []
+        assert position2 == position
+        j.emit("run_finished", index=0, status="ok")
+        j.close()
+        more, _ = tail_journal(path, position)
+        assert [e["event"] for e in more] == ["run_finished"]
+
+    def test_partial_final_line_waits_for_next_poll(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        complete = json.dumps({"v": 1, "seq": 0, "event": "run_started"})
+        with open(path, "w") as handle:
+            handle.write(complete + "\n")
+            handle.write('{"v": 1, "seq": 1, "ev')  # writer mid-record
+        events, position = tail_journal(path, 0)
+        assert len(events) == 1
+        # Finish the record; the next poll picks it up from `position`.
+        with open(path, "a") as handle:
+            handle.write('ent": "run_finished"}\n')
+        more, _ = tail_journal(path, position)
+        assert [e["event"] for e in more] == ["run_finished"]
+
+
+class TestGlobalJournal:
+    def test_module_helpers_hit_the_global_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal.open_journal(path)
+        assert journal.enabled()
+        assert journal.JOURNAL.path == str(path)
+        journal.emit("campaign_started", name="g")
+        journal.close_journal()
+        assert not journal.enabled()
+        assert [e["name"] for e in read_journal(path)] == ["g"]
+
+    def test_disabled_global_emit_is_noop(self, tmp_path):
+        journal.emit("campaign_started", name="never")  # no sink: no-op
+        assert not journal.enabled()

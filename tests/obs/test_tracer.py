@@ -62,6 +62,44 @@ class TestTracer:
         assert events[0]["ph"] == "X"
         assert events[0]["name"] == "a"
 
+    def test_chrome_trace_full_event_shape(self):
+        t = Tracer()
+        t.enable()
+        with t.span("campaign.fault_run", index=3) as span:
+            span.annotate(status="ok")
+        (event,) = t.to_chrome_trace()["traceEvents"]
+        # Complete-event shape Perfetto expects: no extra, no missing.
+        assert set(event) == {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert event["ph"] == "X"
+        assert event["pid"] == 0
+        assert event["tid"] == 0
+        assert event["args"] == {"index": 3, "status": "ok"}
+
+    def test_chrome_trace_times_are_microseconds(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a"):
+            pass
+        span = t.spans[0]
+        (event,) = t.to_chrome_trace()["traceEvents"]
+        assert event["ts"] == pytest.approx(span.t0 * 1e6)
+        assert event["dur"] == pytest.approx(span.duration * 1e6)
+
+    def test_save_chrome_trace_round_trips(self, tmp_path):
+        t = Tracer()
+        t.enable()
+        with t.span("kernel.run", t_from=0.0):
+            pass
+        path = tmp_path / "chrome.json"
+        t.save(path, chrome=True)
+        loaded = json.loads(path.read_text())
+        assert list(loaded) == ["traceEvents"]
+        (event,) = loaded["traceEvents"]
+        assert event["name"] == "kernel.run"
+        assert event["args"] == {"t_from": 0.0}
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+
     def test_save_writes_json(self, tmp_path):
         t = Tracer()
         t.enable()
@@ -73,6 +111,25 @@ class TestTracer:
         t.save(chrome, chrome=True)
         assert json.loads(plain.read_text())[0]["name"] == "a"
         assert "traceEvents" in json.loads(chrome.read_text())
+
+
+class TestAtomicWriteJson:
+    def test_writes_and_cleans_up_temp(self, tmp_path):
+        path = tmp_path / "out.json"
+        tracer.atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert not (tmp_path / "out.json.tmp").exists()
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        tracer.atomic_write_json(path, {"version": 1})
+        tracer.atomic_write_json(path, {"version": 2})
+        assert json.loads(path.read_text()) == {"version": 2}
+
+    def test_odd_values_degrade_to_strings(self, tmp_path):
+        path = tmp_path / "out.json"
+        tracer.atomic_write_json(path, {"weird": object()})
+        assert isinstance(json.loads(path.read_text())["weird"], str)
 
 
 class TestGlobalTracer:

@@ -250,3 +250,126 @@ class TestTextNetlistSupport:
         out = capsys.readouterr().out
         assert "textdut" in out
         assert main(["simulate", str(path), "--until", "100ns"]) == 0
+
+
+class TestProgressLine:
+    def fault(self):
+        return BitFlip("dut/counter.q[0]", 35e-9)
+
+    def test_total_zero_renders_placeholders(self):
+        import io
+
+        from repro.cli import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line(0, 0, self.fault())  # must not raise ZeroDivisionError
+        text = stream.getvalue()
+        assert "inf" not in text
+        assert "nan" not in text
+        assert "-" in text  # percent placeholder
+
+    def test_first_callback_has_no_rate_estimate(self):
+        import io
+
+        from repro.cli import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line(0, 10, self.fault())
+        text = stream.getvalue()
+        assert "?s" in text  # unknown ETA, not inf
+        assert "0%" in text
+
+    def test_rate_and_eta_appear_once_runs_complete(self):
+        import io
+
+        from repro.cli import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line.t_start -= 10.0  # pretend 10 s have elapsed
+        line(5, 10, self.fault())
+        text = stream.getvalue()
+        assert "runs/s" in text
+        assert "?s" not in text
+        assert " 50%" in text
+
+    def test_finish_is_idempotent(self):
+        import io
+
+        from repro.cli import ProgressLine
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line(0, 2, self.fault())
+        line.finish()
+        line.finish()
+        assert stream.getvalue().count("\n") == 1
+
+
+class TestTelemetryFlags:
+    def test_journal_flag_writes_parseable_journal(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        from repro.obs.journal import read_journal
+
+        journal = str(tmp_path / "campaign.jsonl")
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--journal", journal]) == 0
+        events = list(read_journal(journal))
+        names = [e["event"] for e in events]
+        assert names[0] == "campaign_started"
+        assert names[-1] == "campaign_finished"
+        assert "run_finished" in names
+        assert f"wrote {journal}" in capsys.readouterr().err
+
+    def test_postmortem_dir_flag_dumps_failed_runs(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        pm_dir = tmp_path / "pm"
+        # A starved event budget forces every run to time out.
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--event-budget", "10",
+                     "--retries", "0",
+                     "--postmortem-dir", str(pm_dir)]) == 3
+        dumps = sorted(pm_dir.glob("fault_*.postmortem.json"))
+        assert dumps
+        payload = json.loads(dumps[0].read_text())
+        assert payload["status"] == "timeout"
+
+    def test_watch_once_renders_store_state(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        db = str(tmp_path / "camp.db")
+        journal = str(tmp_path / "campaign.jsonl")
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--store", db,
+                     "--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "watch", db, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign watch @" in out
+        assert "dut-campaign" in out or "2/2" in out
+        assert "rate:" in out
+        assert "last event: campaign_finished" in out
+
+    def test_watch_once_without_journal_polls_store(
+        self, netlist_file, fault_file, tmp_path, capsys
+    ):
+        db = str(tmp_path / "camp.db")
+        assert main(["campaign", "run", netlist_file, fault_file,
+                     "--until", "300ns", "--store", db]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "watch", db, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "no journal recorded; polling store only" in out
+
+    def test_watch_empty_store(self, tmp_path, capsys):
+        from repro.store import CampaignStore
+
+        db = str(tmp_path / "empty.db")
+        with CampaignStore(db):
+            pass
+        assert main(["campaign", "watch", db, "--once"]) == 0
+        assert "no campaigns recorded yet" in capsys.readouterr().out
