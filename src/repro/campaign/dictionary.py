@@ -178,13 +178,52 @@ class FaultDictionary:
                     "order": list(signature.order),
                     "latency_bucket": signature.latency_bucket,
                     "faults": [
-                        fault.describe()
+                        fault if isinstance(fault, str)
+                        else fault.describe()
                         for fault in self._index[signature]
                     ],
                 }
                 for signature in self.signatures()
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a dictionary from :meth:`to_dict` output.
+
+        The inverse direction of the publish path: downstream tooling
+        (or a later session diagnosing field signatures) reloads the
+        exported JSON and gets lookup, metrics and reports back
+        without the campaign result.  Faults come back as their
+        ``describe()`` strings — the export's fault identity — so
+        :meth:`candidates` returns strings here, and
+        :meth:`signature_for` (which needs live fault instances) is
+        unavailable.  The round trip is exact:
+        ``FaultDictionary.from_dict(d).to_dict() == d``, including
+        :meth:`signatures` ordering.
+
+        :raises CampaignError: on malformed exports.
+        """
+        try:
+            dictionary = cls.__new__(cls)
+            dictionary.time_bucket = data["time_bucket"]
+            dictionary.include_order = data["include_order"]
+            dictionary.n_faults = data["n_faults"]
+            dictionary._index = defaultdict(list)
+            dictionary._signature_by_fault = {}
+            for entry in data["signatures"]:
+                signature = Signature(
+                    label=entry["label"],
+                    diverged=tuple(entry["diverged"]),
+                    order=tuple(entry["order"]),
+                    latency_bucket=entry["latency_bucket"],
+                )
+                dictionary._index[signature] = list(entry["faults"])
+        except (KeyError, TypeError) as exc:
+            raise CampaignError(
+                f"malformed fault-dictionary export: {exc}"
+            ) from exc
+        return dictionary
 
     def report(self, limit=10):
         """Text report of the dictionary's diagnostic power."""

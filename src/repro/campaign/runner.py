@@ -539,16 +539,33 @@ class CampaignRunner:
 
         A checkpoint restore can only truncate traces, which assumes
         the live trace is at least as long as the snapshot recorded —
-        true for ordinary warm runs (they always simulate to
-        ``t_end``), but not after a convergence early-out stopped a
-        digital mutant mid-window.  Reloading the complete golden data
-        first makes any snapshot restorable again: truncation then
-        yields exactly the golden prefix, no re-splice needed.
+        true after a full golden run, but not after a convergence
+        early-out stopped a digital mutant mid-window, and not after a
+        faulty run that *quieted* a probe (an upset that halts
+        activity records fewer samples than golden had by the next
+        fault's checkpoint).  Reloading the complete golden data first
+        makes any snapshot restorable again: truncation then yields
+        exactly the golden prefix, no re-splice needed.
         """
         for trace, times, values in warm["golden_trace_data"]:
             trace._times.load_prefix(times, len(times))
             trace._values.load_prefix(values, len(values))
             trace._cache = None
+
+    @staticmethod
+    def _ensure_restorable(warm, snap):
+        """Make ``snap``'s trace truncation sound before a restore.
+
+        Cheap guard over :meth:`_reinflate_golden`: only reload the
+        full golden record when some live trace is actually shorter
+        than the checkpoint recorded, so the common case (previous run
+        produced at least as many samples) keeps the prefix-only
+        re-splice cost.
+        """
+        if any(
+            len(trace) < length for trace, length in snap.trace_lengths
+        ):
+            CampaignRunner._reinflate_golden(warm)
 
     def run_fault_warm(self, fault):
         """Execute one faulty run from the nearest golden checkpoint.
@@ -570,6 +587,7 @@ class CampaignRunner:
         events_before = sim.events_executed
         set_worker_phase("restore")
         restore_start = perf_counter()
+        self._ensure_restorable(warm, snap)
         sim.restore(snap)
         self._resplice_golden_prefixes(warm)
         step_start = perf_counter()
@@ -711,6 +729,7 @@ class CampaignRunner:
         sim.analog.recorder = None
         ensemble = Ensemble(sim, k, guard=self._guard)
         try:
+            self._ensure_restorable(warm, snap)
             sim.restore(snap)
             self._resplice_golden_prefixes(warm)
             for pos, (_index, fault) in enumerate(faults):

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections import deque
 from datetime import datetime, timezone
@@ -435,6 +436,25 @@ def cmd_campaign_watch(args):
     deadline = monotonic() + args.duration if args.duration else None
     finished = deque(maxlen=1024)  # stamps of recent run_finished events
     last_event = None
+    # Opening a CampaignStore *creates* the file, and a watcher must
+    # not conjure an empty database where the writer expects to create
+    # one (a distributed coordinator, say, that has not merged its
+    # first shard yet).  Wait for the file instead.
+    while not os.path.exists(args.from_db):
+        stamp = datetime.now(timezone.utc).strftime("%H:%M:%S")
+        print(
+            f"--- campaign watch @ {stamp}Z ---\n"
+            f"waiting for store {args.from_db} to appear...",
+            flush=True,
+        )
+        if args.once:
+            return 0
+        if deadline is not None and monotonic() >= deadline:
+            return 0
+        try:
+            sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
     with CampaignStore(args.from_db) as store:
         journal_path = args.journal
         position = 0
@@ -489,6 +509,163 @@ def cmd_campaign_report(args):
             handle.write(to_csv(result))
         print(f"wrote {args.csv}")
     return 0
+
+
+def _build_spec(args):
+    """A CampaignSpec from the netlist/faults file arguments."""
+    netlist = load_netlist(args.netlist)
+    faults = load_faults(args.faults)
+    if not netlist.outputs:
+        raise ReproError(
+            "netlist declares no outputs; campaigns need at least one"
+        )
+    spec = CampaignSpec(
+        name=args.name or netlist.name,
+        faults=faults,
+        t_end=parse_quantity(args.until, expect_unit="s"),
+        outputs=list(netlist.outputs),
+        analog_tolerance=args.analog_tolerance,
+        compare_from=args.compare_from,
+    )
+    return netlist, spec
+
+
+def _shard_config(args):
+    """Worker-side execution kwargs shipped inside every shard."""
+    config = {}
+    if args.warm_start:
+        config["warm_start"] = True
+    if args.batch != "off":
+        config["batch"] = args.batch
+    if args.timeout is not None:
+        config["timeout"] = args.timeout
+    return config
+
+
+def cmd_campaign_serve(args):
+    """Start a distributed campaign coordinator.
+
+    With netlist + fault files the job is submitted immediately and
+    the coordinator exits when it completes; without them it serves
+    until interrupted, accepting jobs from ``campaign submit``.
+    """
+    from .dist import Coordinator
+    from .dist.protocol import parse_address
+
+    host, port = parse_address(args.listen)
+    if args.journal:
+        obs_journal.open_journal(args.journal)
+    coordinator = Coordinator(
+        args.db, host=host, port=port, shard_size=args.shard_size,
+        lease_timeout_s=args.lease_timeout, max_leases=args.max_leases,
+    )
+    bound = coordinator.address
+    print(f"coordinator listening on {bound[0]}:{bound[1]}, "
+          f"store {args.db}", file=sys.stderr)
+    try:
+        if args.netlist:
+            if not args.faults:
+                raise ReproError("serve with a netlist also needs faults")
+            netlist, spec = _build_spec(args)
+            payload = netlist.to_dict() if args.ship_netlist else None
+            coordinator.drain_when_idle(True)
+            job_id = coordinator.submit(
+                spec, netlist=payload, config=_shard_config(args)
+            )
+            coordinator.start()
+            try:
+                status = coordinator.wait(job_id)
+            except KeyboardInterrupt:
+                status = coordinator.job_status(job_id)
+            print(
+                f"job {job_id} ({status.get('name')}): "
+                f"{status['state']}, "
+                f"{status.get('merged', 0)}/{status.get('shards', '?')} "
+                f"shards merged, {status.get('rows', 0)} rows",
+                file=sys.stderr,
+            )
+            return 0 if status["state"] == "complete" else 3
+        try:
+            coordinator.serve()
+        except KeyboardInterrupt:
+            pass
+        return 0
+    finally:
+        coordinator.stop()
+        if args.journal:
+            obs_journal.close_journal()
+
+
+def cmd_campaign_worker(args):
+    """Run a worker daemon against a coordinator.
+
+    With ``--netlist`` the design is built locally and shards only
+    carry fault slices; without it, shards must embed their netlist
+    (``campaign submit`` ships it by default).
+    """
+    from .dist import run_worker
+
+    factory = None
+    if args.netlist:
+        factory = design_factory(load_netlist(args.netlist))
+    completed = run_worker(
+        args.connect, factory=factory, name=args.name,
+        max_shards=args.max_shards,
+    )
+    print(f"worker done: {completed} shards completed", file=sys.stderr)
+    return 0
+
+
+def cmd_campaign_submit(args):
+    """Submit a campaign to a running coordinator (async job API)."""
+    from .dist.protocol import PROTOCOL_VERSION, connect, parse_address
+    from .store.serialize import spec_to_dict
+
+    netlist, spec = _build_spec(args)
+    host, port = parse_address(args.connect)
+    conn = connect(host, port)
+    try:
+        conn.send("hello", role="client", name="repro-submit",
+                  proto=PROTOCOL_VERSION)
+        welcome = conn.recv(timeout=10.0)
+        if welcome is None or welcome.get("frame") != "welcome":
+            raise ReproError(
+                f"coordinator at {host}:{port} did not answer the hello"
+            )
+        conn.send(
+            "submit", spec=spec_to_dict(spec),
+            netlist=netlist.to_dict() if args.ship_netlist else None,
+            config=_shard_config(args),
+        )
+        reply = conn.recv(timeout=30.0)
+        if reply is None or reply.get("frame") != "job":
+            raise ReproError(f"submit rejected: {reply!r}")
+        job_id = reply["job"]
+        print(
+            f"job {job_id} accepted: {reply.get('total')} faults in "
+            f"{reply.get('shards')} shards"
+        )
+        if not args.wait:
+            return 0
+        while True:
+            sleep(args.poll)
+            conn.send("status_request", job=job_id)
+            status = conn.recv(timeout=30.0)
+            if status is None:
+                raise ReproError("coordinator went away while waiting")
+            if status.get("frame") != "job_status":
+                continue
+            print(
+                f"job {job_id}: {status['state']}  "
+                f"shards {status.get('merged', 0)}/"
+                f"{status.get('shards', '?')} merged  "
+                f"rows {status.get('rows', 0)}/{status.get('total', '?')}",
+                file=sys.stderr,
+            )
+            if status["state"] != "running":
+                return 0 if status["state"] == "complete" else 3
+    finally:
+        conn.close()
 
 
 def build_parser():
@@ -639,10 +816,94 @@ def build_parser():
     p_report.add_argument("--csv", help="write per-run results as CSV")
     p_report.set_defaults(func=cmd_campaign_report)
 
+    def _add_spec_options(p, required=True):
+        """Netlist/faults/spec options shared by serve and submit."""
+        nargs = {} if required else {"nargs": "?", "default": None}
+        p.add_argument("netlist", **nargs)
+        p.add_argument("faults", help="JSON fault list file", **nargs)
+        p.add_argument("--until", default="1us")
+        p.add_argument("--name", default=None)
+        p.add_argument("--analog-tolerance", type=float, default=0.01)
+        p.add_argument("--compare-from", type=float, default=None)
+        p.add_argument("--warm-start", action="store_true",
+                       help="workers restore golden checkpoints instead "
+                            "of re-simulating each fault from t=0")
+        p.add_argument("--batch", nargs="?", const="auto", default="off",
+                       choices=["auto", "analog", "digital", "off"],
+                       metavar="{auto,analog,digital,off}",
+                       help="workers use batched execution "
+                            "(implies --warm-start)")
+        p.add_argument("--timeout", default=None, metavar="SECONDS",
+                       help="per-fault wall-clock budget on workers")
+        p.add_argument("--no-ship-netlist", dest="ship_netlist",
+                       action="store_false", default=True,
+                       help="do not embed the netlist in shards; "
+                            "workers must then run with --netlist")
+
+    p_serve = camp_sub.add_parser(
+        "serve",
+        help="start a distributed campaign coordinator",
+        description="Shard a campaign across connected 'campaign "
+                    "worker' daemons.  With netlist+faults files the "
+                    "job runs immediately and the coordinator exits on "
+                    "completion; without them it accepts jobs from "
+                    "'campaign submit' until interrupted.",
+    )
+    _add_spec_options(p_serve, required=False)
+    p_serve.add_argument("--db", required=True, metavar="DB",
+                         help="final merged campaign database")
+    p_serve.add_argument("--listen", default="127.0.0.1:7410",
+                         metavar="HOST:PORT",
+                         help="listen address (default 127.0.0.1:7410; "
+                              "port 0 picks an ephemeral port)")
+    p_serve.add_argument("--shard-size", type=int, default=25,
+                         metavar="N", help="faults per shard (default 25)")
+    p_serve.add_argument("--lease-timeout", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="heartbeat silence before a shard lease "
+                              "is revoked and reassigned (default 15s)")
+    p_serve.add_argument("--max-leases", type=int, default=3, metavar="N",
+                         help="lease attempts per shard before it is "
+                              "declared failed (default 3)")
+    p_serve.add_argument("--journal", metavar="FILE", default=None,
+                         help="stream job/shard/run events to FILE as "
+                              "JSONL ('campaign watch' tails it)")
+    p_serve.set_defaults(func=cmd_campaign_serve)
+
+    p_worker = camp_sub.add_parser(
+        "worker", help="run a distributed campaign worker daemon"
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address")
+    p_worker.add_argument("--netlist", default=None,
+                          help="build the design from this local file "
+                               "(otherwise shards must embed a netlist)")
+    p_worker.add_argument("--name", default=None,
+                          help="worker identity (default host:pid)")
+    p_worker.add_argument("--max-shards", type=int, default=None,
+                          metavar="N", help="exit after N shards")
+    p_worker.set_defaults(func=cmd_campaign_worker)
+
+    p_submit = camp_sub.add_parser(
+        "submit", help="submit a campaign to a running coordinator"
+    )
+    _add_spec_options(p_submit, required=True)
+    p_submit.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches a terminal "
+                               "state (exit 0 complete, 3 otherwise)")
+    p_submit.add_argument("--poll", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="status poll interval with --wait")
+    p_submit.set_defaults(func=cmd_campaign_submit)
+
     return parser
 
 
-_CAMPAIGN_SUBCOMMANDS = {"run", "status", "report", "watch"}
+_CAMPAIGN_SUBCOMMANDS = {
+    "run", "status", "report", "watch", "serve", "worker", "submit",
+}
 
 
 def _normalize_argv(argv):

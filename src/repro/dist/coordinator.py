@@ -1,0 +1,726 @@
+"""The distributed campaign coordinator.
+
+One single-threaded ``selectors`` event loop owns everything: the
+listening socket, every worker and client connection, the shard
+queue, lease bookkeeping and all database writes.  Single-threaded by
+design — SQLite wants one writer, lease state wants no races, and a
+fault-injection coordinator spends its life waiting on sockets, not
+computing.
+
+Jobs move through a strict lifecycle::
+
+    submit (API or in-process) -> shards queued -> leases granted
+        -> rows ingested into per-shard databases (crash-durable)
+        -> shard complete -> merged into the final store
+        -> all shards merged -> job complete (execution row written)
+
+Fault tolerance is lease-based, **at-least-once**:
+
+* every lease carries a token; frames with a stale token (a zombie
+  worker streaming after reassignment) are logged and dropped;
+* a worker's death is observed two ways — socket EOF (a SIGKILLed
+  process closes its socket immediately) and heartbeat silence
+  (:attr:`Coordinator.lease_timeout_s`, for wedged-but-alive workers)
+  — and either way its shards requeue for the next lease request;
+* re-executed shards re-stream rows already ingested from the dead
+  worker's partial run; the per-shard database's first-writer-wins
+  insert makes re-ingest idempotent, so the merged store is identical
+  to a serial run.
+
+Golden consistency across hosts is verified, not assumed: the first
+completing worker's golden probe digests are recorded in the final
+store, and every later shard's digests must match or the job aborts
+(:class:`~repro.store.store.StoreError` semantics identical to a
+local resume against a drifted golden).
+"""
+
+from __future__ import annotations
+
+import logging
+import selectors
+import socket
+import threading
+from collections import deque
+from time import monotonic
+
+from ..core.errors import ReproError
+from ..obs import journal as _journal
+from ..store.serialize import spec_from_dict
+from ..store.sharded import ShardedCampaignStore
+from ..store.store import CampaignStore, StoreError
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameBuffer,
+    ProtocolError,
+    encode_frame,
+    make_frame,
+)
+from .shards import DEFAULT_SHARD_SIZE, plan_shards
+
+LOGGER = logging.getLogger("repro.dist")
+
+#: Default seconds of heartbeat silence before a lease is revoked.
+DEFAULT_LEASE_TIMEOUT_S = 15.0
+
+#: Default ceiling on leases per shard before it is declared failed
+#: (guards against a poisoned shard crashing every worker in turn).
+DEFAULT_MAX_LEASES = 3
+
+
+class CoordinatorError(ReproError):
+    """Raised for invalid coordinator usage or aborted jobs."""
+
+
+class _Peer:
+    """One connected socket: a worker, a client, or not-yet-hello'd."""
+
+    def __init__(self, sock, addr):
+        self.sock = sock
+        self.addr = addr
+        self.buffer = FrameBuffer()
+        self.role = None
+        self.name = f"{addr[0]}:{addr[1]}"
+        self.pid = None
+        self.waiting = False   # parked lease_request (no work yet)
+
+
+class _Lease:
+    """One granted shard lease."""
+
+    def __init__(self, job, shard, token, peer):
+        self.job = job
+        self.shard = shard
+        self.token = token
+        self.peer = peer
+        self.granted_at = monotonic()
+        self.last_heartbeat = monotonic()
+
+
+class _Job:
+    """One submitted campaign: its shards, queue and progress."""
+
+    def __init__(self, job_id, name, shards, campaign_id):
+        self.job_id = job_id
+        self.name = name
+        self.shards = shards
+        self.campaign_id = campaign_id
+        self.workers = set()      # names of workers that merged shards
+        self.queue = deque(range(len(shards)))
+        self.active = {}          # shard_id -> _Lease
+        self.merged = set()       # shard ids merged into the final store
+        self.failed = set()       # shard ids past the lease ceiling
+        self.lease_counts = {s.shard_id: 0 for s in shards}
+        self.seen_rows = set()    # global fault indices already ingested
+        self.golden = None        # first worker's golden digests
+        self.executions = []      # per-shard execution stats
+        self.state = "running"
+        self.done = threading.Event()
+        self.wall_start = monotonic()
+
+    @property
+    def total(self):
+        return self.shards[0].total if self.shards else 0
+
+    def status(self):
+        """JSON-ready progress snapshot (the ``job_status`` payload)."""
+        return {
+            "job": self.job_id,
+            "name": self.name,
+            "state": self.state,
+            "shards": len(self.shards),
+            "queued": len(self.queue),
+            "active": sorted(self.active),
+            "merged": len(self.merged),
+            "failed": sorted(self.failed),
+            "total": self.total,
+            "rows": len(self.seen_rows),
+        }
+
+
+class Coordinator:
+    """Shard dispatcher, result ingestor and merge engine.
+
+    :param store_path: the final campaign store (created at first
+        submit; ``campaign watch`` can tail it as shards merge).
+    :param host: listen address (default loopback).
+    :param port: listen port (0 = ephemeral; read :attr:`address`).
+    :param shard_size: faults per shard for submitted jobs.
+    :param lease_timeout_s: heartbeat silence before lease revocation.
+    :param max_leases: lease attempts per shard before it fails.
+    :param shard_dir: directory for per-shard databases (default:
+        ``<store_path>.shards/``).
+    """
+
+    def __init__(self, store_path, host="127.0.0.1", port=0,
+                 shard_size=DEFAULT_SHARD_SIZE,
+                 lease_timeout_s=DEFAULT_LEASE_TIMEOUT_S,
+                 max_leases=DEFAULT_MAX_LEASES, shard_dir=None):
+        self.store_path = str(store_path)
+        self.shard_size = shard_size
+        self.lease_timeout_s = lease_timeout_s
+        self.max_leases = max_leases
+        self.shard_dir = (
+            str(shard_dir) if shard_dir is not None
+            else self.store_path + ".shards"
+        )
+        self._lock = threading.RLock()
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self._listener.setblocking(False)
+        self.address = self._listener.getsockname()[:2]
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._peers = {}          # socket -> _Peer
+        self._jobs = {}           # job_id -> _Job
+        self._next_job = 1
+        self._leases = {}         # token -> _Lease
+        self._stop = threading.Event()
+        self._drain_when_idle = False
+        self._store = None        # final CampaignStore, opened lazily
+        self._sharded = ShardedCampaignStore(self.shard_dir)
+        self._thread = None
+
+    # -- stores ---------------------------------------------------------------
+
+    def _final_store(self):
+        if self._store is None:
+            self._store = CampaignStore(self.store_path)
+        return self._store
+
+    # -- job submission --------------------------------------------------------
+
+    def submit(self, spec, netlist=None, config=None):
+        """Plan and queue one campaign; returns its job id.
+
+        Thread-safe: callable from outside the event loop (the
+        in-process path ``run_distributed`` uses) as well as from a
+        client ``submit`` frame inside it.  Registers the campaign in
+        the final store immediately — its spec and fault list exist
+        before any worker runs, exactly as in a serial campaign.
+        """
+        with self._lock:
+            shards = plan_shards(
+                spec, shard_size=self.shard_size, netlist=netlist,
+                config=config,
+            )
+            store = self._final_store()
+            campaign_id = store.open_campaign(spec, resume=False)
+            if _journal.JOURNAL.enabled:
+                store.record_journal(
+                    campaign_id, _journal.JOURNAL.path,
+                    _journal.JOURNAL.session_offset,
+                )
+            job_id = self._next_job
+            self._next_job += 1
+            job = _Job(job_id, spec.name, shards, campaign_id)
+            self._jobs[job_id] = job
+            for shard in shards:
+                store.record_shard(
+                    campaign_id, shard.shard_id, "queued",
+                    n_faults=shard.size, leases=0,
+                )
+            _journal.emit(
+                "job_submitted", job=job_id, name=spec.name,
+                total=len(spec.faults), shards=len(shards),
+            )
+            _journal.emit(
+                "campaign_started", name=spec.name,
+                total=len(spec.faults), pending=len(spec.faults),
+                mode="distributed", workers=0,
+            )
+            LOGGER.info(
+                "job %d submitted: campaign %r, %d faults in %d shards",
+                job_id, spec.name, len(spec.faults), len(shards),
+            )
+            self._feed_waiting_workers()
+            return job_id
+
+    def submit_dict(self, spec_dict, netlist=None, config=None):
+        """Submit from JSON payloads (the ``submit`` frame path)."""
+        return self.submit(
+            spec_from_dict(spec_dict), netlist=netlist, config=config
+        )
+
+    def job_status(self, job_id):
+        """Progress snapshot of one job (thread-safe)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"job": job_id, "state": "unknown"}
+            return job.status()
+
+    def wait(self, job_id, timeout=None):
+        """Block until a job reaches a terminal state; returns it."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise CoordinatorError(f"unknown job {job_id}")
+        job.done.wait(timeout)
+        return self.job_status(job_id)
+
+    # -- event loop ------------------------------------------------------------
+
+    def serve(self, poll_s=0.2):
+        """Run the event loop until :meth:`stop` (blocking)."""
+        try:
+            while not self._stop.is_set():
+                for key, _events in self._selector.select(poll_s):
+                    if key.data is None:
+                        self._accept()
+                    else:
+                        self._service_peer(key.data)
+                with self._lock:
+                    self._expire_leases()
+                    self._maybe_drain()
+        finally:
+            self._shutdown_sockets()
+
+    def start(self):
+        """Run :meth:`serve` in a background thread (tests, embedding)."""
+        self._thread = threading.Thread(target=self.serve, daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def stop(self):
+        """Stop the loop and close every socket and database."""
+        self._stop.set()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        with self._lock:
+            self._sharded.close()
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+
+    def drain_when_idle(self, enable=True):
+        """Tell idle workers to disconnect once no work remains.
+
+        The one-shot mode (``run_distributed``, ``campaign serve``
+        with an immediate job): when every job is terminal, waiting
+        workers get ``drain`` instead of parking forever.
+        """
+        with self._lock:
+            self._drain_when_idle = enable
+
+    # -- socket plumbing ---------------------------------------------------------
+
+    def _accept(self):
+        try:
+            sock, addr = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        peer = _Peer(sock, addr)
+        self._peers[sock] = peer
+        self._selector.register(sock, selectors.EVENT_READ, peer)
+
+    def _service_peer(self, peer):
+        try:
+            chunk = peer.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            chunk = b""
+        if not chunk:
+            self._disconnect(peer, reason="eof")
+            return
+        try:
+            frames = peer.buffer.feed(chunk)
+        except ProtocolError as exc:
+            LOGGER.warning("dropping %s: %s", peer.name, exc)
+            self._disconnect(peer, reason="protocol")
+            return
+        for frame in frames:
+            with self._lock:
+                try:
+                    self._dispatch(peer, frame)
+                except ProtocolError as exc:
+                    LOGGER.warning(
+                        "protocol error from %s: %s", peer.name, exc
+                    )
+                    self._send(peer, "error", token=None,
+                               message=str(exc))
+
+    def _send(self, peer, frame_type, **fields):
+        try:
+            peer.sock.sendall(encode_frame(make_frame(frame_type, **fields)))
+        except OSError:
+            self._disconnect(peer, reason="send-failure")
+
+    def _disconnect(self, peer, reason=""):
+        """Drop one peer; its leases requeue immediately (EOF path)."""
+        try:
+            self._selector.unregister(peer.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            peer.sock.close()
+        except OSError:
+            pass
+        self._peers.pop(peer.sock, None)
+        with self._lock:
+            tokens = [
+                token for token, lease in self._leases.items()
+                if lease.peer is peer
+            ]
+            for token in tokens:
+                self._revoke(self._leases[token],
+                             reason=f"disconnect:{reason}")
+            # A clean goodbye is not a death; EOF with leases in
+            # flight (or mid-protocol) is.
+            if (peer.role == "worker" and peer.pid is not None
+                    and (tokens or reason not in ("bye",))):
+                _journal.emit(
+                    "worker_died", pid=peer.pid, index=None,
+                    exitcode=None, killed=None,
+                )
+
+    def _shutdown_sockets(self):
+        for peer in list(self._peers.values()):
+            try:
+                peer.sock.close()
+            except OSError:
+                pass
+        self._peers.clear()
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._selector.close()
+
+    # -- frame dispatch ----------------------------------------------------------
+
+    def _dispatch(self, peer, frame):
+        kind = frame["frame"]
+        if kind == "hello":
+            self._on_hello(peer, frame)
+        elif peer.role is None:
+            raise ProtocolError(f"{kind!r} before hello")
+        elif kind == "lease_request":
+            self._on_lease_request(peer)
+        elif kind == "heartbeat":
+            self._on_heartbeat(peer, frame)
+        elif kind == "rows":
+            self._on_rows(peer, frame)
+        elif kind == "complete":
+            self._on_complete(peer, frame)
+        elif kind == "error":
+            self._on_worker_error(peer, frame)
+        elif kind == "submit":
+            self._on_submit(peer, frame)
+        elif kind == "status_request":
+            self._on_status_request(peer, frame)
+        elif kind == "bye":
+            self._disconnect(peer, reason="bye")
+        else:
+            raise ProtocolError(f"unexpected frame {kind!r}")
+
+    def _on_hello(self, peer, frame):
+        role = frame.get("role")
+        if role not in ("worker", "client"):
+            raise ProtocolError(f"unknown role {role!r}")
+        proto = frame.get("proto", PROTOCOL_VERSION)
+        if proto != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: coordinator speaks "
+                f"{PROTOCOL_VERSION}, peer speaks {proto}"
+            )
+        peer.role = role
+        peer.name = frame.get("name") or peer.name
+        peer.pid = frame.get("pid")
+        self._send(peer, "welcome", proto=PROTOCOL_VERSION)
+        LOGGER.info("%s %s connected", role, peer.name)
+
+    # -- leasing -----------------------------------------------------------------
+
+    def _next_shard(self):
+        """The next (job, shard) to lease, FIFO across jobs."""
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            if job.state == "running" and job.queue:
+                return job, job.shards[job.queue.popleft()]
+        return None, None
+
+    def _on_lease_request(self, peer):
+        if peer.role != "worker":
+            raise ProtocolError("only workers request leases")
+        job, shard = self._next_shard()
+        if shard is None:
+            if self._drain_when_idle and self._all_terminal():
+                self._send(peer, "drain")
+            else:
+                peer.waiting = True
+            return
+        self._grant(job, shard, peer)
+
+    def _grant(self, job, shard, peer):
+        job.lease_counts[shard.shard_id] += 1
+        count = job.lease_counts[shard.shard_id]
+        token = f"{job.job_id}:{shard.shard_id}:{count}"
+        lease = _Lease(job, shard, token, peer)
+        job.active[shard.shard_id] = lease
+        self._leases[token] = lease
+        peer.waiting = False
+        self._final_store().record_shard(
+            job.campaign_id, shard.shard_id, "leased", worker=peer.name,
+            leases=count,
+        )
+        _journal.emit(
+            "shard_leased", job=job.job_id, shard=shard.shard_id,
+            worker=peer.name, size=shard.size, lease=count,
+        )
+        self._send(peer, "lease", shard=shard.to_dict(), token=token,
+                   lease_timeout_s=self.lease_timeout_s)
+        LOGGER.info(
+            "shard %d of job %d leased to %s (attempt %d)",
+            shard.shard_id, job.job_id, peer.name, count,
+        )
+
+    def _feed_waiting_workers(self):
+        """Grant parked lease requests after new work arrives."""
+        for peer in list(self._peers.values()):
+            if not peer.waiting:
+                continue
+            job, shard = self._next_shard()
+            if shard is None:
+                return
+            self._grant(job, shard, peer)
+
+    def _lease_for(self, frame, expect_peer=None):
+        """The live lease a frame's token names, or None (stale)."""
+        lease = self._leases.get(frame.get("token"))
+        if lease is None:
+            LOGGER.info(
+                "dropping %s frame with stale token %r",
+                frame["frame"], frame.get("token"),
+            )
+            return None
+        if expect_peer is not None and lease.peer is not expect_peer:
+            LOGGER.warning(
+                "token %r used by %s but leased to %s; dropping",
+                frame.get("token"), expect_peer.name, lease.peer.name,
+            )
+            return None
+        return lease
+
+    def _revoke(self, lease, reason):
+        """Requeue (or fail) one lease's shard after its holder died."""
+        job, shard = lease.job, lease.shard
+        self._leases.pop(lease.token, None)
+        if job.active.get(shard.shard_id) is lease:
+            del job.active[shard.shard_id]
+        if shard.shard_id in job.merged:
+            return  # completed before the revocation landed
+        if job.lease_counts[shard.shard_id] >= self.max_leases:
+            job.failed.add(shard.shard_id)
+            self._final_store().record_shard(
+                job.campaign_id, shard.shard_id, "failed",
+                worker=lease.peer.name,
+                leases=job.lease_counts[shard.shard_id],
+            )
+            LOGGER.error(
+                "shard %d of job %d failed %d leases; giving up",
+                shard.shard_id, job.job_id, self.max_leases,
+            )
+            self._maybe_finish(job)
+        else:
+            job.queue.append(shard.shard_id)
+            self._final_store().record_shard(
+                job.campaign_id, shard.shard_id, "queued",
+            )
+        _journal.emit(
+            "shard_reassigned", job=job.job_id, shard=shard.shard_id,
+            worker=lease.peer.name, reason=reason,
+        )
+        LOGGER.warning(
+            "lease on shard %d of job %d revoked (%s)",
+            shard.shard_id, job.job_id, reason,
+        )
+        self._feed_waiting_workers()
+
+    def _expire_leases(self):
+        """Revoke leases whose workers went silent (wedged, not dead)."""
+        deadline = monotonic() - self.lease_timeout_s
+        for token in list(self._leases):
+            lease = self._leases.get(token)
+            if lease is not None and lease.last_heartbeat < deadline:
+                if lease.peer.pid is not None:
+                    _journal.emit(
+                        "worker_died", pid=lease.peer.pid, index=None,
+                        exitcode=None, killed=None,
+                    )
+                self._revoke(lease, reason="lease-timeout")
+
+    # -- ingest ------------------------------------------------------------------
+
+    def _on_heartbeat(self, peer, frame):
+        lease = self._lease_for(frame, expect_peer=peer)
+        if lease is None:
+            return
+        lease.last_heartbeat = monotonic()
+        _journal.emit(
+            "worker_heartbeat", pid=frame.get("pid"),
+            index=frame.get("done"), phase=frame.get("phase"),
+        )
+
+    def _on_rows(self, peer, frame):
+        lease = self._lease_for(frame, expect_peer=peer)
+        if lease is None:
+            return
+        lease.last_heartbeat = monotonic()
+        job, shard = lease.job, lease.shard
+        for row in frame["rows"]:
+            try:
+                self._sharded.ingest_row(shard, row)
+            except StoreError as exc:
+                raise ProtocolError(str(exc)) from exc
+            index = int(row["idx"])
+            if index not in job.seen_rows:
+                job.seen_rows.add(index)
+                _journal.emit(
+                    "run_finished", index=index, status=row.get("status"),
+                    label=row.get("label"), wall_s=row.get("wall_s"),
+                    attempts=row.get("attempts", 1),
+                )
+
+    def _on_complete(self, peer, frame):
+        lease = self._lease_for(frame, expect_peer=peer)
+        if lease is None:
+            return
+        job, shard = lease.job, lease.shard
+        self._leases.pop(lease.token, None)
+        if job.active.get(shard.shard_id) is lease:
+            del job.active[shard.shard_id]
+        if shard.shard_id in job.merged:
+            return  # the other holder of a reassigned shard got here first
+        store = self._final_store()
+        golden = frame.get("golden")
+        if golden:
+            try:
+                store.check_golden_digests(job.campaign_id, golden)
+            except StoreError as exc:
+                self._abort_job(
+                    job,
+                    f"golden divergence on worker {peer.name}: {exc}",
+                )
+                return
+        merged = self._sharded.merge_into(
+            store, job.campaign_id, shard, worker=peer.name,
+            leases=job.lease_counts[shard.shard_id],
+        )
+        job.merged.add(shard.shard_id)
+        job.workers.add(peer.name)
+        if frame.get("execution"):
+            job.executions.append(frame["execution"])
+        _journal.emit(
+            "shard_completed", job=job.job_id, shard=shard.shard_id,
+            worker=peer.name, rows=frame.get("rows"), merged=merged,
+        )
+        LOGGER.info(
+            "shard %d of job %d complete on %s (%d rows merged)",
+            shard.shard_id, job.job_id, peer.name, merged,
+        )
+        self._maybe_finish(job)
+
+    def _on_worker_error(self, peer, frame):
+        lease = self._lease_for(frame, expect_peer=peer)
+        if lease is None:
+            return
+        LOGGER.error(
+            "worker %s failed shard %d of job %d: %s",
+            peer.name, lease.shard.shard_id, lease.job.job_id,
+            frame.get("message"),
+        )
+        self._revoke(lease, reason=f"worker-error: {frame.get('message')}")
+
+    # -- job completion ----------------------------------------------------------
+
+    def _maybe_finish(self, job):
+        terminal = len(job.merged) + len(job.failed)
+        if terminal < len(job.shards) or job.state != "running":
+            return
+        store = self._final_store()
+        execution = self._combined_execution(job)
+        status = "complete" if not job.failed else "errors"
+        store.record_execution(job.campaign_id, execution, status=status)
+        job.state = "complete" if not job.failed else "errors"
+        _journal.emit(
+            "campaign_finished", name=job.name, execution=execution,
+        )
+        job.done.set()
+        LOGGER.info(
+            "job %d (%s) finished: %d/%d shards merged, state %s",
+            job.job_id, job.name, len(job.merged), len(job.shards),
+            job.state,
+        )
+        self._maybe_drain()
+
+    def _combined_execution(self, job):
+        """Aggregate the workers' per-shard execution stats."""
+        execution = {
+            "mode": "distributed",
+            "workers": len(job.workers),
+            "shards": len(job.shards),
+            "shards_merged": len(job.merged),
+            "shards_failed": len(job.failed),
+            "completed": len(job.seen_rows),
+            "wall_s": round(monotonic() - job.wall_start, 6),
+        }
+        for key in ("golden_events", "fault_events", "kernel_events",
+                    "errors", "retries", "timeouts", "diverged",
+                    "crashed", "quarantined", "checkpoints"):
+            execution[key] = sum(
+                int(exe.get(key) or 0) for exe in job.executions
+            )
+        return execution
+
+    def _abort_job(self, job, message):
+        job.state = "aborted"
+        self._final_store().record_execution(
+            job.campaign_id,
+            {"mode": "distributed", "error": message},
+            status="errors",
+        )
+        LOGGER.error("job %d aborted: %s", job.job_id, message)
+        job.done.set()
+        self._maybe_drain()
+
+    def _all_terminal(self):
+        return all(
+            job.state != "running" for job in self._jobs.values()
+        )
+
+    def _maybe_drain(self):
+        if not self._drain_when_idle or not self._all_terminal():
+            return
+        for peer in list(self._peers.values()):
+            if peer.role == "worker" and peer.waiting:
+                self._send(peer, "drain")
+                peer.waiting = False
+
+    # -- client API --------------------------------------------------------------
+
+    def _on_submit(self, peer, frame):
+        if peer.role != "client":
+            raise ProtocolError("only clients submit jobs")
+        job_id = self.submit_dict(
+            frame["spec"], netlist=frame.get("netlist"),
+            config=frame.get("config"),
+        )
+        job = self._jobs[job_id]
+        self._send(
+            peer, "job", job=job_id, name=job.name,
+            shards=len(job.shards), total=job.total,
+        )
+
+    def _on_status_request(self, peer, frame):
+        status = self.job_status(int(frame["job"]))
+        self._send(peer, "job_status", **status)

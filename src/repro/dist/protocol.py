@@ -1,0 +1,242 @@
+"""The distributed campaign wire protocol (versioned, line-delimited JSON).
+
+One frame per line, UTF-8 JSON, newline-terminated — the same
+line-atomic property the event journal relies on, here applied to a
+TCP stream: a frame either parses whole or is still buffered.  Every
+frame carries ``frame`` (its type) and ``proto`` is negotiated once in
+the ``hello``/``welcome`` exchange.
+
+Frame flow (worker side)::
+
+    worker -> coordinator   hello {role: "worker", name, pid, host}
+    coordinator -> worker   welcome {proto}
+    worker -> coordinator   lease_request {}
+    coordinator -> worker   lease {shard: {...}, token, lease_timeout_s}
+                            | drain {}          (no work left: disconnect)
+    worker -> coordinator   heartbeat {token, pid, phase, done, total}
+    worker -> coordinator   rows {token, rows: [row, ...]}
+    worker -> coordinator   complete {token, execution, golden}
+                            | error {token, message}
+    coordinator -> worker   shutdown {}         (campaign over)
+
+Clients (``campaign submit``) speak the same framing::
+
+    client -> coordinator   hello {role: "client", name}
+    client -> coordinator   submit {spec, netlist?, config?}
+    coordinator -> client   job {job, name, shards, total}
+    client -> coordinator   status_request {job}
+    coordinator -> client   job_status {job, state, completed, errors, ...}
+
+Shard leases are **at-least-once**: a worker that stops heartbeating
+loses its lease and the shard is re-dispatched, so the same row may
+arrive twice (from the zombie and from the replacement).  Rows are
+therefore idempotent — keyed by global fault index, verified by fault
+content digest — and the coordinator's merge drops duplicates.  Late
+frames carrying an expired ``token`` are discarded outright.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from ..core.errors import ReproError
+
+#: Version of the wire protocol.  A coordinator refuses hellos from a
+#: different major version instead of mis-parsing them.
+PROTOCOL_VERSION = 1
+
+#: Frame type -> required payload fields (beyond the envelope).
+FRAME_TYPES = {
+    # session establishment (both directions)
+    "hello": ("role",),
+    "welcome": (),
+    # worker <-> coordinator
+    "lease_request": (),
+    "lease": ("shard", "token"),
+    "drain": (),
+    "heartbeat": ("token",),
+    "rows": ("token", "rows"),
+    "complete": ("token",),
+    "error": ("token", "message"),
+    "shutdown": (),
+    "bye": (),
+    # client <-> coordinator (the async job API)
+    "submit": ("spec",),
+    "job": ("job",),
+    "status_request": ("job",),
+    "job_status": ("job", "state"),
+}
+
+#: Hello roles the coordinator accepts.
+ROLES = ("worker", "client")
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed, unknown or out-of-order frames."""
+
+
+def make_frame(frame_type, **fields):
+    """Build and validate one frame dict.
+
+    :raises ProtocolError: for unknown types or missing required
+        fields — catching drift at the send site, not on a remote
+        host minutes later.
+    """
+    try:
+        required = FRAME_TYPES[frame_type]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown frame type {frame_type!r};"
+            f" expected one of {tuple(FRAME_TYPES)}"
+        ) from None
+    missing = [name for name in required if name not in fields]
+    if missing:
+        raise ProtocolError(
+            f"frame {frame_type!r} is missing required fields {missing}"
+        )
+    frame = {"frame": frame_type}
+    frame.update(fields)
+    return frame
+
+
+def encode_frame(frame):
+    """One frame dict -> its newline-terminated wire bytes."""
+    if "frame" not in frame:
+        raise ProtocolError(f"not a frame (no 'frame' field): {frame!r}")
+    return (json.dumps(frame, separators=(",", ":"), default=str)
+            + "\n").encode("utf-8")
+
+
+def validate_frame(frame):
+    """Check an inbound frame's type and required fields.
+
+    :raises ProtocolError: on violations; returns the frame otherwise.
+    """
+    frame_type = frame.get("frame")
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    missing = [
+        name for name in FRAME_TYPES[frame_type] if name not in frame
+    ]
+    if missing:
+        raise ProtocolError(
+            f"frame {frame_type!r} is missing required fields {missing}"
+        )
+    return frame
+
+
+class FrameBuffer:
+    """Incremental decoder: feed received chunks, pop whole frames.
+
+    TCP delivers byte streams, not messages; the buffer accumulates
+    chunks and yields every complete (newline-terminated) frame, so a
+    frame split across ``recv`` calls — or several frames coalesced
+    into one — both decode correctly.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, chunk):
+        """Append received bytes; returns the complete frames decoded.
+
+        :raises ProtocolError: on lines that are not valid frames.
+        """
+        self._buffer.extend(chunk)
+        frames = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                break
+            line = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            if not line.strip():
+                continue
+            try:
+                frame = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"malformed frame line: {line[:80]!r}"
+                ) from exc
+            if not isinstance(frame, dict):
+                raise ProtocolError(
+                    f"frame is not a JSON object: {line[:80]!r}"
+                )
+            frames.append(validate_frame(frame))
+        return frames
+
+    def pending(self):
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+class FrameConnection:
+    """A blocking frame transport over one connected socket.
+
+    The worker- and client-side convenience: thread-safe sends are the
+    *caller's* concern (wrap :meth:`send` in a lock when a heartbeat
+    thread shares the socket); receives buffer partial lines
+    internally.
+    """
+
+    def __init__(self, sock):
+        self.sock = sock
+        self._frames = FrameBuffer()
+        self._inbox = []
+
+    def send(self, frame_type, **fields):
+        """Encode and send one frame."""
+        self.sock.sendall(encode_frame(make_frame(frame_type, **fields)))
+
+    def recv(self, timeout=None):
+        """Block for the next frame; ``None`` on EOF or timeout."""
+        if self._inbox:
+            return self._inbox.pop(0)
+        self.sock.settimeout(timeout)
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                return None
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            frames = self._frames.feed(chunk)
+            if frames:
+                self._inbox.extend(frames[1:])
+                return frames[0]
+
+    def close(self):
+        """Close the underlying socket (idempotent)."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def connect(host, port, timeout=10.0):
+    """Dial a coordinator; returns a :class:`FrameConnection`.
+
+    :raises ProtocolError: when the endpoint is unreachable.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ProtocolError(
+            f"cannot connect to coordinator at {host}:{port}: {exc}"
+        ) from exc
+    sock.settimeout(None)
+    return FrameConnection(sock)
+
+
+def parse_address(text, default_port=7410):
+    """``"host:port"`` (or bare ``"host"``) -> ``(host, port)``."""
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        try:
+            return host or "127.0.0.1", int(port_text)
+        except ValueError as exc:
+            raise ProtocolError(f"bad port in address {text!r}") from exc
+    return text or "127.0.0.1", default_port

@@ -1,0 +1,298 @@
+"""The distributed campaign worker daemon.
+
+A worker dials the coordinator, pulls shard leases and executes each
+through the **ordinary campaign runner** — warm starts, batching,
+supervision and retry all behave exactly as they do locally, because
+the shard's sub-spec *is* a campaign spec.  What differs is the store:
+a :class:`RowStreamStore` ships every completed run row over the
+socket as it lands instead of writing SQLite, so the coordinator's
+per-shard database grows while the shard is still running and a
+worker killed mid-shard forfeits only the rows it had not yet
+streamed.
+
+Designs reach the worker one of two ways:
+
+* a local **factory** (``--netlist`` on the CLI, or a Python callable
+  for in-process workers) — the common case for fleet deployments
+  where every host has the design files;
+* a netlist dict **in the lease** (the submit client attached it) —
+  zero-install workers that build the design from the wire.
+
+Each worker runs its own golden simulation per shard and reports the
+golden probe digests with its ``complete`` frame; the coordinator
+cross-checks digests across workers, so a worker with a diverging
+toolchain or design file is detected, not silently merged.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket as _socket
+import threading
+from time import perf_counter
+
+from ..campaign.runner import run_campaign
+from ..campaign.supervisor import WORKER_PHASE
+from ..store.backend import StoreBackend
+from ..store.serialize import error_to_row, probes_digest, result_to_row
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameConnection,
+    ProtocolError,
+    connect,
+    parse_address,
+)
+from .shards import Shard
+
+LOGGER = logging.getLogger("repro.dist")
+
+#: Default seconds between worker heartbeat frames.
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+class RowStreamStore(StoreBackend):
+    """A store backend that streams run rows over the wire.
+
+    Bridges the runner's local-index world to the campaign's global
+    one: the shard sub-spec's faults are indexed ``0..n-1``, so every
+    recorded run is translated back to its **global** fault index and
+    content key (from the shard plan) before it leaves the process.
+    Rows are sent as they land — one ``rows`` frame per terminal
+    outcome — so the coordinator's shard database is current to within
+    one run at any kill point.
+    """
+
+    def __init__(self, shard, send):
+        """:param send: ``send(frame_type, **fields)`` (lock-guarded)."""
+        self.shard = shard
+        self._send = send
+        self.golden = None
+        self.execution = None
+        self.rows_sent = 0
+        self.done = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        """Nothing to release: the socket belongs to the worker loop."""
+
+    # -- campaign registration ---------------------------------------------
+
+    def open_campaign(self, spec, resume=False):
+        """The shard id doubles as the campaign handle."""
+        return self.shard.shard_id
+
+    def check_golden(self, campaign_id, probes):
+        """Capture this worker's golden digests for the complete frame."""
+        self.golden = probes_digest(probes)
+
+    def pending_indices(self, campaign_id, total, include_quarantined=False):
+        """A streamed shard never resumes locally: everything pends."""
+        return list(range(total))
+
+    # -- run recording --------------------------------------------------------
+
+    def _ship(self, row):
+        self._send("rows", token=None, rows=[row])
+        self.rows_sent += 1
+        self.done += 1
+
+    def _globalize(self, index):
+        """Local sub-spec index -> (global fault index, fault key)."""
+        return self.shard.indices[index], self.shard.fault_keys[index]
+
+    def record_run(self, campaign_id, index, fault_result,
+                   wall_s=None, kernel_events=None, attempts=1):
+        """Translate one completed run to a row frame and send it."""
+        global_idx, key = self._globalize(index)
+        self._ship(result_to_row(
+            global_idx, key, fault_result, wall_s=wall_s,
+            kernel_events=kernel_events, attempts=attempts,
+        ))
+
+    def record_runs(self, campaign_id, rows):
+        """Batch outcomes ship as one frame (batched campaigns)."""
+        payload = []
+        for index, fault_result, wall_s, kernel_events, attempts in rows:
+            global_idx, key = self._globalize(index)
+            payload.append(result_to_row(
+                global_idx, key, fault_result, wall_s=wall_s,
+                kernel_events=kernel_events, attempts=attempts,
+            ))
+        if payload:
+            self._send("rows", token=None, rows=payload)
+            self.rows_sent += len(payload)
+            self.done += len(payload)
+
+    def record_error(self, campaign_id, index, message, wall_s=None,
+                     status="error", attempts=1, quarantined=False,
+                     postmortem=None):
+        """Failed runs ship too — they are terminal outcomes.
+
+        ``postmortem`` is a worker-local path; it travels as an opaque
+        string (the artifact itself stays on the worker host).
+        """
+        global_idx, key = self._globalize(index)
+        self._ship(error_to_row(
+            global_idx, key, message, status=status, wall_s=wall_s,
+            attempts=attempts, quarantined=quarantined,
+            postmortem=postmortem,
+        ))
+
+    def record_execution(self, campaign_id, execution, status="complete"):
+        """Capture the shard's execution stats for the complete frame."""
+        self.execution = dict(execution)
+        self.execution["status"] = status
+
+
+def _netlist_factory(netlist_dict):
+    """A design factory built from a netlist shipped in the lease."""
+    from ..netlist import Netlist, design_factory
+
+    return design_factory(Netlist.from_dict(netlist_dict))
+
+
+def worker_name():
+    """This process's worker identity: ``host:pid``."""
+    return f"{_socket.gethostname()}:{os.getpid()}"
+
+
+def execute_shard(shard, factory=None, send=lambda *_a, **_k: None,
+                  sink_box=None):
+    """Run one shard through the campaign runner, streaming rows.
+
+    Factory resolution order: the explicit ``factory`` argument, then
+    a netlist carried by the shard itself.  Returns the
+    :class:`RowStreamStore` holding the execution stats and golden
+    digests.
+
+    :param sink_box: optional dict the sink is published into under
+        ``"sink"`` before the run starts (heartbeat progress hook).
+    :raises ProtocolError: when no design source is available.
+    """
+    if factory is None:
+        if shard.netlist is None:
+            raise ProtocolError(
+                f"shard {shard.shard_id} carries no netlist and the "
+                "worker has no local design factory"
+            )
+        factory = _netlist_factory(shard.netlist)
+    sink = RowStreamStore(shard, send)
+    if sink_box is not None:
+        sink_box["sink"] = sink
+    config = dict(shard.config)
+    config.setdefault("on_error", "collect")
+    run_campaign(factory, shard.campaign_spec(), store=sink, **config)
+    return sink
+
+
+def run_worker(address, factory=None, name=None, max_shards=None,
+               heartbeat_s=DEFAULT_HEARTBEAT_S, connect_timeout=10.0):
+    """Worker daemon main loop: lease, execute, stream, repeat.
+
+    Connects to ``address`` (``"host:port"`` or a ``(host, port)``
+    tuple), then loops lease requests until the coordinator drains or
+    shuts it down.  Each leased shard runs under a heartbeat thread
+    that reports the worker's pid, current run phase (from the
+    supervisor's :data:`WORKER_PHASE`) and progress, so the
+    coordinator can distinguish a slow shard from a dead worker.
+
+    Returns the number of shards completed.
+
+    :param factory: optional local design factory; otherwise shards
+        must carry their netlist.
+    :param max_shards: stop after this many shards (tests).
+    """
+    if isinstance(address, str):
+        address = parse_address(address)
+    host, port = address
+    conn = connect(host, port, timeout=connect_timeout)
+    ident = name or worker_name()
+    send_lock = threading.Lock()
+
+    def send(frame_type, **fields):
+        with send_lock:
+            conn.send(frame_type, **fields)
+
+    send("hello", role="worker", name=ident, pid=os.getpid(),
+         host=_socket.gethostname(), proto=PROTOCOL_VERSION)
+    welcome = conn.recv(timeout=connect_timeout)
+    if welcome is None or welcome.get("frame") != "welcome":
+        conn.close()
+        raise ProtocolError(
+            f"coordinator at {host}:{port} did not welcome us "
+            f"(got {welcome!r})"
+        )
+
+    completed = 0
+    try:
+        while max_shards is None or completed < max_shards:
+            send("lease_request")
+            frame = conn.recv(timeout=None)
+            if frame is None or frame["frame"] in ("drain", "shutdown"):
+                break
+            if frame["frame"] != "lease":
+                raise ProtocolError(
+                    f"expected a lease, got {frame['frame']!r}"
+                )
+            shard = Shard.from_dict(frame["shard"])
+            token = frame["token"]
+            LOGGER.info(
+                "worker %s leased shard %d (%d faults, token %s)",
+                ident, shard.shard_id, shard.size, token,
+            )
+            _run_leased_shard(shard, token, factory, send, heartbeat_s)
+            completed += 1
+        try:
+            send("bye")
+        except OSError:
+            pass
+    finally:
+        conn.close()
+    return completed
+
+
+def _run_leased_shard(shard, token, factory, send, heartbeat_s):
+    """Execute one leased shard under a heartbeat thread."""
+    stop = threading.Event()
+    sink_box = {}
+
+    def _heartbeat_loop():
+        while not stop.wait(heartbeat_s):
+            sink = sink_box.get("sink")
+            try:
+                send(
+                    "heartbeat", token=token, pid=os.getpid(),
+                    phase=WORKER_PHASE["phase"],
+                    done=sink.done if sink is not None else 0,
+                    total=shard.size,
+                )
+            except OSError:
+                return
+
+    beat = threading.Thread(target=_heartbeat_loop, daemon=True)
+    beat.start()
+    wall_start = perf_counter()
+    try:
+        def tokenized_send(frame_type, **fields):
+            if "token" in fields:
+                fields["token"] = token
+            send(frame_type, **fields)
+
+        sink = execute_shard(shard, factory=factory, send=tokenized_send,
+                             sink_box=sink_box)
+    except Exception as exc:
+        LOGGER.exception("shard %d failed on this worker", shard.shard_id)
+        stop.set()
+        beat.join(timeout=2.0)
+        send("error", token=token,
+             message=f"{type(exc).__name__}: {exc}")
+        return
+    stop.set()
+    beat.join(timeout=2.0)
+    send(
+        "complete", token=token, rows=sink.rows_sent,
+        execution=sink.execution, golden=sink.golden,
+        wall_s=round(perf_counter() - wall_start, 6),
+    )

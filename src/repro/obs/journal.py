@@ -58,6 +58,12 @@ EVENT_TYPES = (
     "checkpoint_restored",   # index, t_ckpt
     "postmortem_written",    # index, path, status
     "campaign_finished",     # name, execution (stats dict)
+    # Distributed campaigns (repro.dist) — additive in journal schema
+    # v1: consumers that predate them ignore unknown event types.
+    "job_submitted",         # job, name, total, shards
+    "shard_leased",          # job, shard, worker, size, lease
+    "shard_completed",       # job, shard, worker, rows, merged
+    "shard_reassigned",      # job, shard, worker, reason
 )
 
 

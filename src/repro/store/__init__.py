@@ -19,29 +19,43 @@ database without re-simulating)::
 See ``docs/observability.md`` for the schema and resume semantics.
 """
 
+from .backend import StoreBackend
 from .serialize import (
+    ROW_FIELDS,
     SerializationError,
+    classification_to_dict,
+    comparisons_to_dict,
+    error_to_row,
     fault_from_dict,
     fault_key,
     fault_to_dict,
     faults_digest,
     probes_digest,
+    result_to_row,
     spec_from_dict,
     spec_to_dict,
     trace_digest,
 )
+from .sharded import ShardedCampaignStore
 from .store import SCHEMA_VERSION, CampaignStore, StoreError
 
 __all__ = [
     "CampaignStore",
+    "ROW_FIELDS",
     "SCHEMA_VERSION",
     "SerializationError",
+    "ShardedCampaignStore",
+    "StoreBackend",
     "StoreError",
+    "classification_to_dict",
+    "comparisons_to_dict",
+    "error_to_row",
     "fault_from_dict",
     "fault_key",
     "fault_to_dict",
     "faults_digest",
     "probes_digest",
+    "result_to_row",
     "spec_from_dict",
     "spec_to_dict",
     "trace_digest",

@@ -1,0 +1,120 @@
+"""The campaign-store backend interface.
+
+The campaign runner was written against one concrete store — a single
+SQLite file — but a distributed campaign needs *several* kinds of
+sink behind the same method surface: per-shard databases merged at
+shard completion (so N writers never contend on one file), and a
+socket-streaming sink that ships rows to a remote coordinator instead
+of touching disk at all.  :class:`StoreBackend` names that surface:
+exactly the methods :meth:`~repro.campaign.runner.CampaignRunner.run`
+calls on its ``store`` argument.
+
+:class:`~repro.store.store.CampaignStore` (SQLite) is the reference
+implementation; :class:`~repro.store.sharded.ShardedCampaignStore`
+(one database per shard plus a deterministic merge) and
+:class:`~repro.dist.worker.RowStreamStore` (wire-protocol streaming)
+are the others.  The telemetry hooks (:meth:`record_journal`,
+:meth:`record_worker`) default to no-ops so lightweight backends only
+implement what they persist.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class StoreBackend(abc.ABC):
+    """Abstract campaign results sink.
+
+    The contract mirrors the runner's store interactions one-to-one:
+    registration (:meth:`open_campaign`, :meth:`check_golden`), resume
+    queries (:meth:`pending_indices`, :meth:`load_runs`,
+    :meth:`load_errors`), per-run recording (:meth:`record_run`,
+    :meth:`record_runs`, :meth:`record_error`), the final execution
+    record (:meth:`record_execution`) and the optional telemetry hooks.
+    All backends are context managers with an idempotent
+    :meth:`close`.
+    """
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def close(self):
+        """Release any underlying resources (idempotent)."""
+
+    def __enter__(self):
+        """Context-manager entry: returns the backend itself."""
+        return self
+
+    def __exit__(self, *_exc):
+        """Context-manager exit: closes the backend."""
+        self.close()
+        return False
+
+    # -- campaign registration ---------------------------------------------
+
+    @abc.abstractmethod
+    def open_campaign(self, spec, resume=False):
+        """Register ``spec`` (or re-attach to it); returns a campaign id."""
+
+    @abc.abstractmethod
+    def check_golden(self, campaign_id, probes):
+        """Record or verify the golden-run trace digests."""
+
+    # -- resume queries ------------------------------------------------------
+
+    @abc.abstractmethod
+    def pending_indices(self, campaign_id, total, include_quarantined=False):
+        """Fault indices still to run, in campaign order."""
+
+    def load_runs(self, campaign_id, faults):
+        """Previously completed runs as ``{index: FaultResult}``.
+
+        Only resume-capable backends hold history; the default is
+        empty (nothing to merge).
+        """
+        return {}
+
+    def load_errors(self, campaign_id, faults):
+        """Previously failed runs as ``[CampaignRunError]`` (default [])."""
+        return []
+
+    # -- run recording --------------------------------------------------------
+
+    @abc.abstractmethod
+    def record_run(self, campaign_id, index, fault_result,
+                   wall_s=None, kernel_events=None, attempts=1):
+        """Persist one completed faulty run."""
+
+    def record_runs(self, campaign_id, rows):
+        """Persist many completed runs (one batch).
+
+        Backends with cheaper bulk writes override this; the default
+        just loops :meth:`record_run`.
+
+        :param rows: iterable of ``(index, fault_result, wall_s,
+            kernel_events, attempts)`` tuples.
+        """
+        for index, fault_result, wall_s, kernel_events, attempts in rows:
+            self.record_run(campaign_id, index, fault_result,
+                            wall_s=wall_s, kernel_events=kernel_events,
+                            attempts=attempts)
+
+    @abc.abstractmethod
+    def record_error(self, campaign_id, index, message, wall_s=None,
+                     status="error", attempts=1, quarantined=False,
+                     postmortem=None):
+        """Persist one failed faulty run."""
+
+    @abc.abstractmethod
+    def record_execution(self, campaign_id, execution, status="complete"):
+        """Store the final execution-stats dict and campaign status."""
+
+    # -- telemetry hooks (optional) -------------------------------------------
+
+    def record_journal(self, campaign_id, path, offset=0):
+        """Record where the campaign's journal stream lives (no-op)."""
+
+    def record_worker(self, campaign_id, pid, state, fault_idx=None,
+                      phase=None, exitcode=None):
+        """Upsert one supervised worker's liveness row (no-op)."""

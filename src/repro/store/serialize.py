@@ -215,6 +215,95 @@ def spec_from_dict(data):
     )
 
 
+def classification_to_dict(classification):
+    """JSON-ready rendering of a run :class:`Classification`."""
+    return {
+        "label": classification.label,
+        "first_output_divergence": classification.first_output_divergence,
+        "output_mismatch_time": classification.output_mismatch_time,
+        "diverged_outputs": list(classification.diverged_outputs),
+        "diverged_internal": list(classification.diverged_internal),
+        "latent_traces": list(classification.latent_traces),
+    }
+
+
+def comparisons_to_dict(comparisons):
+    """JSON-ready rendering of a per-trace comparison map.
+
+    Analog comparisons carry numpy scalars (np.bool_/np.float64);
+    coerce to plain Python so json.dumps never chokes on them.
+    """
+    def _opt_float(value):
+        return None if value is None else float(value)
+
+    return {
+        name: {
+            "match": bool(cmp_result.match),
+            "first_divergence": _opt_float(cmp_result.first_divergence),
+            "last_divergence": _opt_float(cmp_result.last_divergence),
+            "mismatch_time": _opt_float(cmp_result.mismatch_time),
+            "max_deviation": _opt_float(cmp_result.max_deviation),
+            "final_match": bool(cmp_result.final_match),
+        }
+        for name, cmp_result in comparisons.items()
+    }
+
+
+#: The canonical per-run **row** schema shared by the campaign store,
+#: the per-shard databases and the distributed wire protocol: one
+#: JSON-ready dict per terminal run outcome.  ``idx`` is always the
+#: *global* fault index and ``key`` the fault's content digest
+#: (:func:`fault_key`), which is what shard-reassignment deduplication
+#: keys on.
+ROW_FIELDS = (
+    "idx", "key", "status", "label", "classification", "comparisons",
+    "metrics", "error", "wall_s", "kernel_events", "attempts",
+    "quarantined", "postmortem",
+)
+
+
+def result_to_row(index, key, fault_result, wall_s=None,
+                  kernel_events=None, attempts=1):
+    """Render one successful :class:`FaultResult` as a run-row dict."""
+    return {
+        "idx": int(index),
+        "key": key,
+        "status": "ok",
+        "label": fault_result.label,
+        "classification": classification_to_dict(
+            fault_result.classification
+        ),
+        "comparisons": comparisons_to_dict(fault_result.comparisons),
+        "metrics": dict(fault_result.metrics),
+        "error": None,
+        "wall_s": wall_s,
+        "kernel_events": kernel_events,
+        "attempts": attempts,
+        "quarantined": 0,
+        "postmortem": None,
+    }
+
+
+def error_to_row(index, key, message, status="error", wall_s=None,
+                 attempts=1, quarantined=False, postmortem=None):
+    """Render one failed run as a run-row dict."""
+    return {
+        "idx": int(index),
+        "key": key,
+        "status": status,
+        "label": None,
+        "classification": None,
+        "comparisons": None,
+        "metrics": None,
+        "error": message,
+        "wall_s": wall_s,
+        "kernel_events": None,
+        "attempts": attempts,
+        "quarantined": 1 if quarantined else 0,
+        "postmortem": None if postmortem is None else str(postmortem),
+    }
+
+
 def trace_digest(trace):
     """A content digest of one trace's samples.
 

@@ -28,7 +28,10 @@ import sqlite3
 from datetime import datetime, timezone
 
 from ..core.errors import ReproError
+from .backend import StoreBackend
 from .serialize import (
+    classification_to_dict,
+    comparisons_to_dict,
     fault_key,
     fault_to_dict,
     faults_digest,
@@ -52,7 +55,14 @@ from .serialize import (
 #:   ``workers`` table tracks supervised worker liveness (fed by
 #:   heartbeats; surfaced by ``campaign status``/``campaign watch``).
 #:   Older files migrate in place on open.
-SCHEMA_VERSION = 3
+#: * v4 — distributed campaigns behind the store **backend
+#:   interface** (:class:`~repro.store.backend.StoreBackend`):
+#:   ``runs`` gains a ``shard_id`` column (which distributed shard
+#:   produced the row; NULL for single-host campaigns), and a new
+#:   ``shards`` table tracks shard lifecycle (lease count, worker,
+#:   state) for campaigns executed by the :mod:`repro.dist`
+#:   coordinator.  Older files migrate in place on open.
+SCHEMA_VERSION = 4
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -94,9 +104,20 @@ CREATE TABLE IF NOT EXISTS runs (
     attempts            INTEGER,
     quarantined         INTEGER NOT NULL DEFAULT 0,
     postmortem          TEXT,
+    shard_id            INTEGER,
     PRIMARY KEY (campaign_id, fault_idx)
 );
 CREATE INDEX IF NOT EXISTS runs_by_label ON runs (campaign_id, label);
+CREATE TABLE IF NOT EXISTS shards (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    shard_id    INTEGER NOT NULL,
+    state       TEXT NOT NULL,
+    worker      TEXT,
+    n_faults    INTEGER,
+    leases      INTEGER NOT NULL DEFAULT 0,
+    updated_at  TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, shard_id)
+);
 CREATE TABLE IF NOT EXISTS workers (
     campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
     pid         INTEGER NOT NULL,
@@ -119,37 +140,14 @@ def _now():
     return datetime.now(timezone.utc).isoformat()
 
 
-def _classification_to_dict(classification):
-    return {
-        "label": classification.label,
-        "first_output_divergence": classification.first_output_divergence,
-        "output_mismatch_time": classification.output_mismatch_time,
-        "diverged_outputs": list(classification.diverged_outputs),
-        "diverged_internal": list(classification.diverged_internal),
-        "latent_traces": list(classification.latent_traces),
-    }
+# Shared with the per-shard databases and the distributed wire
+# protocol (see repro.store.serialize); the old private names remain
+# as aliases for the rest of this module.
+_classification_to_dict = classification_to_dict
+_comparisons_to_dict = comparisons_to_dict
 
 
-def _comparisons_to_dict(comparisons):
-    # Analog comparisons carry numpy scalars (np.bool_/np.float64);
-    # coerce to plain Python so json.dumps never chokes on them.
-    def _opt_float(value):
-        return None if value is None else float(value)
-
-    return {
-        name: {
-            "match": bool(cmp_result.match),
-            "first_divergence": _opt_float(cmp_result.first_divergence),
-            "last_divergence": _opt_float(cmp_result.last_divergence),
-            "mismatch_time": _opt_float(cmp_result.mismatch_time),
-            "max_deviation": _opt_float(cmp_result.max_deviation),
-            "final_match": bool(cmp_result.final_match),
-        }
-        for name, cmp_result in comparisons.items()
-    }
-
-
-class CampaignStore:
+class CampaignStore(StoreBackend):
     """One SQLite file holding any number of named campaigns.
 
     Usable as a context manager; :meth:`close` is idempotent.
@@ -160,8 +158,24 @@ class CampaignStore:
 
     def __init__(self, path):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        # check_same_thread=False: the store itself is not thread-safe
+        # (callers serialise access — the distributed coordinator opens
+        # the final store at submit time and writes from its event-loop
+        # thread under a lock), but it must not be thread-*pinned*.
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
+        # WAL lets readers (``campaign watch``/``status``) poll while
+        # a writer streams rows — no more transient ``database is
+        # locked`` during a live campaign — and the busy timeout makes
+        # the residual write/write contention wait instead of raising.
+        # Both pragmas are best-effort: ``:memory:`` databases and
+        # filesystems without shared-memory support simply keep the
+        # default journal mode.
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            pass
+        self._conn.execute("PRAGMA busy_timeout=5000")
         self._conn.executescript(_SCHEMA)
         self._migrate()
         self._conn.execute(
@@ -177,8 +191,8 @@ class CampaignStore:
         untouched, so newer columns are added here; existing rows read
         back with the new columns NULL (``attempts`` NULL is treated
         as 1, ``quarantined`` defaults to 0), which is exactly what
-        the older campaign meant.  The ``workers`` table is new in v3
-        and created by the schema script itself.
+        the older campaign meant.  The ``workers`` (v3) and ``shards``
+        (v4) tables are new and created by the schema script itself.
         """
         columns = {
             row["name"]
@@ -193,6 +207,8 @@ class CampaignStore:
             )
         if "postmortem" not in columns:
             self._conn.execute("ALTER TABLE runs ADD COLUMN postmortem TEXT")
+        if "shard_id" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN shard_id INTEGER")
         campaign_columns = {
             row["name"]
             for row in self._conn.execute("PRAGMA table_info(campaigns)")
@@ -285,7 +301,19 @@ class CampaignStore:
 
         :raises StoreError: on digest mismatch.
         """
-        digests = probes_digest(probes)
+        self.check_golden_digests(campaign_id, probes_digest(probes))
+
+    def check_golden_digests(self, campaign_id, digests):
+        """Record or verify golden digests that were computed elsewhere.
+
+        The digest-level sibling of :meth:`check_golden`, for callers
+        that never see the golden traces themselves — the distributed
+        coordinator receives per-probe digests from its workers (each
+        worker runs its own golden) and must prove they all executed
+        the *same* golden before merging their rows.
+
+        :raises StoreError: on digest mismatch.
+        """
         row = self._conn.execute(
             "SELECT golden_json FROM campaigns WHERE id = ?", (campaign_id,)
         ).fetchone()
@@ -445,6 +473,136 @@ class CampaignStore:
              None if postmortem is None else str(postmortem)),
         )
         self._conn.commit()
+
+    def record_row(self, campaign_id, row, shard_id=None, replace=False):
+        """Persist one run from its **row dict** rendering.
+
+        ``row`` follows the canonical schema of
+        :data:`~repro.store.serialize.ROW_FIELDS` — what the
+        distributed wire protocol streams and the per-shard databases
+        hold.  The default conflict policy is *first writer wins*
+        (``INSERT OR IGNORE``): shard reassignment is at-least-once,
+        so the same fault may legitimately arrive twice, and ignoring
+        the duplicate keeps the merged store deterministic regardless
+        of arrival order.  Commits immediately.
+        """
+        self._conn.execute(
+            "INSERT OR " + ("REPLACE" if replace else "IGNORE")
+            + " INTO runs (campaign_id, fault_idx, status, label,"
+            " classification_json, comparisons_json, metrics_json,"
+            " error, wall_s, kernel_events, completed_at, attempts,"
+            " quarantined, postmortem, shard_id)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                campaign_id,
+                int(row["idx"]),
+                row["status"],
+                row.get("label"),
+                (None if row.get("classification") is None
+                 else json.dumps(row["classification"])),
+                (None if row.get("comparisons") is None
+                 else json.dumps(row["comparisons"])),
+                (None if row.get("metrics") is None
+                 else json.dumps(row["metrics"], default=str)),
+                row.get("error"),
+                row.get("wall_s"),
+                row.get("kernel_events"),
+                _now(),
+                row.get("attempts", 1),
+                1 if row.get("quarantined") else 0,
+                row.get("postmortem"),
+                shard_id if shard_id is not None else row.get("shard_id"),
+            ),
+        )
+        self._conn.commit()
+
+    def run_rows(self, campaign_id):
+        """Every recorded run as a row dict, in fault-index order.
+
+        The inverse of :meth:`record_row` (plus the fault's content
+        ``key`` joined in from the fault list), used by the shard
+        merge and by row-identity assertions in tests.
+        """
+        rows = []
+        for row in self._conn.execute(
+            "SELECT r.*, f.key AS fault_key FROM runs r"
+            " LEFT JOIN faults f ON f.campaign_id = r.campaign_id"
+            " AND f.idx = r.fault_idx"
+            " WHERE r.campaign_id = ? ORDER BY r.fault_idx",
+            (campaign_id,),
+        ):
+            rows.append({
+                "idx": row["fault_idx"],
+                "key": row["fault_key"],
+                "status": row["status"],
+                "label": row["label"],
+                "classification": (
+                    None if row["classification_json"] is None
+                    else json.loads(row["classification_json"])
+                ),
+                "comparisons": (
+                    None if row["comparisons_json"] is None
+                    else json.loads(row["comparisons_json"])
+                ),
+                "metrics": (
+                    None if row["metrics_json"] is None
+                    else json.loads(row["metrics_json"])
+                ),
+                "error": row["error"],
+                "wall_s": row["wall_s"],
+                "kernel_events": row["kernel_events"],
+                "attempts": row["attempts"],
+                "quarantined": row["quarantined"],
+                "postmortem": row["postmortem"],
+                "shard_id": row["shard_id"],
+            })
+        return rows
+
+    def record_shard(self, campaign_id, shard_id, state, worker=None,
+                     n_faults=None, leases=None):
+        """Upsert one distributed shard's lifecycle row.
+
+        The coordinator calls this as shards move through
+        ``pending`` -> ``leased`` -> ``merged`` (with ``leases``
+        counting at-least-once reassignments); ``campaign status`` and
+        post-mortem queries read it back via :meth:`shard_rows`.
+        """
+        now = _now()
+        cursor = self._conn.execute(
+            "UPDATE shards SET state = ?,"
+            " worker = COALESCE(?, worker),"
+            " n_faults = COALESCE(?, n_faults),"
+            " leases = COALESCE(?, leases), updated_at = ?"
+            " WHERE campaign_id = ? AND shard_id = ?",
+            (state, worker, n_faults, leases, now, campaign_id, shard_id),
+        )
+        if cursor.rowcount == 0:
+            self._conn.execute(
+                "INSERT INTO shards (campaign_id, shard_id, state, worker,"
+                " n_faults, leases, updated_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (campaign_id, shard_id, state, worker, n_faults,
+                 leases or 0, now),
+            )
+        self._conn.commit()
+
+    def shard_rows(self, name=None):
+        """Distributed shard lifecycle rows for one campaign.
+
+        Returns a list of dicts (``shard_id``, ``state``, ``worker``,
+        ``n_faults``, ``leases``, ``updated_at``) in shard order;
+        empty for single-host campaigns.
+        """
+        campaign_id = self.campaign_id(name)
+        return [
+            dict(row)
+            for row in self._conn.execute(
+                "SELECT shard_id, state, worker, n_faults, leases,"
+                " updated_at FROM shards WHERE campaign_id = ?"
+                " ORDER BY shard_id",
+                (campaign_id,),
+            )
+        ]
 
     def record_journal(self, campaign_id, path, offset=0):
         """Record where this campaign's journal event stream lives.

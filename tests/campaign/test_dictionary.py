@@ -125,3 +125,63 @@ class TestDictionary:
 
         with pytest.raises(CampaignError):
             FaultDictionary(CampaignResult(FakeSpec()))
+
+
+class TestRoundTrip:
+    """to_dict / from_dict round trips and spec-serialization identity."""
+
+    def test_to_dict_from_dict_exact(self, result):
+        dictionary = FaultDictionary(result)
+        exported = dictionary.to_dict()
+        reloaded = FaultDictionary.from_dict(exported)
+        assert reloaded.to_dict() == exported
+
+    def test_signature_ordering_survives_reload(self, result):
+        dictionary = FaultDictionary(result)
+        reloaded = FaultDictionary.from_dict(dictionary.to_dict())
+        assert reloaded.signatures() == dictionary.signatures()
+        for signature in dictionary.signatures():
+            assert reloaded.candidates(signature) == [
+                fault.describe()
+                for fault in dictionary.candidates(signature)
+            ]
+
+    def test_reloaded_metrics_match(self, result):
+        dictionary = FaultDictionary(result)
+        reloaded = FaultDictionary.from_dict(dictionary.to_dict())
+        assert reloaded.distinguishability() \
+            == dictionary.distinguishability()
+        assert reloaded.ambiguity_histogram() \
+            == dictionary.ambiguity_histogram()
+        assert reloaded.report() == dictionary.report()
+
+    def test_signature_for_unavailable_after_reload(self, result):
+        dictionary = FaultDictionary(result)
+        reloaded = FaultDictionary.from_dict(dictionary.to_dict())
+        fault = result.runs[0].fault
+        with pytest.raises(CampaignError):
+            reloaded.signature_for(fault)
+
+    def test_malformed_export_rejected(self):
+        with pytest.raises(CampaignError):
+            FaultDictionary.from_dict({"n_faults": 3})
+
+    def test_spec_round_trip_plans_identical_batches(self, result):
+        """spec_to_dict/spec_from_dict preserve batch planning exactly.
+
+        Distributed shards ship the spec as a dict; the worker's
+        runner must split the reconstructed spec into the very same
+        batches (kind, checkpoint, member order) the serial runner
+        would use, or shard results stop being comparable.
+        """
+        from repro.campaign.runner import CampaignRunner
+        from repro.store.serialize import spec_from_dict, spec_to_dict
+
+        spec = result.spec
+        clone = spec_from_dict(spec_to_dict(spec))
+        pending = list(range(len(spec.faults)))
+        original = CampaignRunner(factory, spec)._plan_batches(pending)
+        round_tripped = CampaignRunner(factory, clone)._plan_batches(pending)
+        assert round_tripped == original
+        assert [f.describe() for f in clone.faults] \
+            == [f.describe() for f in spec.faults]

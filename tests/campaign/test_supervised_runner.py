@@ -41,7 +41,7 @@ from repro.core import (
 )
 from repro.core.errors import ReproError, SimulationError
 from repro.digital import Bus, ClockGen, Counter, ParityGen
-from repro.store import CampaignStore
+from repro.store import SCHEMA_VERSION, CampaignStore
 
 needs_fork = pytest.mark.skipif(
     sys.platform == "win32"
@@ -378,7 +378,7 @@ class TestQuarantineResume:
             version = store._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()["value"]
-            assert version == "3"
+            assert version == str(SCHEMA_VERSION)
             # And v2 writes work against the migrated table.
             store.record_error(1, 1, "new", status=RUN_TIMEOUT,
                                attempts=2, quarantined=True)

@@ -205,3 +205,68 @@ class TestMixedPLLWarmStart:
         assert warm.execution["fault_events"] * 2 < (
             cold.execution["fault_events"]
         )
+
+
+class TestQuietedProbeRestore:
+    """Warm restores after a run that *quieted* a probe.
+
+    A fault can leave a probe trace with fewer samples than the golden
+    run had recorded by the *next* fault's checkpoint (an upset that
+    halts activity stops the probe toggling).  A checkpoint restore
+    truncates traces to the golden length, so without reloading the
+    golden record first, the next run compares against a corrupted
+    prefix and mislabels — divergence apparently *before* its own
+    injection time.  Regression test for exactly that leak, on the
+    accumulator CPU whose PC upsets halt the program early.
+    """
+
+    @staticmethod
+    def _cpu_factory():
+        from repro.digital import Accumulator8, assemble
+
+        program = assemble([
+            ("LDI", 5),
+            ("OUT",),
+            ("SUB", 1),
+            ("JNZ", 1),
+            ("OUT",),
+            ("HALT",),
+        ])
+        sim = Simulator(dt=1e-9)
+        top = Component(sim, "top")
+        clk = sim.signal("clk", init=L0)
+        ClockGen(sim, "ck", clk, period=10e-9, parent=top)
+        cpu = Accumulator8(sim, "cpu", clk, program, parent=top)
+        probes = {
+            "out[0]": sim.probe(cpu.out.bits[0]),
+            "out_valid": sim.probe(cpu.out_valid),
+            "halted": sim.probe(cpu.halted),
+        }
+        return Design(sim=sim, root=top, probes=probes)
+
+    def _spec(self):
+        # Consecutive upsets on the same PC bit: the first halts the
+        # CPU early (quiet probes), the second restores a *later*
+        # checkpoint than the first left samples for.
+        faults = exhaustive_bitflips(
+            ["top/cpu.pc[2]"], [35e-9, 45e-9, 55e-9, 65e-9]
+        )
+        return CampaignSpec(
+            name="warm-quiet", faults=faults, t_end=800e-9,
+            outputs=["out[0]", "out_valid", "halted"],
+        )
+
+    def test_warm_matches_cold_after_quieting_fault(self):
+        cold = run_campaign(self._cpu_factory, self._spec())
+        warm = run_campaign(self._cpu_factory, self._spec(),
+                            warm_start=True)
+        assert to_csv(warm) == to_csv(cold)
+
+    def test_no_divergence_before_injection(self):
+        warm = run_campaign(self._cpu_factory, self._spec(),
+                            warm_start=True)
+        for run in warm:
+            for cmp_result in run.comparisons.values():
+                if cmp_result.diverged:
+                    assert cmp_result.first_divergence \
+                        >= run.fault.time - 1e-12

@@ -1,0 +1,144 @@
+"""Wire protocol: framing, validation, incremental decoding."""
+
+import json
+import socket
+
+import pytest
+
+from repro.dist import FrameBuffer, FrameConnection, ProtocolError, parse_address
+from repro.dist.protocol import (
+    FRAME_TYPES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    make_frame,
+    validate_frame,
+)
+
+
+class TestFrames:
+    def test_make_frame_sets_type(self):
+        frame = make_frame("hello", role="worker", name="w0")
+        assert frame["frame"] == "hello"
+        assert frame["role"] == "worker"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            make_frame("gossip")
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            make_frame("lease", shard={})  # no token
+
+    def test_every_type_has_an_envelope_spec(self):
+        for frame_type, required in FRAME_TYPES.items():
+            fields = {name: "x" for name in required}
+            frame = make_frame(frame_type, **fields)
+            assert validate_frame(frame) is frame
+
+    def test_encode_is_one_json_line(self):
+        frame = make_frame("heartbeat", token="1:0:1", done=3)
+        wire = encode_frame(frame)
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+        assert json.loads(wire) == frame
+
+    def test_encode_rejects_non_frames(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"role": "worker"})
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            validate_frame({"frame": "rows", "token": "t"})  # no rows
+
+
+class TestFrameBuffer:
+    def test_whole_frame_decodes(self):
+        buf = FrameBuffer()
+        frames = buf.feed(encode_frame(make_frame("welcome", proto=1)))
+        assert [f["frame"] for f in frames] == ["welcome"]
+
+    def test_partial_line_stays_buffered(self):
+        buf = FrameBuffer()
+        wire = encode_frame(make_frame("drain"))
+        assert buf.feed(wire[:5]) == []
+        assert [f["frame"] for f in buf.feed(wire[5:])] == ["drain"]
+
+    def test_non_ascii_name_survives_byte_splits(self):
+        buf = FrameBuffer()
+        wire = encode_frame(make_frame("hello", role="worker", name="wörker"))
+        cut = len(wire) // 2
+        assert buf.feed(wire[:cut]) == []
+        frames = buf.feed(wire[cut:])
+        assert frames[0]["name"] == "wörker"
+
+    def test_many_frames_in_one_chunk(self):
+        buf = FrameBuffer()
+        wire = b"".join(
+            encode_frame(make_frame("heartbeat", token=str(i)))
+            for i in range(5)
+        )
+        frames = buf.feed(wire)
+        assert [f["token"] for f in frames] == [str(i) for i in range(5)]
+
+    def test_garbage_line_raises(self):
+        buf = FrameBuffer()
+        with pytest.raises(ProtocolError):
+            buf.feed(b"not json at all\n")
+
+    def test_unknown_frame_type_raises(self):
+        buf = FrameBuffer()
+        with pytest.raises(ProtocolError):
+            buf.feed(b'{"frame":"gossip"}\n')
+
+
+class TestFrameConnection:
+    def test_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        a, b = FrameConnection(left), FrameConnection(right)
+        try:
+            a.send("hello", role="client", name="cli",
+                   proto=PROTOCOL_VERSION)
+            frame = b.recv(timeout=5)
+            assert frame["frame"] == "hello"
+            assert frame["proto"] == PROTOCOL_VERSION
+            b.send("welcome", proto=PROTOCOL_VERSION)
+            assert a.recv(timeout=5)["frame"] == "welcome"
+        finally:
+            a.close()
+            b.close()
+
+    def test_eof_returns_none(self):
+        left, right = socket.socketpair()
+        conn = FrameConnection(right)
+        left.close()
+        try:
+            assert conn.recv(timeout=5) is None
+        finally:
+            conn.close()
+
+    def test_queued_frames_drain_in_order(self):
+        left, right = socket.socketpair()
+        a, b = FrameConnection(left), FrameConnection(right)
+        try:
+            for i in range(3):
+                a.send("heartbeat", token=str(i))
+            got = [b.recv(timeout=5)["token"] for _ in range(3)]
+            assert got == ["0", "1", "2"]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("node7:9000") == ("node7", 9000)
+
+    def test_bare_host_gets_default_port(self):
+        assert parse_address("node7", default_port=7410) == ("node7", 7410)
+
+    def test_bare_port(self):
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_address("node7:banana")
