@@ -22,6 +22,7 @@ checks result identity and reports the measured ratio.
 import json
 import multiprocessing
 import os
+import signal
 import sys
 import time
 
@@ -39,7 +40,10 @@ from repro.campaign import (
 from repro.core import Component, L0
 from repro.core.hierarchy import collect_state_signals
 from repro.digital import Accumulator8, ClockGen, assemble
+from repro.dist import Coordinator, read_ledger, spawn_local_workers
 from repro.dist import run_distributed
+from repro.dist.local import _worker_main
+from repro.store import CampaignStore
 
 from conftest import banner, once, write_bench_json
 
@@ -145,7 +149,7 @@ def test_distributed_speedup(benchmark, tmp_path):
     banner(f"Distributed campaign — {len(serial)} faults, "
            f"{WORKERS} loopback workers on {cores} cores")
     print(json.dumps(measurements, indent=2))
-    write_bench_json("BENCH_dist.json", measurements)
+    _merge_bench_json(measurements)
 
     # Identical results first: same CSV (fault, class, divergences).
     assert to_csv(serial) == to_csv(distributed)
@@ -159,3 +163,114 @@ def test_distributed_speedup(benchmark, tmp_path):
     else:
         print(f"[skip] speedup gate needs >= {WORKERS} cores, "
               f"have {cores}; measured {t_serial / t_dist:.2f}x")
+
+
+def _merge_bench_json(updates):
+    """Fold one leg's measurements into the shared ``BENCH_dist.json``.
+
+    ``write_bench_json`` overwrites its output file, and this module
+    has two legs (speedup, reconnect storm): read whatever the other
+    leg already recorded, apply ``updates``, write the union back.
+    """
+    out_path = os.environ.get("REPRO_BENCH_JSON", "BENCH_dist.json")
+    record = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = {}
+    record.pop("bench", None)
+    record.update(updates)
+    write_bench_json("BENCH_dist.json", record)
+
+
+def run_storm(tmp_path):
+    """One distributed campaign surviving a mid-run worker massacre.
+
+    Starts the usual 4-worker fleet, waits for real progress (two
+    shards merged), SIGKILLs half the fleet, forks replacements under
+    fresh names, and times the kill-to-complete recovery window.  The
+    ledger counts how many leases the storm cost.
+    """
+    spec = make_spec()
+    store_path = tmp_path / "storm.db"
+    ledger_path = tmp_path / "storm.ledger.jsonl"
+    context = multiprocessing.get_context("fork")
+    coordinator = Coordinator(
+        store_path, shard_size=SHARD_SIZE, ledger_path=ledger_path,
+        reconnect_grace_s=1.0,
+    )
+    coordinator.drain_when_idle(True)
+    processes = []
+    try:
+        job_id = coordinator.submit(spec, config={"warm_start": True})
+        coordinator.start()
+        processes = spawn_local_workers(
+            coordinator.address, WORKERS, cpu_factory, context=context,
+        )
+        deadline = time.monotonic() + 300.0
+        while (coordinator.job_status(job_id)["merged"] < 2
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        killed_at_merged = coordinator.job_status(job_id)["merged"]
+        victims = processes[: WORKERS // 2]
+        t0 = time.perf_counter()
+        for victim in victims:
+            os.kill(victim.pid, signal.SIGKILL)
+        for rank in range(len(victims)):
+            replacement = context.Process(
+                target=_worker_main,
+                args=(coordinator.address, cpu_factory,
+                      f"storm-{rank}", {}),
+                daemon=True,
+            )
+            replacement.start()
+            processes.append(replacement)
+        status = coordinator.wait(job_id, timeout=600)
+        t_recovery = time.perf_counter() - t0
+    finally:
+        coordinator.stop()
+        for process in processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+    grants = sum(
+        1 for record in read_ledger(ledger_path)
+        if record.get("rec") == "lease_granted"
+    )
+    with CampaignStore(store_path) as store:
+        rows = store.run_rows(store.campaign_id(spec.name))
+    return status, t_recovery, killed_at_merged, grants, rows
+
+
+@needs_fork
+def test_reconnect_storm_recovery(benchmark, tmp_path):
+    status, t_recovery, killed_at_merged, grants, rows = once(
+        benchmark, lambda: run_storm(tmp_path)
+    )
+    spec = make_spec()
+
+    measurements = {
+        "workers": WORKERS,
+        "killed": WORKERS // 2,
+        "killed_at_merged_shards": killed_at_merged,
+        "recovery_wall_s": round(t_recovery, 4),
+        "lease_grants": grants,
+        "reassigned_leases": grants - status["shards"],
+    }
+
+    banner(f"Reconnect storm — {WORKERS // 2}/{WORKERS} workers "
+           f"SIGKILLed mid-campaign, recovered in {t_recovery:.2f}s")
+    print(json.dumps(measurements, indent=2))
+    _merge_bench_json({"reconnect_storm": measurements})
+
+    # Recovery must be *correct* before it is fast: the job finishes,
+    # and the merged store holds every fault exactly once despite the
+    # killed workers' half-streamed shards being re-run elsewhere.
+    assert status["state"] == "complete"
+    assert not status["failed"]
+    assert [row["idx"] for row in rows] == list(range(len(spec.faults)))
+    # The storm had teeth: at least one shard needed a second lease.
+    assert grants > status["shards"]

@@ -555,14 +555,58 @@ def cmd_campaign_serve(args):
     host, port = parse_address(args.listen)
     if args.journal:
         obs_journal.open_journal(args.journal)
+    ledger = args.ledger
+    if ledger is None:
+        ledger = f"{args.db}.ledger.jsonl"
+    elif ledger.lower() == "none":
+        ledger = None
     coordinator = Coordinator(
         args.db, host=host, port=port, shard_size=args.shard_size,
         lease_timeout_s=args.lease_timeout, max_leases=args.max_leases,
+        ledger_path=ledger, reconnect_grace_s=args.reconnect_grace,
+        lease_wall_s=args.lease_wall_timeout,
     )
     bound = coordinator.address
     print(f"coordinator listening on {bound[0]}:{bound[1]}, "
           f"store {args.db}", file=sys.stderr)
     try:
+        if args.resume:
+            if ledger is None or not os.path.exists(ledger):
+                raise ReproError(
+                    f"--resume needs an existing ledger file "
+                    f"(looked for {ledger or '--ledger FILE'})"
+                )
+            resumed = coordinator.resume_from_ledger(ledger)
+            print(f"resumed {len(resumed)} job(s) from {ledger}",
+                  file=sys.stderr)
+            if resumed:
+                # Finish the interrupted jobs, then exit with their
+                # verdict — the crash-recovery counterpart of serving
+                # a netlist job to completion.
+                coordinator.drain_when_idle(True)
+                coordinator.start()
+                ok = True
+                try:
+                    for job_id in resumed:
+                        status = coordinator.wait(job_id)
+                        print(
+                            f"job {job_id} ({status.get('name')}): "
+                            f"{status['state']}, "
+                            f"{status.get('merged', 0)}/"
+                            f"{status.get('shards', '?')} shards merged, "
+                            f"{status.get('rows', 0)} rows",
+                            file=sys.stderr,
+                        )
+                        ok = ok and status["state"] == "complete"
+                except KeyboardInterrupt:
+                    return 3
+                return 0 if ok else 3
+            # Nothing interrupted: every ledgered job already reached
+            # a terminal state.  Exit instead of parking as a server —
+            # the operator asked to finish a crash, not to serve.
+            print("nothing to resume: all ledgered jobs are terminal",
+                  file=sys.stderr)
+            return 0
         if args.netlist:
             if not args.faults:
                 raise ReproError("serve with a netlist also needs faults")
@@ -610,7 +654,9 @@ def cmd_campaign_worker(args):
         factory = design_factory(load_netlist(args.netlist))
     completed = run_worker(
         args.connect, factory=factory, name=args.name,
-        max_shards=args.max_shards,
+        max_shards=args.max_shards, reconnect=args.reconnect,
+        max_reconnects=args.max_reconnects or None,
+        backoff_s=args.backoff, backoff_max_s=args.backoff_max,
     )
     print(f"worker done: {completed} shards completed", file=sys.stderr)
     return 0
@@ -868,6 +914,25 @@ def build_parser():
     p_serve.add_argument("--journal", metavar="FILE", default=None,
                          help="stream job/shard/run events to FILE as "
                               "JSONL ('campaign watch' tails it)")
+    p_serve.add_argument("--ledger", metavar="FILE", default=None,
+                         help="durable scheduling ledger for crash "
+                              "recovery (default: <db>.ledger.jsonl; "
+                              "'none' disables)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="rebuild coordinator state from the "
+                              "ledger before serving: completed shards "
+                              "are adopted from their shard databases, "
+                              "the rest requeue")
+    p_serve.add_argument("--reconnect-grace", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="how long a disconnected worker's lease "
+                              "stays reserved for its reconnect before "
+                              "the shard reassigns (default 10s; 0 "
+                              "restores immediate reassignment)")
+    p_serve.add_argument("--lease-wall-timeout", type=float,
+                         default=None, metavar="SECONDS",
+                         help="absolute wall-clock ceiling per lease, "
+                              "heartbeats or not (default: none)")
     p_serve.set_defaults(func=cmd_campaign_serve)
 
     p_worker = camp_sub.add_parser(
@@ -882,6 +947,21 @@ def build_parser():
                           help="worker identity (default host:pid)")
     p_worker.add_argument("--max-shards", type=int, default=None,
                           metavar="N", help="exit after N shards")
+    p_worker.add_argument("--no-reconnect", dest="reconnect",
+                          action="store_false", default=True,
+                          help="die on the first socket failure instead "
+                               "of backing off and redialing")
+    p_worker.add_argument("--max-reconnects", type=int, default=8,
+                          metavar="N",
+                          help="consecutive failed redials before "
+                               "giving up (default 8; 0 = forever)")
+    p_worker.add_argument("--backoff", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="first reconnect backoff; doubles per "
+                               "attempt (default 0.5s)")
+    p_worker.add_argument("--backoff-max", type=float, default=15.0,
+                          metavar="SECONDS",
+                          help="reconnect backoff ceiling (default 15s)")
     p_worker.set_defaults(func=cmd_campaign_worker)
 
     p_submit = camp_sub.add_parser(

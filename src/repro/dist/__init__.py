@@ -22,12 +22,27 @@ Three entry points:
 Fault tolerance is at-least-once with idempotent rows: dead workers
 (socket EOF or heartbeat silence past the lease timeout) get their
 shards re-leased, and duplicate rows from the two executions dedup by
-global fault index with content-digest verification.
+global fault index with content-digest verification.  Crash tolerance
+goes further (see ``docs/distributed.md``, "Failure model"): the
+coordinator journals every scheduling decision to a durable
+:class:`~.ledger.CoordinatorLedger` and can
+:meth:`~.coordinator.Coordinator.resume_from_ledger` after a kill;
+workers reconnect with capped exponential backoff and drain buffered
+rows; and a seeded :class:`~.chaos.ChaosProxy` exists to prove all of
+it under injected network faults.
 """
 
+from .chaos import ChaosConfig, ChaosProxy
 from .coordinator import Coordinator, CoordinatorError
+from .ledger import (
+    CoordinatorLedger,
+    LedgerError,
+    read_ledger,
+    replay_ledger,
+)
 from .local import run_distributed, spawn_local_workers
 from .protocol import (
+    MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     FrameBuffer,
     FrameConnection,
@@ -36,23 +51,38 @@ from .protocol import (
     parse_address,
 )
 from .shards import DEFAULT_SHARD_SIZE, Shard, ShardError, plan_shards
-from .worker import RowStreamStore, execute_shard, run_worker
+from .worker import (
+    CoordinatorLost,
+    RowStreamStore,
+    WorkerShutdown,
+    execute_shard,
+    run_worker,
+)
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
     "Coordinator",
     "CoordinatorError",
+    "CoordinatorLedger",
+    "CoordinatorLost",
     "DEFAULT_SHARD_SIZE",
     "FrameBuffer",
     "FrameConnection",
+    "LedgerError",
+    "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RowStreamStore",
     "Shard",
     "ShardError",
+    "WorkerShutdown",
     "connect",
     "execute_shard",
     "parse_address",
     "plan_shards",
+    "read_ledger",
+    "replay_ledger",
     "run_distributed",
     "run_worker",
     "spawn_local_workers",

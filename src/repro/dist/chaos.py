@@ -1,0 +1,241 @@
+"""A deterministic, seeded chaos proxy for the distributed transport.
+
+A fault-injection tool should be able to inject faults into *itself*:
+:class:`ChaosProxy` is a TCP relay placed between workers and the
+coordinator that perturbs the byte stream the way real networks and
+real outages do —
+
+* **delay** — a forwarded chunk sleeps before delivery (reordering
+  pressure on the framing layer);
+* **drop** — the connection is closed at a chunk boundary (worker
+  reconnect paths);
+* **reset** — the close is a hard RST instead of a FIN (``SO_LINGER``
+  zero), the error path ``ECONNRESET`` exercises;
+* **truncate** — a chunk is cut mid-frame and the connection dropped,
+  leaving a half-written line in the peer's :class:`FrameBuffer`;
+* **partition** — the proxy stalls every live connection and refuses
+  new ones for a window (lease expiry, backoff growth).
+
+Decisions come from per-connection, per-direction ``random.Random``
+streams derived from one seed, so a chaos schedule is reproducible
+run to run regardless of thread interleaving.  The proxy never
+*corrupts* bytes it forwards — corruption testing belongs to the
+frame-rejection unit tests — it only delays, cuts and kills, which is
+exactly the failure model the protocol claims to survive.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from time import monotonic
+
+LOGGER = logging.getLogger("repro.dist.chaos")
+
+
+@dataclass
+class ChaosConfig:
+    """Per-chunk misbehavior probabilities and magnitudes.
+
+    All probabilities are evaluated independently per forwarded chunk
+    (drop/truncate are mutually exclusive; truncate wins).  The
+    defaults are a no-op proxy — turn knobs up per test.
+    """
+
+    delay_p: float = 0.0        #: probability a chunk is delayed
+    delay_s: float = 0.05       #: max per-chunk delay (uniform 0..max)
+    drop_p: float = 0.0         #: probability the connection drops
+    reset_p: float = 0.0        #: P(drop is an RST | drop)
+    truncate_p: float = 0.0     #: probability a chunk is cut, then dropped
+    seed: int = 0               #: root of every decision stream
+
+
+class ChaosProxy:
+    """A seeded TCP relay between one upstream and many downstreams.
+
+    :param upstream: the real endpoint, ``(host, port)``.
+    :param config: a :class:`ChaosConfig` (default: forward faithfully).
+    :param host: listen address for victims to dial.
+    :param port: listen port (0 = ephemeral; read :attr:`address`).
+    """
+
+    def __init__(self, upstream, config=None, host="127.0.0.1", port=0):
+        self.upstream = tuple(upstream)
+        self.config = config or ChaosConfig()
+        self.stats = {
+            "connections": 0, "delays": 0, "drops": 0,
+            "resets": 0, "truncations": 0, "refused": 0,
+        }
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._partition_until = 0.0
+        self._conn_id = 0
+        self._pairs = []          # live (downstream, upstream) socket pairs
+        self._pairs_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.address = self._listener.getsockname()[:2]
+        self._accept_thread = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Start accepting victim connections; returns the proxy."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self):
+        """Close the listener and every live relay (idempotent)."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pairs_lock:
+            pairs, self._pairs = self._pairs, []
+        for pair in pairs:
+            self._kill_pair(pair, reset=False)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *_exc):
+        self.stop()
+        return False
+
+    # -- chaos controls --------------------------------------------------------
+
+    def partition(self, duration_s):
+        """Stall all forwarding and refuse new dials for ``duration_s``."""
+        self._partition_until = monotonic() + duration_s
+
+    def partitioned(self):
+        """True while a partition window is open."""
+        return monotonic() < self._partition_until
+
+    def kill_connections(self, reset=False):
+        """Drop every live relay now (a mass disconnect event)."""
+        with self._pairs_lock:
+            pairs, self._pairs = self._pairs, []
+        for pair in pairs:
+            self._kill_pair(pair, reset=reset)
+        self._count("drops", len(pairs))
+
+    # -- relay machinery -------------------------------------------------------
+
+    def _count(self, key, n=1):
+        with self._stats_lock:
+            self.stats[key] += n
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                downstream, _addr = self._listener.accept()
+            except OSError:
+                return
+            if self.partitioned():
+                self._count("refused")
+                self._close(downstream, reset=True)
+                continue
+            try:
+                up = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                # Upstream down (a killed coordinator): the victim sees
+                # an immediate close and enters its backoff loop.
+                self._count("refused")
+                self._close(downstream, reset=False)
+                continue
+            # The dial timeout must not linger: an idle relay (a
+            # parked worker waiting for work) would otherwise hit a
+            # recv timeout after 5s and be killed by accident.
+            up.settimeout(None)
+            self._conn_id += 1
+            self._count("connections")
+            pair = (downstream, up)
+            with self._pairs_lock:
+                self._pairs.append(pair)
+            for direction, src, dst in (
+                ("c2s", downstream, up), ("s2c", up, downstream)
+            ):
+                rng = random.Random(
+                    f"{self.config.seed}:{self._conn_id}:{direction}"
+                )
+                threading.Thread(
+                    target=self._pump, args=(pair, src, dst, rng),
+                    daemon=True,
+                ).start()
+
+    def _pump(self, pair, src, dst, rng):
+        """Forward one direction chunk by chunk, misbehaving on cue."""
+        cfg = self.config
+        try:
+            while not self._stop.is_set():
+                while self.partitioned() and not self._stop.is_set():
+                    self._stop.wait(0.01)
+                data = src.recv(65536)
+                if not data:
+                    break
+                if cfg.delay_p and rng.random() < cfg.delay_p:
+                    self._count("delays")
+                    self._stop.wait(rng.uniform(0.0, cfg.delay_s))
+                if cfg.truncate_p and rng.random() < cfg.truncate_p \
+                        and len(data) > 1:
+                    cut = rng.randrange(1, len(data))
+                    self._count("truncations")
+                    try:
+                        dst.sendall(data[:cut])
+                    except OSError:
+                        pass
+                    self._drop_pair(pair, rng)
+                    return
+                if cfg.drop_p and rng.random() < cfg.drop_p:
+                    self._drop_pair(pair, rng)
+                    return
+                dst.sendall(data)
+        except OSError:
+            pass
+        finally:
+            self._retire_pair(pair, reset=False)
+
+    def _drop_pair(self, pair, rng):
+        reset = rng.random() < self.config.reset_p
+        self._count("drops")
+        if reset:
+            self._count("resets")
+        self._retire_pair(pair, reset=reset)
+
+    def _retire_pair(self, pair, reset):
+        with self._pairs_lock:
+            if pair in self._pairs:
+                self._pairs.remove(pair)
+            else:
+                return
+        self._kill_pair(pair, reset=reset)
+
+    def _kill_pair(self, pair, reset):
+        for sock in pair:
+            self._close(sock, reset=reset)
+
+    @staticmethod
+    def _close(sock, reset):
+        try:
+            if reset:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            sock.close()
+        except OSError:
+            pass

@@ -37,6 +37,7 @@ local resume against a drifted golden).
 from __future__ import annotations
 
 import logging
+import os
 import selectors
 import socket
 import threading
@@ -45,9 +46,10 @@ from time import monotonic
 
 from ..core.errors import ReproError
 from ..obs import journal as _journal
-from ..store.serialize import spec_from_dict
+from ..store.serialize import spec_from_dict, spec_to_dict
 from ..store.sharded import ShardedCampaignStore
 from ..store.store import CampaignStore, StoreError
+from .ledger import CoordinatorLedger, replay_ledger
 from .protocol import (
     PROTOCOL_VERSION,
     FrameBuffer,
@@ -66,6 +68,18 @@ DEFAULT_LEASE_TIMEOUT_S = 15.0
 #: (guards against a poisoned shard crashing every worker in turn).
 DEFAULT_MAX_LEASES = 3
 
+#: Default seconds an EOF'd worker's leases survive awaiting its
+#: reconnect before they requeue (socket blips should not forfeit a
+#: half-streamed shard).
+DEFAULT_RECONNECT_GRACE_S = 10.0
+
+#: Default seconds a connected-but-silent peer may go without
+#: completing its hello before it is reaped.
+DEFAULT_HELLO_TIMEOUT_S = 30.0
+
+#: Malformed frames tolerated from one peer before it is disconnected.
+MAX_FRAME_REJECTS = 8
+
 
 class CoordinatorError(ReproError):
     """Raised for invalid coordinator usage or aborted jobs."""
@@ -77,23 +91,36 @@ class _Peer:
     def __init__(self, sock, addr):
         self.sock = sock
         self.addr = addr
-        self.buffer = FrameBuffer()
+        # Tolerant framing: one garbled line from one peer is rejected
+        # and journaled, never allowed to kill the selector loop or
+        # the well-formed frames queued behind it.
+        self.buffer = FrameBuffer(tolerant=True)
         self.role = None
         self.name = f"{addr[0]}:{addr[1]}"
         self.pid = None
         self.waiting = False   # parked lease_request (no work yet)
+        self.connected_at = monotonic()
+        self.last_activity = monotonic()
 
 
 class _Lease:
-    """One granted shard lease."""
+    """One granted shard lease.
+
+    ``peer`` is None while the lease is *orphaned*: its holder's
+    socket dropped, and the lease waits ``reconnect_grace_s`` for the
+    same worker (by name) to reconnect and re-adopt it before the
+    shard requeues.
+    """
 
     def __init__(self, job, shard, token, peer):
         self.job = job
         self.shard = shard
         self.token = token
         self.peer = peer
+        self.worker_name = peer.name
         self.granted_at = monotonic()
         self.last_heartbeat = monotonic()
+        self.orphaned_at = None
 
 
 class _Job:
@@ -112,6 +139,7 @@ class _Job:
         self.lease_counts = {s.shard_id: 0 for s in shards}
         self.seen_rows = set()    # global fault indices already ingested
         self.golden = None        # first worker's golden digests
+        self.shard_goldens = {}   # shard_id -> that shard's golden digests
         self.executions = []      # per-shard execution stats
         self.state = "running"
         self.done = threading.Event()
@@ -149,20 +177,44 @@ class Coordinator:
     :param max_leases: lease attempts per shard before it fails.
     :param shard_dir: directory for per-shard databases (default:
         ``<store_path>.shards/``).
+    :param ledger_path: append-only job ledger enabling
+        :meth:`resume_from_ledger` after a coordinator crash (None:
+        no ledger, in-memory state only).
+    :param reconnect_grace_s: seconds an EOF'd worker's leases wait
+        for the same worker to reconnect before requeueing (0
+        restores immediate revocation).
+    :param lease_wall_s: optional wall-clock ceiling per lease — a
+        shard still leased after this many seconds requeues even if
+        its worker keeps heartbeating (None: heartbeats alone govern).
+    :param hello_timeout_s: seconds a connected socket may sit without
+        completing its hello before it is reaped.
+    :param client_idle_s: optional idle ceiling for hello'd clients
+        (workers are never idle-reaped: a parked lease request is
+        legitimately silent).
     """
 
     def __init__(self, store_path, host="127.0.0.1", port=0,
                  shard_size=DEFAULT_SHARD_SIZE,
                  lease_timeout_s=DEFAULT_LEASE_TIMEOUT_S,
-                 max_leases=DEFAULT_MAX_LEASES, shard_dir=None):
+                 max_leases=DEFAULT_MAX_LEASES, shard_dir=None,
+                 ledger_path=None,
+                 reconnect_grace_s=DEFAULT_RECONNECT_GRACE_S,
+                 lease_wall_s=None,
+                 hello_timeout_s=DEFAULT_HELLO_TIMEOUT_S,
+                 client_idle_s=None):
         self.store_path = str(store_path)
         self.shard_size = shard_size
         self.lease_timeout_s = lease_timeout_s
         self.max_leases = max_leases
+        self.reconnect_grace_s = reconnect_grace_s
+        self.lease_wall_s = lease_wall_s
+        self.hello_timeout_s = hello_timeout_s
+        self.client_idle_s = client_idle_s
         self.shard_dir = (
             str(shard_dir) if shard_dir is not None
             else self.store_path + ".shards"
         )
+        self._ledger = CoordinatorLedger(ledger_path)
         self._lock = threading.RLock()
         self._selector = selectors.DefaultSelector()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -178,6 +230,7 @@ class Coordinator:
         self._jobs = {}           # job_id -> _Job
         self._next_job = 1
         self._leases = {}         # token -> _Lease
+        self._seen_workers = set()  # worker names ever hello'd
         self._stop = threading.Event()
         self._drain_when_idle = False
         self._store = None        # final CampaignStore, opened lazily
@@ -218,6 +271,14 @@ class Coordinator:
             self._next_job += 1
             job = _Job(job_id, spec.name, shards, campaign_id)
             self._jobs[job_id] = job
+            # Durability point: the ledger line lands (fsynced) before
+            # any lease is granted, so a crash at any later moment can
+            # re-plan the identical shards from the recorded spec.
+            self._ledger.record(
+                "job_submitted", job=job_id, name=spec.name,
+                spec=spec_to_dict(spec), netlist=netlist, config=config,
+                shard_size=self.shard_size, shards=len(shards),
+            )
             for shard in shards:
                 store.record_shard(
                     campaign_id, shard.shard_id, "queued",
@@ -244,6 +305,121 @@ class Coordinator:
         return self.submit(
             spec_from_dict(spec_dict), netlist=netlist, config=config
         )
+
+    def resume_from_ledger(self, ledger_path=None):
+        """Rebuild coordinator state after a crash; returns resumed job ids.
+
+        Replays the job ledger and, for every job not recorded
+        finished:
+
+        * re-plans the identical shards from the recorded spec (the
+          plan is deterministic);
+        * re-attaches to the final store's campaign (``resume``
+          semantics — the fault digest must match);
+        * **adopts** every shard whose per-shard database already holds
+          a row for each of its faults — merged idempotently into the
+          final store, never re-run — including shards that completed
+          after the last ledger line landed;
+        * requeues the rest for the next lease request, crediting back
+          leases that were live at the crash (a coordinator death is
+          not the shard's strike);
+        * rebuilds the seen-row set from the final store and the shard
+          databases, so journal dedup and progress counts carry over.
+
+        Call before :meth:`serve`/:meth:`start`; dials from workers
+        queue in the listen backlog until the loop runs.
+
+        :raises CoordinatorError: when no ledger path is available.
+        :raises LedgerError: on unreadable or malformed ledgers.
+        """
+        path = ledger_path or self._ledger.path
+        if path is None:
+            raise CoordinatorError(
+                "resume_from_ledger needs a ledger path (construct the "
+                "coordinator with ledger_path=, or pass one here)"
+            )
+        entries = replay_ledger(path)
+        resumed, adopted_total, requeued_total = [], 0, 0
+        with self._lock:
+            store = self._final_store()
+            for job_id in sorted(entries):
+                entry = entries[job_id]
+                self._next_job = max(self._next_job, job_id + 1)
+                if entry.finished is not None:
+                    LOGGER.info(
+                        "job %d (%s) already %s; nothing to resume",
+                        job_id, entry.name, entry.finished,
+                    )
+                    continue
+                spec = spec_from_dict(entry.spec)
+                shards = plan_shards(
+                    spec, shard_size=entry.shard_size,
+                    netlist=entry.netlist, config=entry.config,
+                )
+                campaign_id = store.open_campaign(spec, resume=True)
+                job = _Job(job_id, spec.name, shards, campaign_id)
+                for shard_id, count in entry.lease_counts.items():
+                    if shard_id in job.lease_counts:
+                        job.lease_counts[shard_id] = count
+                job.failed = set(entry.failed)
+                job.seen_rows.update(store.completed_indices(campaign_id))
+                adopted = []
+                for shard in shards:
+                    shard_id = shard.shard_id
+                    if shard_id in job.failed:
+                        continue
+                    have = set()
+                    if os.path.exists(self._sharded.shard_path(shard_id)):
+                        have = {
+                            int(row["idx"])
+                            for row in self._sharded.shard_run_rows(shard)
+                        }
+                        job.seen_rows.update(have)
+                    if (shard_id in entry.merged
+                            or (have and set(shard.indices) <= have)):
+                        merged = self._sharded.merge_into(
+                            store, campaign_id, shard, worker="resume",
+                            leases=job.lease_counts[shard_id] or None,
+                        )
+                        job.merged.add(shard_id)
+                        adopted.append(shard_id)
+                        _journal.emit(
+                            "shard_completed", job=job_id, shard=shard_id,
+                            worker="resume", rows=len(have), merged=merged,
+                        )
+                job.queue = deque(
+                    shard.shard_id for shard in shards
+                    if shard.shard_id not in job.merged
+                    and shard.shard_id not in job.failed
+                )
+                for shard_id in job.queue:
+                    store.record_shard(campaign_id, shard_id, "queued")
+                self._jobs[job_id] = job
+                resumed.append(job_id)
+                adopted_total += len(adopted)
+                requeued_total += len(job.queue)
+                LOGGER.info(
+                    "job %d (%s) resumed: %d shards adopted from disk, "
+                    "%d requeued, %d failed",
+                    job_id, spec.name, len(adopted), len(job.queue),
+                    len(job.failed),
+                )
+                self._maybe_finish(job)
+            if not self._ledger.enabled:
+                # Resuming from an explicit path keeps appending to it,
+                # so a second crash is as recoverable as the first.
+                self._ledger = CoordinatorLedger(path)
+            self._ledger.record(
+                "resumed", jobs=resumed, adopted=adopted_total,
+                requeued=requeued_total,
+            )
+            _journal.emit(
+                "coordinator_resumed", jobs=len(resumed),
+                adopted=adopted_total, requeued=requeued_total,
+                ledger=str(path),
+            )
+            self._feed_waiting_workers()
+        return resumed
 
     def job_status(self, job_id):
         """Progress snapshot of one job (thread-safe)."""
@@ -274,6 +450,7 @@ class Coordinator:
                         self._service_peer(key.data)
                 with self._lock:
                     self._expire_leases()
+                    self._reap_idle_peers()
                     self._maybe_drain()
         finally:
             self._shutdown_sockets()
@@ -295,6 +472,7 @@ class Coordinator:
             if self._store is not None:
                 self._store.close()
                 self._store = None
+            self._ledger.close()
 
     def drain_when_idle(self, enable=True):
         """Tell idle workers to disconnect once no work remains.
@@ -328,10 +506,21 @@ class Coordinator:
         if not chunk:
             self._disconnect(peer, reason="eof")
             return
-        try:
-            frames = peer.buffer.feed(chunk)
-        except ProtocolError as exc:
-            LOGGER.warning("dropping %s: %s", peer.name, exc)
+        peer.last_activity = monotonic()
+        # The buffer is tolerant: malformed or oversized lines come
+        # back as rejects, never as an exception that could take the
+        # selector loop (or this peer's later valid frames) with them.
+        frames = peer.buffer.feed(chunk)
+        for message in peer.buffer.take_rejects():
+            LOGGER.warning("rejecting frame from %s: %s", peer.name,
+                           message)
+            _journal.emit("frame_rejected", peer=peer.name,
+                          reason=message[:200])
+        if peer.buffer.rejected > MAX_FRAME_REJECTS:
+            LOGGER.warning(
+                "dropping %s: %d malformed frames", peer.name,
+                peer.buffer.rejected,
+            )
             self._disconnect(peer, reason="protocol")
             return
         for frame in frames:
@@ -344,6 +533,16 @@ class Coordinator:
                     )
                     self._send(peer, "error", token=None,
                                message=str(exc))
+                except Exception:
+                    # A coordinator bug must not kill the event loop
+                    # serving every other worker; log it, tell the
+                    # peer, carry on.
+                    LOGGER.exception(
+                        "internal error handling %r frame from %s",
+                        frame.get("frame"), peer.name,
+                    )
+                    self._send(peer, "error", token=None,
+                               message="internal coordinator error")
 
     def _send(self, peer, frame_type, **fields):
         try:
@@ -352,7 +551,14 @@ class Coordinator:
             self._disconnect(peer, reason="send-failure")
 
     def _disconnect(self, peer, reason=""):
-        """Drop one peer; its leases requeue immediately (EOF path)."""
+        """Drop one peer.
+
+        A worker's leases are **orphaned** rather than revoked when the
+        drop looks like a network event (EOF, send failure) and a
+        reconnect grace is configured: the same worker re-adopting its
+        token within the grace keeps streaming as if nothing happened.
+        Protocol kicks and clean goodbyes revoke immediately.
+        """
         try:
             self._selector.unregister(peer.sock)
         except (KeyError, ValueError):
@@ -367,9 +573,23 @@ class Coordinator:
                 token for token, lease in self._leases.items()
                 if lease.peer is peer
             ]
+            reconnectable = (
+                peer.role == "worker"
+                and self.reconnect_grace_s > 0
+                and reason in ("eof", "send-failure")
+            )
             for token in tokens:
-                self._revoke(self._leases[token],
-                             reason=f"disconnect:{reason}")
+                lease = self._leases[token]
+                if reconnectable:
+                    lease.peer = None
+                    lease.orphaned_at = monotonic()
+                    LOGGER.info(
+                        "lease %s orphaned for %.1fs awaiting reconnect"
+                        " of %s", token, self.reconnect_grace_s,
+                        lease.worker_name,
+                    )
+                else:
+                    self._revoke(lease, reason=f"disconnect:{reason}")
             # A clean goodbye is not a death; EOF with leases in
             # flight (or mid-protocol) is.
             if (peer.role == "worker" and peer.pid is not None
@@ -378,6 +598,26 @@ class Coordinator:
                     "worker_died", pid=peer.pid, index=None,
                     exitcode=None, killed=None,
                 )
+
+    def _reap_idle_peers(self):
+        """Close sockets that never hello'd or clients gone idle.
+
+        Half-open connections (a SYN-scan, a crashed client, a NAT
+        timeout) otherwise accumulate forever in the selector.
+        Workers are exempt once hello'd — a parked lease request is
+        legitimately silent for as long as the queue is empty.
+        """
+        now = monotonic()
+        for peer in list(self._peers.values()):
+            if peer.role is None:
+                if now - peer.connected_at > self.hello_timeout_s:
+                    LOGGER.info("reaping %s: no hello in %.0fs",
+                                peer.name, self.hello_timeout_s)
+                    self._disconnect(peer, reason="hello-timeout")
+            elif peer.role == "client" and self.client_idle_s:
+                if now - peer.last_activity > self.client_idle_s:
+                    LOGGER.info("reaping idle client %s", peer.name)
+                    self._disconnect(peer, reason="idle")
 
     def _shutdown_sockets(self):
         for peer in list(self._peers.values()):
@@ -436,6 +676,14 @@ class Coordinator:
         peer.role = role
         peer.name = frame.get("name") or peer.name
         peer.pid = frame.get("pid")
+        if role == "worker":
+            if peer.name in self._seen_workers:
+                _journal.emit(
+                    "worker_reconnected", worker=peer.name, job=None,
+                    shard=None, token=None,
+                )
+                LOGGER.info("worker %s reconnected", peer.name)
+            self._seen_workers.add(peer.name)
         self._send(peer, "welcome", proto=PROTOCOL_VERSION)
         LOGGER.info("%s %s connected", role, peer.name)
 
@@ -469,6 +717,10 @@ class Coordinator:
         job.active[shard.shard_id] = lease
         self._leases[token] = lease
         peer.waiting = False
+        self._ledger.record(
+            "lease_granted", job=job.job_id, shard=shard.shard_id,
+            worker=peer.name, token=token, count=count,
+        )
         self._final_store().record_shard(
             job.campaign_id, shard.shard_id, "leased", worker=peer.name,
             leases=count,
@@ -495,7 +747,14 @@ class Coordinator:
             self._grant(job, shard, peer)
 
     def _lease_for(self, frame, expect_peer=None):
-        """The live lease a frame's token names, or None (stale)."""
+        """The live lease a frame's token names, or None (stale).
+
+        An orphaned lease (its holder's socket dropped within the
+        reconnect grace) is **re-adopted** when the same worker — by
+        name — presents its token again: buffered rows it could not
+        send during the outage drain into the same lease as if the
+        connection never blinked.
+        """
         lease = self._leases.get(frame.get("token"))
         if lease is None:
             LOGGER.info(
@@ -504,9 +763,31 @@ class Coordinator:
             )
             return None
         if expect_peer is not None and lease.peer is not expect_peer:
+            if (expect_peer.role == "worker"
+                    and expect_peer.name == lease.worker_name):
+                # Either the lease is orphaned, or the worker redialed
+                # before we noticed its old socket die (the common
+                # race: its FIN is still in flight while the fresh
+                # connection already carries frames).  Same worker by
+                # name, same token: the newest connection wins.
+                lease.peer = expect_peer
+                lease.orphaned_at = None
+                lease.last_heartbeat = monotonic()
+                _journal.emit(
+                    "worker_reconnected", worker=expect_peer.name,
+                    job=lease.job.job_id, shard=lease.shard.shard_id,
+                    token=lease.token,
+                )
+                LOGGER.info(
+                    "worker %s re-adopted lease %s on shard %d",
+                    expect_peer.name, lease.token, lease.shard.shard_id,
+                )
+                return lease
+            holder = ("<orphaned>" if lease.peer is None
+                      else lease.peer.name)
             LOGGER.warning(
                 "token %r used by %s but leased to %s; dropping",
-                frame.get("token"), expect_peer.name, lease.peer.name,
+                frame.get("token"), expect_peer.name, holder,
             )
             return None
         return lease
@@ -519,11 +800,18 @@ class Coordinator:
             del job.active[shard.shard_id]
         if shard.shard_id in job.merged:
             return  # completed before the revocation landed
+        self._ledger.record(
+            "lease_revoked", job=job.job_id, shard=shard.shard_id,
+            reason=reason,
+        )
         if job.lease_counts[shard.shard_id] >= self.max_leases:
             job.failed.add(shard.shard_id)
+            self._ledger.record(
+                "shard_failed", job=job.job_id, shard=shard.shard_id,
+            )
             self._final_store().record_shard(
                 job.campaign_id, shard.shard_id, "failed",
-                worker=lease.peer.name,
+                worker=lease.worker_name,
                 leases=job.lease_counts[shard.shard_id],
             )
             LOGGER.error(
@@ -538,7 +826,7 @@ class Coordinator:
             )
         _journal.emit(
             "shard_reassigned", job=job.job_id, shard=shard.shard_id,
-            worker=lease.peer.name, reason=reason,
+            worker=lease.worker_name, reason=reason,
         )
         LOGGER.warning(
             "lease on shard %d of job %d revoked (%s)",
@@ -547,17 +835,45 @@ class Coordinator:
         self._feed_waiting_workers()
 
     def _expire_leases(self):
-        """Revoke leases whose workers went silent (wedged, not dead)."""
-        deadline = monotonic() - self.lease_timeout_s
+        """Revoke leases that outlived their liveness evidence.
+
+        Three independent clocks:
+
+        * **reconnect grace** — an orphaned lease whose worker never
+          came back;
+        * **heartbeat silence** — a connected worker that stopped
+          reporting (wedged, not dead: the socket is still open);
+        * **wall deadline** — optional absolute ceiling per lease,
+          catching workers that heartbeat forever without finishing.
+        """
+        now = monotonic()
         for token in list(self._leases):
             lease = self._leases.get(token)
-            if lease is not None and lease.last_heartbeat < deadline:
-                if lease.peer.pid is not None:
-                    _journal.emit(
-                        "worker_died", pid=lease.peer.pid, index=None,
-                        exitcode=None, killed=None,
-                    )
-                self._revoke(lease, reason="lease-timeout")
+            if lease is None:
+                continue
+            reason = None
+            if lease.peer is None:
+                if now - lease.orphaned_at > self.reconnect_grace_s:
+                    reason = "reconnect-grace"
+            elif now - lease.last_heartbeat > self.lease_timeout_s:
+                reason = "heartbeat-silence"
+            if (reason is None and self.lease_wall_s is not None
+                    and now - lease.granted_at > self.lease_wall_s):
+                reason = "wall-deadline"
+            if reason is None:
+                continue
+            _journal.emit(
+                "lease_expired", job=lease.job.job_id,
+                shard=lease.shard.shard_id, worker=lease.worker_name,
+                reason=reason,
+            )
+            if (reason == "heartbeat-silence" and lease.peer is not None
+                    and lease.peer.pid is not None):
+                _journal.emit(
+                    "worker_died", pid=lease.peer.pid, index=None,
+                    exitcode=None, killed=None,
+                )
+            self._revoke(lease, reason=reason)
 
     # -- ingest ------------------------------------------------------------------
 
@@ -596,6 +912,26 @@ class Coordinator:
         if lease is None:
             return
         job, shard = lease.job, lease.shard
+        if shard.shard_id not in job.merged:
+            # A completion claim is merged on evidence, not trust: the
+            # shard database must hold every row.  Rows can be lost in
+            # flight — sendall() into a connection a fault (or a chaos
+            # proxy) already cut succeeds locally, so the worker has
+            # nothing left to re-send — and a complete that outlives
+            # its rows must requeue the shard, not merge a hole.
+            have = {
+                int(row["idx"])
+                for row in self._sharded.shard_run_rows(shard)
+            }
+            missing = sorted(set(shard.indices) - have)
+            if missing:
+                LOGGER.warning(
+                    "shard %d of job %d completed by %s but rows %s "
+                    "never arrived; requeueing",
+                    shard.shard_id, job.job_id, peer.name, missing,
+                )
+                self._revoke(lease, reason=f"rows-missing: {missing}")
+                return
         self._leases.pop(lease.token, None)
         if job.active.get(shard.shard_id) is lease:
             del job.active[shard.shard_id]
@@ -604,20 +940,43 @@ class Coordinator:
         store = self._final_store()
         golden = frame.get("golden")
         if golden:
-            try:
-                store.check_golden_digests(job.campaign_id, golden)
-            except StoreError as exc:
+            # Golden digests are compared **per shard**: the mixing
+            # boundary is the shard database (rows from different
+            # lease attempts of the same shard dedup into one row
+            # set), so every attempt at one shard must have executed
+            # the same golden.  Digests are NOT comparable across
+            # shards — an adaptive analog solver's step sequence
+            # (and so its traces) legitimately depends on where the
+            # runner pauses for the shard's own fault times.
+            seen = job.shard_goldens.get(shard.shard_id)
+            if seen is not None and seen != golden:
+                changed = sorted(
+                    name for name in set(seen) | set(golden)
+                    if seen.get(name) != golden.get(name)
+                )
                 self._abort_job(
                     job,
-                    f"golden divergence on worker {peer.name}: {exc}",
+                    f"golden divergence on worker {peer.name}: shard "
+                    f"{shard.shard_id} re-ran with different golden "
+                    f"traces ({', '.join(changed)}); the design or "
+                    "its parameters changed — refusing to mix results",
                 )
                 return
+            job.shard_goldens[shard.shard_id] = golden
+            store.record_golden_digests(job.campaign_id, golden)
         merged = self._sharded.merge_into(
             store, job.campaign_id, shard, worker=peer.name,
             leases=job.lease_counts[shard.shard_id],
         )
         job.merged.add(shard.shard_id)
         job.workers.add(peer.name)
+        # Recorded *after* the merge commit: a crash in between leaves
+        # the ledger unaware, and the resume re-merges the shard's
+        # database idempotently instead of re-running it.
+        self._ledger.record(
+            "shard_merged", job=job.job_id, shard=shard.shard_id,
+            rows=merged,
+        )
         if frame.get("execution"):
             job.executions.append(frame["execution"])
         _journal.emit(
@@ -652,6 +1011,8 @@ class Coordinator:
         status = "complete" if not job.failed else "errors"
         store.record_execution(job.campaign_id, execution, status=status)
         job.state = "complete" if not job.failed else "errors"
+        self._ledger.record("job_finished", job=job.job_id,
+                            state=job.state)
         _journal.emit(
             "campaign_finished", name=job.name, execution=execution,
         )
@@ -684,6 +1045,8 @@ class Coordinator:
 
     def _abort_job(self, job, message):
         job.state = "aborted"
+        self._ledger.record("job_finished", job=job.job_id,
+                            state="aborted")
         self._final_store().record_execution(
             job.campaign_id,
             {"mode": "distributed", "error": message},

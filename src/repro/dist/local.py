@@ -37,23 +37,26 @@ def _fork_context():
         return None
 
 
-def _worker_main(address, factory, name):
+def _worker_main(address, factory, name, worker_kwargs):
     """Forked worker body: detach inherited telemetry, serve leases."""
     # The fork duplicated the parent's open journal handle; writing
     # from two processes would interleave sequence numbers.  Closing
     # the child's duplicate leaves the parent's stream untouched.
     _journal.JOURNAL.close()
     try:
-        run_worker(address, factory=factory, name=name)
+        run_worker(address, factory=factory, name=name, **worker_kwargs)
     except Exception:
         LOGGER.exception("local worker %s crashed", name)
         os._exit(1)
 
 
-def spawn_local_workers(address, count, factory, context=None):
+def spawn_local_workers(address, count, factory, context=None,
+                        **worker_kwargs):
     """Fork ``count`` worker processes dialing ``address``.
 
-    Returns the started :class:`multiprocessing.Process` list.
+    Returns the started :class:`multiprocessing.Process` list.  Extra
+    keyword arguments pass through to :func:`~.worker.run_worker`
+    (reconnect/backoff knobs, ``max_shards``...).
 
     :raises CoordinatorError: when ``fork`` is unavailable.
     """
@@ -68,7 +71,7 @@ def spawn_local_workers(address, count, factory, context=None):
     for rank in range(count):
         process = context.Process(
             target=_worker_main,
-            args=(address, factory, f"local-{rank}"),
+            args=(address, factory, f"local-{rank}", worker_kwargs),
             daemon=True,
         )
         process.start()

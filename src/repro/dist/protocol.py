@@ -46,6 +46,11 @@ from ..core.errors import ReproError
 #: different major version instead of mis-parsing them.
 PROTOCOL_VERSION = 1
 
+#: Ceiling on one frame's wire size.  Generous — a lease frame carries
+#: a whole sub-spec plus optionally a netlist — but finite, so one
+#: runaway (or hostile) line cannot balloon a peer's receive buffer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
 #: Frame type -> required payload fields (beyond the envelope).
 FRAME_TYPES = {
     # session establishment (both directions)
@@ -133,37 +138,91 @@ class FrameBuffer:
     chunks and yields every complete (newline-terminated) frame, so a
     frame split across ``recv`` calls — or several frames coalesced
     into one — both decode correctly.
+
+    Two defenses guard the decoder itself:
+
+    * a per-frame **size cap** (``max_frame_bytes``): a line that grows
+      past it — even before its newline arrives — is rejected instead
+      of buffering without bound;
+    * a **tolerant** mode (the coordinator's): a malformed or oversized
+      line is *skipped* and counted in :attr:`rejected` (messages via
+      :meth:`take_rejects`), and decoding continues with the next line,
+      so one bad frame from one peer can never poison the frames behind
+      it or force a disconnect.  The default strict mode raises — a
+      worker or client talking to a garbled coordinator should fail
+      loudly.
     """
 
-    def __init__(self):
+    def __init__(self, max_frame_bytes=MAX_FRAME_BYTES, tolerant=False):
         self._buffer = bytearray()
+        self.max_frame_bytes = max_frame_bytes
+        self.tolerant = tolerant
+        self.rejected = 0
+        self._rejects = []
+        self._discarding = False
+
+    def _reject(self, message):
+        self.rejected += 1
+        if self.tolerant:
+            self._rejects.append(message)
+            return
+        raise ProtocolError(message)
+
+    def take_rejects(self):
+        """Reject messages accumulated since the last call (tolerant)."""
+        rejects, self._rejects = self._rejects, []
+        return rejects
 
     def feed(self, chunk):
         """Append received bytes; returns the complete frames decoded.
 
-        :raises ProtocolError: on lines that are not valid frames.
+        :raises ProtocolError: in strict mode, on lines that are not
+            valid frames or exceed the size cap.
         """
         self._buffer.extend(chunk)
         frames = []
         while True:
             newline = self._buffer.find(b"\n")
             if newline < 0:
+                if len(self._buffer) > self.max_frame_bytes:
+                    # The line is already over budget with no end in
+                    # sight: reject now and discard until its newline.
+                    size = len(self._buffer)
+                    self._buffer.clear()
+                    if not self._discarding:
+                        self._discarding = True
+                        self._reject(
+                            f"frame exceeds {self.max_frame_bytes} byte "
+                            f"cap ({size}+ bytes buffered)"
+                        )
                 break
             line = bytes(self._buffer[:newline])
             del self._buffer[: newline + 1]
+            if self._discarding:
+                # Tail of an already-rejected oversized line.
+                self._discarding = False
+                continue
             if not line.strip():
+                continue
+            if len(line) > self.max_frame_bytes:
+                self._reject(
+                    f"frame exceeds {self.max_frame_bytes} byte cap "
+                    f"({len(line)} bytes)"
+                )
                 continue
             try:
                 frame = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ProtocolError(
-                    f"malformed frame line: {line[:80]!r}"
-                ) from exc
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._reject(f"malformed frame line: {line[:80]!r}")
+                continue
             if not isinstance(frame, dict):
-                raise ProtocolError(
-                    f"frame is not a JSON object: {line[:80]!r}"
-                )
-            frames.append(validate_frame(frame))
+                self._reject(f"frame is not a JSON object: {line[:80]!r}")
+                continue
+            try:
+                frames.append(validate_frame(frame))
+            except ProtocolError as exc:
+                self._reject(str(exc))
+                continue
         return frames
 
     def pending(self):
@@ -184,13 +243,20 @@ class FrameConnection:
         self.sock = sock
         self._frames = FrameBuffer()
         self._inbox = []
+        self.eof = False
 
     def send(self, frame_type, **fields):
         """Encode and send one frame."""
         self.sock.sendall(encode_frame(make_frame(frame_type, **fields)))
 
     def recv(self, timeout=None):
-        """Block for the next frame; ``None`` on EOF or timeout."""
+        """Block for the next frame; ``None`` on EOF or timeout.
+
+        The two Nones are distinguishable after the fact: EOF (or a
+        socket error) also sets :attr:`eof`, which a reconnecting
+        caller checks to tell "nothing arrived yet" from "the
+        connection is gone".
+        """
         if self._inbox:
             return self._inbox.pop(0)
         self.sock.settimeout(timeout)
@@ -200,8 +266,10 @@ class FrameConnection:
             except socket.timeout:
                 return None
             except OSError:
+                self.eof = True
                 return None
             if not chunk:
+                self.eof = True
                 return None
             frames = self._frames.feed(chunk)
             if frames:

@@ -42,7 +42,10 @@ from time import perf_counter
 from ..core.errors import ReproError
 
 #: Version of the journal record schema, stamped on every line.
-JOURNAL_SCHEMA_VERSION = 1
+#: v2 = v1 plus the crash-tolerance events (``coordinator_resumed``,
+#: ``worker_reconnected``, ``frame_rejected``, ``lease_expired``);
+#: every v1 record is also a valid v2 record.
+JOURNAL_SCHEMA_VERSION = 2
 
 #: The typed events a campaign emits, in rough lifecycle order.
 EVENT_TYPES = (
@@ -64,6 +67,13 @@ EVENT_TYPES = (
     "shard_leased",          # job, shard, worker, size, lease
     "shard_completed",       # job, shard, worker, rows, merged
     "shard_reassigned",      # job, shard, worker, reason
+    # Crash tolerance (journal schema v2): coordinator resume from the
+    # durable ledger, worker reconnect/lease re-adoption, and the
+    # transport's rejection/expiry decisions.
+    "coordinator_resumed",   # jobs, adopted, requeued, ledger
+    "worker_reconnected",    # worker, job, shard, token
+    "frame_rejected",        # peer, reason
+    "lease_expired",         # job, shard, worker, reason
 )
 
 

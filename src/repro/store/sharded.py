@@ -49,8 +49,8 @@ class ShardedCampaignStore:
 
     def __init__(self, directory):
         self.directory = str(directory)
-        self._stores = {}
-        self._campaign_ids = {}
+        self._stores = {}          # shard_id -> open CampaignStore
+        self._campaign_ids = {}    # (shard_id, sub-spec name) -> id
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -83,15 +83,24 @@ class ShardedCampaignStore:
         shard's campaign row (its sub-spec) and fault list **at global
         indices**; reopening — a coordinator restart, or re-ingest
         after reassignment — re-attaches to the existing rows.
+
+        The database connection is cached per shard id (one writer
+        per file), while the campaign id is cached per ``(shard id,
+        sub-spec name)`` — two concurrent jobs that happen to share a
+        shard id share the file but register distinct campaigns in it.
         """
         shard_id = shard.shard_id
+        key = (shard_id, shard.spec["name"])
+        if key in self._campaign_ids:
+            return self._stores[shard_id], self._campaign_ids[key]
         if shard_id in self._stores:
-            return self._stores[shard_id], self._campaign_ids[shard_id]
-        os.makedirs(self.directory, exist_ok=True)
-        store = CampaignStore(self.shard_path(shard_id))
+            store = self._stores[shard_id]
+        else:
+            os.makedirs(self.directory, exist_ok=True)
+            store = CampaignStore(self.shard_path(shard_id))
+            self._stores[shard_id] = store
         campaign_id = self._register(store, shard)
-        self._stores[shard_id] = store
-        self._campaign_ids[shard_id] = campaign_id
+        self._campaign_ids[key] = campaign_id
         return store, campaign_id
 
     @staticmethod

@@ -303,14 +303,37 @@ class CampaignStore(StoreBackend):
         """
         self.check_golden_digests(campaign_id, probes_digest(probes))
 
+    def record_golden_digests(self, campaign_id, digests):
+        """Store golden digests without verification, first write wins.
+
+        For recorders whose digests are not globally comparable: the
+        distributed coordinator keeps the campaign row's golden as a
+        reference sample (the first completed shard's), but shards
+        pause their golden runs at their *own* fault times, so
+        cross-shard digests legitimately differ and comparison
+        happens per shard in the coordinator instead.
+        """
+        row = self._conn.execute(
+            "SELECT golden_json FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign with id {campaign_id}")
+        if row["golden_json"] is not None:
+            return
+        self._conn.execute(
+            "UPDATE campaigns SET golden_json = ?, updated_at = ?"
+            " WHERE id = ?",
+            (json.dumps(digests), _now(), campaign_id),
+        )
+        self._conn.commit()
+
     def check_golden_digests(self, campaign_id, digests):
         """Record or verify golden digests that were computed elsewhere.
 
         The digest-level sibling of :meth:`check_golden`, for callers
-        that never see the golden traces themselves — the distributed
-        coordinator receives per-probe digests from its workers (each
-        worker runs its own golden) and must prove they all executed
-        the *same* golden before merging their rows.
+        that never see the golden traces themselves and must prove a
+        regenerated golden matches the stored campaign before mixing
+        new rows into it.
 
         :raises StoreError: on digest mismatch.
         """

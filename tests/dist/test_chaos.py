@@ -1,0 +1,209 @@
+"""ChaosProxy: faithful relay, seeded misbehavior, partitions."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.dist import ChaosConfig, ChaosProxy
+
+
+@pytest.fixture
+def echo_server():
+    """A TCP echo server; yields its (host, port)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    stop = threading.Event()
+
+    def _serve():
+        while not stop.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=_echo, args=(conn,), daemon=True
+            ).start()
+
+    def _echo(conn):
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    yield listener.getsockname()[:2]
+    stop.set()
+    listener.close()
+    thread.join(timeout=5.0)
+
+
+def dial(address, timeout=5.0):
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def recv_all(sock, n, timeout=5.0):
+    """Read exactly n bytes or until the peer closes."""
+    deadline = time.monotonic() + timeout
+    chunks = b""
+    while len(chunks) < n and time.monotonic() < deadline:
+        try:
+            data = sock.recv(n - len(chunks))
+        except socket.timeout:
+            break
+        if not data:
+            break
+        chunks += data
+    return chunks
+
+
+class TestFaithfulRelay:
+    def test_default_config_forwards_bytes_unchanged(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            sock = dial(proxy.address)
+            try:
+                payload = b"x" * 10000
+                sock.sendall(payload)
+                assert recv_all(sock, len(payload)) == payload
+            finally:
+                sock.close()
+            assert proxy.stats["connections"] == 1
+            assert proxy.stats["drops"] == 0
+
+    def test_multiple_concurrent_connections(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            socks = [dial(proxy.address) for _ in range(4)]
+            try:
+                for i, sock in enumerate(socks):
+                    sock.sendall(bytes([65 + i]) * 100)
+                for i, sock in enumerate(socks):
+                    assert recv_all(sock, 100) == bytes([65 + i]) * 100
+            finally:
+                for sock in socks:
+                    sock.close()
+            assert proxy.stats["connections"] == 4
+
+
+class TestInjectedFaults:
+    def test_drop_p_one_closes_the_connection(self, echo_server):
+        with ChaosProxy(echo_server,
+                        ChaosConfig(drop_p=1.0, seed=7)) as proxy:
+            sock = dial(proxy.address)
+            try:
+                sock.sendall(b"doomed")
+                assert recv_all(sock, 6) == b""   # closed, never echoed
+            finally:
+                sock.close()
+            assert proxy.stats["drops"] >= 1
+
+    def test_truncate_delivers_a_strict_prefix_then_closes(
+            self, echo_server):
+        with ChaosProxy(echo_server,
+                        ChaosConfig(truncate_p=1.0, seed=3)) as proxy:
+            sock = dial(proxy.address)
+            try:
+                payload = b"q" * 4096
+                sock.sendall(payload)
+                got = recv_all(sock, len(payload))
+                assert len(got) < len(payload)
+                assert payload.startswith(got)
+            finally:
+                sock.close()
+            assert proxy.stats["truncations"] >= 1
+
+    def test_same_seed_same_decisions(self, echo_server):
+        def run(seed):
+            with ChaosProxy(echo_server,
+                            ChaosConfig(drop_p=0.3, seed=seed)) as proxy:
+                outcomes = []
+                for _ in range(6):
+                    sock = dial(proxy.address)
+                    try:
+                        sock.sendall(b"ping")
+                        outcomes.append(len(recv_all(sock, 4)))
+                    finally:
+                        sock.close()
+                return outcomes
+
+        assert run(seed=42) == run(seed=42)
+
+    def test_kill_connections_drops_live_relays(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            sock = dial(proxy.address)
+            try:
+                sock.sendall(b"alive")
+                assert recv_all(sock, 5) == b"alive"
+                proxy.kill_connections()
+                # The victim observes EOF (or a reset) promptly.
+                sock.settimeout(5.0)
+                try:
+                    leftover = sock.recv(64)
+                except OSError:
+                    leftover = b""
+                assert leftover == b""
+            finally:
+                sock.close()
+
+
+class TestPartition:
+    def test_partition_refuses_new_dials(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            proxy.partition(30.0)
+            assert proxy.partitioned()
+            try:
+                # Accepted by the listener but immediately reset — the
+                # RST may land during connect, send or recv depending
+                # on timing; all three spell "refused".
+                sock = dial(proxy.address)
+                try:
+                    sock.sendall(b"hello?")
+                    assert recv_all(sock, 6, timeout=2.0) == b""
+                finally:
+                    sock.close()
+            except OSError:
+                pass
+            deadline = time.monotonic() + 5.0
+            while (proxy.stats["refused"] < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert proxy.stats["refused"] >= 1
+
+    def test_partition_heals_after_the_window(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            proxy.partition(0.1)
+            time.sleep(0.2)
+            assert not proxy.partitioned()
+            sock = dial(proxy.address)
+            try:
+                sock.sendall(b"back")
+                assert recv_all(sock, 4) == b"back"
+            finally:
+                sock.close()
+
+
+class TestUpstreamDown:
+    def test_dead_upstream_closes_the_victim(self):
+        # Reserve a port with no listener behind it.
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.bind(("127.0.0.1", 0))
+        dead = placeholder.getsockname()[:2]
+        placeholder.close()
+        with ChaosProxy(dead) as proxy:
+            sock = dial(proxy.address)
+            try:
+                assert recv_all(sock, 1, timeout=6.0) == b""
+            finally:
+                sock.close()
+            assert proxy.stats["refused"] >= 1

@@ -1,0 +1,194 @@
+"""Coordinator ledger: durable append, tolerant read, replay folding."""
+
+import json
+
+import pytest
+
+from repro.dist import CoordinatorLedger, LedgerError, read_ledger, replay_ledger
+from repro.dist.ledger import LEDGER_SCHEMA_VERSION, RECORD_KINDS
+
+SPEC = {"name": "par", "faults": [{"kind": "bitflip"}] * 4}
+
+
+def submit_record(job=1, shard_size=2, shards=2, name="par"):
+    return dict(job=job, name=name, spec=SPEC, netlist=None,
+                config={}, shard_size=shard_size, shards=shards)
+
+
+class TestCoordinatorLedger:
+    def test_records_round_trip(self, tmp_path):
+        path = tmp_path / "c.ledger.jsonl"
+        ledger = CoordinatorLedger(path)
+        ledger.record("job_submitted", **submit_record())
+        ledger.record("lease_granted", job=1, shard=0, worker="w0",
+                      token="1:0:1", count=1)
+        ledger.record("shard_merged", job=1, shard=0, rows=2)
+        ledger.close()
+        records = list(read_ledger(path))
+        assert [r["rec"] for r in records] == [
+            "job_submitted", "lease_granted", "shard_merged"
+        ]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert all(r["v"] == LEDGER_SCHEMA_VERSION for r in records)
+
+    def test_every_kind_is_writable(self, tmp_path):
+        ledger = CoordinatorLedger(tmp_path / "l.jsonl")
+        for kind in RECORD_KINDS:
+            ledger.record(kind, job=1)
+        ledger.close()
+        assert len(list(read_ledger(tmp_path / "l.jsonl"))) == len(
+            RECORD_KINDS
+        )
+
+    def test_unknown_kind_rejected_at_write_site(self, tmp_path):
+        ledger = CoordinatorLedger(tmp_path / "l.jsonl")
+        with pytest.raises(LedgerError, match="unknown ledger record"):
+            ledger.record("gossip", job=1)
+
+    def test_disabled_ledger_is_a_noop(self, tmp_path):
+        ledger = CoordinatorLedger(None)
+        assert ledger.enabled is False
+        ledger.record("job_submitted", **submit_record())
+        ledger.record("gossip")   # not even validated: zero cost
+        ledger.close()
+
+    def test_each_line_lands_before_record_returns(self, tmp_path):
+        # Flush-per-record: a reader sees every completed record even
+        # while the writer stays open (the crash-consistency contract).
+        path = tmp_path / "l.jsonl"
+        ledger = CoordinatorLedger(path)
+        ledger.record("job_submitted", **submit_record())
+        assert [r["rec"] for r in read_ledger(path)] == ["job_submitted"]
+        ledger.close()
+
+    def test_append_survives_close_reopen(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        first = CoordinatorLedger(path)
+        first.record("job_submitted", **submit_record())
+        first.close()
+        second = CoordinatorLedger(path)
+        second.record("job_finished", job=1, state="complete")
+        second.close()
+        assert [r["rec"] for r in read_ledger(path)] == [
+            "job_submitted", "job_finished"
+        ]
+
+
+class TestReadLedger:
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        ledger = CoordinatorLedger(path)
+        ledger.record("job_submitted", **submit_record())
+        ledger.close()
+        with open(path, "a") as handle:
+            handle.write('{"v": 1, "seq": 1, "rec": "lease_gr')
+        assert [r["rec"] for r in read_ledger(path)] == ["job_submitted"]
+
+    def test_malformed_mid_file_raises(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        with open(path, "w") as handle:
+            handle.write("definitely not json\n")
+            handle.write(json.dumps({"rec": "job_finished", "job": 1})
+                         + "\n")
+        with pytest.raises(LedgerError, match="malformed ledger line"):
+            list(read_ledger(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(LedgerError, match="cannot read ledger"):
+            list(read_ledger(tmp_path / "absent.jsonl"))
+
+
+class TestReplayLedger:
+    def _write(self, path, records):
+        ledger = CoordinatorLedger(path)
+        for kind, fields in records:
+            ledger.record(kind, **fields)
+        ledger.close()
+
+    def test_replay_folds_job_state(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("lease_granted", dict(job=1, shard=0, worker="w0",
+                                   token="1:0:1", count=1)),
+            ("lease_granted", dict(job=1, shard=1, worker="w1",
+                                   token="1:1:1", count=1)),
+            ("shard_merged", dict(job=1, shard=0, rows=2)),
+        ])
+        jobs = replay_ledger(path)
+        job = jobs[1]
+        assert job.name == "par"
+        assert job.shard_size == 2
+        assert job.merged == {0}
+        assert job.failed == set()
+        assert job.finished is None
+
+    def test_live_leases_are_not_charged_a_strike(self, tmp_path):
+        # Shard 1's lease was live when the coordinator died: its
+        # count must replay as 0, not 1 — a coordinator crash is not
+        # the shard's fault.
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("lease_granted", dict(job=1, shard=1, worker="w1",
+                                   token="1:1:1", count=1)),
+        ])
+        job = replay_ledger(path)[1]
+        assert job.lease_counts[1] == 0
+
+    def test_revoked_leases_keep_their_strike(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("lease_granted", dict(job=1, shard=1, worker="w1",
+                                   token="1:1:1", count=1)),
+            ("lease_revoked", dict(job=1, shard=1,
+                                   reason="heartbeat-silence")),
+            ("lease_granted", dict(job=1, shard=1, worker="w2",
+                                   token="1:1:2", count=2)),
+        ])
+        job = replay_ledger(path)[1]
+        # First grant was revoked (a real strike); the second was live
+        # at crash (credited back): net count is 1, not 2.
+        assert job.lease_counts[1] == 1
+
+    def test_merged_shards_ignore_live_lease_credit(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("lease_granted", dict(job=1, shard=0, worker="w0",
+                                   token="1:0:1", count=1)),
+            ("shard_merged", dict(job=1, shard=0, rows=2)),
+        ])
+        job = replay_ledger(path)[1]
+        assert job.merged == {0}
+        assert job.lease_counts[0] == 1
+
+    def test_finished_and_failed_state(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("shard_failed", dict(job=1, shard=1)),
+            ("job_finished", dict(job=1, state="failed")),
+        ])
+        job = replay_ledger(path)[1]
+        assert job.failed == {1}
+        assert job.finished == "failed"
+
+    def test_records_for_unknown_jobs_are_ignored(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("lease_granted", dict(job=9, shard=0, worker="w",
+                                   token="9:0:1", count=1)),
+            ("job_submitted", submit_record()),
+        ])
+        jobs = replay_ledger(path)
+        assert set(jobs) == {1}
+
+    def test_resumed_records_are_transparent(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        self._write(path, [
+            ("job_submitted", submit_record()),
+            ("resumed", dict(jobs=[1], adopted=1, requeued=1)),
+        ])
+        assert set(replay_ledger(path)) == {1}

@@ -142,3 +142,108 @@ class TestParseAddress:
     def test_bad_port_rejected(self):
         with pytest.raises(ProtocolError):
             parse_address("node7:banana")
+
+
+class TestFrameBufferHardening:
+    """Size caps, tolerant mode and mid-frame failure edges."""
+
+    def test_oversized_frame_raises_in_strict_mode(self):
+        buf = FrameBuffer(max_frame_bytes=64)
+        big = encode_frame(make_frame("hello", role="worker",
+                                      name="x" * 200))
+        with pytest.raises(ProtocolError, match="byte cap"):
+            buf.feed(big)
+
+    def test_oversized_frame_skipped_in_tolerant_mode(self):
+        buf = FrameBuffer(max_frame_bytes=64, tolerant=True)
+        big = encode_frame(make_frame("hello", role="worker",
+                                      name="x" * 200))
+        good = encode_frame(make_frame("drain"))
+        frames = buf.feed(big + good)
+        assert [f["frame"] for f in frames] == ["drain"]
+        assert buf.rejected == 1
+        assert any("byte cap" in m for m in buf.take_rejects())
+
+    def test_oversized_line_rejected_before_its_newline(self):
+        # The line is over budget with no terminator in sight: the
+        # buffer must not grow without bound waiting for one.
+        buf = FrameBuffer(max_frame_bytes=64, tolerant=True)
+        assert buf.feed(b"x" * 200) == []
+        assert buf.rejected == 1
+        assert buf.pending() == 0
+        # The tail of the oversized line (and its newline) is
+        # discarded; the next complete line decodes normally.
+        frames = buf.feed(b"yyy\n" + encode_frame(make_frame("drain")))
+        assert [f["frame"] for f in frames] == ["drain"]
+        assert buf.rejected == 1
+
+    def test_oversized_rejection_counts_once(self):
+        buf = FrameBuffer(max_frame_bytes=64, tolerant=True)
+        for _ in range(5):
+            buf.feed(b"z" * 100)   # one logical line, many chunks
+        assert buf.rejected == 1
+
+    def test_garbage_line_then_valid_frame_tolerant(self):
+        buf = FrameBuffer(tolerant=True)
+        frames = buf.feed(b"not json at all\n"
+                          + encode_frame(make_frame("drain")))
+        assert [f["frame"] for f in frames] == ["drain"]
+        assert buf.rejected == 1
+        assert any("malformed" in m for m in buf.take_rejects())
+        assert buf.take_rejects() == []   # drained
+
+    def test_non_object_json_tolerant(self):
+        buf = FrameBuffer(tolerant=True)
+        frames = buf.feed(b"[1, 2, 3]\n"
+                          + encode_frame(make_frame("drain")))
+        assert [f["frame"] for f in frames] == ["drain"]
+        assert buf.rejected == 1
+
+    def test_unknown_frame_type_tolerant(self):
+        buf = FrameBuffer(tolerant=True)
+        frames = buf.feed(b'{"frame":"gossip"}\n'
+                          + encode_frame(make_frame("drain")))
+        assert [f["frame"] for f in frames] == ["drain"]
+        assert buf.rejected == 1
+
+    def test_split_across_recv_with_garbage_between(self):
+        buf = FrameBuffer(tolerant=True)
+        wire = encode_frame(make_frame("heartbeat", token="t"))
+        assert buf.feed(b"garbage\n" + wire[:7]) == []
+        frames = buf.feed(wire[7:])
+        assert [f["frame"] for f in frames] == ["heartbeat"]
+        assert buf.rejected == 1
+
+    def test_abrupt_eof_mid_frame_leaves_pending_bytes(self):
+        buf = FrameBuffer()
+        wire = encode_frame(make_frame("complete", token="t"))
+        frames = buf.feed(wire[:-3])   # peer died before the newline
+        assert frames == []
+        assert buf.pending() == len(wire) - 3
+        assert buf.rejected == 0
+
+
+class TestFrameConnectionEOF:
+    def test_eof_flag_distinguishes_eof_from_timeout(self):
+        left, right = socket.socketpair()
+        conn = FrameConnection(right)
+        try:
+            assert conn.recv(timeout=0.05) is None   # nothing sent yet
+            assert conn.eof is False
+            left.close()
+            assert conn.recv(timeout=5) is None
+            assert conn.eof is True
+        finally:
+            conn.close()
+
+    def test_eof_mid_frame_drops_partial_line(self):
+        left, right = socket.socketpair()
+        conn = FrameConnection(right)
+        try:
+            wire = encode_frame(make_frame("complete", token="t"))
+            left.sendall(wire[:-5])
+            left.close()
+            assert conn.recv(timeout=5) is None
+            assert conn.eof is True
+        finally:
+            conn.close()
