@@ -59,11 +59,18 @@ RUN_ERROR = "error"
 #: Retries exhausted; the fault is parked and skipped on resume unless
 #: explicitly re-requested.
 RUN_QUARANTINED = "quarantined"
+#: The fault was never simulated because an adaptively sampled
+#: campaign converged first ("skipped by early stop").  Distinct from
+#: "not sampled": an interrupted sampled campaign leaves *no* row for
+#: faults it has not reached, while a converged one marks every
+#: remaining fault skipped.  Not a failure — skipped rows carry no
+#: classification and are excluded from error counts.
+RUN_SKIPPED = "skipped"
 
 #: Every terminal run status a store row or result may carry.
 RUN_STATUSES = (
     RUN_OK, RUN_TIMEOUT, RUN_DIVERGED, RUN_CRASHED, RUN_ERROR,
-    RUN_QUARANTINED,
+    RUN_QUARANTINED, RUN_SKIPPED,
 )
 
 #: Statuses describing a run that did not complete.

@@ -54,6 +54,83 @@ def per_target_table(result):
     return _format_table(rows)
 
 
+def sampling_headline(sampling, percent=True):
+    """The one-line answer of a sampled campaign.
+
+    ``error rate 2.3% ± 0.4% (95% confidence), 48112 of 5000000
+    faults simulated`` — rendered from the sampler summary dict
+    stored in ``result.execution["sampling"]``.
+    """
+    fmt = "{:.1%}" if percent else "{:.4f}"
+    level = f"{sampling['confidence']:.0%}"
+    return (
+        f"error rate {fmt.format(sampling['estimate'])}"
+        f" ± {fmt.format(sampling['half_width'])}"
+        f" ({level} confidence),"
+        f" {sampling['simulated']:,} of {sampling['population']:,}"
+        " faults simulated"
+    )
+
+
+def sampling_summary(sampling):
+    """Report section for a sampled campaign's estimates.
+
+    Headline, stop reason, and the per-stratum estimate table with
+    Wilson intervals; strata that ran out of faults before their
+    interval closed are flagged ``starved`` (their estimate is
+    exact for the population but wider than the requested margin).
+    """
+    lines = [
+        sampling_headline(sampling),
+        f"stopped         : {sampling['reason']}"
+        f" (margin ±{sampling['margin']:.2%}"
+        f" at {sampling['confidence']:.0%},"
+        f" {sampling['rounds']} rounds / {sampling['chunks']} chunks,"
+        f" seed {sampling['seed']}, strata {sampling['strata_mode']})",
+    ]
+    if sampling.get("failed"):
+        lines.append(
+            f"failed runs     : {sampling['failed']}"
+            " (excluded from estimate trials)"
+        )
+    rows = [[
+        "stratum", "population", "trials", "errors", "estimate",
+        "interval", "state",
+    ]]
+    for stratum in sampling.get("strata", ()):
+        if stratum["converged"]:
+            state = "converged"
+        elif stratum["starved"]:
+            state = "starved"
+        elif stratum["exhausted"]:
+            state = "exhausted"
+        else:
+            state = "stopped early"
+        interval = (
+            f"{stratum['low']:.1%} .. {stratum['high']:.1%}"
+            if stratum["trials"] else "-"
+        )
+        rows.append([
+            stratum["stratum"],
+            str(stratum["population"]),
+            str(stratum["trials"]),
+            str(stratum["errors"]),
+            f"{stratum['estimate']:.1%}" if stratum["trials"] else "-",
+            interval,
+            state,
+        ])
+    lines.append(_format_table(rows))
+    starved = [
+        s["stratum"] for s in sampling.get("strata", ()) if s["starved"]
+    ]
+    if starved:
+        lines.append(
+            f"starved strata  : {', '.join(starved)} — population "
+            "exhausted before the interval reached the margin"
+        )
+    return "\n".join(lines)
+
+
 def execution_summary(result):
     """How the campaign ran: mode, checkpoints, events, warm stats.
 
@@ -73,7 +150,7 @@ def execution_summary(result):
         f" (golden {ex.get('golden_events', 0)}"
         f" + faulty {ex.get('fault_events', 0)})",
     ]
-    if ex.get("mode") in ("warm", "batched"):
+    if ex.get("mode", "").endswith(("warm", "batched")):
         lines.append(f"checkpoints     : {ex.get('checkpoints', 0)}")
         if "warm_hits" in ex:
             lines.append(
@@ -100,6 +177,14 @@ def execution_summary(result):
                 f" spliced onto golden tails"
                 f" ({batch.get('branch_snapshots', 0)} branch snapshots)"
             )
+    sampling = ex.get("sampling")
+    if sampling:
+        lines.append(f"sampling        : {sampling_headline(sampling)}")
+        lines.append(
+            f"early stop      : {sampling['reason']} after"
+            f" {sampling['trials']} trials;"
+            f" {sampling['skipped']} faults never simulated"
+        )
     if "wall_s" in ex:
         completed = ex.get("completed", len(result))
         rate = completed / ex["wall_s"] if ex["wall_s"] > 0 else 0.0
@@ -171,10 +256,17 @@ def full_report(result, listing_limit=20):
         "--- classification summary ---",
         classification_summary(result),
     ]
-    if len(result):
+    sampling = (result.execution or {}).get("sampling")
+    if sampling:
+        sections.extend(
+            ["", "--- sampling estimate ---", sampling_summary(sampling)]
+        )
+    elif len(result):
         rate, (low, high) = estimate_error_rate(result)
+        half = (high - low) / 2.0
         sections.append(
-            f"error rate: {rate:.1%}  (95% Wilson CI: {low:.1%} .. {high:.1%})"
+            f"error rate: {rate:.1%} ± {half:.1%}"
+            f"  (95% Wilson CI: {low:.1%} .. {high:.1%})"
         )
     sections.extend(
         [

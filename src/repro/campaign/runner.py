@@ -59,12 +59,14 @@ from .classify import (
     RUN_CRASHED,
     RUN_DIVERGED,
     RUN_TIMEOUT,
+    SILENT,
     classify,
     classify_failure,
 )
 from .compare import ComparisonGridCache, compare_probe_sets
 from .faultlist import batch_key, digital_batch_key
 from .results import CampaignResult, CampaignRunError, FaultResult
+from .sampling import DEFAULT_CHUNK, StratifiedSampler, stored_outcomes
 from .supervisor import RetryPolicy, WorkerSupervisor, set_worker_phase
 
 LOGGER = logging.getLogger("repro.campaign")
@@ -1022,7 +1024,7 @@ class CampaignRunner:
             if self._flush_store is not None:
                 self._flush_store()
         remaining = sorted(scalar)
-        stats["scalar_runs"] = len(remaining)
+        stats["scalar_runs"] += len(remaining)
         if remaining:
             registry.inc("campaign.runs.scalar", len(remaining))
         for outcome in self._serial_outcomes(remaining, True, on_error):
@@ -1175,6 +1177,50 @@ class CampaignRunner:
         finally:
             _ACTIVE_RUNNER = None
 
+    def _sampled_outcomes(self, sampler, warm_start, on_error, batch,
+                          batch_mode):
+        """Outcome stream driven by a :class:`StratifiedSampler`.
+
+        Chunks are drawn, simulated through the ordinary serial or
+        batched inner stream, and closed with
+        :meth:`~repro.campaign.sampling.StratifiedSampler.finish_chunk`
+        — which is legal here because the parent consumer records each
+        outcome into the sampler *before* this generator resumes (the
+        same feedback discipline batched mode uses for store flushes).
+        The stream ends the moment the pooled interval converges or
+        the population runs dry.
+        """
+        journal_on = _journal.JOURNAL.enabled
+        while True:
+            chunk = sampler.next_chunk()
+            if chunk is None:
+                break
+            if journal_on:
+                _journal.emit(
+                    "sample_chunk", chunk=chunk.ident,
+                    round=chunk.round_index, size=len(chunk.indices),
+                    pending=len(chunk.pending), trials=sampler.trials,
+                )
+            pending = list(chunk.pending)
+            if pending:
+                inner = (
+                    self._batched_outcomes(pending, on_error, batch_mode)
+                    if batch
+                    else self._serial_outcomes(pending, warm_start, on_error)
+                )
+                for outcome in inner:
+                    yield outcome
+            if sampler.finish_chunk(chunk):
+                break
+        if sampler.finished:
+            estimate, (low, high) = sampler.pooled()
+            _journal.emit(
+                "sampling_stopped", reason=sampler.reason,
+                trials=sampler.trials, estimate=estimate,
+                half_width=(high - low) / 2.0,
+                skipped=sampler.population - sampler.simulated,
+            )
+
     # -- the campaign -----------------------------------------------------------
 
     def run(
@@ -1195,6 +1241,12 @@ class CampaignRunner:
         retry=None,
         retry_quarantined=False,
         postmortem_dir=None,
+        sample=False,
+        margin=None,
+        confidence=0.95,
+        sample_seed=0,
+        strata="site-phase",
+        chunk=None,
     ):
         """Run golden + every (remaining) fault; returns a
         :class:`CampaignResult`.
@@ -1273,6 +1325,29 @@ class CampaignRunner:
             its store row — with the last recorded solver steps, live
             node values, event-queue tail, fault parameters and budget
             state.  ``None`` (the default) disables recording.
+        :param sample: confidence-bounded adaptive sampling — instead
+            of enumerating every fault, draw stratified samples from
+            the dictionary and **stop when the answer is known**: the
+            campaign ends the moment the pooled Wilson interval
+            half-width drops to ``margin`` at ``confidence`` (see
+            :mod:`repro.campaign.sampling`).  Faults never simulated
+            get ``skipped`` store rows; the sampling estimate lands in
+            ``result.execution["sampling"]``.  Requires serial (or
+            batched) execution — ``workers`` is ignored with a
+            warning.
+        :param margin: requested half-width of the pooled interval
+            (e.g. ``0.005`` = ±0.5%).  Required with ``sample`` unless
+            resuming a campaign whose store already holds a sampling
+            configuration.
+        :param confidence: interval confidence level (default 0.95).
+        :param sample_seed: seed of the draw sequence; same seed (and
+            faults/strata) -> row-identical campaign.
+        :param strata: stratification mode — one of
+            :data:`~repro.campaign.sampling.STRATA_MODES` or a
+            callable ``fault -> label``.
+        :param chunk: draws per convergence-evaluation chunk (default
+            :data:`~repro.campaign.sampling.DEFAULT_CHUNK`).  Part of
+            the draw sequence: resume verifies it against the store.
         """
         if on_error not in ("raise", "collect"):
             raise CampaignError(
@@ -1335,6 +1410,57 @@ class CampaignRunner:
                     _journal.JOURNAL.session_offset,
                 )
 
+        sampler = None
+        if store is not None and resume and not sample:
+            # A stored sampling configuration makes --resume continue
+            # the sampled campaign without restating the flags.
+            stored_cfg = store.sampling_config(campaign_id)
+            if stored_cfg is not None:
+                sample = True
+                margin = stored_cfg["margin"]
+                confidence = stored_cfg["confidence"]
+                sample_seed = stored_cfg["seed"]
+                strata = stored_cfg["strata"]
+                chunk = stored_cfg["chunk"]
+        if sample:
+            if margin is None:
+                raise CampaignError(
+                    "sampled campaigns need a margin (e.g. margin=0.005)"
+                )
+            if chunk is None:
+                chunk = DEFAULT_CHUNK
+            stored_map = None
+            if store is not None:
+                # The configuration IS the draw sequence; first write
+                # records it, a resume verifies it (StoreError on any
+                # drift).  Callable strata persist as "custom" — the
+                # caller must supply the same callable again on resume.
+                store.record_sampling(
+                    campaign_id, sample_seed, margin, confidence,
+                    strata if isinstance(strata, str) else "custom",
+                    chunk,
+                )
+                if resume:
+                    stored_map = stored_outcomes(
+                        store.run_rows(campaign_id)
+                    )
+            sampler = StratifiedSampler(
+                self.spec.faults,
+                margin=margin,
+                confidence=confidence,
+                seed=sample_seed,
+                strata=strata,
+                chunk=chunk,
+                stored=stored_map,
+            )
+            # In sampled mode the sampler, not pending_indices, owns
+            # the execution order; "pending" is every fault without a
+            # replayed outcome (what could still be drawn).
+            replayed = stored_map or {}
+            pending = [
+                index for index in range(total) if index not in replayed
+            ]
+
         if warm_start:
             warm = self.prepare_warm(checkpoint_every, max_checkpoints)
             golden_probes = warm["golden_probes"]
@@ -1349,6 +1475,13 @@ class CampaignRunner:
             store.check_golden(campaign_id, golden_probes)
 
         parallel = workers is not None and workers > 1 and len(pending) > 1
+        if sampler is not None and parallel:
+            LOGGER.warning(
+                "adaptive sampling evaluates convergence at chunk "
+                "boundaries in draw order; running serially — ignoring "
+                "workers=%d (use repro.dist for sampled fan-out)", workers,
+            )
+            parallel = False
         if batch and parallel:
             LOGGER.warning(
                 "batched execution requested with workers=%d; batching "
@@ -1367,6 +1500,8 @@ class CampaignRunner:
                 )
                 parallel = False
         mode = "batched" if batch else ("warm" if warm_start else "cold")
+        if sampler is not None:
+            mode = f"sampled-{mode}"
         _journal.emit(
             "campaign_started", name=self.spec.name, total=total,
             pending=len(pending), mode=mode,
@@ -1376,7 +1511,11 @@ class CampaignRunner:
             self._worker_monitor = self._build_worker_monitor(
                 store, campaign_id
             )
-        if batch:
+        if sampler is not None:
+            outcomes = self._sampled_outcomes(
+                sampler, warm_start, on_error, batch, batch_mode
+            )
+        elif batch:
             outcomes = self._batched_outcomes(pending, on_error, batch_mode)
         elif parallel:
             outcomes = self._parallel_outcomes(
@@ -1414,9 +1553,16 @@ class CampaignRunner:
         try:
             for index, ok, payload, wall_s, attempts in outcomes:
                 fault = self.spec.faults[index]
+                stratum = (
+                    sampler.stratum_of(index) if sampler is not None else None
+                )
                 retried += attempts - 1
                 if not ok:
                     exc, status = payload
+                    if sampler is not None:
+                        # Failed runs are excluded from estimate
+                        # trials but still consume their draw.
+                        sampler.record(index, None)
                     if on_error == "raise":
                         raise exc
                     quarantined = (
@@ -1451,6 +1597,7 @@ class CampaignRunner:
                             campaign_id, index, message, wall_s,
                             status=status, attempts=attempts,
                             quarantined=quarantined, postmortem=postmortem,
+                            stratum=stratum,
                         )
                         phases["store_write"] += perf_counter() - write_start
                     continue
@@ -1462,6 +1609,8 @@ class CampaignRunner:
                 )
                 phases["classify"] += perf_counter() - classify_start
                 new_runs[index] = run_result
+                if sampler is not None:
+                    sampler.record(index, run_result.label != SILENT)
                 registry.inc("campaign.runs")
                 registry.inc(f"campaign.class.{run_result.label}")
                 registry.observe("campaign.run_wall_s", wall_s)
@@ -1473,14 +1622,15 @@ class CampaignRunner:
                 if store is not None:
                     if batch:
                         store_rows.append(
-                            (index, run_result, wall_s, events, attempts)
+                            (index, run_result, wall_s, events, attempts,
+                             stratum)
                         )
                     else:
                         write_start = perf_counter()
                         store.record_run(
                             campaign_id, index, run_result,
                             wall_s=wall_s, kernel_events=events,
-                            attempts=attempts,
+                            attempts=attempts, stratum=stratum,
                         )
                         phases["store_write"] += perf_counter() - write_start
         finally:
@@ -1489,6 +1639,18 @@ class CampaignRunner:
             self._worker_monitor = None
         if retried:
             registry.inc("campaign.retried_runs", retried)
+        session_error_indices = {err.index for err in errors}
+
+        if sampler is not None and sampler.finished and store is not None:
+            # One transaction marks everything the early stop saved:
+            # "skipped" rows are distinguishable from "not sampled"
+            # (no row at all — the campaign died before converging).
+            write_start = perf_counter()
+            store.record_skipped(campaign_id, [
+                (index, sampler.stratum_of(index))
+                for index in sampler.skipped_indices()
+            ])
+            phases["store_write"] += perf_counter() - write_start
 
         merged = dict(new_runs)
         if store is not None and resume:
@@ -1530,17 +1692,24 @@ class CampaignRunner:
             "quarantined": sum(1 for err in errors if err.quarantined),
         }
         if warm_start:
+            attempted = pending
+            if sampler is not None:
+                # Only the faults this session actually simulated say
+                # anything about checkpoint reuse.
+                attempted = sorted(set(new_runs) | session_error_indices)
             hits = sum(
                 1
-                for index in pending
+                for index in attempted
                 if self._restore_point(self.spec.faults[index])[0] > 0.0
             )
             result.execution["warm_hits"] = hits
-            result.execution["warm_misses"] = len(pending) - hits
+            result.execution["warm_misses"] = len(attempted) - hits
             registry.inc("campaign.warm.hit", hits)
-            registry.inc("campaign.warm.miss", len(pending) - hits)
+            registry.inc("campaign.warm.miss", len(attempted) - hits)
         if batch:
             result.execution["batch"] = dict(self._batch_stats)
+        if sampler is not None:
+            result.execution["sampling"] = sampler.summary()
         # Per-phase wall-time breakdown.  restore/step accrue inside
         # the process that simulates — the parent for serial and
         # batched campaigns; forked workers (whose accumulators die
@@ -1641,6 +1810,12 @@ def run_campaign(
     retry=None,
     retry_quarantined=False,
     postmortem_dir=None,
+    sample=False,
+    margin=None,
+    confidence=0.95,
+    sample_seed=0,
+    strata="site-phase",
+    chunk=None,
 ):
     """Convenience wrapper: build a runner and run it."""
     return CampaignRunner(
@@ -1662,4 +1837,10 @@ def run_campaign(
         retry=retry,
         retry_quarantined=retry_quarantined,
         postmortem_dir=postmortem_dir,
+        sample=sample,
+        margin=margin,
+        confidence=confidence,
+        sample_seed=sample_seed,
+        strata=strata,
+        chunk=chunk,
     )

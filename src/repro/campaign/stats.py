@@ -27,7 +27,10 @@ def wilson_interval(successes, trials, confidence=0.95):
         raise CampaignError("trials must be positive")
     if not 0 <= successes <= trials:
         raise CampaignError("successes must be within [0, trials]")
-    z = norm.ppf(0.5 + confidence / 2.0)
+    # float() casts: norm.ppf returns a numpy scalar, which would
+    # otherwise leak into JSON-serialized execution records and wire
+    # frames.
+    z = float(norm.ppf(0.5 + confidence / 2.0))
     phat = successes / trials
     denom = 1.0 + z * z / trials
     centre = (phat + z * z / (2 * trials)) / denom
@@ -36,7 +39,12 @@ def wilson_interval(successes, trials, confidence=0.95):
         * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
         / denom
     )
-    return max(0.0, centre - margin), min(1.0, centre + margin)
+    # Pin the degenerate edges exactly: at 0/n and n/n the closed form
+    # touches the boundary in real arithmetic but can round one ulp
+    # inside it, leaving the point estimate outside its own interval.
+    low = 0.0 if successes == 0 else float(max(0.0, centre - margin))
+    high = 1.0 if successes == trials else float(min(1.0, centre + margin))
+    return low, high
 
 
 def clopper_pearson_interval(successes, trials, confidence=0.95):
@@ -53,6 +61,37 @@ def clopper_pearson_interval(successes, trials, confidence=0.95):
         beta.ppf(1 - alpha / 2, successes + 1, trials - successes)
     )
     return low, high
+
+
+def safe_interval(successes, trials, confidence=0.95, method="wilson"):
+    """Interval that degrades gracefully when there is no data yet.
+
+    Live early-stopping loops evaluate the running interval after
+    every chunk of runs, including before the first one lands; with
+    ``trials == 0`` this returns the vacuous ``(0.0, 1.0)`` instead of
+    raising :class:`~repro.core.errors.CampaignError`, so callers
+    don't special-case the first draw.
+
+    :param method: ``"wilson"`` (default) or ``"clopper-pearson"``.
+    :returns: ``(low, high)``.
+    """
+    if method not in ("wilson", "clopper-pearson"):
+        raise CampaignError(f"unknown interval method {method!r}")
+    if trials <= 0:
+        return 0.0, 1.0
+    fn = wilson_interval if method == "wilson" else clopper_pearson_interval
+    return fn(successes, trials, confidence)
+
+
+def interval_half_width(successes, trials, confidence=0.95):
+    """Half-width of the Wilson interval, ``0.5`` with no trials.
+
+    The quantity the early-stopping rule compares against the
+    requested margin: a stratum (or the pooled estimate) has converged
+    when this drops to or below the margin.
+    """
+    low, high = safe_interval(successes, trials, confidence)
+    return (high - low) / 2.0
 
 
 def required_sample_size(margin, confidence=0.95, p_expected=0.5):

@@ -263,6 +263,12 @@ def cmd_campaign_run(args):
             retries=args.retries,
             retry_quarantined=args.retry_quarantined,
             postmortem_dir=args.postmortem_dir,
+            sample=args.sample,
+            margin=args.margin,
+            confidence=args.confidence,
+            sample_seed=args.sample_seed,
+            strata=args.strata,
+            chunk=args.chunk,
         )
     finally:
         if store is not None:
@@ -353,16 +359,22 @@ def cmd_campaign_status(args):
             return 0
         header = (
             f"{'campaign':<24} {'status':<9} {'mode':<15} {'done':>10} "
-            f"{'errors':>6} {'quar':>5}  last update"
+            f"{'errors':>6} {'quar':>5} {'skip':>6}  last update"
         )
         print(header)
         print("-" * len(header))
         for row in summaries:
             done = f"{row['completed']}/{row['total']}"
+            # "skip" counts faults a sampled campaign's early stop
+            # never simulated; "-" marks exhaustive campaigns.
+            skip = (
+                str(row.get("skipped", 0)) if row.get("sampled") else "-"
+            )
             print(
                 f"{row['name']:<24} {row['status']:<9} "
                 f"{row.get('mode', '?'):<15} {done:>10} "
-                f"{row['errors']:>6} {row.get('quarantined', 0):>5}  "
+                f"{row['errors']:>6} {row.get('quarantined', 0):>5} "
+                f"{skip:>6}  "
                 f"{row['updated_at']}"
             )
         for row in summaries:
@@ -531,7 +543,12 @@ def _build_spec(args):
 
 
 def _shard_config(args):
-    """Worker-side execution kwargs shipped inside every shard."""
+    """Worker-side execution kwargs shipped inside every shard.
+
+    Sampling flags deliberately never land here: workers execute
+    plain exhaustive shards of the *drawn* faults; the coordinator
+    owns the sampler (see :func:`_sampling_config`).
+    """
     config = {}
     if args.warm_start:
         config["warm_start"] = True
@@ -540,6 +557,20 @@ def _shard_config(args):
     if args.timeout is not None:
         config["timeout"] = args.timeout
     return config
+
+
+def _sampling_config(args):
+    """Coordinator-side sampling config from the CLI flags, or None."""
+    if not getattr(args, "sample", False):
+        return None
+    if args.margin is None:
+        raise ReproError("--sample needs --margin (e.g. --margin 0.005)")
+    return {
+        "margin": args.margin,
+        "confidence": args.confidence,
+        "seed": args.sample_seed,
+        "strata": args.strata,
+    }
 
 
 def cmd_campaign_serve(args):
@@ -614,7 +645,8 @@ def cmd_campaign_serve(args):
             payload = netlist.to_dict() if args.ship_netlist else None
             coordinator.drain_when_idle(True)
             job_id = coordinator.submit(
-                spec, netlist=payload, config=_shard_config(args)
+                spec, netlist=payload, config=_shard_config(args),
+                sampling=_sampling_config(args),
             )
             coordinator.start()
             try:
@@ -682,6 +714,7 @@ def cmd_campaign_submit(args):
             "submit", spec=spec_to_dict(spec),
             netlist=netlist.to_dict() if args.ship_netlist else None,
             config=_shard_config(args),
+            sampling=_sampling_config(args),
         )
         reply = conn.recv(timeout=30.0)
         if reply is None or reply.get("frame") != "job":
@@ -712,6 +745,36 @@ def cmd_campaign_submit(args):
                 return 0 if status["state"] == "complete" else 3
     finally:
         conn.close()
+
+
+def _add_sampling_options(p, chunk=False):
+    """Adaptive-sampling flags shared by run, serve and submit."""
+    from .campaign.sampling import STRATA_MODES
+
+    p.add_argument("--sample", action="store_true",
+                   help="confidence-bounded adaptive sampling: draw "
+                        "stratified samples from the fault list and "
+                        "stop when the pooled Wilson interval "
+                        "half-width drops to --margin; faults never "
+                        "simulated get 'skipped' store rows")
+    p.add_argument("--margin", type=float, default=None, metavar="FRAC",
+                   help="requested interval half-width, e.g. 0.005 "
+                        "for ±0.5%% (required with --sample)")
+    p.add_argument("--confidence", type=float, default=0.95,
+                   metavar="LEVEL",
+                   help="interval confidence level (default 0.95)")
+    p.add_argument("--sample-seed", type=int, default=0, metavar="N",
+                   help="draw-sequence seed; same seed -> "
+                        "row-identical campaign (default 0)")
+    p.add_argument("--strata", default="site-phase",
+                   choices=list(STRATA_MODES),
+                   help="stratification: 'site' = injection site, "
+                        "'phase' = schedule-time bucket, 'site-phase' "
+                        "= both (default), 'none' = one pool")
+    if chunk:
+        p.add_argument("--chunk", type=int, default=None, metavar="N",
+                       help="draws per convergence-evaluation chunk "
+                            "(default 25; part of the draw sequence)")
 
 
 def build_parser():
@@ -819,6 +882,7 @@ def build_parser():
     p_run.add_argument("--verbose", action="store_true")
     p_run.add_argument("--fail-on-error", action="store_true",
                        help="exit 1 when any fault caused an error")
+    _add_sampling_options(p_run, chunk=True)
     p_run.set_defaults(func=cmd_campaign_run)
 
     p_status = camp_sub.add_parser(
@@ -885,6 +949,7 @@ def build_parser():
                        action="store_false", default=True,
                        help="do not embed the netlist in shards; "
                             "workers must then run with --netlist")
+        _add_sampling_options(p)
 
     p_serve = camp_sub.add_parser(
         "serve",

@@ -44,9 +44,14 @@ import threading
 from collections import deque
 from time import monotonic
 
+from ..campaign.sampling import (
+    StratifiedSampler,
+    row_outcome,
+    stored_outcomes,
+)
 from ..core.errors import ReproError
 from ..obs import journal as _journal
-from ..store.serialize import spec_from_dict, spec_to_dict
+from ..store.serialize import fault_key, spec_from_dict, spec_to_dict
 from ..store.sharded import ShardedCampaignStore
 from ..store.store import CampaignStore, StoreError
 from .ledger import CoordinatorLedger, replay_ledger
@@ -57,7 +62,7 @@ from .protocol import (
     encode_frame,
     make_frame,
 )
-from .shards import DEFAULT_SHARD_SIZE, plan_shards
+from .shards import DEFAULT_SHARD_SIZE, plan_chunk_shard, plan_shards
 
 LOGGER = logging.getLogger("repro.dist")
 
@@ -124,34 +129,59 @@ class _Lease:
 
 
 class _Job:
-    """One submitted campaign: its shards, queue and progress."""
+    """One submitted campaign: its shards, queue and progress.
 
-    def __init__(self, job_id, name, shards, campaign_id):
+    Exhaustive jobs carry a static shard *list* planned at submit.
+    Sampled jobs (``sampler`` is set) carry a shard *dict* that grows
+    as the sampler draws chunks — shard ``k`` is chunk ``k`` — plus
+    the merge-ordering state that keeps convergence decisions
+    identical to a single-host run: completions buffer in ``ready``
+    until every earlier chunk has merged.
+    """
+
+    def __init__(self, job_id, name, shards, campaign_id, total=None,
+                 sampler=None, sampling=None, plan=None):
         self.job_id = job_id
         self.name = name
         self.shards = shards
         self.campaign_id = campaign_id
+        self.sampler = sampler
+        self.sampling = sampling  # submitted sampling config (or None)
+        self.plan = plan          # (base_spec, fault_keys, netlist, config)
         self.workers = set()      # names of workers that merged shards
-        self.queue = deque(range(len(shards)))
+        self.queue = deque(
+            () if sampler is not None else range(len(shards))
+        )
         self.active = {}          # shard_id -> _Lease
         self.merged = set()       # shard ids merged into the final store
         self.failed = set()       # shard ids past the lease ceiling
-        self.lease_counts = {s.shard_id: 0 for s in shards}
+        self.lease_counts = (
+            {} if sampler is not None
+            else {s.shard_id: 0 for s in shards}
+        )
         self.seen_rows = set()    # global fault indices already ingested
         self.golden = None        # first worker's golden digests
         self.shard_goldens = {}   # shard_id -> that shard's golden digests
         self.executions = []      # per-shard execution stats
+        self.chunks = {}          # chunk ident -> SampleChunk in flight
+        self.ready = {}           # shard_id -> (worker, frame) to merge
+        self.abandoned = set()    # chunk shards dropped by the early stop
+        self.merge_cursor = 0     # next chunk ident to finish, in order
+        self.stop_recorded = False
+        self._total = total
         self.state = "running"
         self.done = threading.Event()
         self.wall_start = monotonic()
 
     @property
     def total(self):
+        if self._total is not None:
+            return self._total
         return self.shards[0].total if self.shards else 0
 
     def status(self):
         """JSON-ready progress snapshot (the ``job_status`` payload)."""
-        return {
+        status = {
             "job": self.job_id,
             "name": self.name,
             "state": self.state,
@@ -163,6 +193,12 @@ class _Job:
             "total": self.total,
             "rows": len(self.seen_rows),
         }
+        if self.sampler is not None:
+            status["sampled"] = True
+            status["trials"] = self.sampler.trials
+            status["half_width"] = self.sampler.half_width()
+            status["stopped"] = self.sampler.reason
+        return status
 
 
 class Coordinator:
@@ -246,7 +282,7 @@ class Coordinator:
 
     # -- job submission --------------------------------------------------------
 
-    def submit(self, spec, netlist=None, config=None):
+    def submit(self, spec, netlist=None, config=None, sampling=None):
         """Plan and queue one campaign; returns its job id.
 
         Thread-safe: callable from outside the event loop (the
@@ -254,14 +290,43 @@ class Coordinator:
         client ``submit`` frame inside it.  Registers the campaign in
         the final store immediately — its spec and fault list exist
         before any worker runs, exactly as in a serial campaign.
+
+        :param sampling: optional adaptive-sampling configuration dict
+            (``margin`` required; ``confidence``, ``seed``, ``strata``
+            optional).  A sampled job has no static shard plan: the
+            coordinator's stratified sampler draws chunks of
+            ``shard_size`` faults, each chunk runs as one shard, and
+            the job stops — revoking outstanding leases — the moment
+            the pooled Wilson interval closes to the margin.  The
+            sampling config stays coordinator-side; workers execute
+            plain exhaustive shards.
         """
         with self._lock:
-            shards = plan_shards(
-                spec, shard_size=self.shard_size, netlist=netlist,
-                config=config,
-            )
             store = self._final_store()
+            sampler = None
+            plan = None
+            if sampling is not None:
+                sampling = dict(sampling)
+                sampler = self._build_sampler(spec, sampling)
+                shards = {}
+                plan = (
+                    spec_to_dict(spec),
+                    [fault_key(fault) for fault in spec.faults],
+                    netlist,
+                    dict(config or {}),
+                )
+            else:
+                shards = plan_shards(
+                    spec, shard_size=self.shard_size, netlist=netlist,
+                    config=config,
+                )
             campaign_id = store.open_campaign(spec, resume=False)
+            if sampler is not None:
+                store.record_sampling(
+                    campaign_id, sampler.seed, sampler.margin,
+                    sampler.confidence, sampler.strata_mode,
+                    sampler.chunk,
+                )
             if _journal.JOURNAL.enabled:
                 store.record_journal(
                     campaign_id, _journal.JOURNAL.path,
@@ -269,21 +334,29 @@ class Coordinator:
                 )
             job_id = self._next_job
             self._next_job += 1
-            job = _Job(job_id, spec.name, shards, campaign_id)
+            job = _Job(
+                job_id, spec.name, shards, campaign_id,
+                total=len(spec.faults), sampler=sampler,
+                sampling=sampling, plan=plan,
+            )
             self._jobs[job_id] = job
             # Durability point: the ledger line lands (fsynced) before
             # any lease is granted, so a crash at any later moment can
-            # re-plan the identical shards from the recorded spec.
+            # re-plan the identical shards from the recorded spec (a
+            # sampled job's chunks re-draw identically from the
+            # recorded sampling config).
             self._ledger.record(
                 "job_submitted", job=job_id, name=spec.name,
                 spec=spec_to_dict(spec), netlist=netlist, config=config,
                 shard_size=self.shard_size, shards=len(shards),
+                sampling=sampling,
             )
-            for shard in shards:
-                store.record_shard(
-                    campaign_id, shard.shard_id, "queued",
-                    n_faults=shard.size, leases=0,
-                )
+            if sampler is None:
+                for shard in shards:
+                    store.record_shard(
+                        campaign_id, shard.shard_id, "queued",
+                        n_faults=shard.size, leases=0,
+                    )
             _journal.emit(
                 "job_submitted", job=job_id, name=spec.name,
                 total=len(spec.faults), shards=len(shards),
@@ -294,16 +367,92 @@ class Coordinator:
                 mode="distributed", workers=0,
             )
             LOGGER.info(
-                "job %d submitted: campaign %r, %d faults in %d shards",
-                job_id, spec.name, len(spec.faults), len(shards),
+                "job %d submitted: campaign %r, %d faults%s",
+                job_id, spec.name, len(spec.faults),
+                (" sampled adaptively" if sampler is not None
+                 else f" in {len(shards)} shards"),
             )
             self._feed_waiting_workers()
             return job_id
 
-    def submit_dict(self, spec_dict, netlist=None, config=None):
+    def _build_sampler(self, spec, sampling, stored=None, chunk=None):
+        """A job's :class:`StratifiedSampler` from its config dict.
+
+        The chunk size is the coordinator's ``shard_size`` — one chunk
+        is one shard — so a distributed sampled campaign is
+        row-identical to a single-host run with ``chunk=shard_size``.
+        """
+        try:
+            margin = sampling["margin"]
+        except KeyError:
+            raise CoordinatorError(
+                "sampled jobs need a 'margin' in their sampling config"
+            ) from None
+        return StratifiedSampler(
+            spec.faults,
+            margin=margin,
+            confidence=sampling.get("confidence", 0.95),
+            seed=sampling.get("seed", 0),
+            strata=sampling.get("strata", "site-phase"),
+            chunk=self.shard_size if chunk is None else chunk,
+            stored=stored,
+        )
+
+    def _resume_sampled_job(self, store, entry, job_id, spec,
+                            campaign_id):
+        """Rebuild one sampled job from its ledger entry.
+
+        The sampler replays the final store's rows — chunks merged
+        strictly in order before the crash, so the store is a
+        prefix-consistent state of the draw sequence — and re-draws
+        the identical chunks.  Chunk shards re-plan lazily at lease
+        time; shard databases completed before the crash adopt there
+        instead of re-running.  Returns the requeued shard count.
+        """
+        sampler = self._build_sampler(
+            spec, entry.sampling,
+            stored=stored_outcomes(store.run_rows(campaign_id)),
+            chunk=entry.shard_size,
+        )
+        store.record_sampling(
+            campaign_id, sampler.seed, sampler.margin,
+            sampler.confidence, sampler.strata_mode, sampler.chunk,
+        )
+        job = _Job(
+            job_id, spec.name, {}, campaign_id, total=len(spec.faults),
+            sampler=sampler, sampling=entry.sampling,
+            plan=(
+                spec_to_dict(spec),
+                [fault_key(fault) for fault in spec.faults],
+                entry.netlist, dict(entry.config or {}),
+            ),
+        )
+        job.failed = set(entry.failed)
+        job.lease_counts.update(entry.lease_counts)
+        job.seen_rows.update(store.completed_indices(campaign_id))
+        self._jobs[job_id] = job
+        # Drive the replay now: fully stored chunks finish inline
+        # (possibly re-deriving a pre-crash convergence), and the
+        # first chunk that still needs simulation queues for the next
+        # lease request.
+        shard = self._next_sample_shard(job)
+        if shard is not None:
+            job.queue.append(shard.shard_id)
+        LOGGER.info(
+            "job %d (%s) resumed sampled: %d outcomes replayed, %s",
+            job_id, spec.name, sampler.simulated,
+            f"stopped ({sampler.reason})" if sampler.stopped
+            else "continuing",
+        )
+        self._maybe_finish(job)
+        return len(job.queue)
+
+    def submit_dict(self, spec_dict, netlist=None, config=None,
+                    sampling=None):
         """Submit from JSON payloads (the ``submit`` frame path)."""
         return self.submit(
-            spec_from_dict(spec_dict), netlist=netlist, config=config
+            spec_from_dict(spec_dict), netlist=netlist, config=config,
+            sampling=sampling,
         )
 
     def resume_from_ledger(self, ledger_path=None):
@@ -352,11 +501,17 @@ class Coordinator:
                     )
                     continue
                 spec = spec_from_dict(entry.spec)
+                campaign_id = store.open_campaign(spec, resume=True)
+                if entry.sampling is not None:
+                    requeued_total += self._resume_sampled_job(
+                        store, entry, job_id, spec, campaign_id,
+                    )
+                    resumed.append(job_id)
+                    continue
                 shards = plan_shards(
                     spec, shard_size=entry.shard_size,
                     netlist=entry.netlist, config=entry.config,
                 )
-                campaign_id = store.open_campaign(spec, resume=True)
                 job = _Job(job_id, spec.name, shards, campaign_id)
                 for shard_id, count in entry.lease_counts.items():
                     if shard_id in job.lease_counts:
@@ -690,12 +845,258 @@ class Coordinator:
     # -- leasing -----------------------------------------------------------------
 
     def _next_shard(self):
-        """The next (job, shard) to lease, FIFO across jobs."""
+        """The next (job, shard) to lease, FIFO across jobs.
+
+        Requeued shards (a revoked lease) go first; a sampled job with
+        an empty queue asks its sampler for the next chunk.  A sampled
+        job whose current round is fully leased yields nothing until
+        an in-order merge lets the sampler plan the next round.
+        """
         for job_id in sorted(self._jobs):
             job = self._jobs[job_id]
-            if job.state == "running" and job.queue:
+            if job.state != "running":
+                continue
+            if job.queue:
                 return job, job.shards[job.queue.popleft()]
+            if job.sampler is not None:
+                shard = self._next_sample_shard(job)
+                if shard is not None:
+                    return job, shard
         return None, None
+
+    def _next_sample_shard(self, job):
+        """Plan the next chunk shard of a sampled job, or None.
+
+        None while the sampler is waiting on in-flight chunks (the
+        round barrier) and forever once it stopped.  Chunks that need
+        no simulation — every outcome replayed from the store, a
+        pre-crash shard database adopted whole, or a shard past its
+        lease ceiling — finish inline and the loop tries the next
+        chunk, so a lease request always gets real work when any
+        exists.
+        """
+        base, keys, netlist, config = job.plan
+        while job.state == "running" and not job.sampler.finished:
+            chunk = job.sampler.next_chunk()
+            if chunk is None:
+                break
+            job.chunks[chunk.ident] = chunk
+            if not chunk.pending or chunk.ident in job.failed:
+                self._advance_sampled(job)
+                continue
+            # The shard covers the chunk's full draw (not just the
+            # un-replayed subset): shard identity then survives a
+            # crash between a partial merge and its ledger line, and
+            # the final store's first-writer-wins insert drops any
+            # re-streamed duplicates.
+            shard = plan_chunk_shard(
+                base, keys, chunk.ident, chunk.indices,
+                netlist=netlist, config=config,
+            )
+            job.shards[shard.shard_id] = shard
+            job.lease_counts.setdefault(shard.shard_id, 0)
+            if self._adopt_sample_shard(job, shard):
+                continue
+            self._final_store().record_shard(
+                job.campaign_id, shard.shard_id, "queued",
+                n_faults=shard.size, leases=0,
+            )
+            return shard
+        if job.sampler.stopped:
+            # Stops decided at plan time (population exhausted before
+            # any chunk could be drawn) never pass through a
+            # finish_chunk, so close out the job here.
+            self._stop_sampling(job)
+            self._maybe_finish(job)
+        return None
+
+    def _adopt_sample_shard(self, job, shard):
+        """Merge a chunk shard whose database already holds every row.
+
+        The crash-recovery path: a worker completed the shard but the
+        coordinator died before merging it.  Returns True when the
+        shard was adopted (no lease needed).
+        """
+        if not os.path.exists(self._sharded.shard_path(shard.shard_id)):
+            return False
+        have = {
+            int(row["idx"])
+            for row in self._sharded.shard_run_rows(shard)
+        }
+        if not set(shard.indices) <= have:
+            return False
+        job.ready[shard.shard_id] = ("resume", None)
+        self._advance_sampled(job)
+        return True
+
+    def _advance_sampled(self, job):
+        """Merge ready chunks strictly in chunk order and evaluate.
+
+        The sampler's convergence decision after chunk ``k`` depends
+        on every outcome of chunks ``<= k``, so out-of-order
+        completions buffer in ``job.ready`` until their turn — that
+        discipline is what makes the merged store row-identical to a
+        single-host sampled run.  Called whenever a chunk may have
+        become finishable: a completion arrived, a chunk was fully
+        replayed, a shard failed its lease ceiling.
+        """
+        sampler = job.sampler
+        while job.state == "running" and not sampler.stopped:
+            chunk = job.chunks.get(job.merge_cursor)
+            if chunk is None:
+                return
+            shard_id = chunk.ident
+            if chunk.pending:
+                if shard_id in job.failed:
+                    # Past the lease ceiling: these faults can never
+                    # be simulated.  Record them as failed runs
+                    # (excluded from trials) so the pipeline is not
+                    # deadlocked behind a chunk that will never
+                    # arrive.
+                    for index in chunk.pending:
+                        sampler.record(index, None)
+                elif shard_id in job.ready:
+                    worker, frame = job.ready.pop(shard_id)
+                    if not self._merge_sample_shard(
+                        job, shard_id, worker, frame
+                    ):
+                        return  # job aborted on golden divergence
+                else:
+                    return  # next chunk in order still in flight
+            stopped = sampler.finish_chunk(chunk)
+            del job.chunks[job.merge_cursor]
+            job.merge_cursor += 1
+            if stopped:
+                self._stop_sampling(job)
+                self._maybe_finish(job)
+                return
+
+    def _merge_sample_shard(self, job, shard_id, worker, frame):
+        """Golden-check and merge one chunk shard; feed the sampler.
+
+        Returns False when the job aborted (golden divergence).
+        """
+        store = self._final_store()
+        shard = job.shards[shard_id]
+        golden = (frame or {}).get("golden")
+        if golden:
+            if not self._check_shard_golden(job, shard_id, golden,
+                                            worker):
+                return False
+            store.record_golden_digests(job.campaign_id, golden)
+        merged = self._sharded.merge_into(
+            store, job.campaign_id, shard, worker=worker,
+            leases=job.lease_counts.get(shard_id) or None,
+        )
+        job.merged.add(shard_id)
+        if worker != "resume":
+            job.workers.add(worker)
+        for row in self._sharded.shard_run_rows(shard):
+            job.sampler.record(int(row["idx"]), row_outcome(row))
+            job.seen_rows.add(int(row["idx"]))
+        # Recorded *after* the merge commit, exactly as for static
+        # shards: a crash in between re-merges idempotently.
+        self._ledger.record(
+            "shard_merged", job=job.job_id, shard=shard_id, rows=merged,
+        )
+        if frame and frame.get("execution"):
+            job.executions.append(frame["execution"])
+        _journal.emit(
+            "shard_completed", job=job.job_id, shard=shard_id,
+            worker=worker, rows=len(shard.indices), merged=merged,
+        )
+        LOGGER.info(
+            "chunk %d of job %d merged from %s (%d rows)",
+            shard_id, job.job_id, worker, merged,
+        )
+        return True
+
+    def _check_shard_golden(self, job, shard_id, golden, worker_name):
+        """Per-shard golden digest comparison; aborts on divergence.
+
+        Digests are compared per shard only — an adaptive analog
+        solver's step sequence legitimately depends on where the
+        runner pauses for the shard's own fault times, so traces are
+        not comparable across shards.  Returns False after aborting.
+        """
+        seen = job.shard_goldens.get(shard_id)
+        if seen is not None and seen != golden:
+            changed = sorted(
+                name for name in set(seen) | set(golden)
+                if seen.get(name) != golden.get(name)
+            )
+            self._abort_job(
+                job,
+                f"golden divergence on worker {worker_name}: shard "
+                f"{shard_id} re-ran with different golden "
+                f"traces ({', '.join(changed)}); the design or "
+                "its parameters changed — refusing to mix results",
+            )
+            return False
+        job.shard_goldens[shard_id] = golden
+        return True
+
+    def _stop_sampling(self, job):
+        """Early-stop bookkeeping once the sampler's interval closed.
+
+        Outstanding leases are revoked and their chunks abandoned —
+        rows already streamed stay in the shard databases but are
+        never merged, so the final store is row-identical to a
+        single-host run that stopped at the same chunk.  The faults
+        sampling saved get their ``skipped`` rows in one transaction.
+        """
+        if job.stop_recorded:
+            return
+        job.stop_recorded = True
+        sampler = job.sampler
+        store = self._final_store()
+        abandoned = set()
+        for shard_id, lease in list(job.active.items()):
+            self._leases.pop(lease.token, None)
+            del job.active[shard_id]
+            abandoned.add(shard_id)
+            self._ledger.record(
+                "lease_revoked", job=job.job_id, shard=shard_id,
+                reason="sampling-converged",
+            )
+        abandoned.update(job.queue)
+        job.queue.clear()
+        abandoned.update(job.ready)
+        job.ready.clear()
+        job.chunks.clear()
+        for shard_id in sorted(abandoned):
+            job.abandoned.add(shard_id)
+            store.record_shard(
+                job.campaign_id, shard_id, "abandoned",
+            )
+        self._ledger.record(
+            "stop_sampling", job=job.job_id, reason=sampler.reason,
+            revoked=sorted(abandoned),
+        )
+        estimate, (low, high) = sampler.pooled()
+        _journal.emit(
+            "stop_sampling", job=job.job_id, reason=sampler.reason,
+            revoked=len(abandoned),
+        )
+        _journal.emit(
+            "sampling_stopped", reason=sampler.reason,
+            trials=sampler.trials, estimate=estimate,
+            half_width=(high - low) / 2.0,
+            skipped=sampler.population - sampler.simulated,
+        )
+        store.record_skipped(
+            job.campaign_id,
+            [
+                (index, sampler.stratum_of(index))
+                for index in sampler.skipped_indices()
+            ],
+        )
+        LOGGER.info(
+            "job %d sampling stopped (%s): %d trials, estimate "
+            "%.4f ± %.4f, %d leases/chunks abandoned",
+            job.job_id, sampler.reason, sampler.trials, estimate,
+            (high - low) / 2.0, len(abandoned),
+        )
 
     def _on_lease_request(self, peer):
         if peer.role != "worker":
@@ -818,6 +1219,10 @@ class Coordinator:
                 "shard %d of job %d failed %d leases; giving up",
                 shard.shard_id, job.job_id, self.max_leases,
             )
+            if job.sampler is not None:
+                # The failed chunk's faults count as failed runs so
+                # later chunks are not deadlocked behind it.
+                self._advance_sampled(job)
             self._maybe_finish(job)
         else:
             job.queue.append(shard.shard_id)
@@ -894,6 +1299,12 @@ class Coordinator:
         lease.last_heartbeat = monotonic()
         job, shard = lease.job, lease.shard
         for row in frame["rows"]:
+            if job.sampler is not None:
+                # Workers run plain exhaustive shards and know nothing
+                # of strata; the coordinator owns the stratification
+                # and stamps each row at ingest.
+                row = dict(row)
+                row["stratum"] = job.sampler.stratum_of(int(row["idx"]))
             try:
                 self._sharded.ingest_row(shard, row)
             except StoreError as exc:
@@ -937,6 +1348,17 @@ class Coordinator:
             del job.active[shard.shard_id]
         if shard.shard_id in job.merged:
             return  # the other holder of a reassigned shard got here first
+        if job.sampler is not None:
+            if shard.shard_id in job.abandoned:
+                return  # completed after the early stop; never merged
+            # Chunk shards merge strictly in chunk order — buffer
+            # out-of-order completions until their turn, then let the
+            # sampler evaluate and possibly plan the next round.
+            job.ready[shard.shard_id] = (peer.name, frame)
+            self._advance_sampled(job)
+            self._feed_waiting_workers()
+            self._maybe_finish(job)
+            return
         store = self._final_store()
         golden = frame.get("golden")
         if golden:
@@ -944,25 +1366,11 @@ class Coordinator:
             # boundary is the shard database (rows from different
             # lease attempts of the same shard dedup into one row
             # set), so every attempt at one shard must have executed
-            # the same golden.  Digests are NOT comparable across
-            # shards — an adaptive analog solver's step sequence
-            # (and so its traces) legitimately depends on where the
-            # runner pauses for the shard's own fault times.
-            seen = job.shard_goldens.get(shard.shard_id)
-            if seen is not None and seen != golden:
-                changed = sorted(
-                    name for name in set(seen) | set(golden)
-                    if seen.get(name) != golden.get(name)
-                )
-                self._abort_job(
-                    job,
-                    f"golden divergence on worker {peer.name}: shard "
-                    f"{shard.shard_id} re-ran with different golden "
-                    f"traces ({', '.join(changed)}); the design or "
-                    "its parameters changed — refusing to mix results",
-                )
+            # the same golden.
+            if not self._check_shard_golden(
+                job, shard.shard_id, golden, peer.name
+            ):
                 return
-            job.shard_goldens[shard.shard_id] = golden
             store.record_golden_digests(job.campaign_id, golden)
         merged = self._sharded.merge_into(
             store, job.campaign_id, shard, worker=peer.name,
@@ -1003,9 +1411,18 @@ class Coordinator:
     # -- job completion ----------------------------------------------------------
 
     def _maybe_finish(self, job):
-        terminal = len(job.merged) + len(job.failed)
-        if terminal < len(job.shards) or job.state != "running":
+        if job.state != "running":
             return
+        if job.sampler is not None:
+            # A sampled job is done when its sampler stopped and no
+            # chunk is still leased or buffered awaiting merge.
+            if not (job.sampler.stopped and not job.active
+                    and not job.queue and not job.ready):
+                return
+        else:
+            terminal = len(job.merged) + len(job.failed)
+            if terminal < len(job.shards):
+                return
         store = self._final_store()
         execution = self._combined_execution(job)
         status = "complete" if not job.failed else "errors"
@@ -1041,6 +1458,10 @@ class Coordinator:
             execution[key] = sum(
                 int(exe.get(key) or 0) for exe in job.executions
             )
+        if job.sampler is not None:
+            execution["mode"] = "sampled-distributed"
+            execution["completed"] = job.sampler.simulated
+            execution["sampling"] = job.sampler.summary()
         return execution
 
     def _abort_job(self, job, message):
@@ -1077,6 +1498,7 @@ class Coordinator:
         job_id = self.submit_dict(
             frame["spec"], netlist=frame.get("netlist"),
             config=frame.get("config"),
+            sampling=frame.get("sampling"),
         )
         job = self._jobs[job_id]
         self._send(

@@ -35,11 +35,13 @@ LEDGER_SCHEMA_VERSION = 1
 
 #: The record kinds a coordinator appends, in rough lifecycle order.
 RECORD_KINDS = (
-    "job_submitted",    # job, name, spec, netlist, config, shard_size, shards
+    "job_submitted",    # job, name, spec, netlist, config, shard_size,
+                        # shards, sampling (None for exhaustive jobs)
     "lease_granted",    # job, shard, worker, token, count
     "lease_revoked",    # job, shard, reason
     "shard_merged",     # job, shard, rows
     "shard_failed",     # job, shard
+    "stop_sampling",    # job, reason, revoked (sampling early stop)
     "job_finished",     # job, state
     "resumed",          # jobs, adopted, requeued
 )
@@ -140,6 +142,7 @@ class LedgerJob:
         self.config = record.get("config") or {}
         self.shard_size = int(record["shard_size"])
         self.shards = int(record.get("shards") or 0)
+        self.sampling = record.get("sampling")
         self.merged = set()
         self.failed = set()
         self.lease_counts = {}

@@ -81,7 +81,7 @@ def spawn_local_workers(address, count, factory, context=None,
 
 def run_distributed(factory, spec, workers=2, shard_size=None,
                     store_path=None, lease_timeout_s=None, config=None,
-                    netlist=None, timeout=None):
+                    netlist=None, timeout=None, sampling=None):
     """Run one campaign across forked local workers; returns the result.
 
     The in-process twin of ``campaign serve`` + N×``campaign worker``:
@@ -91,15 +91,23 @@ def run_distributed(factory, spec, workers=2, shard_size=None,
     final :class:`~repro.campaign.results.CampaignResult` back from
     the merged store.
 
-    :param shard_size: faults per shard; default one shard per worker.
+    :param shard_size: faults per shard; default one shard per worker
+        for exhaustive jobs.  Sampled jobs default to
+        :data:`~repro.dist.shards.DEFAULT_SHARD_SIZE` — the shard size
+        *is* the sampler's chunk size, and convergence is only
+        evaluated at chunk boundaries.
     :param store_path: final store location (required — the merged
         database is the product).
     :param config: execution kwargs applied on every worker
         (``warm_start``, ``batch``, ``timeout``...).
     :param timeout: seconds to wait for the job before aborting.
+    :param sampling: optional adaptive-sampling config dict (see
+        :meth:`~repro.dist.coordinator.Coordinator.submit`).
     :raises CoordinatorError: on missing store path, fork
         unavailability, or job timeout/abort.
     """
+    from .shards import DEFAULT_SHARD_SIZE
+
     if store_path is None:
         raise CoordinatorError("run_distributed requires a store_path")
     context = _fork_context()
@@ -108,7 +116,10 @@ def run_distributed(factory, spec, workers=2, shard_size=None,
             "run_distributed needs the 'fork' start method"
         )
     if shard_size is None:
-        shard_size = max(1, -(-len(spec.faults) // workers))
+        if sampling is not None:
+            shard_size = DEFAULT_SHARD_SIZE
+        else:
+            shard_size = max(1, -(-len(spec.faults) // workers))
     kwargs = {"shard_size": shard_size}
     if lease_timeout_s is not None:
         kwargs["lease_timeout_s"] = lease_timeout_s
@@ -116,7 +127,9 @@ def run_distributed(factory, spec, workers=2, shard_size=None,
     coordinator.drain_when_idle(True)
     processes = []
     try:
-        job_id = coordinator.submit(spec, netlist=netlist, config=config)
+        job_id = coordinator.submit(
+            spec, netlist=netlist, config=config, sampling=sampling,
+        )
         coordinator.start()
         processes = spawn_local_workers(
             coordinator.address, workers, factory, context=context

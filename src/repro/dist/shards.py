@@ -124,6 +124,48 @@ def shard_name(campaign, shard_id):
     return f"{campaign}@shard{shard_id:04d}"
 
 
+def plan_chunk_shard(base, keys, shard_id, indices, netlist=None,
+                     config=None):
+    """One shard over an arbitrary set of global fault indices.
+
+    The adaptive sampler's unit of distribution: chunk ``k`` of a
+    sampled job becomes shard ``k``, covering whatever non-contiguous
+    indices the stratified draw produced.  ``base`` and ``keys`` are
+    the full campaign's ``spec_to_dict`` rendering and per-fault
+    digests, computed once per job — chunk shards are planned one at a
+    time as the sampler draws them, so the per-plan work must be O(chunk).
+
+    :param base: the parent campaign spec as a dict
+        (:func:`~repro.store.serialize.spec_to_dict`).
+    :param keys: per-fault content digests aligned with
+        ``base["faults"]``.
+    :param shard_id: the chunk's sequential ident (also the shard id).
+    :param indices: global fault indices the chunk drew, in draw order.
+    :raises ShardError: for an empty chunk or out-of-range indices.
+    """
+    faults = base["faults"]
+    if not indices:
+        raise ShardError(f"chunk shard {shard_id} has no faults")
+    if any(i < 0 or i >= len(faults) for i in indices):
+        raise ShardError(
+            f"chunk shard {shard_id} draws indices outside the "
+            f"campaign's {len(faults)} faults"
+        )
+    sub_spec = dict(base)
+    sub_spec["name"] = shard_name(base["name"], shard_id)
+    sub_spec["faults"] = [faults[i] for i in indices]
+    return Shard(
+        shard_id=shard_id,
+        campaign=base["name"],
+        total=len(faults),
+        indices=list(indices),
+        fault_keys=[keys[i] for i in indices],
+        spec=sub_spec,
+        netlist=netlist,
+        config=dict(config or {}),
+    )
+
+
 def plan_shards(spec, shard_size=DEFAULT_SHARD_SIZE, netlist=None,
                 config=None):
     """Slice a campaign spec into a deterministic list of shards.

@@ -383,8 +383,14 @@ class RowStreamStore(StoreBackend):
         return self.shard.indices[index], self.shard.fault_keys[index]
 
     def record_run(self, campaign_id, index, fault_result,
-                   wall_s=None, kernel_events=None, attempts=1):
-        """Translate one completed run to a row frame and send it."""
+                   wall_s=None, kernel_events=None, attempts=1,
+                   stratum=None):
+        """Translate one completed run to a row frame and send it.
+
+        ``stratum`` is ignored: sampled-campaign shards are planned
+        by the coordinator, which attaches each row's stratum from its
+        own strata map at ingest.
+        """
         global_idx, key = self._globalize(index)
         self._ship(result_to_row(
             global_idx, key, fault_result, wall_s=wall_s,
@@ -394,7 +400,8 @@ class RowStreamStore(StoreBackend):
     def record_runs(self, campaign_id, rows):
         """Batch outcomes ship as one frame (batched campaigns)."""
         payload = []
-        for index, fault_result, wall_s, kernel_events, attempts in rows:
+        for row in rows:
+            index, fault_result, wall_s, kernel_events, attempts = row[:5]
             global_idx, key = self._globalize(index)
             payload.append(result_to_row(
                 global_idx, key, fault_result, wall_s=wall_s,
@@ -408,7 +415,7 @@ class RowStreamStore(StoreBackend):
 
     def record_error(self, campaign_id, index, message, wall_s=None,
                      status="error", attempts=1, quarantined=False,
-                     postmortem=None):
+                     postmortem=None, stratum=None):
         """Failed runs ship too — they are terminal outcomes.
 
         ``postmortem`` is a worker-local path; it travels as an opaque

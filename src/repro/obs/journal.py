@@ -74,6 +74,10 @@ EVENT_TYPES = (
     "worker_reconnected",    # worker, job, shard, token
     "frame_rejected",        # peer, reason
     "lease_expired",         # job, shard, worker, reason
+    # Confidence-bounded adaptive sampling (journal schema v3).
+    "sample_chunk",          # chunk, round, size, pending, trials
+    "sampling_stopped",      # reason, trials, estimate, half_width, skipped
+    "stop_sampling",         # job, reason, revoked (distributed early stop)
 )
 
 

@@ -83,8 +83,14 @@ class StoreBackend(abc.ABC):
 
     @abc.abstractmethod
     def record_run(self, campaign_id, index, fault_result,
-                   wall_s=None, kernel_events=None, attempts=1):
-        """Persist one completed faulty run."""
+                   wall_s=None, kernel_events=None, attempts=1,
+                   stratum=None):
+        """Persist one completed faulty run.
+
+        ``stratum`` is the sampling stratum label for adaptively
+        sampled campaigns (None otherwise); backends that do not
+        persist strata may ignore it.
+        """
 
     def record_runs(self, campaign_id, rows):
         """Persist many completed runs (one batch).
@@ -93,17 +99,20 @@ class StoreBackend(abc.ABC):
         just loops :meth:`record_run`.
 
         :param rows: iterable of ``(index, fault_result, wall_s,
-            kernel_events, attempts)`` tuples.
+            kernel_events, attempts)`` tuples, optionally extended
+            with a sixth ``stratum`` element.
         """
-        for index, fault_result, wall_s, kernel_events, attempts in rows:
+        for row in rows:
+            index, fault_result, wall_s, kernel_events, attempts = row[:5]
+            stratum = row[5] if len(row) > 5 else None
             self.record_run(campaign_id, index, fault_result,
                             wall_s=wall_s, kernel_events=kernel_events,
-                            attempts=attempts)
+                            attempts=attempts, stratum=stratum)
 
     @abc.abstractmethod
     def record_error(self, campaign_id, index, message, wall_s=None,
                      status="error", attempts=1, quarantined=False,
-                     postmortem=None):
+                     postmortem=None, stratum=None):
         """Persist one failed faulty run."""
 
     @abc.abstractmethod

@@ -258,12 +258,12 @@ def comparisons_to_dict(comparisons):
 ROW_FIELDS = (
     "idx", "key", "status", "label", "classification", "comparisons",
     "metrics", "error", "wall_s", "kernel_events", "attempts",
-    "quarantined", "postmortem",
+    "quarantined", "postmortem", "stratum",
 )
 
 
 def result_to_row(index, key, fault_result, wall_s=None,
-                  kernel_events=None, attempts=1):
+                  kernel_events=None, attempts=1, stratum=None):
     """Render one successful :class:`FaultResult` as a run-row dict."""
     return {
         "idx": int(index),
@@ -281,11 +281,13 @@ def result_to_row(index, key, fault_result, wall_s=None,
         "attempts": attempts,
         "quarantined": 0,
         "postmortem": None,
+        "stratum": stratum,
     }
 
 
 def error_to_row(index, key, message, status="error", wall_s=None,
-                 attempts=1, quarantined=False, postmortem=None):
+                 attempts=1, quarantined=False, postmortem=None,
+                 stratum=None):
     """Render one failed run as a run-row dict."""
     return {
         "idx": int(index),
@@ -301,6 +303,31 @@ def error_to_row(index, key, message, status="error", wall_s=None,
         "attempts": attempts,
         "quarantined": 1 if quarantined else 0,
         "postmortem": None if postmortem is None else str(postmortem),
+        "stratum": stratum,
+    }
+
+
+def skipped_to_row(index, key, stratum=None):
+    """Render a fault skipped by sampling early stop as a run-row dict.
+
+    Carries no classification or error: the fault was never simulated
+    because the campaign's estimate converged first.
+    """
+    return {
+        "idx": int(index),
+        "key": key,
+        "status": "skipped",
+        "label": None,
+        "classification": None,
+        "comparisons": None,
+        "metrics": None,
+        "error": None,
+        "wall_s": None,
+        "kernel_events": None,
+        "attempts": 0,
+        "quarantined": 0,
+        "postmortem": None,
+        "stratum": stratum,
     }
 
 

@@ -62,7 +62,16 @@ from .serialize import (
 #:   ``shards`` table tracks shard lifecycle (lease count, worker,
 #:   state) for campaigns executed by the :mod:`repro.dist`
 #:   coordinator.  Older files migrate in place on open.
-SCHEMA_VERSION = 4
+#: * v5 — adaptive sampling: ``campaigns`` gains
+#:   ``sampling_seed``/``sampling_margin``/``sampling_confidence``/
+#:   ``sampling_strata``/``sampling_chunk`` (the full deterministic
+#:   sampling configuration, so ``--resume`` continues the same draw
+#:   sequence), ``runs`` gains a ``stratum`` column, and ``status``
+#:   may carry ``skipped`` — a fault an adaptively sampled campaign
+#:   never simulated because its estimate converged first ("skipped
+#:   by early stop", as opposed to "not sampled" = no row at all).
+#:   Older files migrate in place on open.
+SCHEMA_VERSION = 5
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -78,7 +87,12 @@ CREATE TABLE IF NOT EXISTS campaigns (
     execution_json TEXT,
     status         TEXT NOT NULL DEFAULT 'running',
     created_at     TEXT NOT NULL,
-    updated_at     TEXT NOT NULL
+    updated_at     TEXT NOT NULL,
+    sampling_seed       INTEGER,
+    sampling_margin     REAL,
+    sampling_confidence REAL,
+    sampling_strata     TEXT,
+    sampling_chunk      INTEGER
 );
 CREATE TABLE IF NOT EXISTS faults (
     campaign_id     INTEGER NOT NULL REFERENCES campaigns(id),
@@ -105,6 +119,7 @@ CREATE TABLE IF NOT EXISTS runs (
     quarantined         INTEGER NOT NULL DEFAULT 0,
     postmortem          TEXT,
     shard_id            INTEGER,
+    stratum             TEXT,
     PRIMARY KEY (campaign_id, fault_idx)
 );
 CREATE INDEX IF NOT EXISTS runs_by_label ON runs (campaign_id, label);
@@ -209,6 +224,8 @@ class CampaignStore(StoreBackend):
             self._conn.execute("ALTER TABLE runs ADD COLUMN postmortem TEXT")
         if "shard_id" not in columns:
             self._conn.execute("ALTER TABLE runs ADD COLUMN shard_id INTEGER")
+        if "stratum" not in columns:
+            self._conn.execute("ALTER TABLE runs ADD COLUMN stratum TEXT")
         campaign_columns = {
             row["name"]
             for row in self._conn.execute("PRAGMA table_info(campaigns)")
@@ -220,6 +237,22 @@ class CampaignStore(StoreBackend):
         if "journal_offset" not in campaign_columns:
             self._conn.execute(
                 "ALTER TABLE campaigns ADD COLUMN journal_offset INTEGER"
+            )
+        if "sampling_seed" not in campaign_columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN sampling_seed INTEGER"
+            )
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN sampling_margin REAL"
+            )
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN sampling_confidence REAL"
+            )
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN sampling_strata TEXT"
+            )
+            self._conn.execute(
+                "ALTER TABLE campaigns ADD COLUMN sampling_chunk INTEGER"
             )
 
     # -- lifecycle ---------------------------------------------------------
@@ -396,14 +429,15 @@ class CampaignStore(StoreBackend):
         return [index for index in range(total) if index not in done]
 
     def record_run(self, campaign_id, index, fault_result,
-                   wall_s=None, kernel_events=None, attempts=1):
+                   wall_s=None, kernel_events=None, attempts=1,
+                   stratum=None):
         """Persist one completed faulty run (commits immediately)."""
         self._conn.execute(
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
             " error, wall_s, kernel_events, completed_at, attempts,"
-            " quarantined)"
-            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0)",
+            " quarantined, stratum)"
+            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0, ?)",
             (
                 campaign_id,
                 index,
@@ -417,6 +451,7 @@ class CampaignStore(StoreBackend):
                 kernel_events,
                 _now(),
                 attempts,
+                stratum,
             ),
         )
         self._conn.commit()
@@ -433,10 +468,14 @@ class CampaignStore(StoreBackend):
         flight, which resume re-runs.
 
         :param rows: iterable of ``(index, fault_result, wall_s,
-            kernel_events, attempts)`` tuples.
+            kernel_events, attempts)`` tuples, optionally extended
+            with a sixth ``stratum`` element (sampled campaigns).
         """
-        payload = [
-            (
+        payload = []
+        for row in rows:
+            index, fault_result, wall_s, kernel_events, attempts = row[:5]
+            stratum = row[5] if len(row) > 5 else None
+            payload.append((
                 campaign_id,
                 index,
                 fault_result.label,
@@ -449,24 +488,23 @@ class CampaignStore(StoreBackend):
                 kernel_events,
                 _now(),
                 attempts,
-            )
-            for index, fault_result, wall_s, kernel_events, attempts in rows
-        ]
+                stratum,
+            ))
         if not payload:
             return
         self._conn.executemany(
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
             " error, wall_s, kernel_events, completed_at, attempts,"
-            " quarantined)"
-            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0)",
+            " quarantined, stratum)"
+            " VALUES (?, ?, 'ok', ?, ?, ?, ?, NULL, ?, ?, ?, ?, 0, ?)",
             payload,
         )
         self._conn.commit()
 
     def record_error(self, campaign_id, index, message, wall_s=None,
                      status="error", attempts=1, quarantined=False,
-                     postmortem=None):
+                     postmortem=None, stratum=None):
         """Persist one failed faulty run (commits immediately).
 
         :param status: terminal failure status — one of
@@ -488,14 +526,104 @@ class CampaignStore(StoreBackend):
             "INSERT OR REPLACE INTO runs (campaign_id, fault_idx, status,"
             " label, classification_json, comparisons_json, metrics_json,"
             " error, wall_s, kernel_events, completed_at, attempts,"
-            " quarantined, postmortem)"
+            " quarantined, postmortem, stratum)"
             " VALUES (?, ?, ?, NULL, NULL, NULL, NULL, ?, ?, NULL, ?, ?, ?,"
-            " ?)",
+            " ?, ?)",
             (campaign_id, index, status, message, wall_s, _now(),
              attempts, 1 if quarantined else 0,
-             None if postmortem is None else str(postmortem)),
+             None if postmortem is None else str(postmortem), stratum),
         )
         self._conn.commit()
+
+    def record_skipped(self, campaign_id, rows):
+        """Mark faults skipped by sampling early stop, one transaction.
+
+        Written once a sampled campaign converges: every fault the
+        sampler never drew (or drew but abandoned at the stop) gets a
+        ``skipped`` row, distinguishing "skipped by early stop" from
+        "not sampled" (no row — the campaign was interrupted before
+        converging).  First writer wins, so re-running a resumed,
+        already converged campaign is idempotent.
+
+        :param rows: iterable of ``(index, stratum)`` pairs.
+        """
+        payload = [
+            (campaign_id, index, _now(), stratum)
+            for index, stratum in rows
+        ]
+        if not payload:
+            return
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO runs (campaign_id, fault_idx, status,"
+            " label, classification_json, comparisons_json, metrics_json,"
+            " error, wall_s, kernel_events, completed_at, attempts,"
+            " quarantined, stratum)"
+            " VALUES (?, ?, 'skipped', NULL, NULL, NULL, NULL, NULL, NULL,"
+            " NULL, ?, 0, 0, ?)",
+            payload,
+        )
+        self._conn.commit()
+
+    def record_sampling(self, campaign_id, seed, margin, confidence,
+                        strata, chunk):
+        """Persist (or verify) a campaign's sampling configuration.
+
+        The configuration *is* the draw sequence — seed, margin,
+        confidence, strata mode and chunk size together determine
+        every round the sampler will plan — so resuming with a
+        different configuration would silently change which faults
+        get simulated.  First write records; later writes verify.
+
+        :raises StoreError: when a stored configuration differs.
+        """
+        stored = self.sampling_config(campaign_id)
+        config = {
+            "seed": int(seed),
+            "margin": float(margin),
+            "confidence": float(confidence),
+            "strata": str(strata),
+            "chunk": int(chunk),
+        }
+        if stored is not None:
+            if stored != config:
+                raise StoreError(
+                    f"campaign sampling configuration changed: stored "
+                    f"{stored}, requested {config}; refusing to resume "
+                    "with a different draw sequence"
+                )
+            return
+        self._conn.execute(
+            "UPDATE campaigns SET sampling_seed = ?, sampling_margin = ?,"
+            " sampling_confidence = ?, sampling_strata = ?,"
+            " sampling_chunk = ?, updated_at = ? WHERE id = ?",
+            (config["seed"], config["margin"], config["confidence"],
+             config["strata"], config["chunk"], _now(), campaign_id),
+        )
+        self._conn.commit()
+
+    def sampling_config(self, campaign_id):
+        """The stored sampling configuration dict, or None.
+
+        ``None`` means the campaign is (so far) exhaustive; a resumed
+        campaign with a configuration continues sampled even without
+        the CLI flags.
+        """
+        row = self._conn.execute(
+            "SELECT sampling_seed, sampling_margin, sampling_confidence,"
+            " sampling_strata, sampling_chunk FROM campaigns WHERE id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no campaign with id {campaign_id}")
+        if row["sampling_seed"] is None:
+            return None
+        return {
+            "seed": row["sampling_seed"],
+            "margin": row["sampling_margin"],
+            "confidence": row["sampling_confidence"],
+            "strata": row["sampling_strata"],
+            "chunk": row["sampling_chunk"],
+        }
 
     def record_row(self, campaign_id, row, shard_id=None, replace=False):
         """Persist one run from its **row dict** rendering.
@@ -514,8 +642,8 @@ class CampaignStore(StoreBackend):
             + " INTO runs (campaign_id, fault_idx, status, label,"
             " classification_json, comparisons_json, metrics_json,"
             " error, wall_s, kernel_events, completed_at, attempts,"
-            " quarantined, postmortem, shard_id)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " quarantined, postmortem, shard_id, stratum)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 campaign_id,
                 int(row["idx"]),
@@ -535,6 +663,7 @@ class CampaignStore(StoreBackend):
                 1 if row.get("quarantined") else 0,
                 row.get("postmortem"),
                 shard_id if shard_id is not None else row.get("shard_id"),
+                row.get("stratum"),
             ),
         )
         self._conn.commit()
@@ -578,6 +707,7 @@ class CampaignStore(StoreBackend):
                 "quarantined": row["quarantined"],
                 "postmortem": row["postmortem"],
                 "shard_id": row["shard_id"],
+                "stratum": row["stratum"],
             })
         return rows
 
@@ -758,14 +888,16 @@ class CampaignStore(StoreBackend):
 
         Mirrors :meth:`load_runs` for the rows that did *not* complete
         — a resumed or loaded campaign accounts for quarantined and
-        still-failing faults the same way a live one does.
+        still-failing faults the same way a live one does.  Rows a
+        sampled campaign *skipped* by early stop are not errors and
+        are excluded.
         """
         from ..campaign.results import CampaignRunError
 
         errors = []
         for row in self._conn.execute(
             "SELECT * FROM runs WHERE campaign_id = ? AND status != 'ok'"
-            " ORDER BY fault_idx",
+            " AND status != 'skipped' ORDER BY fault_idx",
             (campaign_id,),
         ):
             index = row["fault_idx"]
@@ -843,15 +975,17 @@ class CampaignStore(StoreBackend):
         """Per-campaign progress summary for every stored campaign.
 
         Returns a list of dicts with ``name``, ``status``, ``total``,
-        ``completed``, ``errors``, ``created_at``, ``updated_at`` and
-        ``mode`` (the recorded execution mode — ``cold`` / ``warm`` /
-        ``batched``, suffixed with the batch mode when one was
-        recorded; ``"?"`` until an execution record lands).
+        ``completed``, ``errors``, ``skipped``, ``sampled``,
+        ``created_at``, ``updated_at`` and ``mode`` (the recorded
+        execution mode — ``cold`` / ``warm`` / ``batched``, suffixed
+        with the batch mode when one was recorded; ``"?"`` until an
+        execution record lands).  ``skipped`` counts faults a sampled
+        campaign skipped by early stop — they are not errors.
         """
         summaries = []
         for row in self._conn.execute(
             "SELECT id, name, status, created_at, updated_at,"
-            " execution_json FROM campaigns ORDER BY id"
+            " execution_json, sampling_seed FROM campaigns ORDER BY id"
         ):
             mode = "?"
             if row["execution_json"]:
@@ -871,7 +1005,12 @@ class CampaignStore(StoreBackend):
             ).fetchone()["n"]
             errors = self._conn.execute(
                 "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
-                " AND status != 'ok'",
+                " AND status != 'ok' AND status != 'skipped'",
+                (row["id"],),
+            ).fetchone()["n"]
+            skipped = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM runs WHERE campaign_id = ?"
+                " AND status = 'skipped'",
                 (row["id"],),
             ).fetchone()["n"]
             quarantined = self._conn.execute(
@@ -887,12 +1026,46 @@ class CampaignStore(StoreBackend):
                     "total": total,
                     "completed": completed,
                     "errors": errors,
+                    "skipped": skipped,
                     "quarantined": quarantined,
+                    "sampled": row["sampling_seed"] is not None,
                     "created_at": row["created_at"],
                     "updated_at": row["updated_at"],
                 }
             )
         return summaries
+
+    def stratum_counts(self, name=None):
+        """Per-stratum run tallies for a sampled campaign.
+
+        Returns ``{stratum: {"trials", "errors", "failed",
+        "skipped"}}`` straight from SQL — ``trials`` counts completed
+        runs, ``errors`` the non-silent subset, ``failed`` terminal
+        failures and ``skipped`` early-stop skips.  Empty for
+        campaigns without stratum annotations.
+        """
+        campaign_id = self.campaign_id(name)
+        counts = {}
+        for row in self._conn.execute(
+            "SELECT stratum,"
+            " SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END) AS trials,"
+            " SUM(CASE WHEN status = 'ok' AND label != 'silent'"
+            "     THEN 1 ELSE 0 END) AS errors,"
+            " SUM(CASE WHEN status NOT IN ('ok', 'skipped')"
+            "     THEN 1 ELSE 0 END) AS failed,"
+            " SUM(CASE WHEN status = 'skipped' THEN 1 ELSE 0 END)"
+            "     AS skipped"
+            " FROM runs WHERE campaign_id = ? AND stratum IS NOT NULL"
+            " GROUP BY stratum ORDER BY stratum",
+            (campaign_id,),
+        ):
+            counts[row["stratum"]] = {
+                "trials": row["trials"],
+                "errors": row["errors"],
+                "failed": row["failed"],
+                "skipped": row["skipped"],
+            }
+        return counts
 
     def run_status_counts(self, name=None):
         """Terminal run status -> row count, straight from SQL.

@@ -1,0 +1,203 @@
+"""Edge-case unit tests for the interval estimators in stats.py.
+
+The adaptive sampler leans on these at its boundaries — first chunk
+(no trials yet), perfect designs (zero errors), totally broken designs
+(every run an error) — so the edges get their own tests, including a
+Wilson vs Clopper–Pearson comparison sweep pinning down exactly where
+the exact interval is and is not wider than the approximation.
+"""
+
+import math
+
+import pytest
+
+from repro.campaign import (
+    clopper_pearson_interval,
+    interval_half_width,
+    required_sample_size,
+    safe_interval,
+    wilson_interval,
+)
+from repro.core.errors import CampaignError
+
+
+class TestWilsonEdges:
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 0.25
+
+    def test_all_successes(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert 0.75 < low < 1.0
+
+    def test_single_trial(self):
+        low, high = wilson_interval(0, 1)
+        assert low == 0.0
+        assert 0.5 < high < 1.0
+        low, high = wilson_interval(1, 1)
+        assert high == 1.0
+        assert 0.0 < low < 0.5
+
+    def test_symmetry_about_half(self):
+        low0, high0 = wilson_interval(30, 100)
+        low1, high1 = wilson_interval(70, 100)
+        assert low0 == pytest.approx(1.0 - high1, abs=1e-12)
+        assert high0 == pytest.approx(1.0 - low1, abs=1e-12)
+
+    def test_extreme_confidences(self):
+        narrow = wilson_interval(5, 100, confidence=0.5)
+        wide = wilson_interval(5, 100, confidence=0.9999)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+        assert 0.0 <= wide[0] <= wide[1] <= 1.0
+
+    def test_interval_bounds_stay_in_unit_interval(self):
+        for successes, trials in [(0, 1), (1, 1), (1, 2), (999, 1000)]:
+            low, high = wilson_interval(successes, trials)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_returns_plain_floats(self):
+        # numpy scalars must not leak into JSON execution records or
+        # wire frames.
+        low, high = wilson_interval(3, 50)
+        assert type(low) is float and type(high) is float
+
+
+class TestClopperPearsonEdges:
+    def test_zero_and_all(self):
+        assert clopper_pearson_interval(0, 5)[0] == 0.0
+        assert clopper_pearson_interval(5, 5)[1] == 1.0
+
+    def test_single_trial(self):
+        low, high = clopper_pearson_interval(0, 1, confidence=0.95)
+        assert low == 0.0
+        assert high == pytest.approx(0.975, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            clopper_pearson_interval(1, 0)
+        with pytest.raises(CampaignError):
+            clopper_pearson_interval(6, 5)
+
+
+class TestComparisonSweep:
+    """Wilson vs Clopper–Pearson across the (successes, trials) grid.
+
+    Clopper–Pearson is coverage-conservative, which is often glossed as
+    "the exact interval contains Wilson's".  That is only true away
+    from the edges: near successes = 0 or trials at high confidence the
+    Wilson endpoints can poke outside the exact interval.  These sweeps
+    assert the relationships that actually hold, so the sampler's
+    choice of Wilson for the stopping rule rests on tested ground.
+    """
+
+    GRID = (1, 2, 5, 17, 100, 1000)
+
+    def test_containment_at_moderate_confidence(self):
+        # At confidence <= 0.9 the exact interval endpoint-contains
+        # Wilson's for every (successes, trials) pair, edges included.
+        for trials in self.GRID:
+            for successes in range(trials + 1):
+                for confidence in (0.8, 0.9):
+                    w = wilson_interval(successes, trials, confidence)
+                    cp = clopper_pearson_interval(
+                        successes, trials, confidence
+                    )
+                    assert cp[0] <= w[0] + 1e-9, (successes, trials)
+                    assert cp[1] >= w[1] - 1e-9, (successes, trials)
+
+    def test_interior_width_ordering(self):
+        # Away from the edges (both counts at least trials // 10) the
+        # exact interval is at least as wide as Wilson's at any
+        # confidence the sampler accepts.
+        for trials in self.GRID:
+            margin = max(1, trials // 10)
+            for successes in range(margin, trials - margin + 1):
+                for confidence in (0.8, 0.9, 0.95, 0.99):
+                    w = wilson_interval(successes, trials, confidence)
+                    cp = clopper_pearson_interval(
+                        successes, trials, confidence
+                    )
+                    assert (cp[1] - cp[0]) >= (w[1] - w[0]) - 1e-9, (
+                        successes, trials, confidence
+                    )
+
+    def test_point_estimate_always_contained(self):
+        for trials in self.GRID:
+            for successes in range(trials + 1):
+                phat = successes / trials
+                for confidence in (0.8, 0.95, 0.99):
+                    for fn in (wilson_interval, clopper_pearson_interval):
+                        low, high = fn(successes, trials, confidence)
+                        assert low - 1e-12 <= phat <= high + 1e-12
+
+    def test_exact_can_be_narrower_at_the_edge(self):
+        # The counterexample that rules out a blanket containment
+        # claim: at zero successes and high confidence the exact upper
+        # endpoint sits below Wilson's.
+        w = wilson_interval(0, 100, confidence=0.99)
+        cp = clopper_pearson_interval(0, 100, confidence=0.99)
+        assert cp[1] < w[1]
+
+
+class TestSafeInterval:
+    def test_zero_trials_is_vacuous(self):
+        assert safe_interval(0, 0) == (0.0, 1.0)
+        assert safe_interval(0, -3) == (0.0, 1.0)
+
+    def test_matches_wilson_once_data_exists(self):
+        assert safe_interval(4, 40) == wilson_interval(4, 40)
+
+    def test_clopper_pearson_method(self):
+        assert safe_interval(4, 40, method="clopper-pearson") \
+            == clopper_pearson_interval(4, 40)
+        assert safe_interval(0, 0, method="clopper-pearson") == (0.0, 1.0)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(CampaignError):
+            safe_interval(1, 10, method="jeffreys")
+
+    def test_half_width_no_trials_is_half(self):
+        assert interval_half_width(0, 0) == 0.5
+
+    def test_half_width_shrinks_with_trials(self):
+        widths = [interval_half_width(n // 10, n)
+                  for n in (10, 100, 1000, 10000)]
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < 0.01
+
+
+class TestRequiredSampleSize:
+    def test_scales_inverse_square_with_margin(self):
+        n1 = required_sample_size(0.05)
+        n2 = required_sample_size(0.025)
+        assert n2 == pytest.approx(4 * n1, rel=0.02)
+
+    def test_rare_event_needs_fewer(self):
+        assert required_sample_size(0.01, p_expected=0.02) \
+            < required_sample_size(0.01)
+
+    def test_margin_validation(self):
+        with pytest.raises(CampaignError):
+            required_sample_size(0.0)
+        with pytest.raises(CampaignError):
+            required_sample_size(1.0)
+
+    def test_zero_rate_wilson_consistency(self):
+        """A zero-error stratum converges by the trial count the
+        sampler's closed form predicts.
+
+        The closed form ``ceil(z^2 / (2 m) - z^2) + 1`` is sufficient
+        (the Wilson 0/n half-width is at the margin there) and at most
+        one trial above the true minimum found by scanning.
+        """
+        for margin in (0.05, 0.01, 0.005):
+            z = 1.959963984540054
+            needed = int(math.ceil(z * z / (2 * margin) - z * z)) + 1
+            assert interval_half_width(0, needed) <= margin
+            minimal = next(
+                n for n in range(1, needed + 1)
+                if interval_half_width(0, n) <= margin
+            )
+            assert 0 <= needed - minimal <= 1, (margin, needed, minimal)
